@@ -1,0 +1,78 @@
+#include "bench_common.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace ipim {
+namespace bench {
+
+namespace {
+
+int
+envInt(const char *name, int fallback)
+{
+    const char *v = std::getenv(name);
+    return v ? std::atoi(v) : fallback;
+}
+
+} // namespace
+
+int
+benchWidth()
+{
+    return envInt("IPIM_BENCH_W", 384);
+}
+
+int
+benchHeight()
+{
+    return envInt("IPIM_BENCH_H", 216);
+}
+
+IpimRun
+runIpim(const std::string &name, int w, int h, const HardwareConfig &cfg,
+        const CompilerOptions &opts)
+{
+    BenchmarkApp app = makeBenchmark(name, w, h);
+    IpimRun run;
+    run.bench = name;
+    run.pixels = u64(w) * u64(h);
+    LaunchResult res =
+        runPipeline(app.def, cfg, app.inputs, opts, &run.stats);
+    run.cycles = res.cycles;
+    run.energy = computeEnergy(cfg, run.stats, run.cycles);
+    return run;
+}
+
+GpuRunEstimate
+runGpu(const std::string &name, int w, int h)
+{
+    BenchmarkApp app = makeBenchmark(name, w, h);
+    PipelineAnalysis pa = analyzePipeline(app.def);
+    return estimateGpu(pa);
+}
+
+f64
+geomean(const std::vector<f64> &v)
+{
+    if (v.empty())
+        return 0;
+    f64 s = 0;
+    for (f64 x : v)
+        s += std::log(x);
+    return std::exp(s / f64(v.size()));
+}
+
+void
+printHeader(const char *fig, const char *what)
+{
+    std::printf("==================================================\n");
+    std::printf("iPIM reproduction | %s: %s\n", fig, what);
+    std::printf("image %dx%d | 1 cube simulated, %u-cube device "
+                "extrapolated\n",
+                benchWidth(), benchHeight(), kPaperCubes);
+    std::printf("==================================================\n");
+}
+
+} // namespace bench
+} // namespace ipim

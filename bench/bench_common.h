@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared harness for the per-figure benchmark binaries.
+ *
+ * Each bench_figNN binary regenerates one table/figure of the paper's
+ * evaluation (Sec. VII).  The iPIM side cycle-simulates one cube (16
+ * vaults, full NoC and synchronization) and extrapolates the 8-cube
+ * device linearly — the workloads are SPMD over disjoint image strips
+ * (DESIGN.md, substitutions).  The GPU side is the analytical V100
+ * roofline of src/baseline driven by the same pipeline IR.
+ */
+#ifndef IPIM_BENCH_BENCH_COMMON_H_
+#define IPIM_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/benchmarks.h"
+#include "baseline/gpu_model.h"
+#include "energy/energy_model.h"
+#include "runtime/runtime.h"
+
+namespace ipim {
+namespace bench {
+
+/** Paper's device scale vs. what we cycle-simulate. */
+inline constexpr u32 kPaperCubes = 8;
+
+/** Default benchmark resolution (overridable via IPIM_BENCH_W/H). */
+int benchWidth();
+int benchHeight();
+
+struct IpimRun
+{
+    std::string bench;
+    u64 pixels = 0;
+    Cycle cycles = 0;
+    StatsRegistry stats;
+    EnergyBreakdown energy;
+
+    /** Simulated single-cube wall time. */
+    f64 seconds() const { return f64(cycles) * 1e-9; }
+
+    /** Extrapolated paper-scale (8-cube) wall time. */
+    f64
+    scaledSeconds(u32 simulatedCubes = 1) const
+    {
+        return seconds() * f64(simulatedCubes) / f64(kPaperCubes);
+    }
+
+    f64 mpixPerSec() const { return f64(pixels) / seconds() / 1e6; }
+};
+
+/** Run one benchmark on the iPIM simulator. */
+IpimRun runIpim(const std::string &name, int w, int h,
+                const HardwareConfig &cfg,
+                const CompilerOptions &opts = {});
+
+/** GPU estimate for the same benchmark/pixels. */
+GpuRunEstimate runGpu(const std::string &name, int w, int h);
+
+/** Geometric mean helper. */
+f64 geomean(const std::vector<f64> &v);
+
+/** Short header naming the binary and the figure it regenerates. */
+void printHeader(const char *fig, const char *what);
+
+} // namespace bench
+} // namespace ipim
+
+#endif // IPIM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,43 @@
+/**
+ * Regenerates Fig. 1: GPU profiling of the Table II benchmarks — DRAM
+ * bandwidth/utilization, ALU utilization, and the index-calculation
+ * share of ALU work.  Paper reference averages: 518 GB/s (57.55% DRAM
+ * utilization), 3.43% ALU utilization, 58.71% index-calc share.
+ */
+#include "bench_common.h"
+
+using namespace ipim;
+using namespace ipim::bench;
+
+int
+main()
+{
+    // The GPU side is analytical, so this figure runs at the paper's
+    // DIV8K resolution regardless of IPIM_BENCH_W/H (kernel-launch
+    // overhead would otherwise distort utilization at small sizes).
+    constexpr int kW = 7680, kH = 4320;
+    printHeader("Fig. 1", "GPU profiling of image processing workloads");
+    std::printf("(modeled at DIV8K %dx%d)\n", kW, kH);
+    std::printf("%-15s %10s %10s %9s %10s\n", "benchmark", "BW(GB/s)",
+                "DRAMutil%", "ALUutil%", "idxShare%");
+    f64 bwSum = 0, dramSum = 0, aluSum = 0, idxSum = 0;
+    int n = 0;
+    for (const std::string &name : allBenchmarkNames()) {
+        GpuRunEstimate est = runGpu(name, kW, kH);
+        std::printf("%-15s %10.1f %10.2f %9.3f %10.2f\n", name.c_str(),
+                    est.dramBandwidthBytesPerSec / 1e9,
+                    100.0 * est.dramUtilization,
+                    100.0 * est.aluUtilization,
+                    100.0 * est.indexAluShare);
+        bwSum += est.dramBandwidthBytesPerSec / 1e9;
+        dramSum += 100.0 * est.dramUtilization;
+        aluSum += 100.0 * est.aluUtilization;
+        idxSum += 100.0 * est.indexAluShare;
+        ++n;
+    }
+    std::printf("%-15s %10.1f %10.2f %9.3f %10.2f\n", "average",
+                bwSum / n, dramSum / n, aluSum / n, idxSum / n);
+    std::printf("%-15s %10s %10.2f %9.3f %10.2f   (V100, DIV8K)\n",
+                "paper", "518", 57.55, 3.43, 58.71);
+    return 0;
+}

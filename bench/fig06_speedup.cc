@@ -1,0 +1,36 @@
+/**
+ * Regenerates Fig. 6: throughput and speedup of iPIM over the V100 GPU
+ * for all Table II benchmarks.  Paper reference: 11.02x average speedup
+ * (with Brighten ~21x, Histogram ~44x, Blur/StencilChain ~4.3x).
+ */
+#include "bench_common.h"
+
+using namespace ipim;
+using namespace ipim::bench;
+
+int
+main()
+{
+    printHeader("Fig. 6", "iPIM vs GPU throughput and speedup");
+    HardwareConfig cfg = HardwareConfig::benchCube();
+    std::printf("%-15s %12s %12s %9s\n", "benchmark", "GPU(Mpx/s)",
+                "iPIM(Mpx/s)", "speedup");
+    std::vector<f64> speedups;
+    for (const std::string &name : allBenchmarkNames()) {
+        IpimRun run = runIpim(name, benchWidth(), benchHeight(), cfg);
+        GpuRunEstimate gpu = runGpu(name, benchWidth(), benchHeight());
+        f64 px = f64(run.pixels);
+        f64 gpuTput = px / gpu.seconds / 1e6;
+        f64 ipimSeconds = run.scaledSeconds();
+        f64 ipimTput = px / ipimSeconds / 1e6;
+        f64 speedup = gpu.seconds / ipimSeconds;
+        speedups.push_back(speedup);
+        std::printf("%-15s %12.1f %12.1f %8.2fx\n", name.c_str(),
+                    gpuTput, ipimTput, speedup);
+    }
+    std::printf("%-15s %12s %12s %8.2fx\n", "geomean", "", "",
+                geomean(speedups));
+    std::printf("%-15s %12s %12s %8.2fx   (paper)\n", "paper", "", "",
+                11.02);
+    return 0;
+}

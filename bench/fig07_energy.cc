@@ -1,0 +1,40 @@
+/**
+ * Regenerates Fig. 7: energy of iPIM vs the GPU per benchmark and the
+ * average energy saving.  Paper reference: 79.49% average saving
+ * (89.26% single-stage, 66.81% multi-stage).
+ */
+#include "bench_common.h"
+
+using namespace ipim;
+using namespace ipim::bench;
+
+int
+main()
+{
+    printHeader("Fig. 7", "energy comparison iPIM vs GPU");
+    HardwareConfig cfg = HardwareConfig::benchCube();
+    std::printf("%-15s %12s %12s %9s\n", "benchmark", "GPU(mJ)",
+                "iPIM(mJ)", "saving%");
+    f64 savingSum = 0, singleSum = 0, multiSum = 0;
+    int n = 0, nSingle = 0, nMulti = 0;
+    for (const std::string &name : allBenchmarkNames()) {
+        BenchmarkApp app = makeBenchmark(name, benchWidth(),
+                                         benchHeight());
+        IpimRun run = runIpim(name, benchWidth(), benchHeight(), cfg);
+        GpuRunEstimate gpu = runGpu(name, benchWidth(), benchHeight());
+        f64 saving = 100.0 * (1.0 - run.energy.total() / gpu.joules);
+        std::printf("%-15s %12.3f %12.3f %9.2f\n", name.c_str(),
+                    gpu.joules * 1e3, run.energy.total() * 1e3, saving);
+        savingSum += saving;
+        (app.multiStage ? multiSum : singleSum) += saving;
+        (app.multiStage ? nMulti : nSingle) += 1;
+        ++n;
+    }
+    std::printf("%-15s %12s %12s %9.2f\n", "average", "", "",
+                savingSum / n);
+    std::printf("%-15s %12s %12s %9.2f / %.2f\n", "single/multi", "", "",
+                singleSum / nSingle, multiSum / nMulti);
+    std::printf("%-15s %12s %12s %9.2f   (paper; 89.26/66.81)\n",
+                "paper", "", "", 79.49);
+    return 0;
+}

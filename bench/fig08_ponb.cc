@@ -1,0 +1,42 @@
+/**
+ * Regenerates Fig. 8: iPIM's near-bank design vs the process-on-base-die
+ * (PonB) solution, where all bank traffic is serialized over the shared
+ * per-vault TSVs.  Paper reference: 3.61x speedup, 56.71% energy saving.
+ */
+#include "bench_common.h"
+
+using namespace ipim;
+using namespace ipim::bench;
+
+int
+main()
+{
+    printHeader("Fig. 8", "near-bank iPIM vs process-on-base-die");
+    HardwareConfig nearCfg = HardwareConfig::benchCube();
+    HardwareConfig ponbCfg = HardwareConfig::benchCube();
+    ponbCfg.processOnBaseDie = true;
+
+    std::printf("%-15s %11s %11s %9s %9s\n", "benchmark", "iPIM(ms)",
+                "PonB(ms)", "speedup", "energy-sv%");
+    std::vector<f64> speedups;
+    f64 savingSum = 0;
+    int n = 0;
+    for (const std::string &name : allBenchmarkNames()) {
+        IpimRun a = runIpim(name, benchWidth(), benchHeight(), nearCfg);
+        IpimRun b = runIpim(name, benchWidth(), benchHeight(), ponbCfg);
+        f64 speedup = f64(b.cycles) / f64(a.cycles);
+        f64 saving =
+            100.0 * (1.0 - a.energy.total() / b.energy.total());
+        speedups.push_back(speedup);
+        savingSum += saving;
+        ++n;
+        std::printf("%-15s %11.3f %11.3f %8.2fx %9.2f\n", name.c_str(),
+                    a.seconds() * 1e3, b.seconds() * 1e3, speedup,
+                    saving);
+    }
+    std::printf("%-15s %11s %11s %8.2fx %9.2f\n", "geomean/avg", "", "",
+                geomean(speedups), savingSum / n);
+    std::printf("%-15s %11s %11s %8.2fx %9.2f   (paper)\n", "paper", "",
+                "", 3.61, 56.71);
+    return 0;
+}

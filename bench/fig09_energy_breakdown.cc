@@ -1,0 +1,38 @@
+/**
+ * Regenerates Fig. 9: the energy breakdown of iPIM programs into DRAM,
+ * SIMD unit, AddrRF, DataRF, PGSM, and Others (data movement + control
+ * core).  Paper reference: 89.17% of energy is spent on the PIM dies.
+ */
+#include "bench_common.h"
+
+using namespace ipim;
+using namespace ipim::bench;
+
+int
+main()
+{
+    printHeader("Fig. 9", "energy breakdown of iPIM programs");
+    HardwareConfig cfg = HardwareConfig::benchCube();
+    std::printf("%-15s %7s %7s %7s %7s %7s %7s %8s\n", "benchmark",
+                "DRAM%", "SIMD%", "ARF%", "DRF%", "PGSM%", "Other%",
+                "PIMdie%");
+    f64 pimSum = 0;
+    int n = 0;
+    for (const std::string &name : allBenchmarkNames()) {
+        IpimRun run = runIpim(name, benchWidth(), benchHeight(), cfg);
+        const EnergyBreakdown &e = run.energy;
+        f64 t = e.total();
+        std::printf("%-15s %7.2f %7.2f %7.2f %7.2f %7.2f %7.2f %8.2f\n",
+                    name.c_str(), 100 * e.dram / t, 100 * e.simdUnit / t,
+                    100 * e.addrRf / t, 100 * e.dataRf / t,
+                    100 * e.pgsm / t, 100 * e.others / t,
+                    100 * e.pimDieFraction());
+        pimSum += 100 * e.pimDieFraction();
+        ++n;
+    }
+    std::printf("%-15s %7s %7s %7s %7s %7s %7s %8.2f\n", "average", "",
+                "", "", "", "", "", pimSum / n);
+    std::printf("%-15s %7s %7s %7s %7s %7s %7s %8.2f   (paper)\n",
+                "paper", "", "", "", "", "", "", 89.17);
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * Regenerates Fig. 10: sensitivity of execution time to (a) the number
+ * of DataRF registers per PE (16..128, normalized to 128) and (b) the
+ * PGSM size (2..8 KiB, normalized to 8 KiB).  Paper reference drops:
+ * RF=16/32/64 -> 46.8%/26.8%/9.5%; PGSM=2K/4K -> 58.9%/39.0%.
+ *
+ * Small DataRFs force the register allocator to spill to DRAM; small
+ * PGSMs force smaller tiles (more halo refetch and loop overhead).
+ */
+#include "bench_common.h"
+
+using namespace ipim;
+using namespace ipim::bench;
+
+namespace {
+
+/** Benchmarks with enough register/scratchpad pressure to react. */
+const std::vector<std::string> kSubset = {"Blur", "StencilChain",
+                                          "LocalLaplacian"};
+
+f64
+avgCycles(const HardwareConfig &cfg, int w, int h, int tile)
+{
+    f64 total = 0;
+    for (const std::string &name : kSubset) {
+        BenchmarkApp app = makeBenchmark(name, w, h);
+        // Re-tile every PGSM stage so the footprint fits the swept
+        // scratchpad size.
+        if (tile > 0) {
+            PipelineAnalysis pa = analyzePipeline(app.def);
+            for (const StageInfo &s : pa.stages)
+                if (!s.func->isInput() && s.func->usesPgsm())
+                    s.func->ipimTile(tile, tile);
+        }
+        StatsRegistry stats;
+        LaunchResult res =
+            runPipeline(app.def, cfg, app.inputs, {}, &stats);
+        total += f64(res.cycles);
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Fig. 10", "sensitivity to DataRF size and PGSM size");
+    int w = benchWidth() / 2, h = benchHeight() / 2;
+    std::printf("subset: Blur, StencilChain, LocalLaplacian @ %dx%d\n\n",
+                w, h);
+
+    std::printf("(a) registers per PE (normalized time, RF=128 = 1.0)\n");
+    std::printf("%8s %12s %12s\n", "RF", "cycles", "norm");
+    f64 base = 0;
+    std::vector<std::pair<int, f64>> rf;
+    for (int regs : {128, 64, 32, 16}) {
+        HardwareConfig cfg = HardwareConfig::benchCube();
+        cfg.dataRfBytes = u32(regs) * kVectorBytes;
+        f64 c = avgCycles(cfg, w, h, 0);
+        if (regs == 128)
+            base = c;
+        rf.push_back({regs, c});
+    }
+    for (auto &[regs, c] : rf)
+        std::printf("%8d %12.0f %12.3f\n", regs, c, c / base);
+    std::printf("paper drops vs RF=128: 16:+46.8%% 32:+26.8%% "
+                "64:+9.5%%\n\n");
+
+    std::printf("(b) PGSM size (normalized time, 8KiB = 1.0)\n");
+    std::printf("%8s %8s %12s %12s\n", "PGSM", "tile", "cycles", "norm");
+    // Smaller scratchpads force smaller tiles (more redundant halo).
+    struct P
+    {
+        u32 bytes;
+        int tile;
+    };
+    f64 base8 = 0;
+    std::vector<std::pair<P, f64>> pg;
+    for (P p : {P{8u << 10, 8}, P{4u << 10, 4}, P{2u << 10, 4}}) {
+        HardwareConfig cfg = HardwareConfig::benchCube();
+        cfg.pgsmBytes = p.bytes;
+        f64 c = avgCycles(cfg, w, h, p.tile);
+        if (p.bytes == (8u << 10))
+            base8 = c;
+        pg.push_back({p, c});
+    }
+    for (auto &[p, c] : pg)
+        std::printf("%7uK %8d %12.0f %12.3f\n", p.bytes >> 10, p.tile, c,
+                    c / base8);
+    std::printf("paper drops vs 8K: 2K:+58.9%% 4K:+39.0%%\n");
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * Regenerates Fig. 11: dynamic instruction breakdown of iPIM programs by
+ * SIMB ISA category.  Paper reference: index calculation averages 23.25%
+ * of the instruction count; inter-vault movement is only 1.44%.
+ */
+#include "bench_common.h"
+
+using namespace ipim;
+using namespace ipim::bench;
+
+int
+main()
+{
+    printHeader("Fig. 11", "instruction breakdown of iPIM programs");
+    HardwareConfig cfg = HardwareConfig::benchCube();
+    std::printf("%-15s %7s %7s %7s %7s %7s %7s\n", "benchmark", "comp%",
+                "idx%", "intra%", "inter%", "ctrl%", "sync%");
+    f64 idxSum = 0, interSum = 0;
+    int n = 0;
+    for (const std::string &name : allBenchmarkNames()) {
+        IpimRun run = runIpim(name, benchWidth(), benchHeight(), cfg);
+        f64 total = run.stats.get("core.issued");
+        auto pct = [&](const char *cat) {
+            return 100.0 * run.stats.get(std::string("inst.") + cat) /
+                   total;
+        };
+        std::printf("%-15s %7.2f %7.2f %7.2f %7.2f %7.2f %7.2f\n",
+                    name.c_str(), pct("computation"), pct("index_calc"),
+                    pct("intra_vault"), pct("inter_vault"),
+                    pct("control_flow"), pct("sync"));
+        idxSum += pct("index_calc");
+        interSum += pct("inter_vault");
+        ++n;
+    }
+    std::printf("%-15s %7s %7.2f %7s %7.2f %7s %7s\n", "average", "",
+                idxSum / n, "", interSum / n, "", "");
+    std::printf("%-15s %7s %7.2f %7s %7.2f %7s %7s   (paper)\n",
+                "paper", "", 23.25, "", 1.44, "", "");
+    return 0;
+}

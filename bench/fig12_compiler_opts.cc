@@ -1,0 +1,44 @@
+/**
+ * Regenerates Fig. 12: effectiveness of the backend optimizations.
+ * Normalized speedup of the fully optimized compiler over:
+ *   baseline1 = min regalloc, no reordering, no memory-order (paper 3.19x)
+ *   baseline2 = opt with min regalloc                        (paper 2.59x)
+ *   baseline3 = opt without instruction reordering           (paper 2.74x)
+ *   baseline4 = opt without memory-order enforcement         (paper 1.30x)
+ */
+#include "bench_common.h"
+
+using namespace ipim;
+using namespace ipim::bench;
+
+int
+main()
+{
+    printHeader("Fig. 12", "effectiveness of compiler optimizations");
+    HardwareConfig cfg = HardwareConfig::benchCube();
+    int w = benchWidth() / 2, h = benchHeight() / 2;
+    std::printf("(image %dx%d for the 5-way sweep)\n", w, h);
+    std::printf("%-15s %9s %9s %9s %9s\n", "benchmark", "vs base1",
+                "vs base2", "vs base3", "vs base4");
+    const CompilerOptions baselines[] = {
+        CompilerOptions::baseline1(), CompilerOptions::baseline2(),
+        CompilerOptions::baseline3(), CompilerOptions::baseline4()};
+    std::vector<f64> speedups[4];
+    for (const std::string &name : allBenchmarkNames()) {
+        IpimRun opt = runIpim(name, w, h, cfg, CompilerOptions::opt());
+        f64 s[4];
+        for (int b = 0; b < 4; ++b) {
+            IpimRun base = runIpim(name, w, h, cfg, baselines[b]);
+            s[b] = f64(base.cycles) / f64(opt.cycles);
+            speedups[b].push_back(s[b]);
+        }
+        std::printf("%-15s %8.2fx %8.2fx %8.2fx %8.2fx\n", name.c_str(),
+                    s[0], s[1], s[2], s[3]);
+    }
+    std::printf("%-15s %8.2fx %8.2fx %8.2fx %8.2fx\n", "geomean",
+                geomean(speedups[0]), geomean(speedups[1]),
+                geomean(speedups[2]), geomean(speedups[3]));
+    std::printf("%-15s %8.2fx %8.2fx %8.2fx %8.2fx   (paper)\n",
+                "paper", 3.19, 2.59, 2.74, 1.30);
+    return 0;
+}

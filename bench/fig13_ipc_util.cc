@@ -1,0 +1,48 @@
+/**
+ * Regenerates Fig. 13: IPC of the control cores and utilization of the
+ * key PE components.  Paper reference: average IPC 0.63; benchmarks with
+ * heavy index calculation exceed 40% AddrRF utilization.
+ */
+#include "bench_common.h"
+
+using namespace ipim;
+using namespace ipim::bench;
+
+int
+main()
+{
+    printHeader("Fig. 13", "IPC and component utilization");
+    HardwareConfig cfg = HardwareConfig::benchCube();
+    std::printf("%-15s %6s %8s %8s %8s %8s\n", "benchmark", "IPC",
+                "SIMD%", "IntALU%", "AddrRF%", "DRAMbw%");
+    f64 ipcSum = 0;
+    int n = 0;
+    for (const std::string &name : allBenchmarkNames()) {
+        IpimRun run = runIpim(name, benchWidth(), benchHeight(), cfg);
+        const StatsRegistry &s = run.stats;
+        f64 coreCycles = s.get("core.cycles");
+        f64 ipc = s.get("core.issued") / coreCycles;
+        f64 numPes = f64(cfg.pesPerCube()) * cfg.cubes;
+        f64 peCycles = f64(run.cycles) * numPes;
+        // Busy-cycle estimates from event counts and unit latencies.
+        f64 simdUtil = s.get("pe.simdOp") * cfg.latency.addSub / peCycles;
+        f64 aluUtil = s.get("pe.intAluOp") *
+                      (cfg.latency.intAlu + cfg.latency.addrRf) /
+                      peCycles;
+        f64 arfUtil = s.get("pe.arfAccess") * cfg.latency.addrRf /
+                      peCycles;
+        // Achieved bank bandwidth vs peak (every bank can move 16B per
+        // tCCD cycles).
+        f64 peakBeats = peCycles / cfg.timing.tCCD;
+        f64 bwUtil =
+            (s.get("dram.rd") + s.get("dram.wr")) / peakBeats;
+        std::printf("%-15s %6.2f %8.2f %8.2f %8.2f %8.2f\n",
+                    name.c_str(), ipc, 100 * simdUtil, 100 * aluUtil,
+                    100 * arfUtil, 100 * bwUtil);
+        ipcSum += ipc;
+        ++n;
+    }
+    std::printf("%-15s %6.2f\n", "average", ipcSum / n);
+    std::printf("%-15s %6.2f   (paper)\n", "paper", 0.63);
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * google-benchmark microbenchmarks of the simulator substrates and the
+ * compiler backend: DRAM controller service rate under both schedulers
+ * and page policies, mesh saturation throughput, PE SIMD issue, and
+ * compiler pass cost on a real kernel.
+ */
+#include <benchmark/benchmark.h>
+
+#include "apps/benchmarks.h"
+#include "compiler/codegen.h"
+#include "dram/memory_controller.h"
+#include "noc/mesh.h"
+#include "runtime/runtime.h"
+
+namespace ipim {
+namespace {
+
+void
+BM_DramController(benchmark::State &state)
+{
+    HardwareConfig cfg = HardwareConfig::paper();
+    cfg.schedPolicy =
+        state.range(0) ? SchedPolicy::kFrFcfs : SchedPolicy::kFcfs;
+    cfg.pagePolicy =
+        state.range(1) ? PagePolicy::kOpenPage : PagePolicy::kClosePage;
+    StatsRegistry stats;
+    ActivationLimiter lim(cfg.timing);
+    MemoryController mc(cfg, 0, &lim, &stats);
+    u64 id = 1;
+    Cycle now = 0;
+    u64 served = 0;
+    for (auto _ : state) {
+        if (mc.canAccept()) {
+            MemRequest r;
+            r.id = id;
+            r.peInPg = u32(id % cfg.pesPerPg);
+            // Mix of row hits and misses.
+            r.addr = (id % 8) * 16 + (id % 3) * cfg.dramRowBytes;
+            r.write = id % 4 == 0;
+            mc.enqueue(r);
+            ++id;
+        }
+        mc.tick(now++);
+        served += mc.completions().size();
+        mc.completions().clear();
+    }
+    state.counters["reqPerKcycle"] =
+        benchmark::Counter(f64(served) / f64(now) * 1000.0);
+}
+BENCHMARK(BM_DramController)
+    ->Args({1, 1})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({0, 0});
+
+void
+BM_MeshSaturation(benchmark::State &state)
+{
+    StatsRegistry stats;
+    Mesh m(4, 4, &stats);
+    u64 delivered = 0;
+    u64 tag = 0;
+    for (auto _ : state) {
+        Packet p;
+        p.srcVault = u32(tag % 16);
+        p.dstVault = u32((tag * 7) % 16);
+        p.tag = tag++;
+        m.inject(p);
+        m.tick();
+        for (u32 v = 0; v < 16; ++v) {
+            delivered += m.delivered(v).size();
+            m.delivered(v).clear();
+        }
+    }
+    state.counters["pktPerCycle"] =
+        benchmark::Counter(f64(delivered), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MeshSaturation);
+
+void
+BM_VaultSimdIssue(benchmark::State &state)
+{
+    // Dependent-free comp stream: measures simulator cycles/sec and the
+    // core's best-case issue behavior.
+    HardwareConfig cfg = HardwareConfig::tiny();
+    Device dev(cfg);
+    std::vector<Instruction> prog;
+    u32 mask = (1u << cfg.pesPerVault()) - 1;
+    for (int i = 0; i < 32; ++i)
+        prog.push_back(Instruction::comp(
+            AluOp::kAdd, DType::kF32, CompMode::kVecVec, u16(i % 48),
+            u16((i + 7) % 48), u16((i + 13) % 48), kFullVecMask, mask));
+    prog.push_back(Instruction::halt());
+    for (auto _ : state) {
+        dev.loadProgramAll(prog);
+        benchmark::DoNotOptimize(dev.run());
+    }
+}
+BENCHMARK(BM_VaultSimdIssue);
+
+void
+BM_CompileBlurKernel(benchmark::State &state)
+{
+    BenchmarkApp app = makeBenchmark("Blur", 256, 128);
+    HardwareConfig cfg = HardwareConfig::benchCube();
+    for (auto _ : state) {
+        CompiledPipeline cp = compilePipeline(app.def, cfg);
+        benchmark::DoNotOptimize(cp.totalInstructions());
+    }
+}
+BENCHMARK(BM_CompileBlurKernel)->Unit(benchmark::kMillisecond);
+
+void
+BM_EndToEndBrighten(benchmark::State &state)
+{
+    BenchmarkApp app = makeBenchmark("Brighten", 128, 64);
+    HardwareConfig cfg = HardwareConfig::tiny();
+    for (auto _ : state) {
+        LaunchResult res = runPipeline(app.def, cfg, app.inputs);
+        benchmark::DoNotOptimize(res.cycles);
+    }
+}
+BENCHMARK(BM_EndToEndBrighten)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace ipim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,440 @@
+#include "apps/benchmarks.h"
+
+#include "common/logging.h"
+
+namespace ipim {
+
+namespace {
+
+Var vx("x"), vy("y");
+
+BenchmarkApp
+wrap(const std::string &name, FuncPtr out, int w, int h,
+     std::map<std::string, Image> inputs, bool multi)
+{
+    BenchmarkApp app;
+    app.name = name;
+    app.def.name = name;
+    app.def.output = out;
+    app.def.width = w;
+    app.def.height = h;
+    app.inputs = std::move(inputs);
+    app.multiStage = multi;
+    return app;
+}
+
+} // namespace
+
+BenchmarkApp
+makeBrighten(int w, int h, u64 seed)
+{
+    FuncPtr in = Func::input("in");
+    FuncPtr out = Func::make("brighten");
+    out->define(vx, vy, Expr(1.2f) * (*in)(vx, vy));
+    out->computeRoot().ipimTile(8, 8).vectorize(4);
+    return wrap("Brighten", out, w, h,
+                {{"in", Image::synthetic(w, h, seed)}}, false);
+}
+
+BenchmarkApp
+makeBlur(int w, int h, u64 seed)
+{
+    FuncPtr in = Func::input("in");
+    FuncPtr bx = Func::make("blur_x"); // inline (fused into blur_y)
+    bx->define(vx, vy,
+               ((*in)(vx, vy) + (*in)(vx + 1, vy) + (*in)(vx + 2, vy)) /
+                   3.0f);
+    FuncPtr out = Func::make("blur_y");
+    out->define(vx, vy,
+                ((*bx)(vx, vy) + (*bx)(vx, vy + 1) + (*bx)(vx, vy + 2)) /
+                    3.0f);
+    out->computeRoot().ipimTile(8, 8).loadPgsm().vectorize(4);
+    return wrap("Blur", out, w, h,
+                {{"in", Image::synthetic(w, h, seed)}}, false);
+}
+
+BenchmarkApp
+makeDownsample(int w, int h, u64 seed)
+{
+    FuncPtr in = Func::input("in");
+    FuncPtr d = Func::make("down_x"); // inline
+    d->define(vx, vy,
+              ((*in)(vx * 2 - 1, vy) + (*in)(vx * 2, vy) * 2.0f +
+               (*in)(vx * 2 + 1, vy)) /
+                  4.0f);
+    FuncPtr out = Func::make("down_y");
+    out->define(vx, vy,
+                ((*d)(vx, vy * 2 - 1) + (*d)(vx, vy * 2) * 2.0f +
+                 (*d)(vx, vy * 2 + 1)) /
+                    4.0f);
+    out->computeRoot().ipimTile(8, 8).loadPgsm().vectorize(4);
+    // Input is 2x the output in each dimension.
+    return wrap("Downsample", out, w, h,
+                {{"in", Image::synthetic(2 * w, 2 * h, seed)}}, false);
+}
+
+BenchmarkApp
+makeUpsample(int w, int h, u64 seed)
+{
+    FuncPtr in = Func::input("in");
+    FuncPtr u = Func::make("up_x"); // inline
+    u->define(vx, vy,
+              ((*in)(vx / 2, vy) + (*in)((vx + 1) / 2, vy)) / 2.0f);
+    FuncPtr out = Func::make("up_y");
+    out->define(vx, vy,
+                ((*u)(vx, vy / 2) + (*u)(vx, (vy + 1) / 2)) / 2.0f);
+    out->computeRoot().ipimTile(16, 8).loadPgsm().vectorize(4);
+    return wrap("Upsample", out, w, h,
+                {{"in", Image::synthetic(w / 2, h / 2, seed)}}, false);
+}
+
+BenchmarkApp
+makeShift(int w, int h, u64 seed)
+{
+    FuncPtr in = Func::input("in");
+    FuncPtr out = Func::make("shift");
+    out->define(vx, vy, (*in)(vx - 4, vy - 4));
+    out->computeRoot().ipimTile(8, 8).loadPgsm().vectorize(4);
+    return wrap("Shift", out, w, h,
+                {{"in", Image::synthetic(w, h, seed)}}, false);
+}
+
+BenchmarkApp
+makeHistogram(int w, int h, u64 seed)
+{
+    constexpr int kBins = 256;
+    FuncPtr in = Func::input("in");
+    FuncPtr hist = Func::make("histogram", 1);
+    Var b("b");
+    hist->define(b, Expr(0.0f));
+    RDom r(w, h);
+    UpdateDef u{.idxX = clamp(Expr::castI((*in)(r.x, r.y) *
+                                          f32(kBins)),
+                              Expr(0), Expr(kBins - 1)),
+                .idxY = Expr(),
+                .value = Expr(1.0f),
+                .dom = r};
+    hist->defineUpdate(u);
+    hist->computeRoot();
+    BenchmarkApp app = wrap("Histogram", hist, kBins, 1,
+                            {{"in", Image::synthetic(w, h, seed)}},
+                            false);
+    return app;
+}
+
+BenchmarkApp
+makeStencilChain(int w, int h, u64 seed)
+{
+    constexpr int kStages = 32;
+    FuncPtr in = Func::input("in");
+    FuncPtr prev = in;
+    FuncPtr out;
+    for (int s = 0; s < kStages; ++s) {
+        FuncPtr f = Func::make("stencil" + std::to_string(s));
+        // 3x3 box-ish stencil with a center weight.
+        Expr sum = (*prev)(vx, vy) * 2.0f;
+        for (int dy = -1; dy <= 1; ++dy)
+            for (int dx = -1; dx <= 1; ++dx)
+                sum = sum + (*prev)(vx + dx, vy + dy);
+        f->define(vx, vy, sum / 10.0f);
+        f->computeRoot().ipimTile(8, 8).loadPgsm().vectorize(4);
+        prev = f;
+        out = f;
+    }
+    return wrap("StencilChain", out, w, h,
+                {{"in", Image::synthetic(w, h, seed)}}, true);
+}
+
+BenchmarkApp
+makeInterpolate(int w, int h, u64 seed)
+{
+    // 12 stages: a 3-level separable down pyramid (6 root stages) and a
+    // coarse-to-fine separable up/blend chain (6 root stages).
+    FuncPtr in = Func::input("in");
+
+    auto downX = [&](FuncPtr src, const std::string &name) {
+        FuncPtr f = Func::make(name);
+        f->define(vx, vy,
+                  ((*src)(vx * 2 - 1, vy) + (*src)(vx * 2, vy) * 2.0f +
+                   (*src)(vx * 2 + 1, vy)) /
+                      4.0f);
+        f->computeRoot().ipimTile(8, 8).loadPgsm().vectorize(4);
+        return f;
+    };
+    auto downY = [&](FuncPtr src, const std::string &name) {
+        FuncPtr f = Func::make(name);
+        f->define(vx, vy,
+                  ((*src)(vx, vy * 2 - 1) + (*src)(vx, vy * 2) * 2.0f +
+                   (*src)(vx, vy * 2 + 1)) /
+                      4.0f);
+        f->computeRoot().ipimTile(8, 8).loadPgsm().vectorize(4);
+        return f;
+    };
+    auto upX = [&](FuncPtr src, const std::string &name) {
+        FuncPtr f = Func::make(name);
+        f->define(vx, vy,
+                  ((*src)(vx / 2, vy) + (*src)((vx + 1) / 2, vy)) / 2.0f);
+        f->computeRoot().ipimTile(16, 8).loadPgsm().vectorize(4);
+        return f;
+    };
+    auto upYBlend = [&](FuncPtr coarse, FuncPtr fine,
+                        const std::string &name) {
+        FuncPtr f = Func::make(name);
+        Expr up = ((*coarse)(vx, vy / 2) + (*coarse)(vx, (vy + 1) / 2)) /
+                  2.0f;
+        f->define(vx, vy, up * 0.6f + (*fine)(vx, vy) * 0.4f);
+        f->computeRoot().ipimTile(16, 8).loadPgsm().vectorize(4);
+        return f;
+    };
+
+    FuncPtr d1x = downX(in, "d1x");
+    FuncPtr d1 = downY(d1x, "d1");
+    FuncPtr d2x = downX(d1, "d2x");
+    FuncPtr d2 = downY(d2x, "d2");
+    FuncPtr d3x = downX(d2, "d3x");
+    FuncPtr d3 = downY(d3x, "d3");
+
+    FuncPtr u2x = upX(d3, "u2x");
+    FuncPtr u2 = upYBlend(u2x, d2, "u2");
+    FuncPtr u1x = upX(u2, "u1x");
+    FuncPtr u1 = upYBlend(u1x, d1, "u1");
+    FuncPtr u0x = upX(u1, "u0x");
+    FuncPtr out = upYBlend(u0x, in, "interp_out");
+
+    return wrap("Interpolate", out, w, h,
+                {{"in", Image::synthetic(w, h, seed)}}, true);
+}
+
+BenchmarkApp
+makeBilateralGrid(int w, int h, u64 seed)
+{
+    // Scatter-free bilateral grid with sigma_s = 8 and NZ = 8 intensity
+    // planes, stored plane-interleaved: grid(xc, yc*NZ + z).
+    constexpr int kS = 8;
+    constexpr int kNz = 8;
+
+    FuncPtr in = Func::input("in");
+    in->ipimTile(8, 8);
+
+    auto tent = [&](Expr val, Expr z) {
+        // max(0, 1 - |val*(NZ-1) - z|)
+        Expr d = val * f32(kNz - 1) - z;
+        Expr ad = max(d, Expr(0.0f) - d);
+        return max(Expr(0.0f), Expr(1.0f) - ad);
+    };
+
+    auto makeGrid = [&](bool weighted, const std::string &name) {
+        FuncPtr g = Func::make(name);
+        Expr zc = Expr::castF(vy - (vy / kNz) * kNz); // y mod NZ
+        Expr sum = Expr(0.0f);
+        for (int dy = 0; dy < kS; ++dy) {
+            for (int dx = 0; dx < kS; ++dx) {
+                Expr v = (*in)(vx * kS + dx, (vy / kNz) * kS + dy);
+                Expr wgt = tent(v, zc);
+                sum = sum + (weighted ? wgt * v : wgt);
+            }
+        }
+        g->define(vx, vy, sum);
+        g->computeRoot().ipimTile(4, 4).loadPgsm().vectorize(4);
+        return g;
+    };
+
+    FuncPtr gridW = makeGrid(false, "grid_w");
+    FuncPtr gridV = makeGrid(true, "grid_v");
+
+    auto blur = [&](FuncPtr src, const std::string &name) {
+        FuncPtr f = Func::make(name);
+        // 3x3 over (xc, yc): yc +- 1 is yp +- NZ in plane-interleaved
+        // storage; z is untouched.
+        Expr sum = (*src)(vx, vy) * 4.0f;
+        sum = sum + (*src)(vx - 1, vy) + (*src)(vx + 1, vy);
+        sum = sum + (*src)(vx, vy - kNz) + (*src)(vx, vy + kNz);
+        f->define(vx, vy, sum / 8.0f);
+        f->computeRoot().ipimTile(4, 4).loadPgsm().vectorize(4);
+        return f;
+    };
+
+    FuncPtr gridWb = blur(gridW, "grid_w_blur");
+    FuncPtr gridVb = blur(gridV, "grid_v_blur");
+
+    FuncPtr out = Func::make("bilateral_out");
+    {
+        Expr val = (*in)(vx, vy);
+        Expr num = Expr(0.0f);
+        Expr den = Expr(1e-4f);
+        for (int z = 0; z < kNz; ++z) {
+            Expr wz = tent(val, Expr(f32(z)));
+            num = num + wz * (*gridVb)(vx / kS, (vy / kS) * kNz + z);
+            den = den + wz * (*gridWb)(vx / kS, (vy / kS) * kNz + z);
+        }
+        out->define(vx, vy, num / den);
+        out->computeRoot().ipimTile(32, 8).loadPgsm().vectorize(4);
+    }
+
+    return wrap("BilateralGrid", out, w, h,
+                {{"in", Image::synthetic(w, h, seed)}}, true);
+}
+
+BenchmarkApp
+makeLocalLaplacian(int w, int h, u64 seed)
+{
+    // A 23-root-stage local-Laplacian-style tone mapper: a 2-level
+    // Gaussian pyramid of the input, K=4 remapped copies with their own
+    // pyramids, per-level tent-weighted Laplacian blending, and a
+    // collapse.  Structurally faithful to Paris et al.; see DESIGN.md.
+    constexpr int kK = 4;
+
+    FuncPtr in = Func::input("in");
+
+    auto downX = [&](FuncPtr src, const std::string &name) {
+        FuncPtr f = Func::make(name);
+        f->define(vx, vy,
+                  ((*src)(vx * 2 - 1, vy) + (*src)(vx * 2, vy) * 2.0f +
+                   (*src)(vx * 2 + 1, vy)) /
+                      4.0f);
+        f->computeRoot().ipimTile(8, 8).loadPgsm().vectorize(4);
+        return f;
+    };
+    auto downY = [&](FuncPtr src, const std::string &name) {
+        FuncPtr f = Func::make(name);
+        f->define(vx, vy,
+                  ((*src)(vx, vy * 2 - 1) + (*src)(vx, vy * 2) * 2.0f +
+                   (*src)(vx, vy * 2 + 1)) /
+                      4.0f);
+        f->computeRoot().ipimTile(8, 8).loadPgsm().vectorize(4);
+        return f;
+    };
+
+    auto tentK = [&](Expr g, int k) {
+        Expr d = g * f32(kK - 1) - Expr(f32(k));
+        Expr ad = max(d, Expr(0.0f) - d);
+        return max(Expr(0.0f), Expr(1.0f) - ad);
+    };
+
+    // Gaussian pyramid of the input: 2 stages (separable -> 2 roots).
+    FuncPtr g1x = downX(in, "llf_g1x");
+    FuncPtr g1 = downY(g1x, "llf_g1");
+
+    // K remapped images (4 roots) and their level-1 pyramids (8 roots).
+    std::vector<FuncPtr> rk, rk1;
+    for (int k = 0; k < kK; ++k) {
+        FuncPtr r = Func::make("llf_remap" + std::to_string(k));
+        // Contrast-boosting remap around the level value k/(K-1).
+        Expr v = (*in)(vx, vy);
+        Expr ref = Expr(f32(k) / f32(kK - 1));
+        r->define(vx, vy, ref + (v - ref) * 1.5f);
+        r->computeRoot().ipimTile(8, 8).loadPgsm().vectorize(4);
+        rk.push_back(r);
+        FuncPtr rx = downX(r, "llf_r" + std::to_string(k) + "x");
+        FuncPtr r1 = downY(rx, "llf_r" + std::to_string(k) + "1");
+        rk1.push_back(r1);
+    }
+
+    // Level-0 Laplacian blend (1 root): lap0_k = rk - up(rk1).
+    FuncPtr blend0 = Func::make("llf_blend0");
+    {
+        Expr g = (*in)(vx, vy);
+        Expr sum = Expr(0.0f);
+        for (int k = 0; k < kK; ++k) {
+            Expr up = ((*rk1[k])(vx / 2, vy / 2) +
+                       (*rk1[k])((vx + 1) / 2, (vy + 1) / 2)) /
+                      2.0f;
+            Expr lap = (*rk[k])(vx, vy) - up;
+            sum = sum + tentK(g, k) * lap;
+        }
+        blend0->define(vx, vy, sum);
+        // Nine PGSM-resident inputs (in, 4 remaps, 4 level-1 pyramids):
+        // narrow tiles keep the scratchpad footprint under 8 KiB.
+        blend0->computeRoot().ipimTile(4, 8).loadPgsm().vectorize(4);
+    }
+
+    // Level-1 blend of the remapped gaussians (1 root).
+    FuncPtr blend1 = Func::make("llf_blend1");
+    {
+        Expr g = (*g1)(vx, vy);
+        Expr sum = Expr(0.0f);
+        for (int k = 0; k < kK; ++k)
+            sum = sum + tentK(g, k) * (*rk1[k])(vx, vy);
+        blend1->define(vx, vy, sum);
+        blend1->computeRoot().ipimTile(8, 8).loadPgsm().vectorize(4);
+    }
+
+    // Level-2: downsample the level-1 blend (2 roots), tone-remap the
+    // coarsest level (1 root), upsample it back (1 root), and fold it
+    // into the level-1 result (1 root).
+    FuncPtr d2x = downX(blend1, "llf_d2x");
+    FuncPtr d2 = downY(d2x, "llf_d2");
+    FuncPtr blend2 = Func::make("llf_blend2");
+    blend2->define(vx, vy,
+                   (*d2)(vx, vy) / ((*d2)(vx, vy) + Expr(0.8f)) * 1.6f);
+    blend2->computeRoot().ipimTile(8, 8).loadPgsm().vectorize(4);
+    FuncPtr up2x = Func::make("llf_up2x");
+    up2x->define(vx, vy,
+                 ((*blend2)(vx / 2, vy) + (*blend2)((vx + 1) / 2, vy)) /
+                     2.0f);
+    up2x->computeRoot().ipimTile(16, 8).loadPgsm().vectorize(4);
+    FuncPtr level1 = Func::make("llf_level1");
+    {
+        Expr up2 = ((*up2x)(vx, vy / 2) + (*up2x)(vx, (vy + 1) / 2)) /
+                   2.0f;
+        level1->define(vx, vy, (*blend1)(vx, vy) * 0.6f + up2 * 0.4f);
+        level1->computeRoot().ipimTile(16, 8).loadPgsm().vectorize(4);
+    }
+
+    // Separable upsample of the level-1 result (2 roots).
+    FuncPtr upx = Func::make("llf_upx");
+    upx->define(vx, vy,
+                ((*level1)(vx / 2, vy) + (*level1)((vx + 1) / 2, vy)) /
+                    2.0f);
+    upx->computeRoot().ipimTile(16, 8).loadPgsm().vectorize(4);
+
+    // Collapse (1 root): out = blend0 + up_y(upx) * 0.5 (tone scale).
+    FuncPtr out = Func::make("llf_out");
+    {
+        Expr up = ((*upx)(vx, vy / 2) + (*upx)(vx, (vy + 1) / 2)) / 2.0f;
+        out->define(vx, vy, (*blend0)(vx, vy) * 0.5f + up * 0.5f);
+        out->computeRoot().ipimTile(16, 8).loadPgsm().vectorize(4);
+    }
+
+    return wrap("LocalLaplacian", out, w, h,
+                {{"in", Image::synthetic(w, h, seed)}}, true);
+}
+
+const std::vector<std::string> &
+allBenchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "Brighten",      "Blur",        "Downsample", "Upsample",
+        "Shift",         "Histogram",   "BilateralGrid",
+        "Interpolate",   "LocalLaplacian", "StencilChain",
+    };
+    return names;
+}
+
+BenchmarkApp
+makeBenchmark(const std::string &name, int w, int h, u64 seed)
+{
+    if (name == "Brighten")
+        return makeBrighten(w, h, seed);
+    if (name == "Blur")
+        return makeBlur(w, h, seed);
+    if (name == "Downsample")
+        return makeDownsample(w, h, seed);
+    if (name == "Upsample")
+        return makeUpsample(w, h, seed);
+    if (name == "Shift")
+        return makeShift(w, h, seed);
+    if (name == "Histogram")
+        return makeHistogram(w, h, seed);
+    if (name == "BilateralGrid")
+        return makeBilateralGrid(w, h, seed);
+    if (name == "Interpolate")
+        return makeInterpolate(w, h, seed);
+    if (name == "LocalLaplacian")
+        return makeLocalLaplacian(w, h, seed);
+    if (name == "StencilChain")
+        return makeStencilChain(w, h, seed);
+    fatal("unknown benchmark '", name, "'");
+}
+
+} // namespace ipim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The image processing benchmarks of Table II, written against the
+ * Halide-like frontend with iPIM schedules (Listing 1 style).
+ *
+ * Single-stage: Brighten, Blur (GaussianBlur), Downsample, Upsample,
+ * Shift, Histogram.  Multi-stage: Bilateral Grid (5 stages), Interpolate
+ * (12 stages), Local Laplacian (23 stages), Stencil Chain (32 stages).
+ * DESIGN.md documents where a multi-stage pipeline is a structural
+ * approximation of the original algorithm.
+ */
+#ifndef IPIM_APPS_BENCHMARKS_H_
+#define IPIM_APPS_BENCHMARKS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/image.h"
+#include "compiler/func.h"
+
+namespace ipim {
+
+/** One ready-to-run benchmark: pipeline + synthetic inputs. */
+struct BenchmarkApp
+{
+    std::string name;
+    PipelineDef def;
+    std::map<std::string, Image> inputs;
+    bool multiStage = false;
+};
+
+BenchmarkApp makeBrighten(int w, int h, u64 seed = 1);
+BenchmarkApp makeBlur(int w, int h, u64 seed = 1);
+BenchmarkApp makeDownsample(int w, int h, u64 seed = 1);
+BenchmarkApp makeUpsample(int w, int h, u64 seed = 1);
+BenchmarkApp makeShift(int w, int h, u64 seed = 1);
+BenchmarkApp makeHistogram(int w, int h, u64 seed = 1);
+BenchmarkApp makeBilateralGrid(int w, int h, u64 seed = 1);
+BenchmarkApp makeInterpolate(int w, int h, u64 seed = 1);
+BenchmarkApp makeLocalLaplacian(int w, int h, u64 seed = 1);
+BenchmarkApp makeStencilChain(int w, int h, u64 seed = 1);
+
+/** Table II order. */
+const std::vector<std::string> &allBenchmarkNames();
+
+/** Factory by name; throws FatalError for unknown names. */
+BenchmarkApp makeBenchmark(const std::string &name, int w, int h,
+                           u64 seed = 1);
+
+} // namespace ipim
+
+#endif // IPIM_APPS_BENCHMARKS_H_

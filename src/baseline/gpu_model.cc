@@ -1,0 +1,130 @@
+#include "baseline/gpu_model.h"
+
+#include <functional>
+#include <set>
+
+#include "common/logging.h"
+
+namespace ipim {
+
+namespace {
+
+/** Count FP and INT arithmetic nodes in an expression tree. */
+void
+countOps(const Expr &e, f64 &flops, f64 &indexOps)
+{
+    const ExprNode &n = e.node();
+    switch (n.kind) {
+      case ExprKind::kConstF:
+      case ExprKind::kConstI:
+      case ExprKind::kVar:
+        return;
+      case ExprKind::kCall:
+        // 2D -> 1D address translation (Sec. III); GPU compilers hoist
+        // most of it, so charge one INT op per access.
+        indexOps += 1;
+        for (const Expr &a : n.args)
+            countOps(a, flops, indexOps);
+        return;
+      case ExprKind::kCastI:
+      case ExprKind::kCastF:
+        flops += 1;
+        countOps(n.kids[0], flops, indexOps);
+        return;
+      default: {
+        // Arithmetic node: int subtrees are index math, float are FLOPs.
+        bool isInt = true;
+        std::function<bool(const Expr &)> anyFloat =
+            [&](const Expr &x) -> bool {
+            const ExprNode &m = x.node();
+            if (m.kind == ExprKind::kConstF || m.kind == ExprKind::kCall ||
+                m.kind == ExprKind::kCastF)
+                return true;
+            for (const Expr &k : m.kids)
+                if (anyFloat(k))
+                    return true;
+            return false;
+        };
+        isInt = !anyFloat(e);
+        (isInt ? indexOps : flops) += n.kind == ExprKind::kClamp ? 2 : 1;
+        for (const Expr &k : n.kids)
+            countOps(k, flops, indexOps);
+        return;
+      }
+    }
+}
+
+} // namespace
+
+GpuRunEstimate
+estimateGpu(const PipelineAnalysis &pa, const GpuModelParams &p)
+{
+    GpuRunEstimate est;
+    f64 effBw = p.peakBwBytesPerSec * p.memUtilization;
+    f64 effAlu = p.peakFp32PerSec * p.sustainedAluFrac;
+
+    for (const StageInfo &s : pa.stages) {
+        if (s.func->isInput())
+            continue;
+        GpuStageCost c;
+        c.name = s.func->name();
+        f64 outPixels = f64(s.region.x.extent()) *
+                        f64(s.region.y.extent());
+
+        // DRAM traffic: write the output once, read each distinct
+        // producer's required footprint once (caches capture stencil
+        // reuse within a kernel).
+        c.bytes = outPixels * 4.0;
+        std::set<const Func *> seen;
+        for (const CallSite &cs : s.calls) {
+            if (!seen.insert(cs.callee.get()).second)
+                continue;
+            const StageInfo &prod = pa.stageOf(cs.callee);
+            c.bytes += f64(prod.region.x.extent()) *
+                       f64(prod.region.y.extent()) * 4.0;
+        }
+
+        f64 flopsPerPx = 0, idxPerPx = 0;
+        if (s.isReduction) {
+            const UpdateDef &u = s.updates[0];
+            f64 domain = f64(u.dom.extentX) *
+                         f64(std::max<i64>(u.dom.extentY, 1));
+            countOps(u.value, flopsPerPx, idxPerPx);
+            countOps(u.idxX, flopsPerPx, idxPerPx);
+            c.flops = flopsPerPx * domain;
+            c.indexOps = idxPerPx * domain + 2 * domain;
+            c.atomics = domain;
+            c.bytes += domain * 4.0;
+        } else {
+            countOps(s.rhs, flopsPerPx, idxPerPx);
+            c.flops = flopsPerPx * outPixels;
+            c.indexOps = idxPerPx * outPixels;
+        }
+
+        f64 tMem = c.bytes / effBw;
+        f64 tAlu = (c.flops + c.indexOps) / effAlu;
+        f64 tAtomic = c.atomics / p.atomicOpsPerSec;
+        c.seconds = std::max({tMem, tAlu, tAtomic}) + p.kernelLaunchSec;
+
+        est.bytes += c.bytes;
+        est.flops += c.flops;
+        est.indexOps += c.indexOps;
+        est.seconds += c.seconds;
+        est.stages.push_back(c);
+    }
+
+    est.joules = est.seconds * p.boardPowerWatts;
+    est.dramBandwidthBytesPerSec =
+        est.seconds > 0 ? est.bytes / est.seconds : 0;
+    est.dramUtilization =
+        est.dramBandwidthBytesPerSec / p.peakBwBytesPerSec;
+    est.aluUtilization =
+        est.seconds > 0
+            ? (est.flops + est.indexOps) / est.seconds / p.peakFp32PerSec
+            : 0;
+    f64 allOps = est.flops + est.indexOps;
+    est.indexAluShare = allOps > 0 ? est.indexOps / allOps : 0;
+    return est;
+}
+
+} // namespace ipim

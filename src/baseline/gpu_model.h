@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Analytical NVIDIA Tesla V100 baseline (see DESIGN.md, substitutions).
+ *
+ * The paper profiles image pipelines on a real V100 (Sec. III, Fig. 1)
+ * and finds them DRAM-bandwidth-bound (57.55% DRAM utilization ==
+ * 518 GB/s effective, 3.43% ALU utilization).  This model reproduces
+ * that regime with a roofline driven by per-stage byte/FLOP/index-op
+ * counts extracted from the same pipeline IR the iPIM compiler consumes,
+ * so both sides of every Fig. 6/7 comparison share one workload
+ * definition.
+ */
+#ifndef IPIM_BASELINE_GPU_MODEL_H_
+#define IPIM_BASELINE_GPU_MODEL_H_
+
+#include "compiler/analysis.h"
+
+namespace ipim {
+
+/** Calibration constants for the V100 card (paper Sec. III / VII-A). */
+struct GpuModelParams
+{
+    f64 peakBwBytesPerSec = 900e9; ///< 4 HBM2 stacks
+    f64 memUtilization = 0.5755;   ///< measured average (Fig. 1)
+    f64 peakFp32PerSec = 15.7e12;
+    f64 sustainedAluFrac = 0.6;    ///< achievable fraction on FP32
+    f64 kernelLaunchSec = 1e-6;
+    f64 boardPowerWatts = 300.0;
+    /// Value-dependent scatter (Histogram) throughput under Halide's
+    /// default GPU schedule: global-atomic bound with heavy same-bin
+    /// contention on 256 bins (Sec. VII-B explains the GPU's inferior
+    /// Histogram performance).
+    f64 atomicOpsPerSec = 0.2e9;
+};
+
+/** Per-stage workload characterization extracted from the pipeline IR. */
+struct GpuStageCost
+{
+    std::string name;
+    f64 bytes = 0;    ///< DRAM traffic (unique in + out bytes)
+    f64 flops = 0;    ///< FP32 arithmetic
+    f64 indexOps = 0; ///< INT32 index arithmetic
+    f64 atomics = 0;  ///< value-dependent scatter updates
+    f64 seconds = 0;  ///< roofline time
+};
+
+/** Whole-pipeline estimate; the Fig. 1 columns derive from this. */
+struct GpuRunEstimate
+{
+    std::vector<GpuStageCost> stages;
+    f64 seconds = 0;
+    f64 joules = 0;
+    f64 bytes = 0;
+    f64 flops = 0;
+    f64 indexOps = 0;
+    f64 dramBandwidthBytesPerSec = 0; ///< achieved
+    f64 dramUtilization = 0;          ///< achieved / peak
+    f64 aluUtilization = 0;           ///< (flops+index) / peak
+    f64 indexAluShare = 0;            ///< index ops / all ALU ops
+};
+
+/** Estimate a pipeline's GPU execution (Halide-style fused schedule). */
+GpuRunEstimate estimateGpu(const PipelineAnalysis &pa,
+                           const GpuModelParams &params = {});
+
+} // namespace ipim
+
+#endif // IPIM_BASELINE_GPU_MODEL_H_

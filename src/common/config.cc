@@ -1,0 +1,63 @@
+#include "common/config.h"
+
+#include "common/logging.h"
+
+namespace ipim {
+
+void
+HardwareConfig::validate() const
+{
+    if (cubes == 0 || vaultsPerCube == 0 || pgsPerVault == 0 || pesPerPg == 0)
+        fatal("hierarchy sizes must all be nonzero");
+    if (pesPerVault() > 32) {
+        fatal("simb_mask is a 32b boolean vector; at most 32 PEs per vault "
+              "are supported (got ", pesPerVault(), ")");
+    }
+    if (dataRfBytes % kVectorBytes != 0)
+        fatal("DataRF size must be a multiple of the 128b vector width");
+    if (addrRfBytes % 4 != 0)
+        fatal("AddrRF size must be a multiple of 32b");
+    if (addrRfEntries() < 8)
+        fatal("AddrRF must have at least 8 entries (A0-A3 are reserved)");
+    if (dramRowBytes % kVectorBytes != 0)
+        fatal("DRAM row size must be a multiple of the 128b CAS width");
+    if (bankBytes % dramRowBytes != 0)
+        fatal("bank size must be a multiple of the row size");
+    if (meshCols == 0 || meshCols > vaultsPerCube)
+        fatal("mesh columns must be in [1, vaultsPerCube]");
+    if (instQueueDepth == 0 || dramReqQueueDepth == 0)
+        fatal("queue depths must be nonzero");
+    if (pgsmBytes % kVectorBytes != 0 || vsmBytes % kVectorBytes != 0)
+        fatal("scratchpad sizes must be multiples of the vector width");
+    if (timing.tRAS < timing.tRCD)
+        fatal("tRAS must cover at least tRCD");
+}
+
+HardwareConfig
+HardwareConfig::paper()
+{
+    return HardwareConfig{};
+}
+
+HardwareConfig
+HardwareConfig::tiny()
+{
+    HardwareConfig cfg;
+    cfg.cubes = 1;
+    cfg.vaultsPerCube = 4;
+    cfg.pgsPerVault = 2;
+    cfg.pesPerPg = 2;
+    cfg.meshCols = 2;
+    cfg.bankBytes = 1 << 20;
+    return cfg;
+}
+
+HardwareConfig
+HardwareConfig::benchCube()
+{
+    HardwareConfig cfg;
+    cfg.cubes = 1;
+    return cfg;
+}
+
+} // namespace ipim

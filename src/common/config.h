@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Hardware configuration of an iPIM device: the Table III parameters of the
+ * paper plus a few modelling knobs (page policy, scheduler, PonB mode).
+ *
+ * All latencies are in core cycles at 1 GHz (1 cycle == 1 ns), matching the
+ * paper's "iPIM is designed to run at a clock frequency of 1GHz".
+ * All energies are in Joules per event (or per bit where noted).
+ */
+#ifndef IPIM_COMMON_CONFIG_H_
+#define IPIM_COMMON_CONFIG_H_
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace ipim {
+
+/** DRAM row-buffer management policy (Sec. IV-E). */
+enum class PagePolicy { kOpenPage, kClosePage };
+
+/** DRAM request scheduling policy (Sec. IV-E). */
+enum class SchedPolicy { kFcfs, kFrFcfs };
+
+/** DRAM core timing parameters, in cycles (Table III). */
+struct DramTiming
+{
+    u32 tRCD = 14; ///< ACT to RD/WR
+    u32 tCCD = 2;  ///< CAS to CAS
+    u32 tRTP = 4;  ///< RD to PRE
+    u32 tRP = 14;  ///< PRE to ACT
+    u32 tRAS = 33; ///< ACT to PRE
+    u32 tWR = 12;  ///< end of write to PRE (standard value; not in Table III)
+    u32 tCL = 14;  ///< RD to first data (standard value; not in Table III)
+    u32 tRRDS = 4; ///< ACT to ACT, different bank group (power limit)
+    u32 tRRDL = 6; ///< ACT to ACT, same bank group (power limit)
+    u32 tFAW = 16; ///< four-activation window (power limit)
+    u32 tREFI = 3900; ///< refresh interval (HBM-class; Sec. IV-E)
+    u32 tRFC = 260;   ///< refresh cycle time (HBM-class; Sec. IV-E)
+};
+
+/** Latency of PE-local units, in cycles (Table III). */
+struct UnitLatency
+{
+    u32 addrRf = 1;
+    u32 dataRf = 1;
+    u32 pgsm = 1;
+    u32 vsm = 1;
+    u32 addSub = 4;  ///< FP/INT add or subtract on the SIMD unit
+    u32 mul = 5;
+    u32 mac = 8;
+    u32 logic = 1;   ///< shift/and/or/xor/crop (also min/max)
+    u32 peBus = 1;   ///< PE <-> PGSM bus hop
+    u32 tsv = 1;     ///< one TSV beat (128b)
+    u32 nocHop = 1;  ///< one on-chip mesh hop
+    /// One inter-cube SERDES hop is 0.08 ns; we model it as cycles scaled
+    /// by 100 requests batched, i.e., effectively free next to NoC hops.
+    u32 serdesHop = 1;
+    u32 intAlu = 1;  ///< PE integer ALU (index calculation)
+    u32 branch = 2;  ///< control core bubble on taken jump/cjump
+};
+
+/** Energy constants, in Joules (Table III). */
+struct EnergyParams
+{
+    f64 dramRdWr = 0.52e-9;   ///< per 128b CAS access
+    f64 dramActPre = 0.22e-9; ///< per ACT/PRE pair
+    f64 addrRf = 0.43e-12;    ///< per AddrRF access
+    f64 dataRf = 2.66e-12;    ///< per DataRF access
+    f64 simdUnit = 87.37e-12; ///< per SIMD operation
+    f64 intAlu = 11.05e-12;   ///< per integer ALU operation
+    f64 peBusBit = 0.017e-12; ///< per bit on the PE bus
+    f64 tsvBit = 4.64e-12;    ///< per bit through TSV
+    f64 serdesBit = 4.50e-12; ///< per bit through SERDES
+    /// PGSM/VSM access energies: modelled as SRAM reads scaled by size
+    /// relative to the DataRF (cacti-3DD in the paper; estimates here).
+    f64 pgsm = 5.9e-12;       ///< per 128b PGSM access
+    f64 vsm = 18.0e-12;       ///< per 128b VSM access
+    /// Background: DRAM standby power per bank plus control core power
+    /// (in-order ARM cortex-A5 class with clock gating while stalled;
+    /// includes the instruction-broadcast distribution, Sec. VII-A).
+    f64 bankStandbyWatts = 2.0e-3;
+    f64 controlCoreWatts = 25.0e-3;
+    f64 refresh = 1.6e-9;     ///< per per-bank REF command
+};
+
+/** Area constants, in mm^2 of DRAM-die silicon (Table IV inputs). */
+struct AreaParams
+{
+    /// Per-instance logic areas before the 2x DRAM-process penalty.
+    f64 simdUnit = 2.26 / 64 / 2;
+    f64 intAlu = 0.32 / 64 / 2;
+    f64 addrRf = 0.20 / 64 / 2;
+    f64 dataRf = 1.79 / 64 / 2;
+    f64 memCtrl = 1.84 / 16 / 2;
+    f64 pgsm = 3.87 / 16 / 2;
+    f64 dramProcessFactor = 2.0; ///< reduced metal layers in DRAM process
+    f64 dramDie = 96.0;          ///< HBM die footprint (Sohn et al.)
+    f64 controlCore = 0.92;      ///< cortex-A5 class core incl. VSM
+    f64 vsm = 0.23;              ///< VSM part of the control core area
+    f64 vaultBaseDieBudget = 3.5;///< spare base-die area per vault
+    /// Per-core footprint used for the "naive per-bank core" counterfactual
+    /// (calibrated so the naive design reproduces the paper's 122.36%).
+    f64 naiveCore = 0.8375;
+};
+
+/**
+ * Full device configuration.
+ *
+ * The defaults are the paper's Table III.  Tests use smaller presets via
+ * the named constructors below.
+ */
+struct HardwareConfig
+{
+    // --- Hierarchy (Table III) ---
+    u32 cubes = 8;
+    u32 vaultsPerCube = 16;
+    u32 pgsPerVault = 8;
+    u32 pesPerPg = 4;
+    u32 instQueueDepth = 64;   ///< Issued Inst Queue entries per core
+    u32 dramReqQueueDepth = 16;///< per-PG memory controller queue
+
+    // --- Memories (Table III, bytes) ---
+    u64 bankBytes = 16ull << 20;
+    u32 addrRfBytes = 256;   ///< 64 x 32b
+    u32 dataRfBytes = 1024;  ///< 64 x 128b
+    u32 pgsmBytes = 8 << 10;
+    u32 vsmBytes = 256 << 10;
+    u32 ctrlRfEntries = 64;  ///< CtrlRF size (not given in the paper)
+    u32 dramRowBytes = 2048; ///< row buffer size per bank
+
+    // --- Mesh geometry ---
+    u32 meshCols = 4; ///< on-chip 2D mesh columns (4x4 for 16 vaults)
+
+    // --- Policies ---
+    PagePolicy pagePolicy = PagePolicy::kOpenPage;
+    SchedPolicy schedPolicy = SchedPolicy::kFrFcfs;
+
+    /**
+     * Process-on-base-die baseline (Sec. VII-C1): compute logic moved to
+     * the base logic die; every bank access crosses the shared per-vault
+     * TSV bus and is serialized there.
+     */
+    bool processOnBaseDie = false;
+
+    DramTiming timing;
+    UnitLatency latency;
+    EnergyParams energy;
+    AreaParams area;
+
+    // --- Derived helpers ---
+    u32 pesPerVault() const { return pgsPerVault * pesPerPg; }
+    u32 pesPerCube() const { return pesPerVault() * vaultsPerCube; }
+    u32 dataRfEntries() const { return dataRfBytes / kVectorBytes; }
+    u32 addrRfEntries() const { return addrRfBytes / 4; }
+    u32 meshRows() const { return (vaultsPerCube + meshCols - 1) / meshCols; }
+    u32 rowsPerBank() const { return u32(bankBytes / dramRowBytes); }
+
+    /** Throw FatalError if the configuration is inconsistent. */
+    void validate() const;
+
+    /** The paper's Table III configuration. */
+    static HardwareConfig paper();
+
+    /**
+     * A small configuration for fast unit/integration tests:
+     * 1 cube, 4 vaults (2x2 mesh), 2 PGs/vault, 2 PEs/PG.
+     */
+    static HardwareConfig tiny();
+
+    /** One paper-scale cube (the cycle-simulated unit for benches). */
+    static HardwareConfig benchCube();
+};
+
+} // namespace ipim
+
+#endif // IPIM_COMMON_CONFIG_H_

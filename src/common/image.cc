@@ -1,0 +1,69 @@
+#include "common/image.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ipim {
+
+namespace {
+
+/** SplitMix64: tiny, high-quality deterministic hash. */
+u64
+splitMix64(u64 x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+Image::Image(int width, int height, f32 fill)
+    : width_(width), height_(height),
+      data_(u64(width) * u64(height), fill)
+{
+    if (width < 0 || height < 0)
+        fatal("negative image dimensions: ", width, "x", height);
+}
+
+f32
+Image::clampedAt(int x, int y) const
+{
+    x = std::clamp(x, 0, width_ - 1);
+    y = std::clamp(y, 0, height_ - 1);
+    return at(x, y);
+}
+
+f32
+Image::maxAbsDiff(const Image &o) const
+{
+    if (width_ != o.width_ || height_ != o.height_)
+        fatal("maxAbsDiff on images of different shapes");
+    f32 m = 0.0f;
+    for (u64 i = 0; i < data_.size(); ++i)
+        m = std::max(m, std::fabs(data_[i] - o.data_[i]));
+    return m;
+}
+
+Image
+Image::synthetic(int width, int height, u64 seed)
+{
+    Image img(width, height);
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            f32 gx = width > 1 ? f32(x) / f32(width - 1) : 0.0f;
+            f32 gy = height > 1 ? f32(y) / f32(height - 1) : 0.0f;
+            u64 h = splitMix64(seed * 0x100000001b3ull + u64(y) * width + x);
+            f32 noise = f32(h >> 40) / f32(1 << 24);
+            f32 v = 0.5f * gx + 0.3f * gy + 0.2f * noise;
+            // Keep values exactly representable-ish and in [0, 1).
+            img.at(x, y) = v;
+        }
+    }
+    return img;
+}
+
+} // namespace ipim

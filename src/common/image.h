@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A minimal FP32 image container plus deterministic synthetic generators
+ * that stand in for the DIV8K dataset (see DESIGN.md, substitutions).
+ */
+#ifndef IPIM_COMMON_IMAGE_H_
+#define IPIM_COMMON_IMAGE_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace ipim {
+
+/**
+ * Row-major single-channel FP32 image.
+ *
+ * Out-of-bounds reads replicate the border (Halide-style clamp), which is
+ * the boundary condition every pipeline in this repo uses.
+ */
+class Image
+{
+  public:
+    Image() = default;
+    Image(int width, int height, f32 fill = 0.0f);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    u64 pixels() const { return u64(width_) * height_; }
+
+    /** Unchecked access; (x, y) must be in bounds. */
+    f32 &at(int x, int y) { return data_[u64(y) * width_ + x]; }
+    f32 at(int x, int y) const { return data_[u64(y) * width_ + x]; }
+
+    /** Border-replicating access (clamp-to-edge). */
+    f32 clampedAt(int x, int y) const;
+
+    const std::vector<f32> &data() const { return data_; }
+    std::vector<f32> &data() { return data_; }
+
+    bool operator==(const Image &o) const = default;
+
+    /** Max absolute difference; images must have identical shape. */
+    f32 maxAbsDiff(const Image &o) const;
+
+    /**
+     * Deterministic synthetic test pattern: smooth gradients plus hashed
+     * per-pixel noise, spanning roughly [0, 1].  Stands in for DIV8K.
+     */
+    static Image synthetic(int width, int height, u64 seed = 1);
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<f32> data_;
+};
+
+} // namespace ipim
+
+#endif // IPIM_COMMON_IMAGE_H_

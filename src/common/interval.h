@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Closed integer intervals with the arithmetic needed by Halide-style
+ * bounds inference (Sec. V-B): given the interval of a loop variable,
+ * compute the interval of an affine/div/clamp index expression.
+ */
+#ifndef IPIM_COMMON_INTERVAL_H_
+#define IPIM_COMMON_INTERVAL_H_
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace ipim {
+
+/** Closed interval [lo, hi] over i64; empty iff lo > hi. */
+struct Interval
+{
+    i64 lo = 0;
+    i64 hi = -1;
+
+    Interval() = default;
+    Interval(i64 l, i64 h) : lo(l), hi(h) {}
+
+    static Interval point(i64 v) { return {v, v}; }
+
+    bool empty() const { return lo > hi; }
+    i64 extent() const { return empty() ? 0 : hi - lo + 1; }
+    bool contains(i64 v) const { return v >= lo && v <= hi; }
+    bool contains(const Interval &o) const
+    {
+        return o.empty() || (lo <= o.lo && o.hi <= hi);
+    }
+
+    bool operator==(const Interval &o) const = default;
+
+    /** Smallest interval containing both. An empty side is ignored. */
+    Interval
+    hull(const Interval &o) const
+    {
+        if (empty())
+            return o;
+        if (o.empty())
+            return *this;
+        return {std::min(lo, o.lo), std::max(hi, o.hi)};
+    }
+
+    Interval
+    intersect(const Interval &o) const
+    {
+        return {std::max(lo, o.lo), std::min(hi, o.hi)};
+    }
+
+    Interval
+    shift(i64 d) const
+    {
+        return empty() ? *this : Interval{lo + d, hi + d};
+    }
+
+    /** Widen by @p m on both sides. */
+    Interval
+    grow(i64 m) const
+    {
+        return empty() ? *this : Interval{lo - m, hi + m};
+    }
+};
+
+inline Interval
+operator+(const Interval &a, const Interval &b)
+{
+    if (a.empty() || b.empty())
+        return {};
+    return {a.lo + b.lo, a.hi + b.hi};
+}
+
+inline Interval
+operator-(const Interval &a, const Interval &b)
+{
+    if (a.empty() || b.empty())
+        return {};
+    return {a.lo - b.hi, a.hi - b.lo};
+}
+
+inline Interval
+operator*(const Interval &a, const Interval &b)
+{
+    if (a.empty() || b.empty())
+        return {};
+    i64 c[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi};
+    return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+}
+
+/** Floor division, matching Halide's index semantics for x/2 etc. */
+inline i64
+floorDiv(i64 a, i64 b)
+{
+    if (b == 0)
+        panic("floorDiv by zero");
+    i64 q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0)))
+        --q;
+    return q;
+}
+
+/** Positive modulo, matching floorDiv. */
+inline i64
+floorMod(i64 a, i64 b)
+{
+    return a - floorDiv(a, b) * b;
+}
+
+/** Interval of a/b for b a nonzero constant (floor division). */
+inline Interval
+divConst(const Interval &a, i64 b)
+{
+    if (a.empty())
+        return {};
+    if (b == 0)
+        fatal("index expression divides by zero");
+    i64 x = floorDiv(a.lo, b), y = floorDiv(a.hi, b);
+    return {std::min(x, y), std::max(x, y)};
+}
+
+inline Interval
+minInterval(const Interval &a, const Interval &b)
+{
+    if (a.empty() || b.empty())
+        return {};
+    return {std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+inline Interval
+maxInterval(const Interval &a, const Interval &b)
+{
+    if (a.empty() || b.empty())
+        return {};
+    return {std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+} // namespace ipim
+
+#endif // IPIM_COMMON_INTERVAL_H_

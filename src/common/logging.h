@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Error and status reporting helpers, following the gem5 fatal/panic
+ * convention:
+ *
+ *  - panic(): an internal simulator invariant was violated (a bug in this
+ *    code base).  Aborts.
+ *  - fatal(): the user supplied an invalid configuration or program.
+ *    Exits with an error code.
+ *  - warn()/inform(): non-fatal status messages.
+ */
+#ifndef IPIM_COMMON_LOGGING_H_
+#define IPIM_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ipim {
+
+/** Thrown by fatal() so that user errors are testable and recoverable. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Thrown by panic() on internal invariant violations. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+inline void
+appendAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendAll(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    appendAll(os, rest...);
+}
+
+} // namespace detail
+
+/** Report a user-caused error: invalid config, unschedulable program, ... */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    os << "fatal: ";
+    detail::appendAll(os, args...);
+    throw FatalError(os.str());
+}
+
+/** Report an internal simulator bug. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    os << "panic: ";
+    detail::appendAll(os, args...);
+    throw PanicError(os.str());
+}
+
+/** Non-fatal warning to stderr. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::ostringstream os;
+    detail::appendAll(os, args...);
+    std::fprintf(stderr, "warn: %s\n", os.str().c_str());
+}
+
+/** Informational message to stderr. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::ostringstream os;
+    detail::appendAll(os, args...);
+    std::fprintf(stderr, "info: %s\n", os.str().c_str());
+}
+
+} // namespace ipim
+
+#endif // IPIM_COMMON_LOGGING_H_

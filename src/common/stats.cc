@@ -1,0 +1,28 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace ipim {
+
+f64
+StatsRegistry::sumPrefix(const std::string &prefix) const
+{
+    f64 total = 0.0;
+    for (auto it = values_.lower_bound(prefix); it != values_.end(); ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        total += it->second;
+    }
+    return total;
+}
+
+std::string
+StatsRegistry::toString() const
+{
+    std::ostringstream os;
+    for (const auto &[k, v] : values_)
+        os << k << " = " << v << "\n";
+    return os.str();
+}
+
+} // namespace ipim

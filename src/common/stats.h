@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Lightweight named-counter statistics registry.
+ *
+ * Every simulated component contributes event counts (instructions issued,
+ * DRAM activates, SIMD operations, ...) to a StatsRegistry.  The energy
+ * model (src/energy) and the benchmark harnesses consume snapshots of it.
+ */
+#ifndef IPIM_COMMON_STATS_H_
+#define IPIM_COMMON_STATS_H_
+
+#include <map>
+#include <string>
+
+#include "common/types.h"
+
+namespace ipim {
+
+/**
+ * A flat map of statistic name -> value.
+ *
+ * Counters are u64 event counts stored as doubles (exact below 2^53,
+ * far beyond any simulation length here) so that derived ratios can live
+ * in the same registry.
+ */
+class StatsRegistry
+{
+  public:
+    /** Add @p delta to counter @p name, creating it at zero if missing. */
+    void
+    inc(const std::string &name, f64 delta = 1.0)
+    {
+        values_[name] += delta;
+    }
+
+    /** Overwrite counter @p name. */
+    void
+    set(const std::string &name, f64 value)
+    {
+        values_[name] = value;
+    }
+
+    /** Value of @p name, or 0 if never touched. */
+    f64
+    get(const std::string &name) const
+    {
+        auto it = values_.find(name);
+        return it == values_.end() ? 0.0 : it->second;
+    }
+
+    bool
+    has(const std::string &name) const
+    {
+        return values_.count(name) > 0;
+    }
+
+    /** Accumulate all counters of @p other into this registry. */
+    void
+    merge(const StatsRegistry &other)
+    {
+        for (const auto &[k, v] : other.values_)
+            values_[k] += v;
+    }
+
+    /** Sum of all counters whose name starts with @p prefix. */
+    f64 sumPrefix(const std::string &prefix) const;
+
+    void clear() { values_.clear(); }
+
+    const std::map<std::string, f64> &all() const { return values_; }
+
+    /** Render as "name = value" lines, sorted by name. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, f64> values_;
+};
+
+} // namespace ipim
+
+#endif // IPIM_COMMON_STATS_H_

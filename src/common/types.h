@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fundamental fixed-width types and the 32-bit lane/vector word model used
+ * throughout the iPIM simulator.
+ *
+ * iPIM's datapath is built around 128-bit vectors of four 32-bit lanes
+ * (Table III: SIMD length 4, CAS width 128b).  A lane is a raw 32-bit word
+ * whose interpretation (FP32 vs INT32) is chosen per instruction, exactly
+ * as in the SIMB ISA (Table I).
+ */
+#ifndef IPIM_COMMON_TYPES_H_
+#define IPIM_COMMON_TYPES_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace ipim {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using f32 = float;
+using f64 = double;
+
+/** Simulation time, in core clock cycles (1 GHz => 1 cycle == 1 ns). */
+using Cycle = u64;
+
+/** Number of 32-bit lanes in a SIMD vector (128b bank/TSV interface). */
+inline constexpr int kSimdLanes = 4;
+
+/** Bytes in one SIMD vector / one bank CAS access / one TSV beat. */
+inline constexpr int kVectorBytes = kSimdLanes * 4;
+
+/** Reinterpret a raw 32-bit lane as FP32. */
+inline f32
+laneAsF32(u32 bits)
+{
+    f32 v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+/** Reinterpret an FP32 value as a raw 32-bit lane. */
+inline u32
+f32AsLane(f32 v)
+{
+    u32 bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+/** Reinterpret a raw 32-bit lane as INT32. */
+inline i32
+laneAsI32(u32 bits)
+{
+    i32 v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+/** Reinterpret an INT32 value as a raw 32-bit lane. */
+inline u32
+i32AsLane(i32 v)
+{
+    u32 bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+/**
+ * One 128-bit SIMD register value: four raw 32-bit lanes.
+ *
+ * This is the unit moved by every data-movement instruction in the SIMB
+ * ISA and the width of one DRAM bank column access.
+ */
+struct VecWord
+{
+    std::array<u32, kSimdLanes> lanes{};
+
+    static VecWord
+    splatF32(f32 v)
+    {
+        VecWord w;
+        w.lanes.fill(f32AsLane(v));
+        return w;
+    }
+
+    static VecWord
+    splatI32(i32 v)
+    {
+        VecWord w;
+        w.lanes.fill(i32AsLane(v));
+        return w;
+    }
+
+    bool operator==(const VecWord &other) const = default;
+};
+
+} // namespace ipim
+
+#endif // IPIM_COMMON_TYPES_H_

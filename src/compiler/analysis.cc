@@ -1,0 +1,282 @@
+#include "compiler/analysis.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace ipim {
+
+namespace {
+
+/** Substitute variable references by expressions. */
+Expr
+substituteVars(const Expr &e, const std::map<std::string, Expr> &subst)
+{
+    const ExprNode &n = e.node();
+    switch (n.kind) {
+      case ExprKind::kConstF:
+      case ExprKind::kConstI:
+        return e;
+      case ExprKind::kVar: {
+        auto it = subst.find(n.varName);
+        if (it == subst.end())
+            fatal("unbound variable '", n.varName,
+                  "' while inlining; pipelines may only use the "
+                  "function's own loop variables");
+        return it->second;
+      }
+      case ExprKind::kCall: {
+        std::vector<Expr> args;
+        for (const Expr &a : n.args)
+            args.push_back(substituteVars(a, subst));
+        return Expr::call(n.callee, std::move(args));
+      }
+      default: {
+        auto copy = std::make_shared<ExprNode>(n);
+        copy->kids.clear();
+        for (const Expr &k : n.kids)
+            copy->kids.push_back(substituteVars(k, subst));
+        return Expr(copy);
+      }
+    }
+}
+
+Expr
+inlineRec(const Expr &e, int depth)
+{
+    if (depth > 100000)
+        fatal("inlining recursion too deep (cyclic pipeline?)");
+    const ExprNode &n = e.node();
+    if (n.kind == ExprKind::kCall) {
+        FuncPtr f = n.callee;
+        std::vector<Expr> args;
+        for (const Expr &a : n.args)
+            args.push_back(inlineRec(a, depth + 1));
+        if (f->isRoot() || f->isInput())
+            return Expr::call(f, std::move(args));
+        if (!f->hasDefinition())
+            fatal("func ", f->name(), " called before definition");
+        if (f->hasUpdate())
+            fatal("reduction func ", f->name(),
+                  " must be scheduled compute_root");
+        std::map<std::string, Expr> subst;
+        subst[f->varX()] = args[0];
+        if (f->dims() == 2)
+            subst[f->varY()] = args[1];
+        return inlineRec(substituteVars(f->rhs(), subst), depth + 1);
+    }
+    auto copy = std::make_shared<ExprNode>(n);
+    copy->kids.clear();
+    for (const Expr &k : n.kids)
+        copy->kids.push_back(inlineRec(k, depth + 1));
+    return Expr(copy);
+}
+
+void
+collectCalls(const Expr &e, std::vector<CallSite> &out,
+             const std::string &xv, const std::string &yv)
+{
+    const ExprNode &n = e.node();
+    if (n.kind == ExprKind::kCall) {
+        CallSite cs;
+        cs.callee = n.callee;
+        cs.rawX = n.args[0];
+        cs.ax = toAffine(n.args[0], xv, yv);
+        if (n.args.size() > 1) {
+            cs.rawY = n.args[1];
+            cs.ay = toAffine(n.args[1], xv, yv);
+        } else {
+            cs.rawY = Expr::constI(0);
+            cs.ay = toAffine(cs.rawY, xv, yv);
+        }
+        out.push_back(cs);
+        for (const Expr &a : n.args)
+            collectCalls(a, out, xv, yv);
+        return;
+    }
+    for (const Expr &k : n.kids)
+        collectCalls(k, out, xv, yv);
+}
+
+/** DFS collecting root funcs reachable from @p f (including f). */
+void
+collectRoots(const FuncPtr &f, std::vector<FuncPtr> &order,
+             std::set<const Func *> &seen)
+{
+    if (seen.count(f.get()))
+        return;
+    seen.insert(f.get());
+
+    auto visitExpr = [&](const Expr &e, auto &&self) -> void {
+        const ExprNode &n = e.node();
+        if (n.kind == ExprKind::kCall) {
+            if (n.callee->isRoot() || n.callee->isInput())
+                collectRoots(n.callee, order, seen);
+            for (const Expr &a : n.args)
+                self(a, self);
+            return;
+        }
+        for (const Expr &k : n.kids)
+            self(k, self);
+    };
+
+    if (!f->isInput()) {
+        // Producers referenced from the inlined body and updates.
+        Expr body = inlineRec(f->rhs(), 0);
+        visitExpr(body, visitExpr);
+        for (const UpdateDef &u : f->updates()) {
+            visitExpr(inlineRec(u.value, 0), visitExpr);
+            visitExpr(inlineRec(u.idxX, 0), visitExpr);
+            if (u.idxY.defined())
+                visitExpr(inlineRec(u.idxY, 0), visitExpr);
+        }
+    }
+    order.push_back(f);
+}
+
+} // namespace
+
+Expr
+inlineExpr(const Expr &e)
+{
+    return inlineRec(e, 0);
+}
+
+StageInfo &
+PipelineAnalysis::stageOf(const FuncPtr &f)
+{
+    for (StageInfo &s : stages)
+        if (s.func == f)
+            return s;
+    panic("no stage for func ", f->name());
+}
+
+const StageInfo &
+PipelineAnalysis::stageOf(const FuncPtr &f) const
+{
+    return const_cast<PipelineAnalysis *>(this)->stageOf(f);
+}
+
+bool
+PipelineAnalysis::hasStage(const FuncPtr &f) const
+{
+    for (const StageInfo &s : stages)
+        if (s.func == f)
+            return true;
+    return false;
+}
+
+PipelineAnalysis
+analyzePipeline(const PipelineDef &def)
+{
+    if (!def.output)
+        fatal("pipeline '", def.name, "' has no output");
+    if (!def.output->isRoot())
+        fatal("output func ", def.output->name(),
+              " must be scheduled compute_root");
+    if (def.width <= 0 || def.height <= 0)
+        fatal("pipeline '", def.name, "' needs positive output extents");
+
+    PipelineAnalysis pa;
+    pa.def = def;
+
+    std::vector<FuncPtr> order;
+    std::set<const Func *> seen;
+    collectRoots(def.output, order, seen);
+
+    for (const FuncPtr &f : order) {
+        StageInfo s;
+        s.func = f;
+        if (!f->isInput()) {
+            s.rhs = inlineExpr(f->rhs());
+            for (const UpdateDef &u : f->updates()) {
+                UpdateDef iu = u;
+                iu.value = inlineExpr(u.value);
+                iu.idxX = inlineExpr(u.idxX);
+                if (u.idxY.defined())
+                    iu.idxY = inlineExpr(u.idxY);
+                s.updates.push_back(iu);
+            }
+            s.isReduction = f->hasUpdate();
+            collectCalls(s.rhs, s.calls, f->varX(), f->varY());
+        }
+        s.region = {{0, -1}, {0, -1}}; // empty until inference
+        pa.stages.push_back(std::move(s));
+    }
+
+    // Bounds inference, consumers before producers.
+    StageInfo &outStage = pa.stageOf(def.output);
+    outStage.region = {{0, def.width - 1},
+                       def.output->dims() == 2 ? Interval{0, def.height - 1}
+                                               : Interval{0, 0}};
+    if (outStage.isReduction) {
+        // A reduction output's region comes from its scatter bounds.
+        Interval xr(0, 0), yr(0, 0);
+        for (const UpdateDef &u : outStage.updates) {
+            Interval rx(0, u.dom.extentX - 1);
+            Interval ry(0, std::max<i64>(u.dom.extentY - 1, 0));
+            xr = xr.hull(indexInterval(u.idxX, u.dom.x.name, u.dom.y.name,
+                                       rx, ry));
+            if (u.idxY.defined())
+                yr = yr.hull(indexInterval(u.idxY, u.dom.x.name,
+                                           u.dom.y.name, rx, ry));
+        }
+        outStage.region = {xr, yr};
+    }
+
+    for (auto it = pa.stages.rbegin(); it != pa.stages.rend(); ++it) {
+        StageInfo &consumer = *it;
+        if (consumer.func->isInput())
+            continue;
+        if (consumer.region.x.empty())
+            fatal("stage ", consumer.func->name(),
+                  " has no consumers and is not the output");
+
+        auto require = [&](const FuncPtr &callee, const Interval &xr,
+                           const Interval &yr) {
+            StageInfo &prod = pa.stageOf(callee);
+            prod.region.x = prod.region.x.hull(xr);
+            prod.region.y = callee->dims() == 2
+                                ? prod.region.y.hull(yr)
+                                : Interval{0, 0};
+        };
+
+        const std::string &xv = consumer.func->varX();
+        const std::string &yv = consumer.func->varY();
+        for (const CallSite &cs : consumer.calls) {
+            Interval xr = indexInterval(cs.rawX, xv, yv,
+                                        consumer.region.x,
+                                        consumer.region.y);
+            Interval yr = indexInterval(cs.rawY, xv, yv,
+                                        consumer.region.x,
+                                        consumer.region.y);
+            require(cs.callee, xr, yr);
+        }
+        for (const UpdateDef &u : consumer.updates) {
+            Interval rx(0, u.dom.extentX - 1);
+            Interval ry(0, std::max<i64>(u.dom.extentY - 1, 0));
+            std::vector<CallSite> calls;
+            collectCalls(u.value, calls, u.dom.x.name, u.dom.y.name);
+            collectCalls(u.idxX, calls, u.dom.x.name, u.dom.y.name);
+            if (u.idxY.defined())
+                collectCalls(u.idxY, calls, u.dom.x.name, u.dom.y.name);
+            for (const CallSite &cs : calls) {
+                Interval xr = indexInterval(cs.rawX, u.dom.x.name,
+                                            u.dom.y.name, rx, ry);
+                Interval yr = indexInterval(cs.rawY, u.dom.x.name,
+                                            u.dom.y.name, rx, ry);
+                require(cs.callee, xr, yr);
+            }
+        }
+    }
+
+    for (StageInfo &s : pa.stages) {
+        if (s.region.x.empty())
+            fatal("stage ", s.func->name(), " ended up with an empty "
+                  "region; is it disconnected from the output?");
+    }
+    return pa;
+}
+
+} // namespace ipim

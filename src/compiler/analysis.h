@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Pipeline analysis: stage collection, inlining of non-root Funcs into
+ * their consumers (Halide's default schedule; Listing 1's blurx), and
+ * interval-based bounds inference that computes the region each root Func
+ * must be realized over (Sec. V-B).
+ */
+#ifndef IPIM_COMPILER_ANALYSIS_H_
+#define IPIM_COMPILER_ANALYSIS_H_
+
+#include <map>
+#include <vector>
+
+#include "compiler/func.h"
+
+namespace ipim {
+
+/** Rectangular realization region of a Func (y == [0,0] for 1D). */
+struct Rect
+{
+    Interval x;
+    Interval y;
+
+    bool operator==(const Rect &o) const = default;
+};
+
+/** One call from a root stage into another root/input Func. */
+struct CallSite
+{
+    FuncPtr callee;
+    AffineIndex ax; ///< x index as affine form (valid or dynamic)
+    AffineIndex ay;
+    Expr rawX;
+    Expr rawY;
+};
+
+/** One compute_root stage after inlining. */
+struct StageInfo
+{
+    FuncPtr func;
+    Expr rhs;              ///< pure definition with inline funcs folded
+    std::vector<UpdateDef> updates; ///< reduction updates, inlined
+    Rect region;           ///< realization region
+    std::vector<CallSite> calls; ///< calls in rhs (not updates)
+    bool isReduction = false;
+};
+
+/** Analyzed pipeline: stages in producer-to-consumer order. */
+struct PipelineAnalysis
+{
+    PipelineDef def;
+    std::vector<StageInfo> stages; ///< topological, inputs first
+
+    StageInfo &stageOf(const FuncPtr &f);
+    const StageInfo &stageOf(const FuncPtr &f) const;
+    bool hasStage(const FuncPtr &f) const;
+};
+
+/**
+ * Substitute every call to an inline (non-root, non-input) Func by its
+ * definition with arguments substituted; recurses until only root/input
+ * callees remain.
+ */
+Expr inlineExpr(const Expr &e);
+
+/** Run the full analysis; throws FatalError on schedule errors. */
+PipelineAnalysis analyzePipeline(const PipelineDef &def);
+
+} // namespace ipim
+
+#endif // IPIM_COMPILER_ANALYSIS_H_

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Kernel code generation: turns one analyzed pipeline stage into a
+ * per-vault SIMB program (Sec. V-B, Fig. 3).
+ *
+ * Pointwise/stencil/resampling stages lower to:
+ *   1. a halo push phase (boundary rows owned by sibling PGs of the same
+ *      vault are staged into the VSM),
+ *   2. a remote pull phase (rows owned by other vaults are fetched with
+ *      req instructions into the same VSM staging slots),
+ *   3. a main loop: for every owned tile row (unrolled) and slot column
+ *      (CRF loop), fill the PGSM with the required input region (local
+ *      rows via ld_pgsm, staged rows via rd_vsm+wr_pgsm), then compute
+ *      the tile's output vectors and store them with st_rf.
+ *
+ * Reduction stages (Histogram) lower to the paper's parallel partial
+ * reduction: per-PE private accumulation with indirect addressing, then
+ * PG/vault/device-level reduction trees joined by sync barriers.
+ */
+#ifndef IPIM_COMPILER_CODEGEN_H_
+#define IPIM_COMPILER_CODEGEN_H_
+
+#include <memory>
+
+#include "compiler/layout.h"
+#include "compiler/passes.h"
+
+namespace ipim {
+
+/** One stage's compiled programs, one per global vault. */
+struct CompiledKernel
+{
+    std::string stage;
+    std::vector<std::vector<Instruction>> perVault;
+    BackendStats backend; ///< aggregated over vaults
+};
+
+struct CompiledPipeline
+{
+    PipelineDef def;
+    HardwareConfig cfg;
+    CompilerOptions options;
+    std::shared_ptr<PipelineAnalysis> analysis;
+    std::shared_ptr<LayoutMap> layouts;
+    std::vector<CompiledKernel> kernels;
+    u64 scratchBase = 0; ///< per-PE reduction partials area
+    u64 spillBase = 0;   ///< register spill area
+
+    /** Total static instructions over all kernels and vaults. */
+    u64 totalInstructions() const;
+};
+
+/** Compile a pipeline for the given device configuration. */
+CompiledPipeline compilePipeline(const PipelineDef &def,
+                                 const HardwareConfig &cfg,
+                                 const CompilerOptions &opts = {});
+
+} // namespace ipim
+
+#endif // IPIM_COMPILER_CODEGEN_H_

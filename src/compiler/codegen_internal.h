@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Internal structures shared by the pointwise and reduction kernel
+ * emitters.  Not part of the public compiler API.
+ */
+#ifndef IPIM_COMPILER_CODEGEN_INTERNAL_H_
+#define IPIM_COMPILER_CODEGEN_INTERNAL_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "compiler/builder.h"
+#include "compiler/codegen.h"
+
+namespace ipim {
+namespace codegen {
+
+/** How one PGSM-region row is sourced during the fill phase. */
+enum class RowSrc : u8 {
+    kLocalBank, ///< owned by this PG: ld_pgsm from own banks
+    kVsm,       ///< staged in the VSM (pushed by a sibling PG or req'd)
+    kSkip,      ///< outside the producer's region (never consumed)
+};
+
+/** Fill descriptor of one PGSM row for a given (pg, iteration). */
+struct RowFill
+{
+    i64 rowRel = 0;    ///< PGSM row index within the callee's buffer
+    RowSrc src = RowSrc::kSkip;
+    // kLocalBank:
+    i64 lTR = 0;       ///< callee-local tile row (bank addressing)
+    i64 inTileRow = 0; ///< row within the tile
+    // kVsm:
+    i64 stageRow = 0;  ///< row index within this PG's staging block
+
+    bool operator==(const RowFill &o) const = default;
+    auto operator<=>(const RowFill &o) const = default;
+};
+
+/** Per-callee PGSM plan (geometry is identical for all vaults). */
+struct CalleePlan
+{
+    const Func *g = nullptr;
+    Layout gl;
+    bool replicated = false;
+    i64 cx = 1, div = 1;   ///< common x scale of all calls to g
+    i64 inLo0 = 0;         ///< input-x hull low at slot group 0 (abs)
+    i64 inHi0 = 0;         ///< input-x hull high at slot group 0 (abs)
+    i64 advPx = 0;         ///< input-x advance per slot group, in pixels
+    i64 unroll = 1;        ///< slot groups per uniform super-iteration
+    i64 tcFirst0 = 0;      ///< first needed g tile col at slot group 0
+    i64 tcCount = 0;       ///< max needed g tile cols per group
+    i64 rowStride = 0;     ///< PGSM bytes per region row
+    u32 pgsmBase = 0;      ///< PGSM byte offset of this callee's buffer
+    i64 maxRows = 0;       ///< PGSM rows reserved
+    // VSM staging: one deduplicated slot per producer row any PG of the
+    // current vault needs from outside its own banks.
+    u32 stageBase = 0;     ///< VSM byte offset
+    i64 stageRowBytes = 0; ///< bytes per staged row (full padded width)
+    std::map<i64, i64> stageSlotOf; ///< producer row -> staging slot
+};
+
+/** Static description of one unrolled tile-row iteration for one PG. */
+struct PgIter
+{
+    u32 pg = 0;
+    i64 tileRow = 0;   ///< global tile row of the output layout
+    i64 outY0 = 0;     ///< first output pixel row of the tile
+    /// Per callee (parallel to the plan vector): fill rows.
+    std::vector<std::vector<RowFill>> fills;
+
+    bool
+    sameFillAs(const PgIter &o) const
+    {
+        return fills == o.fills;
+    }
+};
+
+/** The s-range a body instantiation covers. */
+struct SRange
+{
+    i64 sStart = 0;
+    i64 sCount = 0;
+    u32 peMask = 0xF; ///< PEs active in the (possibly partial) group
+};
+
+} // namespace codegen
+} // namespace ipim
+
+#endif // IPIM_COMPILER_CODEGEN_INTERNAL_H_

@@ -1,0 +1,334 @@
+#include "compiler/expr.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "compiler/func.h"
+
+namespace ipim {
+
+Expr::Expr(f32 v) { *this = constF(v); }
+Expr::Expr(int v) { *this = constI(v); }
+Expr::Expr(const Var &v) { *this = var(v.name); }
+
+const ExprNode &
+Expr::node() const
+{
+    if (!node_)
+        panic("use of an undefined Expr");
+    return *node_;
+}
+
+Expr
+Expr::constF(f32 v)
+{
+    auto n = std::make_shared<ExprNode>();
+    n->kind = ExprKind::kConstF;
+    n->fval = v;
+    return Expr(n);
+}
+
+Expr
+Expr::constI(i32 v)
+{
+    auto n = std::make_shared<ExprNode>();
+    n->kind = ExprKind::kConstI;
+    n->ival = v;
+    return Expr(n);
+}
+
+Expr
+Expr::var(const std::string &name)
+{
+    auto n = std::make_shared<ExprNode>();
+    n->kind = ExprKind::kVar;
+    n->varName = name;
+    return Expr(n);
+}
+
+Expr
+Expr::call(FuncPtr f, std::vector<Expr> args)
+{
+    if (!f)
+        panic("call of a null Func");
+    if (int(args.size()) != f->dims())
+        fatal("call of ", f->name(), " with ", args.size(),
+              " indices; it has ", f->dims(), " dimensions");
+    auto n = std::make_shared<ExprNode>();
+    n->kind = ExprKind::kCall;
+    n->callee = std::move(f);
+    n->args = std::move(args);
+    return Expr(n);
+}
+
+Expr
+Expr::binary(ExprKind k, Expr a, Expr b)
+{
+    auto n = std::make_shared<ExprNode>();
+    n->kind = k;
+    n->kids = {std::move(a), std::move(b)};
+    return Expr(n);
+}
+
+Expr
+Expr::clamp(Expr v, Expr lo, Expr hi)
+{
+    auto n = std::make_shared<ExprNode>();
+    n->kind = ExprKind::kClamp;
+    n->kids = {std::move(v), std::move(lo), std::move(hi)};
+    return Expr(n);
+}
+
+Expr
+Expr::castI(Expr v)
+{
+    auto n = std::make_shared<ExprNode>();
+    n->kind = ExprKind::kCastI;
+    n->kids = {std::move(v)};
+    return Expr(n);
+}
+
+Expr
+Expr::castF(Expr v)
+{
+    auto n = std::make_shared<ExprNode>();
+    n->kind = ExprKind::kCastF;
+    n->kids = {std::move(v)};
+    return Expr(n);
+}
+
+Expr operator+(Expr a, Expr b) { return Expr::binary(ExprKind::kAdd, a, b); }
+Expr operator-(Expr a, Expr b) { return Expr::binary(ExprKind::kSub, a, b); }
+Expr operator*(Expr a, Expr b) { return Expr::binary(ExprKind::kMul, a, b); }
+Expr operator/(Expr a, Expr b) { return Expr::binary(ExprKind::kDiv, a, b); }
+Expr min(Expr a, Expr b) { return Expr::binary(ExprKind::kMin, a, b); }
+Expr max(Expr a, Expr b) { return Expr::binary(ExprKind::kMax, a, b); }
+Expr clamp(Expr v, Expr lo, Expr hi) { return Expr::clamp(v, lo, hi); }
+
+AffineIndex
+toAffine(const Expr &e, const std::string &xv, const std::string &yv)
+{
+    const ExprNode &n = e.node();
+    AffineIndex r;
+    switch (n.kind) {
+      case ExprKind::kConstI:
+        r.valid = true;
+        r.c0 = n.ival;
+        return r;
+      case ExprKind::kVar:
+        if (n.varName == xv) {
+            r.valid = true;
+            r.cx = 1;
+        } else if (n.varName == yv) {
+            r.valid = true;
+            r.cy = 1;
+        }
+        return r;
+      case ExprKind::kAdd:
+      case ExprKind::kSub: {
+        AffineIndex a = toAffine(n.kids[0], xv, yv);
+        AffineIndex b = toAffine(n.kids[1], xv, yv);
+        if (!a.valid || !b.valid)
+            return {};
+        i64 sign = n.kind == ExprKind::kAdd ? 1 : -1;
+        auto isConst = [](const AffineIndex &i) {
+            return i.cx == 0 && i.cy == 0 && i.div == 1;
+        };
+        if (a.div == 1 && b.div == 1) {
+            r.valid = true;
+            r.cx = a.cx + sign * b.cx;
+            r.cy = a.cy + sign * b.cy;
+            r.c0 = a.c0 + sign * b.c0;
+            return r;
+        }
+        if (isConst(b)) {
+            r = a;
+            i64 k = sign * (b.c0 + b.post0); // b is a constant overall
+            if (r.postMul == 1 && r.post0 == 0) {
+                // p/d + k == (p + k*d)/d  (exact for floor division)
+                r.c0 += k * r.div;
+            } else {
+                r.post0 += k;
+            }
+            return r;
+        }
+        if (isConst(a) && n.kind == ExprKind::kAdd) {
+            r = b;
+            i64 k = a.c0 + a.post0;
+            if (r.postMul == 1 && r.post0 == 0)
+                r.c0 += k * r.div;
+            else
+                r.post0 += k;
+            return r;
+        }
+        return {};
+      }
+      case ExprKind::kMul: {
+        AffineIndex a = toAffine(n.kids[0], xv, yv);
+        AffineIndex b = toAffine(n.kids[1], xv, yv);
+        if (!a.valid || !b.valid)
+            return {};
+        auto isConst = [](const AffineIndex &i) {
+            return i.cx == 0 && i.cy == 0 && i.div == 1;
+        };
+        const AffineIndex *k = nullptr, *v = nullptr;
+        if (isConst(a)) {
+            k = &a;
+            v = &b;
+        } else if (isConst(b)) {
+            k = &b;
+            v = &a;
+        } else {
+            return {};
+        }
+        i64 kc = k->c0 + k->post0;
+        if (v->div == 1) {
+            r.valid = true;
+            r.cx = v->cx * kc;
+            r.cy = v->cy * kc;
+            r.c0 = v->c0 * kc;
+            return r;
+        }
+        // k * (postMul*(p/d) + post0) = (k*postMul)*(p/d) + k*post0
+        r = *v;
+        r.postMul *= kc;
+        r.post0 *= kc;
+        return r;
+      }
+      case ExprKind::kDiv: {
+        AffineIndex a = toAffine(n.kids[0], xv, yv);
+        AffineIndex b = toAffine(n.kids[1], xv, yv);
+        if (!a.valid || !b.valid)
+            return {};
+        if (b.cx != 0 || b.cy != 0 || b.div != 1 || b.c0 + b.post0 <= 0)
+            return {};
+        i64 k = b.c0 + b.post0;
+        if (a.postMul != 1 || a.post0 != 0)
+            return {};
+        // (p/d1)/k == p/(d1*k) for floor division with positive divisors.
+        r = a;
+        r.div = a.div * k;
+        return r;
+      }
+      default:
+        return {};
+    }
+}
+
+namespace {
+
+Interval
+intervalRec(const Expr &e, const std::string &xv, const std::string &yv,
+            const Interval &xr, const Interval &yr)
+{
+    const ExprNode &n = e.node();
+    switch (n.kind) {
+      case ExprKind::kConstI:
+        return Interval::point(n.ival);
+      case ExprKind::kConstF:
+        return Interval::point(i64(n.fval));
+      case ExprKind::kVar:
+        if (n.varName == xv)
+            return xr;
+        if (n.varName == yv)
+            return yr;
+        fatal("index expression references unknown variable ", n.varName);
+      case ExprKind::kAdd:
+        return intervalRec(n.kids[0], xv, yv, xr, yr) +
+               intervalRec(n.kids[1], xv, yv, xr, yr);
+      case ExprKind::kSub:
+        return intervalRec(n.kids[0], xv, yv, xr, yr) -
+               intervalRec(n.kids[1], xv, yv, xr, yr);
+      case ExprKind::kMul:
+        return intervalRec(n.kids[0], xv, yv, xr, yr) *
+               intervalRec(n.kids[1], xv, yv, xr, yr);
+      case ExprKind::kDiv: {
+        Interval b = intervalRec(n.kids[1], xv, yv, xr, yr);
+        if (b.lo != b.hi || b.lo == 0)
+            fatal("index division must be by a nonzero constant");
+        return divConst(intervalRec(n.kids[0], xv, yv, xr, yr), b.lo);
+      }
+      case ExprKind::kMin:
+        return minInterval(intervalRec(n.kids[0], xv, yv, xr, yr),
+                           intervalRec(n.kids[1], xv, yv, xr, yr));
+      case ExprKind::kMax:
+        return maxInterval(intervalRec(n.kids[0], xv, yv, xr, yr),
+                           intervalRec(n.kids[1], xv, yv, xr, yr));
+      case ExprKind::kClamp: {
+        Interval lo = intervalRec(n.kids[1], xv, yv, xr, yr);
+        Interval hi = intervalRec(n.kids[2], xv, yv, xr, yr);
+        // The clamp output is within [lo.lo, hi.hi] regardless of the
+        // (possibly data-dependent) value operand.
+        return {lo.lo, hi.hi};
+      }
+      case ExprKind::kCastI:
+      case ExprKind::kCastF:
+        return intervalRec(n.kids[0], xv, yv, xr, yr);
+      case ExprKind::kCall:
+        // Data-dependent leaf: unbounded unless clamped above.
+        fatal("data-dependent index must be wrapped in clamp() for "
+              "bounds inference");
+      default:
+        panic("intervalRec: bad expr kind");
+    }
+}
+
+} // namespace
+
+Interval
+indexInterval(const Expr &e, const std::string &xv, const std::string &yv,
+              const Interval &xr, const Interval &yr)
+{
+    return intervalRec(e, xv, yv, xr, yr);
+}
+
+std::string
+exprToString(const Expr &e)
+{
+    const ExprNode &n = e.node();
+    std::ostringstream os;
+    switch (n.kind) {
+      case ExprKind::kConstF: os << n.fval << "f"; break;
+      case ExprKind::kConstI: os << n.ival; break;
+      case ExprKind::kVar: os << n.varName; break;
+      case ExprKind::kCall: {
+        os << n.callee->name() << "(";
+        for (size_t i = 0; i < n.args.size(); ++i)
+            os << (i ? ", " : "") << exprToString(n.args[i]);
+        os << ")";
+        break;
+      }
+      case ExprKind::kAdd:
+      case ExprKind::kSub:
+      case ExprKind::kMul:
+      case ExprKind::kDiv: {
+        const char *op = n.kind == ExprKind::kAdd   ? " + "
+                         : n.kind == ExprKind::kSub ? " - "
+                         : n.kind == ExprKind::kMul ? " * "
+                                                    : " / ";
+        os << "(" << exprToString(n.kids[0]) << op
+           << exprToString(n.kids[1]) << ")";
+        break;
+      }
+      case ExprKind::kMin:
+      case ExprKind::kMax:
+        os << (n.kind == ExprKind::kMin ? "min(" : "max(")
+           << exprToString(n.kids[0]) << ", " << exprToString(n.kids[1])
+           << ")";
+        break;
+      case ExprKind::kClamp:
+        os << "clamp(" << exprToString(n.kids[0]) << ", "
+           << exprToString(n.kids[1]) << ", " << exprToString(n.kids[2])
+           << ")";
+        break;
+      case ExprKind::kCastI:
+        os << "i32(" << exprToString(n.kids[0]) << ")";
+        break;
+      case ExprKind::kCastF:
+        os << "f32(" << exprToString(n.kids[0]) << ")";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace ipim

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Expression AST of the Halide-like frontend (Sec. V-A).
+ *
+ * An Expr is a pure function of the loop variables (x, y) and of calls
+ * into other Funcs.  Index expressions inside calls may be affine
+ * ((cx*x + cy*y + c0) / div, floor semantics) or data-dependent
+ * ("dynamic"), in which case they must be wrapped in clamp() so bounds
+ * inference can bound the accessed region.
+ */
+#ifndef IPIM_COMPILER_EXPR_H_
+#define IPIM_COMPILER_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/types.h"
+
+namespace ipim {
+
+class Func;
+using FuncPtr = std::shared_ptr<Func>;
+
+/** A named loop variable. Identity is by name. */
+struct Var
+{
+    std::string name;
+
+    explicit Var(std::string n) : name(std::move(n)) {}
+    bool operator==(const Var &o) const { return name == o.name; }
+};
+
+enum class ExprKind : u8 {
+    kConstF,  ///< FP32 literal
+    kConstI,  ///< INT32 literal
+    kVar,     ///< loop variable reference
+    kCall,    ///< call into another Func at index expressions
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kMin,
+    kMax,
+    kClamp,   ///< clamp(a, lo, hi) == min(max(a, lo), hi)
+    kCastI,   ///< float -> int (truncate toward -inf, matches floor)
+    kCastF,   ///< int -> float
+};
+
+struct ExprNode;
+using ExprNodePtr = std::shared_ptr<const ExprNode>;
+
+/** Value-semantic handle to an immutable expression tree. */
+class Expr
+{
+  public:
+    Expr() = default;
+    /*implicit*/ Expr(f32 v);
+    /*implicit*/ Expr(int v);
+    /*implicit*/ Expr(const Var &v);
+
+    explicit Expr(ExprNodePtr n) : node_(std::move(n)) {}
+
+    bool defined() const { return node_ != nullptr; }
+    const ExprNode &node() const;
+
+    static Expr constF(f32 v);
+    static Expr constI(i32 v);
+    static Expr var(const std::string &name);
+    static Expr call(FuncPtr f, std::vector<Expr> args);
+    static Expr binary(ExprKind k, Expr a, Expr b);
+    static Expr clamp(Expr v, Expr lo, Expr hi);
+    static Expr castI(Expr v);
+    static Expr castF(Expr v);
+
+  private:
+    ExprNodePtr node_;
+};
+
+struct ExprNode
+{
+    ExprKind kind;
+    f32 fval = 0;
+    i32 ival = 0;
+    std::string varName;
+    FuncPtr callee;          ///< kCall
+    std::vector<Expr> args;  ///< kCall index expressions
+    std::vector<Expr> kids;  ///< operands of arithmetic nodes
+};
+
+Expr operator+(Expr a, Expr b);
+Expr operator-(Expr a, Expr b);
+Expr operator*(Expr a, Expr b);
+Expr operator/(Expr a, Expr b);
+Expr min(Expr a, Expr b);
+Expr max(Expr a, Expr b);
+Expr clamp(Expr v, Expr lo, Expr hi);
+
+/**
+ * Affine view of an index expression:
+ *
+ *   postMul * floorDiv(cx*x + cy*y + c0, div) + post0
+ *
+ * with div >= 1.  The postMul/post0 extension covers pyramid and plane-
+ * interleaved patterns like 8*(y/8)+dy and (y/8)*NZ+z.  valid==false
+ * means the index is dynamic (data-dependent).
+ */
+struct AffineIndex
+{
+    bool valid = false;
+    i64 cx = 0;
+    i64 cy = 0;
+    i64 c0 = 0;
+    i64 div = 1;
+    i64 postMul = 1;
+    i64 post0 = 0;
+
+    i64
+    eval(i64 x, i64 y) const
+    {
+        return postMul * floorDiv(cx * x + cy * y + c0, div) + post0;
+    }
+
+    bool isPureAffine() const { return div == 1; }
+};
+
+/** Try to view @p e as an affine index over variables @p xv / @p yv. */
+AffineIndex toAffine(const Expr &e, const std::string &xv,
+                     const std::string &yv);
+
+/**
+ * Interval of an index expression when x/y range over @p xr / @p yr.
+ * Works for dynamic indices too as long as every data-dependent leaf is
+ * bounded by a clamp; throws FatalError otherwise.
+ */
+Interval indexInterval(const Expr &e, const std::string &xv,
+                       const std::string &yv, const Interval &xr,
+                       const Interval &yr);
+
+/** Pretty-printer for diagnostics. */
+std::string exprToString(const Expr &e);
+
+} // namespace ipim
+
+#endif // IPIM_COMPILER_EXPR_H_

@@ -1,0 +1,108 @@
+#include "compiler/func.h"
+
+#include "common/logging.h"
+
+namespace ipim {
+
+void
+Func::define(Var x, Var y, Expr rhs)
+{
+    if (dims_ != 2)
+        fatal("2D definition of ", name_, " which has ", dims_, " dims");
+    if (rhs_.defined())
+        fatal("redefinition of ", name_);
+    varX_ = x.name;
+    varY_ = y.name;
+    rhs_ = std::move(rhs);
+}
+
+void
+Func::define(Var x, Expr rhs)
+{
+    if (dims_ != 1)
+        fatal("1D definition of ", name_, " which has ", dims_, " dims");
+    if (rhs_.defined())
+        fatal("redefinition of ", name_);
+    varX_ = x.name;
+    varY_ = "__none";
+    rhs_ = std::move(rhs);
+}
+
+void
+Func::defineUpdate(UpdateDef update)
+{
+    if (!rhs_.defined())
+        fatal("update of ", name_, " before its pure definition");
+    if (!update.idxX.defined())
+        fatal("update of ", name_, " needs a scatter index");
+    if (dims_ == 2 && !update.idxY.defined())
+        fatal("2D update of ", name_, " needs both scatter indices");
+    updates_.push_back(std::move(update));
+}
+
+Func &
+Func::computeRoot()
+{
+    storage_ = StorageKind::kTiled;
+    return *this;
+}
+
+Func &
+Func::computeReplicated()
+{
+    storage_ = StorageKind::kReplicated;
+    return *this;
+}
+
+Func &
+Func::ipimTile(int tx, int ty)
+{
+    if (tx <= 0 || ty <= 0 || tx % kSimdLanes != 0)
+        fatal("ipim_tile of ", name_, ": tile width must be a positive "
+              "multiple of the SIMD length");
+    tileX_ = tx;
+    tileY_ = ty;
+    return *this;
+}
+
+Func &
+Func::loadPgsm()
+{
+    loadPgsm_ = true;
+    return *this;
+}
+
+Func &
+Func::vectorize(int factor)
+{
+    if (factor != kSimdLanes)
+        fatal("vectorize(", factor, "): iPIM's SIMD length is ",
+              kSimdLanes);
+    return *this;
+}
+
+Expr
+Func::operator()(Expr ix, Expr iy)
+{
+    return Expr::call(shared_from_this(), {std::move(ix), std::move(iy)});
+}
+
+Expr
+Func::operator()(Expr ix)
+{
+    return Expr::call(shared_from_this(), {std::move(ix)});
+}
+
+Expr
+at(const FuncPtr &f, Expr ix, Expr iy)
+{
+    return Expr::call(f, {std::move(ix), std::move(iy)});
+}
+
+Expr
+at(const FuncPtr &f, Expr ix)
+{
+    return Expr::call(f, {std::move(ix)});
+}
+
+} // namespace ipim

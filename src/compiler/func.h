@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Func: one stage of an image pipeline, plus its iPIM schedule.
+ *
+ * Mirrors the paper's programming interface (Listing 1): an algorithm is
+ * a set of Funcs; the schedule picks compute_root / ipim_tile / load_pgsm
+ * / vectorize.  Additional schedule directives used by this repo:
+ *
+ *  - computeReplicated(): the (small) Func is computed redundantly by
+ *    every PE into its own bank, so consumers gather from the local bank
+ *    (used for lookup tables, e.g. the Local Laplacian remap curve);
+ *  - reductions (RDom) are expressed as an update definition and lower to
+ *    the parallel partial-reduction scheme the paper describes for
+ *    Histogram (Sec. VII-B).
+ */
+#ifndef IPIM_COMPILER_FUNC_H_
+#define IPIM_COMPILER_FUNC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/expr.h"
+
+namespace ipim {
+
+/** Reduction domain: r.x in [0, extentX), r.y in [0, extentY). */
+struct RDom
+{
+    i64 extentX = 0;
+    i64 extentY = 0;
+
+    Var x{"r__x"};
+    Var y{"r__y"};
+
+    RDom(i64 ex, i64 ey) : extentX(ex), extentY(ey) {}
+};
+
+/**
+ * Update definition: f(idx) <- f(idx) + value, iterated over an RDom.
+ * idx/value are expressions over the RDom variables.
+ */
+struct UpdateDef
+{
+    Expr idxX;   ///< scatter x index (over r.x/r.y)
+    Expr idxY;   ///< scatter y index; undefined for 1D funcs
+    Expr value;  ///< accumulated value
+    RDom dom;
+};
+
+/** How a root Func is realized on the device. */
+enum class StorageKind : u8 {
+    kTiled,      ///< distributed over all PEs per ipim_tile
+    kReplicated, ///< full copy in every PE's bank
+    kInline,     ///< not stored; substituted into consumers
+};
+
+class Func : public std::enable_shared_from_this<Func>
+{
+  public:
+    static FuncPtr
+    make(std::string name, int dims = 2)
+    {
+        return std::shared_ptr<Func>(new Func(std::move(name), dims));
+    }
+
+    /** An external input image bound by the runtime. */
+    static FuncPtr
+    input(std::string name, int dims = 2)
+    {
+        FuncPtr f = make(std::move(name), dims);
+        f->isInput_ = true;
+        f->storage_ = StorageKind::kTiled;
+        return f;
+    }
+
+    const std::string &name() const { return name_; }
+    int dims() const { return dims_; }
+    bool isInput() const { return isInput_; }
+
+    /** Pure definition f(x, y) = rhs. */
+    void define(Var x, Var y, Expr rhs);
+    void define(Var x, Expr rhs); ///< 1D form
+
+    bool hasDefinition() const { return rhs_.defined(); }
+    const Expr &rhs() const { return rhs_; }
+    const std::string &varX() const { return varX_; }
+    const std::string &varY() const { return varY_; }
+
+    /** Reduction update (after an initializing pure definition). */
+    void defineUpdate(UpdateDef update);
+    bool hasUpdate() const { return !updates_.empty(); }
+    const std::vector<UpdateDef> &updates() const { return updates_; }
+
+    // ---- Schedule ----
+    Func &computeRoot();
+    Func &computeReplicated();
+    Func &ipimTile(int tx, int ty);
+    Func &loadPgsm();
+    Func &vectorize(int factor);
+
+    StorageKind storage() const { return storage_; }
+    bool isRoot() const { return storage_ != StorageKind::kInline; }
+    int tileX() const { return tileX_; }
+    int tileY() const { return tileY_; }
+    bool usesPgsm() const { return loadPgsm_; }
+
+    /** Convenience call builders: f(x, y), f(x). */
+    Expr operator()(Expr ix, Expr iy);
+    Expr operator()(Expr ix);
+
+  private:
+    Func(std::string name, int dims) : name_(std::move(name)), dims_(dims)
+    {
+    }
+
+    std::string name_;
+    int dims_;
+    bool isInput_ = false;
+
+    Expr rhs_;
+    std::string varX_ = "x";
+    std::string varY_ = "y";
+    std::vector<UpdateDef> updates_;
+
+    StorageKind storage_ = StorageKind::kInline;
+    int tileX_ = 8;
+    int tileY_ = 8;
+    bool loadPgsm_ = false;
+};
+
+/** Call helper usable on FuncPtr: at(f, x, y). */
+Expr at(const FuncPtr &f, Expr ix, Expr iy);
+Expr at(const FuncPtr &f, Expr ix);
+
+/** The whole pipeline: one output Func plus its extent. */
+struct PipelineDef
+{
+    std::string name;
+    FuncPtr output;
+    int width = 0;
+    int height = 0;
+    std::vector<FuncPtr> inputs;
+};
+
+} // namespace ipim
+
+#endif // IPIM_COMPILER_FUNC_H_

@@ -1,0 +1,229 @@
+#include "compiler/layout.h"
+
+#include "common/logging.h"
+
+namespace ipim {
+
+Layout
+Layout::tiled(const HardwareConfig &cfg, const Rect &region, i32 tx,
+              i32 ty, u64 baseAddr)
+{
+    if (tx <= 0 || ty <= 0 || tx % kSimdLanes != 0)
+        fatal("tile width must be a positive multiple of ", kSimdLanes);
+    Layout l;
+    l.kind_ = LayoutKind::kTiled;
+    l.region_ = region;
+    l.base_ = baseAddr;
+    l.tx_ = tx;
+    l.ty_ = ty;
+    l.pesPerPg_ = cfg.pesPerPg;
+    l.totalVaults_ = cfg.cubes * cfg.vaultsPerCube;
+    l.pgsPerVault_ = cfg.pgsPerVault;
+    l.vaultsPerCube_ = cfg.vaultsPerCube;
+    // Auto-split the tile height while process groups would sit idle:
+    // every PG owns whole rows of tiles, so more tile rows use more of
+    // the device — but thinner tiles refetch more vertical halo.  Stop
+    // splitting once at least half the PG strips have work; past that
+    // point the halo overhead outweighs the extra parallelism.
+    i64 totalPgs = i64(l.totalVaults_) * cfg.pgsPerVault;
+    while (l.ty_ > 1 &&
+           2 * ((region.y.extent() + l.ty_ - 1) / l.ty_) < totalPgs)
+        l.ty_ = std::max<i32>(1, l.ty_ / 2);
+    ty = l.ty_;
+    l.tilesX_ = (region.x.extent() + tx - 1) / tx;
+    l.tilesY_ = (region.y.extent() + ty - 1) / ty;
+    l.slotCols_ = (l.tilesX_ + cfg.pesPerPg - 1) / cfg.pesPerPg;
+    l.tileRowsPerVault_ =
+        (l.tilesY_ + l.totalVaults_ - 1) / l.totalVaults_;
+    l.tileRowsPerPg_ =
+        (l.tileRowsPerVault_ + cfg.pgsPerVault - 1) / cfg.pgsPerVault;
+    l.bytesPerPe_ =
+        u64(l.tileRowsPerPg_) * l.slotCols_ * l.tileBytes();
+    return l;
+}
+
+Layout
+Layout::replicated(const Rect &region, u64 baseAddr)
+{
+    Layout l;
+    l.kind_ = LayoutKind::kReplicated;
+    l.region_ = region;
+    l.base_ = baseAddr;
+    u64 paddedW = u64((region.x.extent() + kSimdLanes - 1) / kSimdLanes) *
+                  kSimdLanes;
+    l.bytesPerPe_ = paddedW * u64(region.y.extent()) * 4;
+    return l;
+}
+
+Layout
+Layout::singleton(const Rect &region, u64 baseAddr)
+{
+    // Reduction outputs keep one value per 128b vector (lane 0) so the
+    // read-modify-write loop of the accumulation phase can use whole
+    // CAS accesses without lane shuffles.
+    Layout l = replicated(region, baseAddr);
+    l.kind_ = LayoutKind::kSingleton;
+    l.bytesPerPe_ = u64(region.x.extent()) * region.y.extent() *
+                    kVectorBytes;
+    return l;
+}
+
+i64
+Layout::numStrips() const
+{
+    return i64(totalVaults_) * pgsPerVault_;
+}
+
+i64
+Layout::stripOfTileRow(i64 tr) const
+{
+    // Proportional assignment: strip boundaries sit at the same image
+    // fraction for every realized func, so producer and consumer strips
+    // (and pyramid levels) stay aligned and halo exchange stays local.
+    return tr * numStrips() / tilesY_;
+}
+
+i64
+Layout::stripFirstRow(i64 strip) const
+{
+    return (strip * tilesY_ + numStrips() - 1) / numStrips();
+}
+
+u32
+Layout::vaultOfTileRow(i64 tr) const
+{
+    return u32(stripOfTileRow(tr) / pgsPerVault_);
+}
+
+u32
+Layout::pgOfTileRow(i64 tr) const
+{
+    return u32(stripOfTileRow(tr) % pgsPerVault_);
+}
+
+i64
+Layout::localTileRow(i64 tr) const
+{
+    return tr - stripFirstRow(stripOfTileRow(tr));
+}
+
+i64
+Layout::tileRowsOwned(u32 globalVault, u32 pg) const
+{
+    i64 strip = i64(globalVault) * pgsPerVault_ + pg;
+    i64 first = stripFirstRow(strip);
+    i64 next = strip + 1 >= numStrips() ? tilesY_
+                                        : stripFirstRow(strip + 1);
+    return std::max<i64>(0, std::min(next, tilesY_) - first);
+}
+
+i64
+Layout::firstTileRow(u32 globalVault, u32 pg) const
+{
+    return stripFirstRow(i64(globalVault) * pgsPerVault_ + pg);
+}
+
+Interval
+Layout::pixelRowsOfPg(u32 globalVault, u32 pg) const
+{
+    i64 rows = tileRowsOwned(globalVault, pg);
+    if (rows == 0)
+        return {};
+    i64 tr0 = firstTileRow(globalVault, pg);
+    i64 y0 = region_.y.lo + tr0 * ty_;
+    i64 y1 = std::min(region_.y.hi, y0 + rows * ty_ - 1);
+    return {y0, y1};
+}
+
+i64
+Layout::slotOf(i64 tileCol, i64 tileRow) const
+{
+    return localTileRow(tileRow) * slotCols_ + tileCol / pesPerPg_;
+}
+
+u64
+Layout::inTileOffset(i64 x, i64 y) const
+{
+    i64 inX = (x - region_.x.lo) % tx_;
+    i64 inY = (y - region_.y.lo) % ty_;
+    return u64(inY) * tx_ * 4 + u64(inX) * 4;
+}
+
+PixelHome
+Layout::homeOf(i64 x, i64 y) const
+{
+    if (!region_.x.contains(x) || !region_.y.contains(y))
+        panic("homeOf(", x, ",", y, ") outside region");
+    PixelHome h;
+    if (kind_ != LayoutKind::kTiled) {
+        // Replicated: every PE holds a copy; report the canonical one.
+        h.addr = base_ + linearAddr(x, y);
+        return h;
+    }
+    i64 tc = tileColOfX(x);
+    i64 tr = tileRowOfY(y);
+    u32 gv = vaultOfTileRow(tr);
+    h.chip = gv / vaultsPerCube_;
+    h.vault = gv % vaultsPerCube_;
+    h.pg = pgOfTileRow(tr);
+    h.pe = u32(tc % pesPerPg_);
+    h.addr = base_ + u64(slotOf(tc, tr)) * tileBytes() +
+             inTileOffset(x, y);
+    return h;
+}
+
+u64
+Layout::linearAddr(i64 x, i64 y) const
+{
+    if (kind_ == LayoutKind::kSingleton) {
+        return (u64(y - region_.y.lo) * region_.x.extent() +
+                u64(x - region_.x.lo)) *
+               kVectorBytes;
+    }
+    u64 paddedW = u64((region_.x.extent() + kSimdLanes - 1) / kSimdLanes) *
+                  kSimdLanes;
+    return u64(y - region_.y.lo) * paddedW * 4 + u64(x - region_.x.lo) * 4;
+}
+
+const Layout &
+LayoutMap::of(const FuncPtr &f) const
+{
+    return of(f.get());
+}
+
+const Layout &
+LayoutMap::of(const Func *f) const
+{
+    auto it = layouts_.find(f);
+    if (it == layouts_.end())
+        panic("no layout for func ", f->name());
+    return it->second;
+}
+
+LayoutMap::LayoutMap(const HardwareConfig &cfg, const PipelineAnalysis &pa)
+{
+    u64 heap = 0;
+    auto align16 = [](u64 v) { return (v + 15) & ~u64(15); };
+    for (const StageInfo &s : pa.stages) {
+        Layout l;
+        StorageKind sk = s.func->storage();
+        if (s.func->isInput())
+            sk = StorageKind::kTiled;
+        if (s.isReduction) {
+            l = Layout::singleton(s.region, heap);
+        } else if (sk == StorageKind::kReplicated) {
+            l = Layout::replicated(s.region, heap);
+        } else {
+            l = Layout::tiled(cfg, s.region, s.func->tileX(),
+                              s.func->tileY(), heap);
+        }
+        heap = align16(heap + l.bytesPerPe());
+        if (heap > cfg.bankBytes)
+            fatal("pipeline needs ", heap,
+                  " bytes per bank; banks have ", cfg.bankBytes);
+        layouts_.emplace(s.func.get(), l);
+    }
+    heapEnd_ = heap;
+}
+
+} // namespace ipim

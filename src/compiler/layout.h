@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Physical data layout of a realized Func across the iPIM hierarchy
+ * (Fig. 3(a)): vaults own contiguous strips of tile rows, process groups
+ * own sub-strips, and within a PG consecutive tile columns interleave
+ * across the four PEs so adjacent tiles can share data through the PGSM.
+ *
+ * The same Layout object is used by the compiler (address generation),
+ * the runtime (image scatter/gather), and the halo-exchange planner, so
+ * every party agrees on where a pixel lives.
+ */
+#ifndef IPIM_COMPILER_LAYOUT_H_
+#define IPIM_COMPILER_LAYOUT_H_
+
+#include <map>
+
+#include "common/config.h"
+#include "compiler/analysis.h"
+
+namespace ipim {
+
+/** Physical placement of one pixel. */
+struct PixelHome
+{
+    u32 chip = 0;
+    u32 vault = 0;   ///< vault within the chip
+    u32 pg = 0;
+    u32 pe = 0;      ///< PE within the PG
+    u64 addr = 0;    ///< byte address in that PE's bank
+};
+
+enum class LayoutKind : u8 {
+    kTiled,      ///< distributed tiles (Fig. 3(a))
+    kReplicated, ///< full copy in every PE
+    kSingleton,  ///< single copy on chip0/vault0/pg0/pe0 (reduction out)
+};
+
+class Layout
+{
+  public:
+    Layout() = default;
+
+    static Layout tiled(const HardwareConfig &cfg, const Rect &region,
+                        i32 tx, i32 ty, u64 baseAddr);
+    static Layout replicated(const Rect &region, u64 baseAddr);
+    static Layout singleton(const Rect &region, u64 baseAddr);
+
+    LayoutKind kind() const { return kind_; }
+    const Rect &region() const { return region_; }
+    u64 baseAddr() const { return base_; }
+    i32 tx() const { return tx_; }
+    i32 ty() const { return ty_; }
+
+    /** Bank bytes this layout occupies in every PE. */
+    u64 bytesPerPe() const { return bytesPerPe_; }
+
+    // ---- Tiled-layout geometry ----
+    i64 tilesX() const { return tilesX_; }
+    i64 tilesY() const { return tilesY_; }
+    i64 slotCols() const { return slotCols_; }           ///< per PE
+    i64 tileRowsPerVault() const { return tileRowsPerVault_; }
+    i64 tileRowsPerPg() const { return tileRowsPerPg_; } ///< max per PG
+    u64 tileBytes() const { return u64(tx_) * ty_ * 4; }
+
+    i64 tileColOfX(i64 x) const { return (x - region_.x.lo) / tx_; }
+    i64 tileRowOfY(i64 y) const { return (y - region_.y.lo) / ty_; }
+
+    /** Total PG strips and their proportional tile-row boundaries. */
+    i64 numStrips() const;
+    i64 stripOfTileRow(i64 tr) const;
+    i64 stripFirstRow(i64 strip) const;
+
+    /** Global vault (chip*vaultsPerCube+vault) owning tile row @p tr. */
+    u32 vaultOfTileRow(i64 tr) const;
+    /** PG within the vault owning tile row @p tr. */
+    u32 pgOfTileRow(i64 tr) const;
+    /** Tile row index local to its PG (0-based). */
+    i64 localTileRow(i64 tr) const;
+
+    /** Number of tile rows PG (vault, pg) actually owns. */
+    i64 tileRowsOwned(u32 globalVault, u32 pg) const;
+    /** First global tile row of PG (globalVault, pg). */
+    i64 firstTileRow(u32 globalVault, u32 pg) const;
+
+    /** Rows of pixels [first, last] owned by a PG; empty if none. */
+    Interval pixelRowsOfPg(u32 globalVault, u32 pg) const;
+
+    /** Slot index of tile (tileCol, tileRow) in its owner PE's bank. */
+    i64 slotOf(i64 tileCol, i64 tileRow) const;
+
+    /** Placement of pixel (x, y); must be inside the region. */
+    PixelHome homeOf(i64 x, i64 y) const;
+
+    /** Byte address of (x, y) in a replicated/singleton buffer. */
+    u64 linearAddr(i64 x, i64 y) const;
+
+    /** For tiled: byte offset of (x,y) inside its tile's slot. */
+    u64 inTileOffset(i64 x, i64 y) const;
+
+  private:
+    LayoutKind kind_ = LayoutKind::kTiled;
+    Rect region_;
+    u64 base_ = 0;
+    i32 tx_ = 8;
+    i32 ty_ = 8;
+    u64 bytesPerPe_ = 0;
+
+    u32 pesPerPg_ = 4;
+    u32 totalVaults_ = 1;
+    u32 pgsPerVault_ = 1;
+    u32 vaultsPerCube_ = 1;
+    i64 tilesX_ = 0;
+    i64 tilesY_ = 0;
+    i64 slotCols_ = 0;
+    i64 tileRowsPerVault_ = 0;
+    i64 tileRowsPerPg_ = 0;
+};
+
+/** Assigns bank addresses to all stages of an analyzed pipeline. */
+class LayoutMap
+{
+  public:
+    LayoutMap(const HardwareConfig &cfg, const PipelineAnalysis &pa);
+
+    const Layout &of(const FuncPtr &f) const;
+    const Layout &of(const Func *f) const;
+
+    /** First free byte of the per-PE bank heap (spill area starts here). */
+    u64 heapEnd() const { return heapEnd_; }
+
+  private:
+    std::map<const Func *, Layout> layouts_;
+    u64 heapEnd_ = 0;
+};
+
+} // namespace ipim
+
+#endif // IPIM_COMPILER_LAYOUT_H_

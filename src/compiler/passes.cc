@@ -1,0 +1,821 @@
+#include "compiler/passes.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+
+namespace ipim {
+
+namespace {
+
+/** Combined virtual-register key: file in the high bits. */
+u32
+regKey(RegFile f, u16 idx)
+{
+    return (u32(f) << 16) | idx;
+}
+
+RegFile
+keyFile(u32 k)
+{
+    return RegFile(k >> 16);
+}
+
+/**
+ * Visit every register field of an instruction with its role, mirroring
+ * Instruction::accessSet().  The callback may rewrite the field.
+ */
+template <typename Fn>
+void
+visitRegFields(Instruction &inst, Fn &&fn)
+{
+    auto mem = [&](MemOperand &m) {
+        if (m.indirect) {
+            u16 v = u16(m.value);
+            fn(RegFile::kArf, v, true, false);
+            m.value = v;
+        }
+    };
+    switch (inst.op) {
+      case Opcode::kComp:
+        fn(RegFile::kDrf, inst.src1, true, false);
+        fn(RegFile::kDrf, inst.src2, true, false);
+        fn(RegFile::kDrf, inst.dst, inst.aluOp == AluOp::kMac, true);
+        break;
+      case Opcode::kCalcArf:
+        fn(RegFile::kArf, inst.src1, true, false);
+        if (!inst.srcImm)
+            fn(RegFile::kArf, inst.src2, true, false);
+        fn(RegFile::kArf, inst.dst, false, true);
+        break;
+      case Opcode::kStRf:
+        fn(RegFile::kDrf, inst.dst, true, false);
+        mem(inst.dramAddr);
+        break;
+      case Opcode::kLdRf:
+        mem(inst.dramAddr);
+        fn(RegFile::kDrf, inst.dst, false, true);
+        break;
+      case Opcode::kStPgsm:
+      case Opcode::kLdPgsm:
+        mem(inst.dramAddr);
+        mem(inst.pgsmAddr);
+        break;
+      case Opcode::kRdPgsm:
+        mem(inst.pgsmAddr);
+        fn(RegFile::kDrf, inst.dst, false, true);
+        break;
+      case Opcode::kWrPgsm:
+        mem(inst.pgsmAddr);
+        fn(RegFile::kDrf, inst.dst, true, false);
+        break;
+      case Opcode::kRdVsm:
+        mem(inst.vsmAddr);
+        fn(RegFile::kDrf, inst.dst, false, true);
+        break;
+      case Opcode::kWrVsm:
+        mem(inst.vsmAddr);
+        fn(RegFile::kDrf, inst.dst, true, false);
+        break;
+      case Opcode::kMovDrfToArf:
+        fn(RegFile::kDrf, inst.src1, true, false);
+        fn(RegFile::kArf, inst.dst, false, true);
+        break;
+      case Opcode::kMovArfToDrf:
+        fn(RegFile::kArf, inst.src1, true, false);
+        fn(RegFile::kDrf, inst.dst, false, true);
+        break;
+      case Opcode::kReset:
+        fn(RegFile::kDrf, inst.dst, false, true);
+        break;
+      case Opcode::kJump:
+        fn(RegFile::kCrf, inst.dst, true, false);
+        break;
+      case Opcode::kCjump:
+        fn(RegFile::kCrf, inst.src1, true, false);
+        fn(RegFile::kCrf, inst.dst, true, false);
+        break;
+      case Opcode::kCalcCrf:
+        fn(RegFile::kCrf, inst.src1, true, false);
+        if (!inst.srcImm)
+            fn(RegFile::kCrf, inst.src2, true, false);
+        fn(RegFile::kCrf, inst.dst, false, true);
+        break;
+      case Opcode::kSetiCrf:
+        fn(RegFile::kCrf, inst.dst, false, true);
+        break;
+      case Opcode::kReq: {
+        // Core-side indirection resolves through the CtrlRF.
+        if (inst.dramAddr.indirect) {
+            u16 v = u16(inst.dramAddr.value);
+            fn(RegFile::kCrf, v, true, false);
+            inst.dramAddr.value = v;
+        }
+        if (inst.vsmAddr.indirect) {
+            u16 v = u16(inst.vsmAddr.value);
+            fn(RegFile::kCrf, v, true, false);
+            inst.vsmAddr.value = v;
+        }
+        break;
+      }
+      default:
+        break; // seti_vsm, sync, halt, nop: no register fields
+    }
+}
+
+bool
+isBlockEnder(Opcode op)
+{
+    return op == Opcode::kJump || op == Opcode::kCjump ||
+           op == Opcode::kSync || op == Opcode::kHalt;
+}
+
+struct Block
+{
+    size_t begin = 0; ///< index into the instruction vector
+    size_t end = 0;   ///< one past the last instruction
+    std::vector<int> succs;
+};
+
+struct Cfg
+{
+    std::vector<Block> blocks;
+    std::map<i32, int> labelBlock; ///< label id -> block index
+};
+
+Cfg
+buildCfg(const BuilderProgram &prog)
+{
+    std::set<size_t> starts;
+    starts.insert(0);
+    for (const auto &[label, pos] : prog.labelPos)
+        starts.insert(pos);
+    for (size_t i = 0; i < prog.insts.size(); ++i)
+        if (isBlockEnder(prog.insts[i].op))
+            starts.insert(i + 1);
+    starts.erase(prog.insts.size());
+
+    Cfg cfg;
+    std::map<size_t, int> blockAt;
+    for (auto it = starts.begin(); it != starts.end(); ++it) {
+        Block b;
+        b.begin = *it;
+        auto next = std::next(it);
+        b.end = next == starts.end() ? prog.insts.size() : *next;
+        blockAt[b.begin] = int(cfg.blocks.size());
+        cfg.blocks.push_back(b);
+    }
+    for (const auto &[label, pos] : prog.labelPos)
+        cfg.labelBlock[label] = blockAt.at(pos);
+
+    // Map branch-target CRF registers to labels via their seti_crf.
+    std::map<u16, i32> targetRegLabel;
+    for (const Instruction &inst : prog.insts)
+        if (inst.op == Opcode::kSetiCrf && inst.label >= 0)
+            targetRegLabel[inst.dst] = inst.label;
+
+    for (size_t bi = 0; bi < cfg.blocks.size(); ++bi) {
+        Block &b = cfg.blocks[bi];
+        if (b.begin == b.end)
+            continue;
+        const Instruction &last = prog.insts[b.end - 1];
+        auto labelSucc = [&](u16 reg) {
+            auto it = targetRegLabel.find(reg);
+            if (it == targetRegLabel.end())
+                fatal("branch target register c", reg,
+                      " has no label-bearing seti_crf");
+            b.succs.push_back(cfg.labelBlock.at(it->second));
+        };
+        switch (last.op) {
+          case Opcode::kJump:
+            labelSucc(last.dst);
+            break;
+          case Opcode::kCjump:
+            labelSucc(last.dst);
+            if (bi + 1 < cfg.blocks.size())
+                b.succs.push_back(int(bi + 1));
+            break;
+          case Opcode::kHalt:
+            break;
+          default:
+            if (bi + 1 < cfg.blocks.size())
+                b.succs.push_back(int(bi + 1));
+            break;
+        }
+    }
+    return cfg;
+}
+
+struct UseDef
+{
+    std::vector<u32> uses;
+    std::vector<u32> defs;
+};
+
+UseDef
+useDef(const Instruction &inst)
+{
+    UseDef ud;
+    visitRegFields(const_cast<Instruction &>(inst),
+                   [&](RegFile f, u16 &idx, bool r, bool w) {
+                       if (r)
+                           ud.uses.push_back(regKey(f, idx));
+                       if (w)
+                           ud.defs.push_back(regKey(f, idx));
+                   });
+    return ud;
+}
+
+/** Global backward liveness; returns liveOut per instruction index. */
+std::vector<std::set<u32>>
+liveness(const BuilderProgram &prog, const Cfg &cfg)
+{
+    size_t n = prog.insts.size();
+    std::vector<UseDef> ud(n);
+    for (size_t i = 0; i < n; ++i)
+        ud[i] = useDef(prog.insts[i]);
+
+    std::vector<std::set<u32>> liveIn(cfg.blocks.size());
+    std::vector<std::set<u32>> liveOutB(cfg.blocks.size());
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int bi = int(cfg.blocks.size()) - 1; bi >= 0; --bi) {
+            const Block &b = cfg.blocks[bi];
+            std::set<u32> out;
+            for (int s : b.succs)
+                out.insert(liveIn[s].begin(), liveIn[s].end());
+            std::set<u32> live = out;
+            for (size_t i = b.end; i-- > b.begin;) {
+                for (u32 d : ud[i].defs)
+                    live.erase(d);
+                for (u32 u : ud[i].uses)
+                    live.insert(u);
+            }
+            if (out != liveOutB[bi]) {
+                liveOutB[bi] = out;
+                changed = true;
+            }
+            if (live != liveIn[bi]) {
+                liveIn[bi] = std::move(live);
+                changed = true;
+            }
+        }
+    }
+
+    std::vector<std::set<u32>> liveOut(n);
+    for (size_t bi = 0; bi < cfg.blocks.size(); ++bi) {
+        const Block &b = cfg.blocks[bi];
+        std::set<u32> live = liveOutB[bi];
+        for (size_t i = b.end; i-- > b.begin;) {
+            liveOut[i] = live;
+            for (u32 d : ud[i].defs)
+                live.erase(d);
+            for (u32 u : ud[i].uses)
+                live.insert(u);
+        }
+    }
+    return liveOut;
+}
+
+/** Result of a coloring attempt. */
+struct Coloring
+{
+    std::map<u32, u16> color;    ///< virtual key -> physical index
+    std::vector<u32> spills;     ///< uncolorable DRF virtuals
+    u32 maxDrfColor = 0;
+};
+
+Coloring
+colorRegisters(const HardwareConfig &cfg, const BuilderProgram &prog,
+               const Cfg &cfgBlocks, bool maxPolicy,
+               const std::set<u32> &spillTemps)
+{
+    auto liveOut = liveness(prog, cfgBlocks);
+
+    // Interference graph.
+    std::map<u32, std::set<u32>> interf;
+    std::vector<u32> order; // coloring order = first-def order
+    std::set<u32> seen;
+    for (size_t i = 0; i < prog.insts.size(); ++i) {
+        UseDef ud = useDef(prog.insts[i]);
+        for (u32 d : ud.defs) {
+            if (keyFile(d) == RegFile::kArf && (d & 0xFFFF) < 4)
+                fatal("program writes reserved identity register A",
+                      d & 0xFFFF);
+            if (!seen.count(d)) {
+                seen.insert(d);
+                order.push_back(d);
+            }
+            for (u32 l : liveOut[i]) {
+                if (l != d && keyFile(l) == keyFile(d)) {
+                    interf[d].insert(l);
+                    interf[l].insert(d);
+                }
+            }
+            for (u32 d2 : ud.defs)
+                if (d2 != d && keyFile(d2) == keyFile(d)) {
+                    interf[d].insert(d2);
+                    interf[d2].insert(d);
+                }
+        }
+        // Registers only ever read (constants pre-set by the runtime or
+        // identity regs) still need slots.
+        for (u32 u : ud.uses) {
+            if (keyFile(u) == RegFile::kArf && (u & 0xFFFF) < 4)
+                continue;
+            if (!seen.count(u)) {
+                seen.insert(u);
+                order.push_back(u);
+            }
+        }
+    }
+
+    u32 drfColors = cfg.dataRfEntries();
+    u32 arfColors = cfg.addrRfEntries();
+    u32 crfColors = cfg.ctrlRfEntries;
+
+    Coloring result;
+    // Per-file recency stamps for the max policy.
+    std::map<RegFile, std::vector<u64>> lastAssign;
+    lastAssign[RegFile::kDrf].assign(drfColors, 0);
+    lastAssign[RegFile::kArf].assign(arfColors, 0);
+    lastAssign[RegFile::kCrf].assign(crfColors, 0);
+    u64 stamp = 1;
+
+    for (u32 v : order) {
+        RegFile f = keyFile(v);
+        u32 numColors = f == RegFile::kDrf   ? drfColors
+                        : f == RegFile::kArf ? arfColors
+                                             : crfColors;
+        u32 firstColor = f == RegFile::kArf ? kNumReservedArf : 0;
+        std::set<u16> taken;
+        if (auto it = interf.find(v); it != interf.end())
+            for (u32 nb : it->second)
+                if (auto c = result.color.find(nb);
+                    c != result.color.end())
+                    taken.insert(c->second);
+
+        i64 best = -1;
+        if (maxPolicy) {
+            // Least-recently-assigned free color: scatters registers and
+            // avoids anti/output dependences on the in-order core.
+            u64 bestStamp = ~0ull;
+            for (u32 c = firstColor; c < numColors; ++c) {
+                if (taken.count(u16(c)))
+                    continue;
+                if (lastAssign[f][c] < bestStamp) {
+                    bestStamp = lastAssign[f][c];
+                    best = c;
+                }
+            }
+        } else {
+            for (u32 c = firstColor; c < numColors; ++c) {
+                if (!taken.count(u16(c))) {
+                    best = c;
+                    break;
+                }
+            }
+        }
+
+        if (best < 0) {
+            if (f != RegFile::kDrf)
+                fatal("out of ", f == RegFile::kArf ? "AddrRF" : "CtrlRF",
+                      " registers (", numColors, ") and spilling is only "
+                      "supported for the DataRF");
+            // Pick a spill victim with the widest interference that is
+            // not itself a reload/store temp from a previous round —
+            // re-spilling temps would live-lock the allocator.
+            u32 victim = v;
+            size_t bestDegree =
+                spillTemps.count(v) ? 0 : interf[v].size();
+            if (auto it = interf.find(v); it != interf.end()) {
+                for (u32 nb : it->second) {
+                    if (spillTemps.count(nb) || !result.color.count(nb))
+                        continue;
+                    size_t deg = interf[nb].size();
+                    if (deg > bestDegree) {
+                        bestDegree = deg;
+                        victim = nb;
+                    }
+                }
+            }
+            if (spillTemps.count(victim))
+                fatal("DataRF too small even for spill temporaries (",
+                      numColors, " registers)");
+            result.spills.push_back(victim);
+            if (victim != v) {
+                // Free the victim's color and give it to v.
+                u16 c = result.color.at(victim);
+                result.color.erase(victim);
+                result.color[v] = c;
+                lastAssign[f][c] = stamp++;
+                if (f == RegFile::kDrf)
+                    result.maxDrfColor =
+                        std::max(result.maxDrfColor, u32(c));
+            }
+            continue;
+        }
+        result.color[v] = u16(best);
+        lastAssign[f][size_t(best)] = stamp++;
+        if (f == RegFile::kDrf)
+            result.maxDrfColor = std::max(result.maxDrfColor, u32(best));
+    }
+    return result;
+}
+
+/** Rewrite the program to spill the given DRF virtuals to DRAM. */
+BuilderProgram
+insertSpills(const BuilderProgram &prog, const std::vector<u32> &spills,
+             u64 spillBase, u16 &nextVirtual, u32 fullMask,
+             std::map<u32, u32> &spillSlots)
+{
+    std::set<u32> spillSet(spills.begin(), spills.end());
+    for (u32 v : spills)
+        if (!spillSlots.count(v))
+            spillSlots[v] = u32(spillSlots.size());
+
+    BuilderProgram out;
+    // Recompute label positions while copying.
+    std::map<size_t, std::vector<i32>> labelsAt;
+    for (const auto &[label, pos] : prog.labelPos)
+        labelsAt[pos].push_back(label);
+
+    for (size_t i = 0; i < prog.insts.size(); ++i) {
+        if (auto it = labelsAt.find(i); it != labelsAt.end())
+            for (i32 l : it->second)
+                out.labelPos[l] = out.insts.size();
+
+        Instruction inst = prog.insts[i];
+        bool reads = false, writes = false;
+        std::map<u16, u16> replacement;
+        visitRegFields(inst, [&](RegFile f, u16 &idx, bool r, bool w) {
+            if (f != RegFile::kDrf)
+                return;
+            u32 key = regKey(f, idx);
+            if (!spillSet.count(key))
+                return;
+            auto rep = replacement.find(idx);
+            u16 fresh;
+            if (rep == replacement.end()) {
+                fresh = nextVirtual++;
+                replacement[idx] = fresh;
+            } else {
+                fresh = rep->second;
+            }
+            if (r)
+                reads = true;
+            if (w)
+                writes = true;
+            idx = fresh;
+        });
+
+        if (reads) {
+            for (const auto &[oldIdx, fresh] : replacement) {
+                u64 addr = spillBase +
+                           u64(spillSlots.at(regKey(RegFile::kDrf,
+                                                    oldIdx))) *
+                               kVectorBytes;
+                out.insts.push_back(Instruction::memRf(
+                    false, MemOperand::direct(u32(addr)), fresh,
+                    fullMask));
+            }
+        }
+        out.insts.push_back(inst);
+        if (writes) {
+            for (const auto &[oldIdx, fresh] : replacement) {
+                u64 addr = spillBase +
+                           u64(spillSlots.at(regKey(RegFile::kDrf,
+                                                    oldIdx))) *
+                               kVectorBytes;
+                out.insts.push_back(Instruction::memRf(
+                    true, MemOperand::direct(u32(addr)), fresh,
+                    fullMask));
+            }
+        }
+    }
+    // Labels bound at the very end.
+    for (const auto &[label, pos] : prog.labelPos)
+        if (pos == prog.insts.size())
+            out.labelPos[label] = out.insts.size();
+    return out;
+}
+
+/** Estimated execution latency for the reordering priority function. */
+u32
+estLatency(const HardwareConfig &cfg, const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::kComp:
+        switch (inst.aluOp) {
+          case AluOp::kAdd:
+          case AluOp::kSub: return cfg.latency.addSub;
+          case AluOp::kMul: return cfg.latency.mul;
+          case AluOp::kMac: return cfg.latency.mac;
+          case AluOp::kDiv: return 2 * cfg.latency.mul;
+          default: return cfg.latency.logic;
+        }
+      case Opcode::kCalcArf:
+        return cfg.latency.intAlu + cfg.latency.addrRf;
+      case Opcode::kLdRf:
+      case Opcode::kStRf:
+      case Opcode::kLdPgsm:
+      case Opcode::kStPgsm:
+        return cfg.timing.tRCD + cfg.timing.tCL;
+      case Opcode::kRdPgsm:
+      case Opcode::kWrPgsm:
+        return cfg.latency.peBus + cfg.latency.pgsm + cfg.latency.dataRf;
+      case Opcode::kRdVsm:
+      case Opcode::kWrVsm:
+        return cfg.latency.tsv + cfg.latency.vsm + cfg.latency.dataRf;
+      case Opcode::kReq:
+        return 40;
+      default:
+        return 1;
+    }
+}
+
+bool
+isBankOp(const Instruction &inst)
+{
+    return accessesBank(inst.op);
+}
+
+bool
+isLoadOp(const Instruction &inst)
+{
+    return inst.op == Opcode::kLdRf || inst.op == Opcode::kLdPgsm;
+}
+
+/** May two bank accesses touch the same bank address on some PE? */
+bool
+banksMayAlias(const Instruction &a, const Instruction &b)
+{
+    if ((a.simbMask & b.simbMask) == 0)
+        return false;
+    const AccessSet sa = a.accessSet();
+    const AccessSet sb = b.accessSet();
+    if (!sa.writesBank && !sb.writesBank)
+        return false;
+    if (a.dramAddr.indirect || b.dramAddr.indirect)
+        return true;
+    return a.dramAddr.value == b.dramAddr.value;
+}
+
+/**
+ * Dependence graph of one block, then Algorithm 1 list scheduling.
+ * The final instruction (a block ender, if any) is pinned last.
+ */
+std::vector<Instruction>
+scheduleBlock(const HardwareConfig &cfg,
+              const std::vector<Instruction> &insts,
+              const CompilerOptions &opts)
+{
+    size_t n = insts.size();
+    if (n == 0)
+        return {};
+    size_t m = n;
+    bool pinned = isBlockEnder(insts[n - 1].op);
+    if (pinned)
+        m = n - 1;
+    if (m <= 1) {
+        return insts;
+    }
+
+    // Edges carry whether data flows along them: true data dependences
+    // propagate the producer's latency into T(v); pure ordering edges
+    // (anti/output, scratchpad, memory-order) only constrain sequence.
+    struct Edge
+    {
+        int to;
+        bool data;
+    };
+    std::vector<std::vector<Edge>> succ(m);
+    std::vector<int> indeg(m, 0);
+    std::vector<AccessSet> acc(m);
+    std::vector<UseDef> ud(m);
+    for (size_t i = 0; i < m; ++i) {
+        acc[i] = insts[i].accessSet();
+        ud[i] = useDef(insts[i]);
+    }
+
+    auto addEdge = [&](size_t from, size_t to, bool data = false) {
+        if (from == to)
+            return;
+        succ[from].push_back({int(to), data});
+        ++indeg[to];
+    };
+
+    // Last-writer / readers-since-write tracking gives the register
+    // edges in near-linear time.  Scratchpad (PGSM/VSM) ordering is kept
+    // fully conservative — every reader is ordered against every prior
+    // writer and vice versa — matching the hardware's issue-time rule.
+    std::map<u32, int> lastWrite;
+    std::map<u32, std::vector<int>> readsSince;
+    std::vector<std::pair<int, u8>> pgsmWrites, pgsmReads;
+    std::vector<int> vsmWrites, vsmReads;
+    std::vector<int> bankOps;
+    int lastBankLoad = -1, lastBankStore = -1;
+
+    for (size_t j = 0; j < m; ++j) {
+        for (u32 u : ud[j].uses) {
+            if (auto it = lastWrite.find(u); it != lastWrite.end())
+                addEdge(size_t(it->second), j, true); // RAW
+            readsSince[u].push_back(int(j));
+        }
+        for (u32 d : ud[j].defs) {
+            if (auto it = lastWrite.find(d); it != lastWrite.end())
+                addEdge(size_t(it->second), j); // WAW
+            for (int r : readsSince[d])
+                addEdge(size_t(r), j); // WAR
+            readsSince[d].clear();
+            lastWrite[d] = int(j);
+        }
+
+        const AccessSet &aj = acc[j];
+        if (aj.readsPgsm) {
+            for (auto &[w, m] : pgsmWrites)
+                if (m & aj.pgsmReadMask)
+                    addEdge(size_t(w), j);
+            pgsmReads.push_back({int(j), aj.pgsmReadMask});
+        }
+        if (aj.writesPgsm) {
+            for (auto &[r, m] : pgsmReads)
+                if (m & aj.pgsmWriteMask)
+                    addEdge(size_t(r), j);
+            pgsmWrites.push_back({int(j), aj.pgsmWriteMask});
+        }
+        if (aj.readsVsm) {
+            for (int w : vsmWrites)
+                addEdge(size_t(w), j);
+            vsmReads.push_back(int(j));
+        }
+        if (aj.writesVsm) {
+            for (int r : vsmReads)
+                addEdge(size_t(r), j);
+            vsmWrites.push_back(int(j));
+        }
+
+        if (isBankOp(insts[j])) {
+            // Bank aliasing correctness edges (read-modify-write chains).
+            for (int i : bankOps)
+                if (banksMayAlias(insts[size_t(i)], insts[j]))
+                    addEdge(size_t(i), j);
+            // Memory-order enforcement: keep each DRAM access stream
+            // (loads, stores) in program order so the scheduler cannot
+            // destroy the tile-sequential row-buffer locality of the
+            // lowered code, while still letting the load stream batch
+            // ahead of the store stream (Sec. V-C, Fig. 5).
+            if (opts.memOrder) {
+                bool isLoad = isLoadOp(insts[j]);
+                int prev = isLoad ? lastBankLoad : lastBankStore;
+                if (prev >= 0)
+                    addEdge(size_t(prev), j);
+                (isLoad ? lastBankLoad : lastBankStore) = int(j);
+            }
+            bankOps.push_back(int(j));
+        }
+    }
+
+    if (!opts.reorder) {
+        return insts;
+    }
+
+    // Algorithm 1.
+    std::vector<u64> T(m, 0);
+    std::vector<int> remaining(indeg);
+    std::vector<char> scheduled(m, 0);
+    std::vector<size_t> ready;
+    for (size_t i = 0; i < m; ++i)
+        if (remaining[i] == 0)
+            ready.push_back(i);
+
+    std::vector<Instruction> out;
+    out.reserve(n);
+    for (size_t step = 1; step <= m; ++step) {
+        if (ready.empty())
+            panic("reorder: dependency cycle in block");
+        // Priority: a ready load whose T <= step, else smallest T
+        // (ties: original order).
+        size_t pick = SIZE_MAX;
+        for (size_t idx : ready) {
+            if (isLoadOp(insts[idx]) && T[idx] <= step) {
+                if (pick == SIZE_MAX || idx < pick)
+                    pick = idx;
+            }
+        }
+        if (pick == SIZE_MAX) {
+            u64 bestT = ~0ull;
+            for (size_t idx : ready) {
+                if (T[idx] < bestT ||
+                    (T[idx] == bestT && idx < pick)) {
+                    bestT = T[idx];
+                    pick = idx;
+                }
+            }
+        }
+        ready.erase(std::find(ready.begin(), ready.end(), pick));
+        scheduled[pick] = 1;
+        out.push_back(insts[pick]);
+        u64 done = std::max<u64>(T[pick], step) +
+                   estLatency(cfg, insts[pick]);
+        for (const Edge &e : succ[pick]) {
+            size_t s2 = size_t(e.to);
+            u64 avail = e.data ? done : std::max<u64>(T[pick], step) + 1;
+            T[s2] = std::max(T[s2], avail);
+            if (--remaining[s2] == 0)
+                ready.push_back(s2);
+        }
+    }
+    if (pinned)
+        out.push_back(insts[n - 1]);
+    return out;
+}
+
+} // namespace
+
+std::vector<Instruction>
+runBackend(const HardwareConfig &cfg, BuilderProgram prog,
+           const CompilerOptions &opts, u64 spillBase, BackendStats *stats)
+{
+    // Find the next free virtual id for spill temporaries.
+    u16 nextVirtual = 0;
+    for (Instruction &inst : prog.insts) {
+        visitRegFields(inst, [&](RegFile f, u16 &idx, bool, bool) {
+            if (f == RegFile::kDrf)
+                nextVirtual = std::max<u16>(nextVirtual, u16(idx + 1));
+        });
+    }
+
+    // Iterate coloring + spilling to a fixed point.
+    std::map<u32, u32> spillSlots;
+    std::set<u32> spillTemps;
+    Coloring coloring;
+    for (int round = 0;; ++round) {
+        if (round > 64)
+            fatal("register allocation did not converge; the DataRF is "
+                  "too small for this kernel");
+        Cfg cfgBlocks = buildCfg(prog);
+        coloring = colorRegisters(cfg, prog, cfgBlocks,
+                                  opts.maxRegAlloc, spillTemps);
+        if (coloring.spills.empty())
+            break;
+        u16 firstFresh = nextVirtual;
+        prog = insertSpills(prog, coloring.spills, spillBase, nextVirtual,
+                            (cfg.pesPerVault() >= 32)
+                                ? 0xFFFFFFFFu
+                                : ((1u << cfg.pesPerVault()) - 1),
+                            spillSlots);
+        for (u16 t = firstFresh; t < nextVirtual; ++t)
+            spillTemps.insert(regKey(RegFile::kDrf, t));
+    }
+
+    // Apply the coloring.
+    for (Instruction &inst : prog.insts) {
+        visitRegFields(inst, [&](RegFile f, u16 &idx, bool, bool) {
+            if (f == RegFile::kArf && idx < kNumReservedArf)
+                return;
+            auto it = coloring.color.find(regKey(f, idx));
+            if (it == coloring.color.end())
+                fatal("virtual register without a color: file ", int(f),
+                      " idx ", idx);
+            idx = it->second;
+        });
+    }
+
+    // Per-block dependence graph + memory-order edges + reordering.
+    Cfg cfgBlocks = buildCfg(prog);
+    std::vector<Instruction> final;
+    std::map<int, size_t> blockStart;
+    for (size_t bi = 0; bi < cfgBlocks.blocks.size(); ++bi) {
+        const Block &b = cfgBlocks.blocks[bi];
+        blockStart[int(bi)] = final.size();
+        std::vector<Instruction> blockInsts(prog.insts.begin() + b.begin,
+                                            prog.insts.begin() + b.end);
+        auto scheduledBlock = scheduleBlock(cfg, blockInsts, opts);
+        final.insert(final.end(), scheduledBlock.begin(),
+                     scheduledBlock.end());
+    }
+
+    // Resolve labels into seti_crf immediates.
+    for (Instruction &inst : final) {
+        if (inst.op == Opcode::kSetiCrf && inst.label >= 0) {
+            auto it = cfgBlocks.labelBlock.find(inst.label);
+            if (it == cfgBlocks.labelBlock.end())
+                fatal("unbound label L", inst.label);
+            inst.imm = i32(blockStart.at(it->second));
+            inst.label = -1;
+        }
+    }
+
+    if (stats) {
+        stats->spilledRegs = u32(spillSlots.size());
+        stats->physicalDrfUsed = coloring.maxDrfColor + 1;
+        stats->instructions = u32(final.size());
+    }
+    return final;
+}
+
+} // namespace ipim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Compiler backend passes (Sec. V-C, Fig. 4):
+ *
+ *  - register allocation: graph coloring over virtual DRF/ARF/CRF
+ *    registers with two policies — "min" (fewest physical registers,
+ *    the classic objective) and "max" (scatter registers to avoid
+ *    anti/output dependences that stall the in-order core) — plus
+ *    DRAM spilling when the DataRF is too small (Fig. 10);
+ *  - memory-order enforcement: extra dependence edges that keep DRAM
+ *    accesses in program order (row-buffer locality) and spread request
+ *    bursts (DRAM request queue contention);
+ *  - instruction reordering: Algorithm 1's topological list scheduler
+ *    that exposes ILP to the single-issue core.
+ */
+#ifndef IPIM_COMPILER_PASSES_H_
+#define IPIM_COMPILER_PASSES_H_
+
+#include "compiler/builder.h"
+
+namespace ipim {
+
+/** Backend optimization switches (Fig. 12's ablation knobs). */
+struct CompilerOptions
+{
+    bool maxRegAlloc = true; ///< max (true) vs min (false) policy
+    bool reorder = true;     ///< instruction reordering
+    bool memOrder = true;    ///< memory-order enforcement edges
+
+    static CompilerOptions
+    opt()
+    {
+        return {};
+    }
+
+    /** Fig. 12 baseline1: min regalloc, no reordering. */
+    static CompilerOptions
+    baseline1()
+    {
+        return {false, false, false};
+    }
+
+    static CompilerOptions
+    baseline2()
+    {
+        return {false, true, true};
+    }
+
+    static CompilerOptions
+    baseline3()
+    {
+        return {true, false, true};
+    }
+
+    static CompilerOptions
+    baseline4()
+    {
+        return {true, true, false};
+    }
+};
+
+/** Static (compile-time) program statistics. */
+struct BackendStats
+{
+    u32 spilledRegs = 0;
+    u32 physicalDrfUsed = 0;
+    u32 instructions = 0;
+};
+
+/**
+ * Run the backend: allocate registers (spilling to the bank scratch area
+ * at @p spillBase), apply memory-order enforcement and reordering per
+ * @p opts, resolve labels, and return an executable program.
+ */
+std::vector<Instruction> runBackend(const HardwareConfig &cfg,
+                                    BuilderProgram prog,
+                                    const CompilerOptions &opts,
+                                    u64 spillBase,
+                                    BackendStats *stats = nullptr);
+
+} // namespace ipim
+
+#endif // IPIM_COMPILER_PASSES_H_

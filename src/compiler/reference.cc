@@ -1,0 +1,245 @@
+#include "compiler/reference.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "isa/alu.h"
+
+namespace ipim {
+
+ReferenceInterpreter::ReferenceInterpreter(
+    const PipelineDef &def, const std::map<std::string, Image> &inputs)
+    : def_(def), inputs_(inputs)
+{
+    if (!def.output)
+        fatal("pipeline has no output func");
+}
+
+Image
+ReferenceInterpreter::run()
+{
+    Image out(def_.width, def_.height);
+    for (i64 y = 0; y < def_.height; ++y)
+        for (i64 x = 0; x < def_.width; ++x)
+            out.at(int(x), int(y)) = funcValue(def_.output, x, y);
+    return out;
+}
+
+f32
+ReferenceInterpreter::value(const FuncPtr &f, i64 x, i64 y)
+{
+    return funcValue(f, x, y);
+}
+
+f32
+ReferenceInterpreter::funcValue(const FuncPtr &f, i64 x, i64 y)
+{
+    if (f->isInput()) {
+        auto it = inputs_.find(f->name());
+        if (it == inputs_.end())
+            fatal("input image '", f->name(), "' not bound");
+        const Image &img = it->second;
+        if (f->dims() == 1)
+            y = 0;
+        return img.clampedAt(int(std::clamp<i64>(x, 0, img.width() - 1)),
+                             int(std::clamp<i64>(y, 0, img.height() - 1)));
+    }
+
+    if (f->hasUpdate()) {
+        materializeReduction(f);
+        const ReductionBuf &buf = reductions_.at(f.get());
+        if (!buf.xr.contains(x) || !buf.yr.contains(y))
+            fatal("reduction func ", f->name(), " read at (", x, ",", y,
+                  ") outside its scatter range");
+        i64 w = buf.xr.extent();
+        return buf.data[size_t((y - buf.yr.lo) * w + (x - buf.xr.lo))];
+    }
+
+    if (!f->hasDefinition())
+        fatal("func ", f->name(), " used before definition");
+
+    bool memoize = f->isRoot();
+    std::pair<const Func *, std::pair<i64, i64>> key{f.get(), {x, y}};
+    if (memoize) {
+        auto it = memo_.find(key);
+        if (it != memo_.end())
+            return it->second;
+    }
+    TypedValue v = eval(f->rhs(), x, y, f);
+    f32 result = v.isInt ? f32(v.i) : v.f;
+    if (memoize)
+        memo_[key] = result;
+    return result;
+}
+
+void
+ReferenceInterpreter::materializeReduction(const FuncPtr &f)
+{
+    if (reductions_.count(f.get()))
+        return;
+
+    // Scatter range from the clamp bounds of the update index exprs.
+    Interval xr(0, 0), yr(0, 0);
+    for (const UpdateDef &u : f->updates()) {
+        Interval rx(0, u.dom.extentX - 1);
+        Interval ry(0, u.dom.extentY > 0 ? u.dom.extentY - 1 : 0);
+        xr = xr.hull(indexInterval(u.idxX, u.dom.x.name, u.dom.y.name,
+                                   rx, ry));
+        if (u.idxY.defined())
+            yr = yr.hull(indexInterval(u.idxY, u.dom.x.name, u.dom.y.name,
+                                       rx, ry));
+    }
+
+    ReductionBuf buf;
+    buf.xr = xr;
+    buf.yr = yr;
+    buf.data.assign(size_t(xr.extent() * yr.extent()), 0.0f);
+
+    // Initialize from the pure definition.
+    for (i64 y = yr.lo; y <= yr.hi; ++y) {
+        for (i64 x = xr.lo; x <= xr.hi; ++x) {
+            TypedValue v = eval(f->rhs(), x, y, f);
+            buf.data[size_t((y - yr.lo) * xr.extent() + (x - xr.lo))] =
+                v.isInt ? f32(v.i) : v.f;
+        }
+    }
+
+    reductions_.emplace(f.get(), std::move(buf));
+    ReductionBuf &b = reductions_.at(f.get());
+
+    // Apply the updates over the reduction domain.
+    for (const UpdateDef &u : f->updates()) {
+        i64 ey = u.dom.extentY > 0 ? u.dom.extentY : 1;
+        for (i64 ry = 0; ry < ey; ++ry) {
+            for (i64 rx = 0; rx < u.dom.extentX; ++rx) {
+                // Reuse eval() with the RDom variables as the loop vars.
+                FuncPtr owner = f;
+                // Temporarily alias the variable names.
+                TypedValue ixv = evalWithVars(u.idxX, u.dom.x.name,
+                                              u.dom.y.name, rx, ry, owner);
+                i64 ix = ixv.isInt ? ixv.i : i64(ixv.f);
+                i64 iy = 0;
+                if (u.idxY.defined()) {
+                    TypedValue iyv = evalWithVars(
+                        u.idxY, u.dom.x.name, u.dom.y.name, rx, ry, owner);
+                    iy = iyv.isInt ? iyv.i : i64(iyv.f);
+                }
+                TypedValue val = evalWithVars(u.value, u.dom.x.name,
+                                              u.dom.y.name, rx, ry, owner);
+                f32 add = val.isInt ? f32(val.i) : val.f;
+                if (!b.xr.contains(ix) || !b.yr.contains(iy))
+                    fatal("reduction ", f->name(),
+                          " scatters outside its clamp-derived range");
+                b.data[size_t((iy - b.yr.lo) * b.xr.extent() +
+                              (ix - b.xr.lo))] += add;
+            }
+        }
+    }
+}
+
+ReferenceInterpreter::TypedValue
+ReferenceInterpreter::eval(const Expr &e, i64 x, i64 y,
+                           const FuncPtr &owner)
+{
+    return evalWithVars(e, owner->varX(), owner->varY(), x, y, owner);
+}
+
+ReferenceInterpreter::TypedValue
+ReferenceInterpreter::evalWithVars(const Expr &e, const std::string &xv,
+                                   const std::string &yv, i64 x, i64 y,
+                                   const FuncPtr &owner)
+{
+    const ExprNode &n = e.node();
+    TypedValue r;
+    switch (n.kind) {
+      case ExprKind::kConstF:
+        r.f = n.fval;
+        return r;
+      case ExprKind::kConstI:
+        r.isInt = true;
+        r.i = i32(n.ival);
+        return r;
+      case ExprKind::kVar:
+        r.isInt = true;
+        if (n.varName == xv)
+            r.i = i32(x);
+        else if (n.varName == yv)
+            r.i = i32(y);
+        else
+            fatal("unbound variable ", n.varName, " in ", owner->name());
+        return r;
+      case ExprKind::kCall: {
+        TypedValue ix = evalWithVars(n.args[0], xv, yv, x, y, owner);
+        i64 cx = ix.isInt ? ix.i : i64(ix.f);
+        i64 cy = 0;
+        if (n.args.size() > 1) {
+            TypedValue iy = evalWithVars(n.args[1], xv, yv, x, y, owner);
+            cy = iy.isInt ? iy.i : i64(iy.f);
+        }
+        r.f = funcValue(n.callee, cx, cy);
+        return r;
+      }
+      case ExprKind::kCastI: {
+        TypedValue v = evalWithVars(n.kids[0], xv, yv, x, y, owner);
+        r.isInt = true;
+        r.i = v.isInt ? v.i : i32(std::floor(v.f));
+        return r;
+      }
+      case ExprKind::kCastF: {
+        TypedValue v = evalWithVars(n.kids[0], xv, yv, x, y, owner);
+        r.f = v.isInt ? f32(v.i) : v.f;
+        return r;
+      }
+      case ExprKind::kClamp: {
+        TypedValue v = evalWithVars(n.kids[0], xv, yv, x, y, owner);
+        TypedValue lo = evalWithVars(n.kids[1], xv, yv, x, y, owner);
+        TypedValue hi = evalWithVars(n.kids[2], xv, yv, x, y, owner);
+        if (v.isInt != lo.isInt || v.isInt != hi.isInt)
+            fatal("clamp with mixed int/float operands in ",
+                  owner->name());
+        r.isInt = v.isInt;
+        if (v.isInt)
+            r.i = std::min(std::max(v.i, lo.i), hi.i);
+        else
+            r.f = std::min(std::max(v.f, lo.f), hi.f);
+        return r;
+      }
+      default:
+        break;
+    }
+
+    // Binary arithmetic.
+    TypedValue a = evalWithVars(n.kids[0], xv, yv, x, y, owner);
+    TypedValue b = evalWithVars(n.kids[1], xv, yv, x, y, owner);
+    if (a.isInt != b.isInt)
+        fatal("mixed int/float arithmetic without an explicit cast in ",
+              owner->name(), ": ", exprToString(e));
+    r.isInt = a.isInt;
+    AluOp op;
+    switch (n.kind) {
+      case ExprKind::kAdd: op = AluOp::kAdd; break;
+      case ExprKind::kSub: op = AluOp::kSub; break;
+      case ExprKind::kMul: op = AluOp::kMul; break;
+      case ExprKind::kDiv: op = AluOp::kDiv; break;
+      case ExprKind::kMin: op = AluOp::kMin; break;
+      case ExprKind::kMax: op = AluOp::kMax; break;
+      default: panic("eval: unhandled expr kind");
+    }
+    if (r.isInt) {
+        r.i = aluEvalI32(op, a.i, b.i);
+    } else {
+        u32 lane = aluEvalLaneF32(op, f32AsLane(a.f), f32AsLane(b.f), 0);
+        r.f = laneAsF32(lane);
+    }
+    return r;
+}
+
+Image
+referenceRun(const PipelineDef &def,
+             const std::map<std::string, Image> &inputs)
+{
+    ReferenceInterpreter interp(def, inputs);
+    return interp.run();
+}
+
+} // namespace ipim

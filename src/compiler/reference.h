@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Golden CPU reference interpreter for pipelines.
+ *
+ * Evaluates the pipeline's pure-functional semantics in FP32 with the
+ * exact operation set and rounding of the PE SIMD unit (src/isa/alu.h),
+ * so device results can be compared bit-for-bit (up to the documented
+ * reduction-order caveat for RDom stages).
+ *
+ * Semantics: input Funcs clamp their coordinates to the image (border
+ * replicate); every other Func is a pure function defined on all of Z^2.
+ */
+#ifndef IPIM_COMPILER_REFERENCE_H_
+#define IPIM_COMPILER_REFERENCE_H_
+
+#include <map>
+#include <string>
+
+#include "common/image.h"
+#include "compiler/func.h"
+
+namespace ipim {
+
+class ReferenceInterpreter
+{
+  public:
+    ReferenceInterpreter(const PipelineDef &def,
+                         const std::map<std::string, Image> &inputs);
+
+    /** Evaluate the output over [0,W)x[0,H). */
+    Image run();
+
+    /** Evaluate an arbitrary func value (tests). */
+    f32 value(const FuncPtr &f, i64 x, i64 y = 0);
+
+  private:
+    struct TypedValue
+    {
+        bool isInt = false;
+        f32 f = 0;
+        i32 i = 0;
+    };
+
+    TypedValue eval(const Expr &e, i64 x, i64 y, const FuncPtr &owner);
+    TypedValue evalWithVars(const Expr &e, const std::string &xv,
+                            const std::string &yv, i64 x, i64 y,
+                            const FuncPtr &owner);
+    f32 funcValue(const FuncPtr &f, i64 x, i64 y);
+    void materializeReduction(const FuncPtr &f);
+
+    const PipelineDef &def_;
+    const std::map<std::string, Image> &inputs_;
+
+    std::map<std::pair<const Func *, std::pair<i64, i64>>, f32> memo_;
+
+    struct ReductionBuf
+    {
+        Interval xr, yr;
+        std::vector<f32> data;
+    };
+    std::map<const Func *, ReductionBuf> reductions_;
+};
+
+/** Convenience one-shot evaluation. */
+Image referenceRun(const PipelineDef &def,
+                   const std::map<std::string, Image> &inputs);
+
+} // namespace ipim
+
+#endif // IPIM_COMPILER_REFERENCE_H_

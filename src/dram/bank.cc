@@ -1,0 +1,175 @@
+#include "dram/bank.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace ipim {
+
+BankStorage::BankStorage(u64 bankBytes, u32 rowBytes)
+    : bankBytes_(bankBytes), rowBytes_(rowBytes)
+{
+    if (rowBytes == 0 || bankBytes % rowBytes != 0)
+        fatal("bank size must be a multiple of the row size");
+}
+
+std::vector<u8> &
+BankStorage::rowData(u32 row)
+{
+    auto it = rows_.find(row);
+    if (it == rows_.end())
+        it = rows_.emplace(row, std::vector<u8>(rowBytes_, 0)).first;
+    return it->second;
+}
+
+const std::vector<u8> *
+BankStorage::rowDataIfPresent(u32 row) const
+{
+    auto it = rows_.find(row);
+    return it == rows_.end() ? nullptr : &it->second;
+}
+
+void
+BankStorage::read(u64 addr, u8 *out, u32 len) const
+{
+    if (addr + len > bankBytes_)
+        fatal("bank read out of range: addr=", addr, " len=", len,
+              " bank=", bankBytes_);
+    while (len > 0) {
+        u32 row = rowOf(addr);
+        u32 off = u32(addr % rowBytes_);
+        u32 chunk = std::min(len, rowBytes_ - off);
+        if (const auto *data = rowDataIfPresent(row))
+            std::memcpy(out, data->data() + off, chunk);
+        else
+            std::memset(out, 0, chunk);
+        addr += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+}
+
+void
+BankStorage::write(u64 addr, const u8 *in, u32 len)
+{
+    if (addr + len > bankBytes_)
+        fatal("bank write out of range: addr=", addr, " len=", len,
+              " bank=", bankBytes_);
+    while (len > 0) {
+        u32 row = rowOf(addr);
+        u32 off = u32(addr % rowBytes_);
+        u32 chunk = std::min(len, rowBytes_ - off);
+        std::memcpy(rowData(row).data() + off, in, chunk);
+        addr += chunk;
+        in += chunk;
+        len -= chunk;
+    }
+}
+
+VecWord
+BankStorage::readVec(u64 addr) const
+{
+    VecWord v;
+    read(addr, reinterpret_cast<u8 *>(v.lanes.data()), kVectorBytes);
+    return v;
+}
+
+void
+BankStorage::writeVec(u64 addr, const VecWord &v)
+{
+    write(addr, reinterpret_cast<const u8 *>(v.lanes.data()), kVectorBytes);
+}
+
+Cycle
+BankTimingState::earliestAct(Cycle now) const
+{
+    return std::max(now, actAllowedAt_);
+}
+
+Cycle
+BankTimingState::earliestCas(Cycle now) const
+{
+    return std::max(now, casAllowedAt_);
+}
+
+Cycle
+BankTimingState::earliestPre(Cycle now) const
+{
+    return std::max(now, preAllowedAt_);
+}
+
+void
+BankTimingState::act(Cycle at, i64 row)
+{
+    if (openRow_ != kNoRow)
+        panic("ACT on a bank with an open row");
+    if (at < actAllowedAt_)
+        panic("ACT issued before tRP expired");
+    openRow_ = row;
+    casAllowedAt_ = std::max(casAllowedAt_, at + t_.tRCD);
+    preAllowedAt_ = std::max(preAllowedAt_, at + t_.tRAS);
+}
+
+Cycle
+BankTimingState::cas(Cycle at, bool write)
+{
+    if (openRow_ == kNoRow)
+        panic("CAS on a closed bank");
+    if (at < casAllowedAt_)
+        panic("CAS issued before it was legal");
+    casAllowedAt_ = at + t_.tCCD;
+    if (write) {
+        // Write data is on the bus with the command; the bank needs
+        // tWR before a precharge.
+        preAllowedAt_ = std::max(preAllowedAt_, at + t_.tWR);
+        return at + 1;
+    }
+    preAllowedAt_ = std::max(preAllowedAt_, at + t_.tRTP);
+    return at + t_.tCL;
+}
+
+void
+BankTimingState::pre(Cycle at)
+{
+    if (openRow_ == kNoRow)
+        panic("PRE on a closed bank");
+    if (at < preAllowedAt_)
+        panic("PRE issued before it was legal");
+    openRow_ = kNoRow;
+    actAllowedAt_ = std::max(actAllowedAt_, at + t_.tRP);
+}
+
+void
+BankTimingState::refresh(Cycle at)
+{
+    if (openRow_ != kNoRow)
+        panic("REF on a bank with an open row");
+    actAllowedAt_ = std::max(actAllowedAt_, at + t_.tRFC);
+}
+
+Cycle
+ActivationLimiter::earliestAct(Cycle now, u32 pgIdx) const
+{
+    Cycle t = now;
+    if (anyAct_)
+        t = std::max(t, lastActAny_ + t_.tRRDS);
+    if (auto it = lastActPerPg_.find(pgIdx); it != lastActPerPg_.end())
+        t = std::max(t, it->second + t_.tRRDL);
+    if (actWindow_.size() >= 4)
+        t = std::max(t, actWindow_[actWindow_.size() - 4] + t_.tFAW);
+    return t;
+}
+
+void
+ActivationLimiter::recordAct(Cycle at, u32 pgIdx)
+{
+    lastActAny_ = at;
+    anyAct_ = true;
+    lastActPerPg_[pgIdx] = at;
+    actWindow_.push_back(at);
+    if (actWindow_.size() > 8)
+        actWindow_.erase(actWindow_.begin(), actWindow_.end() - 4);
+}
+
+} // namespace ipim

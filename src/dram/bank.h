@@ -1,0 +1,121 @@
+/**
+ * @file
+ * One DRAM bank: sparse data storage plus the row-buffer timing state
+ * machine (ACT/RD/WR/PRE/REF) with the Table III core timing parameters.
+ *
+ * iPIM attaches one process engine to each bank without changing the bank
+ * circuitry (Sec. II-A), so this model is shared by the near-bank and the
+ * process-on-base-die configurations.
+ */
+#ifndef IPIM_DRAM_BANK_H_
+#define IPIM_DRAM_BANK_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace ipim {
+
+/**
+ * Byte-addressable sparse backing store for one 16 MiB bank.
+ *
+ * Rows are allocated lazily so that a full 8-cube device (32k banks)
+ * stays cheap to instantiate.
+ */
+class BankStorage
+{
+  public:
+    BankStorage(u64 bankBytes, u32 rowBytes);
+
+    /** Read @p len bytes at @p addr; unwritten bytes read as zero. */
+    void read(u64 addr, u8 *out, u32 len) const;
+
+    /** Write @p len bytes at @p addr. */
+    void write(u64 addr, const u8 *in, u32 len);
+
+    VecWord readVec(u64 addr) const;
+    void writeVec(u64 addr, const VecWord &v);
+
+    u64 bankBytes() const { return bankBytes_; }
+    u32 rowBytes() const { return rowBytes_; }
+    u32 rowOf(u64 addr) const { return u32(addr / rowBytes_); }
+
+    /** Number of lazily materialized rows (for tests). */
+    size_t allocatedRows() const { return rows_.size(); }
+
+  private:
+    std::vector<u8> &rowData(u32 row);
+    const std::vector<u8> *rowDataIfPresent(u32 row) const;
+
+    u64 bankBytes_;
+    u32 rowBytes_;
+    mutable std::unordered_map<u32, std::vector<u8>> rows_;
+};
+
+/**
+ * Row-buffer timing state of one bank.
+ *
+ * The owning memory controller issues commands; this class answers
+ * "when is command X legal?" and tracks the open row.
+ */
+class BankTimingState
+{
+  public:
+    explicit BankTimingState(const DramTiming &t) : t_(t) {}
+
+    static constexpr i64 kNoRow = -1;
+
+    i64 openRow() const { return openRow_; }
+    bool isOpen() const { return openRow_ != kNoRow; }
+
+    Cycle earliestAct(Cycle now) const;
+    Cycle earliestCas(Cycle now) const;
+    Cycle earliestPre(Cycle now) const;
+
+    /** Issue ACT of @p row at time @p at (must be legal). */
+    void act(Cycle at, i64 row);
+
+    /** Issue RD or WR at time @p at; returns data-ready/done time. */
+    Cycle cas(Cycle at, bool write);
+
+    void pre(Cycle at);
+
+    /** Refresh: bank busy until at + tRFC; row closed. */
+    void refresh(Cycle at);
+
+  private:
+    const DramTiming &t_;
+    i64 openRow_ = kNoRow;
+    Cycle actAllowedAt_ = 0;
+    Cycle casAllowedAt_ = 0;
+    Cycle preAllowedAt_ = 0;
+};
+
+/**
+ * Vault-level activate-rate limiter: tRRDS between any two ACTs in the
+ * vault, tRRDL between ACTs in the same process group, and tFAW over any
+ * four consecutive ACTs (Sec. VII-A "timing parameters to limit power").
+ */
+class ActivationLimiter
+{
+  public:
+    explicit ActivationLimiter(const DramTiming &t) : t_(t) {}
+
+    Cycle earliestAct(Cycle now, u32 pgIdx) const;
+    void recordAct(Cycle at, u32 pgIdx);
+
+  private:
+    const DramTiming &t_;
+    Cycle lastActAny_ = 0;
+    bool anyAct_ = false;
+    std::unordered_map<u32, Cycle> lastActPerPg_;
+    std::vector<Cycle> actWindow_; ///< most recent ACT times (<= 4 kept)
+};
+
+} // namespace ipim
+
+#endif // IPIM_DRAM_BANK_H_

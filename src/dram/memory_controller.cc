@@ -1,0 +1,185 @@
+#include "dram/memory_controller.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ipim {
+
+MemoryController::MemoryController(const HardwareConfig &cfg, u32 pgIdx,
+                                   ActivationLimiter *limiter,
+                                   StatsRegistry *stats)
+    : cfg_(cfg), pgIdx_(pgIdx), limiter_(limiter), stats_(stats)
+{
+    for (u32 pe = 0; pe < cfg.pesPerPg; ++pe) {
+        storages_.push_back(
+            std::make_unique<BankStorage>(cfg.bankBytes, cfg.dramRowBytes));
+        banks_.emplace_back(cfg.timing);
+        autoPrePending_.push_back(false);
+        // Stagger per-bank refresh so banks do not refresh in lockstep.
+        nextRefreshAt_.push_back(cfg.timing.tREFI +
+                                 pe * (cfg.timing.tREFI / cfg.pesPerPg));
+    }
+}
+
+void
+MemoryController::enqueue(const MemRequest &req)
+{
+    if (!canAccept())
+        panic("memory controller queue overflow");
+    if (req.peInPg >= cfg_.pesPerPg)
+        panic("request for PE ", req.peInPg, " outside this PG");
+    if (req.addr % kVectorBytes != 0)
+        fatal("bank access not 128b aligned: addr=", req.addr);
+    if (req.addr + kVectorBytes > cfg_.bankBytes)
+        fatal("bank access out of range: addr=", req.addr);
+    queue_.push_back({req, false});
+}
+
+bool
+MemoryController::conflictsWithOlder(size_t idx) const
+{
+    const MemRequest &r = queue_[idx].req;
+    for (size_t i = 0; i < idx; ++i) {
+        const MemRequest &q = queue_[i].req;
+        if (q.peInPg == r.peInPg && q.addr == r.addr &&
+            (q.write || r.write)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+int
+MemoryController::pickRequest(Cycle now) const
+{
+    if (queue_.empty())
+        return -1;
+    if (cfg_.schedPolicy == SchedPolicy::kFrFcfs) {
+        // Oldest row-hit first; fall back to oldest.
+        for (size_t i = 0; i < queue_.size(); ++i) {
+            const MemRequest &r = queue_[i].req;
+            const BankTimingState &bank = banks_[r.peInPg];
+            if (bank.isOpen() &&
+                bank.openRow() ==
+                    i64(storages_[r.peInPg]->rowOf(r.addr)) &&
+                bank.earliestCas(now) <= now && !conflictsWithOlder(i)) {
+                return int(i);
+            }
+        }
+    }
+    return 0;
+}
+
+bool
+MemoryController::serviceRefresh(Cycle now)
+{
+    for (u32 pe = 0; pe < cfg_.pesPerPg; ++pe) {
+        if (now < nextRefreshAt_[pe])
+            continue;
+        BankTimingState &bank = banks_[pe];
+        if (bank.isOpen()) {
+            if (bank.earliestPre(now) <= now) {
+                bank.pre(now);
+                stats_->inc("dram.pre");
+                return true;
+            }
+            continue; // must wait until a precharge is legal
+        }
+        if (bank.earliestAct(now) <= now) {
+            bank.refresh(now);
+            nextRefreshAt_[pe] += cfg_.timing.tREFI;
+            stats_->inc("dram.ref");
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+MemoryController::issueForRequest(Cycle now, size_t idx)
+{
+    MemRequest &r = queue_[idx].req;
+    BankTimingState &bank = banks_[r.peInPg];
+    i64 row = i64(storages_[r.peInPg]->rowOf(r.addr));
+
+    if (bank.isOpen() && bank.openRow() != row) {
+        queue_[idx].sawMiss = true;
+        if (bank.earliestPre(now) > now)
+            return false;
+        bank.pre(now);
+        stats_->inc("dram.pre");
+        return true;
+    }
+    if (!bank.isOpen()) {
+        queue_[idx].sawMiss = true;
+        Cycle ok = std::max(bank.earliestAct(now),
+                            limiter_->earliestAct(now, pgIdx_));
+        if (ok > now)
+            return false;
+        bank.act(now, row);
+        limiter_->recordAct(now, pgIdx_);
+        stats_->inc("dram.act");
+        return true;
+    }
+    // Open on the right row: issue CAS.
+    if (bank.earliestCas(now) > now)
+        return false;
+    Cycle done = bank.cas(now, r.write);
+    stats_->inc(r.write ? "dram.wr" : "dram.rd");
+    stats_->inc(queue_[idx].sawMiss ? "dram.rowMiss" : "dram.rowHit");
+    if (r.write)
+        storages_[r.peInPg]->writeVec(r.addr, r.data);
+    Inflight f;
+    f.req = r;
+    f.doneAt = done;
+    inflight_.push_back(f);
+    if (cfg_.pagePolicy == PagePolicy::kClosePage)
+        autoPrePending_[r.peInPg] = true;
+    queue_.erase(queue_.begin() + idx);
+    return true;
+}
+
+void
+MemoryController::tick(Cycle now)
+{
+    // Retire finished accesses.
+    for (size_t i = 0; i < inflight_.size();) {
+        if (inflight_[i].doneAt <= now) {
+            const MemRequest &r = inflight_[i].req;
+            MemCompletion c;
+            c.id = r.id;
+            c.peInPg = r.peInPg;
+            c.write = r.write;
+            if (!r.write)
+                c.data = storages_[r.peInPg]->readVec(r.addr);
+            completions_.push_back(c);
+            inflight_.erase(inflight_.begin() + i);
+        } else {
+            ++i;
+        }
+    }
+
+    // One command per cycle: refresh first, then auto-precharge, then the
+    // scheduled request.
+    if (serviceRefresh(now))
+        return;
+
+    for (u32 pe = 0; pe < cfg_.pesPerPg; ++pe) {
+        if (autoPrePending_[pe] && banks_[pe].isOpen() &&
+            banks_[pe].earliestPre(now) <= now) {
+            banks_[pe].pre(now);
+            autoPrePending_[pe] = false;
+            stats_->inc("dram.pre");
+            return;
+        }
+    }
+
+    // pickRequest never selects a younger request that conflicts with an
+    // older one, so same-address order is preserved.
+    int idx = pickRequest(now);
+    if (idx >= 0)
+        issueForRequest(now, size_t(idx));
+}
+
+} // namespace ipim

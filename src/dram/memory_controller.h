@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The lightweight in-DRAM memory controller serving the banks inside one
+ * process group (Sec. IV-E): a 16-entry request queue, FCFS / FR-FCFS
+ * scheduling, open/close page policies, and tREFI/tRFC refresh.
+ */
+#ifndef IPIM_DRAM_MEMORY_CONTROLLER_H_
+#define IPIM_DRAM_MEMORY_CONTROLLER_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "dram/bank.h"
+
+namespace ipim {
+
+/** One 128b bank access request. */
+struct MemRequest
+{
+    u64 id = 0;       ///< caller-chosen tag, echoed in the completion
+    u32 peInPg = 0;   ///< which bank (PE) of this PG
+    bool write = false;
+    u64 addr = 0;     ///< bank-local byte address, 16B aligned
+    VecWord data;     ///< payload for writes
+};
+
+/** Completion of a MemRequest. */
+struct MemCompletion
+{
+    u64 id = 0;
+    u32 peInPg = 0;
+    bool write = false;
+    VecWord data; ///< loaded payload for reads
+};
+
+/**
+ * Per-process-group memory controller.
+ *
+ * tick() issues at most one DRAM command per cycle on the PG's shared
+ * command bus, and retires finished requests into completions().
+ */
+class MemoryController
+{
+  public:
+    /**
+     * @param limiter Vault-level activation limiter (may be shared by
+     * several controllers); must outlive this object.
+     */
+    MemoryController(const HardwareConfig &cfg, u32 pgIdx,
+                     ActivationLimiter *limiter, StatsRegistry *stats);
+
+    bool canAccept() const { return queue_.size() < cfg_.dramReqQueueDepth; }
+    u32 queueDepth() const { return u32(queue_.size()); }
+
+    /** Enqueue a request; caller must have checked canAccept(). */
+    void enqueue(const MemRequest &req);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    /** Finished requests since the last drain; caller clears it. */
+    std::vector<MemCompletion> &completions() { return completions_; }
+
+    /** Direct functional access for runtime image scatter/gather. */
+    BankStorage &storage(u32 peInPg) { return *storages_[peInPg]; }
+    const BankStorage &storage(u32 peInPg) const
+    {
+        return *storages_[peInPg];
+    }
+
+    /** True when no request is queued or in flight. */
+    bool idle() const { return queue_.empty() && inflight_.empty(); }
+
+  private:
+    struct Queued
+    {
+        MemRequest req;
+        bool sawMiss = false; ///< needed a PRE/ACT before its CAS
+    };
+
+    struct Inflight
+    {
+        MemRequest req;
+        Cycle doneAt;
+    };
+
+    bool conflictsWithOlder(size_t idx) const;
+    int pickRequest(Cycle now) const;
+    bool serviceRefresh(Cycle now);
+    bool issueForRequest(Cycle now, size_t idx);
+
+    const HardwareConfig &cfg_;
+    u32 pgIdx_;
+    ActivationLimiter *limiter_;
+    StatsRegistry *stats_;
+
+    std::vector<std::unique_ptr<BankStorage>> storages_;
+    std::vector<BankTimingState> banks_;
+    std::vector<bool> autoPrePending_;
+    std::vector<Cycle> nextRefreshAt_;
+
+    std::deque<Queued> queue_;
+    std::vector<Inflight> inflight_;
+    std::vector<MemCompletion> completions_;
+};
+
+} // namespace ipim
+
+#endif // IPIM_DRAM_MEMORY_CONTROLLER_H_

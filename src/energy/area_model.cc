@@ -1,0 +1,70 @@
+#include "energy/area_model.h"
+
+#include <sstream>
+
+namespace ipim {
+
+std::string
+AreaReport::toString() const
+{
+    std::ostringstream os;
+    os << "Component            Number  Area(mm^2)  Overhead(%)\n";
+    char buf[128];
+    for (const AreaRow &r : rows) {
+        std::snprintf(buf, sizeof(buf), "%-20s %6u  %10.2f  %11.2f\n",
+                      r.name.c_str(), r.count, r.areaMm2, r.overheadPct);
+        os << buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%-20s %6s  %10.2f  %11.2f\n", "Total",
+                  "-", totalMm2, totalOverheadPct);
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "control core %.2f mm^2 (fits 3.5 mm^2 vault budget: "
+                  "%s); naive per-bank cores: %.2f%% overhead\n",
+                  controlCoreMm2, coreFitsBaseDie ? "yes" : "no",
+                  naiveOverheadPct);
+    os << buf;
+    return os.str();
+}
+
+AreaReport
+computeArea(const HardwareConfig &cfg)
+{
+    const AreaParams &a = cfg.area;
+    u32 pgsPerDie = cfg.vaultsPerCube;          // one PG per vault per die
+    u32 pesPerDie = pgsPerDie * cfg.pesPerPg;
+
+    auto makeRow = [&](const char *name, u32 count, f64 perInstance) {
+        AreaRow r;
+        r.name = name;
+        r.count = count;
+        r.areaMm2 = perInstance * a.dramProcessFactor * count;
+        r.overheadPct = 100.0 * r.areaMm2 / a.dramDie;
+        return r;
+    };
+
+    AreaReport rep;
+    rep.rows.push_back(makeRow("SIMD Unit", pesPerDie, a.simdUnit));
+    rep.rows.push_back(makeRow("Int ALU", pesPerDie, a.intAlu));
+    rep.rows.push_back(makeRow("Address Register File", pesPerDie,
+                               a.addrRf));
+    rep.rows.push_back(makeRow("Data Register File", pesPerDie, a.dataRf));
+    rep.rows.push_back(makeRow("Memory Controller", pgsPerDie, a.memCtrl));
+    rep.rows.push_back(makeRow("PGSM", pgsPerDie, a.pgsm));
+
+    for (const AreaRow &r : rep.rows) {
+        rep.totalMm2 += r.areaMm2;
+        rep.totalOverheadPct += r.overheadPct;
+    }
+
+    rep.controlCoreMm2 = a.controlCore;
+    rep.coreFitsBaseDie = a.controlCore <= a.vaultBaseDieBudget;
+
+    // Counterfactual: a control core next to every bank, in DRAM process.
+    f64 naiveExtra =
+        f64(pesPerDie) * a.naiveCore * a.dramProcessFactor / a.dramDie;
+    rep.naiveOverheadPct = rep.totalOverheadPct + 100.0 * naiveExtra;
+    return rep;
+}
+
+} // namespace ipim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Area model reproducing Table IV: the per-DRAM-die silicon cost of the
+ * near-bank execution components (with the 2x DRAM-process penalty), the
+ * base-die control core budget check, and the "naive per-bank control
+ * core" counterfactual of Sec. VII-B.
+ */
+#ifndef IPIM_ENERGY_AREA_MODEL_H_
+#define IPIM_ENERGY_AREA_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+
+namespace ipim {
+
+/** One row of Table IV. */
+struct AreaRow
+{
+    std::string name;
+    u32 count = 0;        ///< instances per DRAM die
+    f64 areaMm2 = 0;      ///< total area on one DRAM die, process-adjusted
+    f64 overheadPct = 0;  ///< percentage of the 96 mm^2 die
+};
+
+struct AreaReport
+{
+    std::vector<AreaRow> rows;
+    f64 totalMm2 = 0;
+    f64 totalOverheadPct = 0;      ///< paper: 10.71%
+    f64 controlCoreMm2 = 0;        ///< paper: 0.92 (incl. 0.23 VSM)
+    bool coreFitsBaseDie = false;  ///< vs. the 3.5 mm^2 vault budget
+    f64 naiveOverheadPct = 0;      ///< per-bank cores; paper: 122.36%
+
+    std::string toString() const;
+};
+
+/**
+ * Compute the area report for one DRAM die of the configured device.
+ *
+ * A DRAM die hosts one PG per vault, i.e. vaultsPerCube PGs and
+ * vaultsPerCube * pesPerPg PEs (64 PEs / 16 PGs for Table III).
+ */
+AreaReport computeArea(const HardwareConfig &cfg);
+
+} // namespace ipim
+
+#endif // IPIM_ENERGY_AREA_MODEL_H_

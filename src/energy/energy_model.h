@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Event-based energy model: turns the simulator's event counters into the
+ * Joule breakdown of Fig. 9 using the Table III energy constants.
+ *
+ * The paper's Fig. 9 buckets are DRAM (background + RAS + CAS + refresh),
+ * SIMDunit (all floating/integer ops of the PE datapath, so the index ALU
+ * is folded in here), AddrRF, DataRF, PGSM, and Others (data movement over
+ * PE bus / TSV / NoC / SERDES, the VSM, and the control core).
+ */
+#ifndef IPIM_ENERGY_ENERGY_MODEL_H_
+#define IPIM_ENERGY_ENERGY_MODEL_H_
+
+#include <string>
+
+#include "common/config.h"
+#include "common/stats.h"
+
+namespace ipim {
+
+/** Energy per Fig. 9 bucket, in Joules. */
+struct EnergyBreakdown
+{
+    f64 dram = 0;
+    f64 simdUnit = 0;
+    f64 addrRf = 0;
+    f64 dataRf = 0;
+    f64 pgsm = 0;
+    f64 others = 0;
+
+    f64
+    total() const
+    {
+        return dram + simdUnit + addrRf + dataRf + pgsm + others;
+    }
+
+    /** Fraction of energy spent on the PIM dies (paper: 89.17%). */
+    f64
+    pimDieFraction() const
+    {
+        f64 t = total();
+        return t == 0 ? 0 : (dram + simdUnit + addrRf + dataRf + pgsm) / t;
+    }
+
+    std::string toString() const;
+};
+
+/**
+ * Compute the energy of a finished run.
+ *
+ * @param stats   Device counters after Device::run().
+ * @param cycles  Elapsed cycles of the run (1 cycle == 1 ns).
+ * @param activeFraction  Fraction of the device's banks/cores that were
+ *        powered for background purposes (1.0 = whole configured device).
+ */
+EnergyBreakdown computeEnergy(const HardwareConfig &cfg,
+                              const StatsRegistry &stats, Cycle cycles,
+                              f64 activeFraction = 1.0);
+
+} // namespace ipim
+
+#endif // IPIM_ENERGY_ENERGY_MODEL_H_

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Functional semantics of the SIMB arithmetic operations.
+ *
+ * Shared by the PE SIMD-unit/INT-ALU models (src/sim) and by the control
+ * core's CtrlRF calculator, so a single definition fixes the semantics of
+ * every comp/calc_arf/calc_crf instruction.
+ */
+#ifndef IPIM_ISA_ALU_H_
+#define IPIM_ISA_ALU_H_
+
+#include "isa/opcodes.h"
+
+namespace ipim {
+
+/**
+ * Evaluate one INT32 ALU operation (calc_arf/calc_crf and comp.i32).
+ *
+ * Division and modulo use floor semantics to match the index arithmetic
+ * of the compiler's bounds inference.  mac is not valid here.
+ */
+i32 aluEvalI32(AluOp op, i32 a, i32 b);
+
+/**
+ * Evaluate one FP32 SIMD lane operation.
+ *
+ * @param acc The previous destination lane value (used only by mac).
+ * Bitwise ops (shift/and/or/xor/crop) operate on the raw lane bits.
+ */
+u32 aluEvalLaneF32(AluOp op, u32 a, u32 b, u32 acc);
+
+/** Evaluate one INT32 SIMD lane operation (comp.i32, incl. mac). */
+u32 aluEvalLaneI32(AluOp op, u32 a, u32 b, u32 acc);
+
+/** Latency class: true if @p op runs at the logic-unit latency. */
+bool isLogicOp(AluOp op);
+
+} // namespace ipim
+
+#endif // IPIM_ISA_ALU_H_

@@ -1,0 +1,325 @@
+#include "isa/assembler.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ipim {
+
+namespace {
+
+/** Splits a line into tokens; separators are spaces and commas. */
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &line) : s_(line) {}
+
+    /** Next token or empty string at end. */
+    std::string
+    next()
+    {
+        while (pos_ < s_.size() &&
+               (std::isspace(u8(s_[pos_])) || s_[pos_] == ','))
+            ++pos_;
+        size_t start = pos_;
+        while (pos_ < s_.size() && !std::isspace(u8(s_[pos_])) &&
+               s_[pos_] != ',')
+            ++pos_;
+        return s_.substr(start, pos_ - start);
+    }
+
+    std::string
+    expect(const char *what)
+    {
+        std::string t = next();
+        if (t.empty())
+            fatal("asm: expected ", what, " in: ", s_);
+        return t;
+    }
+
+    const std::string &line() const { return s_; }
+
+  private:
+    std::string s_;
+    size_t pos_ = 0;
+};
+
+i64
+parseInt(const std::string &t, const std::string &line)
+{
+    try {
+        size_t used = 0;
+        i64 v = std::stoll(t, &used, 0);
+        if (used != t.size())
+            fatal("asm: bad integer '", t, "' in: ", line);
+        return v;
+    } catch (const FatalError &) {
+        throw;
+    } catch (...) {
+        fatal("asm: bad integer '", t, "' in: ", line);
+    }
+}
+
+/** Parse "d12"/"a3"/"c7" register tokens. */
+u16
+parseReg(const std::string &t, char prefix, const std::string &line)
+{
+    if (t.size() < 2 || t[0] != prefix)
+        fatal("asm: expected '", std::string(1, prefix),
+              "' register, got '", t, "' in: ", line);
+    return u16(parseInt(t.substr(1), line));
+}
+
+/** Parse "name=value" suffix tokens like sm=15, vm=0xf, stride=8. */
+bool
+parseKeyVal(const std::string &t, const std::string &key, i64 &out,
+            const std::string &line)
+{
+    std::string prefix = key + "=";
+    if (t.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    out = parseInt(t.substr(prefix.size()), line);
+    return true;
+}
+
+/** Parse "dram[123]" or "pgsm[a4]" style memory operands. */
+MemOperand
+parseMem(const std::string &t, const char *kind, const std::string &line)
+{
+    std::string prefix = std::string(kind) + "[";
+    if (t.compare(0, prefix.size(), prefix) != 0 || t.back() != ']')
+        fatal("asm: expected ", kind, "[...] operand, got '", t,
+              "' in: ", line);
+    std::string inner = t.substr(prefix.size(),
+                                 t.size() - prefix.size() - 1);
+    if (!inner.empty() && inner[0] == 'a') {
+        size_t sep = inner.find_first_of("+-", 1);
+        if (sep == std::string::npos)
+            return MemOperand::viaArf(
+                u32(parseInt(inner.substr(1), line)));
+        MemOperand m = MemOperand::viaArf(
+            u32(parseInt(inner.substr(1, sep - 1), line)));
+        m.offset = i32(parseInt(inner.substr(sep), line));
+        return m;
+    }
+    return MemOperand::direct(u32(parseInt(inner, line)));
+}
+
+/** Parse trailing vm=/sm=/stride=/lane= tokens in any order. */
+void
+parseSuffixes(Lexer &lex, Instruction &inst)
+{
+    for (std::string t = lex.next(); !t.empty(); t = lex.next()) {
+        i64 v = 0;
+        if (parseKeyVal(t, "vm", v, lex.line()))
+            inst.vecMask = u8(v);
+        else if (parseKeyVal(t, "sm", v, lex.line()))
+            inst.simbMask = u32(v);
+        else if (parseKeyVal(t, "stride", v, lex.line()))
+            inst.pgsmStride = u16(v);
+        else if (parseKeyVal(t, "lane", v, lex.line()))
+            inst.vecMask = u8(v);
+        else
+            fatal("asm: unexpected token '", t, "' in: ", lex.line());
+    }
+}
+
+AluOp
+parseAluToken(const std::string &t, DType &dtype, const std::string &line)
+{
+    std::string opname = t;
+    dtype = DType::kF32;
+    if (auto dot = t.find('.'); dot != std::string::npos) {
+        opname = t.substr(0, dot);
+        std::string suffix = t.substr(dot + 1);
+        if (suffix == "f32")
+            dtype = DType::kF32;
+        else if (suffix == "i32")
+            dtype = DType::kI32;
+        else
+            fatal("asm: bad dtype suffix '", suffix, "' in: ", line);
+    }
+    AluOp op;
+    if (!aluOpFromName(opname, op))
+        fatal("asm: unknown alu op '", opname, "' in: ", line);
+    return op;
+}
+
+} // namespace
+
+Instruction
+parseInstruction(const std::string &line)
+{
+    Lexer lex(line);
+    std::string opTok = lex.expect("opcode");
+    Opcode op;
+    if (!opcodeFromName(opTok, op))
+        fatal("asm: unknown opcode '", opTok, "' in: ", line);
+
+    Instruction inst;
+    inst.op = op;
+    inst.simbMask = 0;
+
+    switch (op) {
+      case Opcode::kComp: {
+        DType dt;
+        inst.aluOp = parseAluToken(lex.expect("alu op"), dt, line);
+        inst.dtype = dt;
+        std::string m = lex.expect("mode");
+        if (m == "vv")
+            inst.mode = CompMode::kVecVec;
+        else if (m == "sv")
+            inst.mode = CompMode::kScalarVec;
+        else
+            fatal("asm: bad comp mode '", m, "' in: ", line);
+        inst.dst = parseReg(lex.expect("dst"), 'd', line);
+        inst.src1 = parseReg(lex.expect("src1"), 'd', line);
+        inst.src2 = parseReg(lex.expect("src2"), 'd', line);
+        parseSuffixes(lex, inst);
+        break;
+      }
+      case Opcode::kCalcArf:
+      case Opcode::kCalcCrf: {
+        DType dt;
+        inst.aluOp = parseAluToken(lex.expect("alu op"), dt, line);
+        inst.dtype = DType::kI32;
+        char pfx = op == Opcode::kCalcArf ? 'a' : 'c';
+        inst.dst = parseReg(lex.expect("dst"), pfx, line);
+        inst.src1 = parseReg(lex.expect("src1"), pfx, line);
+        std::string s2 = lex.expect("src2");
+        if (!s2.empty() && s2[0] == '#') {
+            inst.srcImm = true;
+            inst.imm = i32(parseInt(s2.substr(1), line));
+        } else {
+            inst.src2 = parseReg(s2, pfx, line);
+        }
+        parseSuffixes(lex, inst);
+        break;
+      }
+      case Opcode::kStRf:
+      case Opcode::kLdRf:
+        inst.dramAddr = parseMem(lex.expect("dram"), "dram", line);
+        inst.dst = parseReg(lex.expect("drf"), 'd', line);
+        parseSuffixes(lex, inst);
+        break;
+      case Opcode::kStPgsm:
+      case Opcode::kLdPgsm:
+        inst.dramAddr = parseMem(lex.expect("dram"), "dram", line);
+        inst.pgsmAddr = parseMem(lex.expect("pgsm"), "pgsm", line);
+        parseSuffixes(lex, inst);
+        break;
+      case Opcode::kRdPgsm:
+      case Opcode::kWrPgsm:
+        inst.pgsmAddr = parseMem(lex.expect("pgsm"), "pgsm", line);
+        inst.dst = parseReg(lex.expect("drf"), 'd', line);
+        parseSuffixes(lex, inst);
+        break;
+      case Opcode::kRdVsm:
+      case Opcode::kWrVsm:
+        inst.vsmAddr = parseMem(lex.expect("vsm"), "vsm", line);
+        inst.dst = parseReg(lex.expect("drf"), 'd', line);
+        parseSuffixes(lex, inst);
+        break;
+      case Opcode::kMovDrfToArf:
+        inst.dst = parseReg(lex.expect("arf"), 'a', line);
+        inst.src1 = parseReg(lex.expect("drf"), 'd', line);
+        parseSuffixes(lex, inst);
+        break;
+      case Opcode::kMovArfToDrf:
+        inst.dst = parseReg(lex.expect("drf"), 'd', line);
+        inst.src1 = parseReg(lex.expect("arf"), 'a', line);
+        parseSuffixes(lex, inst);
+        break;
+      case Opcode::kSetiVsm: {
+        inst.vsmAddr = parseMem(lex.expect("vsm"), "vsm", line);
+        std::string v = lex.expect("imm");
+        if (v.empty() || v[0] != '#')
+            fatal("asm: seti_vsm needs #imm in: ", line);
+        inst.imm = i32(parseInt(v.substr(1), line));
+        break;
+      }
+      case Opcode::kReset:
+        inst.dst = parseReg(lex.expect("drf"), 'd', line);
+        parseSuffixes(lex, inst);
+        break;
+      case Opcode::kReq: {
+        // chipC.vaultV.pgP.peE dram[..] -> vsm[..]
+        std::string route = lex.expect("route");
+        unsigned c = 0, v = 0, p = 0, e = 0;
+        if (std::sscanf(route.c_str(), "chip%u.vault%u.pg%u.pe%u",
+                        &c, &v, &p, &e) != 4)
+            fatal("asm: bad req route '", route, "' in: ", line);
+        inst.dstChip = u16(c);
+        inst.dstVault = u16(v);
+        inst.dstPg = u16(p);
+        inst.dstPe = u16(e);
+        inst.dramAddr = parseMem(lex.expect("dram"), "dram", line);
+        std::string arrow = lex.expect("->");
+        if (arrow != "->")
+            fatal("asm: expected '->' in req: ", line);
+        inst.vsmAddr = parseMem(lex.expect("vsm"), "vsm", line);
+        break;
+      }
+      case Opcode::kJump:
+        inst.dst = parseReg(lex.expect("target crf"), 'c', line);
+        break;
+      case Opcode::kCjump:
+        inst.src1 = parseReg(lex.expect("cond crf"), 'c', line);
+        inst.dst = parseReg(lex.expect("target crf"), 'c', line);
+        break;
+      case Opcode::kSetiCrf: {
+        inst.dst = parseReg(lex.expect("crf"), 'c', line);
+        std::string v = lex.expect("imm");
+        if (v.empty() || v[0] != '#')
+            fatal("asm: seti_crf needs #imm in: ", line);
+        inst.imm = i32(parseInt(v.substr(1), line));
+        break;
+      }
+      case Opcode::kSync: {
+        std::string t = lex.expect("phase");
+        i64 v = 0;
+        if (!parseKeyVal(t, "phase", v, line))
+            fatal("asm: sync needs phase=N in: ", line);
+        inst.phaseId = u32(v);
+        break;
+      }
+      case Opcode::kHalt:
+      case Opcode::kNop:
+        break;
+      default:
+        fatal("asm: unsupported opcode '", opTok, "'");
+    }
+    return inst;
+}
+
+std::vector<Instruction>
+assemble(const std::string &text)
+{
+    std::vector<Instruction> prog;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (auto hash = line.find(';'); hash != std::string::npos)
+            line = line.substr(0, hash);
+        bool blank = true;
+        for (char ch : line)
+            if (!std::isspace(u8(ch)))
+                blank = false;
+        if (blank)
+            continue;
+        prog.push_back(parseInstruction(line));
+    }
+    return prog;
+}
+
+std::string
+disassemble(const std::vector<Instruction> &prog)
+{
+    std::ostringstream os;
+    for (const auto &inst : prog)
+        os << inst.toString() << "\n";
+    return os.str();
+}
+
+} // namespace ipim

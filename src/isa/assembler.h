@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Text assembler/disassembler for SIMB programs.
+ *
+ * The textual grammar is exactly what Instruction::toString() prints, one
+ * instruction per line; blank lines and ';' comments are ignored.  Used by
+ * tests, the isa_explorer example, and for debugging compiled kernels.
+ */
+#ifndef IPIM_ISA_ASSEMBLER_H_
+#define IPIM_ISA_ASSEMBLER_H_
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace ipim {
+
+/** Parse one instruction line; throws FatalError on syntax errors. */
+Instruction parseInstruction(const std::string &line);
+
+/** Parse a multi-line program. */
+std::vector<Instruction> assemble(const std::string &text);
+
+/** Render a program, one instruction per line. */
+std::string disassemble(const std::vector<Instruction> &prog);
+
+} // namespace ipim
+
+#endif // IPIM_ISA_ASSEMBLER_H_

@@ -1,0 +1,186 @@
+#include "isa/encoding.h"
+
+#include "common/logging.h"
+
+namespace ipim {
+
+namespace {
+
+class Writer
+{
+  public:
+    explicit Writer(EncodedInst &buf) : buf_(buf) {}
+
+    void
+    u8v(u8 v)
+    {
+        buf_[pos_++] = v;
+    }
+
+    void
+    u16v(u16 v)
+    {
+        u8v(u8(v & 0xFF));
+        u8v(u8(v >> 8));
+    }
+
+    void
+    u32v(u32 v)
+    {
+        u16v(u16(v & 0xFFFF));
+        u16v(u16(v >> 16));
+    }
+
+    void
+    mem(const MemOperand &m)
+    {
+        u8v(m.indirect ? 1 : 0);
+        u32v(m.value);
+        u32v(u32(m.offset));
+    }
+
+    int pos() const { return pos_; }
+
+  private:
+    EncodedInst &buf_;
+    int pos_ = 0;
+};
+
+class Reader
+{
+  public:
+    explicit Reader(const EncodedInst &buf) : buf_(buf) {}
+
+    u8
+    u8v()
+    {
+        return buf_[pos_++];
+    }
+
+    u16
+    u16v()
+    {
+        u16 lo = u8v();
+        return u16(lo | (u16(u8v()) << 8));
+    }
+
+    u32
+    u32v()
+    {
+        u32 lo = u16v();
+        return lo | (u32(u16v()) << 16);
+    }
+
+    MemOperand
+    mem()
+    {
+        MemOperand m;
+        m.indirect = u8v() != 0;
+        m.value = u32v();
+        m.offset = i32(u32v());
+        return m;
+    }
+
+  private:
+    const EncodedInst &buf_;
+    int pos_ = 0;
+};
+
+} // namespace
+
+EncodedInst
+encode(const Instruction &inst)
+{
+    EncodedInst out{};
+    Writer w(out);
+    w.u8v(u8(inst.op));
+    w.u8v(u8(inst.aluOp));
+    w.u8v(u8(inst.dtype));
+    w.u8v(u8(inst.mode));
+    w.u16v(inst.dst);
+    w.u16v(inst.src1);
+    w.u16v(inst.src2);
+    w.u8v(inst.vecMask);
+    w.u8v(inst.srcImm ? 1 : 0);
+    w.u32v(inst.simbMask);
+    w.mem(inst.dramAddr);
+    w.mem(inst.pgsmAddr);
+    w.mem(inst.vsmAddr);
+    w.u16v(inst.pgsmStride);
+    w.u8v(inst.scratchBank);
+    w.u32v(u32(inst.imm));
+    w.u16v(inst.dstChip);
+    w.u16v(inst.dstVault);
+    w.u16v(inst.dstPg);
+    w.u16v(inst.dstPe);
+    w.u32v(inst.phaseId);
+    if (w.pos() > kInstBytes)
+        panic("instruction encoding overflows ", kInstBytes, " bytes");
+    return out;
+}
+
+Instruction
+decode(const EncodedInst &bytes)
+{
+    Reader r(bytes);
+    Instruction inst;
+    u8 op = r.u8v();
+    if (op >= u8(Opcode::kNumOpcodes))
+        fatal("decode: bad opcode byte ", int(op));
+    inst.op = Opcode(op);
+    u8 aluOp = r.u8v();
+    if (aluOp >= u8(AluOp::kNumAluOps))
+        fatal("decode: bad alu-op byte ", int(aluOp));
+    inst.aluOp = AluOp(aluOp);
+    inst.dtype = DType(r.u8v() & 1);
+    inst.mode = CompMode(r.u8v() & 1);
+    inst.dst = r.u16v();
+    inst.src1 = r.u16v();
+    inst.src2 = r.u16v();
+    inst.vecMask = r.u8v();
+    inst.srcImm = r.u8v() != 0;
+    inst.simbMask = r.u32v();
+    inst.dramAddr = r.mem();
+    inst.pgsmAddr = r.mem();
+    inst.vsmAddr = r.mem();
+    inst.pgsmStride = r.u16v();
+    inst.scratchBank = r.u8v();
+    inst.imm = i32(r.u32v());
+    inst.dstChip = r.u16v();
+    inst.dstVault = r.u16v();
+    inst.dstPg = r.u16v();
+    inst.dstPe = r.u16v();
+    inst.phaseId = r.u32v();
+    return inst;
+}
+
+std::vector<u8>
+encodeProgram(const std::vector<Instruction> &prog)
+{
+    std::vector<u8> out;
+    out.reserve(prog.size() * kInstBytes);
+    for (const auto &inst : prog) {
+        EncodedInst e = encode(inst);
+        out.insert(out.end(), e.begin(), e.end());
+    }
+    return out;
+}
+
+std::vector<Instruction>
+decodeProgram(const std::vector<u8> &bytes)
+{
+    if (bytes.size() % kInstBytes != 0)
+        fatal("program byte size ", bytes.size(),
+              " is not a multiple of ", kInstBytes);
+    std::vector<Instruction> prog;
+    prog.reserve(bytes.size() / kInstBytes);
+    for (size_t i = 0; i < bytes.size(); i += kInstBytes) {
+        EncodedInst e;
+        std::copy(bytes.begin() + i, bytes.begin() + i + kInstBytes,
+                  e.begin());
+        prog.push_back(decode(e));
+    }
+    return prog;
+}
+
+} // namespace ipim

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fixed-width binary encoding of SIMB instructions.
+ *
+ * Each instruction occupies 64 bytes (four 128b beats), which is what a
+ * vault program costs in VSM-resident instruction memory (Sec. IV-E: the
+ * VSM "acts as the instruction memory that accepts computation offloading
+ * from a host").
+ */
+#ifndef IPIM_ISA_ENCODING_H_
+#define IPIM_ISA_ENCODING_H_
+
+#include <array>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace ipim {
+
+/** Bytes per encoded instruction. */
+inline constexpr int kInstBytes = 64;
+
+using EncodedInst = std::array<u8, kInstBytes>;
+
+/** Serialize @p inst into its 48-byte wire form. */
+EncodedInst encode(const Instruction &inst);
+
+/** Deserialize; throws FatalError on a malformed word. */
+Instruction decode(const EncodedInst &bytes);
+
+/** Encode a whole program back-to-back. */
+std::vector<u8> encodeProgram(const std::vector<Instruction> &prog);
+
+/** Decode a whole program; size must be a multiple of kInstBytes. */
+std::vector<Instruction> decodeProgram(const std::vector<u8> &bytes);
+
+} // namespace ipim
+
+#endif // IPIM_ISA_ENCODING_H_

@@ -1,0 +1,258 @@
+#include "isa/instruction.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ipim {
+
+namespace {
+
+void
+addMemOperandRead(AccessSet &s, const MemOperand &m)
+{
+    if (m.indirect)
+        s.addRead(RegFile::kArf, u16(m.value));
+}
+
+} // namespace
+
+AccessSet
+Instruction::accessSet() const
+{
+    AccessSet s;
+    u8 bankMask = scratchBank == 0 ? 0x3 : u8(1u << (scratchBank - 1));
+    switch (op) {
+      case Opcode::kComp:
+        s.addRead(RegFile::kDrf, src1);
+        if (src2 != src1)
+            s.addRead(RegFile::kDrf, src2);
+        if (aluOp == AluOp::kMac)
+            s.addRead(RegFile::kDrf, dst);
+        s.addWrite(RegFile::kDrf, dst);
+        break;
+      case Opcode::kCalcArf:
+        s.addRead(RegFile::kArf, src1);
+        if (!srcImm && src2 != src1)
+            s.addRead(RegFile::kArf, src2);
+        s.addWrite(RegFile::kArf, dst);
+        break;
+      case Opcode::kStRf:
+        s.addRead(RegFile::kDrf, dst);
+        addMemOperandRead(s, dramAddr);
+        s.writesBank = true;
+        break;
+      case Opcode::kLdRf:
+        addMemOperandRead(s, dramAddr);
+        s.addWrite(RegFile::kDrf, dst);
+        s.readsBank = true;
+        break;
+      case Opcode::kStPgsm:
+        addMemOperandRead(s, dramAddr);
+        addMemOperandRead(s, pgsmAddr);
+        s.readsPgsm = true;
+        s.pgsmReadMask = bankMask;
+        s.writesBank = true;
+        break;
+      case Opcode::kLdPgsm:
+        addMemOperandRead(s, dramAddr);
+        addMemOperandRead(s, pgsmAddr);
+        s.readsBank = true;
+        s.writesPgsm = true;
+        s.pgsmWriteMask = bankMask;
+        break;
+      case Opcode::kRdPgsm:
+        addMemOperandRead(s, pgsmAddr);
+        s.addWrite(RegFile::kDrf, dst);
+        s.readsPgsm = true;
+        s.pgsmReadMask = bankMask;
+        break;
+      case Opcode::kWrPgsm:
+        addMemOperandRead(s, pgsmAddr);
+        s.addRead(RegFile::kDrf, dst);
+        s.writesPgsm = true;
+        s.pgsmWriteMask = bankMask;
+        break;
+      case Opcode::kRdVsm:
+        addMemOperandRead(s, vsmAddr);
+        s.addWrite(RegFile::kDrf, dst);
+        s.readsVsm = true;
+        break;
+      case Opcode::kWrVsm:
+        addMemOperandRead(s, vsmAddr);
+        s.addRead(RegFile::kDrf, dst);
+        s.writesVsm = true;
+        break;
+      case Opcode::kMovDrfToArf:
+        s.addRead(RegFile::kDrf, src1);
+        s.addWrite(RegFile::kArf, dst);
+        break;
+      case Opcode::kMovArfToDrf:
+        s.addRead(RegFile::kArf, src1);
+        s.addWrite(RegFile::kDrf, dst);
+        break;
+      case Opcode::kSetiVsm:
+        s.writesVsm = true;
+        break;
+      case Opcode::kReset:
+        s.addWrite(RegFile::kDrf, dst);
+        break;
+      case Opcode::kReq:
+        // Reads a remote bank, writes the local VSM staging area.
+        // Core-side indirection goes through the CtrlRF.
+        if (dramAddr.indirect)
+            s.addRead(RegFile::kCrf, u16(dramAddr.value));
+        if (vsmAddr.indirect)
+            s.addRead(RegFile::kCrf, u16(vsmAddr.value));
+        s.readsBank = true;
+        s.writesVsm = true;
+        break;
+      case Opcode::kJump:
+        s.addRead(RegFile::kCrf, dst);
+        break;
+      case Opcode::kCjump:
+        s.addRead(RegFile::kCrf, src1);
+        if (dst != src1)
+            s.addRead(RegFile::kCrf, dst);
+        break;
+      case Opcode::kCalcCrf:
+        s.addRead(RegFile::kCrf, src1);
+        if (!srcImm && src2 != src1)
+            s.addRead(RegFile::kCrf, src2);
+        s.addWrite(RegFile::kCrf, dst);
+        break;
+      case Opcode::kSetiCrf:
+        s.addWrite(RegFile::kCrf, dst);
+        break;
+      case Opcode::kSync:
+      case Opcode::kHalt:
+      case Opcode::kNop:
+        break;
+      default:
+        panic("accessSet: bad opcode ", int(op));
+    }
+    return s;
+}
+
+namespace {
+
+const char *
+filePrefix(RegFile f)
+{
+    switch (f) {
+      case RegFile::kDrf: return "d";
+      case RegFile::kArf: return "a";
+      case RegFile::kCrf: return "c";
+      default: panic("bad reg file");
+    }
+}
+
+std::string
+memStr(const MemOperand &m)
+{
+    std::ostringstream os;
+    if (m.indirect) {
+        os << "[a" << m.value;
+        if (m.offset != 0)
+            os << (m.offset > 0 ? "+" : "") << m.offset;
+        os << "]";
+    } else {
+        os << "[" << m.value << "]";
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << opcodeName(op);
+    switch (op) {
+      case Opcode::kComp:
+        os << " " << aluOpName(aluOp)
+           << (dtype == DType::kF32 ? ".f32" : ".i32")
+           << (mode == CompMode::kVecVec ? " vv" : " sv")
+           << " d" << dst << ", d" << src1 << ", d" << src2
+           << " vm=" << int(vecMask) << " sm=" << simbMask;
+        break;
+      case Opcode::kCalcArf:
+        os << " " << aluOpName(aluOp) << " a" << dst << ", a" << src1;
+        if (srcImm)
+            os << ", #" << imm;
+        else
+            os << ", a" << src2;
+        os << " sm=" << simbMask;
+        break;
+      case Opcode::kStRf:
+      case Opcode::kLdRf:
+        os << " dram" << memStr(dramAddr) << ", d" << dst
+           << " sm=" << simbMask;
+        break;
+      case Opcode::kStPgsm:
+      case Opcode::kLdPgsm:
+        os << " dram" << memStr(dramAddr) << ", pgsm" << memStr(pgsmAddr)
+           << " sm=" << simbMask;
+        break;
+      case Opcode::kRdPgsm:
+      case Opcode::kWrPgsm:
+        os << " pgsm" << memStr(pgsmAddr) << ", d" << dst
+           << " stride=" << pgsmStride << " sm=" << simbMask;
+        break;
+      case Opcode::kRdVsm:
+      case Opcode::kWrVsm:
+        os << " vsm" << memStr(vsmAddr) << ", d" << dst
+           << " sm=" << simbMask;
+        break;
+      case Opcode::kMovDrfToArf:
+        os << " a" << dst << ", d" << src1 << " lane=" << int(vecMask)
+           << " sm=" << simbMask;
+        break;
+      case Opcode::kMovArfToDrf:
+        os << " d" << dst << ", a" << src1 << " lane=" << int(vecMask)
+           << " sm=" << simbMask;
+        break;
+      case Opcode::kSetiVsm:
+        os << " vsm" << memStr(vsmAddr) << ", #" << imm;
+        break;
+      case Opcode::kReset:
+        os << " d" << dst << " sm=" << simbMask;
+        break;
+      case Opcode::kReq:
+        os << " chip" << dstChip << ".vault" << dstVault << ".pg" << dstPg
+           << ".pe" << dstPe << " dram" << memStr(dramAddr) << " -> vsm"
+           << memStr(vsmAddr);
+        break;
+      case Opcode::kJump:
+        os << " c" << dst;
+        break;
+      case Opcode::kCjump:
+        os << " c" << src1 << ", c" << dst;
+        break;
+      case Opcode::kCalcCrf:
+        os << " " << aluOpName(aluOp) << " c" << dst << ", c" << src1;
+        if (srcImm)
+            os << ", #" << imm;
+        else
+            os << ", c" << src2;
+        break;
+      case Opcode::kSetiCrf:
+        os << " c" << dst << ", #" << imm;
+        if (label >= 0)
+            os << " (label L" << label << ")";
+        break;
+      case Opcode::kSync:
+        os << " phase=" << phaseId;
+        break;
+      case Opcode::kHalt:
+      case Opcode::kNop:
+        break;
+      default:
+        panic("toString: bad opcode");
+    }
+    (void)filePrefix; // referenced for potential future operand printing
+    return os.str();
+}
+
+} // namespace ipim

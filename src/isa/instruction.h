@@ -1,0 +1,371 @@
+/**
+ * @file
+ * The SIMB instruction record plus its register/memory access metadata.
+ *
+ * One Instruction value is used in three places: as the compiler backend's
+ * IR node (with virtual register indices), as the program stored in a
+ * vault's VSM, and as the in-flight entry in the control core's Issued
+ * Inst Queue.  The access-set helpers drive both the compiler's dependency
+ * graph and the hardware's issue-time hazard check (Sec. IV-B step 2).
+ */
+#ifndef IPIM_ISA_INSTRUCTION_H_
+#define IPIM_ISA_INSTRUCTION_H_
+
+#include <string>
+
+#include "isa/opcodes.h"
+
+namespace ipim {
+
+/**
+ * A bank/PGSM/VSM address operand.
+ *
+ * Direct: @c value is a byte offset, identical on every PE executing the
+ * instruction.  Indirect: @c value names an AddrRF entry; each PE reads
+ * its own AddrRF to obtain a per-PE byte offset (Sec. IV-C, "indirect
+ * addressing is supported for the bank, PGSM, and VSM addresses").
+ */
+struct MemOperand
+{
+    bool indirect = false;
+    u32 value = 0;
+    /// Displacement added to the register value in indirect mode
+    /// (base+offset addressing; an ISA extension documented in
+    /// DESIGN.md that removes most address-temporary calc_arf ops).
+    i32 offset = 0;
+
+    static MemOperand direct(u32 addr) { return {false, addr, 0}; }
+    static MemOperand viaArf(u32 arfIdx) { return {true, arfIdx, 0}; }
+
+    static MemOperand
+    basePlus(u32 arfIdx, i64 disp)
+    {
+        return {true, arfIdx, i32(disp)};
+    }
+
+    bool operator==(const MemOperand &o) const = default;
+};
+
+/** Which register file a register reference points into. */
+enum class RegFile : u8 { kDrf, kArf, kCrf };
+
+/** A (file, index) register reference used by access sets. */
+struct RegRef
+{
+    RegFile file;
+    u16 idx;
+
+    bool operator==(const RegRef &o) const = default;
+};
+
+/** Register/memory reads and writes of one instruction. */
+struct AccessSet
+{
+    static constexpr int kMaxReads = 5;
+    static constexpr int kMaxWrites = 2;
+
+    RegRef reads[kMaxReads];
+    RegRef writes[kMaxWrites];
+    u8 numReads = 0;
+    u8 numWrites = 0;
+    bool readsBank = false;
+    bool writesBank = false;
+    bool readsPgsm = false;
+    bool writesPgsm = false;
+    bool readsVsm = false;
+    bool writesVsm = false;
+    /// PGSM partition masks (bit0 = half A, bit1 = half B); 0b11 when
+    /// the instruction carries no scratchBank hint.
+    u8 pgsmReadMask = 0;
+    u8 pgsmWriteMask = 0;
+
+    void
+    addRead(RegFile f, u16 i)
+    {
+        reads[numReads++] = {f, i};
+    }
+
+    void
+    addWrite(RegFile f, u16 i)
+    {
+        writes[numWrites++] = {f, i};
+    }
+};
+
+/** Full-lane vector mask (all four SIMD lanes enabled). */
+inline constexpr u8 kFullVecMask = 0xF;
+
+/**
+ * One SIMB instruction.
+ *
+ * The struct is a flat union of the operand fields of Table I; unused
+ * fields are zero for a given opcode.  Register index fields are u16 so
+ * the same type can carry the compiler's virtual registers before
+ * allocation (virtual indices may exceed 255).
+ */
+struct Instruction
+{
+    Opcode op = Opcode::kNop;
+    AluOp aluOp = AluOp::kAdd;
+    DType dtype = DType::kF32;
+    CompMode mode = CompMode::kVecVec;
+
+    u16 dst = 0;  ///< DRF (comp/ld/rd/mov/reset), ARF (calc_arf), CRF (ctrl)
+    u16 src1 = 0; ///< first source register
+    u16 src2 = 0; ///< second source register (ignored if srcImm)
+
+    /// vec_mask: valid lanes of a comp; reused as the lane selector of
+    /// mov_drf_arf / mov_arf_drf (exactly one bit set there).
+    u8 vecMask = kFullVecMask;
+
+    /// simb_mask bit b: PE b of the vault executes this instruction.
+    u32 simbMask = 0;
+
+    MemOperand dramAddr; ///< st/ld_rf, st/ld_pgsm, req (remote bank)
+    MemOperand pgsmAddr; ///< st/ld/rd/wr_pgsm
+    MemOperand vsmAddr;  ///< rd/wr_vsm, seti_vsm, req (local staging)
+
+    /// Lane stride in bytes for rd_pgsm/wr_pgsm (PGSM 2D abstraction);
+    /// 4 = contiguous 128b access.
+    u16 pgsmStride = 4;
+
+    /// Scratchpad partition hint for PGSM accesses: 0 = unknown (may
+    /// touch the whole PGSM), 1/2 = compiler-managed half A/B.  Lets the
+    /// issue-time interlock overlap double-buffered fill and compute
+    /// (an ISA extension documented in DESIGN.md).
+    u8 scratchBank = 0;
+
+    bool srcImm = false; ///< calc_arf/calc_crf: src2 replaced by imm
+    i32 imm = 0;         ///< seti_vsm/seti_crf/immediate-calc payload
+
+    // req routing (Table I operand list)
+    u16 dstChip = 0;
+    u16 dstVault = 0;
+    u16 dstPg = 0;
+    u16 dstPe = 0;
+
+    u32 phaseId = 0; ///< sync
+
+    /**
+     * Compiler-only: unresolved branch-target label carried by seti_crf.
+     * Resolved to an instruction index (into imm) when the program is
+     * finalized; -1 for ordinary instructions.
+     */
+    i32 label = -1;
+
+    InstCategory category() const { return categoryOf(op); }
+
+    /** Registers and memories this instruction reads/writes. */
+    AccessSet accessSet() const;
+
+    /** Human-readable one-line form (see assembler.h for the grammar). */
+    std::string toString() const;
+
+    bool operator==(const Instruction &o) const = default;
+
+    // ---- Named constructors for common forms ----
+
+    static Instruction
+    comp(AluOp aop, DType dt, CompMode m, u16 d, u16 s1, u16 s2,
+         u8 vmask, u32 smask)
+    {
+        Instruction i;
+        i.op = Opcode::kComp;
+        i.aluOp = aop;
+        i.dtype = dt;
+        i.mode = m;
+        i.dst = d;
+        i.src1 = s1;
+        i.src2 = s2;
+        i.vecMask = vmask;
+        i.simbMask = smask;
+        return i;
+    }
+
+    static Instruction
+    calcArf(AluOp aop, u16 d, u16 s1, u16 s2, u32 smask)
+    {
+        Instruction i;
+        i.op = Opcode::kCalcArf;
+        i.aluOp = aop;
+        i.dtype = DType::kI32;
+        i.dst = d;
+        i.src1 = s1;
+        i.src2 = s2;
+        i.simbMask = smask;
+        return i;
+    }
+
+    static Instruction
+    calcArfImm(AluOp aop, u16 d, u16 s1, i32 immVal, u32 smask)
+    {
+        Instruction i = calcArf(aop, d, s1, 0, smask);
+        i.srcImm = true;
+        i.imm = immVal;
+        return i;
+    }
+
+    static Instruction
+    memRf(bool store, MemOperand dram, u16 drf, u32 smask)
+    {
+        Instruction i;
+        i.op = store ? Opcode::kStRf : Opcode::kLdRf;
+        i.dramAddr = dram;
+        i.dst = drf;
+        i.simbMask = smask;
+        return i;
+    }
+
+    static Instruction
+    memPgsmBank(bool toBank, MemOperand dram, MemOperand pgsm, u32 smask)
+    {
+        Instruction i;
+        i.op = toBank ? Opcode::kStPgsm : Opcode::kLdPgsm;
+        i.dramAddr = dram;
+        i.pgsmAddr = pgsm;
+        i.simbMask = smask;
+        return i;
+    }
+
+    static Instruction
+    pgsmRf(bool read, MemOperand pgsm, u16 drf, u32 smask, u16 stride = 4)
+    {
+        Instruction i;
+        i.op = read ? Opcode::kRdPgsm : Opcode::kWrPgsm;
+        i.pgsmAddr = pgsm;
+        i.dst = drf;
+        i.simbMask = smask;
+        i.pgsmStride = stride;
+        return i;
+    }
+
+    static Instruction
+    vsmRf(bool read, MemOperand vsm, u16 drf, u32 smask)
+    {
+        Instruction i;
+        i.op = read ? Opcode::kRdVsm : Opcode::kWrVsm;
+        i.vsmAddr = vsm;
+        i.dst = drf;
+        i.simbMask = smask;
+        return i;
+    }
+
+    static Instruction
+    movDrfArf(bool toArf, u16 arf, u16 drf, u8 lane, u32 smask)
+    {
+        Instruction i;
+        i.op = toArf ? Opcode::kMovDrfToArf : Opcode::kMovArfToDrf;
+        i.dst = toArf ? arf : drf;
+        i.src1 = toArf ? drf : arf;
+        i.vecMask = u8(1u << lane);
+        i.simbMask = smask;
+        return i;
+    }
+
+    static Instruction
+    setiVsm(u32 vsmAddrByte, i32 value)
+    {
+        Instruction i;
+        i.op = Opcode::kSetiVsm;
+        i.vsmAddr = MemOperand::direct(vsmAddrByte);
+        i.imm = value;
+        return i;
+    }
+
+    static Instruction
+    reset(u16 drf, u32 smask)
+    {
+        Instruction i;
+        i.op = Opcode::kReset;
+        i.dst = drf;
+        i.simbMask = smask;
+        return i;
+    }
+
+    static Instruction
+    req(u16 chip, u16 vault, u16 pg, u16 pe, MemOperand remoteDram,
+        u32 localVsmByte)
+    {
+        Instruction i;
+        i.op = Opcode::kReq;
+        i.dstChip = chip;
+        i.dstVault = vault;
+        i.dstPg = pg;
+        i.dstPe = pe;
+        i.dramAddr = remoteDram;
+        i.vsmAddr = MemOperand::direct(localVsmByte);
+        return i;
+    }
+
+    static Instruction
+    jump(u16 targetCrf)
+    {
+        Instruction i;
+        i.op = Opcode::kJump;
+        i.dst = targetCrf;
+        return i;
+    }
+
+    static Instruction
+    cjump(u16 condCrf, u16 targetCrf)
+    {
+        Instruction i;
+        i.op = Opcode::kCjump;
+        i.src1 = condCrf;
+        i.dst = targetCrf;
+        return i;
+    }
+
+    static Instruction
+    calcCrf(AluOp aop, u16 d, u16 s1, u16 s2)
+    {
+        Instruction i;
+        i.op = Opcode::kCalcCrf;
+        i.aluOp = aop;
+        i.dtype = DType::kI32;
+        i.dst = d;
+        i.src1 = s1;
+        i.src2 = s2;
+        return i;
+    }
+
+    static Instruction
+    calcCrfImm(AluOp aop, u16 d, u16 s1, i32 immVal)
+    {
+        Instruction i = calcCrf(aop, d, s1, 0);
+        i.srcImm = true;
+        i.imm = immVal;
+        return i;
+    }
+
+    static Instruction
+    setiCrf(u16 d, i32 value)
+    {
+        Instruction i;
+        i.op = Opcode::kSetiCrf;
+        i.dst = d;
+        i.imm = value;
+        return i;
+    }
+
+    static Instruction
+    sync(u32 phase)
+    {
+        Instruction i;
+        i.op = Opcode::kSync;
+        i.phaseId = phase;
+        return i;
+    }
+
+    static Instruction
+    halt()
+    {
+        Instruction i;
+        i.op = Opcode::kHalt;
+        return i;
+    }
+};
+
+} // namespace ipim
+
+#endif // IPIM_ISA_INSTRUCTION_H_

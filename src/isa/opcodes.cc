@@ -1,0 +1,228 @@
+#include "isa/opcodes.h"
+
+#include "common/logging.h"
+
+namespace ipim {
+
+InstCategory
+categoryOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::kComp:
+        return InstCategory::kComputation;
+      case Opcode::kCalcArf:
+        return InstCategory::kIndexCalc;
+      case Opcode::kStRf:
+      case Opcode::kLdRf:
+      case Opcode::kStPgsm:
+      case Opcode::kLdPgsm:
+      case Opcode::kRdPgsm:
+      case Opcode::kWrPgsm:
+      case Opcode::kRdVsm:
+      case Opcode::kWrVsm:
+      case Opcode::kMovDrfToArf:
+      case Opcode::kMovArfToDrf:
+      case Opcode::kSetiVsm:
+      case Opcode::kReset:
+        return InstCategory::kIntraVaultMove;
+      case Opcode::kReq:
+        return InstCategory::kInterVaultMove;
+      case Opcode::kJump:
+      case Opcode::kCjump:
+      case Opcode::kCalcCrf:
+      case Opcode::kSetiCrf:
+        return InstCategory::kControlFlow;
+      case Opcode::kSync:
+        return InstCategory::kSync;
+      case Opcode::kHalt:
+      case Opcode::kNop:
+        return InstCategory::kPseudo;
+      default:
+        panic("categoryOf: bad opcode ", int(op));
+    }
+}
+
+bool
+isBroadcast(Opcode op)
+{
+    switch (op) {
+      case Opcode::kComp:
+      case Opcode::kCalcArf:
+      case Opcode::kStRf:
+      case Opcode::kLdRf:
+      case Opcode::kStPgsm:
+      case Opcode::kLdPgsm:
+      case Opcode::kRdPgsm:
+      case Opcode::kWrPgsm:
+      case Opcode::kRdVsm:
+      case Opcode::kWrVsm:
+      case Opcode::kMovDrfToArf:
+      case Opcode::kMovArfToDrf:
+      case Opcode::kReset:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+accessesBank(Opcode op)
+{
+    switch (op) {
+      case Opcode::kStRf:
+      case Opcode::kLdRf:
+      case Opcode::kStPgsm:
+      case Opcode::kLdPgsm:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+accessesPgsm(Opcode op)
+{
+    switch (op) {
+      case Opcode::kStPgsm:
+      case Opcode::kLdPgsm:
+      case Opcode::kRdPgsm:
+      case Opcode::kWrPgsm:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+accessesVsm(Opcode op)
+{
+    switch (op) {
+      case Opcode::kRdVsm:
+      case Opcode::kWrVsm:
+      case Opcode::kSetiVsm:
+      case Opcode::kReq:
+        return true;
+      default:
+        return false;
+    }
+}
+
+namespace {
+
+struct OpName
+{
+    Opcode op;
+    const char *name;
+};
+
+constexpr OpName kOpNames[] = {
+    {Opcode::kComp, "comp"},
+    {Opcode::kCalcArf, "calc_arf"},
+    {Opcode::kStRf, "st_rf"},
+    {Opcode::kLdRf, "ld_rf"},
+    {Opcode::kStPgsm, "st_pgsm"},
+    {Opcode::kLdPgsm, "ld_pgsm"},
+    {Opcode::kRdPgsm, "rd_pgsm"},
+    {Opcode::kWrPgsm, "wr_pgsm"},
+    {Opcode::kRdVsm, "rd_vsm"},
+    {Opcode::kWrVsm, "wr_vsm"},
+    {Opcode::kMovDrfToArf, "mov_drf_arf"},
+    {Opcode::kMovArfToDrf, "mov_arf_drf"},
+    {Opcode::kSetiVsm, "seti_vsm"},
+    {Opcode::kReset, "reset"},
+    {Opcode::kReq, "req"},
+    {Opcode::kJump, "jump"},
+    {Opcode::kCjump, "cjump"},
+    {Opcode::kCalcCrf, "calc_crf"},
+    {Opcode::kSetiCrf, "seti_crf"},
+    {Opcode::kSync, "sync"},
+    {Opcode::kHalt, "halt"},
+    {Opcode::kNop, "nop"},
+};
+
+struct AluName
+{
+    AluOp op;
+    const char *name;
+};
+
+constexpr AluName kAluNames[] = {
+    {AluOp::kAdd, "add"},
+    {AluOp::kSub, "sub"},
+    {AluOp::kMul, "mul"},
+    {AluOp::kMac, "mac"},
+    {AluOp::kDiv, "div"},
+    {AluOp::kMod, "mod"},
+    {AluOp::kShl, "shl"},
+    {AluOp::kShr, "shr"},
+    {AluOp::kAnd, "and"},
+    {AluOp::kOr, "or"},
+    {AluOp::kXor, "xor"},
+    {AluOp::kCropLsb, "crop_lsb"},
+    {AluOp::kCropMsb, "crop_msb"},
+    {AluOp::kMin, "min"},
+    {AluOp::kMax, "max"},
+    {AluOp::kCvtF2I, "cvt_f2i"},
+    {AluOp::kCvtI2F, "cvt_i2f"},
+};
+
+} // namespace
+
+const char *
+opcodeName(Opcode op)
+{
+    for (const auto &e : kOpNames)
+        if (e.op == op)
+            return e.name;
+    panic("opcodeName: bad opcode ", int(op));
+}
+
+const char *
+aluOpName(AluOp op)
+{
+    for (const auto &e : kAluNames)
+        if (e.op == op)
+            return e.name;
+    panic("aluOpName: bad alu op ", int(op));
+}
+
+const char *
+categoryName(InstCategory c)
+{
+    switch (c) {
+      case InstCategory::kComputation: return "computation";
+      case InstCategory::kIndexCalc: return "index_calc";
+      case InstCategory::kIntraVaultMove: return "intra_vault";
+      case InstCategory::kInterVaultMove: return "inter_vault";
+      case InstCategory::kControlFlow: return "control_flow";
+      case InstCategory::kSync: return "sync";
+      case InstCategory::kPseudo: return "pseudo";
+      default: panic("categoryName: bad category");
+    }
+}
+
+bool
+opcodeFromName(const std::string &name, Opcode &out)
+{
+    for (const auto &e : kOpNames) {
+        if (name == e.name) {
+            out = e.op;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+aluOpFromName(const std::string &name, AluOp &out)
+{
+    for (const auto &e : kAluNames) {
+        if (name == e.name) {
+            out = e.op;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace ipim

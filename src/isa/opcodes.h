@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Opcode and operation enumerations of the SIMB (Single-Instruction-
+ * Multiple-Bank) ISA, following Table I of the iPIM paper.
+ *
+ * Extensions relative to the table (each documented in DESIGN.md):
+ *  - comp ops min/max/div (needed by Local Laplacian / Interpolate);
+ *  - an immediate src2 variant of calc_arf (constants would otherwise have
+ *    to round-trip through VSM and the DataRF);
+ *  - a lane-stride field on rd/wr_pgsm realizing the paper's "2D memory
+ *    abstraction" of the PGSM (strided gathers for up/downsampling);
+ *  - halt/nop pseudo-instructions to terminate and pad programs.
+ */
+#ifndef IPIM_ISA_OPCODES_H_
+#define IPIM_ISA_OPCODES_H_
+
+#include <string>
+
+#include "common/types.h"
+
+namespace ipim {
+
+/** All SIMB instructions (Table I). */
+enum class Opcode : u8 {
+    // computation
+    kComp,
+    // index calculation
+    kCalcArf,
+    // intra-vault data movement
+    kStRf,      ///< DataRF -> local DRAM bank
+    kLdRf,      ///< local DRAM bank -> DataRF
+    kStPgsm,    ///< PGSM -> local DRAM bank
+    kLdPgsm,    ///< local DRAM bank -> PGSM
+    kRdPgsm,    ///< PGSM -> DataRF
+    kWrPgsm,    ///< DataRF -> PGSM
+    kRdVsm,     ///< VSM -> DataRF (via TSV)
+    kWrVsm,     ///< DataRF -> VSM (via TSV)
+    kMovDrfToArf, ///< DataRF lane -> AddrRF entry
+    kMovArfToDrf, ///< AddrRF entry -> DataRF lane
+    kSetiVsm,   ///< immediate -> VSM location (control core side)
+    kReset,     ///< zero a DataRF entry
+    // inter-vault data movement
+    kReq,       ///< fetch 128b from a remote vault's bank into local VSM
+    // control flow
+    kJump,
+    kCjump,
+    kCalcCrf,
+    kSetiCrf,
+    // synchronization
+    kSync,
+    // pseudo
+    kHalt,
+    kNop,
+
+    kNumOpcodes,
+};
+
+/** Arithmetic/logic operations shared by comp / calc_arf / calc_crf. */
+enum class AluOp : u8 {
+    kAdd,
+    kSub,
+    kMul,
+    kMac,     ///< dst += src1 * src2 (comp only)
+    kDiv,     ///< extension (see file comment)
+    kMod,     ///< integer remainder (index calculation)
+    kShl,
+    kShr,
+    kAnd,
+    kOr,
+    kXor,
+    kCropLsb, ///< zero the low src2 bits of src1
+    kCropMsb, ///< keep only the low src2 bits of src1
+    kMin,     ///< extension
+    kMax,     ///< extension
+    kCvtF2I,  ///< extension: FP32 -> INT32 (floor)
+    kCvtI2F,  ///< extension: INT32 -> FP32
+
+    kNumAluOps,
+};
+
+/** Lane data type of a comp instruction. */
+enum class DType : u8 { kF32, kI32 };
+
+/** comp operand mode (Table I: vector-vector / scalar-vector). */
+enum class CompMode : u8 {
+    kVecVec,    ///< lanewise op(src1, src2)
+    kScalarVec, ///< op(broadcast(src1.lane0), src2)
+};
+
+/** Instruction category, used for the Fig. 11 breakdown. */
+enum class InstCategory : u8 {
+    kComputation,
+    kIndexCalc,
+    kIntraVaultMove,
+    kInterVaultMove,
+    kControlFlow,
+    kSync,
+    kPseudo,
+};
+
+/** Category of @p op per Table I's grouping. */
+InstCategory categoryOf(Opcode op);
+
+/** True if the instruction is broadcast to PEs (vs. executed core-side). */
+bool isBroadcast(Opcode op);
+
+/** True for instructions that read or write the local DRAM bank. */
+bool accessesBank(Opcode op);
+
+/** True for instructions that read or write the PGSM. */
+bool accessesPgsm(Opcode op);
+
+/** True for instructions that read or write the VSM. */
+bool accessesVsm(Opcode op);
+
+const char *opcodeName(Opcode op);
+const char *aluOpName(AluOp op);
+const char *categoryName(InstCategory c);
+
+/** Parse helpers used by the assembler; return false on unknown names. */
+bool opcodeFromName(const std::string &name, Opcode &out);
+bool aluOpFromName(const std::string &name, AluOp &out);
+
+} // namespace ipim
+
+#endif // IPIM_ISA_OPCODES_H_

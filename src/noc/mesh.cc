@@ -1,0 +1,148 @@
+#include "noc/mesh.h"
+
+#include "common/logging.h"
+
+namespace ipim {
+
+Mesh::Mesh(u32 cols, u32 rows, StatsRegistry *stats, u32 queueDepth)
+    : cols_(cols), rows_(rows), queueDepth_(queueDepth), stats_(stats),
+      routers_(cols * rows), delivered_(cols * rows)
+{
+    if (cols == 0 || rows == 0)
+        fatal("mesh dimensions must be nonzero");
+}
+
+int
+Mesh::routePort(u32 v, const Packet &p) const
+{
+    if (p.dstVault >= nodes())
+        panic("packet destination vault ", p.dstVault, " outside mesh");
+    u32 x = xOf(v), y = yOf(v);
+    u32 dx = xOf(p.dstVault), dy = yOf(p.dstVault);
+    if (x < dx)
+        return 0; // east
+    if (x > dx)
+        return 1; // west
+    if (y < dy)
+        return 3; // south (increasing y)
+    if (y > dy)
+        return 2; // north
+    return -1;    // arrived
+}
+
+u32
+Mesh::neighbor(u32 v, int port) const
+{
+    u32 x = xOf(v), y = yOf(v);
+    switch (port) {
+      case 0: return y * cols_ + (x + 1);
+      case 1: return y * cols_ + (x - 1);
+      case 2: return (y - 1) * cols_ + x;
+      case 3: return (y + 1) * cols_ + x;
+      default: panic("neighbor of non-directional port");
+    }
+}
+
+int
+Mesh::oppositePort(int outPort)
+{
+    switch (outPort) {
+      case 0: return 1;
+      case 1: return 0;
+      case 2: return 3;
+      case 3: return 2;
+      default: panic("oppositePort of non-directional port");
+    }
+}
+
+bool
+Mesh::inject(const Packet &p)
+{
+    if (p.srcVault >= nodes())
+        panic("packet source vault ", p.srcVault, " outside mesh");
+    return injectAt(p.srcVault, p);
+}
+
+bool
+Mesh::injectAt(u32 router, const Packet &p)
+{
+    if (router >= nodes())
+        panic("injection router ", router, " outside mesh");
+    Router &r = routers_[router];
+    if (r.in[kLocalPort].size() >= queueDepth_) {
+        stats_->inc("noc.injectStall");
+        return false;
+    }
+    r.in[kLocalPort].push_back(p);
+    stats_->inc("noc.injected");
+    return true;
+}
+
+void
+Mesh::tick()
+{
+    // Two-phase update: compute moves against the current queue state,
+    // then apply, so a packet moves at most one hop per cycle.
+    struct Move
+    {
+        u32 node;
+        int inPort;
+        int outPort; ///< -1 => deliver locally
+    };
+    std::vector<Move> moves;
+
+    for (u32 v = 0; v < nodes(); ++v) {
+        Router &r = routers_[v];
+        bool outputUsed[kPorts] = {false, false, false, false, false};
+        // Round-robin over input ports for fairness.
+        for (int k = 0; k < kPorts; ++k) {
+            int inPort = int((r.rrNext + k) % kPorts);
+            if (r.in[inPort].empty())
+                continue;
+            const Packet &p = r.in[inPort].front();
+            int outPort = routePort(v, p);
+            int outIdx = outPort < 0 ? kLocalPort : outPort;
+            if (outputUsed[outIdx])
+                continue;
+            if (outPort >= 0) {
+                // Need space in the downstream input queue *now*; this is
+                // the simple flow control of the paper's router.
+                const Router &nbr = routers_[neighbor(v, outPort)];
+                if (nbr.in[oppositePort(outPort)].size() >= queueDepth_) {
+                    stats_->inc("noc.blocked");
+                    continue;
+                }
+            }
+            outputUsed[outIdx] = true;
+            moves.push_back({v, inPort, outPort});
+        }
+        r.rrNext = (r.rrNext + 1) % kPorts;
+    }
+
+    for (const Move &m : moves) {
+        Router &r = routers_[m.node];
+        Packet p = r.in[m.inPort].front();
+        r.in[m.inPort].pop_front();
+        if (m.outPort < 0) {
+            delivered_[m.node].push_back(p);
+            stats_->inc("noc.delivered");
+        } else {
+            routers_[neighbor(m.node, m.outPort)]
+                .in[oppositePort(m.outPort)]
+                .push_back(p);
+            stats_->inc("noc.hops");
+        }
+    }
+}
+
+bool
+Mesh::idle() const
+{
+    for (const Router &r : routers_)
+        for (const auto &q : r.in)
+            if (!q.empty())
+                return false;
+    return true;
+}
+
+} // namespace ipim

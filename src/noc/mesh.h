@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The on-chip interconnect of one iPIM cube: a 2D mesh of input-queued
+ * routers with dimension-order (X-Y) routing and round-robin output
+ * arbitration (Sec. IV-E, "On/off-chip Network").
+ *
+ * One packet carries one 128b payload (a remote-access request/response or
+ * a synchronization message) and advances one hop per cycle.
+ */
+#ifndef IPIM_NOC_MESH_H_
+#define IPIM_NOC_MESH_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace ipim {
+
+/** Message kinds carried by the vault network. */
+enum class PacketKind : u8 {
+    kReqRead,     ///< remote bank read request (from a req instruction)
+    kReqResponse, ///< 128b of data returning to the requester's VSM
+    kSyncArrive,  ///< slave -> master: reached the barrier
+    kSyncProceed, ///< master -> slaves: proceed past the barrier
+};
+
+/** One network packet (one flit in this model). */
+struct Packet
+{
+    PacketKind kind = PacketKind::kReqRead;
+    u32 srcChip = 0;
+    u32 dstChip = 0;
+    u32 srcVault = 0;
+    u32 dstVault = 0;
+    u64 tag = 0;       ///< opaque requester bookkeeping
+    u32 pg = 0;        ///< target PG (kReqRead)
+    u32 pe = 0;        ///< target PE within the PG (kReqRead)
+    u64 dramAddr = 0;  ///< remote bank byte address (kReqRead)
+    u32 vsmAddr = 0;   ///< requester VSM byte offset for the response
+    VecWord data;      ///< payload (kReqResponse)
+    u32 phaseId = 0;   ///< barrier phase (sync messages)
+
+    /** Approximate wire size for energy accounting. */
+    u32
+    sizeBits() const
+    {
+        return kind == PacketKind::kReqResponse ? 128 + 64 : 96;
+    }
+};
+
+/**
+ * A cols x rows mesh; vault v sits at (v % cols, v / cols).
+ *
+ * inject() may fail when the local input queue is full (backpressure);
+ * the caller retries next cycle.
+ */
+class Mesh
+{
+  public:
+    Mesh(u32 cols, u32 rows, StatsRegistry *stats, u32 queueDepth = 8);
+
+    u32 nodes() const { return cols_ * rows_; }
+
+    /** Try to inject @p p at its source vault; false if full. */
+    bool inject(const Packet &p);
+
+    /** Inject at an explicit router (off-chip gateway traffic), leaving
+     *  the packet's srcVault (the reply address) untouched. */
+    bool injectAt(u32 router, const Packet &p);
+
+    /** Advance one cycle (all routers move at most 1 packet per output). */
+    void tick();
+
+    /** Packets that arrived at @p vault; caller drains. */
+    std::vector<Packet> &delivered(u32 vault) { return delivered_[vault]; }
+
+    /** True if no packet is queued anywhere. */
+    bool idle() const;
+
+  private:
+    // Port order: 0=east 1=west 2=north 3=south 4=local-inject.
+    static constexpr int kPorts = 5;
+    static constexpr int kLocalPort = 4;
+
+    struct Router
+    {
+        std::deque<Packet> in[kPorts];
+        u32 rrNext = 0; ///< round-robin arbitration pointer
+    };
+
+    u32 xOf(u32 v) const { return v % cols_; }
+    u32 yOf(u32 v) const { return v / cols_; }
+
+    /** Output port a packet at node @p v takes next (X-Y), or -1=local. */
+    int routePort(u32 v, const Packet &p) const;
+
+    /** Neighbor node id in direction of output port @p port. */
+    u32 neighbor(u32 v, int port) const;
+
+    /** Input port at the neighbor that receives from @p outPort. */
+    static int oppositePort(int outPort);
+
+    u32 cols_, rows_;
+    u32 queueDepth_;
+    StatsRegistry *stats_;
+    std::vector<Router> routers_;
+    std::vector<std::vector<Packet>> delivered_;
+};
+
+} // namespace ipim
+
+#endif // IPIM_NOC_MESH_H_

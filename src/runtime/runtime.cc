@@ -1,0 +1,110 @@
+#include "runtime/runtime.h"
+
+#include "common/logging.h"
+
+namespace ipim {
+
+Runtime::Runtime(Device &dev, const CompiledPipeline &pipeline)
+    : dev_(dev), pipe_(pipeline)
+{
+}
+
+void
+Runtime::bindInput(const std::string &name, const Image &img)
+{
+    inputs_[name] = &img;
+}
+
+void
+Runtime::scatterImage(const Layout &layout, const Image &img)
+{
+    const Rect &r = layout.region();
+    for (i64 y = r.y.lo; y <= r.y.hi; ++y) {
+        for (i64 x = r.x.lo; x <= r.x.hi; ++x) {
+            f32 v = img.clampedAt(int(std::clamp<i64>(x, 0,
+                                                      img.width() - 1)),
+                                  int(std::clamp<i64>(y, 0,
+                                                      img.height() - 1)));
+            u32 bits = f32AsLane(v);
+            if (layout.kind() == LayoutKind::kTiled) {
+                PixelHome h = layout.homeOf(x, y);
+                dev_.bank(h.chip, h.vault, h.pg, h.pe)
+                    .write(h.addr, reinterpret_cast<u8 *>(&bits), 4);
+            } else {
+                // Replicated: every PE gets a copy.
+                u64 addr = layout.baseAddr() + layout.linearAddr(x, y);
+                for (u32 c = 0; c < dev_.cfg().cubes; ++c)
+                    for (u32 v2 = 0; v2 < dev_.cfg().vaultsPerCube; ++v2)
+                        for (u32 pg = 0; pg < dev_.cfg().pgsPerVault;
+                             ++pg)
+                            for (u32 pe = 0; pe < dev_.cfg().pesPerPg;
+                                 ++pe)
+                                dev_.bank(c, v2, pg, pe)
+                                    .write(addr,
+                                           reinterpret_cast<u8 *>(&bits),
+                                           4);
+            }
+        }
+    }
+}
+
+Image
+Runtime::gather(const Layout &layout, int width, int height)
+{
+    Image out(width, height);
+    for (i64 y = 0; y < height; ++y) {
+        for (i64 x = 0; x < width; ++x) {
+            PixelHome h = layout.homeOf(x, y);
+            u32 bits = 0;
+            dev_.bank(h.chip, h.vault, h.pg, h.pe)
+                .read(h.addr, reinterpret_cast<u8 *>(&bits), 4);
+            out.at(int(x), int(y)) = laneAsF32(bits);
+        }
+    }
+    return out;
+}
+
+LaunchResult
+Runtime::run()
+{
+    // Scatter every input over its inferred (grown) region.
+    for (const StageInfo &s : pipe_.analysis->stages) {
+        if (!s.func->isInput())
+            continue;
+        auto it = inputs_.find(s.func->name());
+        if (it == inputs_.end())
+            fatal("input '", s.func->name(), "' not bound");
+        scatterImage(pipe_.layouts->of(s.func), *it->second);
+    }
+
+    LaunchResult res;
+    for (const CompiledKernel &k : pipe_.kernels) {
+        dev_.loadPrograms(k.perVault);
+        Cycle c = dev_.run();
+        res.kernelCycles.push_back(c);
+        res.cycles += c;
+    }
+
+    const Layout &outL = pipe_.layouts->of(pipe_.def.output);
+    int h = pipe_.def.output->dims() == 2 ? pipe_.def.height : 1;
+    res.output = gather(outL, pipe_.def.width, h);
+    return res;
+}
+
+LaunchResult
+runPipeline(const PipelineDef &def, const HardwareConfig &cfg,
+            const std::map<std::string, Image> &inputs,
+            const CompilerOptions &opts, StatsRegistry *statsOut)
+{
+    CompiledPipeline cp = compilePipeline(def, cfg, opts);
+    Device dev(cfg);
+    Runtime rt(dev, cp);
+    for (const auto &[name, img] : inputs)
+        rt.bindInput(name, img);
+    LaunchResult res = rt.run();
+    if (statsOut)
+        *statsOut = dev.stats();
+    return res;
+}
+
+} // namespace ipim

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Host-side runtime for the standalone iPIM accelerator (Sec. VI):
+ * scatters input images into the banks according to the compiled layout,
+ * uploads and runs each kernel program, and gathers the output.
+ */
+#ifndef IPIM_RUNTIME_RUNTIME_H_
+#define IPIM_RUNTIME_RUNTIME_H_
+
+#include <map>
+#include <string>
+
+#include "common/image.h"
+#include "compiler/codegen.h"
+#include "sim/device.h"
+
+namespace ipim {
+
+/** Result of executing a compiled pipeline on a device. */
+struct LaunchResult
+{
+    Image output;
+    Cycle cycles = 0;          ///< total simulated cycles
+    std::vector<Cycle> kernelCycles; ///< per stage
+};
+
+class Runtime
+{
+  public:
+    Runtime(Device &dev, const CompiledPipeline &pipeline);
+
+    /** Bind an input image by func name. */
+    void bindInput(const std::string &name, const Image &img);
+
+    /** Scatter inputs, execute all kernels, gather the output. */
+    LaunchResult run();
+
+    /** Scatter one image into the banks per @p layout (also used by
+     *  tests to place arbitrary data). */
+    void scatterImage(const Layout &layout, const Image &img);
+
+    /** Gather a func's realized values over a window (tests/debug). */
+    Image gather(const Layout &layout, int width, int height);
+
+  private:
+    Device &dev_;
+    const CompiledPipeline &pipe_;
+    std::map<std::string, const Image *> inputs_;
+};
+
+/** Compile + run in one call on a fresh device; convenience for tests. */
+LaunchResult runPipeline(const PipelineDef &def, const HardwareConfig &cfg,
+                         const std::map<std::string, Image> &inputs,
+                         const CompilerOptions &opts = {},
+                         StatsRegistry *statsOut = nullptr);
+
+} // namespace ipim
+
+#endif // IPIM_RUNTIME_RUNTIME_H_

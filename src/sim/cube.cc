@@ -1,0 +1,90 @@
+#include "sim/cube.h"
+
+#include "common/logging.h"
+
+namespace ipim {
+
+Cube::Cube(const HardwareConfig &cfg, u32 chipId, StatsRegistry *stats)
+    : cfg_(cfg), chipId_(chipId), stats_(stats),
+      mesh_(cfg.meshCols, cfg.meshRows(), stats)
+{
+    if (cfg.meshCols * cfg.meshRows() < cfg.vaultsPerCube)
+        fatal("mesh too small for ", cfg.vaultsPerCube, " vaults");
+    for (u32 v = 0; v < cfg.vaultsPerCube; ++v)
+        vaults_.push_back(std::make_unique<Vault>(cfg, chipId, v, stats));
+}
+
+void
+Cube::deliverFromSerdes(const Packet &p)
+{
+    if (p.dstChip != chipId_)
+        panic("serdes delivery to the wrong cube");
+    // Arriving off-chip traffic enters through the mesh at the gateway
+    // router (vault 0); srcVault stays intact — it is the reply address.
+    if (!mesh_.injectAt(0, p))
+        serdesIngressRetry_.push_back(p);
+}
+
+void
+Cube::tick(Cycle now)
+{
+    // Retry any off-chip arrivals that found the gateway full.
+    for (size_t i = 0; i < serdesIngressRetry_.size();) {
+        if (mesh_.injectAt(0, serdesIngressRetry_[i]))
+            serdesIngressRetry_.erase(serdesIngressRetry_.begin() + i);
+        else
+            ++i;
+    }
+
+    // 1. Deliver packets that reached their destination router.
+    for (u32 v = 0; v < numVaults(); ++v) {
+        for (const Packet &p : mesh_.delivered(v))
+            vaults_[v]->deliver(p);
+        mesh_.delivered(v).clear();
+    }
+
+    // 2. Vault-internal progress.
+    for (auto &vault : vaults_)
+        vault->tick(now);
+
+    // 3. Drain NIC outboxes into the mesh / SERDES egress, preserving
+    //    per-vault order.
+    for (auto &vault : vaults_) {
+        auto &out = vault->outbox();
+        while (!out.empty()) {
+            Packet &p = out.front();
+            if (p.dstChip != chipId_) {
+                serdesEgress_.push_back(p);
+                stats_->inc("serdes.packets");
+                out.pop_front();
+                continue;
+            }
+            if (p.dstVault == vault->vaultId()) {
+                // Local loopback without touching the mesh.
+                vault->deliver(p);
+                out.pop_front();
+                continue;
+            }
+            if (!mesh_.inject(p))
+                break;
+            out.pop_front();
+        }
+    }
+
+    // 4. Move the network.
+    mesh_.tick();
+}
+
+bool
+Cube::fullyIdle() const
+{
+    if (!mesh_.idle() || !serdesEgress_.empty() ||
+        !serdesIngressRetry_.empty())
+        return false;
+    for (const auto &vault : vaults_)
+        if (!vault->fullyIdle())
+            return false;
+    return true;
+}
+
+} // namespace ipim

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * One iPIM cube (Fig. 2(a1)): 16 vaults interconnected by the on-chip
+ * 2D-mesh network, with SERDES egress for inter-cube traffic.
+ */
+#ifndef IPIM_SIM_CUBE_H_
+#define IPIM_SIM_CUBE_H_
+
+#include <memory>
+#include <vector>
+
+#include "sim/vault.h"
+
+namespace ipim {
+
+class Cube
+{
+  public:
+    Cube(const HardwareConfig &cfg, u32 chipId, StatsRegistry *stats);
+
+    Vault &vault(u32 v) { return *vaults_.at(v); }
+    u32 numVaults() const { return u32(vaults_.size()); }
+    u32 chipId() const { return chipId_; }
+
+    /** Advance one cycle: deliver, tick vaults, drain NICs, tick mesh. */
+    void tick(Cycle now);
+
+    /** Deliver a packet arriving from another cube (via SERDES). */
+    void deliverFromSerdes(const Packet &p);
+
+    /** Packets leaving this cube; the device drains them. */
+    std::vector<Packet> &serdesEgress() { return serdesEgress_; }
+
+    bool fullyIdle() const;
+
+  private:
+    const HardwareConfig &cfg_;
+    u32 chipId_;
+    StatsRegistry *stats_;
+    std::vector<std::unique_ptr<Vault>> vaults_;
+    Mesh mesh_;
+    std::vector<Packet> serdesEgress_;
+    std::vector<Packet> serdesIngressRetry_;
+};
+
+} // namespace ipim
+
+#endif // IPIM_SIM_CUBE_H_

@@ -1,0 +1,98 @@
+#include "sim/device.h"
+
+#include "common/logging.h"
+
+namespace ipim {
+
+Device::Device(const HardwareConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+    for (u32 c = 0; c < cfg_.cubes; ++c)
+        cubes_.push_back(std::make_unique<Cube>(cfg_, c, &stats_));
+}
+
+BankStorage &
+Device::bank(u32 chip, u32 v, u32 pg, u32 pe)
+{
+    return vault(chip, v).pg(pg).mc().storage(pe);
+}
+
+void
+Device::loadProgramAll(const std::vector<Instruction> &prog)
+{
+    for (auto &cube : cubes_)
+        for (u32 v = 0; v < cube->numVaults(); ++v)
+            cube->vault(v).loadProgram(prog);
+}
+
+void
+Device::loadPrograms(const std::vector<std::vector<Instruction>> &progs)
+{
+    if (progs.size() != u64(cfg_.cubes) * cfg_.vaultsPerCube)
+        fatal("expected ", u64(cfg_.cubes) * cfg_.vaultsPerCube,
+              " programs, got ", progs.size());
+    size_t i = 0;
+    for (auto &cube : cubes_)
+        for (u32 v = 0; v < cube->numVaults(); ++v)
+            cube->vault(v).loadProgram(progs[i++]);
+}
+
+void
+Device::tick(Cycle now)
+{
+    for (auto &cube : cubes_)
+        cube->tick(now);
+
+    // SERDES transfer: cube egress -> delayed delivery at the target cube.
+    for (auto &cube : cubes_) {
+        for (const Packet &p : cube->serdesEgress()) {
+            u32 src = cube->chipId();
+            u32 dst = p.dstChip;
+            u32 hops = src > dst ? src - dst : dst - src;
+            Cycle lat = 4 + Cycle(cfg_.latency.serdesHop) * hops;
+            serdes_.push_back({now + lat, p});
+            stats_.inc("serdes.bits", f64(p.sizeBits()));
+        }
+        cube->serdesEgress().clear();
+    }
+    for (size_t i = 0; i < serdes_.size();) {
+        if (serdes_[i].deliverAt <= now) {
+            cubes_.at(serdes_[i].packet.dstChip)
+                ->deliverFromSerdes(serdes_[i].packet);
+            serdes_.erase(serdes_.begin() + i);
+        } else {
+            ++i;
+        }
+    }
+}
+
+bool
+Device::fullyIdle() const
+{
+    if (!serdes_.empty())
+        return false;
+    for (const auto &cube : cubes_)
+        if (!cube->fullyIdle())
+            return false;
+    return true;
+}
+
+Cycle
+Device::run(u64 maxCycles)
+{
+    Cycle start = now_;
+    while (true) {
+        tick(now_);
+        ++now_;
+        stats_.inc("sim.cycles");
+        if (fullyIdle())
+            break;
+        if (now_ - start > maxCycles)
+            fatal("deadlock watchdog: device did not quiesce within ",
+                  maxCycles, " cycles");
+    }
+    lastRunCycles_ = now_ - start;
+    return lastRunCycles_;
+}
+
+} // namespace ipim

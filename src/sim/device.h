@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The whole iPIM device: one or more cubes connected by SERDES links
+ * (Sec. VI: a standalone accelerator with its own address space, attached
+ * to a host over a standard bus).  Also provides the host-facing
+ * functional access paths used by the runtime to scatter/gather images
+ * and upload programs.
+ */
+#ifndef IPIM_SIM_DEVICE_H_
+#define IPIM_SIM_DEVICE_H_
+
+#include <memory>
+#include <vector>
+
+#include "sim/cube.h"
+
+namespace ipim {
+
+class Device
+{
+  public:
+    explicit Device(const HardwareConfig &cfg);
+
+    const HardwareConfig &cfg() const { return cfg_; }
+    Cube &cube(u32 c) { return *cubes_.at(c); }
+    Vault &vault(u32 chip, u32 v) { return cubes_.at(chip)->vault(v); }
+
+    /** Functional access to one PE's bank (runtime scatter/gather). */
+    BankStorage &bank(u32 chip, u32 v, u32 pg, u32 pe);
+
+    /** Upload the same program to every vault. */
+    void loadProgramAll(const std::vector<Instruction> &prog);
+
+    /** Upload a per-vault program (chip-major order). */
+    void loadPrograms(const std::vector<std::vector<Instruction>> &progs);
+
+    /**
+     * Run until every control core halts and all queues drain.
+     * @return total cycles executed.  Throws FatalError if @p maxCycles
+     * elapse first (deadlock watchdog).
+     */
+    Cycle run(u64 maxCycles = 500'000'000ull);
+
+    /** Cycles executed by the last run(). */
+    Cycle lastRunCycles() const { return lastRunCycles_; }
+
+    StatsRegistry &stats() { return stats_; }
+    const StatsRegistry &stats() const { return stats_; }
+
+    u32 totalVaults() const { return cfg_.cubes * cfg_.vaultsPerCube; }
+
+  private:
+    void tick(Cycle now);
+    bool fullyIdle() const;
+
+    HardwareConfig cfg_;
+    StatsRegistry stats_;
+    std::vector<std::unique_ptr<Cube>> cubes_;
+
+    struct InTransit
+    {
+        Cycle deliverAt;
+        Packet packet;
+    };
+    std::vector<InTransit> serdes_;
+
+    Cycle now_ = 0;
+    Cycle lastRunCycles_ = 0;
+};
+
+} // namespace ipim
+
+#endif // IPIM_SIM_DEVICE_H_

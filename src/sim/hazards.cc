@@ -1,0 +1,78 @@
+#include "sim/hazards.h"
+
+namespace ipim {
+
+namespace {
+
+bool
+refIn(const RegRef &r, const RegRef *list, u8 n)
+{
+    for (u8 i = 0; i < n; ++i)
+        if (list[i] == r)
+            return true;
+    return false;
+}
+
+} // namespace
+
+bool
+registerConflict(const AccessSet &older, const AccessSet &younger)
+{
+    // RAW: younger reads what older writes.
+    for (u8 i = 0; i < older.numWrites; ++i)
+        if (refIn(older.writes[i], younger.reads, younger.numReads))
+            return true;
+    // WAR: younger writes what older reads.
+    for (u8 i = 0; i < older.numReads; ++i)
+        if (refIn(older.reads[i], younger.writes, younger.numWrites))
+            return true;
+    // WAW: both write the same register.
+    for (u8 i = 0; i < older.numWrites; ++i)
+        if (refIn(older.writes[i], younger.writes, younger.numWrites))
+            return true;
+    return false;
+}
+
+bool
+scratchpadConflict(const AccessSet &older, const AccessSet &younger)
+{
+    if (older.pgsmWriteMask & younger.pgsmReadMask)
+        return true;
+    if (older.pgsmReadMask & younger.pgsmWriteMask)
+        return true;
+    if (older.writesVsm && younger.readsVsm)
+        return true;
+    if (older.readsVsm && younger.writesVsm)
+        return true;
+    return false;
+}
+
+bool
+issueHazard(const AccessSet &older, const AccessSet &younger)
+{
+    return registerConflict(older, younger) ||
+           scratchpadConflict(older, younger);
+}
+
+bool
+hazardNeedsCompletion(const Instruction &olderInst,
+                      const AccessSet &older, const AccessSet &younger)
+{
+    // RAW on registers: the younger instruction consumes the result.
+    for (u8 i = 0; i < older.numWrites; ++i)
+        if (refIn(older.writes[i], younger.reads, younger.numReads))
+            return true;
+    // WAW where the older write lands at completion time (bank loads).
+    if (olderInst.op == Opcode::kLdRf)
+        for (u8 i = 0; i < older.numWrites; ++i)
+            if (refIn(older.writes[i], younger.writes,
+                      younger.numWrites))
+                return true;
+    // Scratchpad RAW: data must be present before the read.
+    if ((older.pgsmWriteMask & younger.pgsmReadMask) ||
+        (older.writesVsm && younger.readsVsm))
+        return true;
+    return false;
+}
+
+} // namespace ipim

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Issue-time hazard detection of the decoupled control core (Sec. IV-B,
+ * step 2): true/anti/output register dependences plus conservative
+ * scratchpad ordering.  Shared by the hardware model and (via the same
+ * rules) the compiler's dependency-graph construction.
+ */
+#ifndef IPIM_SIM_HAZARDS_H_
+#define IPIM_SIM_HAZARDS_H_
+
+#include "isa/instruction.h"
+
+namespace ipim {
+
+/** True if @p a writes (or reads) a register that @p b writes/reads in a
+ *  conflicting way: RAW, WAR, or WAW on any register file. */
+bool registerConflict(const AccessSet &older, const AccessSet &younger);
+
+/**
+ * Scratchpad (PGSM/VSM) ordering conflict: read-after-write and
+ * write-after-read are ordered; write-after-write is not (different PEs
+ * fill disjoint locations, and the compiler never emits overlapping
+ * scratchpad writes).  Bank accesses are excluded: the per-PG memory
+ * controller already preserves same-address order.
+ */
+bool scratchpadConflict(const AccessSet &older, const AccessSet &younger);
+
+/** registerConflict || scratchpadConflict: must @p younger wait? */
+bool issueHazard(const AccessSet &older, const AccessSet &younger);
+
+/**
+ * True when the conflict requires the older instruction to fully
+ * complete (a true dependence: its result is produced at completion).
+ * Anti/output conflicts only require the older instruction to have
+ * captured its operands on every PE (InFlightInst::started()) — except
+ * output conflicts with bank loads, whose destination register is
+ * written at completion time.
+ */
+bool hazardNeedsCompletion(const Instruction &olderInst,
+                           const AccessSet &older,
+                           const AccessSet &younger);
+
+} // namespace ipim
+
+#endif // IPIM_SIM_HAZARDS_H_

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The Issued-Inst-Queue entry shared between the control core and the
+ * process engines (Sec. IV-B: an issued instruction stays in the queue
+ * until every PE named in its simb_mask has cleared its execution bit).
+ */
+#ifndef IPIM_SIM_INFLIGHT_H_
+#define IPIM_SIM_INFLIGHT_H_
+
+#include "isa/instruction.h"
+
+namespace ipim {
+
+/** One in-flight instruction owned by a control core's IIQ. */
+struct InFlightInst
+{
+    Instruction inst;
+    AccessSet access;      ///< cached register/memory access sets
+    u64 seq = 0;           ///< issue order, unique per core
+    u32 pendingPes = 0;    ///< PEs that have not yet finished
+    u32 unstartedPes = 0;  ///< PEs that have not yet read their operands
+    bool coreDone = true;  ///< core-side portion finished (req/sync)
+    bool isBarrier = false;///< sync: blocks all younger issues
+
+    bool done() const { return pendingPes == 0 && coreDone; }
+
+    /** Operands captured on every PE: anti/output deps are cleared. */
+    bool started() const { return unstartedPes == 0; }
+};
+
+} // namespace ipim
+
+#endif // IPIM_SIM_INFLIGHT_H_

@@ -1,0 +1,246 @@
+#include "sim/pe.h"
+
+#include <bit>
+
+#include "common/logging.h"
+#include "isa/alu.h"
+#include "sim/process_group.h"
+#include "sim/vault.h"
+
+namespace ipim {
+
+ProcessEngine::ProcessEngine(const HardwareConfig &cfg, ProcessGroup *pg,
+                             u32 peInPg, StatsRegistry *stats)
+    : cfg_(cfg), pg_(pg), peInPg_(peInPg), stats_(stats),
+      drf_(cfg.dataRfEntries()), arf_(cfg.addrRfEntries(), 0)
+{
+}
+
+void
+ProcessEngine::reset(u32 chipId, u32 vaultId, u32 pgId)
+{
+    std::fill(drf_.begin(), drf_.end(), VecWord{});
+    std::fill(arf_.begin(), arf_.end(), 0u);
+    arf_[kArfPeId] = peInPg_;
+    arf_[kArfPgId] = pgId;
+    arf_[kArfVaultId] = vaultId;
+    arf_[kArfChipId] = chipId;
+    queue_.clear();
+    pendingDone_.clear();
+}
+
+void
+ProcessEngine::finishAt(Cycle at, InFlightInst *fi)
+{
+    pendingDone_.push_back({at, fi});
+}
+
+u64
+ProcessEngine::resolveMem(const MemOperand &m) const
+{
+    if (!m.indirect)
+        return u64(m.value);
+    return u64(i64(i32(arf_.at(m.value))) + m.offset);
+}
+
+u32
+ProcessEngine::compLatency(AluOp op) const
+{
+    switch (op) {
+      case AluOp::kAdd:
+      case AluOp::kSub:
+        return cfg_.latency.addSub;
+      case AluOp::kMul:
+        return cfg_.latency.mul;
+      case AluOp::kMac:
+        return cfg_.latency.mac;
+      case AluOp::kDiv:
+        // Not in Table III; modelled as two multiply passes.
+        return 2 * cfg_.latency.mul;
+      default:
+        return cfg_.latency.logic;
+    }
+}
+
+void
+ProcessEngine::execComp(const Instruction &inst)
+{
+    const VecWord &s1 = drf_.at(inst.src1);
+    const VecWord &s2 = drf_.at(inst.src2);
+    VecWord &d = drf_.at(inst.dst);
+    for (int l = 0; l < kSimdLanes; ++l) {
+        if (!(inst.vecMask & (1u << l)))
+            continue;
+        u32 a = inst.mode == CompMode::kScalarVec ? s1.lanes[0]
+                                                  : s1.lanes[l];
+        u32 b = s2.lanes[l];
+        u32 acc = d.lanes[l];
+        d.lanes[l] = inst.dtype == DType::kF32
+                         ? aluEvalLaneF32(inst.aluOp, a, b, acc)
+                         : aluEvalLaneI32(inst.aluOp, a, b, acc);
+    }
+}
+
+void
+ProcessEngine::applyLoadData(u16 drfIdx, const VecWord &data)
+{
+    drf_.at(drfIdx) = data;
+    stats_->inc("pe.drfAccess");
+}
+
+bool
+ProcessEngine::tryStart(Cycle now, InFlightInst *fi)
+{
+    const Instruction &inst = fi->inst;
+    const UnitLatency &lat = cfg_.latency;
+
+    switch (inst.op) {
+      case Opcode::kComp: {
+        execComp(inst);
+        u32 l = compLatency(inst.aluOp);
+        simdBusy_ += l;
+        stats_->inc("pe.simdOp");
+        stats_->inc("pe.drfAccess", 3);
+        finishAt(now + l, fi);
+        return true;
+      }
+      case Opcode::kCalcArf: {
+        i32 a = i32(arf_.at(inst.src1));
+        i32 b = inst.srcImm ? inst.imm : i32(arf_.at(inst.src2));
+        arf_.at(inst.dst) = u32(aluEvalI32(inst.aluOp, a, b));
+        intAluBusy_ += lat.intAlu;
+        stats_->inc("pe.intAluOp");
+        stats_->inc("pe.arfAccess", 3);
+        finishAt(now + lat.intAlu + lat.addrRf, fi);
+        return true;
+      }
+      case Opcode::kLdRf:
+      case Opcode::kStRf: {
+        u64 addr = resolveMem(inst.dramAddr);
+        VecWord data;
+        if (inst.op == Opcode::kStRf) {
+            data = drf_.at(inst.dst);
+            stats_->inc("pe.drfAccess");
+        }
+        if (inst.dramAddr.indirect)
+            stats_->inc("pe.arfAccess");
+        return pg_->submitBankAccess(now, fi, peInPg_, inst.op, addr,
+                                     inst.dst, 0, data);
+      }
+      case Opcode::kLdPgsm:
+      case Opcode::kStPgsm: {
+        u64 addr = resolveMem(inst.dramAddr);
+        u32 pgsmAddr = u32(resolveMem(inst.pgsmAddr));
+        VecWord data;
+        if (inst.op == Opcode::kStPgsm) {
+            data = pg_->pgsm().readVec(pgsmAddr);
+            stats_->inc("pgsm.access");
+        }
+        if (inst.dramAddr.indirect || inst.pgsmAddr.indirect)
+            stats_->inc("pe.arfAccess");
+        return pg_->submitBankAccess(now, fi, peInPg_, inst.op, addr,
+                                     inst.dst, pgsmAddr, data);
+      }
+      case Opcode::kRdPgsm: {
+        u32 addr = u32(resolveMem(inst.pgsmAddr));
+        VecWord loaded = pg_->pgsm().readVec(addr, inst.pgsmStride);
+        VecWord &dst = drf_.at(inst.dst);
+        for (int l = 0; l < kSimdLanes; ++l)
+            if (inst.vecMask & (1u << l))
+                dst.lanes[l] = loaded.lanes[l];
+        stats_->inc("pgsm.access");
+        stats_->inc("pe.drfAccess");
+        finishAt(now + lat.peBus + lat.pgsm + lat.dataRf, fi);
+        return true;
+      }
+      case Opcode::kWrPgsm: {
+        u32 addr = u32(resolveMem(inst.pgsmAddr));
+        pg_->pgsm().writeVec(addr, drf_.at(inst.dst), inst.pgsmStride,
+                             inst.vecMask);
+        stats_->inc("pgsm.access");
+        stats_->inc("pe.drfAccess");
+        finishAt(now + lat.peBus + lat.pgsm + lat.dataRf, fi);
+        return true;
+      }
+      case Opcode::kRdVsm: {
+        u32 addr = u32(resolveMem(inst.vsmAddr));
+        Cycle slot = pg_->vault().tsv().acquire(now);
+        VecWord loadedV = pg_->vault().vsmMem().readVec(addr);
+        VecWord &dstV = drf_.at(inst.dst);
+        for (int l = 0; l < kSimdLanes; ++l)
+            if (inst.vecMask & (1u << l))
+                dstV.lanes[l] = loadedV.lanes[l];
+        stats_->inc("vsm.access");
+        stats_->inc("tsv.beats");
+        stats_->inc("pe.drfAccess");
+        finishAt(slot + lat.tsv + lat.vsm + lat.dataRf, fi);
+        return true;
+      }
+      case Opcode::kWrVsm: {
+        u32 addr = u32(resolveMem(inst.vsmAddr));
+        Cycle slot = pg_->vault().tsv().acquire(now);
+        pg_->vault().vsmMem().writeVec(addr, drf_.at(inst.dst));
+        stats_->inc("vsm.access");
+        stats_->inc("tsv.beats");
+        stats_->inc("pe.drfAccess");
+        finishAt(slot + lat.tsv + lat.vsm + lat.dataRf, fi);
+        return true;
+      }
+      case Opcode::kMovDrfToArf: {
+        int lane = std::countr_zero(u32(inst.vecMask ? inst.vecMask : 1));
+        arf_.at(inst.dst) = drf_.at(inst.src1).lanes[lane];
+        stats_->inc("pe.arfAccess");
+        stats_->inc("pe.drfAccess");
+        finishAt(now + lat.dataRf + lat.addrRf, fi);
+        return true;
+      }
+      case Opcode::kMovArfToDrf: {
+        int lane = std::countr_zero(u32(inst.vecMask ? inst.vecMask : 1));
+        drf_.at(inst.dst).lanes[lane] = arf_.at(inst.src1);
+        stats_->inc("pe.arfAccess");
+        stats_->inc("pe.drfAccess");
+        finishAt(now + lat.dataRf + lat.addrRf, fi);
+        return true;
+      }
+      case Opcode::kReset: {
+        drf_.at(inst.dst) = VecWord{};
+        stats_->inc("pe.drfAccess");
+        finishAt(now + lat.dataRf, fi);
+        return true;
+      }
+      default:
+        panic("PE asked to execute non-broadcast opcode ",
+              opcodeName(inst.op));
+    }
+}
+
+void
+ProcessEngine::tick(Cycle now)
+{
+    // Retire fixed-latency operations that are done.
+    for (size_t i = 0; i < pendingDone_.size();) {
+        if (pendingDone_[i].at <= now) {
+            if (pendingDone_[i].fi->pendingPes == 0)
+                panic("PE completion underflow");
+            --pendingDone_[i].fi->pendingPes;
+            pendingDone_.erase(pendingDone_.begin() + i);
+        } else {
+            ++i;
+        }
+    }
+
+    // In-order start: at most one new instruction per cycle.
+    if (queue_.empty())
+        return;
+    Pending &head = queue_.front();
+    if (head.arrivesAt > now)
+        return;
+    if (tryStart(now, head.fi)) {
+        if (head.fi->unstartedPes == 0)
+            panic("PE start underflow");
+        --head.fi->unstartedPes;
+        queue_.pop_front();
+    }
+}
+
+} // namespace ipim

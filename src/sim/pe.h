@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The Process Engine (PE): near-bank compute logic attached to one DRAM
+ * bank (Fig. 2(c)) — a 64-entry 128b DataRF, a 64-entry 32b AddrRF whose
+ * A0-A3 hold peID/pgID/vaultID/chipID, a 4-lane SIMD unit, and an integer
+ * ALU for index calculation.
+ *
+ * PEs receive broadcast SIMB instructions from the control core, start
+ * them strictly in order (at most one per cycle), and may complete them
+ * out of order; each completion clears this PE's bit in the instruction's
+ * pending set (Sec. IV-B, step 5).
+ */
+#ifndef IPIM_SIM_PE_H_
+#define IPIM_SIM_PE_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "sim/inflight.h"
+#include "sim/scratchpad.h"
+
+namespace ipim {
+
+class ProcessGroup;
+
+/** Reserved AddrRF identity registers (Sec. IV-E). */
+enum ReservedArf : u16 {
+    kArfPeId = 0,
+    kArfPgId = 1,
+    kArfVaultId = 2,
+    kArfChipId = 3,
+    kNumReservedArf = 4,
+};
+
+class ProcessEngine
+{
+  public:
+    ProcessEngine(const HardwareConfig &cfg, ProcessGroup *pg, u32 peInPg,
+                  StatsRegistry *stats);
+
+    /** Reset architectural state and re-seed the identity registers. */
+    void reset(u32 chipId, u32 vaultId, u32 pgId);
+
+    /** Receive a broadcast instruction; it may start at @p arrivesAt. */
+    void
+    push(InFlightInst *fi, Cycle arrivesAt)
+    {
+        queue_.push_back({fi, arrivesAt});
+    }
+
+    /** Advance one cycle: retire fixed-latency ops, start the head. */
+    void tick(Cycle now);
+
+    /** Called by the PG when one of this PE's bank accesses finishes. */
+    void applyLoadData(u16 drfIdx, const VecWord &data);
+
+    bool idle() const { return queue_.empty() && pendingDone_.empty(); }
+
+    // Architectural state access (runtime/tests).
+    VecWord &drf(u16 idx) { return drf_.at(idx); }
+    u32 &arf(u16 idx) { return arf_.at(idx); }
+    const VecWord &drf(u16 idx) const { return drf_.at(idx); }
+    u32 arf(u16 idx) const { return arf_.at(idx); }
+
+    u32 peInPg() const { return peInPg_; }
+
+    /** Cycles during which the SIMD unit / int ALU were busy. */
+    u64 simdBusyCycles() const { return simdBusy_; }
+    u64 intAluBusyCycles() const { return intAluBusy_; }
+
+  private:
+    struct Pending
+    {
+        InFlightInst *fi;
+        Cycle arrivesAt;
+    };
+
+    struct Done
+    {
+        Cycle at;
+        InFlightInst *fi;
+    };
+
+    bool tryStart(Cycle now, InFlightInst *fi);
+    void finishAt(Cycle at, InFlightInst *fi);
+    u64 resolveMem(const MemOperand &m) const;
+    void execComp(const Instruction &inst);
+    u32 compLatency(AluOp op) const;
+
+    const HardwareConfig &cfg_;
+    ProcessGroup *pg_;
+    u32 peInPg_;
+    StatsRegistry *stats_;
+
+    std::vector<VecWord> drf_;
+    std::vector<u32> arf_;
+
+    std::deque<Pending> queue_;
+    std::vector<Done> pendingDone_;
+
+    u64 simdBusy_ = 0;
+    u64 intAluBusy_ = 0;
+};
+
+} // namespace ipim
+
+#endif // IPIM_SIM_PE_H_

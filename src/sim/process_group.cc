@@ -1,0 +1,152 @@
+#include "sim/process_group.h"
+
+#include "common/logging.h"
+#include "sim/vault.h"
+
+namespace ipim {
+
+ProcessGroup::ProcessGroup(const HardwareConfig &cfg, Vault *vault,
+                           u32 pgIdx, ActivationLimiter *limiter,
+                           StatsRegistry *stats)
+    : cfg_(cfg), vault_(vault), pgIdx_(pgIdx), stats_(stats),
+      mc_(cfg, pgIdx, limiter, stats), pgsm_(cfg.pgsmBytes)
+{
+    for (u32 pe = 0; pe < cfg.pesPerPg; ++pe)
+        pes_.push_back(
+            std::make_unique<ProcessEngine>(cfg, this, pe, stats));
+}
+
+void
+ProcessGroup::reset(u32 chipId, u32 vaultId)
+{
+    for (auto &pe : pes_)
+        pe->reset(chipId, vaultId, pgIdx_);
+    actions_.clear();
+    deferred_.clear();
+    remoteDone_.clear();
+}
+
+bool
+ProcessGroup::submitBankAccess(Cycle now, InFlightInst *fi, u32 peInPg,
+                               Opcode op, u64 bankAddr, u16 drfIdx,
+                               u32 pgsmAddr, const VecWord &storeData)
+{
+    (void)now;
+    if (!mc_.canAccept()) {
+        stats_->inc("pg.mcQueueFull");
+        return false;
+    }
+    MemRequest req;
+    req.id = nextMemId_++;
+    req.peInPg = peInPg;
+    req.write = op == Opcode::kStRf || op == Opcode::kStPgsm;
+    req.addr = bankAddr;
+    req.data = storeData;
+    mc_.enqueue(req);
+
+    MemAction act;
+    act.fi = fi;
+    act.peInPg = peInPg;
+    act.op = op;
+    act.drfIdx = drfIdx;
+    act.pgsmAddr = pgsmAddr;
+    actions_.emplace(req.id, act);
+    return true;
+}
+
+bool
+ProcessGroup::submitRemoteRead(u32 peInPg, u64 bankAddr,
+                               const RemoteReadDone &doneInfo)
+{
+    if (!mc_.canAccept())
+        return false;
+    MemRequest req;
+    req.id = nextMemId_++;
+    req.peInPg = peInPg;
+    req.write = false;
+    req.addr = bankAddr;
+    mc_.enqueue(req);
+
+    MemAction act;
+    act.peInPg = peInPg;
+    act.remote = true;
+    act.remoteInfo = doneInfo;
+    actions_.emplace(req.id, act);
+    return true;
+}
+
+void
+ProcessGroup::tick(Cycle now)
+{
+    mc_.tick(now);
+
+    for (const MemCompletion &c : mc_.completions()) {
+        auto it = actions_.find(c.id);
+        if (it == actions_.end())
+            panic("memory completion with no registered action");
+        MemAction act = it->second;
+        actions_.erase(it);
+
+        if (act.remote) {
+            act.remoteInfo.data = c.data;
+            remoteDone_.push_back(act.remoteInfo);
+            continue;
+        }
+
+        switch (act.op) {
+          case Opcode::kLdRf:
+            pes_[act.peInPg]->applyLoadData(act.drfIdx, c.data);
+            break;
+          case Opcode::kLdPgsm:
+            pgsm_.writeVec(act.pgsmAddr, c.data);
+            stats_->inc("pgsm.access");
+            break;
+          case Opcode::kStRf:
+          case Opcode::kStPgsm:
+            break;
+          default:
+            panic("bank completion for unexpected opcode");
+        }
+
+        if (cfg_.processOnBaseDie) {
+            // All bank traffic crosses the shared vault TSV bus before
+            // the instruction can finish (Sec. VII-C1).
+            Cycle slot = vault_->tsv().acquire(now);
+            stats_->inc("ponb.tsvBeats");
+            deferred_.push_back({slot + cfg_.latency.tsv, act.fi});
+        } else {
+            if (act.fi->pendingPes == 0)
+                panic("bank completion underflow");
+            --act.fi->pendingPes;
+        }
+    }
+    mc_.completions().clear();
+
+    for (size_t i = 0; i < deferred_.size();) {
+        if (deferred_[i].at <= now) {
+            if (deferred_[i].fi->pendingPes == 0)
+                panic("deferred completion underflow");
+            --deferred_[i].fi->pendingPes;
+            deferred_.erase(deferred_.begin() + i);
+        } else {
+            ++i;
+        }
+    }
+
+    for (auto &pe : pes_)
+        pe->tick(now);
+}
+
+bool
+ProcessGroup::idle() const
+{
+    if (!mc_.idle() || !actions_.empty() || !deferred_.empty() ||
+        !remoteDone_.empty())
+        return false;
+    for (const auto &pe : pes_)
+        if (!pe->idle())
+            return false;
+    return true;
+}
+
+} // namespace ipim

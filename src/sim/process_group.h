@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The Process Group (PG): four near-bank PEs, the shared PG scratchpad
+ * memory (PGSM), and the lightweight in-DRAM memory controller that
+ * serves the PG's banks (Fig. 2(a3), Sec. IV-E).
+ */
+#ifndef IPIM_SIM_PROCESS_GROUP_H_
+#define IPIM_SIM_PROCESS_GROUP_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dram/memory_controller.h"
+#include "sim/pe.h"
+#include "sim/scratchpad.h"
+
+namespace ipim {
+
+class Vault;
+
+/** Completion of a remote-access (req) bank read serviced by this PG. */
+struct RemoteReadDone
+{
+    u64 tag = 0;       ///< requester's bookkeeping tag
+    u32 srcChip = 0;   ///< requester chip
+    u32 srcVault = 0;  ///< requester vault
+    u32 vsmAddr = 0;   ///< requester VSM staging offset
+    VecWord data;
+};
+
+class ProcessGroup
+{
+  public:
+    ProcessGroup(const HardwareConfig &cfg, Vault *vault, u32 pgIdx,
+                 ActivationLimiter *limiter, StatsRegistry *stats);
+
+    void reset(u32 chipId, u32 vaultId);
+
+    /** Advance one cycle: MC, completion routing, then the PEs. */
+    void tick(Cycle now);
+
+    /**
+     * Submit a bank access on behalf of PE @p peInPg's instruction
+     * @p fi.  Returns false when the MC queue is full (caller retries).
+     * For kLdPgsm/kStPgsm, @p pgsmAddr is the already-resolved PGSM byte
+     * offset on this PE's behalf.
+     */
+    bool submitBankAccess(Cycle now, InFlightInst *fi, u32 peInPg,
+                          Opcode op, u64 bankAddr, u16 drfIdx,
+                          u32 pgsmAddr, const VecWord &storeData);
+
+    /**
+     * Submit a remote read (arrived via the NIC).  Returns false when
+     * the MC queue is full.
+     */
+    bool submitRemoteRead(u32 peInPg, u64 bankAddr,
+                          const RemoteReadDone &doneInfo);
+
+    /** Remote reads completed since last drain; the vault sends these. */
+    std::vector<RemoteReadDone> &remoteDone() { return remoteDone_; }
+
+    ProcessEngine &pe(u32 i) { return *pes_.at(i); }
+    Scratchpad &pgsm() { return pgsm_; }
+    MemoryController &mc() { return mc_; }
+    Vault &vault() { return *vault_; }
+    u32 pgIdx() const { return pgIdx_; }
+    const HardwareConfig &cfg() const { return cfg_; }
+    StatsRegistry &stats() { return *stats_; }
+
+    bool idle() const;
+
+  private:
+    struct MemAction
+    {
+        InFlightInst *fi = nullptr; ///< null for remote reads
+        u32 peInPg = 0;
+        Opcode op = Opcode::kNop;
+        u16 drfIdx = 0;
+        u32 pgsmAddr = 0;
+        bool remote = false;
+        RemoteReadDone remoteInfo;
+    };
+
+    const HardwareConfig &cfg_;
+    Vault *vault_;
+    u32 pgIdx_;
+    StatsRegistry *stats_;
+
+    MemoryController mc_;
+    Scratchpad pgsm_;
+    std::vector<std::unique_ptr<ProcessEngine>> pes_;
+
+    std::unordered_map<u64, MemAction> actions_;
+    u64 nextMemId_ = 1;
+
+    /// PonB: bank data crossing the TSV before the op can finish.
+    struct Deferred
+    {
+        Cycle at;
+        InFlightInst *fi;
+    };
+    std::vector<Deferred> deferred_;
+
+    std::vector<RemoteReadDone> remoteDone_;
+};
+
+} // namespace ipim
+
+#endif // IPIM_SIM_PROCESS_GROUP_H_

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Byte-addressable scratchpad memories: the per-PG PGSM (8 KiB, multi-bank
+ * with per-PE ports and a 2D abstraction realized as lane-strided access)
+ * and the per-vault VSM (256 KiB, single TSV data port) of Sec. IV-E.
+ */
+#ifndef IPIM_SIM_SCRATCHPAD_H_
+#define IPIM_SIM_SCRATCHPAD_H_
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace ipim {
+
+/** A simple byte-array scratchpad with 32b-lane vector access. */
+class Scratchpad
+{
+  public:
+    explicit Scratchpad(u32 bytes) : data_(bytes, 0) {}
+
+    u32 bytes() const { return u32(data_.size()); }
+
+    /**
+     * Read four 32b lanes starting at @p addr with @p strideBytes between
+     * lanes (stride 4 == one contiguous 128b access).
+     */
+    VecWord
+    readVec(u32 addr, u32 strideBytes = 4) const
+    {
+        VecWord v;
+        for (int l = 0; l < kSimdLanes; ++l) {
+            u32 a = addr + u32(l) * strideBytes;
+            checkLane(a);
+            std::memcpy(&v.lanes[l], data_.data() + a, 4);
+        }
+        return v;
+    }
+
+    /** Write lanes of @p v whose bit in @p laneMask is set. */
+    void
+    writeVec(u32 addr, const VecWord &v, u32 strideBytes = 4,
+             u8 laneMask = 0xF)
+    {
+        for (int l = 0; l < kSimdLanes; ++l) {
+            if (!(laneMask & (1u << l)))
+                continue;
+            u32 a = addr + u32(l) * strideBytes;
+            checkLane(a);
+            std::memcpy(data_.data() + a, &v.lanes[l], 4);
+        }
+    }
+
+    u32
+    read32(u32 addr) const
+    {
+        checkLane(addr);
+        u32 v;
+        std::memcpy(&v, data_.data() + addr, 4);
+        return v;
+    }
+
+    void
+    write32(u32 addr, u32 v)
+    {
+        checkLane(addr);
+        std::memcpy(data_.data() + addr, &v, 4);
+    }
+
+    /** Bulk access for the runtime (program upload, result gather). */
+    void
+    writeBytes(u32 addr, const u8 *src, u32 len)
+    {
+        if (u64(addr) + len > data_.size())
+            fatal("scratchpad bulk write out of range");
+        std::memcpy(data_.data() + addr, src, len);
+    }
+
+    void
+    readBytes(u32 addr, u8 *dst, u32 len) const
+    {
+        if (u64(addr) + len > data_.size())
+            fatal("scratchpad bulk read out of range");
+        std::memcpy(dst, data_.data() + addr, len);
+    }
+
+  private:
+    void
+    checkLane(u32 addr) const
+    {
+        if (u64(addr) + 4 > data_.size())
+            fatal("scratchpad access out of range: addr=", addr,
+                  " size=", data_.size());
+    }
+
+    std::vector<u8> data_;
+};
+
+/**
+ * The per-vault TSV bus: one 128b beat per cycle, time-multiplexed
+ * between instruction broadcast and VSM/bank data (Sec. IV-C: "control
+ * signals and data signals share the same physical TSVs").
+ *
+ * Modeled as a slot allocator: callers ask for the earliest free beat at
+ * or after "now" and get its cycle.
+ */
+class TsvBus
+{
+  public:
+    /** Reserve the earliest beat at or after @p now. */
+    Cycle
+    acquire(Cycle now)
+    {
+        Cycle slot = std::max(now, nextFree_);
+        nextFree_ = slot + 1;
+        ++beats_;
+        return slot;
+    }
+
+    u64 beats() const { return beats_; }
+
+    /** True if no reservation extends beyond @p now. */
+    bool quiescentAt(Cycle now) const { return nextFree_ <= now; }
+
+  private:
+    Cycle nextFree_ = 0;
+    u64 beats_ = 0;
+};
+
+} // namespace ipim
+
+#endif // IPIM_SIM_SCRATCHPAD_H_

@@ -1,0 +1,423 @@
+#include "sim/vault.h"
+
+#include <bit>
+
+#include "common/logging.h"
+#include "isa/alu.h"
+#include "sim/hazards.h"
+
+namespace ipim {
+
+Vault::Vault(const HardwareConfig &cfg, u32 chipId, u32 vaultId,
+             StatsRegistry *stats)
+    : cfg_(cfg), chipId_(chipId), vaultId_(vaultId), stats_(stats),
+      actLimiter_(std::make_unique<ActivationLimiter>(cfg.timing)),
+      vsm_(cfg.vsmBytes), crf_(cfg.ctrlRfEntries, 0)
+{
+    for (u32 pgIdx = 0; pgIdx < cfg.pgsPerVault; ++pgIdx)
+        pgs_.push_back(std::make_unique<ProcessGroup>(
+            cfg, this, pgIdx, actLimiter_.get(), stats));
+}
+
+void
+Vault::reset()
+{
+    pc_ = 0;
+    halted_ = prog_.empty();
+    stallUntil_ = 0;
+    std::fill(crf_.begin(), crf_.end(), 0u);
+    iiq_.clear();
+    activeSync_ = nullptr;
+    syncArrivals_.clear();
+    outbox_.clear();
+    remoteInbox_.clear();
+    pendingReqs_.clear();
+    for (auto &pg : pgs_)
+        pg->reset(chipId_, vaultId_);
+}
+
+void
+Vault::validateProgram(const std::vector<Instruction> &prog) const
+{
+    u32 validMask = numPes() >= 32 ? 0xFFFFFFFFu : ((1u << numPes()) - 1);
+    for (size_t i = 0; i < prog.size(); ++i) {
+        const Instruction &inst = prog[i];
+        AccessSet acc = inst.accessSet();
+        for (u8 r = 0; r < acc.numReads; ++r) {
+            const RegRef &ref = acc.reads[r];
+            u32 limit = ref.file == RegFile::kDrf ? cfg_.dataRfEntries()
+                        : ref.file == RegFile::kArf ? cfg_.addrRfEntries()
+                                                    : cfg_.ctrlRfEntries;
+            if (ref.idx >= limit)
+                fatal("program[", i, "] reads register ", ref.idx,
+                      " beyond file size ", limit, ": ", inst.toString());
+        }
+        for (u8 w = 0; w < acc.numWrites; ++w) {
+            const RegRef &ref = acc.writes[w];
+            u32 limit = ref.file == RegFile::kDrf ? cfg_.dataRfEntries()
+                        : ref.file == RegFile::kArf ? cfg_.addrRfEntries()
+                                                    : cfg_.ctrlRfEntries;
+            if (ref.idx >= limit)
+                fatal("program[", i, "] writes register ", ref.idx,
+                      " beyond file size ", limit, ": ", inst.toString());
+        }
+        if (isBroadcast(inst.op)) {
+            if (inst.simbMask == 0)
+                fatal("program[", i, "] broadcasts to an empty simb_mask: ",
+                      inst.toString());
+            if (inst.simbMask & ~validMask)
+                fatal("program[", i, "] simb_mask names PEs beyond ",
+                      numPes(), ": ", inst.toString());
+        }
+        if (inst.op == Opcode::kSetiVsm && inst.vsmAddr.indirect)
+            fatal("seti_vsm requires a direct VSM address");
+        if (inst.op == Opcode::kSetiCrf && inst.label >= 0 &&
+            u32(inst.imm) >= prog.size())
+            fatal("program[", i, "] branch label resolves outside program");
+    }
+    if (prog.empty() || prog.back().op != Opcode::kHalt)
+        fatal("program must end with halt");
+}
+
+void
+Vault::loadProgram(const std::vector<Instruction> &prog)
+{
+    validateProgram(prog);
+    prog_ = prog;
+    progAccess_.clear();
+    progAccess_.reserve(prog.size());
+    for (const auto &inst : prog_)
+        progAccess_.push_back(inst.accessSet());
+    reset();
+}
+
+void
+Vault::deliver(const Packet &p)
+{
+    switch (p.kind) {
+      case PacketKind::kReqRead:
+        remoteInbox_.push_back(p);
+        break;
+      case PacketKind::kReqResponse: {
+        vsm_.writeVec(p.vsmAddr, p.data);
+        stats_->inc("vsm.access");
+        auto it = pendingReqs_.find(p.tag);
+        if (it == pendingReqs_.end()) {
+#ifdef IPIM_DEBUG_REQ
+            std::fprintf(stderr,
+                         "BAD RESP at chip%u vault%u tag=%llx src=%u.%u\n",
+                         chipId_, vaultId_, (unsigned long long)p.tag,
+                         p.srcChip, p.srcVault);
+#endif
+            panic("req response with unknown tag");
+        }
+        it->second->coreDone = true;
+        pendingReqs_.erase(it);
+        break;
+      }
+      case PacketKind::kSyncArrive:
+        if (!isMaster())
+            panic("sync-arrive delivered to a non-master vault");
+        syncArrivals_[p.phaseId] += 1;
+        break;
+      case PacketKind::kSyncProceed:
+        if (activeSync_ == nullptr)
+            panic("sync-proceed with no active sync");
+        if (activeSync_->inst.phaseId != p.phaseId)
+            panic("sync-proceed phase mismatch");
+        activeSync_->coreDone = true;
+        activeSync_ = nullptr;
+        break;
+      default:
+        panic("unknown packet kind");
+    }
+}
+
+void
+Vault::serviceRemoteInbox()
+{
+    while (!remoteInbox_.empty()) {
+        const Packet &p = remoteInbox_.front();
+        if (p.pg >= cfg_.pgsPerVault || p.pe >= cfg_.pesPerPg)
+            panic("remote request addresses a nonexistent PE");
+        RemoteReadDone info;
+        info.tag = p.tag;
+        info.srcChip = p.srcChip;
+        info.srcVault = p.srcVault;
+        info.vsmAddr = p.vsmAddr;
+        if (!pgs_[p.pg]->submitRemoteRead(p.pe, p.dramAddr, info))
+            break; // MC full; retry next cycle, preserving order
+        remoteInbox_.pop_front();
+    }
+}
+
+void
+Vault::collectRemoteCompletions()
+{
+    for (auto &pg : pgs_) {
+        for (const RemoteReadDone &d : pg->remoteDone()) {
+            Packet resp;
+            resp.kind = PacketKind::kReqResponse;
+            resp.srcChip = chipId_;
+            resp.srcVault = vaultId_;
+            resp.dstChip = d.srcChip;
+            resp.dstVault = d.srcVault;
+            resp.tag = d.tag;
+            resp.vsmAddr = d.vsmAddr;
+            resp.data = d.data;
+            outbox_.push_back(resp);
+        }
+        pg->remoteDone().clear();
+    }
+}
+
+void
+Vault::retireStep()
+{
+    while (!iiq_.empty() && iiq_.front()->done()) {
+        if (iiq_.front()->isBarrier && activeSync_ == iiq_.front().get())
+            activeSync_ = nullptr;
+        iiq_.pop_front();
+        stats_->inc("core.retired");
+    }
+}
+
+void
+Vault::issueBroadcast(Cycle now, const Instruction &inst,
+                      const AccessSet &acc)
+{
+    auto fi = std::make_unique<InFlightInst>();
+    fi->inst = inst;
+    fi->access = acc;
+    fi->seq = nextSeq_++;
+    u32 mask = inst.simbMask;
+    fi->pendingPes = u32(std::popcount(mask));
+    fi->unstartedPes = fi->pendingPes;
+    Cycle slot = tsv_.acquire(now);
+    stats_->inc("tsv.broadcasts");
+    Cycle arrives = slot + cfg_.latency.tsv;
+    for (u32 b = 0; b < numPes(); ++b) {
+        if (!(mask & (1u << b)))
+            continue;
+        pgs_[b / cfg_.pesPerPg]->pe(b % cfg_.pesPerPg)
+            .push(fi.get(), arrives);
+    }
+    iiq_.push_back(std::move(fi));
+}
+
+void
+Vault::issueStep(Cycle now)
+{
+    if (halted_)
+        return;
+    if (now < stallUntil_) {
+        stats_->inc("core.bubble");
+        return;
+    }
+    if (pc_ >= prog_.size())
+        panic("pc ran off the end of the program");
+
+    // A barrier in flight blocks all younger instructions.
+    for (const auto &e : iiq_) {
+        if (e->isBarrier) {
+            stats_->inc("core.barrierStall");
+            return;
+        }
+    }
+
+    const Instruction &inst = prog_[pc_];
+    const AccessSet &acc = progAccess_[pc_];
+
+    if (inst.op == Opcode::kSync || inst.op == Opcode::kHalt) {
+        // Both act as fences: all earlier instructions must be done.
+        if (!iiq_.empty()) {
+            stats_->inc("core.drainStall");
+            return;
+        }
+    } else {
+        if (iiq_.size() >= cfg_.instQueueDepth) {
+            stats_->inc("core.structStall");
+            return;
+        }
+        for (const auto &e : iiq_) {
+            if (!issueHazard(e->access, acc))
+                continue;
+            // Anti/output dependences clear once the older instruction
+            // has captured its operands on every PE; true dependences
+            // (and load-destination writes) wait for completion.
+            bool blocks = hazardNeedsCompletion(e->inst, e->access, acc)
+                              ? !e->done()
+                              : !(e->started() && e->coreDone);
+            if (blocks) {
+                stats_->inc("core.hazardStall");
+                stats_->inc(std::string("stall.") +
+                            categoryName(inst.category()));
+                return;
+            }
+        }
+    }
+
+    stats_->inc("core.issued");
+    stats_->inc(std::string("inst.") + categoryName(inst.category()));
+
+    switch (inst.op) {
+      case Opcode::kJump:
+      case Opcode::kCjump: {
+        bool taken = inst.op == Opcode::kJump || crf_.at(inst.src1) != 0;
+        if (taken) {
+            u32 target = crf_.at(inst.dst);
+            if (target >= prog_.size())
+                fatal("jump to pc ", target, " outside program");
+            pc_ = target;
+            stallUntil_ = now + cfg_.latency.branch;
+            stats_->inc("core.taken");
+        } else {
+            ++pc_;
+        }
+        return;
+      }
+      case Opcode::kCalcCrf: {
+        i32 a = i32(crf_.at(inst.src1));
+        i32 b = inst.srcImm ? inst.imm : i32(crf_.at(inst.src2));
+        crf_.at(inst.dst) = u32(aluEvalI32(inst.aluOp, a, b));
+        ++pc_;
+        return;
+      }
+      case Opcode::kSetiCrf:
+        crf_.at(inst.dst) = u32(inst.imm);
+        ++pc_;
+        return;
+      case Opcode::kSetiVsm:
+        vsm_.write32(inst.vsmAddr.value, u32(inst.imm));
+        stats_->inc("vsm.access");
+        ++pc_;
+        return;
+      case Opcode::kNop:
+        ++pc_;
+        return;
+      case Opcode::kHalt:
+        halted_ = true;
+        ++pc_;
+        return;
+      case Opcode::kReq: {
+        auto fi = std::make_unique<InFlightInst>();
+        fi->inst = inst;
+        fi->access = acc;
+        fi->seq = nextSeq_++;
+        fi->coreDone = false;
+        u64 tag = (u64(chipId_) << 48) | (u64(vaultId_) << 32) |
+                  nextReqTag_++;
+        pendingReqs_[tag] = fi.get();
+        Packet p;
+        p.kind = PacketKind::kReqRead;
+        p.srcChip = chipId_;
+        p.srcVault = vaultId_;
+        p.dstChip = inst.dstChip;
+        p.dstVault = inst.dstVault;
+        p.pg = inst.dstPg;
+        p.pe = inst.dstPe;
+        // Core-side indirection resolves through the CtrlRF.
+        p.dramAddr =
+            inst.dramAddr.indirect
+                ? u64(i64(i32(crf_.at(u16(inst.dramAddr.value)))) +
+                      inst.dramAddr.offset)
+                : u64(inst.dramAddr.value);
+        p.vsmAddr = inst.vsmAddr.indirect
+                        ? u32(i64(i32(crf_.at(u16(inst.vsmAddr.value)))) +
+                              inst.vsmAddr.offset)
+                        : inst.vsmAddr.value;
+        p.tag = tag;
+        outbox_.push_back(p);
+        iiq_.push_back(std::move(fi));
+        ++pc_;
+        return;
+      }
+      case Opcode::kSync: {
+        auto fi = std::make_unique<InFlightInst>();
+        fi->inst = inst;
+        fi->access = acc;
+        fi->seq = nextSeq_++;
+        fi->coreDone = false;
+        fi->isBarrier = true;
+        activeSync_ = fi.get();
+        if (isMaster()) {
+            // The master's own arrival counts implicitly; completion is
+            // checked in masterSyncCheck() once all slaves arrived.
+        } else {
+            Packet p;
+            p.kind = PacketKind::kSyncArrive;
+            p.srcChip = chipId_;
+            p.srcVault = vaultId_;
+            p.dstChip = 0;
+            p.dstVault = 0;
+            p.phaseId = inst.phaseId;
+            outbox_.push_back(p);
+        }
+        iiq_.push_back(std::move(fi));
+        ++pc_;
+        return;
+      }
+      default:
+        break;
+    }
+
+    // Remaining opcodes are SIMB broadcasts.
+    issueBroadcast(now, inst, acc);
+    ++pc_;
+}
+
+void
+Vault::masterSyncCheck()
+{
+    if (!isMaster() || activeSync_ == nullptr)
+        return;
+    u32 phase = activeSync_->inst.phaseId;
+    auto it = syncArrivals_.find(phase);
+    u32 arrived = it == syncArrivals_.end() ? 0 : it->second;
+    if (arrived < totalVaults() - 1)
+        return;
+    syncArrivals_.erase(phase);
+    for (u32 c = 0; c < cfg_.cubes; ++c) {
+        for (u32 v = 0; v < cfg_.vaultsPerCube; ++v) {
+            if (c == 0 && v == 0)
+                continue;
+            Packet p;
+            p.kind = PacketKind::kSyncProceed;
+            p.srcChip = chipId_;
+            p.srcVault = vaultId_;
+            p.dstChip = c;
+            p.dstVault = v;
+            p.phaseId = phase;
+            outbox_.push_back(p);
+        }
+    }
+    activeSync_->coreDone = true;
+    activeSync_ = nullptr;
+}
+
+void
+Vault::tick(Cycle now)
+{
+    stats_->inc("core.cycles");
+    serviceRemoteInbox();
+    for (auto &pg : pgs_)
+        pg->tick(now);
+    collectRemoteCompletions();
+    retireStep();
+    issueStep(now);
+    masterSyncCheck();
+}
+
+bool
+Vault::fullyIdle() const
+{
+    if (!halted_ || !iiq_.empty() || !outbox_.empty() ||
+        !remoteInbox_.empty() || !pendingReqs_.empty())
+        return false;
+    for (const auto &pg : pgs_)
+        if (!pg->idle())
+            return false;
+    return true;
+}
+
+} // namespace ipim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * One iPIM vault (Fig. 2(a2)): eight process groups on the PIM dies, and
+ * on the base logic die the decoupled control core (I-cache/pc, CtrlRF,
+ * Issued Inst Queue, SIMB controller), the vault scratchpad memory (VSM),
+ * the TSV arbiter, and the network interface controller (NIC).
+ *
+ * The control core is pipelined, single-issue, in-order; data hazards are
+ * eliminated at issue time by scoreboarding against the Issued Inst Queue
+ * (Sec. IV-B).  SIMB instructions broadcast over the shared TSVs and
+ * retire in order once every masked PE has finished.
+ */
+#ifndef IPIM_SIM_VAULT_H_
+#define IPIM_SIM_VAULT_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "noc/mesh.h"
+#include "sim/process_group.h"
+
+namespace ipim {
+
+class Vault
+{
+  public:
+    Vault(const HardwareConfig &cfg, u32 chipId, u32 vaultId,
+          StatsRegistry *stats);
+
+    /** Upload a program; validates every instruction. Resets the core. */
+    void loadProgram(const std::vector<Instruction> &prog);
+
+    /** Reset architectural and micro-architectural state (keeps banks). */
+    void reset();
+
+    /** Deliver an incoming network packet to the NIC. */
+    void deliver(const Packet &p);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    /** Packets the NIC wants to send; drained by the owning cube. */
+    std::deque<Packet> &outbox() { return outbox_; }
+
+    bool halted() const { return halted_; }
+
+    /** True when halted with no in-flight work anywhere in the vault. */
+    bool fullyIdle() const;
+
+    ProcessGroup &pg(u32 i) { return *pgs_.at(i); }
+    Scratchpad &vsmMem() { return vsm_; }
+    TsvBus &tsv() { return tsv_; }
+    u32 chipId() const { return chipId_; }
+    u32 vaultId() const { return vaultId_; }
+    u32 &crf(u16 idx) { return crf_.at(idx); }
+
+    /** Number of SIMB-addressable PEs in this vault. */
+    u32 numPes() const { return cfg_.pesPerVault(); }
+
+  private:
+    void validateProgram(const std::vector<Instruction> &prog) const;
+    void processIncoming(Cycle now);
+    void serviceRemoteInbox();
+    void collectRemoteCompletions();
+    void retireStep();
+    void issueStep(Cycle now);
+    void issueBroadcast(Cycle now, const Instruction &inst,
+                        const AccessSet &acc);
+    void masterSyncCheck();
+    bool isMaster() const { return chipId_ == 0 && vaultId_ == 0; }
+    u32 totalVaults() const { return cfg_.cubes * cfg_.vaultsPerCube; }
+
+    const HardwareConfig &cfg_;
+    u32 chipId_;
+    u32 vaultId_;
+    StatsRegistry *stats_;
+
+    std::unique_ptr<ActivationLimiter> actLimiter_;
+    std::vector<std::unique_ptr<ProcessGroup>> pgs_;
+    Scratchpad vsm_;
+    TsvBus tsv_;
+
+    // Control core state.
+    std::vector<Instruction> prog_;
+    std::vector<AccessSet> progAccess_;
+    u32 pc_ = 0;
+    bool halted_ = true;
+    Cycle stallUntil_ = 0;
+    std::vector<u32> crf_;
+    std::deque<std::unique_ptr<InFlightInst>> iiq_;
+    u64 nextSeq_ = 1;
+
+    // Synchronization (master-slave barrier, Sec. IV-D).
+    InFlightInst *activeSync_ = nullptr;
+    std::map<u32, u32> syncArrivals_; ///< master: phase -> arrived count
+
+    // NIC state.
+    std::deque<Packet> outbox_;
+    std::deque<Packet> remoteInbox_; ///< kReqRead to be serviced here
+    std::map<u64, InFlightInst *> pendingReqs_;
+    u64 nextReqTag_ = 1;
+};
+
+} // namespace ipim
+
+#endif // IPIM_SIM_VAULT_H_

@@ -1,0 +1,254 @@
+/** Invariants of compiled kernels: structure, masks, budgets, and the
+ *  static properties every per-vault program must satisfy. */
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "compiler/codegen.h"
+#include "sim/device.h"
+
+namespace ipim {
+namespace {
+
+CompiledPipeline
+compileBench(const std::string &name, int w, int h,
+             const HardwareConfig &cfg,
+             const CompilerOptions &opts = {})
+{
+    BenchmarkApp app = makeBenchmark(name, w, h);
+    return compilePipeline(app.def, cfg, opts);
+}
+
+class CompiledInvariants : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CompiledInvariants, EveryVaultProgramLoadsCleanly)
+{
+    HardwareConfig cfg = HardwareConfig::tiny();
+    CompiledPipeline cp = compileBench(GetParam(), 64, 32, cfg);
+    Device dev(cfg);
+    for (const CompiledKernel &k : cp.kernels) {
+        ASSERT_EQ(k.perVault.size(), dev.totalVaults());
+        // loadProgram validates register bounds, masks, and termination.
+        EXPECT_NO_THROW(dev.loadPrograms(k.perVault)) << k.stage;
+    }
+}
+
+TEST_P(CompiledInvariants, ProgramsEndWithSyncThenHalt)
+{
+    CompiledPipeline cp =
+        compileBench(GetParam(), 64, 32, HardwareConfig::tiny());
+    for (const CompiledKernel &k : cp.kernels) {
+        for (const auto &prog : k.perVault) {
+            ASSERT_GE(prog.size(), 2u);
+            EXPECT_EQ(prog.back().op, Opcode::kHalt);
+            // A global barrier precedes the halt so no vault races ahead
+            // of a producer stage.
+            bool sawSync = false;
+            for (const Instruction &inst : prog)
+                if (inst.op == Opcode::kSync)
+                    sawSync = true;
+            EXPECT_TRUE(sawSync) << k.stage;
+        }
+    }
+}
+
+TEST_P(CompiledInvariants, PhysicalRegistersWithinFiles)
+{
+    HardwareConfig cfg = HardwareConfig::tiny();
+    CompiledPipeline cp = compileBench(GetParam(), 64, 32, cfg);
+    for (const CompiledKernel &k : cp.kernels) {
+        for (const auto &prog : k.perVault) {
+            for (const Instruction &inst : prog) {
+                AccessSet a = inst.accessSet();
+                for (u8 i = 0; i < a.numWrites; ++i) {
+                    const RegRef &r = a.writes[i];
+                    u32 lim = r.file == RegFile::kDrf
+                                  ? cfg.dataRfEntries()
+                              : r.file == RegFile::kArf
+                                  ? cfg.addrRfEntries()
+                                  : cfg.ctrlRfEntries;
+                    EXPECT_LT(r.idx, lim) << inst.toString();
+                }
+            }
+        }
+    }
+}
+
+TEST_P(CompiledInvariants, BranchTargetsResolveInsideProgram)
+{
+    CompiledPipeline cp =
+        compileBench(GetParam(), 64, 32, HardwareConfig::tiny());
+    for (const CompiledKernel &k : cp.kernels) {
+        for (const auto &prog : k.perVault) {
+            for (const Instruction &inst : prog) {
+                EXPECT_EQ(inst.label, -1) << "unresolved label";
+                if (inst.op == Opcode::kSetiCrf && inst.imm >= 0 &&
+                    u32(inst.imm) < prog.size()) {
+                    // plausible branch target; nothing more to assert
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Reps, CompiledInvariants,
+                         ::testing::Values("Brighten", "Blur", "Upsample",
+                                           "Histogram", "Interpolate"));
+
+TEST(CodegenStructure, BrightenUsesDirectBankPath)
+{
+    // No load_pgsm schedule => no PGSM traffic in the kernel.
+    CompiledPipeline cp =
+        compileBench("Brighten", 64, 32, HardwareConfig::tiny());
+    ASSERT_EQ(cp.kernels.size(), 1u);
+    for (const Instruction &inst : cp.kernels[0].perVault[0])
+        EXPECT_FALSE(accessesPgsm(inst.op)) << inst.toString();
+}
+
+TEST(CodegenStructure, BlurUsesPgsmAndDoubleBuffering)
+{
+    CompiledPipeline cp =
+        compileBench("Blur", 64, 32, HardwareConfig::tiny());
+    bool sawPgsm = false, sawBankA = false, sawBankB = false;
+    for (const Instruction &inst : cp.kernels[0].perVault[0]) {
+        if (accessesPgsm(inst.op)) {
+            sawPgsm = true;
+            if (inst.scratchBank == 1)
+                sawBankA = true;
+            if (inst.scratchBank == 2)
+                sawBankB = true;
+        }
+    }
+    EXPECT_TRUE(sawPgsm);
+    EXPECT_TRUE(sawBankA);
+    EXPECT_TRUE(sawBankB);
+}
+
+TEST(CodegenStructure, ProducerConsumerHaloUsesVsmAndReq)
+{
+    // An intermediate producer cannot shift its layout to absorb the
+    // consumer's halo (unlike a runtime-scattered input), so boundary
+    // rows must be staged: sibling PGs push over the VSM and rows owned
+    // by other vaults are pulled with req.
+    CompiledPipeline cp =
+        compileBench("StencilChain", 64, 64, HardwareConfig::tiny());
+    bool sawWrVsm = false, sawRdVsm = false, sawReq = false;
+    for (const CompiledKernel &k : cp.kernels) {
+        for (const auto &prog : k.perVault) {
+            for (const Instruction &inst : prog) {
+                sawWrVsm |= inst.op == Opcode::kWrVsm;
+                sawRdVsm |= inst.op == Opcode::kRdVsm;
+                sawReq |= inst.op == Opcode::kReq;
+            }
+        }
+    }
+    EXPECT_TRUE(sawWrVsm);
+    EXPECT_TRUE(sawRdVsm);
+    EXPECT_TRUE(sawReq);
+}
+
+TEST(CodegenStructure, HistogramUsesIndirectReadModifyWrite)
+{
+    CompiledPipeline cp =
+        compileBench("Histogram", 64, 32, HardwareConfig::tiny());
+    bool sawIndirectLd = false, sawIndirectSt = false, sawMov = false;
+    for (const Instruction &inst : cp.kernels[0].perVault[0]) {
+        if (inst.op == Opcode::kLdRf && inst.dramAddr.indirect)
+            sawIndirectLd = true;
+        if (inst.op == Opcode::kStRf && inst.dramAddr.indirect)
+            sawIndirectSt = true;
+        if (inst.op == Opcode::kMovDrfToArf)
+            sawMov = true;
+    }
+    EXPECT_TRUE(sawIndirectLd);
+    EXPECT_TRUE(sawIndirectSt);
+    EXPECT_TRUE(sawMov);
+}
+
+TEST(CodegenStructure, MinRegallocUsesFewerDrfColors)
+{
+    HardwareConfig cfg = HardwareConfig::tiny();
+    BenchmarkApp app = makeBenchmark("Blur", 64, 32);
+    CompiledPipeline maxP =
+        compilePipeline(app.def, cfg, CompilerOptions::opt());
+    BenchmarkApp app2 = makeBenchmark("Blur", 64, 32);
+    CompiledPipeline minP =
+        compilePipeline(app2.def, cfg, CompilerOptions::baseline2());
+    EXPECT_LE(minP.kernels[0].backend.physicalDrfUsed,
+              maxP.kernels[0].backend.physicalDrfUsed);
+}
+
+TEST(CodegenStructure, SmallDataRfForcesSpills)
+{
+    HardwareConfig cfg = HardwareConfig::tiny();
+    cfg.dataRfBytes = 8 * kVectorBytes;
+    BenchmarkApp app = makeBenchmark("StencilChain", 64, 32);
+    CompiledPipeline cp = compilePipeline(app.def, cfg);
+    u32 spills = 0;
+    for (const CompiledKernel &k : cp.kernels)
+        spills += k.backend.spilledRegs;
+    EXPECT_GT(spills, 0u);
+}
+
+TEST(CodegenErrors, NonLocalReadWithoutPgsmScheduleIsRejected)
+{
+    Var x("x"), y("y");
+    FuncPtr in = Func::input("in");
+    FuncPtr out = Func::make("bad");
+    out->define(x, y, (*in)(x + 1, y)); // needs a halo
+    out->computeRoot().ipimTile(8, 8);  // ...but no load_pgsm()
+    EXPECT_THROW(compilePipeline(PipelineDef{"t", out, 64, 32, {}},
+                                 HardwareConfig::tiny()),
+                 FatalError);
+}
+
+TEST(CodegenErrors, OversizedPgsmFootprintIsRejected)
+{
+    Var x("x"), y("y");
+    FuncPtr in = Func::input("in");
+    FuncPtr out = Func::make("wide");
+    // A 129-tap horizontal stencil needs more PGSM than exists with a
+    // wide tile.
+    Expr sum = Expr(0.0f);
+    for (int d = -64; d <= 64; d += 8)
+        sum = sum + (*in)(x + d, y);
+    out->define(x, y, sum);
+    out->computeRoot().ipimTile(64, 8).loadPgsm();
+    HardwareConfig cfg = HardwareConfig::tiny();
+    cfg.pgsmBytes = 512;
+    EXPECT_THROW(compilePipeline(PipelineDef{"t", out, 256, 64, {}}, cfg),
+                 FatalError);
+}
+
+TEST(CodegenErrors, ReductionWithNonIdentitySourceIsRejected)
+{
+    Var b("b");
+    FuncPtr in = Func::input("in");
+    FuncPtr h = Func::make("h", 1);
+    h->define(b, Expr(0.0f));
+    RDom r(32, 16);
+    UpdateDef u{.idxX = clamp(Expr::castI((*in)(r.x * 2, r.y) * 4.0f),
+                              Expr(0), Expr(3)),
+                .idxY = Expr(),
+                .value = Expr(1.0f),
+                .dom = r};
+    h->defineUpdate(u);
+    h->computeRoot();
+    EXPECT_THROW(compilePipeline(PipelineDef{"t", h, 4, 1, {}},
+                                 HardwareConfig::tiny()),
+                 FatalError);
+}
+
+TEST(CodegenBudget, TotalInstructionsScaleSubLinearlyWithImage)
+{
+    // Programs are loop-based: compiling a 4x larger image must not
+    // produce a 4x larger program.
+    HardwareConfig cfg = HardwareConfig::tiny();
+    u64 small = compileBench("Blur", 64, 32, cfg).totalInstructions();
+    u64 large = compileBench("Blur", 128, 64, cfg).totalInstructions();
+    EXPECT_LT(large, 3 * small);
+}
+
+} // namespace
+} // namespace ipim

@@ -1,0 +1,160 @@
+/** Unit tests for src/common: intervals, images, stats, config. */
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "common/image.h"
+#include "common/interval.h"
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace ipim {
+namespace {
+
+TEST(Interval, BasicProperties)
+{
+    Interval a(2, 5);
+    EXPECT_EQ(a.extent(), 4);
+    EXPECT_FALSE(a.empty());
+    EXPECT_TRUE(a.contains(2));
+    EXPECT_TRUE(a.contains(5));
+    EXPECT_FALSE(a.contains(6));
+    Interval e;
+    EXPECT_TRUE(e.empty());
+    EXPECT_EQ(e.extent(), 0);
+}
+
+TEST(Interval, HullAndIntersect)
+{
+    Interval a(0, 3), b(5, 9);
+    EXPECT_EQ(a.hull(b), Interval(0, 9));
+    EXPECT_TRUE(a.intersect(b).empty());
+    EXPECT_EQ(Interval(0, 6).intersect(Interval(4, 9)), Interval(4, 6));
+    EXPECT_EQ(Interval().hull(a), a);
+    EXPECT_EQ(a.hull(Interval()), a);
+}
+
+TEST(Interval, Arithmetic)
+{
+    Interval a(-2, 3), b(1, 4);
+    EXPECT_EQ(a + b, Interval(-1, 7));
+    EXPECT_EQ(a - b, Interval(-6, 2));
+    EXPECT_EQ(a * b, Interval(-8, 12));
+    EXPECT_EQ(a.shift(10), Interval(8, 13));
+    EXPECT_EQ(a.grow(1), Interval(-3, 4));
+}
+
+TEST(Interval, FloorDivisionMatchesDefinition)
+{
+    for (i64 a = -20; a <= 20; ++a) {
+        for (i64 b : {1, 2, 3, 5, 8}) {
+            i64 q = floorDiv(a, b);
+            EXPECT_LE(q * b, a);
+            EXPECT_GT((q + 1) * b, a);
+            EXPECT_EQ(q * b + floorMod(a, b), a);
+            EXPECT_GE(floorMod(a, b), 0);
+        }
+    }
+}
+
+TEST(Interval, DivConstCoversAllElements)
+{
+    Interval a(-7, 9);
+    for (i64 d : {1, 2, 3, 4}) {
+        Interval q = divConst(a, d);
+        for (i64 v = a.lo; v <= a.hi; ++v)
+            EXPECT_TRUE(q.contains(floorDiv(v, d)));
+    }
+}
+
+TEST(Image, ClampedAccessReplicatesBorder)
+{
+    Image img(4, 3);
+    img.at(0, 0) = 1.0f;
+    img.at(3, 2) = 2.0f;
+    EXPECT_EQ(img.clampedAt(-5, -5), 1.0f);
+    EXPECT_EQ(img.clampedAt(100, 100), 2.0f);
+}
+
+TEST(Image, SyntheticIsDeterministicAndBounded)
+{
+    Image a = Image::synthetic(32, 16, 7);
+    Image b = Image::synthetic(32, 16, 7);
+    Image c = Image::synthetic(32, 16, 8);
+    EXPECT_EQ(a.maxAbsDiff(b), 0.0f);
+    EXPECT_GT(a.maxAbsDiff(c), 0.0f);
+    for (f32 v : a.data()) {
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+    }
+}
+
+TEST(Image, MaxAbsDiffShapeMismatchIsFatal)
+{
+    Image a(4, 4), b(5, 4);
+    EXPECT_THROW(a.maxAbsDiff(b), FatalError);
+}
+
+TEST(Stats, IncrementMergeAndPrefixSum)
+{
+    StatsRegistry s;
+    s.inc("dram.rd");
+    s.inc("dram.rd", 2);
+    s.inc("dram.wr", 5);
+    s.inc("noc.hops", 7);
+    EXPECT_EQ(s.get("dram.rd"), 3.0);
+    EXPECT_EQ(s.get("missing"), 0.0);
+    EXPECT_EQ(s.sumPrefix("dram."), 8.0);
+
+    StatsRegistry t;
+    t.inc("dram.rd", 10);
+    s.merge(t);
+    EXPECT_EQ(s.get("dram.rd"), 13.0);
+}
+
+TEST(Config, PaperDefaultsAreValid)
+{
+    HardwareConfig cfg = HardwareConfig::paper();
+    EXPECT_NO_THROW(cfg.validate());
+    EXPECT_EQ(cfg.pesPerVault(), 32u);
+    EXPECT_EQ(cfg.pesPerCube(), 512u);
+    EXPECT_EQ(cfg.dataRfEntries(), 64u);
+    EXPECT_EQ(cfg.addrRfEntries(), 64u);
+}
+
+TEST(Config, TinyIsValid)
+{
+    EXPECT_NO_THROW(HardwareConfig::tiny().validate());
+}
+
+TEST(Config, RejectsTooManyPesPerVault)
+{
+    HardwareConfig cfg = HardwareConfig::paper();
+    cfg.pgsPerVault = 16; // 64 PEs > 32-bit simb_mask
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(Config, RejectsMisalignedSizes)
+{
+    HardwareConfig cfg = HardwareConfig::paper();
+    cfg.dataRfBytes = 1000;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = HardwareConfig::paper();
+    cfg.dramRowBytes = 100;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(Logging, FatalAndPanicCarryMessages)
+{
+    try {
+        fatal("bad thing ", 42);
+        FAIL();
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("bad thing 42"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(panic("impossible"), PanicError);
+}
+
+} // namespace
+} // namespace ipim

@@ -1,0 +1,297 @@
+/** Unit tests for the compiler frontend, analysis, and layout. */
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "compiler/layout.h"
+#include "compiler/reference.h"
+
+namespace ipim {
+namespace {
+
+Var x("x"), y("y");
+
+TEST(Affine, SimpleForms)
+{
+    AffineIndex a = toAffine(Expr(x) + 3, "x", "y");
+    ASSERT_TRUE(a.valid);
+    EXPECT_EQ(a.eval(10, 0), 13);
+
+    a = toAffine(Expr(x) * 2 - 1, "x", "y");
+    ASSERT_TRUE(a.valid);
+    EXPECT_EQ(a.eval(10, 0), 19);
+
+    a = toAffine((Expr(x) + 1) / 2, "x", "y");
+    ASSERT_TRUE(a.valid);
+    EXPECT_EQ(a.eval(4, 0), 2);
+    EXPECT_EQ(a.eval(5, 0), 3);
+    EXPECT_EQ(a.eval(-3, 0), -1); // floor semantics
+}
+
+TEST(Affine, PostScaleForms)
+{
+    // (y/8)*8 + 3 (pyramid row base)
+    AffineIndex a = toAffine((Expr(y) / 8) * 8 + 3, "x", "y");
+    ASSERT_TRUE(a.valid);
+    EXPECT_EQ(a.cy, 1);
+    EXPECT_EQ(a.div, 8);
+    EXPECT_EQ(a.postMul, 8);
+    EXPECT_EQ(a.post0, 3);
+    EXPECT_EQ(a.eval(0, 17), 19);
+
+    // (y/8)*5 + z (plane-interleaved grid)
+    a = toAffine((Expr(y) / 8) * 5 + 2, "x", "y");
+    ASSERT_TRUE(a.valid);
+    EXPECT_EQ(a.eval(0, 24), 17);
+}
+
+TEST(Affine, DynamicIsInvalid)
+{
+    FuncPtr f = Func::input("img");
+    Expr dynamic = Expr::castI((*f)(x, y) * 8.0f);
+    EXPECT_FALSE(toAffine(dynamic, "x", "y").valid);
+}
+
+TEST(Affine, EvalMatchesExhaustively)
+{
+    std::vector<Expr> exprs = {
+        Expr(x),
+        Expr(x) * 2 + Expr(y) * 3 - 4,
+        (Expr(x) - 5) / 3,
+        (Expr(x) / 2) * 6 + 1,
+        Expr(x) / 2 / 2,
+    };
+    for (const Expr &e : exprs) {
+        AffineIndex a = toAffine(e, "x", "y");
+        ASSERT_TRUE(a.valid) << exprToString(e);
+        for (i64 xv = -8; xv <= 8; ++xv) {
+            for (i64 yv = -4; yv <= 4; ++yv) {
+                Interval got = indexInterval(e, "x", "y",
+                                             Interval::point(xv),
+                                             Interval::point(yv));
+                EXPECT_EQ(a.eval(xv, yv), got.lo) << exprToString(e);
+                EXPECT_EQ(got.lo, got.hi);
+            }
+        }
+    }
+}
+
+TEST(Affine, IntervalIsSound)
+{
+    // The interval of an expression over a range contains all pointwise
+    // evaluations.
+    Expr e = (Expr(x) * 2 - 3) / 4;
+    Interval xr(-5, 9);
+    Interval ivl = indexInterval(e, "x", "y", xr, {0, 0});
+    AffineIndex a = toAffine(e, "x", "y");
+    for (i64 v = xr.lo; v <= xr.hi; ++v)
+        EXPECT_TRUE(ivl.contains(a.eval(v, 0)));
+}
+
+TEST(Analysis, InliningSubstitutesDefinitions)
+{
+    FuncPtr in = Func::input("in");
+    FuncPtr half = Func::make("half"); // stays inline
+    half->define(x, y, (*in)(x, y) / 2.0f);
+    FuncPtr out = Func::make("out");
+    out->define(x, y, (*half)(x + 1, y) + (*half)(x, y));
+    Expr inl = inlineExpr(out->rhs());
+    // After inlining only input callees remain.
+    std::function<void(const Expr &)> check = [&](const Expr &e) {
+        const ExprNode &n = e.node();
+        if (n.kind == ExprKind::kCall) {
+            EXPECT_TRUE(n.callee->isInput());
+            for (const Expr &a : n.args)
+                check(a);
+        }
+        for (const Expr &k : n.kids)
+            check(k);
+    };
+    check(inl);
+}
+
+TEST(Analysis, BoundsInferenceGrowsProducerRegions)
+{
+    FuncPtr in = Func::input("in");
+    FuncPtr bx = Func::make("bx");
+    bx->define(x, y, ((*in)(x - 1, y) + (*in)(x + 1, y)) / 2.0f);
+    bx->computeRoot().ipimTile(8, 8).loadPgsm();
+    FuncPtr out = Func::make("out");
+    out->define(x, y, ((*bx)(x, y - 2) + (*bx)(x, y + 2)) / 2.0f);
+    out->computeRoot().ipimTile(8, 8).loadPgsm();
+
+    PipelineDef def{"t", out, 64, 32, {}};
+    PipelineAnalysis pa = analyzePipeline(def);
+    const StageInfo &sOut = pa.stageOf(out);
+    const StageInfo &sBx = pa.stageOf(bx);
+    const StageInfo &sIn = pa.stageOf(in);
+    EXPECT_EQ(sOut.region, (Rect{{0, 63}, {0, 31}}));
+    EXPECT_EQ(sBx.region, (Rect{{0, 63}, {-2, 33}}));
+    EXPECT_EQ(sIn.region, (Rect{{-1, 64}, {-2, 33}}));
+}
+
+TEST(Analysis, ResamplingRegions)
+{
+    FuncPtr in = Func::input("in");
+    FuncPtr out = Func::make("o");
+    out->define(x, y, (*in)(x * 2, y * 2));
+    out->computeRoot().ipimTile(8, 8).loadPgsm();
+    PipelineAnalysis pa =
+        analyzePipeline(PipelineDef{"t", out, 16, 8, {}});
+    EXPECT_EQ(pa.stageOf(in).region, (Rect{{0, 30}, {0, 14}}));
+}
+
+TEST(Analysis, RejectsUnscheduledOutput)
+{
+    FuncPtr in = Func::input("in");
+    FuncPtr out = Func::make("o");
+    out->define(x, y, (*in)(x, y));
+    EXPECT_THROW(analyzePipeline(PipelineDef{"t", out, 8, 8, {}}),
+                 FatalError);
+}
+
+TEST(Analysis, RejectsUnclampedDynamicIndex)
+{
+    FuncPtr in = Func::input("in");
+    FuncPtr lut = Func::input("lut", 1);
+    FuncPtr out = Func::make("o");
+    out->define(x, y, (*lut)(Expr::castI((*in)(x, y) * 8.0f)));
+    out->computeRoot();
+    EXPECT_THROW(analyzePipeline(PipelineDef{"t", out, 8, 8, {}}),
+                 FatalError);
+}
+
+class LayoutTest : public ::testing::Test
+{
+  protected:
+    HardwareConfig cfg = HardwareConfig::tiny(); // 4 vaults, 2x2 PEs
+};
+
+TEST_F(LayoutTest, EveryPixelHasExactlyOneHome)
+{
+    Layout l = Layout::tiled(cfg, {{0, 63}, {0, 31}}, 8, 8, 0);
+    std::map<std::tuple<u32, u32, u32, u32, u64>, int> homes;
+    for (i64 yy = 0; yy < 32; ++yy) {
+        for (i64 xx = 0; xx < 64; ++xx) {
+            PixelHome h = l.homeOf(xx, yy);
+            EXPECT_LT(h.vault, cfg.vaultsPerCube);
+            EXPECT_LT(h.pg, cfg.pgsPerVault);
+            EXPECT_LT(h.pe, cfg.pesPerPg);
+            EXPECT_LT(h.addr, l.bytesPerPe());
+            auto key = std::make_tuple(h.chip, h.vault, h.pg, h.pe,
+                                       h.addr);
+            EXPECT_EQ(homes[key]++, 0) << "address collision";
+        }
+    }
+}
+
+TEST_F(LayoutTest, TileColumnsInterleaveAcrossPes)
+{
+    Layout l = Layout::tiled(cfg, {{0, 63}, {0, 31}}, 8, 8, 0);
+    // Adjacent tiles along x alternate PEs (Fig. 3(a) interleaving).
+    PixelHome a = l.homeOf(0, 0);
+    PixelHome b = l.homeOf(8, 0);
+    PixelHome c = l.homeOf(16, 0);
+    EXPECT_EQ(a.pg, b.pg);
+    EXPECT_NE(a.pe, b.pe);
+    EXPECT_EQ(a.pe, c.pe); // period = pesPerPg (2 in tiny config)
+}
+
+TEST_F(LayoutTest, VaultsOwnContiguousRowStrips)
+{
+    Layout l = Layout::tiled(cfg, {{0, 31}, {0, 255}}, 8, 8, 0);
+    u32 prev = 0;
+    for (i64 yy = 0; yy < 256; ++yy) {
+        PixelHome h = l.homeOf(0, yy);
+        EXPECT_GE(h.vault, prev); // monotone in y
+        prev = h.vault;
+    }
+    EXPECT_EQ(prev, cfg.vaultsPerCube - 1);
+}
+
+TEST_F(LayoutTest, RegionOffsetsAreRespected)
+{
+    Layout l = Layout::tiled(cfg, {{-4, 59}, {-2, 29}}, 8, 8, 4096);
+    PixelHome h = l.homeOf(-4, -2);
+    EXPECT_EQ(h.vault, 0u);
+    EXPECT_EQ(h.pg, 0u);
+    EXPECT_EQ(h.pe, 0u);
+    EXPECT_EQ(h.addr, 4096u);
+}
+
+TEST_F(LayoutTest, SingletonUsesVectorStride)
+{
+    Layout l = Layout::singleton({{0, 255}, {0, 0}}, 64);
+    EXPECT_EQ(l.linearAddr(0, 0), 0u);
+    EXPECT_EQ(l.linearAddr(1, 0), 16u);
+    EXPECT_EQ(l.bytesPerPe(), 256u * 16);
+}
+
+TEST_F(LayoutTest, LayoutMapAssignsDisjointRanges)
+{
+    FuncPtr in = Func::input("in");
+    FuncPtr a = Func::make("a");
+    a->define(x, y, (*in)(x, y) + 1.0f);
+    a->computeRoot().ipimTile(8, 8);
+    FuncPtr b = Func::make("b");
+    b->define(x, y, (*a)(x, y) * 2.0f);
+    b->computeRoot().ipimTile(8, 8);
+    PipelineAnalysis pa =
+        analyzePipeline(PipelineDef{"t", b, 64, 32, {}});
+    LayoutMap lm(cfg, pa);
+    const Layout &la = lm.of(a);
+    const Layout &lb = lm.of(b);
+    const Layout &li = lm.of(in);
+    // No overlapping [base, base+bytes) ranges.
+    auto overlaps = [](const Layout &p, const Layout &q) {
+        return p.baseAddr() < q.baseAddr() + q.bytesPerPe() &&
+               q.baseAddr() < p.baseAddr() + p.bytesPerPe();
+    };
+    EXPECT_FALSE(overlaps(la, lb));
+    EXPECT_FALSE(overlaps(la, li));
+    EXPECT_FALSE(overlaps(lb, li));
+    EXPECT_LE(lm.heapEnd(), cfg.bankBytes);
+}
+
+TEST(Reference, MatchesHandComputedBlur)
+{
+    FuncPtr in = Func::input("in");
+    FuncPtr out = Func::make("o");
+    out->define(x, y,
+                ((*in)(x - 1, y) + (*in)(x, y) + (*in)(x + 1, y)) / 3.0f);
+    out->computeRoot();
+    Image img(4, 1);
+    img.at(0, 0) = 3.0f;
+    img.at(1, 0) = 6.0f;
+    img.at(2, 0) = 9.0f;
+    img.at(3, 0) = 12.0f;
+    PipelineDef def{"t", out, 4, 1, {}};
+    Image r = referenceRun(def, {{"in", img}});
+    EXPECT_FLOAT_EQ(r.at(0, 0), (3.0f + 3.0f + 6.0f) / 3.0f); // clamped
+    EXPECT_FLOAT_EQ(r.at(1, 0), 6.0f);
+    EXPECT_FLOAT_EQ(r.at(2, 0), 9.0f);
+    EXPECT_FLOAT_EQ(r.at(3, 0), (9.0f + 12.0f + 12.0f) / 3.0f);
+}
+
+TEST(Reference, ReductionCountsPixels)
+{
+    FuncPtr in = Func::input("in");
+    FuncPtr hist = Func::make("h", 1);
+    Var b("b");
+    hist->define(b, Expr(0.0f));
+    RDom r(8, 4);
+    UpdateDef u{.idxX = clamp(Expr::castI((*in)(r.x, r.y) * 4.0f),
+                              Expr(0), Expr(3)),
+                .idxY = Expr(),
+                .value = Expr(1.0f),
+                .dom = r};
+    hist->defineUpdate(u);
+    hist->computeRoot();
+    Image img(8, 4, 0.1f); // every pixel lands in bin 0
+    PipelineDef def{"t", hist, 4, 1, {}};
+    Image out = referenceRun(def, {{"in", img}});
+    EXPECT_FLOAT_EQ(out.at(0, 0), 32.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 0), 0.0f);
+}
+
+} // namespace
+} // namespace ipim

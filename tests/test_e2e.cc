@@ -1,0 +1,276 @@
+/** End-to-end tests: every Table II benchmark compiled, simulated, and
+ *  compared against the golden reference interpreter. */
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "compiler/reference.h"
+#include "runtime/runtime.h"
+
+namespace ipim {
+namespace {
+
+struct E2eCase
+{
+    const char *name;
+    int w, h;
+};
+
+class Benchmarks : public ::testing::TestWithParam<E2eCase>
+{
+};
+
+TEST_P(Benchmarks, MatchesReferenceOnTinyDevice)
+{
+    const E2eCase &c = GetParam();
+    BenchmarkApp app = makeBenchmark(c.name, c.w, c.h);
+    Image ref = referenceRun(app.def, app.inputs);
+    LaunchResult res =
+        runPipeline(app.def, HardwareConfig::tiny(), app.inputs);
+    EXPECT_EQ(ref.maxAbsDiff(res.output), 0.0f)
+        << c.name << " " << c.w << "x" << c.h;
+    EXPECT_GT(res.cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTableII, Benchmarks,
+    ::testing::Values(E2eCase{"Brighten", 64, 32},
+                      E2eCase{"Blur", 64, 32},
+                      E2eCase{"Downsample", 64, 32},
+                      E2eCase{"Upsample", 64, 32},
+                      E2eCase{"Shift", 64, 32},
+                      E2eCase{"Histogram", 64, 32},
+                      E2eCase{"BilateralGrid", 64, 32},
+                      E2eCase{"Interpolate", 64, 32},
+                      E2eCase{"LocalLaplacian", 64, 32},
+                      E2eCase{"StencilChain", 64, 32},
+                      // Non-power-of-two sizes exercise tail masks.
+                      E2eCase{"Blur", 88, 40},
+                      E2eCase{"Brighten", 72, 24},
+                      E2eCase{"Shift", 88, 48},
+                      E2eCase{"Interpolate", 96, 48},
+                      E2eCase{"Downsample", 88, 40}),
+    [](const auto &info) {
+        return std::string(info.param.name) + "_" +
+               std::to_string(info.param.w) + "x" +
+               std::to_string(info.param.h);
+    });
+
+TEST(E2ePaperConfig, BlurOnFullCubeMatches)
+{
+    BenchmarkApp app = makeBenchmark("Blur", 256, 128);
+    Image ref = referenceRun(app.def, app.inputs);
+    HardwareConfig cfg = HardwareConfig::benchCube();
+    LaunchResult res = runPipeline(app.def, cfg, app.inputs);
+    EXPECT_EQ(ref.maxAbsDiff(res.output), 0.0f);
+}
+
+TEST(E2ePaperConfig, HistogramOnFullCubeMatches)
+{
+    BenchmarkApp app = makeBenchmark("Histogram", 128, 64);
+    Image ref = referenceRun(app.def, app.inputs);
+    LaunchResult res =
+        runPipeline(app.def, HardwareConfig::benchCube(), app.inputs);
+    EXPECT_EQ(ref.maxAbsDiff(res.output), 0.0f);
+}
+
+TEST(E2eMultiCube, HistogramGathersAcrossTwoCubes)
+{
+    // The device-level reduction gather pulls every remote vault's
+    // partial over SERDES links into cube 0.
+    BenchmarkApp app = makeBenchmark("Histogram", 64, 32);
+    Image ref = referenceRun(app.def, app.inputs);
+    HardwareConfig cfg = HardwareConfig::tiny();
+    cfg.cubes = 2;
+    LaunchResult res = runPipeline(app.def, cfg, app.inputs);
+    EXPECT_EQ(ref.maxAbsDiff(res.output), 0.0f);
+}
+
+TEST(E2eMultiCube, LocalLaplacianAcrossTwoCubesMatches)
+{
+    BenchmarkApp app = makeBenchmark("LocalLaplacian", 64, 32);
+    Image ref = referenceRun(app.def, app.inputs);
+    HardwareConfig cfg = HardwareConfig::tiny();
+    cfg.cubes = 2;
+    LaunchResult res = runPipeline(app.def, cfg, app.inputs);
+    EXPECT_EQ(ref.maxAbsDiff(res.output), 0.0f);
+}
+
+TEST(E2eMultiCube, BlurAcrossTwoCubesMatches)
+{
+    BenchmarkApp app = makeBenchmark("Blur", 128, 64);
+    Image ref = referenceRun(app.def, app.inputs);
+    HardwareConfig cfg = HardwareConfig::benchCube();
+    cfg.cubes = 2;
+    LaunchResult res = runPipeline(app.def, cfg, app.inputs);
+    EXPECT_EQ(ref.maxAbsDiff(res.output), 0.0f);
+}
+
+/** All compiler-option ablations must produce identical output bits:
+ *  the optimizations are performance-only (Fig. 12). */
+class Ablations : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(Ablations, AllCompilerOptionsAgree)
+{
+    BenchmarkApp app = makeBenchmark(GetParam(), 64, 32);
+    Image ref = referenceRun(app.def, app.inputs);
+    const CompilerOptions opts[] = {
+        CompilerOptions::opt(), CompilerOptions::baseline1(),
+        CompilerOptions::baseline2(), CompilerOptions::baseline3(),
+        CompilerOptions::baseline4()};
+    for (const CompilerOptions &o : opts) {
+        LaunchResult res =
+            runPipeline(app.def, HardwareConfig::tiny(), app.inputs, o);
+        EXPECT_EQ(ref.maxAbsDiff(res.output), 0.0f)
+            << "max=" << o.maxRegAlloc << " reorder=" << o.reorder
+            << " memOrder=" << o.memOrder;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Representative, Ablations,
+                         ::testing::Values("Blur", "Histogram",
+                                           "Upsample"));
+
+TEST(E2eOptions, OptimizedCompilerIsFasterThanBaseline1)
+{
+    BenchmarkApp app = makeBenchmark("Blur", 96, 48);
+    LaunchResult fast = runPipeline(app.def, HardwareConfig::tiny(),
+                                    app.inputs, CompilerOptions::opt());
+    LaunchResult slow =
+        runPipeline(app.def, HardwareConfig::tiny(), app.inputs,
+                    CompilerOptions::baseline1());
+    EXPECT_LT(fast.cycles, slow.cycles);
+}
+
+TEST(E2eOptions, PonbIsCorrectButSlower)
+{
+    BenchmarkApp app = makeBenchmark("Blur", 96, 48);
+    Image ref = referenceRun(app.def, app.inputs);
+    HardwareConfig near = HardwareConfig::tiny();
+    HardwareConfig ponb = HardwareConfig::tiny();
+    ponb.processOnBaseDie = true;
+    LaunchResult a = runPipeline(app.def, near, app.inputs);
+    LaunchResult b = runPipeline(app.def, ponb, app.inputs);
+    EXPECT_EQ(ref.maxAbsDiff(a.output), 0.0f);
+    EXPECT_EQ(ref.maxAbsDiff(b.output), 0.0f);
+    EXPECT_GT(b.cycles, a.cycles);
+}
+
+TEST(E2eOptions, PagePolicyAndSchedulerVariantsAreCorrect)
+{
+    BenchmarkApp app = makeBenchmark("Blur", 64, 32);
+    Image ref = referenceRun(app.def, app.inputs);
+    for (PagePolicy pp : {PagePolicy::kOpenPage, PagePolicy::kClosePage}) {
+        for (SchedPolicy sp : {SchedPolicy::kFcfs, SchedPolicy::kFrFcfs}) {
+            HardwareConfig cfg = HardwareConfig::tiny();
+            cfg.pagePolicy = pp;
+            cfg.schedPolicy = sp;
+            LaunchResult res = runPipeline(app.def, cfg, app.inputs);
+            EXPECT_EQ(ref.maxAbsDiff(res.output), 0.0f);
+        }
+    }
+}
+
+TEST(E2eDeterminism, RepeatedRunsGiveIdenticalCyclesAndBits)
+{
+    BenchmarkApp app = makeBenchmark("Shift", 64, 32);
+    StatsRegistry s1, s2;
+    LaunchResult a = runPipeline(app.def, HardwareConfig::tiny(),
+                                 app.inputs, {}, &s1);
+    LaunchResult b = runPipeline(app.def, HardwareConfig::tiny(),
+                                 app.inputs, {}, &s2);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.output.maxAbsDiff(b.output), 0.0f);
+    EXPECT_EQ(s1.get("core.issued"), s2.get("core.issued"));
+    EXPECT_EQ(s1.get("dram.act"), s2.get("dram.act"));
+}
+
+TEST(E2eStats, InstructionMixHasExpectedShape)
+{
+    BenchmarkApp app = makeBenchmark("Blur", 96, 48);
+    StatsRegistry stats;
+    runPipeline(app.def, HardwareConfig::tiny(), app.inputs, {}, &stats);
+    // Index calculation is present but smaller than the paper's 23%:
+    // our base+displacement addressing extension folds most address
+    // arithmetic into the memory operands (see EXPERIMENTS.md).
+    f64 total = stats.get("core.issued");
+    EXPECT_GT(stats.get("inst.index_calc") / total, 0.005);
+    EXPECT_GT(stats.get("inst.intra_vault") / total, 0.10);
+    EXPECT_GT(stats.get("inst.computation"), 0.0);
+    // Inter-vault movement is a small share (paper: 1.44%).
+    EXPECT_LT(stats.get("inst.inter_vault") / total, 0.10);
+}
+
+TEST(E2eGather, LutRemapThroughDataDependentIndexing)
+{
+    // Data-dependent gather: per-lane DataRF -> AddrRF -> indirect PGSM
+    // read (the Sec. IV-C indirection path).  A gamma-like tone curve
+    // is computed redundantly into every bank (compute_replicated) and
+    // indexed by the quantized input intensity.
+    Var x("x"), y("y"), t("t");
+    FuncPtr in = Func::input("in");
+    FuncPtr lut = Func::make("curve", 1);
+    Expr tf = Expr::castF(t) / 255.0f;
+    lut->define(t, tf * tf);
+    lut->computeReplicated();
+    FuncPtr out = Func::make("lut_out");
+    out->define(x, y, (*lut)(clamp(Expr::castI((*in)(x, y) * 255.0f),
+                                   Expr(0), Expr(255))));
+    out->computeRoot().ipimTile(8, 8).loadPgsm().vectorize(4);
+    PipelineDef def{"lutmap", out, 64, 32, {}};
+    std::map<std::string, Image> inputs{
+        {"in", Image::synthetic(64, 32, 9)}};
+    Image ref = referenceRun(def, inputs);
+    LaunchResult res = runPipeline(def, HardwareConfig::tiny(), inputs);
+    EXPECT_EQ(ref.maxAbsDiff(res.output), 0.0f);
+}
+
+TEST(E2eGather, LutCombinesWithStencilInOneStage)
+{
+    // Mixed affine + dynamic callees in a single stage.
+    Var x("x"), y("y"), t("t");
+    FuncPtr in = Func::input("in");
+    FuncPtr lut = Func::make("boost", 1);
+    lut->define(t, Expr::castF(t) * 0.01f);
+    lut->computeReplicated();
+    FuncPtr out = Func::make("mix_out");
+    Expr avg = ((*in)(x - 1, y) + (*in)(x + 1, y)) / 2.0f;
+    Expr idx = clamp(Expr::castI((*in)(x, y) * 99.0f), Expr(0),
+                     Expr(99));
+    out->define(x, y, avg + (*lut)(idx));
+    out->computeRoot().ipimTile(8, 8).loadPgsm().vectorize(4);
+    PipelineDef def{"mix", out, 64, 32, {}};
+    std::map<std::string, Image> inputs{
+        {"in", Image::synthetic(64, 32, 10)}};
+    Image ref = referenceRun(def, inputs);
+    LaunchResult res = runPipeline(def, HardwareConfig::tiny(), inputs);
+    EXPECT_EQ(ref.maxAbsDiff(res.output), 0.0f);
+}
+
+TEST(E2eGather, UnclampedDynamicIndexIsRejectedAtCompile)
+{
+    Var x("x"), y("y"), t("t");
+    FuncPtr in = Func::input("in");
+    FuncPtr lut = Func::make("l2", 1);
+    lut->define(t, Expr::castF(t));
+    lut->computeReplicated();
+    FuncPtr out = Func::make("bad_out");
+    out->define(x, y, (*lut)(Expr::castI((*in)(x, y) * 255.0f)));
+    out->computeRoot().ipimTile(8, 8).loadPgsm();
+    EXPECT_THROW(analyzePipeline(PipelineDef{"t", out, 64, 32, {}}),
+                 FatalError);
+}
+
+TEST(E2eStats, RuntimeErrorsSurfaceAsFatal)
+{
+    BenchmarkApp app = makeBenchmark("Blur", 64, 32);
+    CompiledPipeline cp =
+        compilePipeline(app.def, HardwareConfig::tiny());
+    Device dev(HardwareConfig::tiny());
+    Runtime rt(dev, cp);
+    EXPECT_THROW(rt.run(), FatalError); // input never bound
+}
+
+} // namespace
+} // namespace ipim

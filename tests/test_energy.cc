@@ -1,0 +1,113 @@
+/** Tests for the energy and area models (Table III/IV constants). */
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "energy/area_model.h"
+#include "energy/energy_model.h"
+#include "runtime/runtime.h"
+
+namespace ipim {
+namespace {
+
+TEST(Area, ReproducesTableIV)
+{
+    AreaReport rep = computeArea(HardwareConfig::paper());
+    ASSERT_EQ(rep.rows.size(), 6u);
+    auto row = [&](const char *name) -> const AreaRow & {
+        for (const AreaRow &r : rep.rows)
+            if (r.name == name)
+                return r;
+        ADD_FAILURE() << "missing row " << name;
+        static AreaRow dummy;
+        return dummy;
+    };
+    EXPECT_EQ(row("SIMD Unit").count, 64u);
+    EXPECT_NEAR(row("SIMD Unit").areaMm2, 2.26, 0.01);
+    EXPECT_NEAR(row("Int ALU").areaMm2, 0.32, 0.01);
+    EXPECT_NEAR(row("Address Register File").areaMm2, 0.20, 0.01);
+    EXPECT_NEAR(row("Data Register File").areaMm2, 1.79, 0.01);
+    EXPECT_EQ(row("Memory Controller").count, 16u);
+    EXPECT_NEAR(row("Memory Controller").areaMm2, 1.84, 0.01);
+    EXPECT_NEAR(row("PGSM").areaMm2, 3.87, 0.01);
+    EXPECT_NEAR(rep.totalMm2, 10.28, 0.05);
+    EXPECT_NEAR(rep.totalOverheadPct, 10.71, 0.1);
+}
+
+TEST(Area, ControlCoreFitsBaseDieBudget)
+{
+    AreaReport rep = computeArea(HardwareConfig::paper());
+    EXPECT_NEAR(rep.controlCoreMm2, 0.92, 0.01);
+    EXPECT_TRUE(rep.coreFitsBaseDie);
+}
+
+TEST(Area, NaivePerBankCoresAreProhibitive)
+{
+    AreaReport rep = computeArea(HardwareConfig::paper());
+    // Paper: 122.36%, about 10x the decoupled design's overhead.
+    EXPECT_NEAR(rep.naiveOverheadPct, 122.36, 2.0);
+    EXPECT_GT(rep.naiveOverheadPct / rep.totalOverheadPct, 9.0);
+}
+
+TEST(Energy, BucketsArePopulatedByARealRun)
+{
+    // Paper-scale vaults (32 PEs each) so per-broadcast work amortizes
+    // the TSV control energy as in the paper's Fig. 9.
+    HardwareConfig cfg = HardwareConfig::benchCube();
+    BenchmarkApp app = makeBenchmark("Blur", 256, 128);
+    StatsRegistry stats;
+    LaunchResult res =
+        runPipeline(app.def, cfg, app.inputs, {}, &stats);
+    EnergyBreakdown e = computeEnergy(cfg, stats, res.cycles);
+    EXPECT_GT(e.dram, 0.0);
+    EXPECT_GT(e.simdUnit, 0.0);
+    EXPECT_GT(e.addrRf, 0.0);
+    EXPECT_GT(e.dataRf, 0.0);
+    EXPECT_GT(e.pgsm, 0.0);
+    EXPECT_GT(e.others, 0.0);
+    EXPECT_GT(e.total(), 0.0);
+    // Most energy is spent on the PIM dies (paper: 89.17%).
+    EXPECT_GT(e.pimDieFraction(), 0.5);
+}
+
+TEST(Energy, ScalesWithEventCounts)
+{
+    HardwareConfig cfg = HardwareConfig::tiny();
+    StatsRegistry a, b;
+    a.inc("dram.rd", 100);
+    b.inc("dram.rd", 200);
+    EnergyBreakdown ea = computeEnergy(cfg, a, 0);
+    EnergyBreakdown eb = computeEnergy(cfg, b, 0);
+    EXPECT_NEAR(eb.dram, 2 * ea.dram, 1e-15);
+}
+
+TEST(Energy, BackgroundGrowsWithTime)
+{
+    HardwareConfig cfg = HardwareConfig::tiny();
+    StatsRegistry s;
+    EnergyBreakdown e1 = computeEnergy(cfg, s, 1000);
+    EnergyBreakdown e2 = computeEnergy(cfg, s, 2000);
+    EXPECT_NEAR(e2.dram, 2 * e1.dram, 1e-12);
+    EXPECT_NEAR(e2.others, 2 * e1.others, 1e-12);
+}
+
+TEST(Energy, PonbSpendsMoreOnDataMovement)
+{
+    BenchmarkApp app = makeBenchmark("Blur", 96, 48);
+    StatsRegistry nearStats, ponbStats;
+    HardwareConfig nearCfg = HardwareConfig::tiny();
+    HardwareConfig ponbCfg = HardwareConfig::tiny();
+    ponbCfg.processOnBaseDie = true;
+    LaunchResult nearRes =
+        runPipeline(app.def, nearCfg, app.inputs, {}, &nearStats);
+    LaunchResult ponbRes =
+        runPipeline(app.def, ponbCfg, app.inputs, {}, &ponbStats);
+    EXPECT_GT(ponbStats.get("ponb.tsvBeats"), 0.0);
+    EnergyBreakdown eNear =
+        computeEnergy(nearCfg, nearStats, nearRes.cycles);
+    EnergyBreakdown ePonb =
+        computeEnergy(ponbCfg, ponbStats, ponbRes.cycles);
+    EXPECT_GT(ePonb.others, eNear.others); // extra TSV crossings
+}
+
+} // namespace
+} // namespace ipim

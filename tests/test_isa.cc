@@ -1,0 +1,236 @@
+/** Unit tests for the SIMB ISA: semantics, encoding, assembler. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "isa/alu.h"
+#include "isa/assembler.h"
+#include "isa/encoding.h"
+
+namespace ipim {
+namespace {
+
+TEST(Opcodes, CategoriesMatchTableOne)
+{
+    EXPECT_EQ(categoryOf(Opcode::kComp), InstCategory::kComputation);
+    EXPECT_EQ(categoryOf(Opcode::kCalcArf), InstCategory::kIndexCalc);
+    EXPECT_EQ(categoryOf(Opcode::kLdRf), InstCategory::kIntraVaultMove);
+    EXPECT_EQ(categoryOf(Opcode::kRdVsm), InstCategory::kIntraVaultMove);
+    EXPECT_EQ(categoryOf(Opcode::kReq), InstCategory::kInterVaultMove);
+    EXPECT_EQ(categoryOf(Opcode::kCjump), InstCategory::kControlFlow);
+    EXPECT_EQ(categoryOf(Opcode::kSync), InstCategory::kSync);
+}
+
+TEST(Opcodes, BroadcastClassification)
+{
+    EXPECT_TRUE(isBroadcast(Opcode::kComp));
+    EXPECT_TRUE(isBroadcast(Opcode::kLdPgsm));
+    EXPECT_FALSE(isBroadcast(Opcode::kReq));
+    EXPECT_FALSE(isBroadcast(Opcode::kSetiVsm));
+    EXPECT_FALSE(isBroadcast(Opcode::kJump));
+    EXPECT_FALSE(isBroadcast(Opcode::kSync));
+}
+
+TEST(Opcodes, NameRoundTrip)
+{
+    for (int i = 0; i < int(Opcode::kNumOpcodes); ++i) {
+        Opcode op = Opcode(i);
+        Opcode back;
+        ASSERT_TRUE(opcodeFromName(opcodeName(op), back));
+        EXPECT_EQ(back, op);
+    }
+    for (int i = 0; i < int(AluOp::kNumAluOps); ++i) {
+        AluOp op = AluOp(i);
+        AluOp back;
+        ASSERT_TRUE(aluOpFromName(aluOpName(op), back));
+        EXPECT_EQ(back, op);
+    }
+}
+
+TEST(Alu, IntegerSemantics)
+{
+    EXPECT_EQ(aluEvalI32(AluOp::kAdd, 3, 4), 7);
+    EXPECT_EQ(aluEvalI32(AluOp::kSub, 3, 4), -1);
+    EXPECT_EQ(aluEvalI32(AluOp::kMul, -3, 4), -12);
+    EXPECT_EQ(aluEvalI32(AluOp::kDiv, -3, 2), -2); // floor semantics
+    EXPECT_EQ(aluEvalI32(AluOp::kMod, -3, 2), 1);
+    EXPECT_EQ(aluEvalI32(AluOp::kShl, 1, 5), 32);
+    EXPECT_EQ(aluEvalI32(AluOp::kShr, 32, 5), 1);
+    EXPECT_EQ(aluEvalI32(AluOp::kAnd, 0xF0, 0x3C), 0x30);
+    EXPECT_EQ(aluEvalI32(AluOp::kOr, 0xF0, 0x0C), 0xFC);
+    EXPECT_EQ(aluEvalI32(AluOp::kXor, 0xFF, 0x0F), 0xF0);
+    EXPECT_EQ(aluEvalI32(AluOp::kMin, -5, 3), -5);
+    EXPECT_EQ(aluEvalI32(AluOp::kMax, -5, 3), 3);
+    EXPECT_EQ(aluEvalI32(AluOp::kCropMsb, 0x1234, 8), 0x34);
+    EXPECT_EQ(aluEvalI32(AluOp::kCropLsb, 0x1234, 8), 0x1200);
+    EXPECT_THROW(aluEvalI32(AluOp::kDiv, 1, 0), FatalError);
+    EXPECT_THROW(aluEvalI32(AluOp::kMac, 1, 1), FatalError);
+}
+
+TEST(Alu, Fp32Semantics)
+{
+    auto evalF = [](AluOp op, f32 a, f32 b, f32 acc = 0) {
+        return laneAsF32(aluEvalLaneF32(op, f32AsLane(a), f32AsLane(b),
+                                        f32AsLane(acc)));
+    };
+    EXPECT_FLOAT_EQ(evalF(AluOp::kAdd, 1.5f, 2.25f), 3.75f);
+    EXPECT_FLOAT_EQ(evalF(AluOp::kMul, 3.0f, -2.0f), -6.0f);
+    EXPECT_FLOAT_EQ(evalF(AluOp::kDiv, 1.0f, 3.0f), 1.0f / 3.0f);
+    EXPECT_FLOAT_EQ(evalF(AluOp::kMac, 2.0f, 3.0f, 10.0f), 16.0f);
+    EXPECT_FLOAT_EQ(evalF(AluOp::kMin, 1.0f, -1.0f), -1.0f);
+    EXPECT_FLOAT_EQ(evalF(AluOp::kMax, 1.0f, -1.0f), 1.0f);
+}
+
+TEST(Alu, Conversions)
+{
+    u32 r = aluEvalLaneF32(AluOp::kCvtF2I, f32AsLane(-1.5f), 0, 0);
+    EXPECT_EQ(laneAsI32(r), -2); // floor
+    r = aluEvalLaneF32(AluOp::kCvtI2F, i32AsLane(-7), 0, 0);
+    EXPECT_FLOAT_EQ(laneAsF32(r), -7.0f);
+    // Also routed through the INT32 lane path.
+    r = aluEvalLaneI32(AluOp::kCvtF2I, f32AsLane(2.9f), 0, 0);
+    EXPECT_EQ(laneAsI32(r), 2);
+}
+
+TEST(AccessSet, CompReadsSourcesWritesDest)
+{
+    Instruction i = Instruction::comp(AluOp::kAdd, DType::kF32,
+                                      CompMode::kVecVec, 5, 1, 2, 0xF, 1);
+    AccessSet s = i.accessSet();
+    EXPECT_EQ(s.numReads, 2);
+    EXPECT_EQ(s.numWrites, 1);
+    EXPECT_EQ(s.writes[0], (RegRef{RegFile::kDrf, 5}));
+}
+
+TEST(AccessSet, MacAlsoReadsDest)
+{
+    Instruction i = Instruction::comp(AluOp::kMac, DType::kF32,
+                                      CompMode::kVecVec, 5, 1, 2, 0xF, 1);
+    AccessSet s = i.accessSet();
+    EXPECT_EQ(s.numReads, 3);
+}
+
+TEST(AccessSet, IndirectAddressingReadsArf)
+{
+    Instruction i =
+        Instruction::memRf(false, MemOperand::viaArf(9), 3, 1);
+    AccessSet s = i.accessSet();
+    ASSERT_EQ(s.numReads, 1);
+    EXPECT_EQ(s.reads[0], (RegRef{RegFile::kArf, 9}));
+    EXPECT_TRUE(s.readsBank);
+    EXPECT_FALSE(s.writesBank);
+}
+
+TEST(AccessSet, ReqReadsCrfWhenIndirect)
+{
+    Instruction rq =
+        Instruction::req(0, 1, 2, 3, MemOperand::viaArf(4), 128);
+    rq.vsmAddr = MemOperand::viaArf(6);
+    AccessSet s = rq.accessSet();
+    EXPECT_EQ(s.numReads, 2);
+    EXPECT_EQ(s.reads[0].file, RegFile::kCrf);
+    EXPECT_TRUE(s.writesVsm);
+}
+
+/** A corpus of representative instructions for round-trip testing. */
+std::vector<Instruction>
+corpus()
+{
+    std::vector<Instruction> v;
+    v.push_back(Instruction::comp(AluOp::kMac, DType::kI32,
+                                  CompMode::kScalarVec, 63, 0, 7, 0x5,
+                                  0xFFFFFFFF));
+    v.push_back(Instruction::calcArf(AluOp::kMul, 10, 4, 5, 0xF0F0));
+    v.push_back(Instruction::calcArfImm(AluOp::kAdd, 10, 4, -12345, 3));
+    v.push_back(Instruction::memRf(true, MemOperand::direct(0x123450),
+                                   11, 0xFF));
+    v.push_back(Instruction::memRf(false, MemOperand::viaArf(8), 12, 1));
+    v.push_back(Instruction::memPgsmBank(false, MemOperand::viaArf(4),
+                                         MemOperand::direct(64), 0xF));
+    v.push_back(Instruction::pgsmRf(true, MemOperand::direct(128), 9,
+                                    0x3, 8));
+    v.push_back(Instruction::vsmRf(false, MemOperand::viaArf(5), 2, 7));
+    v.push_back(Instruction::movDrfArf(true, 20, 30, 2, 0xF));
+    v.push_back(Instruction::movDrfArf(false, 21, 31, 0, 0xF));
+    v.push_back(Instruction::setiVsm(4096, -7));
+    v.push_back(Instruction::reset(40, 0xFFFF));
+    Instruction rq =
+        Instruction::req(7, 15, 6, 3, MemOperand::direct(0x10000), 512);
+    v.push_back(rq);
+    v.push_back(Instruction::jump(3));
+    v.push_back(Instruction::cjump(4, 5));
+    v.push_back(Instruction::calcCrf(AluOp::kSub, 1, 2, 3));
+    v.push_back(Instruction::calcCrfImm(AluOp::kAdd, 1, 1, -1));
+    v.push_back(Instruction::setiCrf(9, 1 << 20));
+    v.push_back(Instruction::sync(42));
+    v.push_back(Instruction::halt());
+    return v;
+}
+
+class RoundTrip : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(RoundTrip, EncodeDecode)
+{
+    Instruction inst = corpus()[GetParam()];
+    inst.label = -1;
+    Instruction back = decode(encode(inst));
+    EXPECT_EQ(back, inst) << inst.toString();
+}
+
+TEST_P(RoundTrip, AssembleDisassemble)
+{
+    Instruction inst = corpus()[GetParam()];
+    inst.label = -1;
+    Instruction back = parseInstruction(inst.toString());
+    EXPECT_EQ(back, inst) << inst.toString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, RoundTrip,
+                         ::testing::Range<size_t>(0, corpus().size()));
+
+TEST(Encoding, ProgramRoundTrip)
+{
+    std::vector<Instruction> prog = corpus();
+    for (auto &i : prog)
+        i.label = -1;
+    auto bytes = encodeProgram(prog);
+    EXPECT_EQ(bytes.size(), prog.size() * kInstBytes);
+    EXPECT_EQ(decodeProgram(bytes), prog);
+}
+
+TEST(Encoding, RejectsGarbage)
+{
+    EncodedInst e{};
+    e[0] = 0xEE; // invalid opcode byte
+    EXPECT_THROW(decode(e), FatalError);
+    EXPECT_THROW(decodeProgram(std::vector<u8>(kInstBytes + 1)),
+                 FatalError);
+}
+
+TEST(Assembler, ParsesProgramWithComments)
+{
+    auto prog = assemble("; header comment\n"
+                         "seti_crf c0, #5\n"
+                         "\n"
+                         "comp add.f32 vv d1, d2, d3 vm=15 sm=3\n"
+                         "halt\n");
+    ASSERT_EQ(prog.size(), 3u);
+    EXPECT_EQ(prog[0].op, Opcode::kSetiCrf);
+    EXPECT_EQ(prog[1].op, Opcode::kComp);
+    EXPECT_EQ(prog[2].op, Opcode::kHalt);
+}
+
+TEST(Assembler, RejectsSyntaxErrors)
+{
+    EXPECT_THROW(parseInstruction("frobnicate d1, d2"), FatalError);
+    EXPECT_THROW(parseInstruction("comp add.f32 vv d1, a2, d3"),
+                 FatalError);
+    EXPECT_THROW(parseInstruction("comp bogus.f32 vv d1, d2, d3"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace ipim

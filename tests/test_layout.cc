@@ -1,0 +1,145 @@
+/** Property tests for the proportional tiled layout (Fig. 3(a)). */
+#include <gtest/gtest.h>
+
+#include "compiler/layout.h"
+
+namespace ipim {
+namespace {
+
+HardwareConfig
+cfgOf(u32 cubes, u32 vaults, u32 pgs, u32 pes)
+{
+    HardwareConfig cfg = HardwareConfig::tiny();
+    cfg.cubes = cubes;
+    cfg.vaultsPerCube = vaults;
+    cfg.pgsPerVault = pgs;
+    cfg.pesPerPg = pes;
+    cfg.meshCols = vaults >= 4 ? 4 : vaults;
+    return cfg;
+}
+
+struct Geometry
+{
+    u32 cubes, vaults, pgs, pes;
+    int w, h, tx, ty;
+};
+
+class LayoutProperty : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(LayoutProperty, StripInverseConsistency)
+{
+    const Geometry &g = GetParam();
+    HardwareConfig cfg = cfgOf(g.cubes, g.vaults, g.pgs, g.pes);
+    Layout l = Layout::tiled(cfg, {{0, g.w - 1}, {0, g.h - 1}}, g.tx,
+                             g.ty, 0);
+    // Every tile row belongs to exactly the strip whose range covers it.
+    for (i64 tr = 0; tr < l.tilesY(); ++tr) {
+        i64 s = l.stripOfTileRow(tr);
+        EXPECT_LE(l.stripFirstRow(s), tr);
+        if (s + 1 < l.numStrips())
+            EXPECT_GT(l.stripFirstRow(s + 1), tr);
+        // vault/pg decomposition agrees with the strip index.
+        EXPECT_EQ(l.vaultOfTileRow(tr) * cfg.pgsPerVault +
+                      l.pgOfTileRow(tr),
+                  u32(s));
+        EXPECT_GE(l.localTileRow(tr), 0);
+        EXPECT_LT(l.localTileRow(tr), l.tileRowsPerPg());
+    }
+}
+
+TEST_P(LayoutProperty, OwnershipPartitionsAllTileRows)
+{
+    const Geometry &g = GetParam();
+    HardwareConfig cfg = cfgOf(g.cubes, g.vaults, g.pgs, g.pes);
+    Layout l = Layout::tiled(cfg, {{0, g.w - 1}, {0, g.h - 1}}, g.tx,
+                             g.ty, 0);
+    i64 total = 0;
+    for (u32 gv = 0; gv < g.cubes * g.vaults; ++gv) {
+        for (u32 pg = 0; pg < g.pgs; ++pg) {
+            i64 owned = l.tileRowsOwned(gv, pg);
+            total += owned;
+            if (owned > 0) {
+                i64 first = l.firstTileRow(gv, pg);
+                EXPECT_EQ(l.vaultOfTileRow(first), gv);
+                EXPECT_EQ(l.pgOfTileRow(first), pg);
+                EXPECT_EQ(l.localTileRow(first), 0);
+            }
+        }
+    }
+    EXPECT_EQ(total, l.tilesY());
+}
+
+TEST_P(LayoutProperty, HomesAreUniqueAndInRange)
+{
+    const Geometry &g = GetParam();
+    HardwareConfig cfg = cfgOf(g.cubes, g.vaults, g.pgs, g.pes);
+    Layout l = Layout::tiled(cfg, {{-3, g.w - 4}, {-2, g.h - 3}}, g.tx,
+                             g.ty, 128);
+    std::set<std::tuple<u32, u32, u32, u32, u64>> seen;
+    for (i64 y = -2; y < g.h - 2; y += 3) {
+        for (i64 x = -3; x < g.w - 3; x += 5) {
+            PixelHome h = l.homeOf(x, y);
+            EXPECT_LT(h.chip, g.cubes);
+            EXPECT_LT(h.vault, g.vaults);
+            EXPECT_LT(h.pg, g.pgs);
+            EXPECT_LT(h.pe, g.pes);
+            EXPECT_GE(h.addr, 128u);
+            EXPECT_LT(h.addr, 128u + l.bytesPerPe());
+            EXPECT_TRUE(
+                seen.insert({h.chip, h.vault, h.pg, h.pe, h.addr})
+                    .second);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, LayoutProperty,
+    ::testing::Values(Geometry{1, 4, 2, 2, 64, 32, 8, 8},
+                      Geometry{1, 4, 2, 2, 64, 32, 8, 2},
+                      Geometry{1, 16, 8, 4, 256, 200, 8, 4},
+                      Geometry{2, 4, 2, 2, 96, 56, 4, 4},
+                      Geometry{1, 16, 8, 4, 88, 1030, 8, 8},
+                      Geometry{1, 4, 2, 2, 20, 12, 4, 4}));
+
+TEST(LayoutAlignment, ScaledRegionsKeepStripsAligned)
+{
+    // A half-resolution pyramid level's strips must cover the same image
+    // fraction as the full-resolution level (proportional boundaries),
+    // so vertical halo exchange stays within +-1 neighbouring strip.
+    HardwareConfig cfg = cfgOf(1, 16, 8, 4);
+    Layout full = Layout::tiled(cfg, {{0, 511}, {0, 511}}, 8, 4, 0);
+    Layout half = Layout::tiled(cfg, {{0, 255}, {-1, 256}}, 8, 4, 0);
+    for (i64 y = 0; y < 512; y += 16) {
+        u32 vFull = full.homeOf(0, y).vault;
+        u32 vHalf = half.homeOf(0, y / 2).vault;
+        EXPECT_LE(std::abs(int(vFull) - int(vHalf)), 1)
+            << "pyramid strips drifted at y=" << y;
+    }
+}
+
+TEST(LayoutAutoSplit, SplitsOnlyWhileUnderHalfOccupancy)
+{
+    HardwareConfig cfg = cfgOf(1, 16, 8, 4); // 128 strips
+    // Plenty of rows: the requested tile height is kept.
+    Layout big = Layout::tiled(cfg, {{0, 511}, {0, 1023}}, 8, 8, 0);
+    EXPECT_EQ(big.ty(), 8);
+    // Few rows: ty halves until at least half the strips have work.
+    Layout small = Layout::tiled(cfg, {{0, 511}, {0, 127}}, 8, 8, 0);
+    EXPECT_LT(small.ty(), 8);
+    EXPECT_GE(small.tilesY() * 2, 128);
+}
+
+TEST(LayoutReplicated, LinearAddressing)
+{
+    Layout l = Layout::replicated({{0, 9}, {0, 3}}, 256);
+    // Padded width = 12 lanes.
+    EXPECT_EQ(l.linearAddr(0, 0), 0u);
+    EXPECT_EQ(l.linearAddr(4, 0), 16u);
+    EXPECT_EQ(l.linearAddr(0, 1), 48u);
+    EXPECT_EQ(l.bytesPerPe(), 12u * 4 * 4);
+}
+
+} // namespace
+} // namespace ipim

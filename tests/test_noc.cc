@@ -1,0 +1,144 @@
+/** Unit and property tests for the 2D-mesh on-chip network. */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/logging.h"
+#include "noc/mesh.h"
+
+namespace ipim {
+namespace {
+
+Packet
+mkPacket(u32 src, u32 dst, u64 tag)
+{
+    Packet p;
+    p.kind = PacketKind::kReqRead;
+    p.srcVault = src;
+    p.dstVault = dst;
+    p.tag = tag;
+    return p;
+}
+
+TEST(Mesh, SelfDeliveryWorks)
+{
+    StatsRegistry stats;
+    Mesh m(4, 4, &stats);
+    ASSERT_TRUE(m.inject(mkPacket(5, 5, 1)));
+    m.tick();
+    ASSERT_EQ(m.delivered(5).size(), 1u);
+    EXPECT_EQ(m.delivered(5)[0].tag, 1u);
+    m.delivered(5).clear();
+    EXPECT_TRUE(m.idle());
+}
+
+TEST(Mesh, HopLatencyMatchesManhattanDistance)
+{
+    StatsRegistry stats;
+    Mesh m(4, 4, &stats);
+    // Vault 0 is (0,0); vault 15 is (3,3): 6 hops + local ejection.
+    ASSERT_TRUE(m.inject(mkPacket(0, 15, 9)));
+    int ticks = 0;
+    while (m.delivered(15).empty()) {
+        m.tick();
+        ++ticks;
+        ASSERT_LT(ticks, 100);
+    }
+    EXPECT_EQ(ticks, 7);
+}
+
+TEST(Mesh, AllPairsDelivery)
+{
+    StatsRegistry stats;
+    Mesh m(4, 4, &stats);
+    u32 expected = 0;
+    for (u32 s = 0; s < 16; ++s) {
+        for (u32 d = 0; d < 16; ++d) {
+            // Inject with draining ticks so queues never overflow.
+            while (!m.inject(mkPacket(s, d, u64(s) * 100 + d)))
+                m.tick();
+            ++expected;
+        }
+    }
+    u32 got = 0;
+    for (int t = 0; t < 2000 && got < expected; ++t) {
+        m.tick();
+        for (u32 v = 0; v < 16; ++v) {
+            for (const Packet &p : m.delivered(v)) {
+                EXPECT_EQ(p.dstVault, v);
+                ++got;
+            }
+            m.delivered(v).clear();
+        }
+    }
+    EXPECT_EQ(got, expected);
+    EXPECT_TRUE(m.idle());
+}
+
+TEST(Mesh, BackpressureOnFullQueue)
+{
+    StatsRegistry stats;
+    Mesh m(2, 2, &stats, 2);
+    EXPECT_TRUE(m.inject(mkPacket(0, 3, 1)));
+    EXPECT_TRUE(m.inject(mkPacket(0, 3, 2)));
+    EXPECT_FALSE(m.inject(mkPacket(0, 3, 3))); // local queue depth 2
+    EXPECT_GE(stats.get("noc.injectStall"), 1.0);
+}
+
+TEST(Mesh, BadDestinationPanics)
+{
+    StatsRegistry stats;
+    Mesh m(2, 2, &stats);
+    ASSERT_TRUE(m.inject(mkPacket(0, 99, 1)));
+    EXPECT_THROW(m.tick(), PanicError);
+}
+
+/** Property: random traffic is always fully delivered, to the right
+ *  node, exactly once. */
+class MeshRandom : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MeshRandom, RandomTrafficDelivers)
+{
+    StatsRegistry stats;
+    u32 cols = 2 + GetParam() % 3;
+    u32 rows = 2 + (GetParam() / 3) % 3;
+    Mesh m(cols, rows, &stats);
+    std::mt19937 rng(GetParam() * 7919 + 13);
+    u32 n = cols * rows;
+    constexpr int kPackets = 400;
+    std::map<u64, u32> want;
+    int sent = 0;
+    int got = 0;
+    u64 tag = 1;
+    for (int t = 0; t < 40000 && got < kPackets; ++t) {
+        if (sent < kPackets) {
+            Packet p = mkPacket(rng() % n, rng() % n, tag);
+            if (m.inject(p)) {
+                want[tag] = p.dstVault;
+                ++tag;
+                ++sent;
+            }
+        }
+        m.tick();
+        for (u32 v = 0; v < n; ++v) {
+            for (const Packet &p : m.delivered(v)) {
+                auto it = want.find(p.tag);
+                ASSERT_NE(it, want.end()) << "duplicate or bogus packet";
+                EXPECT_EQ(it->second, v);
+                want.erase(it);
+                ++got;
+            }
+            m.delivered(v).clear();
+        }
+    }
+    EXPECT_EQ(got, kPackets);
+    EXPECT_TRUE(want.empty());
+    EXPECT_TRUE(m.idle());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MeshRandom, ::testing::Range(0, 9));
+
+} // namespace
+} // namespace ipim

@@ -1,0 +1,133 @@
+/** Tests for the host runtime (scatter/gather) and the GPU baseline. */
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "baseline/gpu_model.h"
+#include "compiler/reference.h"
+#include "runtime/runtime.h"
+
+namespace ipim {
+namespace {
+
+Var x("x"), y("y");
+
+TEST(Runtime, ScatterGatherRoundTrip)
+{
+    // A trivial copy pipeline: gathering the input layout after scatter
+    // must reproduce the image.
+    FuncPtr in = Func::input("in");
+    FuncPtr out = Func::make("copy");
+    out->define(x, y, (*in)(x, y) * 1.0f);
+    out->computeRoot().ipimTile(8, 8);
+    PipelineDef def{"copy", out, 64, 32, {}};
+    HardwareConfig cfg = HardwareConfig::tiny();
+    CompiledPipeline cp = compilePipeline(def, cfg);
+    Device dev(cfg);
+    Runtime rt(dev, cp);
+    Image img = Image::synthetic(64, 32, 5);
+    rt.scatterImage(cp.layouts->of(in), img);
+    Image back = rt.gather(cp.layouts->of(in), 64, 32);
+    EXPECT_EQ(img.maxAbsDiff(back), 0.0f);
+}
+
+TEST(Runtime, InputRegionsArePaddedWithClampedPixels)
+{
+    // Shift reads in(x-4, y-4); the runtime must pad the negative
+    // region with border-replicated values.
+    BenchmarkApp app = makeBenchmark("Shift", 64, 32);
+    HardwareConfig cfg = HardwareConfig::tiny();
+    CompiledPipeline cp = compilePipeline(app.def, cfg);
+    Device dev(cfg);
+    Runtime rt(dev, cp);
+    const Layout &inL = cp.layouts->of(cp.analysis->stages.front().func);
+    EXPECT_LT(inL.region().x.lo, 0);
+    rt.bindInput("in", app.inputs.at("in"));
+    LaunchResult res = rt.run();
+    // (0,0) output equals clamped in(-4,-4) == in(0,0).
+    EXPECT_EQ(res.output.at(0, 0), app.inputs.at("in").at(0, 0));
+}
+
+TEST(Runtime, KernelCyclesSumToTotal)
+{
+    BenchmarkApp app = makeBenchmark("Interpolate", 64, 32);
+    LaunchResult res =
+        runPipeline(app.def, HardwareConfig::tiny(), app.inputs);
+    EXPECT_EQ(res.kernelCycles.size(), 12u); // 12 root stages
+    Cycle sum = 0;
+    for (Cycle c : res.kernelCycles)
+        sum += c;
+    EXPECT_EQ(sum, res.cycles);
+}
+
+TEST(GpuModel, PipelinesAreBandwidthBound)
+{
+    BenchmarkApp app = makeBenchmark("Blur", 768, 432);
+    PipelineAnalysis pa = analyzePipeline(app.def);
+    GpuRunEstimate est = estimateGpu(pa);
+    // The defining observation of Sec. III: high DRAM utilization, tiny
+    // ALU utilization.
+    EXPECT_GT(est.dramUtilization, 0.3);
+    EXPECT_LT(est.aluUtilization, 0.2);
+    EXPECT_GT(est.seconds, 0.0);
+    EXPECT_GT(est.joules, 0.0);
+}
+
+TEST(GpuModel, IndexCalculationIsALargeAluShare)
+{
+    BenchmarkApp app = makeBenchmark("Shift", 768, 432);
+    GpuRunEstimate est = estimateGpu(analyzePipeline(app.def));
+    EXPECT_GT(est.indexAluShare, 0.4); // paper: 58.71% on average
+}
+
+TEST(GpuModel, HistogramIsAtomicBound)
+{
+    BenchmarkApp app = makeBenchmark("Histogram", 768, 432);
+    GpuRunEstimate est = estimateGpu(analyzePipeline(app.def));
+    ASSERT_EQ(est.stages.size(), 1u);
+    f64 atomicTime = est.stages[0].atomics / GpuModelParams{}.atomicOpsPerSec;
+    EXPECT_GT(atomicTime, 0.5 * est.stages[0].seconds);
+}
+
+TEST(GpuModel, MoreStagesMoreTraffic)
+{
+    GpuRunEstimate one =
+        estimateGpu(analyzePipeline(makeBenchmark("Blur", 256, 128).def));
+    GpuRunEstimate many = estimateGpu(
+        analyzePipeline(makeBenchmark("StencilChain", 256, 128).def));
+    EXPECT_GT(many.bytes, 10 * one.bytes);
+    EXPECT_GT(many.seconds, one.seconds);
+}
+
+TEST(Benchmarks, FactoryCoversTableII)
+{
+    EXPECT_EQ(allBenchmarkNames().size(), 10u);
+    for (const std::string &name : allBenchmarkNames()) {
+        BenchmarkApp app = makeBenchmark(name, 64, 32);
+        EXPECT_EQ(app.name, name);
+        EXPECT_TRUE(app.def.output != nullptr);
+        EXPECT_FALSE(app.inputs.empty());
+    }
+    EXPECT_THROW(makeBenchmark("NotABenchmark", 64, 32), FatalError);
+}
+
+TEST(Benchmarks, MultiStageCountsMatchTableII)
+{
+    // Paper stage counts: Interpolate 12, Local Laplacian 23,
+    // Stencil Chain 32 (root stages in our reproduction).
+    auto countRoots = [](const PipelineDef &def) {
+        PipelineAnalysis pa = analyzePipeline(def);
+        int n = 0;
+        for (const StageInfo &s : pa.stages)
+            if (!s.func->isInput())
+                ++n;
+        return n;
+    };
+    EXPECT_EQ(countRoots(makeBenchmark("Interpolate", 64, 32).def), 12);
+    EXPECT_EQ(countRoots(makeBenchmark("LocalLaplacian", 64, 32).def),
+              23);
+    EXPECT_EQ(countRoots(makeBenchmark("StencilChain", 64, 32).def), 32);
+    EXPECT_EQ(countRoots(makeBenchmark("BilateralGrid", 64, 32).def), 5);
+}
+
+} // namespace
+} // namespace ipim

@@ -1,0 +1,413 @@
+/** Integration tests of the microarchitecture via hand-written SIMB
+ *  programs on a tiny device (4 vaults, 2 PGs x 2 PEs). */
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "sim/device.h"
+#include "sim/hazards.h"
+
+namespace ipim {
+namespace {
+
+/** Program builder helpers for readable tests. */
+struct Prog
+{
+    std::vector<Instruction> v;
+
+    Prog &
+    operator<<(Instruction i)
+    {
+        v.push_back(i);
+        return *this;
+    }
+
+    std::vector<Instruction>
+    done()
+    {
+        v.push_back(Instruction::halt());
+        return v;
+    }
+};
+
+class SimTest : public ::testing::Test
+{
+  protected:
+    SimTest() : cfg(HardwareConfig::tiny()), dev(cfg) {}
+
+    /** Load @p prog on vault (0,0) and `halt` everywhere else. */
+    void
+    loadOnVault0(const std::vector<Instruction> &prog)
+    {
+        std::vector<std::vector<Instruction>> all(
+            dev.totalVaults(), {Instruction::halt()});
+        all[0] = prog;
+        dev.loadPrograms(all);
+    }
+
+    /** Materialize a float constant into DRF reg via the VSM. */
+    void
+    emitConst(Prog &p, u32 vsmOff, f32 value, u16 drf, u32 mask)
+    {
+        for (int l = 0; l < kSimdLanes; ++l)
+            p << Instruction::setiVsm(vsmOff + 4 * l,
+                                      i32(f32AsLane(value)));
+        p << Instruction::vsmRf(true, MemOperand::direct(vsmOff), drf,
+                                mask);
+    }
+
+    u32
+    fullMask() const
+    {
+        return (1u << cfg.pesPerVault()) - 1;
+    }
+
+    HardwareConfig cfg;
+    Device dev;
+};
+
+TEST_F(SimTest, CompArithmeticLanewise)
+{
+    Prog p;
+    emitConst(p, 0, 1.5f, 1, fullMask());
+    emitConst(p, 16, 2.25f, 2, fullMask());
+    p << Instruction::comp(AluOp::kAdd, DType::kF32, CompMode::kVecVec,
+                           3, 1, 2, kFullVecMask, fullMask());
+    p << Instruction::comp(AluOp::kMul, DType::kF32, CompMode::kVecVec,
+                           4, 3, 2, 0x5, fullMask()); // lanes 0 and 2
+    loadOnVault0(p.done());
+    dev.run();
+    ProcessEngine &pe = dev.vault(0, 0).pg(0).pe(0);
+    EXPECT_FLOAT_EQ(laneAsF32(pe.drf(3).lanes[0]), 3.75f);
+    EXPECT_FLOAT_EQ(laneAsF32(pe.drf(4).lanes[0]), 3.75f * 2.25f);
+    EXPECT_EQ(pe.drf(4).lanes[1], 0u); // masked lane untouched
+}
+
+TEST_F(SimTest, RawHazardSerializesDependentComps)
+{
+    Prog p;
+    emitConst(p, 0, 1.0f, 1, fullMask());
+    // d2 = d1 + d1; d3 = d2 + d2; d4 = d3 + d3 -> 8.0 iff ordered.
+    p << Instruction::comp(AluOp::kAdd, DType::kF32, CompMode::kVecVec,
+                           2, 1, 1, kFullVecMask, fullMask());
+    p << Instruction::comp(AluOp::kAdd, DType::kF32, CompMode::kVecVec,
+                           3, 2, 2, kFullVecMask, fullMask());
+    p << Instruction::comp(AluOp::kAdd, DType::kF32, CompMode::kVecVec,
+                           4, 3, 3, kFullVecMask, fullMask());
+    loadOnVault0(p.done());
+    dev.run();
+    EXPECT_FLOAT_EQ(
+        laneAsF32(dev.vault(0, 0).pg(1).pe(1).drf(4).lanes[3]), 8.0f);
+    EXPECT_GE(dev.stats().get("core.hazardStall"), 1.0);
+}
+
+TEST_F(SimTest, IdentityRegistersAndIndirectStore)
+{
+    // Each PE stores its peID-dependent value at an A0-derived address
+    // of its own bank: addr = A0 * 16.
+    Prog p;
+    p << Instruction::calcArfImm(AluOp::kMul, 8, kArfPeId, 16,
+                                 fullMask());
+    p << Instruction::movDrfArf(false, kArfPeId, 10, 0, fullMask());
+    p << Instruction::memRf(true, MemOperand::viaArf(8), 10, fullMask());
+    loadOnVault0(p.done());
+    dev.run();
+    for (u32 pe = 0; pe < cfg.pesPerPg; ++pe) {
+        VecWord v = dev.bank(0, 0, 1, pe).readVec(pe * 16);
+        EXPECT_EQ(v.lanes[0], pe);
+    }
+}
+
+TEST_F(SimTest, CrfLoopIteratesExactly)
+{
+    // Loop 10 times incrementing d1 by 1.0 (const in d2).
+    constexpr int kIters = 10;
+    Prog p;
+    emitConst(p, 0, 1.0f, 2, fullMask());
+    p << Instruction::reset(1, fullMask());
+    p << Instruction::setiCrf(0, kIters);
+    Instruction target = Instruction::setiCrf(1, i32(p.v.size() + 1));
+    p << target; // head of loop is the next instruction
+    p << Instruction::comp(AluOp::kAdd, DType::kF32, CompMode::kVecVec,
+                           1, 1, 2, kFullVecMask, fullMask());
+    p << Instruction::calcCrfImm(AluOp::kAdd, 0, 0, -1);
+    p << Instruction::cjump(0, 1);
+    loadOnVault0(p.done());
+    dev.run();
+    EXPECT_FLOAT_EQ(
+        laneAsF32(dev.vault(0, 0).pg(0).pe(0).drf(1).lanes[0]),
+        f32(kIters));
+    EXPECT_GE(dev.stats().get("core.taken"), kIters - 1);
+}
+
+TEST_F(SimTest, PgsmSharedBetweenPesOfAPg)
+{
+    // PE0 writes its DRF to PGSM; PE1 reads it back.
+    u32 mPe0 = 0x1 | (0x1 << cfg.pesPerPg); // PE0 of both PGs
+    u32 mPe1 = 0x2 | (0x2 << cfg.pesPerPg);
+    Prog p;
+    emitConst(p, 0, 7.5f, 1, mPe0);
+    p << Instruction::pgsmRf(false, MemOperand::direct(64), 1, mPe0);
+    p << Instruction::pgsmRf(true, MemOperand::direct(64), 2, mPe1);
+    loadOnVault0(p.done());
+    dev.run();
+    EXPECT_FLOAT_EQ(
+        laneAsF32(dev.vault(0, 0).pg(0).pe(1).drf(2).lanes[0]), 7.5f);
+    EXPECT_FLOAT_EQ(
+        laneAsF32(dev.vault(0, 0).pg(1).pe(1).drf(2).lanes[0]), 7.5f);
+}
+
+TEST_F(SimTest, StridedPgsmReadGathersLanes)
+{
+    Prog p;
+    // Write 0,1,2,3,4,5,6,7 as ints at PGSM[0..32) via two vector writes.
+    for (int i = 0; i < 8; ++i)
+        p << Instruction::setiVsm(u32(i) * 4, i);
+    p << Instruction::vsmRf(true, MemOperand::direct(0), 1, 1);
+    p << Instruction::vsmRf(true, MemOperand::direct(16), 2, 1);
+    p << Instruction::pgsmRf(false, MemOperand::direct(0), 1, 1);
+    p << Instruction::pgsmRf(false, MemOperand::direct(16), 2, 1);
+    // Stride-8 read gathers lanes 0,2,4,6.
+    p << Instruction::pgsmRf(true, MemOperand::direct(0), 3, 1, 8);
+    loadOnVault0(p.done());
+    dev.run();
+    const VecWord &v = dev.vault(0, 0).pg(0).pe(0).drf(3);
+    EXPECT_EQ(laneAsI32(v.lanes[0]), 0);
+    EXPECT_EQ(laneAsI32(v.lanes[1]), 2);
+    EXPECT_EQ(laneAsI32(v.lanes[2]), 4);
+    EXPECT_EQ(laneAsI32(v.lanes[3]), 6);
+}
+
+TEST_F(SimTest, MovLaneSelection)
+{
+    Prog p;
+    for (int i = 0; i < 4; ++i)
+        p << Instruction::setiVsm(u32(i) * 4, 100 + i);
+    p << Instruction::vsmRf(true, MemOperand::direct(0), 1, fullMask());
+    p << Instruction::movDrfArf(true, 9, 1, 2, fullMask()); // lane 2
+    p << Instruction::movDrfArf(false, 9, 2, 1, fullMask());
+    loadOnVault0(p.done());
+    dev.run();
+    ProcessEngine &pe = dev.vault(0, 0).pg(0).pe(0);
+    EXPECT_EQ(pe.arf(9), 102u);
+    EXPECT_EQ(laneAsI32(pe.drf(2).lanes[1]), 102);
+}
+
+TEST_F(SimTest, BankLoadStoreRoundTrip)
+{
+    dev.bank(0, 0, 0, 0).writeVec(128, VecWord::splatI32(77));
+    Prog p;
+    p << Instruction::memRf(false, MemOperand::direct(128), 1,
+                            fullMask());
+    p << Instruction::memRf(true, MemOperand::direct(256), 1,
+                            fullMask());
+    loadOnVault0(p.done());
+    dev.run();
+    EXPECT_EQ(dev.bank(0, 0, 0, 0).readVec(256),
+              VecWord::splatI32(77));
+    // Other PEs loaded zeros from their own banks.
+    EXPECT_EQ(dev.bank(0, 0, 0, 1).readVec(256), VecWord{});
+}
+
+TEST_F(SimTest, SyncBarrierAcrossVaults)
+{
+    Prog p;
+    p << Instruction::sync(1);
+    dev.loadProgramAll(p.done());
+    EXPECT_NO_THROW(dev.run());
+    EXPECT_EQ(dev.stats().get("inst.sync"), f64(dev.totalVaults()));
+}
+
+TEST_F(SimTest, MismatchedSyncDeadlocksIntoWatchdog)
+{
+    std::vector<std::vector<Instruction>> progs(
+        dev.totalVaults(), Prog{{Instruction::sync(1)}}.done());
+    progs[2] = {Instruction::halt()}; // vault 2 never arrives
+    dev.loadPrograms(progs);
+    EXPECT_THROW(dev.run(20000), FatalError);
+}
+
+TEST_F(SimTest, InfiniteLoopHitsWatchdog)
+{
+    Prog p;
+    p << Instruction::setiCrf(0, 1);
+    p << Instruction::jump(0); // pc=1 jumps to itself
+    loadOnVault0(p.done());
+    EXPECT_THROW(dev.run(5000), FatalError);
+}
+
+TEST_F(SimTest, RemoteReadViaReq)
+{
+    // Vault 1's PE (pg1, pe0) bank holds data; vault 0 pulls it into its
+    // VSM with a req and then loads it into a DRF register.
+    dev.bank(0, 1, 1, 0).writeVec(512, VecWord::splatF32(3.5f));
+    Prog p;
+    p << Instruction::req(0, 1, 1, 0, MemOperand::direct(512), 1024);
+    p << Instruction::vsmRf(true, MemOperand::direct(1024), 5,
+                            fullMask());
+    loadOnVault0(p.done());
+    dev.run();
+    EXPECT_FLOAT_EQ(
+        laneAsF32(dev.vault(0, 0).pg(0).pe(0).drf(5).lanes[0]), 3.5f);
+    EXPECT_GE(dev.stats().get("inst.inter_vault"), 1.0);
+    EXPECT_GE(dev.stats().get("noc.delivered"), 2.0); // req + response
+}
+
+TEST_F(SimTest, ProgramValidationRejectsBadPrograms)
+{
+    // Missing halt.
+    EXPECT_THROW(dev.vault(0, 0).loadProgram(
+                     {Instruction::reset(0, fullMask())}),
+                 FatalError);
+    // Register out of range.
+    Prog p1;
+    p1 << Instruction::comp(AluOp::kAdd, DType::kF32, CompMode::kVecVec,
+                            200, 1, 2, kFullVecMask, fullMask());
+    EXPECT_THROW(dev.vault(0, 0).loadProgram(p1.done()), FatalError);
+    // Empty simb mask.
+    Prog p2;
+    p2 << Instruction::reset(0, 0);
+    EXPECT_THROW(dev.vault(0, 0).loadProgram(p2.done()), FatalError);
+    // simb mask beyond the vault's PEs.
+    Prog p3;
+    p3 << Instruction::reset(0, 0xFFFFFFFF);
+    EXPECT_THROW(dev.vault(0, 0).loadProgram(p3.done()), FatalError);
+}
+
+TEST_F(SimTest, RetireCountMatchesIssueCount)
+{
+    Prog p;
+    emitConst(p, 0, 1.0f, 1, fullMask());
+    for (int i = 0; i < 10; ++i)
+        p << Instruction::comp(AluOp::kAdd, DType::kF32,
+                               CompMode::kVecVec, u16(2 + i % 4), 1, 1,
+                               kFullVecMask, fullMask());
+    loadOnVault0(p.done());
+    dev.run();
+    // Broadcast instructions all entered and left the IIQ.
+    EXPECT_EQ(dev.stats().get("core.retired"), 11.0); // rd_vsm + 10 comps
+}
+
+TEST_F(SimTest, PonbSerializesBankTrafficOverTsv)
+{
+    HardwareConfig pcfg = HardwareConfig::tiny();
+    pcfg.processOnBaseDie = true;
+    Device pdev(pcfg);
+    Prog p;
+    for (int i = 0; i < 8; ++i)
+        p << Instruction::memRf(false, MemOperand::direct(u32(i) * 16),
+                                u16(i % 8), fullMask());
+    auto prog = p.done();
+
+    loadOnVault0(prog);
+    Cycle base = dev.run();
+
+    std::vector<std::vector<Instruction>> all(
+        pdev.totalVaults(), {Instruction::halt()});
+    all[0] = prog;
+    pdev.loadPrograms(all);
+    Cycle ponb = pdev.run();
+
+    EXPECT_GT(ponb, base); // TSV serialization costs cycles
+    EXPECT_GE(pdev.stats().get("ponb.tsvBeats"), 8.0);
+}
+
+TEST_F(SimTest, BaseDisplacementAddressing)
+{
+    // st_rf dram[a8 + 32] stores relative to the base register.
+    Prog p;
+    p << Instruction::calcArfImm(AluOp::kMul, 8, kArfPeId, 64,
+                                 fullMask());
+    p << Instruction::movDrfArf(false, kArfPeId, 3, 0, fullMask());
+    Instruction st = Instruction::memRf(
+        true, MemOperand::basePlus(8, 32), 3, fullMask());
+    p << st;
+    loadOnVault0(p.done());
+    dev.run();
+    for (u32 pe = 0; pe < cfg.pesPerPg; ++pe) {
+        VecWord v = dev.bank(0, 0, 0, pe).readVec(pe * 64 + 32);
+        EXPECT_EQ(v.lanes[0], pe);
+    }
+}
+
+TEST_F(SimTest, AntiDependenceClearsAtOperandCapture)
+{
+    // st_rf reads d1 at start; a younger write to d1 (WAR) must not
+    // wait for the store's DRAM completion.  The final bank content is
+    // the OLD value; d1 ends with the new one.
+    Prog p;
+    emitConst(p, 0, 5.0f, 1, fullMask());
+    p << Instruction::memRf(true, MemOperand::direct(512), 1,
+                            fullMask());
+    emitConst(p, 16, 9.0f, 1, fullMask()); // WAR on d1
+    loadOnVault0(p.done());
+    dev.run();
+    EXPECT_FLOAT_EQ(
+        laneAsF32(dev.bank(0, 0, 0, 0).readVec(512).lanes[0]), 5.0f);
+    EXPECT_FLOAT_EQ(
+        laneAsF32(dev.vault(0, 0).pg(0).pe(0).drf(1).lanes[0]), 9.0f);
+}
+
+TEST_F(SimTest, OutputDependenceOnLoadWaitsForCompletion)
+{
+    // ld_rf writes d2 at completion; a younger reset of d2 (WAW) must
+    // wait, otherwise the load would clobber the newer value.
+    dev.bank(0, 0, 0, 0).writeVec(128, VecWord::splatI32(111));
+    Prog p;
+    p << Instruction::memRf(false, MemOperand::direct(128), 2,
+                            fullMask());
+    p << Instruction::reset(2, fullMask());
+    loadOnVault0(p.done());
+    dev.run();
+    EXPECT_EQ(dev.vault(0, 0).pg(0).pe(0).drf(2), VecWord{});
+}
+
+TEST_F(SimTest, ScratchBankHintAllowsOverlap)
+{
+    // A PGSM write hinted to bank A does not block a read hinted to
+    // bank B at issue, but an unhinted read conflicts with both.
+    Instruction wrA = Instruction::pgsmRf(false, MemOperand::direct(0),
+                                          1, fullMask());
+    wrA.scratchBank = 1;
+    Instruction rdB = Instruction::pgsmRf(
+        true, MemOperand::direct(4096), 2, fullMask());
+    rdB.scratchBank = 2;
+    Instruction rdAny = Instruction::pgsmRf(
+        true, MemOperand::direct(64), 3, fullMask());
+    EXPECT_FALSE(
+        scratchpadConflict(wrA.accessSet(), rdB.accessSet()));
+    EXPECT_TRUE(
+        scratchpadConflict(wrA.accessSet(), rdAny.accessSet()));
+}
+
+TEST_F(SimTest, TsvBusSerializesVsmTraffic)
+{
+    // Many simultaneous rd_vsm across PEs share one 128b TSV beat per
+    // cycle per vault.
+    Prog p;
+    p << Instruction::setiVsm(0, 7);
+    for (int i = 0; i < 8; ++i)
+        p << Instruction::vsmRf(true, MemOperand::direct(0),
+                                u16(1 + i), fullMask());
+    loadOnVault0(p.done());
+    dev.run();
+    // 8 reads x 4 PEs = 32 beats minimum on the TSV.
+    EXPECT_GE(dev.stats().get("tsv.beats"), 32.0);
+}
+
+TEST_F(SimTest, RefreshHappensDuringLongRuns)
+{
+    // Spin a loop long enough to cross tREFI.
+    Prog p;
+    p << Instruction::setiCrf(0, i32(cfg.timing.tREFI / 4));
+    Instruction target = Instruction::setiCrf(1, i32(p.v.size() + 1));
+    p << target;
+    p << Instruction::calcCrfImm(AluOp::kAdd, 0, 0, -1);
+    p << Instruction::calcCrfImm(AluOp::kAdd, 2, 2, 1);
+    p << Instruction::cjump(0, 1);
+    loadOnVault0(p.done());
+    dev.run();
+    EXPECT_GE(dev.stats().get("dram.ref"), 1.0);
+}
+
+} // namespace
+} // namespace ipim

@@ -1,0 +1,229 @@
+/**
+ * ipim — command-line driver for the iPIM simulator.
+ *
+ * Compile and run any Table II benchmark (or list them), on any device
+ * geometry, with any compiler-optimization setting, and report cycles,
+ * throughput, instruction mix, DRAM behaviour, energy, and (optionally)
+ * the disassembled kernels.
+ *
+ * Examples:
+ *   ipim --list
+ *   ipim --bench Blur --width 384 --height 216
+ *   ipim --bench Histogram --ponb --sched fcfs --page close
+ *   ipim --bench Shift --opts baseline1 --verify
+ *   ipim --bench Brighten --dump-asm | less
+ *   ipim --bench Blur --vaults 4 --pgs 2 --pes 2   # scaled-down device
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/benchmarks.h"
+#include "baseline/gpu_model.h"
+#include "compiler/reference.h"
+#include "energy/energy_model.h"
+#include "isa/assembler.h"
+#include "runtime/runtime.h"
+
+using namespace ipim;
+
+namespace {
+
+struct Options
+{
+    std::string bench = "Blur";
+    int width = 256;
+    int height = 128;
+    u32 cubes = 1;
+    u32 vaults = 16;
+    u32 pgs = 8;
+    u32 pes = 4;
+    bool ponb = false;
+    std::string sched = "frfcfs";
+    std::string page = "open";
+    std::string opts = "opt";
+    bool verify = false;
+    bool dumpAsm = false;
+    bool list = false;
+    bool gpu = false;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: ipim [--list] [--bench NAME] [--width N] [--height N]\n"
+        "            [--cubes N] [--vaults N] [--pgs N] [--pes N]\n"
+        "            [--ponb] [--sched frfcfs|fcfs] [--page open|close]\n"
+        "            [--opts opt|baseline1..baseline4] [--verify]\n"
+        "            [--gpu] [--dump-asm]\n");
+}
+
+CompilerOptions
+parseOpts(const std::string &name)
+{
+    if (name == "opt")
+        return CompilerOptions::opt();
+    if (name == "baseline1")
+        return CompilerOptions::baseline1();
+    if (name == "baseline2")
+        return CompilerOptions::baseline2();
+    if (name == "baseline3")
+        return CompilerOptions::baseline3();
+    if (name == "baseline4")
+        return CompilerOptions::baseline4();
+    fatal("unknown --opts value '", name, "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value after ", a);
+            return argv[++i];
+        };
+        if (a == "--list")
+            o.list = true;
+        else if (a == "--bench")
+            o.bench = next();
+        else if (a == "--width")
+            o.width = std::stoi(next());
+        else if (a == "--height")
+            o.height = std::stoi(next());
+        else if (a == "--cubes")
+            o.cubes = u32(std::stoul(next()));
+        else if (a == "--vaults")
+            o.vaults = u32(std::stoul(next()));
+        else if (a == "--pgs")
+            o.pgs = u32(std::stoul(next()));
+        else if (a == "--pes")
+            o.pes = u32(std::stoul(next()));
+        else if (a == "--ponb")
+            o.ponb = true;
+        else if (a == "--sched")
+            o.sched = next();
+        else if (a == "--page")
+            o.page = next();
+        else if (a == "--opts")
+            o.opts = next();
+        else if (a == "--verify")
+            o.verify = true;
+        else if (a == "--gpu")
+            o.gpu = true;
+        else if (a == "--dump-asm")
+            o.dumpAsm = true;
+        else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown option ", a);
+        }
+    }
+
+    try {
+        if (o.list) {
+            for (const std::string &n : allBenchmarkNames())
+                std::printf("%s\n", n.c_str());
+            return 0;
+        }
+
+        HardwareConfig cfg;
+        cfg.cubes = o.cubes;
+        cfg.vaultsPerCube = o.vaults;
+        cfg.pgsPerVault = o.pgs;
+        cfg.pesPerPg = o.pes;
+        cfg.meshCols = o.vaults >= 4 ? 4 : o.vaults;
+        cfg.processOnBaseDie = o.ponb;
+        cfg.schedPolicy = o.sched == "fcfs" ? SchedPolicy::kFcfs
+                                            : SchedPolicy::kFrFcfs;
+        cfg.pagePolicy = o.page == "close" ? PagePolicy::kClosePage
+                                           : PagePolicy::kOpenPage;
+        cfg.validate();
+
+        BenchmarkApp app = makeBenchmark(o.bench, o.width, o.height);
+        CompilerOptions copts = parseOpts(o.opts);
+        CompiledPipeline cp = compilePipeline(app.def, cfg, copts);
+
+        std::printf("bench %s %dx%d | device %ux%ux%ux%u%s | opts %s\n",
+                    o.bench.c_str(), o.width, o.height, cfg.cubes,
+                    cfg.vaultsPerCube, cfg.pgsPerVault, cfg.pesPerPg,
+                    o.ponb ? " (PonB)" : "", o.opts.c_str());
+        std::printf("compiled %zu kernels, %llu static instructions\n",
+                    cp.kernels.size(),
+                    (unsigned long long)cp.totalInstructions());
+
+        if (o.dumpAsm) {
+            for (const CompiledKernel &k : cp.kernels) {
+                std::printf("; ================ kernel %s (vault 0) "
+                            "================\n",
+                            k.stage.c_str());
+                std::printf("%s", disassemble(k.perVault[0]).c_str());
+            }
+            return 0;
+        }
+
+        Device dev(cfg);
+        Runtime rt(dev, cp);
+        for (const auto &[name, img] : app.inputs)
+            rt.bindInput(name, img);
+        LaunchResult res = rt.run();
+
+        f64 px = f64(o.width) * o.height;
+        std::printf("cycles: %llu (%.3f ms) | %.1f Mpx/s\n",
+                    (unsigned long long)res.cycles,
+                    f64(res.cycles) * 1e-6,
+                    px / (f64(res.cycles) * 1e-9) / 1e6);
+        for (size_t k = 0; k < res.kernelCycles.size(); ++k)
+            std::printf("  kernel %-18s %10llu cycles\n",
+                        cp.kernels[k].stage.c_str(),
+                        (unsigned long long)res.kernelCycles[k]);
+
+        const StatsRegistry &s = dev.stats();
+        f64 issued = s.get("core.issued");
+        std::printf("issued %.0f | IPC/vault %.3f | mix: comp %.1f%% "
+                    "idx %.1f%% intra %.1f%% inter %.2f%% ctrl %.1f%%\n",
+                    issued, issued / s.get("core.cycles"),
+                    100 * s.get("inst.computation") / issued,
+                    100 * s.get("inst.index_calc") / issued,
+                    100 * s.get("inst.intra_vault") / issued,
+                    100 * s.get("inst.inter_vault") / issued,
+                    100 * s.get("inst.control_flow") / issued);
+        std::printf("DRAM: rd %.0f wr %.0f act %.0f ref %.0f | row hits "
+                    "%.1f%%\n",
+                    s.get("dram.rd"), s.get("dram.wr"), s.get("dram.act"),
+                    s.get("dram.ref"),
+                    100 * s.get("dram.rowHit") /
+                        std::max(1.0, s.get("dram.rowHit") +
+                                          s.get("dram.rowMiss")));
+        EnergyBreakdown e = computeEnergy(cfg, s, res.cycles);
+        std::printf("energy: %.4f mJ (%s)\n", e.total() * 1e3,
+                    e.toString().c_str());
+
+        if (o.gpu) {
+            GpuRunEstimate gpu = estimateGpu(analyzePipeline(app.def));
+            std::printf("GPU model: %.3f ms, %.3f mJ -> speedup %.2fx "
+                        "(this device, unscaled)\n",
+                        gpu.seconds * 1e3, gpu.joules * 1e3,
+                        gpu.seconds / (f64(res.cycles) * 1e-9));
+        }
+
+        if (o.verify) {
+            Image ref = referenceRun(app.def, app.inputs);
+            f32 diff = ref.maxAbsDiff(res.output);
+            std::printf("verify: max|diff| = %g -> %s\n", diff,
+                        diff == 0.0f ? "BIT-EXACT" : "MISMATCH");
+            return diff == 0.0f ? 0 : 2;
+        }
+        return 0;
+    } catch (const std::exception &ex) {
+        std::fprintf(stderr, "error: %s\n", ex.what());
+        return 1;
+    }
+}
