@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dram_policy.dir/ablation_dram_policy.cc.o"
+  "CMakeFiles/ablation_dram_policy.dir/ablation_dram_policy.cc.o.d"
+  "ablation_dram_policy"
+  "ablation_dram_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dram_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_gpu_profiling.dir/fig01_gpu_profiling.cc.o"
+  "CMakeFiles/fig01_gpu_profiling.dir/fig01_gpu_profiling.cc.o.d"
+  "fig01_gpu_profiling"
+  "fig01_gpu_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_gpu_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_energy.dir/fig07_energy.cc.o"
+  "CMakeFiles/fig07_energy.dir/fig07_energy.cc.o.d"
+  "fig07_energy"
+  "fig07_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_ponb.dir/fig08_ponb.cc.o"
+  "CMakeFiles/fig08_ponb.dir/fig08_ponb.cc.o.d"
+  "fig08_ponb"
+  "fig08_ponb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_ponb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

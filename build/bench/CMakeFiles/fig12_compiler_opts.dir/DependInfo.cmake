@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_compiler_opts.cc" "bench/CMakeFiles/fig12_compiler_opts.dir/fig12_compiler_opts.cc.o" "gcc" "bench/CMakeFiles/fig12_compiler_opts.dir/fig12_compiler_opts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ipim_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ipim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ipim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ipim_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/ipim_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ipim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ipim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ipim_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ipim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ipim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ipim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

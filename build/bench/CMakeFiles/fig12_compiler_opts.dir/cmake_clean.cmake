@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_compiler_opts.dir/fig12_compiler_opts.cc.o"
+  "CMakeFiles/fig12_compiler_opts.dir/fig12_compiler_opts.cc.o.d"
+  "fig12_compiler_opts"
+  "fig12_compiler_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_compiler_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

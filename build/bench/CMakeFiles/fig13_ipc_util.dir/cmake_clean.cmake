@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_ipc_util.dir/fig13_ipc_util.cc.o"
+  "CMakeFiles/fig13_ipc_util.dir/fig13_ipc_util.cc.o.d"
+  "fig13_ipc_util"
+  "fig13_ipc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ipc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipim_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/ipim_bench_common.dir/bench_common.cc.o.d"
+  "libipim_bench_common.a"
+  "libipim_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipim_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

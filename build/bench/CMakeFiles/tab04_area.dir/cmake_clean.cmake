@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_area.dir/tab04_area.cc.o"
+  "CMakeFiles/tab04_area.dir/tab04_area.cc.o.d"
+  "tab04_area"
+  "tab04_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

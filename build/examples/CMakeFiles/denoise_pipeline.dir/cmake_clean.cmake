@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denoise_pipeline.dir/denoise_pipeline.cpp.o"
+  "CMakeFiles/denoise_pipeline.dir/denoise_pipeline.cpp.o.d"
+  "denoise_pipeline"
+  "denoise_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denoise_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyramid_tonemap.dir/pyramid_tonemap.cpp.o"
+  "CMakeFiles/pyramid_tonemap.dir/pyramid_tonemap.cpp.o.d"
+  "pyramid_tonemap"
+  "pyramid_tonemap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyramid_tonemap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

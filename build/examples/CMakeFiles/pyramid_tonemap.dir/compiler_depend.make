@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pyramid_tonemap.
+# This may be replaced when dependencies are built.

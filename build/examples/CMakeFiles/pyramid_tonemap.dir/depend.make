@@ -1,0 +1,2 @@
+# Empty dependencies file for pyramid_tonemap.
+# This may be replaced when dependencies are built.

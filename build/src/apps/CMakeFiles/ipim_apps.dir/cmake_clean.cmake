@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipim_apps.dir/benchmarks.cc.o"
+  "CMakeFiles/ipim_apps.dir/benchmarks.cc.o.d"
+  "libipim_apps.a"
+  "libipim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

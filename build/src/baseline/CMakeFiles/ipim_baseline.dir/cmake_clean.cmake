@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipim_baseline.dir/gpu_model.cc.o"
+  "CMakeFiles/ipim_baseline.dir/gpu_model.cc.o.d"
+  "libipim_baseline.a"
+  "libipim_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipim_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libipim_baseline.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipim_common.dir/config.cc.o"
+  "CMakeFiles/ipim_common.dir/config.cc.o.d"
+  "CMakeFiles/ipim_common.dir/image.cc.o"
+  "CMakeFiles/ipim_common.dir/image.cc.o.d"
+  "CMakeFiles/ipim_common.dir/stats.cc.o"
+  "CMakeFiles/ipim_common.dir/stats.cc.o.d"
+  "libipim_common.a"
+  "libipim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

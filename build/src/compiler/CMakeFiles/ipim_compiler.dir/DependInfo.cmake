@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/analysis.cc" "src/compiler/CMakeFiles/ipim_compiler.dir/analysis.cc.o" "gcc" "src/compiler/CMakeFiles/ipim_compiler.dir/analysis.cc.o.d"
+  "/root/repo/src/compiler/builder.cc" "src/compiler/CMakeFiles/ipim_compiler.dir/builder.cc.o" "gcc" "src/compiler/CMakeFiles/ipim_compiler.dir/builder.cc.o.d"
+  "/root/repo/src/compiler/codegen.cc" "src/compiler/CMakeFiles/ipim_compiler.dir/codegen.cc.o" "gcc" "src/compiler/CMakeFiles/ipim_compiler.dir/codegen.cc.o.d"
+  "/root/repo/src/compiler/expr.cc" "src/compiler/CMakeFiles/ipim_compiler.dir/expr.cc.o" "gcc" "src/compiler/CMakeFiles/ipim_compiler.dir/expr.cc.o.d"
+  "/root/repo/src/compiler/func.cc" "src/compiler/CMakeFiles/ipim_compiler.dir/func.cc.o" "gcc" "src/compiler/CMakeFiles/ipim_compiler.dir/func.cc.o.d"
+  "/root/repo/src/compiler/layout.cc" "src/compiler/CMakeFiles/ipim_compiler.dir/layout.cc.o" "gcc" "src/compiler/CMakeFiles/ipim_compiler.dir/layout.cc.o.d"
+  "/root/repo/src/compiler/passes.cc" "src/compiler/CMakeFiles/ipim_compiler.dir/passes.cc.o" "gcc" "src/compiler/CMakeFiles/ipim_compiler.dir/passes.cc.o.d"
+  "/root/repo/src/compiler/reference.cc" "src/compiler/CMakeFiles/ipim_compiler.dir/reference.cc.o" "gcc" "src/compiler/CMakeFiles/ipim_compiler.dir/reference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ipim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ipim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ipim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ipim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ipim_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipim_compiler.dir/analysis.cc.o"
+  "CMakeFiles/ipim_compiler.dir/analysis.cc.o.d"
+  "CMakeFiles/ipim_compiler.dir/builder.cc.o"
+  "CMakeFiles/ipim_compiler.dir/builder.cc.o.d"
+  "CMakeFiles/ipim_compiler.dir/codegen.cc.o"
+  "CMakeFiles/ipim_compiler.dir/codegen.cc.o.d"
+  "CMakeFiles/ipim_compiler.dir/expr.cc.o"
+  "CMakeFiles/ipim_compiler.dir/expr.cc.o.d"
+  "CMakeFiles/ipim_compiler.dir/func.cc.o"
+  "CMakeFiles/ipim_compiler.dir/func.cc.o.d"
+  "CMakeFiles/ipim_compiler.dir/layout.cc.o"
+  "CMakeFiles/ipim_compiler.dir/layout.cc.o.d"
+  "CMakeFiles/ipim_compiler.dir/passes.cc.o"
+  "CMakeFiles/ipim_compiler.dir/passes.cc.o.d"
+  "CMakeFiles/ipim_compiler.dir/reference.cc.o"
+  "CMakeFiles/ipim_compiler.dir/reference.cc.o.d"
+  "libipim_compiler.a"
+  "libipim_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipim_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipim_dram.dir/bank.cc.o"
+  "CMakeFiles/ipim_dram.dir/bank.cc.o.d"
+  "CMakeFiles/ipim_dram.dir/memory_controller.cc.o"
+  "CMakeFiles/ipim_dram.dir/memory_controller.cc.o.d"
+  "libipim_dram.a"
+  "libipim_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipim_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipim_energy.dir/area_model.cc.o"
+  "CMakeFiles/ipim_energy.dir/area_model.cc.o.d"
+  "CMakeFiles/ipim_energy.dir/energy_model.cc.o"
+  "CMakeFiles/ipim_energy.dir/energy_model.cc.o.d"
+  "libipim_energy.a"
+  "libipim_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipim_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

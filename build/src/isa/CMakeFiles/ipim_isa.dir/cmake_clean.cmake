@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipim_isa.dir/alu.cc.o"
+  "CMakeFiles/ipim_isa.dir/alu.cc.o.d"
+  "CMakeFiles/ipim_isa.dir/assembler.cc.o"
+  "CMakeFiles/ipim_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/ipim_isa.dir/encoding.cc.o"
+  "CMakeFiles/ipim_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/ipim_isa.dir/instruction.cc.o"
+  "CMakeFiles/ipim_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/ipim_isa.dir/opcodes.cc.o"
+  "CMakeFiles/ipim_isa.dir/opcodes.cc.o.d"
+  "libipim_isa.a"
+  "libipim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipim_noc.dir/mesh.cc.o"
+  "CMakeFiles/ipim_noc.dir/mesh.cc.o.d"
+  "libipim_noc.a"
+  "libipim_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipim_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

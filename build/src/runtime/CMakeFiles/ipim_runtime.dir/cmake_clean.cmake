@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipim_runtime.dir/runtime.cc.o"
+  "CMakeFiles/ipim_runtime.dir/runtime.cc.o.d"
+  "libipim_runtime.a"
+  "libipim_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipim_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

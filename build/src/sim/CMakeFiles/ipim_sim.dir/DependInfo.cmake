@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cube.cc" "src/sim/CMakeFiles/ipim_sim.dir/cube.cc.o" "gcc" "src/sim/CMakeFiles/ipim_sim.dir/cube.cc.o.d"
+  "/root/repo/src/sim/device.cc" "src/sim/CMakeFiles/ipim_sim.dir/device.cc.o" "gcc" "src/sim/CMakeFiles/ipim_sim.dir/device.cc.o.d"
+  "/root/repo/src/sim/hazards.cc" "src/sim/CMakeFiles/ipim_sim.dir/hazards.cc.o" "gcc" "src/sim/CMakeFiles/ipim_sim.dir/hazards.cc.o.d"
+  "/root/repo/src/sim/pe.cc" "src/sim/CMakeFiles/ipim_sim.dir/pe.cc.o" "gcc" "src/sim/CMakeFiles/ipim_sim.dir/pe.cc.o.d"
+  "/root/repo/src/sim/process_group.cc" "src/sim/CMakeFiles/ipim_sim.dir/process_group.cc.o" "gcc" "src/sim/CMakeFiles/ipim_sim.dir/process_group.cc.o.d"
+  "/root/repo/src/sim/vault.cc" "src/sim/CMakeFiles/ipim_sim.dir/vault.cc.o" "gcc" "src/sim/CMakeFiles/ipim_sim.dir/vault.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ipim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ipim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ipim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ipim_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

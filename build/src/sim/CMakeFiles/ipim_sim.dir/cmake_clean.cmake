@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipim_sim.dir/cube.cc.o"
+  "CMakeFiles/ipim_sim.dir/cube.cc.o.d"
+  "CMakeFiles/ipim_sim.dir/device.cc.o"
+  "CMakeFiles/ipim_sim.dir/device.cc.o.d"
+  "CMakeFiles/ipim_sim.dir/hazards.cc.o"
+  "CMakeFiles/ipim_sim.dir/hazards.cc.o.d"
+  "CMakeFiles/ipim_sim.dir/pe.cc.o"
+  "CMakeFiles/ipim_sim.dir/pe.cc.o.d"
+  "CMakeFiles/ipim_sim.dir/process_group.cc.o"
+  "CMakeFiles/ipim_sim.dir/process_group.cc.o.d"
+  "CMakeFiles/ipim_sim.dir/vault.cc.o"
+  "CMakeFiles/ipim_sim.dir/vault.cc.o.d"
+  "libipim_sim.a"
+  "libipim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_dram[1]_include.cmake")
+include("/root/repo/build/tests/test_noc[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_compiler[1]_include.cmake")
+include("/root/repo/build/tests/test_backend[1]_include.cmake")
+include("/root/repo/build/tests/test_e2e[1]_include.cmake")
+include("/root/repo/build/tests/test_energy[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipim.dir/ipim_cli.cc.o"
+  "CMakeFiles/ipim.dir/ipim_cli.cc.o.d"
+  "ipim"
+  "ipim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
