@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "compiler/codegen_internal.h"
+#include "verify/verifier.h"
 
 namespace ipim {
 
@@ -1731,6 +1732,18 @@ compilePipeline(const PipelineDef &def, const HardwareConfig &cfg,
             kern.backend.instructions += bs.instructions;
         }
         out.kernels.push_back(std::move(kern));
+    }
+
+    // Opt-in compile-time gate: refuse to hand the simulator a program
+    // the static verifier rejects (Sec. IV-B's issue logic assumes
+    // well-formed programs; malformed ones hang or corrupt silently).
+    if (opts.verify) {
+        for (const CompiledKernel &k : out.kernels) {
+            VerifyReport rep = verifyDevice(cfg, k.perVault);
+            if (!rep.pass())
+                fatal("kernel '", k.stage, "' failed verification (",
+                      rep.errorCount(), " errors):\n", rep.toString());
+        }
     }
     return out;
 }

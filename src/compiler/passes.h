@@ -27,6 +27,18 @@ struct CompilerOptions
     bool reorder = true;     ///< instruction reordering
     bool memOrder = true;    ///< memory-order enforcement edges
 
+    /// Run the static verifier (src/verify) over every compiled kernel
+    /// and reject programs with errors before they reach the simulator.
+    bool verify = false;
+
+    CompilerOptions
+    withVerify() const
+    {
+        CompilerOptions o = *this;
+        o.verify = true;
+        return o;
+    }
+
     static CompilerOptions
     opt()
     {

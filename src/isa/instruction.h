@@ -13,6 +13,7 @@
 
 #include <string>
 
+#include "common/logging.h"
 #include "isa/opcodes.h"
 
 namespace ipim {
@@ -82,12 +83,17 @@ struct AccessSet
     void
     addRead(RegFile f, u16 i)
     {
+        if (numReads >= kMaxReads)
+            panic("AccessSet: more than ", kMaxReads, " register reads");
         reads[numReads++] = {f, i};
     }
 
     void
     addWrite(RegFile f, u16 i)
     {
+        if (numWrites >= kMaxWrites)
+            panic("AccessSet: more than ", kMaxWrites,
+                  " register writes");
         writes[numWrites++] = {f, i};
     }
 };

@@ -1,6 +1,7 @@
 #include "runtime/runtime.h"
 
 #include "common/logging.h"
+#include "verify/verifier.h"
 
 namespace ipim {
 
@@ -79,6 +80,16 @@ Runtime::run()
 
     LaunchResult res;
     for (const CompiledKernel &k : pipe_.kernels) {
+        // Launch-time gate (opt-in via CompilerOptions::verify): a
+        // CompiledPipeline can be assembled or patched by hand, so the
+        // runtime re-checks right before upload, not just at compile.
+        if (pipe_.options.verify) {
+            VerifyReport rep = verifyDevice(dev_.cfg(), k.perVault);
+            if (!rep.pass())
+                fatal("kernel '", k.stage,
+                      "' rejected before simulation (",
+                      rep.errorCount(), " errors):\n", rep.toString());
+        }
         dev_.loadPrograms(k.perVault);
         Cycle c = dev_.run();
         res.kernelCycles.push_back(c);

@@ -1,0 +1,98 @@
+#include "verify/diagnostics.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ipim {
+
+const char *
+ruleName(Rule r)
+{
+    switch (r) {
+      case Rule::kRegBounds: return "reg-bounds";
+      case Rule::kMemBounds: return "mem-bounds";
+      case Rule::kPgsmStride: return "pgsm-stride";
+      case Rule::kScratchBank: return "scratch-bank";
+      case Rule::kSimbMask: return "simb-mask";
+      case Rule::kVecMask: return "vec-mask";
+      case Rule::kUnresolvedLabel: return "unresolved-label";
+      case Rule::kBranchTarget: return "branch-target";
+      case Rule::kHalt: return "halt";
+      case Rule::kSyncPhase: return "sync-phase";
+      case Rule::kReadBeforeWrite: return "read-before-write";
+      case Rule::kDeadWrite: return "dead-write";
+      case Rule::kEncoding: return "encoding";
+      default: panic("ruleName: bad rule ", int(r));
+    }
+}
+
+std::string
+ruleId(Rule r)
+{
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "V%02d", int(r) + 1);
+    return std::string(buf) + "-" + ruleName(r);
+}
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::kNote: return "note";
+      case Severity::kWarning: return "warning";
+      case Severity::kError: return "error";
+      default: panic("severityName: bad severity ", int(s));
+    }
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::ostringstream os;
+    os << severityName(severity) << "[" << ruleId(rule) << "]";
+    if (vault >= 0)
+        os << " vault " << vault;
+    if (index >= 0)
+        os << " inst " << index;
+    os << ": " << message;
+    return os.str();
+}
+
+void
+VerifyReport::merge(const VerifyReport &other)
+{
+    diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
+size_t
+VerifyReport::errorCount() const
+{
+    size_t n = 0;
+    for (const Diagnostic &d : diags_)
+        if (d.severity == Severity::kError)
+            ++n;
+    return n;
+}
+
+size_t
+VerifyReport::warningCount() const
+{
+    size_t n = 0;
+    for (const Diagnostic &d : diags_)
+        if (d.severity == Severity::kWarning)
+            ++n;
+    return n;
+}
+
+std::string
+VerifyReport::toString() const
+{
+    std::ostringstream os;
+    for (const Diagnostic &d : diags_)
+        os << d.toString() << "\n";
+    return os.str();
+}
+
+} // namespace ipim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Structured diagnostics for the SIMB static verifier.
+ *
+ * Every finding carries a stable rule id (documented in DESIGN.md Sec. 14
+ * with its paper justification), a severity, and the instruction it
+ * anchors to, so that callers — the `ipim verify` subcommand, the
+ * compile-time hook, tests — can filter, count, and render findings
+ * uniformly instead of parsing free-form fatal() strings.
+ */
+#ifndef IPIM_VERIFY_DIAGNOSTICS_H_
+#define IPIM_VERIFY_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ipim {
+
+/** Severity of one verifier finding. */
+enum class Severity : u8 {
+    kNote,    ///< explanatory follow-up to another diagnostic
+    kWarning, ///< suspicious but executable (lints)
+    kError,   ///< the program is malformed; simulation is refused
+};
+
+/**
+ * Stable verifier rule identifiers.  The numeric part of the printed id
+ * ("V01".."V13") is the enum value + 1 and must never be reordered —
+ * suppressions and docs reference it.
+ */
+enum class Rule : u8 {
+    kRegBounds,       ///< V01 register-file index out of range
+    kMemBounds,       ///< V02 direct bank/PGSM/VSM address out of range
+    kPgsmStride,      ///< V03 rd/wr_pgsm lane stride zero or misaligned
+    kScratchBank,     ///< V04 scratchBank hint contradicts address range
+    kSimbMask,        ///< V05 empty or out-of-range simb_mask
+    kVecMask,         ///< V06 bad vec_mask / mov lane selector
+    kUnresolvedLabel, ///< V07 label survived program finalization
+    kBranchTarget,    ///< V08 jump/cjump target bad or uninitialized
+    kHalt,            ///< V09 missing/unreachable halt, unreachable code
+    kSyncPhase,       ///< V10 cross-vault sync phase mismatch
+    kReadBeforeWrite, ///< V11 DRF/ARF/CRF read with no prior write
+    kDeadWrite,       ///< V12 register write overwritten before any read
+    kEncoding,        ///< V13 encode/decode round-trip mismatch
+
+    kNumRules,
+};
+
+/** "V01-reg-bounds" style stable identifier. */
+std::string ruleId(Rule r);
+
+/** Short kebab-case rule name without the number. */
+const char *ruleName(Rule r);
+
+const char *severityName(Severity s);
+
+/** One verifier finding. */
+struct Diagnostic
+{
+    Severity severity = Severity::kError;
+    Rule rule = Rule::kRegBounds;
+    /// Global vault index the program belongs to; -1 when the caller
+    /// verified a single program without device context.
+    int vault = -1;
+    /// Instruction index inside the vault program; -1 for program-level
+    /// findings (e.g. "program must end with halt").
+    int index = -1;
+    std::string message;
+
+    /** "error[V01-reg-bounds] vault 3 inst 17: ..." rendering. */
+    std::string toString() const;
+};
+
+/** An ordered collection of findings plus counting helpers. */
+class VerifyReport
+{
+  public:
+    void add(Diagnostic d) { diags_.push_back(std::move(d)); }
+
+    /** Append every finding of @p other (device-level aggregation). */
+    void merge(const VerifyReport &other);
+
+    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+    bool empty() const { return diags_.empty(); }
+
+    size_t errorCount() const;
+    size_t warningCount() const;
+
+    /** True when the program may be simulated. */
+    bool
+    pass(bool warningsAsErrors = false) const
+    {
+        return errorCount() == 0 &&
+               (!warningsAsErrors || warningCount() == 0);
+    }
+
+    /** All findings, one per line. */
+    std::string toString() const;
+
+  private:
+    std::vector<Diagnostic> diags_;
+};
+
+} // namespace ipim
+
+#endif // IPIM_VERIFY_DIAGNOSTICS_H_

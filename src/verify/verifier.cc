@@ -1,0 +1,731 @@
+#include "verify/verifier.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+#include "isa/encoding.h"
+
+namespace ipim {
+
+namespace {
+
+/// AddrRF entries 0..3 are the reserved identity registers (PE/PG/vault/
+/// chip id, see IdentityArf in sim/pe.h); the hardware initializes them
+/// at reset, so dataflow passes treat them as always-written.
+constexpr u16 kIdentityArfs = 4;
+
+/** Shared state of one program's verification run. */
+struct Ctx
+{
+    const HardwareConfig &cfg;
+    const std::vector<Instruction> &prog;
+    const VerifierOptions &opts;
+    int vault;
+    VerifyReport &rep;
+
+    /// valid[i]: opcode/aluOp bytes are inside the ISA; instructions
+    /// failing this are reported once and skipped by every other pass.
+    std::vector<bool> valid;
+    std::vector<AccessSet> access; ///< access sets of valid instructions
+
+    /// [begin, end] index ranges covered by a statically known backward
+    /// branch; dataflow lints are conservative inside them.
+    std::vector<std::pair<size_t, size_t>> loopSpans;
+
+    u32
+    validSimbMask() const
+    {
+        u32 pes = cfg.pesPerVault();
+        return pes >= 32 ? 0xFFFFFFFFu : ((1u << pes) - 1);
+    }
+
+    void
+    diag(Severity sev, Rule rule, int index, std::string msg)
+    {
+        if (!opts.isEnabled(rule))
+            return;
+        rep.add({sev, rule, vault, index, std::move(msg)});
+    }
+
+    void
+    error(Rule rule, int index, const std::string &msg)
+    {
+        diag(Severity::kError, rule, index, msg);
+    }
+
+    void
+    warning(Rule rule, int index, const std::string &msg)
+    {
+        diag(Severity::kWarning, rule, index, msg);
+    }
+
+    bool
+    inLoop(size_t idx) const
+    {
+        for (const auto &[b, e] : loopSpans)
+            if (idx >= b && idx <= e)
+                return true;
+        return false;
+    }
+};
+
+std::string
+str(const char *fmtless)
+{
+    return fmtless;
+}
+
+template <typename... Args>
+std::string
+cat(const Args &...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+// ======================= opcode validity ==========================
+
+void
+checkOpcodes(Ctx &c)
+{
+    c.valid.assign(c.prog.size(), true);
+    c.access.resize(c.prog.size());
+    for (size_t i = 0; i < c.prog.size(); ++i) {
+        const Instruction &inst = c.prog[i];
+        if (u8(inst.op) >= u8(Opcode::kNumOpcodes)) {
+            c.error(Rule::kEncoding, int(i),
+                    cat("opcode byte ", int(u8(inst.op)),
+                        " is outside the ISA"));
+            c.valid[i] = false;
+            continue;
+        }
+        if (u8(inst.aluOp) >= u8(AluOp::kNumAluOps)) {
+            c.error(Rule::kEncoding, int(i),
+                    cat("alu-op byte ", int(u8(inst.aluOp)),
+                        " is outside the ISA: ", opcodeName(inst.op)));
+            c.valid[i] = false;
+            continue;
+        }
+        c.access[i] = inst.accessSet();
+    }
+}
+
+// ===================== V01 register bounds ========================
+
+u32
+regFileLimit(const HardwareConfig &cfg, RegFile f)
+{
+    switch (f) {
+      case RegFile::kDrf: return cfg.dataRfEntries();
+      case RegFile::kArf: return cfg.addrRfEntries();
+      case RegFile::kCrf: return cfg.ctrlRfEntries;
+      default: panic("regFileLimit: bad file ", int(f));
+    }
+}
+
+const char *
+regFileName(RegFile f)
+{
+    switch (f) {
+      case RegFile::kDrf: return "DRF";
+      case RegFile::kArf: return "ARF";
+      case RegFile::kCrf: return "CRF";
+      default: panic("regFileName: bad file ", int(f));
+    }
+}
+
+void
+checkRegisterBounds(Ctx &c)
+{
+    for (size_t i = 0; i < c.prog.size(); ++i) {
+        if (!c.valid[i])
+            continue;
+        const AccessSet &acc = c.access[i];
+        auto check = [&](const RegRef &ref, const char *dir) {
+            u32 limit = regFileLimit(c.cfg, ref.file);
+            if (ref.idx >= limit)
+                c.error(Rule::kRegBounds, int(i),
+                        cat(dir, " ", regFileName(ref.file), " index ",
+                            ref.idx, " >= file size ", limit, ": ",
+                            c.prog[i].toString()));
+        };
+        for (u8 r = 0; r < acc.numReads; ++r)
+            check(acc.reads[r], "read of");
+        for (u8 w = 0; w < acc.numWrites; ++w)
+            check(acc.writes[w], "write of");
+    }
+}
+
+// ====================== V02 memory bounds =========================
+
+void
+checkDirectRange(Ctx &c, size_t i, const MemOperand &m, u64 span,
+                 u64 capacity, const char *what)
+{
+    if (m.indirect)
+        return; // per-PE AddrRF value; checkable only at issue time
+    if (u64(m.value) + span > capacity)
+        c.error(Rule::kMemBounds, int(i),
+                cat(what, " byte offset ", m.value, " + ", span,
+                    " exceeds capacity ", capacity, ": ",
+                    c.prog[i].toString()));
+    else if (m.value % 4 != 0)
+        c.warning(Rule::kMemBounds, int(i),
+                  cat(what, " byte offset ", m.value,
+                      " is not 32b-lane aligned: ",
+                      c.prog[i].toString()));
+}
+
+void
+checkMemoryBounds(Ctx &c)
+{
+    const HardwareConfig &cfg = c.cfg;
+    for (size_t i = 0; i < c.prog.size(); ++i) {
+        if (!c.valid[i])
+            continue;
+        const Instruction &inst = c.prog[i];
+        u64 pgsmSpan = u64(kSimdLanes - 1) * inst.pgsmStride + 4;
+        switch (inst.op) {
+          case Opcode::kStRf:
+          case Opcode::kLdRf:
+            checkDirectRange(c, i, inst.dramAddr, kVectorBytes,
+                             cfg.bankBytes, "bank");
+            break;
+          case Opcode::kStPgsm:
+          case Opcode::kLdPgsm:
+            checkDirectRange(c, i, inst.dramAddr, kVectorBytes,
+                             cfg.bankBytes, "bank");
+            checkDirectRange(c, i, inst.pgsmAddr, kVectorBytes,
+                             cfg.pgsmBytes, "PGSM");
+            break;
+          case Opcode::kRdPgsm:
+          case Opcode::kWrPgsm:
+            checkDirectRange(c, i, inst.pgsmAddr, pgsmSpan,
+                             cfg.pgsmBytes, "PGSM");
+            break;
+          case Opcode::kRdVsm:
+          case Opcode::kWrVsm:
+            checkDirectRange(c, i, inst.vsmAddr, kVectorBytes,
+                             cfg.vsmBytes, "VSM");
+            break;
+          case Opcode::kSetiVsm:
+            if (inst.vsmAddr.indirect)
+                c.error(Rule::kMemBounds, int(i),
+                        cat("seti_vsm requires a direct VSM address: ",
+                            inst.toString()));
+            else
+                checkDirectRange(c, i, inst.vsmAddr, 4, cfg.vsmBytes,
+                                 "VSM");
+            break;
+          case Opcode::kReq: {
+            checkDirectRange(c, i, inst.dramAddr, kVectorBytes,
+                             cfg.bankBytes, "remote bank");
+            checkDirectRange(c, i, inst.vsmAddr, kVectorBytes,
+                             cfg.vsmBytes, "VSM staging");
+            auto route = [&](u32 v, u32 limit, const char *unit) {
+                if (v >= limit)
+                    c.error(Rule::kMemBounds, int(i),
+                            cat("req routes to ", unit, " ", v,
+                                " but the device has ", limit, ": ",
+                                inst.toString()));
+            };
+            route(inst.dstChip, cfg.cubes, "chip");
+            route(inst.dstVault, cfg.vaultsPerCube, "vault");
+            route(inst.dstPg, cfg.pgsPerVault, "PG");
+            route(inst.dstPe, cfg.pesPerPg, "PE");
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+// =================== V03 PGSM stride, V04 hints ===================
+
+void
+checkPgsmStride(Ctx &c)
+{
+    for (size_t i = 0; i < c.prog.size(); ++i) {
+        if (!c.valid[i])
+            continue;
+        const Instruction &inst = c.prog[i];
+        if (inst.op != Opcode::kRdPgsm && inst.op != Opcode::kWrPgsm)
+            continue;
+        if (inst.pgsmStride == 0) {
+            // rd_pgsm with stride 0 is the compiler's splat-read idiom
+            // (broadcast one 32b word to all lanes) and is fine; the
+            // write direction would make four lanes race on one word.
+            if (inst.op == Opcode::kWrPgsm)
+                c.error(Rule::kPgsmStride, int(i),
+                        cat("wr_pgsm with stride 0 writes all four "
+                            "lanes to the same bytes: ",
+                            inst.toString()));
+        } else if (inst.pgsmStride % 4 != 0) {
+            c.warning(Rule::kPgsmStride, int(i),
+                      cat("PGSM lane stride ", inst.pgsmStride,
+                          " is not a multiple of the 4-byte lane: ",
+                          inst.toString()));
+        }
+    }
+}
+
+/**
+ * The scratchBank hint tells the issue-time interlock that accesses
+ * tagged with different non-zero hints touch disjoint PGSM regions
+ * (compiler-managed double buffering).  If the statically known address
+ * ranges of hint 1 and hint 2 overlap, the interlock would let a real
+ * read-write hazard through — report the lie, not the race.
+ */
+void
+checkScratchBankHints(Ctx &c)
+{
+    using Range = std::pair<u64, u64>; // [lo, hi)
+    std::set<Range> ranges[2];
+    for (size_t i = 0; i < c.prog.size(); ++i) {
+        if (!c.valid[i])
+            continue;
+        const Instruction &inst = c.prog[i];
+        if (!accessesPgsm(inst.op))
+            continue;
+        if (inst.scratchBank > 2) {
+            c.error(Rule::kScratchBank, int(i),
+                    cat("scratchBank hint ", int(inst.scratchBank),
+                        " is not in {0,1,2}: ", inst.toString()));
+            continue;
+        }
+        if (inst.scratchBank == 0 || inst.pgsmAddr.indirect)
+            continue;
+        u64 span = inst.op == Opcode::kRdPgsm ||
+                           inst.op == Opcode::kWrPgsm
+                       ? u64(kSimdLanes - 1) * inst.pgsmStride + 4
+                       : u64(kVectorBytes);
+        Range r{inst.pgsmAddr.value, u64(inst.pgsmAddr.value) + span};
+        int side = inst.scratchBank - 1;
+        ranges[side].insert(r);
+        for (const Range &other : ranges[1 - side]) {
+            if (r.first < other.second && other.first < r.second) {
+                c.error(Rule::kScratchBank, int(i),
+                        cat("scratchBank hint ", int(inst.scratchBank),
+                            " touches PGSM bytes [", r.first, ", ",
+                            r.second, ") which overlap hint ",
+                            2 - side, " bytes [", other.first, ", ",
+                            other.second, "): ", inst.toString()));
+                break;
+            }
+        }
+    }
+}
+
+// ==================== V05/V06 execution masks =====================
+
+void
+checkMasks(Ctx &c)
+{
+    for (size_t i = 0; i < c.prog.size(); ++i) {
+        if (!c.valid[i])
+            continue;
+        const Instruction &inst = c.prog[i];
+        if (isBroadcast(inst.op)) {
+            if (inst.simbMask == 0)
+                c.error(Rule::kSimbMask, int(i),
+                        cat("broadcast with empty simb_mask is a no-op "
+                            "the hardware refuses: ",
+                            inst.toString()));
+            else if (inst.simbMask & ~c.validSimbMask())
+                c.error(Rule::kSimbMask, int(i),
+                        cat("simb_mask 0x", std::hex, inst.simbMask,
+                            std::dec, " names PEs beyond the ",
+                            c.cfg.pesPerVault(), " configured: ",
+                            inst.toString()));
+        }
+        bool laneSelect = inst.op == Opcode::kMovDrfToArf ||
+                          inst.op == Opcode::kMovArfToDrf;
+        if (laneSelect) {
+            if (std::popcount(u32(inst.vecMask & kFullVecMask)) != 1 ||
+                (inst.vecMask & ~kFullVecMask))
+                c.error(Rule::kVecMask, int(i),
+                        cat("mov lane selector must have exactly one of "
+                            "the ", kSimdLanes, " lane bits set: ",
+                            inst.toString()));
+        } else if (inst.op == Opcode::kComp) {
+            if (inst.vecMask & ~kFullVecMask)
+                c.error(Rule::kVecMask, int(i),
+                        cat("vec_mask has bits beyond the ", kSimdLanes,
+                            " SIMD lanes: ", inst.toString()));
+            else if (inst.vecMask == 0)
+                c.warning(Rule::kVecMask, int(i),
+                          cat("comp with empty vec_mask is a no-op: ",
+                              inst.toString()));
+        }
+    }
+}
+
+// ================ V07/V08/V09 control-flow checks =================
+
+/**
+ * The defining write a branch-target CRF register holds at a branch:
+ * the last seti_crf/calc_crf to it in program order before the branch.
+ * Physical CRF registers are reused after coloring (a register can hold
+ * a branch target in one live range and a data constant in another), so
+ * only the reaching definition may be judged, not every write.
+ */
+struct ReachingDef
+{
+    int index = -1;       ///< defining instruction, -1 = none
+    bool dynamic = false; ///< calc_crf: value not statically known
+    i32 value = 0;        ///< seti_crf immediate
+};
+
+ReachingDef
+reachingCrfDef(const Ctx &c, size_t branch, u16 reg)
+{
+    for (size_t j = branch; j-- > 0;) {
+        if (!c.valid[j])
+            continue;
+        const Instruction &inst = c.prog[j];
+        if (inst.op == Opcode::kSetiCrf && inst.dst == reg)
+            return {int(j), false, inst.imm};
+        if (inst.op == Opcode::kCalcCrf && inst.dst == reg)
+            return {int(j), true, 0};
+    }
+    return {};
+}
+
+void
+checkControlFlow(Ctx &c)
+{
+    if (c.prog.empty()) {
+        c.error(Rule::kHalt, -1, str("program is empty"));
+        return;
+    }
+    if (c.prog.back().op != Opcode::kHalt)
+        c.error(Rule::kHalt, int(c.prog.size()) - 1,
+                str("program must end with halt"));
+
+    // V07: finalization must have resolved every label into an
+    // instruction-index immediate (passes.cc clears `label` doing so).
+    for (size_t i = 0; i < c.prog.size(); ++i) {
+        if (c.valid[i] && c.prog[i].label >= 0)
+            c.error(Rule::kUnresolvedLabel, int(i),
+                    cat("branch label L", c.prog[i].label,
+                        " was never resolved to an instruction index: ",
+                        c.prog[i].toString()));
+    }
+
+    // V08: every branch-target register must have a reaching definition,
+    // and a statically known one must land inside the program.  The
+    // known edges also feed loop-span detection (for the dataflow
+    // lints) and the halt-reachability walk below.
+    bool dynamicJump = false;
+    std::vector<std::vector<size_t>> succs(c.prog.size());
+    for (size_t i = 0; i < c.prog.size(); ++i) {
+        if (!c.valid[i])
+            continue;
+        const Instruction &inst = c.prog[i];
+        bool fallsThrough = true;
+        if (inst.op == Opcode::kJump || inst.op == Opcode::kCjump) {
+            fallsThrough = inst.op == Opcode::kCjump;
+            ReachingDef def = reachingCrfDef(c, i, inst.dst);
+            if (def.index < 0) {
+                c.error(Rule::kBranchTarget, int(i),
+                        cat("branch target register c", inst.dst,
+                            " has no seti_crf/calc_crf before it (the "
+                            "core would jump to the reset value 0): ",
+                            inst.toString()));
+            } else if (def.dynamic) {
+                dynamicJump = true;
+            } else if (def.value < 0 ||
+                       u32(def.value) >= c.prog.size()) {
+                c.error(Rule::kBranchTarget, int(i),
+                        cat("branch target ", def.value, " (set at inst ",
+                            def.index, ") lands outside the ",
+                            c.prog.size(), "-instruction program: ",
+                            inst.toString()));
+            } else {
+                size_t tgt = size_t(def.value);
+                succs[i].push_back(tgt);
+                if (tgt <= i)
+                    c.loopSpans.push_back({tgt, i});
+            }
+        } else if (inst.op == Opcode::kHalt) {
+            fallsThrough = false;
+        }
+        if (fallsThrough && i + 1 < c.prog.size())
+            succs[i].push_back(i + 1);
+    }
+
+    // V09: some halt must be reachable from entry; with a dynamic jump
+    // target reachability is unknowable statically, so stay quiet.
+    if (dynamicJump)
+        return;
+    std::vector<bool> seen(c.prog.size(), false);
+    std::vector<size_t> stack{0};
+    bool haltReachable = false;
+    while (!stack.empty()) {
+        size_t i = stack.back();
+        stack.pop_back();
+        if (seen[i])
+            continue;
+        seen[i] = true;
+        if (c.valid[i] && c.prog[i].op == Opcode::kHalt)
+            haltReachable = true;
+        for (size_t s : succs[i])
+            stack.push_back(s);
+    }
+    if (!haltReachable)
+        c.error(Rule::kHalt, -1,
+                str("no halt is reachable from the program entry"));
+    int unreachable = 0;
+    for (size_t i = 0; i < c.prog.size(); ++i) {
+        if (seen[i] || !c.valid[i])
+            continue;
+        if (++unreachable <= 3)
+            c.warning(Rule::kHalt, int(i),
+                      cat("instruction is unreachable from entry: ",
+                          c.prog[i].toString()));
+    }
+    if (unreachable > 3)
+        c.warning(Rule::kHalt, -1,
+                  cat(unreachable - 3,
+                      " further unreachable instructions"));
+}
+
+// ================== V11/V12 dataflow lints ========================
+
+/**
+ * calc_arf/calc_crf `xor r, s, s` / `sub r, s, s` produce zero whatever
+ * s holds — the compiler's zero-register idiom.  Their source reads are
+ * not value-carrying and must not trip the read-before-write lint.
+ */
+bool
+isZeroIdiom(const Instruction &inst)
+{
+    return (inst.op == Opcode::kCalcArf ||
+            inst.op == Opcode::kCalcCrf) &&
+           (inst.aluOp == AluOp::kXor || inst.aluOp == AluOp::kSub) &&
+           !inst.srcImm && inst.src1 == inst.src2;
+}
+
+void
+checkDataflow(Ctx &c)
+{
+    struct RegState
+    {
+        u32 writtenPes = 0; ///< PEs that have written (CRF: bit 0)
+        int lastWrite = -1;
+        u32 lastWriteMask = 0;
+        bool readSinceWrite = false;
+    };
+    std::map<std::pair<u8, u16>, RegState> regs;
+    auto key = [](const RegRef &r) {
+        return std::pair<u8, u16>(u8(r.file), r.idx);
+    };
+    // The register allocator re-issues identical spill reloads before
+    // every use cluster, so one redundant-reload pattern can repeat
+    // thousands of times in a big kernel.  Report the first few sites
+    // and aggregate the rest to keep the report readable.
+    constexpr int kDeadWriteCap = 5;
+    int deadWrites = 0;
+
+    // Identity AddrRF registers are hardware-initialized at reset.
+    for (u16 a = 0; a < kIdentityArfs; ++a) {
+        RegState &s = regs[{u8(RegFile::kArf), a}];
+        s.writtenPes = c.validSimbMask();
+        s.readSinceWrite = true; // never report them as dead
+    }
+
+    for (size_t i = 0; i < c.prog.size(); ++i) {
+        if (!c.valid[i])
+            continue;
+        const Instruction &inst = c.prog[i];
+        const AccessSet &acc = c.access[i];
+        u32 execMask = isBroadcast(inst.op)
+                           ? (inst.simbMask & c.validSimbMask())
+                           : 1u;
+
+        for (u8 r = 0; r < acc.numReads; ++r) {
+            const RegRef &ref = acc.reads[r];
+            // Branch-target reads are V08's job and the zero-idiom's
+            // sources carry no value, so neither should trip the
+            // read-before-write lint — but both are still *reads*, and
+            // must mark the defining write live or V12 misreports it.
+            bool lintable = true;
+            if (inst.op == Opcode::kJump)
+                lintable = false;
+            if (inst.op == Opcode::kCjump && ref.idx == inst.dst &&
+                inst.dst != inst.src1)
+                lintable = false;
+            if (isZeroIdiom(inst) && ref.idx == inst.src1)
+                lintable = false;
+            RegState &s = regs[key(ref)];
+            u32 readMask = ref.file == RegFile::kCrf ? 1u : execMask;
+            u32 missing = readMask & ~s.writtenPes;
+            if (lintable && missing != 0 &&
+                c.opts.isEnabled(Rule::kReadBeforeWrite))
+                c.warning(Rule::kReadBeforeWrite, int(i),
+                          cat("reads ", regFileName(ref.file), " ",
+                              ref.idx, " before any write",
+                              ref.file == RegFile::kCrf
+                                  ? std::string()
+                                  : cat(" on PE mask 0x", std::hex,
+                                        missing, std::dec),
+                              " (holds the reset value 0): ",
+                              inst.toString()));
+            s.writtenPes |= readMask; // report each first-read once
+            s.readSinceWrite = true;
+        }
+
+        for (u8 w = 0; w < acc.numWrites; ++w) {
+            const RegRef &ref = acc.writes[w];
+            RegState &s = regs[key(ref)];
+            u32 writeMask = ref.file == RegFile::kCrf ? 1u : execMask;
+            if (s.lastWrite >= 0 && !s.readSinceWrite &&
+                (s.lastWriteMask & ~writeMask) == 0 &&
+                !c.inLoop(size_t(s.lastWrite)) && !c.inLoop(i) &&
+                ++deadWrites <= kDeadWriteCap)
+                c.warning(Rule::kDeadWrite, s.lastWrite,
+                          cat("write to ", regFileName(ref.file), " ",
+                              ref.idx, " is overwritten at inst ", i,
+                              " with no read in between: ",
+                              c.prog[s.lastWrite].toString()));
+            s.lastWrite = int(i);
+            s.lastWriteMask = writeMask;
+            s.writtenPes |= writeMask;
+            s.readSinceWrite = false;
+        }
+    }
+    if (deadWrites > kDeadWriteCap)
+        c.warning(Rule::kDeadWrite, -1,
+                  cat(deadWrites - kDeadWriteCap,
+                      " further dead writes (typically spill reloads "
+                      "re-issued before any read of the previous one)"));
+}
+
+// =================== V13 encoding round-trip ======================
+
+void
+checkEncoding(Ctx &c)
+{
+    for (size_t i = 0; i < c.prog.size(); ++i) {
+        if (!c.valid[i])
+            continue;
+        const Instruction &inst = c.prog[i];
+        Instruction back;
+        try {
+            back = decode(encode(inst));
+        } catch (const FatalError &e) {
+            c.error(Rule::kEncoding, int(i),
+                    cat("instruction does not survive its own wire "
+                        "form: ", e.what()));
+            continue;
+        }
+        Instruction expect = inst;
+        expect.label = -1; // labels are compiler-only, never encoded
+        if (!(back == expect))
+            c.error(Rule::kEncoding, int(i),
+                    cat("encode/decode round-trip changed the "
+                        "instruction (a field is missing from the ",
+                        kInstBytes, "-byte encoding): ",
+                        inst.toString(), " != ", back.toString()));
+    }
+}
+
+// ==================== V10 sync placement ==========================
+
+void
+checkSyncPlacement(Ctx &c)
+{
+    for (size_t i = 0; i < c.prog.size(); ++i) {
+        if (c.valid[i] && c.prog[i].op == Opcode::kSync && c.inLoop(i))
+            c.warning(Rule::kSyncPhase, int(i),
+                      cat("sync inside a loop body executes once per "
+                          "iteration; the static cross-vault phase "
+                          "check cannot model it: ",
+                          c.prog[i].toString()));
+    }
+}
+
+} // namespace
+
+VerifyReport
+verifyProgram(const HardwareConfig &cfg,
+              const std::vector<Instruction> &prog,
+              const VerifierOptions &opts, int vault)
+{
+    VerifyReport rep;
+    Ctx c{cfg, prog, opts, vault, rep, {}, {}, {}};
+    checkOpcodes(c);
+    checkRegisterBounds(c);
+    checkMemoryBounds(c);
+    checkPgsmStride(c);
+    checkScratchBankHints(c);
+    checkMasks(c);
+    checkControlFlow(c); // also computes c.loopSpans
+    checkSyncPlacement(c);
+    checkDataflow(c);
+    checkEncoding(c);
+    return rep;
+}
+
+VerifyReport
+verifyDevice(const HardwareConfig &cfg,
+             const std::vector<std::vector<Instruction>> &perVault,
+             const VerifierOptions &opts)
+{
+    VerifyReport rep;
+    if (opts.isEnabled(Rule::kSyncPhase) &&
+        perVault.size() != u64(cfg.cubes) * cfg.vaultsPerCube)
+        rep.add({Severity::kError, Rule::kSyncPhase, -1, -1,
+                 cat("device program has ", perVault.size(),
+                     " vault programs but the device has ",
+                     u64(cfg.cubes) * cfg.vaultsPerCube, " vaults")});
+
+    for (size_t v = 0; v < perVault.size(); ++v)
+        rep.merge(verifyProgram(cfg, perVault[v], opts, int(v)));
+
+    if (!opts.isEnabled(Rule::kSyncPhase) || perVault.empty())
+        return rep;
+
+    // V10: the master/slave barrier (Sec. IV-D) completes only when
+    // every vault reaches the same phase; the static per-vault sync
+    // sequences must therefore agree in order and count.
+    auto syncSeq = [](const std::vector<Instruction> &prog) {
+        std::vector<std::pair<size_t, u32>> seq;
+        for (size_t i = 0; i < prog.size(); ++i)
+            if (u8(prog[i].op) < u8(Opcode::kNumOpcodes) &&
+                prog[i].op == Opcode::kSync)
+                seq.push_back({i, prog[i].phaseId});
+        return seq;
+    };
+    auto ref = syncSeq(perVault[0]);
+    for (size_t v = 1; v < perVault.size(); ++v) {
+        auto seq = syncSeq(perVault[v]);
+        size_t common = std::min(ref.size(), seq.size());
+        for (size_t k = 0; k < common; ++k) {
+            if (seq[k].second != ref[k].second) {
+                rep.add({Severity::kError, Rule::kSyncPhase, int(v),
+                         int(seq[k].first),
+                         cat("sync #", k, " uses phase ",
+                             seq[k].second, " but vault 0 inst ",
+                             ref[k].first, " uses phase ",
+                             ref[k].second,
+                             "; the barrier would deadlock")});
+                break;
+            }
+        }
+        if (seq.size() != ref.size())
+            rep.add({Severity::kError, Rule::kSyncPhase, int(v), -1,
+                     cat("program has ", seq.size(),
+                         " syncs but vault 0 has ", ref.size(),
+                         "; the barrier would deadlock")});
+    }
+    return rep;
+}
+
+} // namespace ipim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Static verifier for finalized SIMB programs.
+ *
+ * The compiler backend hands the vault simulator a flat
+ * std::vector<Instruction>; any malformed program — an out-of-range DRF
+ * index, an unresolved branch label, mismatched sync phases across
+ * vaults — otherwise surfaces only as a silent wrong result or a hung
+ * simulation.  The verifier runs a pass pipeline over one program (or a
+ * whole per-vault device program) against a HardwareConfig and returns
+ * structured diagnostics (see diagnostics.h).  Rule ids and their paper
+ * justification are catalogued in DESIGN.md Sec. 14.
+ *
+ * Per-program passes:
+ *  - V01 register-file bounds (DRF/ARF/CRF, incl. indirect MemOperand
+ *    AddrRF/CtrlRF indices, via AccessSet)
+ *  - V02 direct bank/PGSM/VSM byte offsets vs. configured capacities,
+ *    req routing coordinates vs. device geometry
+ *  - V03 rd/wr_pgsm lane stride (zero or non-lane-aligned)
+ *  - V04 scratchBank double-buffer hints whose direct address ranges
+ *    overlap (the issue-time interlock would skip a real hazard)
+ *  - V05/V06 simb_mask / vec_mask validity
+ *  - V07/V08/V09 control flow: labels resolved, branch-target CRF
+ *    registers initialized and in range, halt present and reachable
+ *  - V11/V12 dataflow lints: read-before-write (simb-mask aware),
+ *    dead writes (overwritten with no intervening read)
+ *  - V13 encode/decode round-trip on every instruction
+ *
+ * Device-level pass:
+ *  - V10 the per-vault static sync sequences must agree in phase order
+ *    and count (the master/slave barrier of Sec. IV-D deadlocks
+ *    otherwise)
+ */
+#ifndef IPIM_VERIFY_VERIFIER_H_
+#define IPIM_VERIFY_VERIFIER_H_
+
+#include <array>
+#include <vector>
+
+#include "common/config.h"
+#include "isa/instruction.h"
+#include "verify/diagnostics.h"
+
+namespace ipim {
+
+/** Verifier knobs: rule suppression and warning promotion. */
+struct VerifierOptions
+{
+    /** Treat warnings as errors in VerifyReport::pass(). */
+    bool warningsAsErrors = false;
+
+    /** Suppress one rule (its diagnostics are not emitted). */
+    void disable(Rule r) { enabled_[size_t(r)] = false; }
+    void enable(Rule r) { enabled_[size_t(r)] = true; }
+    bool isEnabled(Rule r) const { return enabled_[size_t(r)]; }
+
+  private:
+    std::array<bool, size_t(Rule::kNumRules)> enabled_{[] {
+        std::array<bool, size_t(Rule::kNumRules)> a{};
+        a.fill(true);
+        return a;
+    }()};
+};
+
+/**
+ * Verify one vault program.  @p vault is only used to tag diagnostics
+ * (pass -1 when there is no device context).
+ */
+VerifyReport verifyProgram(const HardwareConfig &cfg,
+                           const std::vector<Instruction> &prog,
+                           const VerifierOptions &opts = {},
+                           int vault = -1);
+
+/**
+ * Verify a whole device program: every vault program individually plus
+ * the cross-vault sync-phase check.  @p perVault is indexed by global
+ * vault (chip-major), exactly as Device::loadPrograms() expects.
+ */
+VerifyReport verifyDevice(const HardwareConfig &cfg,
+                          const std::vector<std::vector<Instruction>>
+                              &perVault,
+                          const VerifierOptions &opts = {});
+
+} // namespace ipim
+
+#endif // IPIM_VERIFY_VERIFIER_H_

@@ -210,6 +210,31 @@ TEST(Encoding, RejectsGarbage)
                  FatalError);
 }
 
+TEST(Encoding, RejectsTruncatedFinalRecord)
+{
+    // A stream that loses its tail mid-record must not decode to a
+    // shorter-but-plausible program.
+    std::vector<u8> bytes = encodeProgram(corpus());
+    bytes.pop_back();
+    EXPECT_THROW(decodeProgram(bytes), FatalError);
+    bytes.resize(bytes.size() + 1 - kInstBytes / 2);
+    EXPECT_THROW(decodeProgram(bytes), FatalError);
+}
+
+TEST(Encoding, RejectsCorruptRecordInsideProgram)
+{
+    std::vector<u8> bytes = encodeProgram(corpus());
+    ASSERT_GE(bytes.size(), size_t(2 * kInstBytes));
+    // Corrupt the second record: first its opcode byte, then (after
+    // restoring it) its alu-op byte.
+    u8 savedOp = bytes[kInstBytes];
+    bytes[kInstBytes] = 0xEE;
+    EXPECT_THROW(decodeProgram(bytes), FatalError);
+    bytes[kInstBytes] = savedOp;
+    bytes[kInstBytes + 1] = 0xEE;
+    EXPECT_THROW(decodeProgram(bytes), FatalError);
+}
+
 TEST(Assembler, ParsesProgramWithComments)
 {
     auto prog = assemble("; header comment\n"
@@ -229,6 +254,27 @@ TEST(Assembler, RejectsSyntaxErrors)
     EXPECT_THROW(parseInstruction("comp add.f32 vv d1, a2, d3"),
                  FatalError);
     EXPECT_THROW(parseInstruction("comp bogus.f32 vv d1, d2, d3"),
+                 FatalError);
+}
+
+TEST(Assembler, RejectsTruncatedLines)
+{
+    // Lines cut off mid-operand-list (e.g. a partial file) must throw,
+    // not parse with default-zero operands.
+    EXPECT_THROW(parseInstruction("comp add.f32 vv d1, d2"),
+                 FatalError);
+    EXPECT_THROW(parseInstruction("comp add.f32"), FatalError);
+    EXPECT_THROW(parseInstruction("seti_crf c0"), FatalError);
+    EXPECT_THROW(parseInstruction("rd_vsm vsm[0]"), FatalError);
+    EXPECT_THROW(parseInstruction("req chip0.vault0.pg0.pe0 dram[0]"),
+                 FatalError);
+}
+
+TEST(Assembler, RejectsBadLineInsideProgram)
+{
+    EXPECT_THROW(assemble("seti_crf c0, #5\n"
+                          "frobnicate d1, d2\n"
+                          "halt\n"),
                  FatalError);
 }
 

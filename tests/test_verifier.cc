@@ -1,0 +1,541 @@
+/**
+ * Unit tests for the SIMB static verifier (src/verify/).
+ *
+ * Programs are written in the assembler's textual grammar (exactly what
+ * Instruction::toString() prints) and fields the assembler cannot
+ * express — compiler-only labels, scratch-bank hints, corrupt opcode
+ * bytes — are patched onto the parsed instructions directly.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/benchmarks.h"
+#include "common/logging.h"
+#include "compiler/codegen.h"
+#include "isa/assembler.h"
+#include "verify/verifier.h"
+
+namespace ipim {
+namespace {
+
+HardwareConfig
+tinyCfg()
+{
+    return HardwareConfig::tiny(); // 4 vaults, 2 PGs x 2 PEs, 64-entry RFs
+}
+
+bool
+hasDiag(const VerifyReport &rep, Rule rule, Severity sev)
+{
+    for (const Diagnostic &d : rep.diagnostics())
+        if (d.rule == rule && d.severity == sev)
+            return true;
+    return false;
+}
+
+bool
+hasError(const VerifyReport &rep, Rule rule)
+{
+    return hasDiag(rep, rule, Severity::kError);
+}
+
+bool
+hasWarning(const VerifyReport &rep, Rule rule)
+{
+    return hasDiag(rep, rule, Severity::kWarning);
+}
+
+// ======================= clean programs ===========================
+
+TEST(Verifier, MinimalProgramIsClean)
+{
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble("halt"));
+    EXPECT_TRUE(rep.pass());
+    EXPECT_TRUE(rep.empty()) << rep.toString();
+}
+
+TEST(Verifier, StraightLineProgramIsClean)
+{
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        seti_vsm vsm[0], #42
+        rd_vsm vsm[0], d0 sm=15
+        comp add.i32 vv d1, d0, d0 vm=15 sm=15
+        wr_vsm vsm[16], d1 sm=15
+        halt
+    )"));
+    EXPECT_TRUE(rep.pass());
+    EXPECT_TRUE(rep.empty()) << rep.toString();
+}
+
+TEST(Verifier, EmptyProgramIsRejected)
+{
+    VerifyReport rep = verifyProgram(tinyCfg(), {});
+    EXPECT_FALSE(rep.pass());
+    EXPECT_TRUE(hasError(rep, Rule::kHalt));
+}
+
+// ================= V01 register-file bounds =======================
+
+TEST(Verifier, OutOfBoundsDrfWriteIsRejected)
+{
+    // tiny() has 64 DRF entries, so d64 is one past the end.
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        reset d0 sm=15
+        comp add.i32 vv d64, d0, d0 vm=15 sm=15
+        halt
+    )"));
+    EXPECT_FALSE(rep.pass());
+    EXPECT_TRUE(hasError(rep, Rule::kRegBounds)) << rep.toString();
+}
+
+TEST(Verifier, OutOfBoundsDrfReadIsRejected)
+{
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        comp add.i32 vv d0, d99, d99 vm=15 sm=15
+        halt
+    )"));
+    EXPECT_FALSE(rep.pass());
+    EXPECT_TRUE(hasError(rep, Rule::kRegBounds));
+}
+
+TEST(Verifier, OutOfBoundsIndirectArfIsRejected)
+{
+    // The AddrRF index hides inside the memory operand; the verifier
+    // must surface it through the AccessSet, not just direct operands.
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        rd_pgsm pgsm[a99], d1 stride=4 sm=15
+        halt
+    )"));
+    EXPECT_FALSE(rep.pass());
+    EXPECT_TRUE(hasError(rep, Rule::kRegBounds));
+}
+
+// =================== V02 memory bounds ============================
+
+TEST(Verifier, VsmOffsetBeyondCapacityIsRejected)
+{
+    HardwareConfig cfg = tinyCfg();
+    std::string text = "seti_vsm vsm[" + std::to_string(cfg.vsmBytes) +
+                       "], #0\nhalt";
+    VerifyReport rep = verifyProgram(cfg, assemble(text));
+    EXPECT_FALSE(rep.pass());
+    EXPECT_TRUE(hasError(rep, Rule::kMemBounds));
+}
+
+TEST(Verifier, PgsmOffsetBeyondCapacityIsRejected)
+{
+    HardwareConfig cfg = tinyCfg();
+    std::string text = "reset d0 sm=15\nwr_pgsm pgsm[" +
+                       std::to_string(cfg.pgsmBytes) +
+                       "], d0 stride=4 sm=15\nhalt";
+    VerifyReport rep = verifyProgram(cfg, assemble(text));
+    EXPECT_FALSE(rep.pass());
+    EXPECT_TRUE(hasError(rep, Rule::kMemBounds));
+}
+
+TEST(Verifier, ReqToNonexistentVaultIsRejected)
+{
+    // tiny() has 4 vaults per cube; vault 9 does not exist.
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        req chip0.vault9.pg0.pe0 dram[0] -> vsm[0]
+        halt
+    )"));
+    EXPECT_FALSE(rep.pass());
+    EXPECT_TRUE(hasError(rep, Rule::kMemBounds));
+}
+
+// ==================== V03 PGSM stride =============================
+
+TEST(Verifier, WrPgsmStrideZeroIsRejected)
+{
+    // All four lanes would race on the same PGSM word.
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        reset d0 sm=15
+        wr_pgsm pgsm[0], d0 stride=0 sm=15
+        halt
+    )"));
+    EXPECT_FALSE(rep.pass());
+    EXPECT_TRUE(hasError(rep, Rule::kPgsmStride));
+}
+
+TEST(Verifier, RdPgsmStrideZeroIsTheSplatIdiomNotAFinding)
+{
+    // Stride-0 reads broadcast one word to all lanes on purpose.
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        rd_pgsm pgsm[0], d0 stride=0 sm=15
+        wr_vsm vsm[0], d0 sm=15
+        halt
+    )"));
+    EXPECT_TRUE(rep.pass());
+    EXPECT_FALSE(hasWarning(rep, Rule::kPgsmStride)) << rep.toString();
+}
+
+// ================ V04 scratch-bank double buffering ===============
+
+TEST(Verifier, OverlappingScratchBankHintsAreRejected)
+{
+    std::vector<Instruction> prog = assemble(R"(
+        rd_pgsm pgsm[0], d0 stride=4 sm=15
+        rd_pgsm pgsm[8], d1 stride=4 sm=15
+        wr_vsm vsm[0], d0 sm=15
+        wr_vsm vsm[16], d1 sm=15
+        halt
+    )");
+    // Hints are compiler metadata with no textual form: claim both
+    // reads touch different double-buffer instances even though their
+    // address ranges overlap.
+    prog[0].scratchBank = 1;
+    prog[1].scratchBank = 2;
+    VerifyReport rep = verifyProgram(tinyCfg(), prog);
+    EXPECT_FALSE(rep.pass());
+    EXPECT_TRUE(hasError(rep, Rule::kScratchBank)) << rep.toString();
+}
+
+TEST(Verifier, ScratchBankHintOutOfRangeIsRejected)
+{
+    std::vector<Instruction> prog = assemble(R"(
+        rd_pgsm pgsm[0], d0 stride=4 sm=15
+        wr_vsm vsm[0], d0 sm=15
+        halt
+    )");
+    prog[0].scratchBank = 3; // only 0 (unknown), 1 and 2 exist
+    VerifyReport rep = verifyProgram(tinyCfg(), prog);
+    EXPECT_FALSE(rep.pass());
+    EXPECT_TRUE(hasError(rep, Rule::kScratchBank));
+}
+
+// ===================== V05/V06 mask checks ========================
+
+TEST(Verifier, EmptySimbMaskIsRejected)
+{
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        reset d0 sm=0
+        halt
+    )"));
+    EXPECT_FALSE(rep.pass());
+    EXPECT_TRUE(hasError(rep, Rule::kSimbMask));
+}
+
+TEST(Verifier, SimbMaskBeyondPeCountIsRejected)
+{
+    // tiny() has 4 PEs per vault -> valid mask bits are 0..3.
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        reset d0 sm=16
+        halt
+    )"));
+    EXPECT_FALSE(rep.pass());
+    EXPECT_TRUE(hasError(rep, Rule::kSimbMask));
+}
+
+TEST(Verifier, VecMaskHighBitsAreRejected)
+{
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        reset d0 sm=15
+        comp add.i32 vv d1, d0, d0 vm=16 sm=15
+        halt
+    )"));
+    EXPECT_FALSE(rep.pass());
+    EXPECT_TRUE(hasError(rep, Rule::kVecMask));
+}
+
+// =============== V07/V08/V09 control-flow checks ==================
+
+TEST(Verifier, UnresolvedLabelIsRejected)
+{
+    std::vector<Instruction> prog = assemble(R"(
+        seti_crf c0, #0
+        halt
+    )");
+    // The compiler's label-resolution pass rewrites labels to -1; a
+    // surviving label means the backend shipped a half-lowered program.
+    prog[0].label = 7;
+    VerifyReport rep = verifyProgram(tinyCfg(), prog);
+    EXPECT_FALSE(rep.pass());
+    EXPECT_TRUE(hasError(rep, Rule::kUnresolvedLabel)) << rep.toString();
+}
+
+TEST(Verifier, JumpThroughUninitializedCrfIsRejected)
+{
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        jump c5
+        halt
+    )"));
+    EXPECT_FALSE(rep.pass());
+    EXPECT_TRUE(hasError(rep, Rule::kBranchTarget));
+}
+
+TEST(Verifier, BranchTargetOutsideProgramIsRejected)
+{
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        seti_crf c0, #99
+        jump c0
+        halt
+    )"));
+    EXPECT_FALSE(rep.pass());
+    EXPECT_TRUE(hasError(rep, Rule::kBranchTarget));
+}
+
+TEST(Verifier, CrfRegisterReuseIsNotABranchTargetFalsePositive)
+{
+    // After graph coloring one physical CRF register may hold a branch
+    // target in one live range and an unrelated data constant in
+    // another.  Only the definition reaching the jump may be judged.
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        seti_crf c0, #3
+        seti_crf c1, #0
+        jump c0
+        seti_crf c0, #4095
+        calc_crf add c1, c1, c0
+        halt
+    )"));
+    EXPECT_TRUE(rep.pass()) << rep.toString();
+    EXPECT_FALSE(hasError(rep, Rule::kBranchTarget));
+}
+
+TEST(Verifier, MissingHaltIsRejected)
+{
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        seti_crf c0, #0
+    )"));
+    EXPECT_FALSE(rep.pass());
+    EXPECT_TRUE(hasError(rep, Rule::kHalt));
+}
+
+TEST(Verifier, UnreachableHaltIsRejected)
+{
+    // jump c0 with c0 = 0 spins forever; the halt below is dead code.
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        seti_crf c0, #0
+        jump c0
+        halt
+    )"));
+    EXPECT_FALSE(rep.pass());
+    EXPECT_TRUE(hasError(rep, Rule::kHalt)) << rep.toString();
+}
+
+// ================ V10 cross-vault sync matching ===================
+
+std::vector<std::vector<Instruction>>
+perVaultSync(const std::vector<std::string> &bodies)
+{
+    std::vector<std::vector<Instruction>> pv;
+    for (const std::string &b : bodies)
+        pv.push_back(assemble(b + "\nhalt"));
+    return pv;
+}
+
+TEST(Verifier, MatchingSyncSequencesPass)
+{
+    VerifyReport rep = verifyDevice(
+        tinyCfg(), perVaultSync({"sync phase=1\nsync phase=2",
+                                 "sync phase=1\nsync phase=2",
+                                 "sync phase=1\nsync phase=2",
+                                 "sync phase=1\nsync phase=2"}));
+    EXPECT_TRUE(rep.pass()) << rep.toString();
+}
+
+TEST(Verifier, MismatchedSyncPhaseIsRejected)
+{
+    // Vault 2 arrives at phase 3 while everyone else sits at phase 2:
+    // the master's arrival counter for phase 2 never fills up.
+    VerifyReport rep = verifyDevice(
+        tinyCfg(), perVaultSync({"sync phase=1\nsync phase=2",
+                                 "sync phase=1\nsync phase=2",
+                                 "sync phase=1\nsync phase=3",
+                                 "sync phase=1\nsync phase=2"}));
+    EXPECT_FALSE(rep.pass());
+    EXPECT_TRUE(hasError(rep, Rule::kSyncPhase)) << rep.toString();
+}
+
+TEST(Verifier, MissingSyncInOneVaultIsRejected)
+{
+    VerifyReport rep = verifyDevice(
+        tinyCfg(), perVaultSync({"sync phase=1\nsync phase=2",
+                                 "sync phase=1",
+                                 "sync phase=1\nsync phase=2",
+                                 "sync phase=1\nsync phase=2"}));
+    EXPECT_FALSE(rep.pass());
+    EXPECT_TRUE(hasError(rep, Rule::kSyncPhase));
+}
+
+TEST(Verifier, WrongVaultCountIsRejected)
+{
+    VerifyReport rep =
+        verifyDevice(tinyCfg(), perVaultSync({"sync phase=1"}));
+    EXPECT_FALSE(rep.pass());
+}
+
+// =================== V11/V12 dataflow lints =======================
+
+TEST(Verifier, ReadBeforeWriteIsAWarning)
+{
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        comp add.i32 vv d1, d0, d0 vm=15 sm=15
+        halt
+    )"));
+    EXPECT_TRUE(rep.pass()); // lint, not an error
+    EXPECT_TRUE(hasWarning(rep, Rule::kReadBeforeWrite));
+}
+
+TEST(Verifier, PartialMaskWriteStillWarnsOnUncoveredPes)
+{
+    // The write covers PEs {0,1} but the read executes on all four.
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        reset d0 sm=3
+        comp add.i32 vv d1, d0, d0 vm=15 sm=15
+        halt
+    )"));
+    EXPECT_TRUE(hasWarning(rep, Rule::kReadBeforeWrite))
+        << rep.toString();
+}
+
+TEST(Verifier, ZeroIdiomDoesNotWarn)
+{
+    // calc_arf xor a, s, s is the compiler's zero-register idiom; the
+    // source value never matters, so no read-before-write lint.
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        calc_arf xor a9, a8, a8 sm=15
+        rd_pgsm pgsm[a9], d0 stride=4 sm=15
+        wr_vsm vsm[0], d0 sm=15
+        halt
+    )"));
+    EXPECT_TRUE(rep.pass());
+    EXPECT_FALSE(hasWarning(rep, Rule::kReadBeforeWrite))
+        << rep.toString();
+}
+
+TEST(Verifier, IdentityArfsCountAsInitialized)
+{
+    // a0..a3 are hardware-initialized identity registers (pe.h).
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        calc_arf add a4, a2, #16 sm=15
+        rd_pgsm pgsm[a4], d0 stride=4 sm=15
+        wr_vsm vsm[0], d0 sm=15
+        halt
+    )"));
+    EXPECT_TRUE(rep.pass());
+    EXPECT_FALSE(hasWarning(rep, Rule::kReadBeforeWrite))
+        << rep.toString();
+}
+
+TEST(Verifier, DeadWriteIsAWarning)
+{
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        rd_vsm vsm[0], d0 sm=15
+        rd_vsm vsm[16], d0 sm=15
+        wr_vsm vsm[32], d0 sm=15
+        halt
+    )"));
+    EXPECT_TRUE(rep.pass());
+    EXPECT_TRUE(hasWarning(rep, Rule::kDeadWrite)) << rep.toString();
+}
+
+TEST(Verifier, BranchTargetReadKeepsItsDefinitionLive)
+{
+    // The jump *reads* c0 even though V11 does not lint that read; the
+    // first seti_crf must not be reported as a dead write (V12).
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        seti_crf c0, #3
+        seti_crf c1, #0
+        jump c0
+        seti_crf c0, #7
+        halt
+    )"));
+    EXPECT_FALSE(hasWarning(rep, Rule::kDeadWrite)) << rep.toString();
+}
+
+// =================== V13 encoding round-trip ======================
+
+TEST(Verifier, CorruptOpcodeIsRejected)
+{
+    std::vector<Instruction> prog = assemble("halt");
+    Instruction bad{};
+    bad.op = Opcode(200);
+    prog.insert(prog.begin(), bad);
+    VerifyReport rep = verifyProgram(tinyCfg(), prog);
+    EXPECT_FALSE(rep.pass());
+    EXPECT_TRUE(hasError(rep, Rule::kEncoding)) << rep.toString();
+}
+
+// =================== options and report API =======================
+
+TEST(Verifier, DisabledRuleIsSuppressed)
+{
+    VerifierOptions opts;
+    opts.disable(Rule::kReadBeforeWrite);
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        comp add.i32 vv d1, d0, d0 vm=15 sm=15
+        halt
+    )"), opts);
+    EXPECT_FALSE(hasWarning(rep, Rule::kReadBeforeWrite));
+    EXPECT_TRUE(rep.empty()) << rep.toString();
+}
+
+TEST(Verifier, WarningsAsErrorsFlipsPass)
+{
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        comp add.i32 vv d1, d0, d0 vm=15 sm=15
+        halt
+    )"));
+    EXPECT_TRUE(rep.pass());
+    EXPECT_FALSE(rep.pass(/*warningsAsErrors=*/true));
+}
+
+TEST(Verifier, DiagnosticToStringNamesTheRule)
+{
+    VerifyReport rep = verifyProgram(tinyCfg(), assemble(R"(
+        comp add.i32 vv d0, d99, d99 vm=15 sm=15
+        halt
+    )"));
+    ASSERT_FALSE(rep.empty());
+    EXPECT_NE(rep.toString().find("V01-reg-bounds"), std::string::npos)
+        << rep.toString();
+}
+
+// ============ every benchmark kernel verifies cleanly =============
+
+TEST(Verifier, AllBenchmarksVerifyCleanly)
+{
+    HardwareConfig cfg = tinyCfg();
+    for (const std::string &name : allBenchmarkNames()) {
+        BenchmarkApp app = makeBenchmark(name, 64, 32);
+        CompiledPipeline cp = compilePipeline(app.def, cfg, {});
+        for (const CompiledKernel &k : cp.kernels) {
+            VerifyReport rep = verifyDevice(cfg, k.perVault);
+            EXPECT_EQ(rep.errorCount(), 0u)
+                << name << "/" << k.stage << ":\n" << rep.toString();
+        }
+    }
+}
+
+TEST(Verifier, CompilerVerifyOptionAcceptsCleanPipeline)
+{
+    // The opt-in compile-time hook must not reject a good pipeline.
+    HardwareConfig cfg = tinyCfg();
+    BenchmarkApp app = makeBenchmark("Brighten", 64, 32);
+    CompilerOptions copts;
+    EXPECT_NO_THROW(compilePipeline(app.def, cfg, copts.withVerify()));
+}
+
+// ======== AccessSet capacity regression (satellite fix) ===========
+
+TEST(AccessSet, TooManyReadsPanics)
+{
+    AccessSet s;
+    for (u16 i = 0; i < AccessSet::kMaxReads; ++i)
+        s.addRead(RegFile::kDrf, i);
+    EXPECT_THROW(s.addRead(RegFile::kDrf, 60), PanicError);
+}
+
+TEST(AccessSet, TooManyWritesPanics)
+{
+    AccessSet s;
+    for (u16 i = 0; i < AccessSet::kMaxWrites; ++i)
+        s.addWrite(RegFile::kDrf, i);
+    EXPECT_THROW(s.addWrite(RegFile::kDrf, 60), PanicError);
+}
+
+} // namespace
+} // namespace ipim

@@ -4,7 +4,8 @@
  * Compile and run any Table II benchmark (or list them), on any device
  * geometry, with any compiler-optimization setting, and report cycles,
  * throughput, instruction mix, DRAM behaviour, energy, and (optionally)
- * the disassembled kernels.
+ * the disassembled kernels.  The `verify` subcommand runs the static
+ * SIMB program verifier (src/verify) instead of the simulator.
  *
  * Examples:
  *   ipim --list
@@ -13,9 +14,14 @@
  *   ipim --bench Shift --opts baseline1 --verify
  *   ipim --bench Brighten --dump-asm | less
  *   ipim --bench Blur --vaults 4 --pgs 2 --pes 2   # scaled-down device
+ *   ipim verify --all                  # statically check all benchmarks
+ *   ipim verify --bench Blur --werror
+ *   ipim verify --asm kernel.s         # check a hand-written program
  */
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "apps/benchmarks.h"
@@ -24,6 +30,7 @@
 #include "energy/energy_model.h"
 #include "isa/assembler.h"
 #include "runtime/runtime.h"
+#include "verify/verifier.h"
 
 using namespace ipim;
 
@@ -46,6 +53,11 @@ struct Options
     bool dumpAsm = false;
     bool list = false;
     bool gpu = false;
+    // verify-subcommand only:
+    bool verifyCmd = false;
+    bool allBenches = false;
+    bool werror = false;
+    std::string asmFile;
 };
 
 void
@@ -56,7 +68,9 @@ usage()
         "            [--cubes N] [--vaults N] [--pgs N] [--pes N]\n"
         "            [--ponb] [--sched frfcfs|fcfs] [--page open|close]\n"
         "            [--opts opt|baseline1..baseline4] [--verify]\n"
-        "            [--gpu] [--dump-asm]\n");
+        "            [--gpu] [--dump-asm]\n"
+        "       ipim verify [--bench NAME | --all | --asm FILE]\n"
+        "            [--werror] [device/compiler flags as above]\n");
 }
 
 CompilerOptions
@@ -75,13 +89,92 @@ parseOpts(const std::string &name)
     fatal("unknown --opts value '", name, "'");
 }
 
+HardwareConfig
+buildConfig(const Options &o)
+{
+    HardwareConfig cfg;
+    cfg.cubes = o.cubes;
+    cfg.vaultsPerCube = o.vaults;
+    cfg.pgsPerVault = o.pgs;
+    cfg.pesPerPg = o.pes;
+    cfg.meshCols = o.vaults >= 4 ? 4 : o.vaults;
+    cfg.processOnBaseDie = o.ponb;
+    cfg.schedPolicy = o.sched == "fcfs" ? SchedPolicy::kFcfs
+                                        : SchedPolicy::kFrFcfs;
+    cfg.pagePolicy = o.page == "close" ? PagePolicy::kClosePage
+                                       : PagePolicy::kOpenPage;
+    cfg.validate();
+    return cfg;
+}
+
+/** Print @p rep and return true when it passes. */
+bool
+reportResult(const VerifyReport &rep, bool werror)
+{
+    if (!rep.empty())
+        std::printf("%s", rep.toString().c_str());
+    return rep.pass(werror);
+}
+
+/** The `ipim verify` subcommand: static checks, no simulation. */
+int
+runVerifyCommand(const Options &o)
+{
+    HardwareConfig cfg = buildConfig(o);
+    VerifierOptions vopts;
+    vopts.warningsAsErrors = o.werror;
+
+    if (!o.asmFile.empty()) {
+        std::ifstream in(o.asmFile);
+        if (!in)
+            fatal("cannot open ", o.asmFile);
+        std::ostringstream text;
+        text << in.rdbuf();
+        std::vector<Instruction> prog = assemble(text.str());
+        bool ok = reportResult(verifyProgram(cfg, prog, vopts), o.werror);
+        std::printf("%s: %zu instructions -> %s\n", o.asmFile.c_str(),
+                    prog.size(), ok ? "OK" : "REJECTED");
+        return ok ? 0 : 3;
+    }
+
+    std::vector<std::string> benches;
+    if (o.allBenches)
+        benches = allBenchmarkNames();
+    else
+        benches.push_back(o.bench);
+
+    CompilerOptions copts = parseOpts(o.opts);
+    bool allOk = true;
+    for (const std::string &name : benches) {
+        BenchmarkApp app = makeBenchmark(name, o.width, o.height);
+        CompiledPipeline cp = compilePipeline(app.def, cfg, copts);
+        for (const CompiledKernel &k : cp.kernels) {
+            VerifyReport rep = verifyDevice(cfg, k.perVault, vopts);
+            bool ok = reportResult(rep, o.werror);
+            allOk = allOk && ok;
+            std::printf("%s/%s: %llu insts over %zu vaults -> %s "
+                        "(%zu errors, %zu warnings)\n",
+                        name.c_str(), k.stage.c_str(),
+                        (unsigned long long)k.backend.instructions,
+                        k.perVault.size(), ok ? "OK" : "REJECTED",
+                        rep.errorCount(), rep.warningCount());
+        }
+    }
+    return allOk ? 0 : 3;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     Options o;
-    for (int i = 1; i < argc; ++i) {
+    int first = 1;
+    if (argc > 1 && std::strcmp(argv[1], "verify") == 0) {
+        o.verifyCmd = true;
+        first = 2;
+    }
+    for (int i = first; i < argc; ++i) {
         std::string a = argv[i];
         auto next = [&]() -> std::string {
             if (i + 1 >= argc)
@@ -114,6 +207,12 @@ main(int argc, char **argv)
             o.opts = next();
         else if (a == "--verify")
             o.verify = true;
+        else if (a == "--all")
+            o.allBenches = true;
+        else if (a == "--werror")
+            o.werror = true;
+        else if (a == "--asm")
+            o.asmFile = next();
         else if (a == "--gpu")
             o.gpu = true;
         else if (a == "--dump-asm")
@@ -133,19 +232,10 @@ main(int argc, char **argv)
                 std::printf("%s\n", n.c_str());
             return 0;
         }
+        if (o.verifyCmd)
+            return runVerifyCommand(o);
 
-        HardwareConfig cfg;
-        cfg.cubes = o.cubes;
-        cfg.vaultsPerCube = o.vaults;
-        cfg.pgsPerVault = o.pgs;
-        cfg.pesPerPg = o.pes;
-        cfg.meshCols = o.vaults >= 4 ? 4 : o.vaults;
-        cfg.processOnBaseDie = o.ponb;
-        cfg.schedPolicy = o.sched == "fcfs" ? SchedPolicy::kFcfs
-                                            : SchedPolicy::kFrFcfs;
-        cfg.pagePolicy = o.page == "close" ? PagePolicy::kClosePage
-                                           : PagePolicy::kOpenPage;
-        cfg.validate();
+        HardwareConfig cfg = buildConfig(o);
 
         BenchmarkApp app = makeBenchmark(o.bench, o.width, o.height);
         CompilerOptions copts = parseOpts(o.opts);

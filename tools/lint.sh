@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy) over every source file in src/.
+#
+# Usage: tools/lint.sh [build-dir] [-- extra clang-tidy args]
+#   build-dir defaults to ./build and must contain compile_commands.json
+#   (the top-level CMakeLists.txt exports it automatically).
+#
+# Exits 0 when clean, 1 on findings, 2 when clang-tidy is unavailable.
+set -u
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+shift $(( $# > 0 ? 1 : 0 )) || true
+[ "${1:-}" = "--" ] && shift
+
+tidy="${CLANG_TIDY:-}"
+if [ -z "$tidy" ]; then
+    for cand in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+        if command -v "$cand" > /dev/null 2>&1; then
+            tidy="$cand"
+            break
+        fi
+    done
+fi
+if [ -z "$tidy" ]; then
+    echo "lint.sh: clang-tidy not found (set CLANG_TIDY to override)" >&2
+    exit 2
+fi
+if [ ! -f "$build/compile_commands.json" ]; then
+    echo "lint.sh: $build/compile_commands.json missing;" \
+         "configure with: cmake -B $build -S $repo" >&2
+    exit 2
+fi
+
+# shellcheck disable=SC2046  # file list is intentionally word-split
+"$tidy" -p "$build" --quiet "$@" \
+    $(find "$repo/src" "$repo/tools" -name '*.cc' | sort)
+status=$?
+if [ $status -eq 0 ]; then
+    echo "lint.sh: clean"
+fi
+exit $status
