@@ -1,0 +1,80 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ipim {
+
+void
+LatencyHistogram::add(f64 sample)
+{
+    samples_.push_back(sample);
+    dirty_ = true;
+}
+
+const std::vector<f64> &
+LatencyHistogram::sorted() const
+{
+    if (dirty_ || sorted_.size() != samples_.size()) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        dirty_ = false;
+    }
+    return sorted_;
+}
+
+f64
+LatencyHistogram::min() const
+{
+    return samples_.empty() ? 0.0 : sorted().front();
+}
+
+f64
+LatencyHistogram::max() const
+{
+    return samples_.empty() ? 0.0 : sorted().back();
+}
+
+f64
+LatencyHistogram::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    f64 sum = 0.0;
+    for (f64 s : samples_)
+        sum += s;
+    return sum / f64(samples_.size());
+}
+
+f64
+LatencyHistogram::percentile(f64 p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    if (p < 0.0 || p > 100.0)
+        fatal("percentile out of range: ", p);
+    const std::vector<f64> &s = sorted();
+    // Nearest-rank: the smallest sample with at least p% of the mass
+    // at or below it.
+    size_t rank = size_t(std::ceil(p / 100.0 * f64(s.size())));
+    if (rank == 0)
+        rank = 1;
+    return s[rank - 1];
+}
+
+void
+LatencyHistogram::exportTo(StatsRegistry &reg,
+                           const std::string &prefix) const
+{
+    reg.set(prefix + ".count", f64(count()));
+    reg.set(prefix + ".mean", mean());
+    reg.set(prefix + ".min", min());
+    reg.set(prefix + ".max", max());
+    reg.set(prefix + ".p50", percentile(50));
+    reg.set(prefix + ".p95", percentile(95));
+    reg.set(prefix + ".p99", percentile(99));
+}
+
+} // namespace ipim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Latency histogram for the serving layer: collects per-request samples
+ * (in cycles) and reports tail percentiles into a StatsRegistry.
+ */
+#ifndef IPIM_COMMON_HISTOGRAM_H_
+#define IPIM_COMMON_HISTOGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace ipim {
+
+/**
+ * Exact sample-keeping histogram.
+ *
+ * Serving runs are at most a few thousand requests, so keeping every
+ * sample and sorting on demand is both exact and cheap; percentiles use
+ * the nearest-rank definition (p50 of one sample is that sample).
+ */
+class LatencyHistogram
+{
+  public:
+    void add(f64 sample);
+
+    u64 count() const { return samples_.size(); }
+    f64 min() const;
+    f64 max() const;
+    f64 mean() const;
+
+    /** Nearest-rank percentile; @p p in [0, 100]. 0 when empty. */
+    f64 percentile(f64 p) const;
+
+    /**
+     * Export count/mean/min/max and p50/p95/p99 as "<prefix>.count",
+     * "<prefix>.p50", ... into @p reg.
+     */
+    void exportTo(StatsRegistry &reg, const std::string &prefix) const;
+
+  private:
+    const std::vector<f64> &sorted() const;
+
+    std::vector<f64> samples_;
+    mutable std::vector<f64> sorted_; ///< lazily rebuilt cache
+    mutable bool dirty_ = false;
+};
+
+} // namespace ipim
+
+#endif // IPIM_COMMON_HISTOGRAM_H_

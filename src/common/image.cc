@@ -4,22 +4,9 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace ipim {
-
-namespace {
-
-/** SplitMix64: tiny, high-quality deterministic hash. */
-u64
-splitMix64(u64 x)
-{
-    x += 0x9e3779b97f4a7c15ull;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-    return x ^ (x >> 31);
-}
-
-} // namespace
 
 Image::Image(int width, int height, f32 fill)
     : width_(width), height_(height),

@@ -1,0 +1,195 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace ipim {
+
+void
+JsonWriter::comma()
+{
+    if (afterKey_) {
+        afterKey_ = false;
+        return; // value directly after "key":
+    }
+    if (!needComma_.empty()) {
+        if (needComma_.back() == '1')
+            out_ += ',';
+        else
+            needComma_.back() = '1';
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    comma();
+    out_ += '{';
+    needComma_ += '0';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (needComma_.empty())
+        fatal("JsonWriter: endObject with no open scope");
+    out_ += '}';
+    needComma_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    comma();
+    out_ += '[';
+    needComma_ += '0';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (needComma_.empty())
+        fatal("JsonWriter: endArray with no open scope");
+    out_ += ']';
+    needComma_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    comma();
+    out_ += '"';
+    out_ += escape(k);
+    out_ += "\":";
+    afterKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    comma();
+    out_ += '"';
+    out_ += escape(v);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(f64 v)
+{
+    comma();
+    if (!std::isfinite(v)) {
+        out_ += "null";
+        return *this;
+    }
+    // Integers below 2^53 print without a fractional part (counter
+    // values); everything else uses enough digits to round-trip.
+    if (v == std::floor(v) && std::fabs(v) < 9007199254740992.0) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", v);
+        out_ += buf;
+    } else {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+        out_ += buf;
+    }
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(u64 v)
+{
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu", (unsigned long long)v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(i64 v)
+{
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%lld", (long long)v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::statsObject(const std::string &k, const StatsRegistry &reg)
+{
+    key(k);
+    beginObject();
+    for (const auto &[name, val] : reg.all())
+        field(name, val);
+    return endObject();
+}
+
+std::string
+JsonWriter::finish()
+{
+    endObject();
+    if (!needComma_.empty())
+        fatal("JsonWriter: finish with ", needComma_.size(),
+              " unclosed scopes");
+    return out_;
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string r;
+    r.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            r += "\\\"";
+            break;
+          case '\\':
+            r += "\\\\";
+            break;
+          case '\n':
+            r += "\\n";
+            break;
+          case '\t':
+            r += "\\t";
+            break;
+          case '\r':
+            r += "\\r";
+            break;
+          default:
+            if (u8(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                r += buf;
+            } else {
+                r += c;
+            }
+        }
+    }
+    return r;
+}
+
+} // namespace ipim

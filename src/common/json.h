@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal JSON emitter for machine-readable CLI/bench output.
+ *
+ * Hand-rolled on purpose: the repo has no third-party JSON dependency and
+ * only ever *writes* JSON (the `ipim --json` / `ipim serve --json` output
+ * consumed by scripts).  Keys are emitted in call order; numbers use
+ * shortest-round-trip formatting; non-finite doubles become null.
+ */
+#ifndef IPIM_COMMON_JSON_H_
+#define IPIM_COMMON_JSON_H_
+
+#include <string>
+
+#include "common/stats.h"
+
+namespace ipim {
+
+/** Streaming JSON writer with automatic comma placement. */
+class JsonWriter
+{
+  public:
+    /** Begin the top-level object. */
+    JsonWriter() { beginObject(); }
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit "key": — must be inside an object, before a value. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(f64 v);
+    JsonWriter &value(u64 v);
+    JsonWriter &value(i64 v);
+    JsonWriter &value(int v) { return value(i64(v)); }
+    JsonWriter &value(u32 v) { return value(u64(v)); }
+    JsonWriter &value(bool v);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &k, const T &v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** Emit every counter of @p reg as fields of a nested object. */
+    JsonWriter &statsObject(const std::string &k, const StatsRegistry &reg);
+
+    /** Close the top-level object and return the document. */
+    std::string finish();
+
+  private:
+    void comma();
+    static std::string escape(const std::string &s);
+
+    std::string out_;
+    /// Whether a comma is needed before the next element, per open scope.
+    std::string needComma_;
+    bool afterKey_ = false;
+};
+
+} // namespace ipim
+
+#endif // IPIM_COMMON_JSON_H_

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation shared by the synthetic
+ * image generator and the serving-layer load generator.
+ *
+ * Everything in this repo that needs randomness goes through SplitMix64
+ * so that a (seed) pair fully determines a run — no wall-clock, no
+ * std::random_device, no platform-dependent distributions.
+ */
+#ifndef IPIM_COMMON_RNG_H_
+#define IPIM_COMMON_RNG_H_
+
+#include <cmath>
+
+#include "common/types.h"
+
+namespace ipim {
+
+/** One SplitMix64 mixing step (also usable as a stateless hash). */
+inline u64
+splitMix64(u64 x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** A tiny sequential SplitMix64 stream. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(u64 seed) : state_(seed) {}
+
+    u64
+    next()
+    {
+        state_ += 0x9e3779b97f4a7c15ull;
+        u64 x = state_;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+
+    /** Uniform double in [0, 1). */
+    f64
+    nextUnit()
+    {
+        return f64(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Exponential variate with the given mean (inverse-CDF method). */
+    f64
+    nextExponential(f64 mean)
+    {
+        // 1 - u is in (0, 1], so the log argument is never zero.
+        return -std::log(1.0 - nextUnit()) * mean;
+    }
+
+  private:
+    u64 state_;
+};
+
+} // namespace ipim
+
+#endif // IPIM_COMMON_RNG_H_

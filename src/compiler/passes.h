@@ -16,6 +16,8 @@
 #ifndef IPIM_COMPILER_PASSES_H_
 #define IPIM_COMPILER_PASSES_H_
 
+#include <string>
+
 #include "compiler/builder.h"
 
 namespace ipim {
@@ -37,6 +39,25 @@ struct CompilerOptions
         CompilerOptions o = *this;
         o.verify = true;
         return o;
+    }
+
+    /**
+     * Canonical key fragment for compiled-program caching (src/service):
+     * two option values compare equal iff their cache keys are equal.
+     * Every switch that changes generated code must appear here.
+     */
+    std::string
+    cacheKey() const
+    {
+        std::string k = "ra=";
+        k += maxRegAlloc ? "max" : "min";
+        k += ";reorder=";
+        k += reorder ? '1' : '0';
+        k += ";memorder=";
+        k += memOrder ? '1' : '0';
+        // `verify` is deliberately excluded: it gates compilation but
+        // does not change the emitted program.
+        return k;
     }
 
     static CompilerOptions

@@ -47,6 +47,9 @@ class BankStorage
     /** Number of lazily materialized rows (for tests). */
     size_t allocatedRows() const { return rows_.size(); }
 
+    /** Drop all contents; unwritten bytes read as zero again. */
+    void clear() { rows_.clear(); }
+
   private:
     std::vector<u8> &rowData(u32 row);
     const std::vector<u8> *rowDataIfPresent(u32 row) const;
@@ -87,6 +90,16 @@ class BankTimingState
     /** Refresh: bank busy until at + tRFC; row closed. */
     void refresh(Cycle at);
 
+    /** Back to power-on state: row closed, all commands legal at 0. */
+    void
+    reset()
+    {
+        openRow_ = kNoRow;
+        actAllowedAt_ = 0;
+        casAllowedAt_ = 0;
+        preAllowedAt_ = 0;
+    }
+
   private:
     const DramTiming &t_;
     i64 openRow_ = kNoRow;
@@ -107,6 +120,16 @@ class ActivationLimiter
 
     Cycle earliestAct(Cycle now, u32 pgIdx) const;
     void recordAct(Cycle at, u32 pgIdx);
+
+    /** Forget all activation history (device power-cycle). */
+    void
+    reset()
+    {
+        lastActAny_ = 0;
+        anyAct_ = false;
+        lastActPerPg_.clear();
+        actWindow_.clear();
+    }
 
   private:
     const DramTiming &t_;

@@ -23,6 +23,21 @@ MemoryController::MemoryController(const HardwareConfig &cfg, u32 pgIdx,
 }
 
 void
+MemoryController::reset()
+{
+    queue_.clear();
+    inflight_.clear();
+    completions_.clear();
+    for (u32 pe = 0; pe < cfg_.pesPerPg; ++pe) {
+        storages_[pe]->clear();
+        banks_[pe].reset();
+        autoPrePending_[pe] = false;
+        nextRefreshAt_[pe] = cfg_.timing.tREFI +
+                             pe * (cfg_.timing.tREFI / cfg_.pesPerPg);
+    }
+}
+
+void
 MemoryController::enqueue(const MemRequest &req)
 {
     if (!canAccept())

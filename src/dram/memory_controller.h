@@ -72,6 +72,12 @@ class MemoryController
     /** True when no request is queued or in flight. */
     bool idle() const { return queue_.empty() && inflight_.empty(); }
 
+    /**
+     * Power-cycle: drop queued/in-flight requests, close all rows,
+     * restart the staggered refresh schedule, and erase bank contents.
+     */
+    void reset();
+
   private:
     struct Queued
     {

@@ -145,4 +145,16 @@ Mesh::idle() const
     return true;
 }
 
+void
+Mesh::reset()
+{
+    for (Router &r : routers_) {
+        for (auto &q : r.in)
+            q.clear();
+        r.rrNext = 0;
+    }
+    for (auto &d : delivered_)
+        d.clear();
+}
+
 } // namespace ipim

@@ -80,6 +80,9 @@ class Mesh
     /** True if no packet is queued anywhere. */
     bool idle() const;
 
+    /** Drop all queued/delivered packets and rewind the arbiters. */
+    void reset();
+
   private:
     // Port order: 0=east 1=west 2=north 3=south 4=local-inject.
     static constexpr int kPorts = 5;

@@ -103,6 +103,17 @@ Runtime::run()
 }
 
 LaunchResult
+launchOnDevice(Device &dev, const CompiledPipeline &pipeline,
+               const std::map<std::string, Image> &inputs)
+{
+    dev.reset();
+    Runtime rt(dev, pipeline);
+    for (const auto &[name, img] : inputs)
+        rt.bindInput(name, img);
+    return rt.run();
+}
+
+LaunchResult
 runPipeline(const PipelineDef &def, const HardwareConfig &cfg,
             const std::map<std::string, Image> &inputs,
             const CompilerOptions &opts, StatsRegistry *statsOut)

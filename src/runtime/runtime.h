@@ -48,6 +48,18 @@ class Runtime
     std::map<std::string, const Image *> inputs_;
 };
 
+/**
+ * Launch a compiled pipeline on a (possibly reused) device.
+ *
+ * The device is power-cycled first (Device::reset()), so back-to-back
+ * launches on one device are bit-exact with fresh-device runs; the
+ * serving layer (src/service) relies on this to keep one simulated
+ * device per cube partition instead of constructing a new one per
+ * request.  @p pipeline must have been compiled for @p dev's geometry.
+ */
+LaunchResult launchOnDevice(Device &dev, const CompiledPipeline &pipeline,
+                            const std::map<std::string, Image> &inputs);
+
 /** Compile + run in one call on a fresh device; convenience for tests. */
 LaunchResult runPipeline(const PipelineDef &def, const HardwareConfig &cfg,
                          const std::map<std::string, Image> &inputs,

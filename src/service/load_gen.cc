@@ -1,0 +1,37 @@
+#include "service/load_gen.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace ipim {
+
+std::vector<ServeRequest>
+generatePoissonWorkload(const WorkloadSpec &spec)
+{
+    if (spec.pipelines.empty())
+        fatal("workload needs at least one pipeline");
+    if (!(spec.ratePerSec > 0.0))
+        fatal("arrival rate must be positive, got ", spec.ratePerSec);
+
+    // 1 cycle == 1 ns, so rate r req/s => mean gap of 1e9/r cycles.
+    f64 meanGapCycles = 1e9 / spec.ratePerSec;
+
+    SplitMix64 rng(spec.seed);
+    std::vector<ServeRequest> reqs;
+    reqs.reserve(spec.requests);
+    f64 t = 0.0;
+    for (u32 i = 0; i < spec.requests; ++i) {
+        t += rng.nextExponential(meanGapCycles);
+        ServeRequest r;
+        r.id = i;
+        r.pipeline = spec.pipelines[rng.next() % spec.pipelines.size()];
+        r.arrival = Cycle(std::llround(t));
+        r.inputSeed = rng.next() | 1; // never zero
+        reqs.push_back(std::move(r));
+    }
+    return reqs;
+}
+
+} // namespace ipim

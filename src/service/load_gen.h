@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Open-loop Poisson load generator for the serving layer.
+ *
+ * Requests arrive at exponentially distributed interarrival times (a
+ * Poisson process) regardless of how fast the device drains them —
+ * open-loop, as production front-ends see traffic.  Everything is
+ * derived from one seed through the repo's SplitMix64 stream, so a
+ * (workload, seed) pair fully determines the arrival trace: no
+ * wall-clock anywhere.
+ */
+#ifndef IPIM_SERVICE_LOAD_GEN_H_
+#define IPIM_SERVICE_LOAD_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ipim {
+
+/** One image-processing request entering the serving layer. */
+struct ServeRequest
+{
+    u64 id = 0;            ///< submission order, unique
+    std::string pipeline;  ///< benchmark/pipeline name
+    Cycle arrival = 0;     ///< virtual arrival time (1 cycle == 1 ns)
+    u64 inputSeed = 1;     ///< per-request synthetic input seed
+};
+
+/** Workload description for the generator. */
+struct WorkloadSpec
+{
+    std::vector<std::string> pipelines; ///< sampled uniformly per request
+    f64 ratePerSec = 1e5; ///< mean arrival rate (1 cycle == 1 ns)
+    u32 requests = 100;
+    u64 seed = 1;
+};
+
+/**
+ * Generate @p spec.requests arrivals sorted by time.  Pipeline choice,
+ * interarrival gaps, and per-request input seeds all come from the same
+ * seeded stream.
+ */
+std::vector<ServeRequest> generatePoissonWorkload(const WorkloadSpec &spec);
+
+} // namespace ipim
+
+#endif // IPIM_SERVICE_LOAD_GEN_H_

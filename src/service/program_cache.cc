@@ -1,0 +1,92 @@
+#include "service/program_cache.h"
+
+#include <sstream>
+
+namespace ipim {
+
+namespace {
+
+/**
+ * Nominal cycles-per-instruction for uncalibrated estimates.  Measured
+ * CPIs on the bench geometries range from ~4 (compute-dense kernels) to
+ * ~20 (short programs dominated by fixed refresh/drain overhead); the
+ * proxy only has to order pipelines of very different sizes correctly.
+ */
+constexpr Cycle kUncalibratedCpi = 4;
+
+/** Geometry/policy fields that affect generated code or its timing. */
+std::string
+geometryKey(const HardwareConfig &cfg)
+{
+    std::ostringstream k;
+    k << 'c' << cfg.cubes << 'v' << cfg.vaultsPerCube << 'g'
+      << cfg.pgsPerVault << 'e' << cfg.pesPerPg << ";bank="
+      << cfg.bankBytes << ";row=" << cfg.dramRowBytes << ";pgsm="
+      << cfg.pgsmBytes << ";vsm=" << cfg.vsmBytes << ";drf="
+      << cfg.dataRfBytes << ";arf=" << cfg.addrRfBytes << ";crf="
+      << cfg.ctrlRfEntries << ";mesh=" << cfg.meshCols << ";ponb="
+      << (cfg.processOnBaseDie ? 1 : 0) << ";page="
+      << (cfg.pagePolicy == PagePolicy::kOpenPage ? "open" : "close")
+      << ";sched="
+      << (cfg.schedPolicy == SchedPolicy::kFrFcfs ? "frfcfs" : "fcfs");
+    return k.str();
+}
+
+} // namespace
+
+Cycle
+CachedProgram::estimate() const
+{
+    if (calibrated)
+        return measuredCycles;
+    u64 vaults = u64(compiled.cfg.cubes) * compiled.cfg.vaultsPerCube;
+    u64 perVault = compiled.totalInstructions() / std::max<u64>(1, vaults);
+    return std::max<Cycle>(1, perVault * kUncalibratedCpi);
+}
+
+void
+CachedProgram::recordMeasurement(Cycle cycles)
+{
+    if (!calibrated) {
+        measuredCycles = cycles;
+        calibrated = true;
+    }
+}
+
+std::string
+ProgramCache::makeKey(const std::string &pipeline, int width, int height,
+                      const HardwareConfig &cfg,
+                      const CompilerOptions &opts)
+{
+    std::ostringstream k;
+    k << pipeline << '|' << width << 'x' << height << '|'
+      << geometryKey(cfg) << '|' << opts.cacheKey();
+    return k.str();
+}
+
+CachedProgram &
+ProgramCache::get(const std::string &pipeline, int width, int height,
+                  const HardwareConfig &cfg, const CompilerOptions &opts,
+                  const DefFactory &makeDef)
+{
+    std::string key = makeKey(pipeline, width, height, cfg, opts);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        ++hits_;
+        ++it->second.hits;
+        if (stats_)
+            stats_->inc("serve.cache.hit");
+        return it->second;
+    }
+    CachedProgram entry;
+    entry.compiled = compilePipeline(makeDef(), cfg, opts);
+    ++compiles_;
+    if (stats_) {
+        stats_->inc("serve.cache.miss");
+        stats_->inc("serve.cache.compiledInstructions",
+                    f64(entry.compiled.totalInstructions()));
+    }
+    return entries_.emplace(key, std::move(entry)).first->second;
+}
+
+} // namespace ipim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Compiled-program cache for the serving layer.
+ *
+ * Compilation is the expensive host-side step of serving a request, and
+ * a production deployment sees the same few pipelines at the same few
+ * geometries over and over.  The cache compiles each
+ * (pipeline, image size, device geometry, CompilerOptions) key once and
+ * reuses the CompiledPipeline for every later request, counting hits and
+ * misses into a StatsRegistry ("serve.cache.*").
+ *
+ * Each entry also carries the *calibrated* cycle estimate the
+ * shortest-job-first scheduler consumes: before a program has ever
+ * executed, the estimate is a static instruction-count proxy; after the
+ * first execution it is the measured cycle count of that run.
+ */
+#ifndef IPIM_SERVICE_PROGRAM_CACHE_H_
+#define IPIM_SERVICE_PROGRAM_CACHE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "compiler/codegen.h"
+
+namespace ipim {
+
+/** One cached compilation with its calibration state. */
+struct CachedProgram
+{
+    CompiledPipeline compiled;
+    Cycle measuredCycles = 0; ///< first measured execution
+    bool calibrated = false;
+    u64 hits = 0;
+
+    /**
+     * Execution-cycle estimate for scheduling.  Uncalibrated entries
+     * fall back to static-instructions-per-vault times a nominal CPI;
+     * only the relative order between pipelines matters there.
+     */
+    Cycle estimate() const;
+
+    /** Record a measured execution (first measurement calibrates). */
+    void recordMeasurement(Cycle cycles);
+};
+
+class ProgramCache
+{
+  public:
+    /** @p stats receives serve.cache.* counters; may be null. */
+    explicit ProgramCache(StatsRegistry *stats) : stats_(stats) {}
+
+    /** Builds the PipelineDef on a cache miss (never called on a hit). */
+    using DefFactory = std::function<PipelineDef()>;
+
+    /**
+     * Look up (compiling on miss) the program for @p pipeline at
+     * @p width x @p height on geometry @p cfg with options @p opts.
+     * The returned reference stays valid for the cache's lifetime.
+     */
+    CachedProgram &get(const std::string &pipeline, int width, int height,
+                       const HardwareConfig &cfg,
+                       const CompilerOptions &opts,
+                       const DefFactory &makeDef);
+
+    /** Cache key for the given coordinates (exposed for tests). */
+    static std::string makeKey(const std::string &pipeline, int width,
+                               int height, const HardwareConfig &cfg,
+                               const CompilerOptions &opts);
+
+    size_t size() const { return entries_.size(); }
+    u64 compiles() const { return compiles_; }
+    u64 hits() const { return hits_; }
+
+  private:
+    std::map<std::string, CachedProgram> entries_;
+    StatsRegistry *stats_;
+    u64 compiles_ = 0;
+    u64 hits_ = 0;
+};
+
+} // namespace ipim
+
+#endif // IPIM_SERVICE_PROGRAM_CACHE_H_

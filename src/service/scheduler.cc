@@ -1,0 +1,55 @@
+#include "service/scheduler.h"
+
+#include "common/logging.h"
+
+namespace ipim {
+
+size_t
+FifoScheduler::pick(const std::vector<PendingRequest> &queue) const
+{
+    if (queue.empty())
+        panic("scheduler invoked on an empty queue");
+    size_t best = 0;
+    for (size_t i = 1; i < queue.size(); ++i) {
+        if (queue[i].arrival < queue[best].arrival ||
+            (queue[i].arrival == queue[best].arrival &&
+             queue[i].id < queue[best].id)) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+size_t
+SjfScheduler::pick(const std::vector<PendingRequest> &queue) const
+{
+    if (queue.empty())
+        panic("scheduler invoked on an empty queue");
+    size_t best = 0;
+    for (size_t i = 1; i < queue.size(); ++i) {
+        const PendingRequest &a = queue[i];
+        const PendingRequest &b = queue[best];
+        if (a.estimate != b.estimate) {
+            if (a.estimate < b.estimate)
+                best = i;
+        } else if (a.arrival != b.arrival) {
+            if (a.arrival < b.arrival)
+                best = i;
+        } else if (a.id < b.id) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::unique_ptr<Scheduler>
+makeScheduler(const std::string &policy)
+{
+    if (policy == "fifo")
+        return std::make_unique<FifoScheduler>();
+    if (policy == "sjf")
+        return std::make_unique<SjfScheduler>();
+    fatal("unknown scheduler policy '", policy, "' (want fifo|sjf)");
+}
+
+} // namespace ipim

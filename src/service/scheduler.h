@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Pluggable request-scheduling policies for the serving layer.
+ *
+ * A scheduler sees the queue of pending requests whenever a device
+ * partition frees up and picks which one to dispatch next.  Policies are
+ * deliberately stateless: all the information they may use (arrival time,
+ * calibrated cycle estimate) is in the queue snapshot, so runs are
+ * reproducible and policies are trivially swappable.
+ */
+#ifndef IPIM_SERVICE_SCHEDULER_H_
+#define IPIM_SERVICE_SCHEDULER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ipim {
+
+/** Scheduler-visible view of one queued request. */
+struct PendingRequest
+{
+    u64 id = 0;          ///< submission order, unique
+    Cycle arrival = 0;   ///< virtual arrival time
+    Cycle estimate = 0;  ///< calibrated execution-cycle estimate
+};
+
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Index into @p queue of the request to dispatch; queue non-empty. */
+    virtual size_t pick(const std::vector<PendingRequest> &queue) const = 0;
+};
+
+/** First-in-first-out: earliest arrival wins (ties: lowest id). */
+class FifoScheduler : public Scheduler
+{
+  public:
+    const char *name() const override { return "fifo"; }
+    size_t pick(const std::vector<PendingRequest> &queue) const override;
+};
+
+/**
+ * Shortest-job-first over calibrated cycle estimates (ties: earliest
+ * arrival, then lowest id, so runs stay deterministic).
+ */
+class SjfScheduler : public Scheduler
+{
+  public:
+    const char *name() const override { return "sjf"; }
+    size_t pick(const std::vector<PendingRequest> &queue) const override;
+};
+
+/** Factory by policy name ("fifo" | "sjf"); throws on unknown names. */
+std::unique_ptr<Scheduler> makeScheduler(const std::string &policy);
+
+} // namespace ipim
+
+#endif // IPIM_SERVICE_SCHEDULER_H_

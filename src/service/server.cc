@@ -1,0 +1,225 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "apps/benchmarks.h"
+#include "common/logging.h"
+#include "runtime/runtime.h"
+
+namespace ipim {
+
+namespace {
+
+constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
+
+std::string
+fmtMs(f64 cycles)
+{
+    std::ostringstream s;
+    s.precision(3);
+    s << std::fixed << cycles * 1e-6 << " ms";
+    return s.str();
+}
+
+} // namespace
+
+f64
+ServeReport::throughputRps() const
+{
+    if (makespan == 0)
+        return 0.0;
+    return f64(records.size()) / (f64(makespan) * 1e-9);
+}
+
+std::string
+ServeReport::summary() const
+{
+    std::ostringstream out;
+    out << "served " << records.size() << " requests in "
+        << fmtMs(f64(makespan)) << " of virtual time ("
+        << u64(throughputRps()) << " req/s)\n";
+    auto line = [&](const char *what, const LatencyHistogram &h) {
+        out << "  " << what << " latency: p50 " << fmtMs(h.percentile(50))
+            << " | p95 " << fmtMs(h.percentile(95)) << " | p99 "
+            << fmtMs(h.percentile(99)) << " | mean " << fmtMs(h.mean())
+            << "\n";
+    };
+    line("total", totalLatency);
+    line("queue", queueLatency);
+    line("exec ", execLatency);
+    out << "  program cache: " << u64(stats.get("serve.cache.miss"))
+        << " compiles, " << u64(stats.get("serve.cache.hit")) << " hits\n";
+    return out.str();
+}
+
+Server::Server(const ServerConfig &cfg) : cfg_(cfg)
+{
+    cfg_.hw.validate();
+    u32 per = cfg_.share == ShareMode::kWholeDevice ? cfg_.hw.cubes
+                                                    : cfg_.cubesPerRequest;
+    if (per == 0 || per > cfg_.hw.cubes)
+        fatal("cubesPerRequest ", per, " invalid for ", cfg_.hw.cubes,
+              " cubes");
+    if (cfg_.hw.cubes % per != 0)
+        fatal("cubesPerRequest ", per, " must divide cube count ",
+              cfg_.hw.cubes);
+    cfg_.cubesPerRequest = per;
+
+    HardwareConfig slotCfg = slotConfig();
+    for (u32 first = 0; first < cfg_.hw.cubes; first += per) {
+        Slot s;
+        s.firstCube = first;
+        s.numCubes = per;
+        s.dev = std::make_unique<Device>(slotCfg);
+        slots_.push_back(std::move(s));
+    }
+}
+
+Server::~Server() = default;
+
+HardwareConfig
+Server::slotConfig() const
+{
+    HardwareConfig c = cfg_.hw;
+    c.cubes = cfg_.share == ShareMode::kWholeDevice ? cfg_.hw.cubes
+                                                    : cfg_.cubesPerRequest;
+    return c;
+}
+
+ServeReport
+Server::run(const std::vector<ServeRequest> &requests)
+{
+    ServeReport rep;
+
+    // The cache lives for one serving run so its hit/miss counters land
+    // in this report; each (pipeline, geometry, options) key compiles
+    // exactly once across all 'requests'.
+    ProgramCache cache(&rep.stats);
+    std::unique_ptr<Scheduler> sched = makeScheduler(cfg_.policy);
+    HardwareConfig slotCfg = slotConfig();
+
+    std::vector<ServeRequest> sorted = requests;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const ServeRequest &a, const ServeRequest &b) {
+                         return a.arrival != b.arrival
+                                    ? a.arrival < b.arrival
+                                    : a.id < b.id;
+                     });
+
+    struct Active
+    {
+        size_t slot;
+        Cycle finishAt;
+        size_t record;
+    };
+
+    std::vector<Queued> pending;
+    std::vector<Active> active;
+    size_t next = 0;
+    Cycle now = 0;
+
+    auto admit = [&](const ServeRequest &req) {
+        Queued q;
+        q.req = req;
+        u64 missesBefore = cache.compiles();
+        int w = cfg_.width;
+        int h = cfg_.height;
+        q.program =
+            &cache.get(req.pipeline, w, h, slotCfg, cfg_.copts, [&]() {
+                return makeBenchmark(req.pipeline, w, h).def;
+            });
+        q.cacheHit = cache.compiles() == missesBefore;
+        pending.push_back(std::move(q));
+    };
+
+    auto dispatch = [&](size_t slotIdx) {
+        std::vector<PendingRequest> view;
+        view.reserve(pending.size());
+        for (const Queued &q : pending)
+            view.push_back({q.req.id, q.req.arrival,
+                            q.program->estimate() +
+                                (q.cacheHit ? 0
+                                            : cfg_.compileCyclesPerInst *
+                                                  q.program->compiled
+                                                      .totalInstructions())});
+        size_t picked = sched->pick(view);
+        Queued q = std::move(pending[picked]);
+        pending.erase(pending.begin() + ptrdiff_t(picked));
+
+        Slot &slot = slots_[slotIdx];
+        slot.busy = true;
+
+        // Real cycle-level execution on the partition's reused device.
+        BenchmarkApp app = makeBenchmark(q.req.pipeline, cfg_.width,
+                                         cfg_.height, q.req.inputSeed);
+        LaunchResult res =
+            launchOnDevice(*slot.dev, q.program->compiled, app.inputs);
+        q.program->recordMeasurement(res.cycles);
+        rep.stats.merge(slot.dev->stats());
+
+        RequestRecord rec;
+        rec.id = q.req.id;
+        rec.pipeline = q.req.pipeline;
+        rec.arrival = q.req.arrival;
+        rec.start = now;
+        rec.execCycles = res.cycles;
+        if (!q.cacheHit)
+            rec.compileCycles = cfg_.compileCyclesPerInst *
+                                q.program->compiled.totalInstructions();
+        rec.finish = now + rec.compileCycles + rec.execCycles;
+        rec.firstCube = slot.firstCube;
+        rec.numCubes = slot.numCubes;
+        rec.cacheHit = q.cacheHit;
+
+        active.push_back({slotIdx, rec.finish, rep.records.size()});
+        rep.records.push_back(std::move(rec));
+    };
+
+    while (true) {
+        // 1. Admit arrivals due now.
+        while (next < sorted.size() && sorted[next].arrival <= now)
+            admit(sorted[next++]);
+
+        // 2. Retire completions due now.
+        for (size_t i = 0; i < active.size();) {
+            if (active[i].finishAt <= now) {
+                slots_[active[i].slot].busy = false;
+                rep.makespan = std::max(rep.makespan, active[i].finishAt);
+                active.erase(active.begin() + ptrdiff_t(i));
+            } else {
+                ++i;
+            }
+        }
+
+        // 3. Dispatch onto every free slot while work is pending.
+        for (size_t s = 0; s < slots_.size() && !pending.empty(); ++s)
+            if (!slots_[s].busy)
+                dispatch(s);
+
+        // 4. Advance virtual time to the next event.
+        Cycle tNext = next < sorted.size() ? sorted[next].arrival : kNever;
+        for (const Active &a : active)
+            tNext = std::min(tNext, a.finishAt);
+        if (tNext == kNever)
+            break;
+        now = tNext;
+    }
+
+    for (const RequestRecord &r : rep.records) {
+        rep.queueLatency.add(f64(r.queueCycles()));
+        rep.execLatency.add(f64(r.compileCycles + r.execCycles));
+        rep.totalLatency.add(f64(r.totalCycles()));
+    }
+    rep.queueLatency.exportTo(rep.stats, "serve.latency.queue");
+    rep.execLatency.exportTo(rep.stats, "serve.latency.exec");
+    rep.totalLatency.exportTo(rep.stats, "serve.latency.total");
+    rep.stats.set("serve.requests", f64(rep.records.size()));
+    rep.stats.set("serve.makespanCycles", f64(rep.makespan));
+    rep.stats.set("serve.throughputRps", rep.throughputRps());
+    rep.stats.set("serve.slots", f64(slots_.size()));
+    return rep;
+}
+
+} // namespace ipim

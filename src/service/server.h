@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Multi-tenant serving layer: a virtual-time event loop that accepts a
+ * stream of image-processing requests, compiles them through the program
+ * cache, and schedules them onto the simulated device.
+ *
+ * Space sharing is cube-granular (iPIM's cubes only interact over
+ * SERDES, and a request's working set never crosses its partition, so a
+ * k-cube partition is modelled exactly by an isolated k-cube Device).
+ * The server keeps one reusable Device per partition slot — power-cycled
+ * with Device::reset() between launches — and advances a virtual clock
+ * from arrival to completion events; request *execution* is the real
+ * cycle-level simulation, so latency numbers inherit the simulator's
+ * fidelity.
+ */
+#ifndef IPIM_SERVICE_SERVER_H_
+#define IPIM_SERVICE_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "service/load_gen.h"
+#include "service/program_cache.h"
+#include "service/scheduler.h"
+#include "sim/device.h"
+
+namespace ipim {
+
+/** How the device is partitioned between concurrent requests. */
+enum class ShareMode {
+    kWholeDevice, ///< each request occupies every cube (no sharing)
+    kPerCube,     ///< cube-granular: disjoint partitions run concurrently
+};
+
+struct ServerConfig
+{
+    /** Full device geometry; hw.cubes is the total cube count. */
+    HardwareConfig hw;
+    int width = 256;
+    int height = 128;
+    CompilerOptions copts;
+    std::string policy = "fifo"; ///< scheduler name (fifo | sjf)
+    ShareMode share = ShareMode::kPerCube;
+    u32 cubesPerRequest = 1; ///< partition width in kPerCube mode
+
+    /**
+     * Host-side compilation latency model: cycles charged per static
+     * instruction to the request that misses the program cache.  Keeps
+     * compilation on the request's critical path (as in a real server)
+     * while staying deterministic; 0 disables the charge.
+     */
+    Cycle compileCyclesPerInst = 10;
+};
+
+/** Everything recorded about one served request. */
+struct RequestRecord
+{
+    u64 id = 0;
+    std::string pipeline;
+    Cycle arrival = 0;
+    Cycle start = 0;   ///< dispatch time (queueing ends)
+    Cycle finish = 0;
+    Cycle execCycles = 0;    ///< simulated device cycles
+    Cycle compileCycles = 0; ///< charged on a program-cache miss
+    u32 firstCube = 0;       ///< first cube of the assigned partition
+    u32 numCubes = 0;
+    bool cacheHit = false;
+
+    Cycle queueCycles() const { return start - arrival; }
+    Cycle totalCycles() const { return finish - arrival; }
+};
+
+/** Aggregate results of one serving run. */
+struct ServeReport
+{
+    std::vector<RequestRecord> records;
+    Cycle makespan = 0; ///< virtual time of the last completion
+    LatencyHistogram queueLatency;
+    LatencyHistogram execLatency;
+    LatencyHistogram totalLatency;
+
+    /**
+     * serve.* counters (cache, scheduler, latency percentiles) plus the
+     * merged per-request device stats.
+     */
+    StatsRegistry stats;
+
+    /** Served requests per second of virtual time. */
+    f64 throughputRps() const;
+
+    /** Human-readable multi-line summary. */
+    std::string summary() const;
+};
+
+class Server
+{
+  public:
+    explicit Server(const ServerConfig &cfg);
+    ~Server();
+
+    /** Serve @p requests (any order; sorted internally by arrival). */
+    ServeReport run(const std::vector<ServeRequest> &requests);
+
+    /** Partition slots the configuration yields (for tests). */
+    u32 slots() const { return u32(slots_.size()); }
+
+    const ServerConfig &config() const { return cfg_; }
+
+  private:
+    struct Slot
+    {
+        u32 firstCube = 0;
+        u32 numCubes = 0;
+        std::unique_ptr<Device> dev;
+        bool busy = false;
+    };
+
+    struct Queued
+    {
+        ServeRequest req;
+        CachedProgram *program = nullptr;
+        bool cacheHit = false;
+    };
+
+    /** Geometry of one partition slot. */
+    HardwareConfig slotConfig() const;
+
+    ServerConfig cfg_;
+    std::vector<Slot> slots_;
+};
+
+} // namespace ipim
+
+#endif // IPIM_SERVICE_SERVER_H_

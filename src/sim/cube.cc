@@ -75,6 +75,16 @@ Cube::tick(Cycle now)
     mesh_.tick();
 }
 
+void
+Cube::reset()
+{
+    for (auto &vault : vaults_)
+        vault->hardReset();
+    mesh_.reset();
+    serdesEgress_.clear();
+    serdesIngressRetry_.clear();
+}
+
 bool
 Cube::fullyIdle() const
 {

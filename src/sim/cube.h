@@ -33,6 +33,9 @@ class Cube
 
     bool fullyIdle() const;
 
+    /** Power-cycle the cube: all vaults, the mesh, and SERDES buffers. */
+    void reset();
+
   private:
     const HardwareConfig &cfg_;
     u32 chipId_;

@@ -11,6 +11,17 @@ Device::Device(const HardwareConfig &cfg) : cfg_(cfg)
         cubes_.push_back(std::make_unique<Cube>(cfg_, c, &stats_));
 }
 
+void
+Device::reset()
+{
+    for (auto &cube : cubes_)
+        cube->reset();
+    serdes_.clear();
+    now_ = 0;
+    lastRunCycles_ = 0;
+    stats_.clear();
+}
+
 BankStorage &
 Device::bank(u32 chip, u32 v, u32 pg, u32 pe)
 {

@@ -44,6 +44,15 @@ class Device
     /** Cycles executed by the last run(). */
     Cycle lastRunCycles() const { return lastRunCycles_; }
 
+    /**
+     * Power-cycle the device so it can be reused for another launch:
+     * unloads programs, erases all DRAM/scratchpad contents and
+     * row-buffer/refresh/NoC/SERDES state, rewinds the clock to 0, and
+     * clears the stats registry.  A reset device behaves bit-exactly
+     * like a freshly constructed one (tests/test_runtime.cc).
+     */
+    void reset();
+
     StatsRegistry &stats() { return stats_; }
     const StatsRegistry &stats() const { return stats_; }
 

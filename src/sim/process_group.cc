@@ -26,6 +26,15 @@ ProcessGroup::reset(u32 chipId, u32 vaultId)
     remoteDone_.clear();
 }
 
+void
+ProcessGroup::hardReset(u32 chipId, u32 vaultId)
+{
+    reset(chipId, vaultId);
+    mc_.reset();
+    pgsm_.clear();
+    nextMemId_ = 1;
+}
+
 bool
 ProcessGroup::submitBankAccess(Cycle now, InFlightInst *fi, u32 peInPg,
                                Opcode op, u64 bankAddr, u16 drfIdx,

@@ -37,6 +37,12 @@ class ProcessGroup
 
     void reset(u32 chipId, u32 vaultId);
 
+    /**
+     * Power-cycle the PG: soft reset plus erased PGSM/bank contents,
+     * closed DRAM rows, restarted refresh timers, and rewound tags.
+     */
+    void hardReset(u32 chipId, u32 vaultId);
+
     /** Advance one cycle: MC, completion routing, then the PEs. */
     void tick(Cycle now);
 

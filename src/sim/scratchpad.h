@@ -87,6 +87,9 @@ class Scratchpad
         std::memcpy(dst, data_.data() + addr, len);
     }
 
+    /** Zero the whole scratchpad (device power-cycle). */
+    void clear() { std::fill(data_.begin(), data_.end(), u8(0)); }
+
   private:
     void
     checkLane(u32 addr) const
@@ -124,6 +127,14 @@ class TsvBus
 
     /** True if no reservation extends beyond @p now. */
     bool quiescentAt(Cycle now) const { return nextFree_ <= now; }
+
+    /** Release all reservations and zero the beat counter. */
+    void
+    reset()
+    {
+        nextFree_ = 0;
+        beats_ = 0;
+    }
 
   private:
     Cycle nextFree_ = 0;

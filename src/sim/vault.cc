@@ -37,6 +37,21 @@ Vault::reset()
 }
 
 void
+Vault::hardReset()
+{
+    prog_.clear();
+    progAccess_.clear();
+    reset();
+    for (auto &pg : pgs_)
+        pg->hardReset(chipId_, vaultId_);
+    vsm_.clear();
+    tsv_.reset();
+    actLimiter_->reset();
+    nextSeq_ = 1;
+    nextReqTag_ = 1;
+}
+
+void
 Vault::validateProgram(const std::vector<Instruction> &prog) const
 {
     u32 validMask = numPes() >= 32 ? 0xFFFFFFFFu : ((1u << numPes()) - 1);

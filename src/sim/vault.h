@@ -35,6 +35,14 @@ class Vault
     /** Reset architectural and micro-architectural state (keeps banks). */
     void reset();
 
+    /**
+     * Power-cycle the vault: reset() plus unloaded program, erased
+     * VSM/PGSM/bank contents, closed DRAM rows, restarted refresh
+     * timers, released TSV reservations, and rewound seq/tag counters.
+     * Afterwards the vault is indistinguishable from a fresh one.
+     */
+    void hardReset();
+
     /** Deliver an incoming network packet to the NIC. */
     void deliver(const Packet &p);
 

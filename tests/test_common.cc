@@ -1,10 +1,15 @@
 /** Unit tests for src/common: intervals, images, stats, config. */
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/config.h"
+#include "common/histogram.h"
 #include "common/image.h"
 #include "common/interval.h"
+#include "common/json.h"
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/stats.h"
 
 namespace ipim {
@@ -154,6 +159,112 @@ TEST(Logging, FatalAndPanicCarryMessages)
                   std::string::npos);
     }
     EXPECT_THROW(panic("impossible"), PanicError);
+}
+
+TEST(Rng, SplitMix64IsDeterministicAndSeedSensitive)
+{
+    SplitMix64 a(123), b(123), c(124);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    SplitMix64 a2(123);
+    for (int i = 0; i < 16; ++i)
+        differs = differs || a2.next() != c.next();
+    EXPECT_TRUE(differs);
+    // Free-function form matches the known SplitMix64 test vector.
+    EXPECT_EQ(splitMix64(0), 0xe220a8397b1dcdafull);
+}
+
+TEST(Rng, UnitAndExponentialVariatesAreWellFormed)
+{
+    SplitMix64 rng(7);
+    f64 sum = 0;
+    for (int i = 0; i < 4096; ++i) {
+        f64 u = rng.nextUnit();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        f64 e = rng.nextExponential(100.0);
+        EXPECT_GE(e, 0.0);
+        sum += e;
+    }
+    // Mean of 4096 exp(100) draws concentrates near 100.
+    EXPECT_NEAR(sum / 4096.0, 100.0, 10.0);
+}
+
+TEST(Histogram, NearestRankPercentiles)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.percentile(50), 0.0);
+    for (int v = 1; v <= 100; ++v)
+        h.add(f64(v));
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.min(), 1.0);
+    EXPECT_EQ(h.max(), 100.0);
+    EXPECT_EQ(h.mean(), 50.5);
+    EXPECT_EQ(h.percentile(50), 50.0);
+    EXPECT_EQ(h.percentile(95), 95.0);
+    EXPECT_EQ(h.percentile(99), 99.0);
+    EXPECT_EQ(h.percentile(100), 100.0);
+    EXPECT_EQ(h.percentile(0), 1.0); // rank clamps to the first sample
+    // Adding after a percentile query invalidates the sorted cache.
+    h.add(1000.0);
+    EXPECT_EQ(h.percentile(100), 1000.0);
+}
+
+TEST(Histogram, SingleSampleAndExport)
+{
+    LatencyHistogram h;
+    h.add(42.0);
+    EXPECT_EQ(h.percentile(50), 42.0);
+    EXPECT_EQ(h.percentile(99), 42.0);
+    StatsRegistry reg;
+    h.exportTo(reg, "lat");
+    EXPECT_EQ(reg.get("lat.count"), 1.0);
+    EXPECT_EQ(reg.get("lat.mean"), 42.0);
+    EXPECT_EQ(reg.get("lat.p50"), 42.0);
+    EXPECT_EQ(reg.get("lat.p95"), 42.0);
+    EXPECT_EQ(reg.get("lat.p99"), 42.0);
+}
+
+TEST(Json, ObjectsArraysAndCommas)
+{
+    JsonWriter j;
+    j.field("a", 1).field("b", "two");
+    j.key("nested").beginObject();
+    j.field("c", true).field("d", false);
+    j.endObject();
+    j.key("list").beginArray();
+    j.value(u64(1)).value(u64(2)).value(u64(3));
+    j.endArray();
+    EXPECT_EQ(j.finish(),
+              "{\"a\":1,\"b\":\"two\",\"nested\":{\"c\":true,\"d\":false},"
+              "\"list\":[1,2,3]}");
+}
+
+TEST(Json, EscapesAndNumberFormatting)
+{
+    JsonWriter j;
+    j.field("quote", "a\"b\\c\nd\te");
+    j.field("int_exact", u64(1) << 52);
+    j.field("neg", i64(-7));
+    j.field("frac", 0.5);
+    j.field("nan", std::numeric_limits<f64>::quiet_NaN());
+    std::string doc = j.finish();
+    EXPECT_NE(doc.find("\"a\\\"b\\\\c\\nd\\te\""), std::string::npos);
+    EXPECT_NE(doc.find("4503599627370496"), std::string::npos);
+    EXPECT_NE(doc.find("-7"), std::string::npos);
+    EXPECT_NE(doc.find("0.5"), std::string::npos);
+    EXPECT_NE(doc.find("\"nan\":null"), std::string::npos);
+}
+
+TEST(Json, StatsObjectEmitsEveryCounter)
+{
+    StatsRegistry reg;
+    reg.set("x.a", 1);
+    reg.set("x.b", 2.5);
+    JsonWriter j;
+    j.statsObject("stats", reg);
+    EXPECT_EQ(j.finish(), "{\"stats\":{\"x.a\":1,\"x.b\":2.5}}");
 }
 
 } // namespace

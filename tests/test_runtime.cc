@@ -30,6 +30,154 @@ TEST(Runtime, ScatterGatherRoundTrip)
     EXPECT_EQ(img.maxAbsDiff(back), 0.0f);
 }
 
+/** A one-stage copy pipeline over @p w x @p h with an 8x8 tile. */
+PipelineDef
+copyPipeline(int w, int h)
+{
+    FuncPtr in = Func::input("in");
+    FuncPtr out = Func::make("copy");
+    out->define(x, y, (*in)(x, y) * 1.0f);
+    out->computeRoot().ipimTile(8, 8);
+    return PipelineDef{"copy", out, w, h, {}};
+}
+
+TEST(Runtime, ScatterGatherNonMultipleOfTileDims)
+{
+    // 61x37 with an 8x8 tile leaves partial tiles on both edges; the
+    // scatter/gather addressing must still round-trip every pixel.
+    PipelineDef def = copyPipeline(61, 37);
+    HardwareConfig cfg = HardwareConfig::tiny();
+    CompiledPipeline cp = compilePipeline(def, cfg);
+    Device dev(cfg);
+    Runtime rt(dev, cp);
+    Image img = Image::synthetic(61, 37, 77);
+    const Layout &l = cp.layouts->of(cp.analysis->stages.front().func);
+    rt.scatterImage(l, img);
+    EXPECT_EQ(img.maxAbsDiff(rt.gather(l, 61, 37)), 0.0f);
+}
+
+TEST(Runtime, ScatterGatherMultiCubeLayout)
+{
+    // Two cubes: tile rows span chips, so PixelHome.chip varies.
+    PipelineDef def = copyPipeline(64, 48);
+    HardwareConfig cfg = HardwareConfig::tiny();
+    cfg.cubes = 2;
+    CompiledPipeline cp = compilePipeline(def, cfg);
+    Device dev(cfg);
+    Runtime rt(dev, cp);
+    Image img = Image::synthetic(64, 48, 3);
+    const Layout &l = cp.layouts->of(cp.analysis->stages.front().func);
+    bool crossesChips = false;
+    for (i64 yy = 0; yy < 48 && !crossesChips; ++yy)
+        crossesChips = l.homeOf(0, yy).chip != 0;
+    EXPECT_TRUE(crossesChips);
+    rt.scatterImage(l, img);
+    EXPECT_EQ(img.maxAbsDiff(rt.gather(l, 64, 48)), 0.0f);
+}
+
+TEST(Runtime, ScatterGatherReplicatedLayout)
+{
+    // Replicated buffers hold a full copy in every PE; gather reads the
+    // canonical copy, which must match what scatter broadcast.
+    HardwareConfig cfg = HardwareConfig::tiny();
+    PipelineDef def = copyPipeline(16, 12);
+    CompiledPipeline cp = compilePipeline(def, cfg);
+    Device dev(cfg);
+    Runtime rt(dev, cp);
+    Layout rep = Layout::replicated(
+        Rect{Interval{0, 15}, Interval{0, 11}}, /*baseAddr=*/4096);
+    Image img = Image::synthetic(16, 12, 21);
+    rt.scatterImage(rep, img);
+    EXPECT_EQ(img.maxAbsDiff(rt.gather(rep, 16, 12)), 0.0f);
+    // Every PE really holds the copy (spot-check a non-canonical one).
+    u32 bits = 0;
+    dev.bank(0, cfg.vaultsPerCube - 1, cfg.pgsPerVault - 1,
+             cfg.pesPerPg - 1)
+        .read(rep.baseAddr() + rep.linearAddr(5, 7),
+              reinterpret_cast<u8 *>(&bits), 4);
+    EXPECT_EQ(laneAsF32(bits), img.at(5, 7));
+}
+
+TEST(Runtime, MultiInputPipelineRoundTripsBothLayouts)
+{
+    // Two-channel add: both input layouts coexist in the banks and each
+    // must round-trip independently before/after execution.
+    FuncPtr a = Func::input("a");
+    FuncPtr b = Func::input("b");
+    FuncPtr out = Func::make("addc");
+    out->define(x, y, (*a)(x, y) + (*b)(x, y));
+    out->computeRoot().ipimTile(8, 8);
+    PipelineDef def{"addc", out, 40, 24, {}};
+    HardwareConfig cfg = HardwareConfig::tiny();
+    CompiledPipeline cp = compilePipeline(def, cfg);
+    Device dev(cfg);
+    Runtime rt(dev, cp);
+    Image ia = Image::synthetic(40, 24, 100);
+    Image ib = Image::synthetic(40, 24, 200);
+    rt.bindInput("a", ia);
+    rt.bindInput("b", ib);
+    LaunchResult res = rt.run();
+    const Layout &la = cp.layouts->of(a);
+    const Layout &lb = cp.layouts->of(b);
+    EXPECT_EQ(ia.maxAbsDiff(rt.gather(la, 40, 24)), 0.0f);
+    EXPECT_EQ(ib.maxAbsDiff(rt.gather(lb, 40, 24)), 0.0f);
+    for (int yy = 0; yy < 24; ++yy)
+        for (int xx = 0; xx < 40; ++xx)
+            ASSERT_EQ(res.output.at(xx, yy), ia.at(xx, yy) + ib.at(xx, yy));
+}
+
+TEST(Runtime, DeviceReuseIsBitExactAfterReset)
+{
+    // Serving keeps one Device per partition and power-cycles it between
+    // requests; a reused device must match a fresh one bit-for-bit —
+    // cycles, output pixels, and every stats counter (DRAM row hits,
+    // refreshes, stalls, ...).
+    HardwareConfig cfg = HardwareConfig::tiny();
+    BenchmarkApp blur = makeBenchmark("Blur", 64, 32);
+    CompiledPipeline cpBlur = compilePipeline(blur.def, cfg);
+    BenchmarkApp shift = makeBenchmark("Shift", 64, 32);
+    CompiledPipeline cpShift = compilePipeline(shift.def, cfg);
+
+    Device fresh(cfg);
+    LaunchResult ref = launchOnDevice(fresh, cpBlur, blur.inputs);
+    std::string refStats = fresh.stats().toString();
+
+    // Dirty a second device with a different pipeline first, then rerun
+    // Blur on it: launchOnDevice resets, so everything must match.
+    Device reused(cfg);
+    (void)launchOnDevice(reused, cpShift, shift.inputs);
+    LaunchResult again = launchOnDevice(reused, cpBlur, blur.inputs);
+
+    EXPECT_EQ(again.cycles, ref.cycles);
+    EXPECT_EQ(again.kernelCycles, ref.kernelCycles);
+    EXPECT_EQ(ref.output.maxAbsDiff(again.output), 0.0f);
+    EXPECT_EQ(reused.stats().toString(), refStats);
+}
+
+TEST(Runtime, DeviceResetClearsStateAndStats)
+{
+    HardwareConfig cfg = HardwareConfig::tiny();
+    BenchmarkApp app = makeBenchmark("Brighten", 64, 32);
+    CompiledPipeline cp = compilePipeline(app.def, cfg);
+    Device dev(cfg);
+    Runtime rt(dev, cp);
+    rt.bindInput("in", app.inputs.at("in"));
+    (void)rt.run();
+    EXPECT_GT(dev.stats().get("core.issued"), 0.0);
+    EXPECT_GT(dev.lastRunCycles(), 0u);
+    dev.reset();
+    EXPECT_EQ(dev.lastRunCycles(), 0u);
+    EXPECT_TRUE(dev.stats().all().empty());
+    // Bank contents are gone too: a fresh gather reads zeros.
+    Runtime rt2(dev, cp);
+    Image zeros =
+        rt2.gather(cp.layouts->of(cp.analysis->stages.front().func), 64,
+                   32);
+    for (int yy = 0; yy < 32; ++yy)
+        for (int xx = 0; xx < 64; ++xx)
+            ASSERT_EQ(zeros.at(xx, yy), 0.0f);
+}
+
 TEST(Runtime, InputRegionsArePaddedWithClampedPixels)
 {
     // Shift reads in(x-4, y-4); the runtime must pad the negative

@@ -1,0 +1,263 @@
+/** Tests for the multi-tenant serving layer (src/service). */
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "service/server.h"
+
+namespace ipim {
+namespace {
+
+/** The smallest geometry that still space-shares: 2 cubes of 4x2x2. */
+HardwareConfig
+twoCubes()
+{
+    HardwareConfig cfg = HardwareConfig::tiny();
+    cfg.cubes = 2;
+    return cfg;
+}
+
+ServerConfig
+smallServer(const std::string &policy, ShareMode share)
+{
+    ServerConfig cfg;
+    cfg.hw = twoCubes();
+    cfg.width = 64;
+    cfg.height = 32;
+    cfg.policy = policy;
+    cfg.share = share;
+    return cfg;
+}
+
+TEST(Scheduler, FifoPicksEarliestArrival)
+{
+    FifoScheduler fifo;
+    std::vector<PendingRequest> q = {
+        {2, 500, 10}, {0, 300, 999}, {1, 400, 1}};
+    EXPECT_EQ(fifo.pick(q), 1u);
+    q.push_back({3, 300, 5}); // same arrival as id 0 -> lowest id wins
+    EXPECT_EQ(fifo.pick(q), 1u);
+}
+
+TEST(Scheduler, SjfPicksSmallestEstimate)
+{
+    SjfScheduler sjf;
+    std::vector<PendingRequest> q = {
+        {0, 100, 500}, {1, 200, 50}, {2, 300, 700}};
+    EXPECT_EQ(sjf.pick(q), 1u);
+    // Tie on estimate: earlier arrival wins.
+    q.push_back({3, 150, 50});
+    EXPECT_EQ(sjf.pick(q), 3u);
+    // Tie on estimate and arrival: lower id wins.
+    q.push_back({4, 150, 50});
+    EXPECT_EQ(sjf.pick(q), 3u);
+}
+
+TEST(Scheduler, FactoryKnowsPoliciesAndRejectsUnknown)
+{
+    EXPECT_STREQ(makeScheduler("fifo")->name(), "fifo");
+    EXPECT_STREQ(makeScheduler("sjf")->name(), "sjf");
+    EXPECT_THROW(makeScheduler("lottery"), FatalError);
+}
+
+TEST(LoadGen, PoissonWorkloadIsDeterministicAndSorted)
+{
+    WorkloadSpec spec;
+    spec.pipelines = {"Blur", "Brighten"};
+    spec.ratePerSec = 50000;
+    spec.requests = 64;
+    spec.seed = 42;
+    std::vector<ServeRequest> a = generatePoissonWorkload(spec);
+    std::vector<ServeRequest> b = generatePoissonWorkload(spec);
+    ASSERT_EQ(a.size(), 64u);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, i);
+        EXPECT_EQ(a[i].arrival, b[i].arrival);
+        EXPECT_EQ(a[i].pipeline, b[i].pipeline);
+        EXPECT_EQ(a[i].inputSeed, b[i].inputSeed);
+        if (i > 0)
+            EXPECT_GE(a[i].arrival, a[i - 1].arrival);
+        EXPECT_TRUE(a[i].pipeline == "Blur" || a[i].pipeline == "Brighten");
+    }
+    // Both pipelines show up in a 64-request uniform draw.
+    size_t blurs = 0;
+    for (const ServeRequest &r : a)
+        blurs += r.pipeline == "Blur";
+    EXPECT_GT(blurs, 0u);
+    EXPECT_LT(blurs, a.size());
+
+    spec.seed = 43;
+    std::vector<ServeRequest> c = generatePoissonWorkload(spec);
+    bool differs = false;
+    for (size_t i = 0; i < c.size(); ++i)
+        differs = differs || c[i].arrival != a[i].arrival;
+    EXPECT_TRUE(differs);
+}
+
+TEST(LoadGen, MeanInterarrivalTracksRate)
+{
+    WorkloadSpec spec;
+    spec.pipelines = {"Shift"};
+    spec.ratePerSec = 1e6; // mean gap 1000 cycles
+    spec.requests = 400;
+    spec.seed = 9;
+    std::vector<ServeRequest> reqs = generatePoissonWorkload(spec);
+    f64 meanGap = f64(reqs.back().arrival) / f64(reqs.size() - 1);
+    EXPECT_GT(meanGap, 800.0);
+    EXPECT_LT(meanGap, 1250.0);
+}
+
+TEST(ProgramCache, CompilesOncePerKeyAndCountsHits)
+{
+    StatsRegistry stats;
+    ProgramCache cache(&stats);
+    HardwareConfig cfg = HardwareConfig::tiny();
+    CompilerOptions opts = CompilerOptions::opt();
+    u32 factoryCalls = 0;
+    auto def = [&]() {
+        ++factoryCalls;
+        return makeBenchmark("Brighten", 64, 32).def;
+    };
+    CachedProgram &a = cache.get("Brighten", 64, 32, cfg, opts, def);
+    CachedProgram &b = cache.get("Brighten", 64, 32, cfg, opts, def);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(factoryCalls, 1u);
+    EXPECT_EQ(cache.compiles(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(stats.get("serve.cache.miss"), 1.0);
+    EXPECT_EQ(stats.get("serve.cache.hit"), 1.0);
+
+    // A different image size is a different key.
+    cache.get("Brighten", 128, 64, cfg, opts, [&]() {
+        ++factoryCalls;
+        return makeBenchmark("Brighten", 128, 64).def;
+    });
+    EXPECT_EQ(factoryCalls, 2u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ProgramCache, KeySeparatesGeometryAndOptions)
+{
+    HardwareConfig tiny = HardwareConfig::tiny();
+    HardwareConfig two = twoCubes();
+    CompilerOptions opt = CompilerOptions::opt();
+    CompilerOptions base = CompilerOptions::baseline1();
+    std::string k = ProgramCache::makeKey("Blur", 64, 32, tiny, opt);
+    EXPECT_NE(k, ProgramCache::makeKey("Blur", 64, 32, two, opt));
+    EXPECT_NE(k, ProgramCache::makeKey("Blur", 64, 32, tiny, base));
+    EXPECT_NE(k, ProgramCache::makeKey("Blur", 32, 64, tiny, opt));
+    EXPECT_EQ(k, ProgramCache::makeKey("Blur", 64, 32, tiny, opt));
+}
+
+TEST(ProgramCache, EstimateCalibratesOnFirstMeasurement)
+{
+    ProgramCache cache(nullptr);
+    HardwareConfig cfg = HardwareConfig::tiny();
+    CachedProgram &p =
+        cache.get("Shift", 64, 32, cfg, CompilerOptions::opt(),
+                  [&]() { return makeBenchmark("Shift", 64, 32).def; });
+    Cycle staticEstimate = p.estimate();
+    EXPECT_GT(staticEstimate, 0u);
+    EXPECT_FALSE(p.calibrated);
+    p.recordMeasurement(1234);
+    EXPECT_TRUE(p.calibrated);
+    EXPECT_EQ(p.estimate(), 1234u);
+    // Later measurements do not re-calibrate (stable SJF ordering).
+    p.recordMeasurement(99);
+    EXPECT_EQ(p.estimate(), 1234u);
+}
+
+TEST(Server, RunsAreDeterministicForOneSeed)
+{
+    WorkloadSpec spec;
+    spec.pipelines = {"Blur", "Brighten"};
+    spec.ratePerSec = 100000;
+    spec.requests = 16;
+    spec.seed = 5;
+    std::vector<ServeRequest> reqs = generatePoissonWorkload(spec);
+
+    ServerConfig cfg = smallServer("sjf", ShareMode::kPerCube);
+    ServeReport a = Server(cfg).run(reqs);
+    ServeReport b = Server(cfg).run(reqs);
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (size_t i = 0; i < a.records.size(); ++i) {
+        EXPECT_EQ(a.records[i].id, b.records[i].id);
+        EXPECT_EQ(a.records[i].start, b.records[i].start);
+        EXPECT_EQ(a.records[i].finish, b.records[i].finish);
+        EXPECT_EQ(a.records[i].execCycles, b.records[i].execCycles);
+        EXPECT_EQ(a.records[i].firstCube, b.records[i].firstCube);
+    }
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.stats.toString(), b.stats.toString());
+}
+
+TEST(Server, ProgramCacheHitsAreVisibleInStats)
+{
+    WorkloadSpec spec;
+    spec.pipelines = {"Blur", "Brighten"};
+    spec.ratePerSec = 100000;
+    spec.requests = 12;
+    spec.seed = 3;
+    ServerConfig cfg = smallServer("fifo", ShareMode::kPerCube);
+    ServeReport rep = Server(cfg).run(generatePoissonWorkload(spec));
+    // 12 requests over 2 pipelines on identical slot geometry: exactly
+    // 2 compiles, everything else hits.
+    EXPECT_EQ(rep.stats.get("serve.cache.miss"), 2.0);
+    EXPECT_EQ(rep.stats.get("serve.cache.hit"), 10.0);
+    u64 hits = 0;
+    for (const RequestRecord &r : rep.records)
+        hits += r.cacheHit;
+    EXPECT_EQ(hits, 10u);
+}
+
+TEST(Server, SpaceSharingBeatsWholeDeviceAtSaturation)
+{
+    // Per-benchmark cube scaling is sublinear, so two 1-cube partitions
+    // finish a saturating backlog sooner than one serialized 2-cube
+    // device (DESIGN.md Sec. 11).
+    WorkloadSpec spec;
+    spec.pipelines = {"Blur", "Brighten", "Shift"};
+    spec.ratePerSec = 2e6; // effectively a pre-loaded backlog
+    spec.requests = 12;
+    spec.seed = 11;
+    std::vector<ServeRequest> reqs = generatePoissonWorkload(spec);
+
+    ServeReport whole =
+        Server(smallServer("fifo", ShareMode::kWholeDevice)).run(reqs);
+    ServeReport shared =
+        Server(smallServer("sjf", ShareMode::kPerCube)).run(reqs);
+    EXPECT_LT(shared.makespan, whole.makespan);
+    EXPECT_EQ(whole.stats.get("serve.slots"), 1.0);
+    EXPECT_EQ(shared.stats.get("serve.slots"), 2.0);
+}
+
+TEST(Server, ReportExportsLatencyPercentilesAndThroughput)
+{
+    WorkloadSpec spec;
+    spec.pipelines = {"Shift"};
+    spec.ratePerSec = 100000;
+    spec.requests = 8;
+    spec.seed = 2;
+    ServerConfig cfg = smallServer("fifo", ShareMode::kPerCube);
+    ServeReport rep = Server(cfg).run(generatePoissonWorkload(spec));
+    EXPECT_EQ(rep.stats.get("serve.requests"), 8.0);
+    EXPECT_EQ(rep.stats.get("serve.latency.total.count"), 8.0);
+    EXPECT_GT(rep.stats.get("serve.latency.total.p50"), 0.0);
+    EXPECT_GE(rep.stats.get("serve.latency.total.p99"),
+              rep.stats.get("serve.latency.total.p50"));
+    EXPECT_GT(rep.stats.get("serve.throughputRps"), 0.0);
+    EXPECT_NEAR(rep.throughputRps(),
+                8.0 / (f64(rep.makespan) * 1e-9), 1e-6);
+    // Device counters from the per-request runs are merged in.
+    EXPECT_GT(rep.stats.get("core.issued"), 0.0);
+}
+
+TEST(Server, RejectsPartitionThatDoesNotDivideCubes)
+{
+    ServerConfig cfg = smallServer("fifo", ShareMode::kPerCube);
+    cfg.hw.cubes = 2;
+    cfg.cubesPerRequest = 3;
+    EXPECT_THROW(Server{cfg}, FatalError);
+}
+
+} // namespace
+} // namespace ipim

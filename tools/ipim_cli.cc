@@ -7,6 +7,10 @@
  * the disassembled kernels.  The `verify` subcommand runs the static
  * SIMB program verifier (src/verify) instead of the simulator.
  *
+ * The `serve` subcommand runs the multi-tenant serving layer
+ * (src/service): an open-loop Poisson request stream scheduled onto the
+ * device through the compiled-program cache.
+ *
  * Examples:
  *   ipim --list
  *   ipim --bench Blur --width 384 --height 216
@@ -14,22 +18,28 @@
  *   ipim --bench Shift --opts baseline1 --verify
  *   ipim --bench Brighten --dump-asm | less
  *   ipim --bench Blur --vaults 4 --pgs 2 --pes 2   # scaled-down device
+ *   ipim --bench Blur --json           # machine-readable result
  *   ipim verify --all                  # statically check all benchmarks
  *   ipim verify --bench Blur --werror
  *   ipim verify --asm kernel.s         # check a hand-written program
+ *   ipim serve --bench Blur,Brighten --rate 40000 --requests 200 \
+ *              --sched sjf             # space-shared serving run
  */
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "apps/benchmarks.h"
 #include "baseline/gpu_model.h"
+#include "common/json.h"
 #include "compiler/reference.h"
 #include "energy/energy_model.h"
 #include "isa/assembler.h"
 #include "runtime/runtime.h"
+#include "service/server.h"
 #include "verify/verifier.h"
 
 using namespace ipim;
@@ -53,11 +63,20 @@ struct Options
     bool dumpAsm = false;
     bool list = false;
     bool gpu = false;
+    bool json = false;
     // verify-subcommand only:
     bool verifyCmd = false;
     bool allBenches = false;
     bool werror = false;
     std::string asmFile;
+    // serve-subcommand only:
+    bool serveCmd = false;
+    f64 rate = 20000.0; ///< requests per second of virtual time
+    u32 requests = 200;
+    u64 seed = 1;
+    std::string servePolicy = "fifo";
+    std::string share = "cube";
+    u32 cubesPerReq = 1;
 };
 
 void
@@ -68,9 +87,16 @@ usage()
         "            [--cubes N] [--vaults N] [--pgs N] [--pes N]\n"
         "            [--ponb] [--sched frfcfs|fcfs] [--page open|close]\n"
         "            [--opts opt|baseline1..baseline4] [--verify]\n"
-        "            [--gpu] [--dump-asm]\n"
+        "            [--gpu] [--dump-asm] [--json]\n"
         "       ipim verify [--bench NAME | --all | --asm FILE]\n"
-        "            [--werror] [device/compiler flags as above]\n");
+        "            [--werror] [device/compiler flags as above]\n"
+        "       ipim serve [--bench NAME[,NAME...]] [--rate R]\n"
+        "            [--requests N] [--sched fifo|sjf]\n"
+        "            [--share cube|whole] [--cubes-per-req K] [--seed S]\n"
+        "            [--json] [device/compiler flags as above]\n"
+        "  serve defaults to a 2-cube 4x2x2 device at 128x64 unless\n"
+        "  geometry/size flags are given; --rate is requests per second\n"
+        "  of virtual time (1 cycle == 1 ns).\n");
 }
 
 CompilerOptions
@@ -163,6 +189,126 @@ runVerifyCommand(const Options &o)
     return allOk ? 0 : 3;
 }
 
+/** Split a comma-separated --bench list. */
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : s) {
+        if (c == ',') {
+            if (!cur.empty())
+                parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        parts.push_back(cur);
+    return parts;
+}
+
+/** The `ipim serve` subcommand: the src/service event loop. */
+int
+runServeCommand(const Options &o)
+{
+    ServerConfig scfg;
+    scfg.hw = buildConfig(o);
+    scfg.width = o.width;
+    scfg.height = o.height;
+    scfg.copts = parseOpts(o.opts);
+    scfg.policy = o.servePolicy;
+    if (o.share == "cube")
+        scfg.share = ShareMode::kPerCube;
+    else if (o.share == "whole")
+        scfg.share = ShareMode::kWholeDevice;
+    else
+        fatal("unknown --share value '", o.share, "' (want cube|whole)");
+    scfg.cubesPerRequest = o.cubesPerReq;
+
+    WorkloadSpec spec;
+    spec.pipelines = splitList(o.bench);
+    if (spec.pipelines.empty())
+        fatal("--bench needs at least one pipeline name");
+    spec.ratePerSec = o.rate;
+    spec.requests = o.requests;
+    spec.seed = o.seed;
+    std::vector<ServeRequest> reqs = generatePoissonWorkload(spec);
+
+    Server server(scfg);
+    ServeReport rep = server.run(reqs);
+
+    if (o.json) {
+        JsonWriter j;
+        j.key("config").beginObject();
+        j.field("policy", scfg.policy)
+            .field("share", o.share)
+            .field("cubes", scfg.hw.cubes)
+            .field("cubes_per_request", scfg.cubesPerRequest)
+            .field("slots", server.slots())
+            .field("vaults", scfg.hw.vaultsPerCube)
+            .field("pgs", scfg.hw.pgsPerVault)
+            .field("pes", scfg.hw.pesPerPg)
+            .field("width", scfg.width)
+            .field("height", scfg.height)
+            .field("rate_rps", spec.ratePerSec)
+            .field("requests", u64(spec.requests))
+            .field("seed", spec.seed)
+            .field("opts", o.opts);
+        j.endObject();
+        j.field("throughput_rps", rep.throughputRps());
+        j.field("makespan_cycles", u64(rep.makespan));
+        auto lat = [&](const char *k, const LatencyHistogram &h) {
+            j.key(k).beginObject();
+            j.field("p50", h.percentile(50))
+                .field("p95", h.percentile(95))
+                .field("p99", h.percentile(99))
+                .field("mean", h.mean())
+                .field("max", h.max());
+            j.endObject();
+        };
+        j.key("latency_cycles").beginObject();
+        lat("total", rep.totalLatency);
+        lat("queue", rep.queueLatency);
+        lat("exec", rep.execLatency);
+        j.endObject();
+        j.key("cache").beginObject();
+        j.field("compiles", u64(rep.stats.get("serve.cache.miss")))
+            .field("hits", u64(rep.stats.get("serve.cache.hit")));
+        j.endObject();
+        j.key("requests").beginArray();
+        for (const RequestRecord &r : rep.records) {
+            j.beginObject();
+            j.field("id", r.id)
+                .field("pipeline", r.pipeline)
+                .field("arrival", u64(r.arrival))
+                .field("start", u64(r.start))
+                .field("finish", u64(r.finish))
+                .field("exec_cycles", u64(r.execCycles))
+                .field("compile_cycles", u64(r.compileCycles))
+                .field("first_cube", r.firstCube)
+                .field("num_cubes", r.numCubes)
+                .field("cache_hit", r.cacheHit);
+            j.endObject();
+        }
+        j.endArray();
+        j.statsObject("stats", rep.stats);
+        std::printf("%s\n", j.finish().c_str());
+        return 0;
+    }
+
+    std::printf("serve %s | device %ux%ux%ux%u | policy %s | share %s "
+                "(%u slot%s) | rate %.0f req/s | seed %llu\n",
+                o.bench.c_str(), scfg.hw.cubes, scfg.hw.vaultsPerCube,
+                scfg.hw.pgsPerVault, scfg.hw.pesPerPg,
+                scfg.policy.c_str(), o.share.c_str(), server.slots(),
+                server.slots() == 1 ? "" : "s", spec.ratePerSec,
+                (unsigned long long)spec.seed);
+    std::printf("%s", rep.summary().c_str());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -173,6 +319,19 @@ main(int argc, char **argv)
     if (argc > 1 && std::strcmp(argv[1], "verify") == 0) {
         o.verifyCmd = true;
         first = 2;
+    } else if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+        o.serveCmd = true;
+        first = 2;
+        // Serving default: a 2-cube scaled-down device at 128x64 keeps a
+        // 200-request run fast while still exercising space sharing.
+        // Explicit flags below override.
+        o.bench = "Blur,Brighten";
+        o.cubes = 2;
+        o.vaults = 4;
+        o.pgs = 2;
+        o.pes = 2;
+        o.width = 128;
+        o.height = 64;
     }
     for (int i = first; i < argc; ++i) {
         std::string a = argv[i];
@@ -199,9 +358,14 @@ main(int argc, char **argv)
             o.pes = u32(std::stoul(next()));
         else if (a == "--ponb")
             o.ponb = true;
-        else if (a == "--sched")
-            o.sched = next();
-        else if (a == "--page")
+        else if (a == "--sched") {
+            // In serve mode --sched selects the request scheduler; for
+            // run/verify it selects the DRAM scheduling policy.
+            if (o.serveCmd)
+                o.servePolicy = next();
+            else
+                o.sched = next();
+        } else if (a == "--page")
             o.page = next();
         else if (a == "--opts")
             o.opts = next();
@@ -217,6 +381,18 @@ main(int argc, char **argv)
             o.gpu = true;
         else if (a == "--dump-asm")
             o.dumpAsm = true;
+        else if (a == "--json")
+            o.json = true;
+        else if (a == "--rate")
+            o.rate = std::stod(next());
+        else if (a == "--requests")
+            o.requests = u32(std::stoul(next()));
+        else if (a == "--seed")
+            o.seed = std::stoull(next());
+        else if (a == "--share")
+            o.share = next();
+        else if (a == "--cubes-per-req")
+            o.cubesPerReq = u32(std::stoul(next()));
         else if (a == "--help" || a == "-h") {
             usage();
             return 0;
@@ -234,6 +410,8 @@ main(int argc, char **argv)
         }
         if (o.verifyCmd)
             return runVerifyCommand(o);
+        if (o.serveCmd)
+            return runServeCommand(o);
 
         HardwareConfig cfg = buildConfig(o);
 
@@ -241,13 +419,16 @@ main(int argc, char **argv)
         CompilerOptions copts = parseOpts(o.opts);
         CompiledPipeline cp = compilePipeline(app.def, cfg, copts);
 
-        std::printf("bench %s %dx%d | device %ux%ux%ux%u%s | opts %s\n",
-                    o.bench.c_str(), o.width, o.height, cfg.cubes,
-                    cfg.vaultsPerCube, cfg.pgsPerVault, cfg.pesPerPg,
-                    o.ponb ? " (PonB)" : "", o.opts.c_str());
-        std::printf("compiled %zu kernels, %llu static instructions\n",
-                    cp.kernels.size(),
-                    (unsigned long long)cp.totalInstructions());
+        if (!o.json) {
+            std::printf(
+                "bench %s %dx%d | device %ux%ux%ux%u%s | opts %s\n",
+                o.bench.c_str(), o.width, o.height, cfg.cubes,
+                cfg.vaultsPerCube, cfg.pgsPerVault, cfg.pesPerPg,
+                o.ponb ? " (PonB)" : "", o.opts.c_str());
+            std::printf("compiled %zu kernels, %llu static instructions\n",
+                        cp.kernels.size(),
+                        (unsigned long long)cp.totalInstructions());
+        }
 
         if (o.dumpAsm) {
             for (const CompiledKernel &k : cp.kernels) {
@@ -264,6 +445,57 @@ main(int argc, char **argv)
         for (const auto &[name, img] : app.inputs)
             rt.bindInput(name, img);
         LaunchResult res = rt.run();
+
+        if (o.json) {
+            EnergyBreakdown e =
+                computeEnergy(cfg, dev.stats(), res.cycles);
+            f64 px = f64(o.width) * o.height;
+            JsonWriter j;
+            j.field("bench", o.bench)
+                .field("width", o.width)
+                .field("height", o.height);
+            j.key("device").beginObject();
+            j.field("cubes", cfg.cubes)
+                .field("vaults", cfg.vaultsPerCube)
+                .field("pgs", cfg.pgsPerVault)
+                .field("pes", cfg.pesPerPg)
+                .field("ponb", cfg.processOnBaseDie);
+            j.endObject();
+            j.field("opts", o.opts)
+                .field("static_instructions", cp.totalInstructions())
+                .field("cycles", u64(res.cycles))
+                .field("mpix_per_s",
+                       px / (f64(res.cycles) * 1e-9) / 1e6);
+            j.key("kernels").beginArray();
+            for (size_t k = 0; k < res.kernelCycles.size(); ++k) {
+                j.beginObject();
+                j.field("stage", cp.kernels[k].stage)
+                    .field("cycles", u64(res.kernelCycles[k]));
+                j.endObject();
+            }
+            j.endArray();
+            j.key("energy_mj").beginObject();
+            j.field("total", e.total() * 1e3)
+                .field("dram", e.dram * 1e3)
+                .field("simd_unit", e.simdUnit * 1e3)
+                .field("addr_rf", e.addrRf * 1e3)
+                .field("data_rf", e.dataRf * 1e3)
+                .field("pgsm", e.pgsm * 1e3)
+                .field("others", e.others * 1e3);
+            j.endObject();
+            if (o.verify) {
+                Image ref = referenceRun(app.def, app.inputs);
+                f32 diff = ref.maxAbsDiff(res.output);
+                j.field("verify_max_abs_diff", f64(diff));
+                j.field("verify_pass", diff == 0.0f);
+                j.statsObject("stats", dev.stats());
+                std::printf("%s\n", j.finish().c_str());
+                return diff == 0.0f ? 0 : 2;
+            }
+            j.statsObject("stats", dev.stats());
+            std::printf("%s\n", j.finish().c_str());
+            return 0;
+        }
 
         f64 px = f64(o.width) * o.height;
         std::printf("cycles: %llu (%.3f ms) | %.1f Mpx/s\n",
