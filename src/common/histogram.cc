@@ -69,6 +69,8 @@ LatencyHistogram::exportTo(StatsRegistry &reg,
                            const std::string &prefix) const
 {
     reg.set(prefix + ".count", f64(count()));
+    if (samples_.empty())
+        return; // no summary keys: 0.0 would read as a real latency
     reg.set(prefix + ".mean", mean());
     reg.set(prefix + ".min", min());
     reg.set(prefix + ".max", max());

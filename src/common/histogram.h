@@ -26,16 +26,28 @@ class LatencyHistogram
     void add(f64 sample);
 
     u64 count() const { return samples_.size(); }
+
+    /**
+     * @name Summary statistics
+     * On an empty histogram these all return 0.0 — a sentinel, not a
+     * measurement (there is no identity latency).  Callers that must
+     * distinguish "no samples" from "zero-cycle latency" check count()
+     * first; exportTo() does this and omits the summary keys entirely.
+     */
+    ///@{
     f64 min() const;
     f64 max() const;
     f64 mean() const;
 
     /** Nearest-rank percentile; @p p in [0, 100]. 0 when empty. */
     f64 percentile(f64 p) const;
+    ///@}
 
     /**
-     * Export count/mean/min/max and p50/p95/p99 as "<prefix>.count",
-     * "<prefix>.p50", ... into @p reg.
+     * Export "<prefix>.count" plus mean/min/max and p50/p95/p99 summary
+     * keys into @p reg.  When the histogram is empty only the count key
+     * is written: an absent "<prefix>.p99" means "no samples", which
+     * downstream consumers can tell apart from a genuine 0.0.
      */
     void exportTo(StatsRegistry &reg, const std::string &prefix) const;
 

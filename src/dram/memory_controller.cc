@@ -8,9 +8,13 @@ namespace ipim {
 
 MemoryController::MemoryController(const HardwareConfig &cfg, u32 pgIdx,
                                    ActivationLimiter *limiter,
-                                   StatsRegistry *stats)
-    : cfg_(cfg), pgIdx_(pgIdx), limiter_(limiter), stats_(stats)
+                                   StatsRegistry *stats, Tracer *trace,
+                                   const std::string &traceTrack)
+    : cfg_(cfg), pgIdx_(pgIdx), limiter_(limiter), stats_(stats),
+      trace_(trace)
 {
+    if (trace_ != nullptr)
+        traceTrack_ = trace_->track(traceTrack);
     for (u32 pe = 0; pe < cfg.pesPerPg; ++pe) {
         storages_.push_back(
             std::make_unique<BankStorage>(cfg.bankBytes, cfg.dramRowBytes));
@@ -97,6 +101,8 @@ MemoryController::serviceRefresh(Cycle now)
             if (bank.earliestPre(now) <= now) {
                 bank.pre(now);
                 stats_->inc("dram.pre");
+                if (Tracer::active(trace_))
+                    trace_->instant(traceTrack_, TraceEv::kDramPre, now);
                 return true;
             }
             continue; // must wait until a precharge is legal
@@ -105,6 +111,9 @@ MemoryController::serviceRefresh(Cycle now)
             bank.refresh(now);
             nextRefreshAt_[pe] += cfg_.timing.tREFI;
             stats_->inc("dram.ref");
+            if (Tracer::active(trace_))
+                trace_->span(traceTrack_, TraceEv::kDramRefresh, now,
+                             now + cfg_.timing.tRFC);
             return true;
         }
     }
@@ -124,6 +133,8 @@ MemoryController::issueForRequest(Cycle now, size_t idx)
             return false;
         bank.pre(now);
         stats_->inc("dram.pre");
+        if (Tracer::active(trace_))
+            trace_->instant(traceTrack_, TraceEv::kDramPre, now);
         return true;
     }
     if (!bank.isOpen()) {
@@ -135,6 +146,8 @@ MemoryController::issueForRequest(Cycle now, size_t idx)
         bank.act(now, row);
         limiter_->recordAct(now, pgIdx_);
         stats_->inc("dram.act");
+        if (Tracer::active(trace_))
+            trace_->instant(traceTrack_, TraceEv::kDramAct, now);
         return true;
     }
     // Open on the right row: issue CAS.
@@ -143,6 +156,15 @@ MemoryController::issueForRequest(Cycle now, size_t idx)
     Cycle done = bank.cas(now, r.write);
     stats_->inc(r.write ? "dram.wr" : "dram.rd");
     stats_->inc(queue_[idx].sawMiss ? "dram.rowMiss" : "dram.rowHit");
+    if (Tracer::active(trace_)) {
+        TraceEv ev = r.write ? (queue_[idx].sawMiss
+                                    ? TraceEv::kDramWriteMiss
+                                    : TraceEv::kDramWriteHit)
+                             : (queue_[idx].sawMiss
+                                    ? TraceEv::kDramReadMiss
+                                    : TraceEv::kDramReadHit);
+        trace_->instantArg(traceTrack_, ev, now, r.peInPg);
+    }
     if (r.write)
         storages_[r.peInPg]->writeVec(r.addr, r.data);
     Inflight f;
@@ -158,6 +180,10 @@ MemoryController::issueForRequest(Cycle now, size_t idx)
 void
 MemoryController::tick(Cycle now)
 {
+    if (Tracer::sampleDue(trace_, now))
+        trace_->counter(traceTrack_, TraceEv::kDramQueue, now,
+                        f64(queue_.size()));
+
     // Retire finished accesses.
     for (size_t i = 0; i < inflight_.size();) {
         if (inflight_[i].doneAt <= now) {
@@ -186,6 +212,8 @@ MemoryController::tick(Cycle now)
             banks_[pe].pre(now);
             autoPrePending_[pe] = false;
             stats_->inc("dram.pre");
+            if (Tracer::active(trace_))
+                trace_->instant(traceTrack_, TraceEv::kDramPre, now);
             return;
         }
     }

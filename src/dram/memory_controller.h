@@ -9,9 +9,11 @@
 
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "dram/bank.h"
+#include "trace/trace.h"
 
 namespace ipim {
 
@@ -46,9 +48,14 @@ class MemoryController
     /**
      * @param limiter Vault-level activation limiter (may be shared by
      * several controllers); must outlive this object.
+     * @param trace optional tracer (DESIGN.md Sec. 12); when given,
+     * ACT/PRE instants, refresh spans, row hit/miss instants, and queue
+     * depth samples land on the @p traceTrack track.
      */
     MemoryController(const HardwareConfig &cfg, u32 pgIdx,
-                     ActivationLimiter *limiter, StatsRegistry *stats);
+                     ActivationLimiter *limiter, StatsRegistry *stats,
+                     Tracer *trace = nullptr,
+                     const std::string &traceTrack = "");
 
     bool canAccept() const { return queue_.size() < cfg_.dramReqQueueDepth; }
     u32 queueDepth() const { return u32(queue_.size()); }
@@ -100,6 +107,8 @@ class MemoryController
     u32 pgIdx_;
     ActivationLimiter *limiter_;
     StatsRegistry *stats_;
+    Tracer *trace_;
+    u32 traceTrack_ = 0;
 
     std::vector<std::unique_ptr<BankStorage>> storages_;
     std::vector<BankTimingState> banks_;

@@ -4,12 +4,15 @@
 
 namespace ipim {
 
-Mesh::Mesh(u32 cols, u32 rows, StatsRegistry *stats, u32 queueDepth)
+Mesh::Mesh(u32 cols, u32 rows, StatsRegistry *stats, u32 queueDepth,
+           Tracer *trace, const std::string &traceTrack)
     : cols_(cols), rows_(rows), queueDepth_(queueDepth), stats_(stats),
-      routers_(cols * rows), delivered_(cols * rows)
+      trace_(trace), routers_(cols * rows), delivered_(cols * rows)
 {
     if (cols == 0 || rows == 0)
         fatal("mesh dimensions must be nonzero");
+    if (trace_ != nullptr)
+        traceTrack_ = trace_->track(traceTrack);
 }
 
 int
@@ -75,6 +78,7 @@ Mesh::injectAt(u32 router, const Packet &p)
     }
     r.in[kLocalPort].push_back(p);
     stats_->inc("noc.injected");
+    ++injected_;
     return true;
 }
 
@@ -132,7 +136,30 @@ Mesh::tick()
                 .push_back(p);
             stats_->inc("noc.hops");
         }
+        ++moved_;
     }
+}
+
+u32
+Mesh::queuedPackets() const
+{
+    u32 n = 0;
+    for (const Router &r : routers_)
+        for (const auto &q : r.in)
+            n += u32(q.size());
+    return n;
+}
+
+void
+Mesh::sampleTrace(Cycle now)
+{
+    if (!Tracer::sampleDue(trace_, now))
+        return;
+    trace_->counter(traceTrack_, TraceEv::kNocQueued, now,
+                    f64(queuedPackets()));
+    trace_->counter(traceTrack_, TraceEv::kNocMoved, now, f64(moved_));
+    trace_->counter(traceTrack_, TraceEv::kNocInjected, now,
+                    f64(injected_));
 }
 
 bool
@@ -155,6 +182,8 @@ Mesh::reset()
     }
     for (auto &d : delivered_)
         d.clear();
+    moved_ = 0;
+    injected_ = 0;
 }
 
 } // namespace ipim

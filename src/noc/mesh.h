@@ -11,11 +11,13 @@
 #define IPIM_NOC_MESH_H_
 
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "common/config.h"
 #include "common/stats.h"
 #include "common/types.h"
+#include "trace/trace.h"
 
 namespace ipim {
 
@@ -60,7 +62,12 @@ struct Packet
 class Mesh
 {
   public:
-    Mesh(u32 cols, u32 rows, StatsRegistry *stats, u32 queueDepth = 8);
+    /**
+     * @p trace (optional) receives queue-occupancy and cumulative-move
+     * counter samples on the @p traceTrack track via sampleTrace().
+     */
+    Mesh(u32 cols, u32 rows, StatsRegistry *stats, u32 queueDepth = 8,
+         Tracer *trace = nullptr, const std::string &traceTrack = "");
 
     u32 nodes() const { return cols_ * rows_; }
 
@@ -79,6 +86,12 @@ class Mesh
 
     /** True if no packet is queued anywhere. */
     bool idle() const;
+
+    /** Packets buffered in any input queue right now. */
+    u32 queuedPackets() const;
+
+    /** Emit counter samples when the tracer's cadence is due. */
+    void sampleTrace(Cycle now);
 
     /** Drop all queued/delivered packets and rewind the arbiters. */
     void reset();
@@ -109,6 +122,10 @@ class Mesh
     u32 cols_, rows_;
     u32 queueDepth_;
     StatsRegistry *stats_;
+    Tracer *trace_;
+    u32 traceTrack_ = 0;
+    u64 moved_ = 0;    ///< cumulative hop + delivery moves
+    u64 injected_ = 0; ///< cumulative accepted injections
     std::vector<Router> routers_;
     std::vector<std::vector<Packet>> delivered_;
 };

@@ -78,7 +78,16 @@ Runtime::run()
         scatterImage(pipe_.layouts->of(s.func), *it->second);
     }
 
+    // Host-side kernel spans: one per pipeline stage, stamped on the
+    // device's virtual timeline (run() resumes the device clock, so the
+    // cumulative base tracks across kernels).
+    Tracer *tr = dev_.tracer();
+    u32 hostTrack = 0;
+    if (Tracer::active(tr))
+        hostTrack = tr->track(dev_.trackPrefix() + "host");
+
     LaunchResult res;
+    Cycle kernelBase = dev_.now();
     for (const CompiledKernel &k : pipe_.kernels) {
         // Launch-time gate (opt-in via CompilerOptions::verify): a
         // CompiledPipeline can be assembled or patched by hand, so the
@@ -92,6 +101,10 @@ Runtime::run()
         }
         dev_.loadPrograms(k.perVault);
         Cycle c = dev_.run();
+        if (Tracer::active(tr))
+            tr->span(hostTrack, TraceEv::kKernel, kernelBase,
+                     kernelBase + c, tr->label(k.stage));
+        kernelBase += c;
         res.kernelCycles.push_back(c);
         res.cycles += c;
     }

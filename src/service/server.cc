@@ -72,7 +72,9 @@ Server::Server(const ServerConfig &cfg) : cfg_(cfg)
         Slot s;
         s.firstCube = first;
         s.numCubes = per;
-        s.dev = std::make_unique<Device>(slotCfg);
+        s.dev = std::make_unique<Device>(
+            slotCfg, cfg_.tracer,
+            "slot" + std::to_string(slots_.size()) + "/");
         slots_.push_back(std::move(s));
     }
 }
@@ -99,6 +101,14 @@ Server::run(const std::vector<ServeRequest> &requests)
     ProgramCache cache(&rep.stats);
     std::unique_ptr<Scheduler> sched = makeScheduler(cfg_.policy);
     HardwareConfig slotCfg = slotConfig();
+
+    // Request-lifecycle spans go on one shared async track; device-level
+    // events are mapped onto the virtual timeline via setTimeOffset()
+    // around each launch (the device clock restarts at 0 per launch).
+    Tracer *tr = cfg_.tracer;
+    u32 reqTrack = 0;
+    if (Tracer::active(tr))
+        reqTrack = tr->track("requests");
 
     std::vector<ServeRequest> sorted = requests;
     std::stable_sort(sorted.begin(), sorted.end(),
@@ -131,6 +141,16 @@ Server::run(const std::vector<ServeRequest> &requests)
                 return makeBenchmark(req.pipeline, w, h).def;
             });
         q.cacheHit = cache.compiles() == missesBefore;
+        if (Tracer::active(tr)) {
+            tr->asyncBegin(reqTrack, TraceEv::kRequest, req.arrival,
+                           req.id, tr->label(req.pipeline));
+            tr->asyncBegin(reqTrack, TraceEv::kReqQueued, req.arrival,
+                           req.id);
+            tr->instantArg(reqTrack,
+                           q.cacheHit ? TraceEv::kCacheHit
+                                      : TraceEv::kCacheMiss,
+                           req.arrival, req.id);
+        }
         pending.push_back(std::move(q));
     };
 
@@ -151,11 +171,31 @@ Server::run(const std::vector<ServeRequest> &requests)
         Slot &slot = slots_[slotIdx];
         slot.busy = true;
 
+        Cycle compileCycles =
+            q.cacheHit ? 0
+                       : cfg_.compileCyclesPerInst *
+                             q.program->compiled.totalInstructions();
+        if (Tracer::active(tr)) {
+            tr->asyncEnd(reqTrack, TraceEv::kReqQueued, now, q.req.id);
+            if (compileCycles != 0) {
+                tr->asyncBegin(reqTrack, TraceEv::kReqCompile, now,
+                               q.req.id);
+                tr->asyncEnd(reqTrack, TraceEv::kReqCompile,
+                             now + compileCycles, q.req.id);
+            }
+            tr->asyncBegin(reqTrack, TraceEv::kReqExecute,
+                           now + compileCycles, q.req.id);
+            // Device-local cycle 0 corresponds to this virtual instant.
+            tr->setTimeOffset(now + compileCycles);
+        }
+
         // Real cycle-level execution on the partition's reused device.
         BenchmarkApp app = makeBenchmark(q.req.pipeline, cfg_.width,
                                          cfg_.height, q.req.inputSeed);
         LaunchResult res =
             launchOnDevice(*slot.dev, q.program->compiled, app.inputs);
+        if (Tracer::active(tr))
+            tr->setTimeOffset(0);
         q.program->recordMeasurement(res.cycles);
         rep.stats.merge(slot.dev->stats());
 
@@ -165,13 +205,18 @@ Server::run(const std::vector<ServeRequest> &requests)
         rec.arrival = q.req.arrival;
         rec.start = now;
         rec.execCycles = res.cycles;
-        if (!q.cacheHit)
-            rec.compileCycles = cfg_.compileCyclesPerInst *
-                                q.program->compiled.totalInstructions();
+        rec.compileCycles = compileCycles;
         rec.finish = now + rec.compileCycles + rec.execCycles;
         rec.firstCube = slot.firstCube;
         rec.numCubes = slot.numCubes;
         rec.cacheHit = q.cacheHit;
+
+        if (Tracer::active(tr)) {
+            tr->asyncEnd(reqTrack, TraceEv::kReqExecute, rec.finish,
+                         q.req.id);
+            tr->asyncEnd(reqTrack, TraceEv::kRequest, rec.finish,
+                         q.req.id);
+        }
 
         active.push_back({slotIdx, rec.finish, rep.records.size()});
         rep.records.push_back(std::move(rec));

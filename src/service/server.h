@@ -52,6 +52,14 @@ struct ServerConfig
      * while staying deterministic; 0 disables the charge.
      */
     Cycle compileCyclesPerInst = 10;
+
+    /**
+     * Optional tracer (not owned).  Slot devices register their tracks
+     * under "slot<i>/" prefixes, and the server emits per-request async
+     * spans (queued -> compile -> executing) on a "requests" track, all
+     * stamped on the server's virtual timeline (DESIGN.md Sec. 12).
+     */
+    Tracer *tracer = nullptr;
 };
 
 /** Everything recorded about one served request. */

@@ -4,14 +4,18 @@
 
 namespace ipim {
 
-Cube::Cube(const HardwareConfig &cfg, u32 chipId, StatsRegistry *stats)
+Cube::Cube(const HardwareConfig &cfg, u32 chipId, StatsRegistry *stats,
+           Tracer *trace, const std::string &tracePrefix)
     : cfg_(cfg), chipId_(chipId), stats_(stats),
-      mesh_(cfg.meshCols, cfg.meshRows(), stats)
+      mesh_(cfg.meshCols, cfg.meshRows(), stats, 8, trace,
+            tracePrefix + "noc")
 {
     if (cfg.meshCols * cfg.meshRows() < cfg.vaultsPerCube)
         fatal("mesh too small for ", cfg.vaultsPerCube, " vaults");
     for (u32 v = 0; v < cfg.vaultsPerCube; ++v)
-        vaults_.push_back(std::make_unique<Vault>(cfg, chipId, v, stats));
+        vaults_.push_back(std::make_unique<Vault>(
+            cfg, chipId, v, stats, trace,
+            tracePrefix + "v" + std::to_string(v) + "/"));
 }
 
 void
@@ -73,6 +77,14 @@ Cube::tick(Cycle now)
 
     // 4. Move the network.
     mesh_.tick();
+    mesh_.sampleTrace(now);
+}
+
+void
+Cube::flushTrace(Cycle now)
+{
+    for (auto &vault : vaults_)
+        vault->flushTrace(now);
 }
 
 void

@@ -16,7 +16,14 @@ namespace ipim {
 class Cube
 {
   public:
-    Cube(const HardwareConfig &cfg, u32 chipId, StatsRegistry *stats);
+    /**
+     * @p trace/@p tracePrefix (optional) wire the cube's mesh and vaults
+     * into the tracing subsystem; vault tracks are named
+     * "<prefix>v<N>/..." and the mesh track "<prefix>noc"
+     * (DESIGN.md Sec. 12).
+     */
+    Cube(const HardwareConfig &cfg, u32 chipId, StatsRegistry *stats,
+         Tracer *trace = nullptr, const std::string &tracePrefix = "");
 
     Vault &vault(u32 v) { return *vaults_.at(v); }
     u32 numVaults() const { return u32(vaults_.size()); }
@@ -32,6 +39,9 @@ class Cube
     std::vector<Packet> &serdesEgress() { return serdesEgress_; }
 
     bool fullyIdle() const;
+
+    /** Close any open vault trace spans at end of run (Device::run). */
+    void flushTrace(Cycle now);
 
     /** Power-cycle the cube: all vaults, the mesh, and SERDES buffers. */
     void reset();

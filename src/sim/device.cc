@@ -4,11 +4,15 @@
 
 namespace ipim {
 
-Device::Device(const HardwareConfig &cfg) : cfg_(cfg)
+Device::Device(const HardwareConfig &cfg, Tracer *tracer,
+               const std::string &trackPrefix)
+    : cfg_(cfg), tracer_(tracer), trackPrefix_(trackPrefix)
 {
     cfg_.validate();
     for (u32 c = 0; c < cfg_.cubes; ++c)
-        cubes_.push_back(std::make_unique<Cube>(cfg_, c, &stats_));
+        cubes_.push_back(std::make_unique<Cube>(
+            cfg_, c, &stats_, tracer_,
+            trackPrefix_ + "cube" + std::to_string(c) + "/"));
 }
 
 void
@@ -103,7 +107,20 @@ Device::run(u64 maxCycles)
                   maxCycles, " cycles");
     }
     lastRunCycles_ = now_ - start;
+    if (Tracer::active(tracer_))
+        for (auto &cube : cubes_)
+            cube->flushTrace(now_);
     return lastRunCycles_;
+}
+
+u64
+Device::totalIssued() const
+{
+    u64 n = 0;
+    for (const auto &cube : cubes_)
+        for (u32 v = 0; v < cube->numVaults(); ++v)
+            n += cube->vault(v).issuedCount();
+    return n;
 }
 
 } // namespace ipim

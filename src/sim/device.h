@@ -19,7 +19,13 @@ namespace ipim {
 class Device
 {
   public:
-    explicit Device(const HardwareConfig &cfg);
+    /**
+     * @p tracer (optional, not owned) records cycle-level telemetry for
+     * this device; @p trackPrefix namespaces its tracks (e.g. "slot0/"
+     * in the multi-tenant server).  Track layout: DESIGN.md Sec. 12.
+     */
+    explicit Device(const HardwareConfig &cfg, Tracer *tracer = nullptr,
+                    const std::string &trackPrefix = "");
 
     const HardwareConfig &cfg() const { return cfg_; }
     Cube &cube(u32 c) { return *cubes_.at(c); }
@@ -44,6 +50,9 @@ class Device
     /** Cycles executed by the last run(). */
     Cycle lastRunCycles() const { return lastRunCycles_; }
 
+    /** Device-local clock (cycles since construction or reset()). */
+    Cycle now() const { return now_; }
+
     /**
      * Power-cycle the device so it can be reused for another launch:
      * unloads programs, erases all DRAM/scratchpad contents and
@@ -56,7 +65,15 @@ class Device
     StatsRegistry &stats() { return stats_; }
     const StatsRegistry &stats() const { return stats_; }
 
+    /** Tracer attached at construction (may be null). */
+    Tracer *tracer() { return tracer_; }
+    /** Track-name prefix this device registers its tracks under. */
+    const std::string &trackPrefix() const { return trackPrefix_; }
+
     u32 totalVaults() const { return cfg_.cubes * cfg_.vaultsPerCube; }
+
+    /** Sum of issuedCount() over all vaults (telemetry). */
+    u64 totalIssued() const;
 
   private:
     void tick(Cycle now);
@@ -64,6 +81,8 @@ class Device
 
     HardwareConfig cfg_;
     StatsRegistry stats_;
+    Tracer *tracer_;
+    std::string trackPrefix_;
     std::vector<std::unique_ptr<Cube>> cubes_;
 
     struct InTransit

@@ -7,9 +7,12 @@ namespace ipim {
 
 ProcessGroup::ProcessGroup(const HardwareConfig &cfg, Vault *vault,
                            u32 pgIdx, ActivationLimiter *limiter,
-                           StatsRegistry *stats)
+                           StatsRegistry *stats, Tracer *trace,
+                           const std::string &tracePrefix)
     : cfg_(cfg), vault_(vault), pgIdx_(pgIdx), stats_(stats),
-      mc_(cfg, pgIdx, limiter, stats), pgsm_(cfg.pgsmBytes)
+      mc_(cfg, pgIdx, limiter, stats, trace,
+          tracePrefix + "pg" + std::to_string(pgIdx) + "/dram"),
+      pgsm_(cfg.pgsmBytes)
 {
     for (u32 pe = 0; pe < cfg.pesPerPg; ++pe)
         pes_.push_back(

@@ -32,8 +32,14 @@ struct RemoteReadDone
 class ProcessGroup
 {
   public:
+    /**
+     * @p trace/@p tracePrefix (optional) give the PG's memory controller
+     * a "<prefix>pg<N>/dram" trace track (DESIGN.md Sec. 12).
+     */
     ProcessGroup(const HardwareConfig &cfg, Vault *vault, u32 pgIdx,
-                 ActivationLimiter *limiter, StatsRegistry *stats);
+                 ActivationLimiter *limiter, StatsRegistry *stats,
+                 Tracer *trace = nullptr,
+                 const std::string &tracePrefix = "");
 
     void reset(u32 chipId, u32 vaultId);
 

@@ -9,14 +9,21 @@
 namespace ipim {
 
 Vault::Vault(const HardwareConfig &cfg, u32 chipId, u32 vaultId,
-             StatsRegistry *stats)
+             StatsRegistry *stats, Tracer *trace,
+             const std::string &tracePrefix)
     : cfg_(cfg), chipId_(chipId), vaultId_(vaultId), stats_(stats),
+      trace_(trace),
       actLimiter_(std::make_unique<ActivationLimiter>(cfg.timing)),
       vsm_(cfg.vsmBytes), crf_(cfg.ctrlRfEntries, 0)
 {
+    if (trace_ != nullptr) {
+        trackCore_ = trace_->track(tracePrefix + "core");
+        trackPe_ = trace_->track(tracePrefix + "pe");
+    }
     for (u32 pgIdx = 0; pgIdx < cfg.pgsPerVault; ++pgIdx)
         pgs_.push_back(std::make_unique<ProcessGroup>(
-            cfg, this, pgIdx, actLimiter_.get(), stats));
+            cfg, this, pgIdx, actLimiter_.get(), stats, trace,
+            tracePrefix));
 }
 
 void
@@ -32,6 +39,8 @@ Vault::reset()
     outbox_.clear();
     remoteInbox_.clear();
     pendingReqs_.clear();
+    stallReason_ = StallReason::kNone;
+    traceActive_ = false;
     for (auto &pg : pgs_)
         pg->reset(chipId_, vaultId_);
 }
@@ -49,6 +58,7 @@ Vault::hardReset()
     actLimiter_->reset();
     nextSeq_ = 1;
     nextReqTag_ = 1;
+    issued_ = 0;
 }
 
 void
@@ -221,12 +231,41 @@ Vault::issueBroadcast(Cycle now, const Instruction &inst,
 }
 
 void
+Vault::noteStall(Cycle now, StallReason reason)
+{
+    if (!Tracer::active(trace_))
+        return;
+    if (reason == stallReason_)
+        return;
+    if (stallReason_ != StallReason::kNone) {
+        TraceEv ev = TraceEv::kStallHazard;
+        switch (stallReason_) {
+          case StallReason::kBranch: ev = TraceEv::kStallBranch; break;
+          case StallReason::kBarrier: ev = TraceEv::kStallBarrier; break;
+          case StallReason::kDrain: ev = TraceEv::kStallDrain; break;
+          case StallReason::kStruct: ev = TraceEv::kStallStruct; break;
+          case StallReason::kHazard: ev = TraceEv::kStallHazard; break;
+          case StallReason::kNone: break;
+        }
+        trace_->span(trackCore_, ev, stallSince_, now);
+    }
+    stallReason_ = reason;
+    stallSince_ = now;
+}
+
+void
 Vault::issueStep(Cycle now)
 {
     if (halted_)
         return;
+    if (Tracer::active(trace_) && !traceActive_) {
+        // First issue attempt after a (re)load: a program run begins.
+        traceActive_ = true;
+        activeSince_ = now;
+    }
     if (now < stallUntil_) {
         stats_->inc("core.bubble");
+        noteStall(now, StallReason::kBranch);
         return;
     }
     if (pc_ >= prog_.size())
@@ -236,6 +275,7 @@ Vault::issueStep(Cycle now)
     for (const auto &e : iiq_) {
         if (e->isBarrier) {
             stats_->inc("core.barrierStall");
+            noteStall(now, StallReason::kBarrier);
             return;
         }
     }
@@ -247,11 +287,13 @@ Vault::issueStep(Cycle now)
         // Both act as fences: all earlier instructions must be done.
         if (!iiq_.empty()) {
             stats_->inc("core.drainStall");
+            noteStall(now, StallReason::kDrain);
             return;
         }
     } else {
         if (iiq_.size() >= cfg_.instQueueDepth) {
             stats_->inc("core.structStall");
+            noteStall(now, StallReason::kStruct);
             return;
         }
         for (const auto &e : iiq_) {
@@ -267,6 +309,7 @@ Vault::issueStep(Cycle now)
                 stats_->inc("core.hazardStall");
                 stats_->inc(std::string("stall.") +
                             categoryName(inst.category()));
+                noteStall(now, StallReason::kHazard);
                 return;
             }
         }
@@ -274,6 +317,8 @@ Vault::issueStep(Cycle now)
 
     stats_->inc("core.issued");
     stats_->inc(std::string("inst.") + categoryName(inst.category()));
+    ++issued_;
+    noteStall(now, StallReason::kNone);
 
     switch (inst.op) {
       case Opcode::kJump:
@@ -313,6 +358,11 @@ Vault::issueStep(Cycle now)
       case Opcode::kHalt:
         halted_ = true;
         ++pc_;
+        if (Tracer::active(trace_) && traceActive_) {
+            trace_->span(trackCore_, TraceEv::kVaultRun, activeSince_,
+                         now);
+            traceActive_ = false;
+        }
         return;
       case Opcode::kReq: {
         auto fi = std::make_unique<InFlightInst>();
@@ -411,9 +461,42 @@ Vault::masterSyncCheck()
 }
 
 void
+Vault::sampleTrace(Cycle now)
+{
+    trace_->counter(trackCore_, TraceEv::kIiqOccupancy, now,
+                    f64(iiq_.size()));
+    trace_->counter(trackCore_, TraceEv::kCoreIssued, now, f64(issued_));
+    u32 busy = 0;
+    u64 simdBusy = 0;
+    for (auto &pg : pgs_) {
+        for (u32 p = 0; p < cfg_.pesPerPg; ++p) {
+            const ProcessEngine &pe = pg->pe(p);
+            busy += pe.idle() ? 0 : 1;
+            simdBusy += pe.simdBusyCycles();
+        }
+    }
+    trace_->counter(trackPe_, TraceEv::kPeBusy, now, f64(busy));
+    trace_->counter(trackPe_, TraceEv::kSimdBusy, now, f64(simdBusy));
+}
+
+void
+Vault::flushTrace(Cycle now)
+{
+    if (!Tracer::active(trace_))
+        return;
+    noteStall(now, StallReason::kNone);
+    if (traceActive_) {
+        trace_->span(trackCore_, TraceEv::kVaultRun, activeSince_, now);
+        traceActive_ = false;
+    }
+}
+
+void
 Vault::tick(Cycle now)
 {
     stats_->inc("core.cycles");
+    if (Tracer::sampleDue(trace_, now))
+        sampleTrace(now);
     serviceRemoteInbox();
     for (auto &pg : pgs_)
         pg->tick(now);

@@ -26,8 +26,15 @@ namespace ipim {
 class Vault
 {
   public:
+    /**
+     * @p trace (optional) receives per-vault core telemetry: a run span
+     * per program execution, stall-episode spans by reason, IIQ/issued
+     * counter samples, and PE busy counters (DESIGN.md Sec. 12).
+     * @p tracePrefix prefixes this vault's track names (serving slots).
+     */
     Vault(const HardwareConfig &cfg, u32 chipId, u32 vaultId,
-          StatsRegistry *stats);
+          StatsRegistry *stats, Tracer *trace = nullptr,
+          const std::string &tracePrefix = "");
 
     /** Upload a program; validates every instruction. Resets the core. */
     void loadProgram(const std::vector<Instruction> &prog);
@@ -49,6 +56,9 @@ class Vault
     /** Advance one cycle. */
     void tick(Cycle now);
 
+    /** Close any open trace span at end of run (Device::run). */
+    void flushTrace(Cycle now);
+
     /** Packets the NIC wants to send; drained by the owning cube. */
     std::deque<Packet> &outbox() { return outbox_; }
 
@@ -67,8 +77,23 @@ class Vault
     /** Number of SIMB-addressable PEs in this vault. */
     u32 numPes() const { return cfg_.pesPerVault(); }
 
+    /** Instructions issued since the last power cycle (telemetry). */
+    u64 issuedCount() const { return issued_; }
+
   private:
+    /** Why issueStep could not issue this cycle (trace taxonomy). */
+    enum class StallReason : u8 {
+        kNone,
+        kBranch,
+        kBarrier,
+        kDrain,
+        kStruct,
+        kHazard,
+    };
+
     void validateProgram(const std::vector<Instruction> &prog) const;
+    void noteStall(Cycle now, StallReason reason);
+    void sampleTrace(Cycle now);
     void processIncoming(Cycle now);
     void serviceRemoteInbox();
     void collectRemoteCompletions();
@@ -84,6 +109,16 @@ class Vault
     u32 chipId_;
     u32 vaultId_;
     StatsRegistry *stats_;
+
+    // Tracing (no-ops unless trace_ is set and enabled).
+    Tracer *trace_;
+    u32 trackCore_ = 0;
+    u32 trackPe_ = 0;
+    StallReason stallReason_ = StallReason::kNone;
+    Cycle stallSince_ = 0;
+    Cycle activeSince_ = 0;
+    bool traceActive_ = false; ///< inside a kVaultRun span
+    u64 issued_ = 0;           ///< per-vault issue count (telemetry)
 
     std::unique_ptr<ActivationLimiter> actLimiter_;
     std::vector<std::unique_ptr<ProcessGroup>> pgs_;

@@ -1,0 +1,136 @@
+#include "trace/report.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ipim {
+
+TraceReport
+buildTraceReport(const Tracer &tracer, Cycle totalCycles, u32 windows)
+{
+    if (windows == 0)
+        fatal("trace report needs at least one window");
+    TraceReport rep;
+    rep.totalCycles = totalCycles;
+    if (totalCycles == 0)
+        return rep;
+
+    rep.windows.resize(windows);
+    Cycle step = std::max<Cycle>(1, (totalCycles + windows - 1) / windows);
+    for (u32 w = 0; w < windows; ++w) {
+        rep.windows[w].begin = Cycle(w) * step;
+        rep.windows[w].end = std::min(totalCycles, Cycle(w + 1) * step);
+    }
+    auto windowOf = [&](Cycle ts) {
+        return std::min<u64>(ts / step, windows - 1);
+    };
+
+    // Last value of each cumulative counter per (track, window), so a
+    // window's contribution is the delta against the previous window.
+    std::map<u32, std::vector<f64>> issuedByTrack;
+    std::map<u32, std::vector<f64>> movedByTrack;
+    auto record = [&](std::map<u32, std::vector<f64>> &m, u32 track,
+                      Cycle ts, f64 v) {
+        auto [it, fresh] = m.try_emplace(track);
+        if (fresh)
+            it->second.assign(windows, -1.0);
+        u64 w = windowOf(ts);
+        it->second[w] = std::max(it->second[w], v);
+    };
+
+    for (const TraceEvent &ev : tracer.sortedEvents()) {
+        u64 w = windowOf(ev.ts);
+        switch (ev.name) {
+          case TraceEv::kCoreIssued:
+            record(issuedByTrack, ev.track, ev.ts, ev.value);
+            break;
+          case TraceEv::kNocMoved:
+            record(movedByTrack, ev.track, ev.ts, ev.value);
+            break;
+          case TraceEv::kDramReadHit:
+          case TraceEv::kDramWriteHit:
+            rep.windows[w].dramHits += 1;
+            break;
+          case TraceEv::kDramReadMiss:
+          case TraceEv::kDramWriteMiss:
+            rep.windows[w].dramMisses += 1;
+            break;
+          default:
+            break;
+        }
+    }
+
+    auto diffInto = [&](const std::map<u32, std::vector<f64>> &m,
+                        auto &&sink) {
+        for (const auto &[track, samples] : m) {
+            f64 prev = 0.0;
+            for (u32 w = 0; w < windows; ++w) {
+                // A window without samples keeps the running value.
+                f64 cur = samples[w] >= 0.0 ? samples[w] : prev;
+                sink(w, std::max(0.0, cur - prev));
+                prev = cur;
+            }
+        }
+    };
+    rep.vaultTracks = u32(issuedByTrack.size());
+    diffInto(issuedByTrack, [&](u32 w, f64 d) {
+        rep.windows[w].issued += d;
+    });
+    diffInto(movedByTrack, [&](u32 w, f64 d) {
+        rep.windows[w].nocMoves += d;
+    });
+
+    for (TraceWindow &w : rep.windows) {
+        Cycle span = w.end > w.begin ? w.end - w.begin : 1;
+        if (rep.vaultTracks > 0)
+            w.vaultIpc = w.issued / f64(span) / f64(rep.vaultTracks);
+        f64 cas = w.dramHits + w.dramMisses;
+        w.rowHitRate = cas > 0 ? w.dramHits / cas : 0.0;
+        w.nocMovesPerCycle = w.nocMoves / f64(span);
+        rep.totalIssued += w.issued;
+    }
+    f64 hits = 0, misses = 0, moves = 0;
+    for (const TraceWindow &w : rep.windows) {
+        hits += w.dramHits;
+        misses += w.dramMisses;
+        moves += w.nocMoves;
+    }
+    rep.rowHitRate = hits + misses > 0 ? hits / (hits + misses) : 0.0;
+    if (rep.vaultTracks > 0)
+        rep.avgVaultIpc =
+            rep.totalIssued / f64(totalCycles) / f64(rep.vaultTracks);
+    rep.nocMovesPerCycle = moves / f64(totalCycles);
+    return rep;
+}
+
+std::string
+TraceReport::toString() const
+{
+    std::ostringstream out;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%-21s %10s %8s %9s %9s\n", "window (cycles)", "issued",
+                  "IPC/vlt", "rowHit%", "noc/cyc");
+    out << line;
+    for (const TraceWindow &w : windows) {
+        std::snprintf(line, sizeof(line),
+                      "[%9llu,%9llu) %10.0f %8.3f %8.1f%% %9.3f\n",
+                      (unsigned long long)w.begin,
+                      (unsigned long long)w.end, w.issued, w.vaultIpc,
+                      100.0 * w.rowHitRate, w.nocMovesPerCycle);
+        out << line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "total: %.0f issued over %llu cycles | IPC/vault %.3f "
+                  "(%u vaults) | row hits %.1f%% | noc %.3f moves/cycle\n",
+                  totalIssued, (unsigned long long)totalCycles,
+                  avgVaultIpc, vaultTracks, 100.0 * rowHitRate,
+                  nocMovesPerCycle);
+    out << line;
+    return out.str();
+}
+
+} // namespace ipim

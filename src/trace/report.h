@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Post-run telemetry derived from a recorded trace: per-vault IPC, DRAM
+ * row-hit rate, and NoC load aggregated over fixed time windows.  This
+ * is the `ipim trace` report and feeds the CSV/JSON outputs consumed by
+ * benchmarks that do not want to parse raw trace files.
+ */
+#ifndef IPIM_TRACE_REPORT_H_
+#define IPIM_TRACE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace ipim {
+
+/** Aggregates for one [begin, end) window of the traced run. */
+struct TraceWindow
+{
+    Cycle begin = 0;
+    Cycle end = 0;
+    f64 issued = 0;      ///< instructions issued across all vaults
+    f64 vaultIpc = 0;    ///< issued / cycles / vaults
+    f64 dramHits = 0;    ///< CAS row hits
+    f64 dramMisses = 0;  ///< CAS row misses
+    f64 rowHitRate = 0;  ///< hits / (hits + misses); 0 when no CAS
+    f64 nocMoves = 0;    ///< mesh hop + delivery moves
+    f64 nocMovesPerCycle = 0;
+};
+
+/** Windowed utilization report derived from one Tracer. */
+struct TraceReport
+{
+    std::vector<TraceWindow> windows;
+    u32 vaultTracks = 0; ///< vault core tracks seen in the trace
+    Cycle totalCycles = 0;
+    f64 totalIssued = 0;
+    f64 rowHitRate = 0;   ///< whole-run hit rate
+    f64 avgVaultIpc = 0;  ///< whole-run issued / cycles / vaults
+    f64 nocMovesPerCycle = 0;
+
+    /** Fixed-width text table (the `ipim trace` stdout report). */
+    std::string toString() const;
+};
+
+/**
+ * Derive a windowed report from @p tracer's buffered events.
+ *
+ * @p totalCycles bounds the timeline (use the run's cycle count);
+ * @p windows is the number of equal windows (>= 1).  Cumulative counter
+ * samples (issued, NoC moves) are differenced across window boundaries;
+ * DRAM hit/miss instants are binned directly.
+ */
+TraceReport buildTraceReport(const Tracer &tracer, Cycle totalCycles,
+                             u32 windows = 16);
+
+} // namespace ipim
+
+#endif // IPIM_TRACE_REPORT_H_

@@ -1,0 +1,325 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace ipim {
+
+const char *
+traceEvName(TraceEv ev)
+{
+    switch (ev) {
+      case TraceEv::kDramAct: return "act";
+      case TraceEv::kDramPre: return "pre";
+      case TraceEv::kDramRefresh: return "refresh";
+      case TraceEv::kDramReadHit: return "rd_hit";
+      case TraceEv::kDramReadMiss: return "rd_miss";
+      case TraceEv::kDramWriteHit: return "wr_hit";
+      case TraceEv::kDramWriteMiss: return "wr_miss";
+      case TraceEv::kDramQueue: return "mc_queue";
+      case TraceEv::kNocQueued: return "noc_queued";
+      case TraceEv::kNocMoved: return "noc_moved";
+      case TraceEv::kNocInjected: return "noc_injected";
+      case TraceEv::kVaultRun: return "run";
+      case TraceEv::kStallHazard: return "stall_hazard";
+      case TraceEv::kStallStruct: return "stall_struct";
+      case TraceEv::kStallDrain: return "stall_drain";
+      case TraceEv::kStallBarrier: return "stall_barrier";
+      case TraceEv::kStallBranch: return "stall_branch";
+      case TraceEv::kIiqOccupancy: return "iiq";
+      case TraceEv::kCoreIssued: return "issued";
+      case TraceEv::kPeBusy: return "pe_busy";
+      case TraceEv::kSimdBusy: return "simd_busy";
+      case TraceEv::kKernel: return "kernel";
+      case TraceEv::kRequest: return "request";
+      case TraceEv::kReqQueued: return "queued";
+      case TraceEv::kReqCompile: return "compile";
+      case TraceEv::kReqExecute: return "execute";
+      case TraceEv::kCacheHit: return "cache_hit";
+      case TraceEv::kCacheMiss: return "cache_miss";
+      case TraceEv::kNumEvents: break;
+    }
+    return "unknown";
+}
+
+Tracer::Tracer(size_t capacity) : buf_(capacity == 0 ? 1 : capacity)
+{
+    // Label id 0 is reserved for "use the TraceEv name".
+    labels_.push_back("");
+}
+
+void
+Tracer::setSampleInterval(Cycle interval)
+{
+    if (interval == 0)
+        fatal("trace sample interval must be nonzero");
+    sampleInterval_ = interval;
+}
+
+u32
+Tracer::track(const std::string &name)
+{
+    auto it = trackIds_.find(name);
+    if (it != trackIds_.end())
+        return it->second;
+    u32 id = u32(tracks_.size());
+    tracks_.push_back(name);
+    trackIds_[name] = id;
+    return id;
+}
+
+u16
+Tracer::label(const std::string &name)
+{
+    auto it = labelIds_.find(name);
+    if (it != labelIds_.end())
+        return it->second;
+    u16 id = u16(labels_.size());
+    labels_.push_back(name);
+    labelIds_[name] = id;
+    return id;
+}
+
+void
+Tracer::push(const TraceEvent &ev)
+{
+    buf_[total_ % buf_.size()] = ev;
+    ++total_;
+}
+
+void
+Tracer::span(u32 track, TraceEv name, Cycle begin, Cycle end, u16 label)
+{
+    if (!enabled_)
+        return;
+    TraceEvent ev;
+    ev.ts = begin + offset_;
+    ev.dur = end >= begin ? end - begin : 0;
+    ev.track = track;
+    ev.name = name;
+    ev.kind = TraceKind::kSpan;
+    ev.label = label;
+    push(ev);
+}
+
+void
+Tracer::instant(u32 track, TraceEv name, Cycle ts)
+{
+    if (!enabled_)
+        return;
+    TraceEvent ev;
+    ev.ts = ts + offset_;
+    ev.track = track;
+    ev.name = name;
+    ev.kind = TraceKind::kInstant;
+    push(ev);
+}
+
+void
+Tracer::instantArg(u32 track, TraceEv name, Cycle ts, u64 arg)
+{
+    if (!enabled_)
+        return;
+    TraceEvent ev;
+    ev.ts = ts + offset_;
+    ev.track = track;
+    ev.name = name;
+    ev.kind = TraceKind::kInstant;
+    ev.id = arg;
+    ev.hasArg = true;
+    push(ev);
+}
+
+void
+Tracer::counter(u32 track, TraceEv name, Cycle ts, f64 value)
+{
+    if (!enabled_)
+        return;
+    TraceEvent ev;
+    ev.ts = ts + offset_;
+    ev.value = value;
+    ev.track = track;
+    ev.name = name;
+    ev.kind = TraceKind::kCounter;
+    push(ev);
+}
+
+void
+Tracer::asyncBegin(u32 track, TraceEv name, Cycle ts, u64 id, u16 label)
+{
+    if (!enabled_)
+        return;
+    TraceEvent ev;
+    ev.ts = ts + offset_;
+    ev.id = id;
+    ev.track = track;
+    ev.name = name;
+    ev.kind = TraceKind::kAsyncBegin;
+    ev.label = label;
+    push(ev);
+}
+
+void
+Tracer::asyncEnd(u32 track, TraceEv name, Cycle ts, u64 id)
+{
+    if (!enabled_)
+        return;
+    TraceEvent ev;
+    ev.ts = ts + offset_;
+    ev.id = id;
+    ev.track = track;
+    ev.name = name;
+    ev.kind = TraceKind::kAsyncEnd;
+    push(ev);
+}
+
+u64
+Tracer::dropped() const
+{
+    return total_ > buf_.size() ? total_ - buf_.size() : 0;
+}
+
+void
+Tracer::clear()
+{
+    total_ = 0;
+}
+
+std::vector<TraceEvent>
+Tracer::sortedEvents() const
+{
+    std::vector<TraceEvent> out;
+    u64 n = std::min<u64>(total_, buf_.size());
+    out.reserve(n);
+    for (u64 i = total_ - n; i < total_; ++i)
+        out.push_back(buf_[i % buf_.size()]);
+    // (ts asc, dur desc) keeps per-track timestamps monotonic and sorts
+    // an enclosing span ahead of children that begin on the same cycle,
+    // which Chrome's nesting reconstruction requires.  stable_sort keeps
+    // record order for full ties, so the output is deterministic.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         if (a.ts != b.ts)
+                             return a.ts < b.ts;
+                         return a.dur > b.dur;
+                     });
+    return out;
+}
+
+namespace {
+
+/** Fixed-format microseconds (cycles/1000) — deterministic output. */
+std::string
+fmtTsUs(Cycle cycles)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                  (unsigned long long)(cycles / 1000),
+                  (unsigned long long)(cycles % 1000));
+    return buf;
+}
+
+std::string
+fmtValue(f64 v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+void
+Tracer::exportChromeJson(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    // Process/thread metadata: one named thread per track.
+    sep();
+    os << R"({"name":"process_name","ph":"M","pid":0,"tid":0,)"
+       << R"("args":{"name":"ipim"}})";
+    for (u32 t = 0; t < tracks_.size(); ++t) {
+        sep();
+        os << R"({"name":"thread_name","ph":"M","pid":0,"tid":)" << t
+           << R"(,"args":{"name":")" << jsonEscape(tracks_[t]) << "\"}}";
+        sep();
+        os << R"({"name":"thread_sort_index","ph":"M","pid":0,"tid":)" << t
+           << R"(,"args":{"sort_index":)" << t << "}}";
+    }
+
+    for (const TraceEvent &ev : sortedEvents()) {
+        const char *name = ev.label != 0 && ev.label < labels_.size()
+                               ? labels_[ev.label].c_str()
+                               : traceEvName(ev.name);
+        sep();
+        switch (ev.kind) {
+          case TraceKind::kSpan:
+            os << "{\"name\":\"" << jsonEscape(name)
+               << R"(","ph":"X","ts":)" << fmtTsUs(ev.ts)
+               << ",\"dur\":" << fmtTsUs(ev.dur)
+               << ",\"pid\":0,\"tid\":" << ev.track << "}";
+            break;
+          case TraceKind::kInstant:
+            os << "{\"name\":\"" << jsonEscape(name)
+               << R"(","ph":"i","s":"t","ts":)" << fmtTsUs(ev.ts)
+               << ",\"pid\":0,\"tid\":" << ev.track;
+            if (ev.hasArg)
+                os << ",\"args\":{\"id\":" << ev.id << "}";
+            os << "}";
+            break;
+          case TraceKind::kCounter:
+            // Chrome counters are keyed per process by name, so the
+            // track name is folded into the counter name.
+            os << "{\"name\":\"" << jsonEscape(tracks_[ev.track]) << "/"
+               << traceEvName(ev.name) << R"(","ph":"C","ts":)"
+               << fmtTsUs(ev.ts) << ",\"pid\":0,\"tid\":" << ev.track
+               << ",\"args\":{\"value\":" << fmtValue(ev.value) << "}}";
+            break;
+          case TraceKind::kAsyncBegin:
+          case TraceKind::kAsyncEnd:
+            os << "{\"name\":\"" << jsonEscape(name)
+               << "\",\"cat\":\"service\",\"ph\":\""
+               << (ev.kind == TraceKind::kAsyncBegin ? 'b' : 'e')
+               << "\",\"id\":\"0x" << std::hex << ev.id << std::dec
+               << "\",\"ts\":" << fmtTsUs(ev.ts)
+               << ",\"pid\":0,\"tid\":" << ev.track << "}";
+            break;
+        }
+    }
+    os << "\n]}\n";
+}
+
+void
+Tracer::exportCsv(std::ostream &os) const
+{
+    os << "cycle,track,counter,value\n";
+    for (const TraceEvent &ev : sortedEvents()) {
+        if (ev.kind != TraceKind::kCounter)
+            continue;
+        os << ev.ts << "," << tracks_[ev.track] << ","
+           << traceEvName(ev.name) << "," << fmtValue(ev.value) << "\n";
+    }
+}
+
+} // namespace ipim

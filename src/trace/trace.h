@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Cycle-level event tracing and telemetry (DESIGN.md Sec. 12).
+ *
+ * A Tracer records cycle-stamped events into a fixed-capacity ring
+ * buffer: duration spans (stall episodes, kernel launches, DRAM refresh
+ * windows), instant events (ACT/PRE, row hit/miss, cache hit/miss), and
+ * periodically sampled counters (IIQ occupancy, DRAM queue depth, NoC
+ * occupancy, busy PEs).  Components hold a `Tracer *` that may be null;
+ * every emit site is guarded by `Tracer::active(t)` so the disabled hot
+ * path is a null/bool check, and the whole subsystem compiles out when
+ * the tree is configured with -DIPIM_ENABLE_TRACING=OFF (IPIM_NO_TRACING).
+ *
+ * Exporters produce Chrome trace_event JSON (loadable in chrome://tracing
+ * and Perfetto) and a CSV counter timeline; src/trace/report.h derives
+ * windowed utilization (per-vault IPC, row-hit rate, NoC load) from the
+ * recorded events.
+ */
+#ifndef IPIM_TRACE_TRACE_H_
+#define IPIM_TRACE_TRACE_H_
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ipim {
+
+/**
+ * Fixed event-name vocabulary.
+ *
+ * A closed enum keeps the record hot path free of string handling; the
+ * names are resolved to strings only at export time.  Free-form names
+ * (kernel stages, request pipelines) ride along as interned labels.
+ */
+enum class TraceEv : u16 {
+    // DRAM (per-PG memory controller track).
+    kDramAct,       ///< instant: row activate
+    kDramPre,       ///< instant: precharge
+    kDramRefresh,   ///< span: one per-bank refresh window (tRFC)
+    kDramReadHit,   ///< instant: CAS read, open-row hit
+    kDramReadMiss,  ///< instant: CAS read after PRE/ACT
+    kDramWriteHit,  ///< instant: CAS write, open-row hit
+    kDramWriteMiss, ///< instant: CAS write after PRE/ACT
+    kDramQueue,     ///< counter: request queue depth
+
+    // NoC (per-cube mesh track).
+    kNocQueued,   ///< counter: packets buffered anywhere in the mesh
+    kNocMoved,    ///< counter: cumulative hop+delivery moves
+    kNocInjected, ///< counter: cumulative accepted injections
+
+    // Control core (per-vault track).
+    kVaultRun,     ///< span: program load/unhalt -> halt
+    kStallHazard,  ///< span: issue blocked on a data hazard
+    kStallStruct,  ///< span: issue blocked on a full IIQ
+    kStallDrain,   ///< span: sync/halt fence draining the IIQ
+    kStallBarrier, ///< span: in-flight barrier blocks younger issues
+    kStallBranch,  ///< span: taken-branch bubble
+    kIiqOccupancy, ///< counter: issued-instruction-queue depth
+    kCoreIssued,   ///< counter: cumulative instructions issued
+
+    // Process engines (per-vault PE track).
+    kPeBusy,    ///< counter: PEs with work in flight this sample
+    kSimdBusy,  ///< counter: cumulative SIMD busy cycles (vault sum)
+
+    // Host runtime.
+    kKernel, ///< span: one compiled kernel executing on the device
+
+    // Serving layer.
+    kRequest,     ///< async span: whole request lifetime
+    kReqQueued,   ///< async span: arrival -> dispatch
+    kReqCompile,  ///< async span: compile charge on a cache miss
+    kReqExecute,  ///< async span: device execution
+    kCacheHit,    ///< instant: program cache hit at admission
+    kCacheMiss,   ///< instant: program cache miss (compile)
+
+    kNumEvents
+};
+
+/** Export-time name of @p ev (stable; part of the trace format). */
+const char *traceEvName(TraceEv ev);
+
+/** How one TraceEvent is rendered in the Chrome trace. */
+enum class TraceKind : u8 {
+    kSpan,       ///< complete event "X" (non-overlapping per track)
+    kInstant,    ///< instant event "i"
+    kCounter,    ///< counter event "C"
+    kAsyncBegin, ///< async event "b" (id-keyed, may overlap)
+    kAsyncEnd,   ///< async event "e"
+};
+
+/** One recorded event (fixed 48-byte POD; lives in the ring buffer). */
+struct TraceEvent
+{
+    Cycle ts = 0;    ///< begin timestamp, in device cycles
+    Cycle dur = 0;   ///< span length (kSpan only)
+    f64 value = 0;   ///< sampled value (kCounter only)
+    u64 id = 0;      ///< async-pair key / optional argument
+    u32 track = 0;   ///< index into trackNames()
+    TraceEv name = TraceEv::kNumEvents;
+    TraceKind kind = TraceKind::kInstant;
+    u16 label = 0;   ///< interned free-form name; 0 = use traceEvName()
+    bool hasArg = false; ///< emit @p id as an args.id field
+};
+
+class Tracer
+{
+  public:
+    /** @p capacity is the ring size in events (oldest dropped first). */
+    explicit Tracer(size_t capacity = 1u << 20);
+
+    /** @name Gating
+     * The recording hot path is a branch on `enabled_`; call sites hold
+     * a possibly-null pointer and use active() so a traced-but-disabled
+     * simulation costs one predictable branch per instrumentation site.
+     */
+    ///@{
+    static bool
+    active(const Tracer *t)
+    {
+#ifdef IPIM_NO_TRACING
+        (void)t;
+        return false;
+#else
+        return t != nullptr && t->enabled_;
+#endif
+    }
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool on) { enabled_ = on; }
+    ///@}
+
+    /** Counter-sampling cadence, in cycles (default 64). */
+    void setSampleInterval(Cycle interval);
+    Cycle sampleInterval() const { return sampleInterval_; }
+
+    /** True when an enabled tracer wants counter samples at @p now. */
+    static bool
+    sampleDue(const Tracer *t, Cycle now)
+    {
+        return active(t) && now % t->sampleInterval_ == 0;
+    }
+
+    /**
+     * Added to every recorded timestamp.  The serving layer maps each
+     * launch's device-local clock (which restarts at 0 after
+     * Device::reset()) onto the server's virtual timeline by setting the
+     * offset to the request's dispatch time before launching.
+     */
+    void setTimeOffset(Cycle offset) { offset_ = offset; }
+    Cycle timeOffset() const { return offset_; }
+
+    /**
+     * Register (or look up) a track by name; returns its id.  Tracks are
+     * rendered as named Chrome trace threads, e.g. "cube0/vault3/core".
+     */
+    u32 track(const std::string &name);
+
+    /** Intern a free-form event label (kernel stage, pipeline name). */
+    u16 label(const std::string &name);
+
+    // --- Recording (no-ops while disabled) ---
+    void span(u32 track, TraceEv name, Cycle begin, Cycle end,
+              u16 label = 0);
+    void instant(u32 track, TraceEv name, Cycle ts);
+    void instantArg(u32 track, TraceEv name, Cycle ts, u64 arg);
+    void counter(u32 track, TraceEv name, Cycle ts, f64 value);
+    void asyncBegin(u32 track, TraceEv name, Cycle ts, u64 id,
+                    u16 label = 0);
+    void asyncEnd(u32 track, TraceEv name, Cycle ts, u64 id);
+
+    // --- Introspection ---
+    u64 recorded() const { return total_; }
+    u64 dropped() const;
+    size_t capacity() const { return buf_.size(); }
+    const std::vector<std::string> &trackNames() const { return tracks_; }
+    const std::vector<std::string> &labelNames() const { return labels_; }
+
+    /** Drop all recorded events (tracks and labels survive). */
+    void clear();
+
+    /**
+     * Buffered events, oldest first, sorted by (ts, longer-span-first,
+     * record order).  The sort keeps per-track timestamps monotonic and
+     * parents ahead of the child spans they enclose.
+     */
+    std::vector<TraceEvent> sortedEvents() const;
+
+    /**
+     * Chrome trace_event JSON: {"traceEvents":[...]} with process/thread
+     * metadata naming every track.  Timestamps are microseconds (cycles
+     * / 1000 at the 1 GHz core clock).  Byte-deterministic for a given
+     * event sequence.
+     */
+    void exportChromeJson(std::ostream &os) const;
+
+    /** Counter-sample timeline: "cycle,track,counter,value" rows. */
+    void exportCsv(std::ostream &os) const;
+
+  private:
+    void push(const TraceEvent &ev);
+
+    bool enabled_ = false;
+    Cycle sampleInterval_ = 64;
+    Cycle offset_ = 0;
+    u64 total_ = 0; ///< events ever recorded (ring position = total_ % N)
+    std::vector<TraceEvent> buf_;
+    std::vector<std::string> tracks_;
+    std::map<std::string, u32> trackIds_;
+    std::vector<std::string> labels_;
+    std::map<std::string, u16> labelIds_;
+};
+
+} // namespace ipim
+
+#endif // IPIM_TRACE_TRACE_H_

@@ -226,6 +226,29 @@ TEST(Histogram, SingleSampleAndExport)
     EXPECT_EQ(reg.get("lat.p99"), 42.0);
 }
 
+TEST(Histogram, EmptySummariesAreSentinelsAndExportSkipsThem)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(99), 0.0);
+
+    // An empty histogram exports only its count: an absent percentile
+    // key means "no samples", distinguishable from a real 0.0 latency.
+    StatsRegistry reg;
+    h.exportTo(reg, "lat");
+    EXPECT_TRUE(reg.has("lat.count"));
+    EXPECT_EQ(reg.get("lat.count"), 0.0);
+    EXPECT_FALSE(reg.has("lat.mean"));
+    EXPECT_FALSE(reg.has("lat.min"));
+    EXPECT_FALSE(reg.has("lat.max"));
+    EXPECT_FALSE(reg.has("lat.p50"));
+    EXPECT_FALSE(reg.has("lat.p95"));
+    EXPECT_FALSE(reg.has("lat.p99"));
+}
+
 TEST(Json, ObjectsArraysAndCommas)
 {
     JsonWriter j;

@@ -28,6 +28,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -40,6 +41,8 @@
 #include "isa/assembler.h"
 #include "runtime/runtime.h"
 #include "service/server.h"
+#include "trace/report.h"
+#include "trace/trace.h"
 #include "verify/verifier.h"
 
 using namespace ipim;
@@ -69,6 +72,12 @@ struct Options
     bool allBenches = false;
     bool werror = false;
     std::string asmFile;
+    // tracing:
+    std::string traceFile; ///< --trace FILE on run/serve
+    bool traceCmd = false;
+    std::string traceOut = "trace.json";
+    std::string traceCsv;
+    u32 traceWindows = 16;
     // serve-subcommand only:
     bool serveCmd = false;
     f64 rate = 20000.0; ///< requests per second of virtual time
@@ -87,16 +96,21 @@ usage()
         "            [--cubes N] [--vaults N] [--pgs N] [--pes N]\n"
         "            [--ponb] [--sched frfcfs|fcfs] [--page open|close]\n"
         "            [--opts opt|baseline1..baseline4] [--verify]\n"
-        "            [--gpu] [--dump-asm] [--json]\n"
+        "            [--gpu] [--dump-asm] [--json] [--trace FILE]\n"
         "       ipim verify [--bench NAME | --all | --asm FILE]\n"
         "            [--werror] [device/compiler flags as above]\n"
         "       ipim serve [--bench NAME[,NAME...]] [--rate R]\n"
         "            [--requests N] [--sched fifo|sjf]\n"
         "            [--share cube|whole] [--cubes-per-req K] [--seed S]\n"
-        "            [--json] [device/compiler flags as above]\n"
+        "            [--json] [--trace FILE]\n"
+        "            [device/compiler flags as above]\n"
+        "       ipim trace [--bench NAME] [--out FILE] [--csv FILE]\n"
+        "            [--windows N] [device/compiler flags as above]\n"
         "  serve defaults to a 2-cube 4x2x2 device at 128x64 unless\n"
         "  geometry/size flags are given; --rate is requests per second\n"
-        "  of virtual time (1 cycle == 1 ns).\n");
+        "  of virtual time (1 cycle == 1 ns).\n"
+        "  --trace / `ipim trace` write Chrome trace_event JSON; open it\n"
+        "  in chrome://tracing or https://ui.perfetto.dev.\n");
 }
 
 CompilerOptions
@@ -189,6 +203,63 @@ runVerifyCommand(const Options &o)
     return allOk ? 0 : 3;
 }
 
+/** Write @p tracer's Chrome trace_event JSON to @p path. */
+void
+writeChromeTrace(const Tracer &tracer, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot open trace output file ", path);
+    tracer.exportChromeJson(out);
+    if (!out)
+        fatal("failed writing trace to ", path);
+}
+
+/**
+ * The `ipim trace` subcommand: run one benchmark with tracing enabled,
+ * write the Chrome trace (and optionally the counter CSV), and print
+ * the windowed utilization report.
+ */
+int
+runTraceCommand(const Options &o)
+{
+    HardwareConfig cfg = buildConfig(o);
+    BenchmarkApp app = makeBenchmark(o.bench, o.width, o.height);
+    CompilerOptions copts = parseOpts(o.opts);
+    CompiledPipeline cp = compilePipeline(app.def, cfg, copts);
+
+    Tracer tracer;
+    tracer.setEnabled(true);
+    Device dev(cfg, &tracer);
+    Runtime rt(dev, cp);
+    for (const auto &[name, img] : app.inputs)
+        rt.bindInput(name, img);
+    LaunchResult res = rt.run();
+
+    writeChromeTrace(tracer, o.traceOut);
+    if (!o.traceCsv.empty()) {
+        std::ofstream csv(o.traceCsv, std::ios::binary);
+        if (!csv)
+            fatal("cannot open ", o.traceCsv);
+        tracer.exportCsv(csv);
+    }
+
+    std::printf("bench %s %dx%d | device %ux%ux%ux%u | %llu cycles\n",
+                o.bench.c_str(), o.width, o.height, cfg.cubes,
+                cfg.vaultsPerCube, cfg.pgsPerVault, cfg.pesPerPg,
+                (unsigned long long)res.cycles);
+    TraceReport trep = buildTraceReport(tracer, res.cycles,
+                                        o.traceWindows);
+    std::printf("%s", trep.toString().c_str());
+    std::printf("%llu events (%llu dropped) -> %s\n",
+                (unsigned long long)tracer.recorded(),
+                (unsigned long long)tracer.dropped(),
+                o.traceOut.c_str());
+    if (!o.traceCsv.empty())
+        std::printf("counter CSV -> %s\n", o.traceCsv.c_str());
+    return 0;
+}
+
 /** Split a comma-separated --bench list. */
 std::vector<std::string>
 splitList(const std::string &s)
@@ -236,8 +307,18 @@ runServeCommand(const Options &o)
     spec.seed = o.seed;
     std::vector<ServeRequest> reqs = generatePoissonWorkload(spec);
 
+    std::unique_ptr<Tracer> tracer;
+    if (!o.traceFile.empty()) {
+        tracer = std::make_unique<Tracer>();
+        tracer->setEnabled(true);
+        scfg.tracer = tracer.get();
+    }
+
     Server server(scfg);
     ServeReport rep = server.run(reqs);
+
+    if (tracer)
+        writeChromeTrace(*tracer, o.traceFile);
 
     if (o.json) {
         JsonWriter j;
@@ -276,6 +357,23 @@ runServeCommand(const Options &o)
         j.key("cache").beginObject();
         j.field("compiles", u64(rep.stats.get("serve.cache.miss")))
             .field("hits", u64(rep.stats.get("serve.cache.hit")));
+        j.endObject();
+        // Derived device telemetry over the merged per-request stats
+        // (no trace parsing needed; see also `ipim trace`).
+        j.key("telemetry").beginObject();
+        f64 rowHit = rep.stats.get("dram.rowHit");
+        f64 rowMiss = rep.stats.get("dram.rowMiss");
+        j.field("row_hit_rate",
+                rowHit / std::max(1.0, rowHit + rowMiss));
+        f64 devCycles = rep.stats.get("sim.cycles");
+        j.field("noc_moves_per_cycle",
+                (rep.stats.get("noc.hops") +
+                 rep.stats.get("noc.delivered")) /
+                    std::max(1.0, devCycles));
+        j.field("avg_vault_ipc", rep.stats.get("core.issued") /
+                                     std::max(1.0,
+                                              rep.stats.get("core.cycles")));
+        j.field("device_busy_cycles", u64(devCycles));
         j.endObject();
         j.key("requests").beginArray();
         for (const RequestRecord &r : rep.records) {
@@ -318,6 +416,9 @@ main(int argc, char **argv)
     int first = 1;
     if (argc > 1 && std::strcmp(argv[1], "verify") == 0) {
         o.verifyCmd = true;
+        first = 2;
+    } else if (argc > 1 && std::strcmp(argv[1], "trace") == 0) {
+        o.traceCmd = true;
         first = 2;
     } else if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
         o.serveCmd = true;
@@ -393,6 +494,14 @@ main(int argc, char **argv)
             o.share = next();
         else if (a == "--cubes-per-req")
             o.cubesPerReq = u32(std::stoul(next()));
+        else if (a == "--trace")
+            o.traceFile = next();
+        else if (a == "--out")
+            o.traceOut = next();
+        else if (a == "--csv")
+            o.traceCsv = next();
+        else if (a == "--windows")
+            o.traceWindows = u32(std::stoul(next()));
         else if (a == "--help" || a == "-h") {
             usage();
             return 0;
@@ -412,6 +521,8 @@ main(int argc, char **argv)
             return runVerifyCommand(o);
         if (o.serveCmd)
             return runServeCommand(o);
+        if (o.traceCmd)
+            return runTraceCommand(o);
 
         HardwareConfig cfg = buildConfig(o);
 
@@ -440,11 +551,18 @@ main(int argc, char **argv)
             return 0;
         }
 
-        Device dev(cfg);
+        std::unique_ptr<Tracer> tracer;
+        if (!o.traceFile.empty()) {
+            tracer = std::make_unique<Tracer>();
+            tracer->setEnabled(true);
+        }
+        Device dev(cfg, tracer.get());
         Runtime rt(dev, cp);
         for (const auto &[name, img] : app.inputs)
             rt.bindInput(name, img);
         LaunchResult res = rt.run();
+        if (tracer)
+            writeChromeTrace(*tracer, o.traceFile);
 
         if (o.json) {
             EnergyBreakdown e =
@@ -483,6 +601,30 @@ main(int argc, char **argv)
                 .field("pgsm", e.pgsm * 1e3)
                 .field("others", e.others * 1e3);
             j.endObject();
+            // Derived telemetry (no trace parsing; see `ipim trace`).
+            {
+                const StatsRegistry &st = dev.stats();
+                f64 rowHit = st.get("dram.rowHit");
+                f64 rowMiss = st.get("dram.rowMiss");
+                j.key("telemetry").beginObject();
+                j.field("row_hit_rate",
+                        rowHit / std::max(1.0, rowHit + rowMiss));
+                j.field("noc_moves_per_cycle",
+                        (st.get("noc.hops") + st.get("noc.delivered")) /
+                            std::max(1.0, f64(res.cycles)));
+                j.field("total_issued", dev.totalIssued());
+                j.field("avg_vault_ipc",
+                        f64(dev.totalIssued()) /
+                            std::max(1.0, f64(res.cycles) *
+                                              dev.totalVaults()));
+                j.key("vault_ipc").beginArray();
+                for (u32 c = 0; c < cfg.cubes; ++c)
+                    for (u32 v = 0; v < cfg.vaultsPerCube; ++v)
+                        j.value(f64(dev.cube(c).vault(v).issuedCount()) /
+                                std::max(1.0, f64(res.cycles)));
+                j.endArray();
+                j.endObject();
+            }
             if (o.verify) {
                 Image ref = referenceRun(app.def, app.inputs);
                 f32 diff = ref.maxAbsDiff(res.output);

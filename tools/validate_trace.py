@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by `ipim --trace`.
+
+Checks (stdlib only, no third-party deps):
+  * the file parses as JSON and has a `traceEvents` array;
+  * every event carries the fields its phase requires;
+  * phases are limited to the ones the exporter emits (M/X/i/C/b/e);
+  * non-metadata timestamps are monotonically non-decreasing per
+    (pid, tid) track in file order (Perfetto relies on this);
+  * "X" durations are non-negative;
+  * async begin/end events balance per (cat, id) with no end-before-begin.
+
+Usage: validate_trace.py TRACE.json [TRACE2.json ...]
+Exits 0 when every file passes, 1 otherwise.
+"""
+
+import json
+import sys
+
+REQUIRED = {
+    "M": ("name", "ph", "pid", "tid", "args"),
+    "X": ("name", "ph", "pid", "tid", "ts", "dur"),
+    "i": ("name", "ph", "pid", "tid", "ts", "s"),
+    "C": ("name", "ph", "pid", "tid", "ts", "args"),
+    "b": ("name", "ph", "pid", "tid", "ts", "cat", "id"),
+    "e": ("name", "ph", "pid", "tid", "ts", "cat", "id"),
+}
+
+
+def validate(path):
+    errors = []
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            return [f"not valid JSON: {e}"]
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"]
+
+    last_ts = {}  # (pid, tid) -> last seen ts
+    async_open = {}  # (cat, id) -> open-begin depth
+    counts = {}
+    for i, ev in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in REQUIRED:
+            errors.append(f"{where}: unexpected phase {ph!r}")
+            continue
+        counts[ph] = counts.get(ph, 0) + 1
+        missing = [k for k in REQUIRED[ph] if k not in ev]
+        if missing:
+            errors.append(f"{where} (ph={ph}): missing {missing}")
+            continue
+        if ph == "M":
+            continue
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where}: bad ts {ts!r}")
+            continue
+        track = (ev["pid"], ev["tid"])
+        if track in last_ts and ts < last_ts[track]:
+            errors.append(
+                f"{where}: ts {ts} goes backwards on track {track} "
+                f"(last {last_ts[track]})"
+            )
+        last_ts[track] = ts
+        if ph == "X" and ev["dur"] < 0:
+            errors.append(f"{where}: negative dur {ev['dur']}")
+        if ph == "b":
+            key = (ev["cat"], ev["id"])
+            async_open[key] = async_open.get(key, 0) + 1
+        elif ph == "e":
+            key = (ev["cat"], ev["id"])
+            if async_open.get(key, 0) <= 0:
+                errors.append(f"{where}: async end without begin {key}")
+            else:
+                async_open[key] -= 1
+
+    for key, depth in sorted(async_open.items()):
+        if depth != 0:
+            errors.append(f"unbalanced async span {key}: {depth} open")
+
+    if not any(p in counts for p in ("X", "i", "C", "b")):
+        errors.append("trace contains no data events")
+
+    summary = " ".join(f"{p}:{n}" for p, n in sorted(counts.items()))
+    print(f"{path}: {len(events)} events ({summary})")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        for err in validate(path):
+            print(f"{path}: ERROR: {err}", file=sys.stderr)
+            failed = True
+    if failed:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
