@@ -31,6 +31,14 @@ using f64 = double;
 /** Simulation time, in core clock cycles (1 GHz => 1 cycle == 1 ns). */
 using Cycle = u64;
 
+/**
+ * "No scheduled event" sentinel for nextEventAt() (DESIGN.md Sec. 13):
+ * a component that cannot change state on its own returns this, and the
+ * fast-forward layer treats it as +infinity when taking the tree-wide
+ * minimum.
+ */
+inline constexpr Cycle kNeverCycle = ~Cycle(0);
+
 /** Number of 32-bit lanes in a SIMD vector (128b bank/TSV interface). */
 inline constexpr int kSimdLanes = 4;
 

@@ -151,7 +151,13 @@ BankTimingState::refresh(Cycle at)
 Cycle
 ActivationLimiter::earliestAct(Cycle now, u32 pgIdx) const
 {
-    Cycle t = now;
+    return std::max(now, earliestActAbs(pgIdx));
+}
+
+Cycle
+ActivationLimiter::earliestActAbs(u32 pgIdx) const
+{
+    Cycle t = 0;
     if (anyAct_)
         t = std::max(t, lastActAny_ + t_.tRRDS);
     if (auto it = lastActPerPg_.find(pgIdx); it != lastActPerPg_.end())

@@ -79,6 +79,15 @@ class BankTimingState
     Cycle earliestCas(Cycle now) const;
     Cycle earliestPre(Cycle now) const;
 
+    /**
+     * Raw allowed-at registers, for next-event computation (DESIGN.md
+     * Sec. 13): the absolute cycle at which the command becomes legal
+     * for this bank, ignoring the vault-level activation limiter.
+     */
+    Cycle actAllowedAt() const { return actAllowedAt_; }
+    Cycle casAllowedAt() const { return casAllowedAt_; }
+    Cycle preAllowedAt() const { return preAllowedAt_; }
+
     /** Issue ACT of @p row at time @p at (must be legal). */
     void act(Cycle at, i64 row);
 
@@ -119,6 +128,15 @@ class ActivationLimiter
     explicit ActivationLimiter(const DramTiming &t) : t_(t) {}
 
     Cycle earliestAct(Cycle now, u32 pgIdx) const;
+
+    /**
+     * Absolute earliest ACT cycle for @p pgIdx from the recorded
+     * history alone (0 when unconstrained).  earliestAct(now, pg) ==
+     * max(now, earliestActAbs(pg)); the absolute form feeds
+     * MemoryController::nextEventAt (DESIGN.md Sec. 13).
+     */
+    Cycle earliestActAbs(u32 pgIdx) const;
+
     void recordAct(Cycle at, u32 pgIdx);
 
     /** Forget all activation history (device power-cycle). */

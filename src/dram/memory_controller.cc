@@ -31,6 +31,7 @@ MemoryController::reset()
 {
     queue_.clear();
     inflight_.clear();
+    inflightSeq_ = 0;
     completions_.clear();
     for (u32 pe = 0; pe < cfg_.pesPerPg; ++pe) {
         storages_[pe]->clear();
@@ -167,10 +168,7 @@ MemoryController::issueForRequest(Cycle now, size_t idx)
     }
     if (r.write)
         storages_[r.peInPg]->writeVec(r.addr, r.data);
-    Inflight f;
-    f.req = r;
-    f.doneAt = done;
-    inflight_.push_back(f);
+    inflight_.emplace(std::make_pair(done, inflightSeq_++), r);
     if (cfg_.pagePolicy == PagePolicy::kClosePage)
         autoPrePending_[r.peInPg] = true;
     queue_.erase(queue_.begin() + idx);
@@ -184,21 +182,17 @@ MemoryController::tick(Cycle now)
         trace_->counter(traceTrack_, TraceEv::kDramQueue, now,
                         f64(queue_.size()));
 
-    // Retire finished accesses.
-    for (size_t i = 0; i < inflight_.size();) {
-        if (inflight_[i].doneAt <= now) {
-            const MemRequest &r = inflight_[i].req;
-            MemCompletion c;
-            c.id = r.id;
-            c.peInPg = r.peInPg;
-            c.write = r.write;
-            if (!r.write)
-                c.data = storages_[r.peInPg]->readVec(r.addr);
-            completions_.push_back(c);
-            inflight_.erase(inflight_.begin() + i);
-        } else {
-            ++i;
-        }
+    // Retire finished accesses, in (doneAt, issue-order) order.
+    while (!inflight_.empty() && inflight_.begin()->first.first <= now) {
+        const MemRequest &r = inflight_.begin()->second;
+        MemCompletion c;
+        c.id = r.id;
+        c.peInPg = r.peInPg;
+        c.write = r.write;
+        if (!r.write)
+            c.data = storages_[r.peInPg]->readVec(r.addr);
+        completions_.push_back(c);
+        inflight_.erase(inflight_.begin());
     }
 
     // One command per cycle: refresh first, then auto-precharge, then the
@@ -223,6 +217,52 @@ MemoryController::tick(Cycle now)
     int idx = pickRequest(now);
     if (idx >= 0)
         issueForRequest(now, size_t(idx));
+}
+
+Cycle
+MemoryController::nextEventAt(Cycle now) const
+{
+    // Undrained completions can unblock a PE this very cycle.
+    if (!completions_.empty())
+        return now;
+
+    Cycle e = kNeverCycle;
+    if (!inflight_.empty())
+        e = std::min(e, inflight_.begin()->first.first);
+
+    for (u32 pe = 0; pe < cfg_.pesPerPg; ++pe) {
+        const BankTimingState &bank = banks_[pe];
+        if (now >= nextRefreshAt_[pe]) {
+            // Refresh already due: the blocker is PRE (open bank) or
+            // ACT (closed bank, refresh reuses the ACT slot) legality.
+            e = std::min(e, std::max(now, bank.isOpen()
+                                              ? bank.preAllowedAt()
+                                              : bank.actAllowedAt()));
+        } else {
+            e = std::min(e, nextRefreshAt_[pe]);
+        }
+        if (autoPrePending_[pe] && bank.isOpen())
+            e = std::min(e, std::max(now, bank.preAllowedAt()));
+    }
+
+    // A queued request becomes actionable when its next command (PRE,
+    // ACT, or CAS against its target bank) becomes legal.  This may be
+    // conservative — another bank may hold the command bus that cycle —
+    // which only costs a no-op dense tick, never a missed event.
+    for (const Queued &q : queue_) {
+        const BankTimingState &bank = banks_[q.req.peInPg];
+        i64 row = i64(storages_[q.req.peInPg]->rowOf(q.req.addr));
+        Cycle at;
+        if (bank.isOpen() && bank.openRow() != row)
+            at = bank.preAllowedAt();
+        else if (!bank.isOpen())
+            at = std::max(bank.actAllowedAt(),
+                          limiter_->earliestActAbs(pgIdx_));
+        else
+            at = bank.casAllowedAt();
+        e = std::min(e, std::max(now, at));
+    }
+    return e;
 }
 
 } // namespace ipim

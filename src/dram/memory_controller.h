@@ -8,8 +8,10 @@
 #define IPIM_DRAM_MEMORY_CONTROLLER_H_
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dram/bank.h"
@@ -80,6 +82,16 @@ class MemoryController
     bool idle() const { return queue_.empty() && inflight_.empty(); }
 
     /**
+     * Earliest future cycle at which this controller can change state
+     * (DESIGN.md Sec. 13): the nearest inflight doneAt, refresh
+     * deadline, auto-precharge or queued-command legality threshold.
+     * Returns @p now when it could act this very cycle, kNeverCycle
+     * when it is fully drained and no refresh is pending.  May be
+     * conservative (early) but never late.
+     */
+    Cycle nextEventAt(Cycle now) const;
+
+    /**
      * Power-cycle: drop queued/in-flight requests, close all rows,
      * restart the staggered refresh schedule, and erase bank contents.
      */
@@ -90,12 +102,6 @@ class MemoryController
     {
         MemRequest req;
         bool sawMiss = false; ///< needed a PRE/ACT before its CAS
-    };
-
-    struct Inflight
-    {
-        MemRequest req;
-        Cycle doneAt;
     };
 
     bool conflictsWithOlder(size_t idx) const;
@@ -116,7 +122,15 @@ class MemoryController
     std::vector<Cycle> nextRefreshAt_;
 
     std::deque<Queued> queue_;
-    std::vector<Inflight> inflight_;
+    /**
+     * CAS accesses awaiting their data-ready cycle, ordered by
+     * (doneAt, issue sequence).  The issue counter — not the caller's
+     * req.id — breaks doneAt ties, because FR-FCFS may issue requests
+     * out of arrival order; retiring in this order is exactly the
+     * order the dense per-cycle scan produced.
+     */
+    std::map<std::pair<Cycle, u64>, MemRequest> inflight_;
+    u64 inflightSeq_ = 0;
     std::vector<MemCompletion> completions_;
 };
 

@@ -87,13 +87,7 @@ Mesh::tick()
 {
     // Two-phase update: compute moves against the current queue state,
     // then apply, so a packet moves at most one hop per cycle.
-    struct Move
-    {
-        u32 node;
-        int inPort;
-        int outPort; ///< -1 => deliver locally
-    };
-    std::vector<Move> moves;
+    moves_.clear();
 
     for (u32 v = 0; v < nodes(); ++v) {
         Router &r = routers_[v];
@@ -118,12 +112,12 @@ Mesh::tick()
                 }
             }
             outputUsed[outIdx] = true;
-            moves.push_back({v, inPort, outPort});
+            moves_.push_back({v, inPort, outPort});
         }
         r.rrNext = (r.rrNext + 1) % kPorts;
     }
 
-    for (const Move &m : moves) {
+    for (const Move &m : moves_) {
         Router &r = routers_[m.node];
         Packet p = r.in[m.inPort].front();
         r.in[m.inPort].pop_front();
@@ -170,6 +164,27 @@ Mesh::idle() const
             if (!q.empty())
                 return false;
     return true;
+}
+
+Cycle
+Mesh::nextEventAt(Cycle now) const
+{
+    if (!idle())
+        return now;
+    for (const auto &d : delivered_)
+        if (!d.empty())
+            return now;
+    return kNeverCycle;
+}
+
+void
+Mesh::creditSkipped(u64 skipped)
+{
+    u32 delta = u32(skipped % kPorts);
+    if (delta == 0)
+        return;
+    for (Router &r : routers_)
+        r.rrNext = (r.rrNext + delta) % kPorts;
 }
 
 void

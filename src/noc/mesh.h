@@ -93,6 +93,23 @@ class Mesh
     /** Emit counter samples when the tracer's cadence is due. */
     void sampleTrace(Cycle now);
 
+    /**
+     * Earliest future cycle this mesh can change state (DESIGN.md
+     * Sec. 13): @p now while any packet is queued in a router or sits
+     * undrained in a delivery buffer (it can move/be consumed on the
+     * very next tick), kNeverCycle when completely empty — routers
+     * only ever move packets that are already inside the mesh.
+     */
+    Cycle nextEventAt(Cycle now) const;
+
+    /**
+     * Account for @p skipped elided ticks: dense ticking rotates every
+     * router's round-robin pointer once per cycle even when idle, so
+     * fast-forward must rotate them the same amount for arbitration
+     * decisions after the skip to stay bit-exact.
+     */
+    void creditSkipped(u64 skipped);
+
     /** Drop all queued/delivered packets and rewind the arbiters. */
     void reset();
 
@@ -105,6 +122,13 @@ class Mesh
     {
         std::deque<Packet> in[kPorts];
         u32 rrNext = 0; ///< round-robin arbitration pointer
+    };
+
+    struct Move
+    {
+        u32 node;
+        int inPort;
+        int outPort; ///< -1 => deliver locally
     };
 
     u32 xOf(u32 v) const { return v % cols_; }
@@ -128,6 +152,7 @@ class Mesh
     u64 injected_ = 0; ///< cumulative accepted injections
     std::vector<Router> routers_;
     std::vector<std::vector<Packet>> delivered_;
+    std::vector<Move> moves_; ///< tick() scratch, hoisted off the hot path
 };
 
 } // namespace ipim

@@ -87,6 +87,7 @@ Runtime::run()
         hostTrack = tr->track(dev_.trackPrefix() + "host");
 
     LaunchResult res;
+    res.vaultIssued.assign(dev_.totalVaults(), 0);
     Cycle kernelBase = dev_.now();
     for (const CompiledKernel &k : pipe_.kernels) {
         // Launch-time gate (opt-in via CompilerOptions::verify): a
@@ -107,6 +108,14 @@ Runtime::run()
         kernelBase += c;
         res.kernelCycles.push_back(c);
         res.cycles += c;
+        size_t vi = 0;
+        for (u32 chip = 0; chip < dev_.cfg().cubes; ++chip) {
+            for (u32 v = 0; v < dev_.cfg().vaultsPerCube; ++v) {
+                u64 n = dev_.vault(chip, v).issuedCount();
+                res.vaultIssued[vi++] += n;
+                res.totalIssued += n;
+            }
+        }
     }
 
     const Layout &outL = pipe_.layouts->of(pipe_.def.output);

@@ -22,6 +22,10 @@ struct LaunchResult
     Image output;
     Cycle cycles = 0;          ///< total simulated cycles
     std::vector<Cycle> kernelCycles; ///< per stage
+    /// Instructions issued, summed over all kernels (Vault::issuedCount
+    /// restarts at every program load, so the runtime accumulates).
+    u64 totalIssued = 0;
+    std::vector<u64> vaultIssued; ///< per vault, chip-major, all kernels
 };
 
 class Runtime

@@ -75,6 +75,7 @@ Server::Server(const ServerConfig &cfg) : cfg_(cfg)
         s.dev = std::make_unique<Device>(
             slotCfg, cfg_.tracer,
             "slot" + std::to_string(slots_.size()) + "/");
+        s.dev->setFastForward(cfg_.fastForward);
         slots_.push_back(std::move(s));
     }
 }
@@ -198,6 +199,8 @@ Server::run(const std::vector<ServeRequest> &requests)
             tr->setTimeOffset(0);
         q.program->recordMeasurement(res.cycles);
         rep.stats.merge(slot.dev->stats());
+        rep.ffwdSkippedCycles += slot.dev->ffwdSkippedCycles();
+        rep.ffwdJumps += slot.dev->ffwdJumps();
 
         RequestRecord rec;
         rec.id = q.req.id;

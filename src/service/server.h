@@ -60,6 +60,12 @@ struct ServerConfig
      * stamped on the server's virtual timeline (DESIGN.md Sec. 12).
      */
     Tracer *tracer = nullptr;
+
+    /**
+     * Next-event fast-forward on the slot devices (DESIGN.md Sec. 13).
+     * On by default; results are bit-exact either way.
+     */
+    bool fastForward = true;
 };
 
 /** Everything recorded about one served request. */
@@ -94,6 +100,14 @@ struct ServeReport
      * merged per-request device stats.
      */
     StatsRegistry stats;
+
+    /**
+     * Fast-forward totals summed over all request executions.  Kept out
+     * of `stats` so dense and fast-forward runs stay stat-for-stat
+     * identical (DESIGN.md Sec. 13).
+     */
+    u64 ffwdSkippedCycles = 0;
+    u64 ffwdJumps = 0;
 
     /** Served requests per second of virtual time. */
     f64 throughputRps() const;

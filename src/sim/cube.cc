@@ -1,5 +1,7 @@
 #include "sim/cube.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace ipim {
@@ -78,6 +80,25 @@ Cube::tick(Cycle now)
     // 4. Move the network.
     mesh_.tick();
     mesh_.sampleTrace(now);
+}
+
+Cycle
+Cube::nextEventAt(Cycle now) const
+{
+    if (!serdesEgress_.empty() || !serdesIngressRetry_.empty())
+        return now;
+    Cycle e = mesh_.nextEventAt(now);
+    for (const auto &vault : vaults_)
+        e = std::min(e, vault->nextEventAt(now));
+    return e;
+}
+
+void
+Cube::creditSkipped(Cycle from, u64 skipped)
+{
+    mesh_.creditSkipped(skipped);
+    for (auto &vault : vaults_)
+        vault->creditSkipped(from, skipped);
 }
 
 void

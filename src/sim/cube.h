@@ -40,6 +40,20 @@ class Cube
 
     bool fullyIdle() const;
 
+    /**
+     * Earliest future cycle this cube can change state (DESIGN.md
+     * Sec. 13): @p now while SERDES egress/ingress-retry buffers hold
+     * packets, else the min over the mesh and the vaults.
+     */
+    Cycle nextEventAt(Cycle now) const;
+
+    /**
+     * Propagate fast-forward crediting for @p skipped cycles starting
+     * at @p from to the vaults (stall/cycle counters) and the mesh
+     * (round-robin arbiter rotation).
+     */
+    void creditSkipped(Cycle from, u64 skipped);
+
     /** Close any open vault trace spans at end of run (Device::run). */
     void flushTrace(Cycle now);
 

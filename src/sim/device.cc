@@ -1,5 +1,7 @@
 #include "sim/device.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace ipim {
@@ -21,8 +23,11 @@ Device::reset()
     for (auto &cube : cubes_)
         cube->reset();
     serdes_.clear();
+    serdesSeq_ = 0;
     now_ = 0;
     lastRunCycles_ = 0;
+    ffwdSkipped_ = 0;
+    ffwdJumps_ = 0;
     stats_.clear();
 }
 
@@ -65,19 +70,15 @@ Device::tick(Cycle now)
             u32 dst = p.dstChip;
             u32 hops = src > dst ? src - dst : dst - src;
             Cycle lat = 4 + Cycle(cfg_.latency.serdesHop) * hops;
-            serdes_.push_back({now + lat, p});
+            serdes_.emplace(std::make_pair(now + lat, serdesSeq_++), p);
             stats_.inc("serdes.bits", f64(p.sizeBits()));
         }
         cube->serdesEgress().clear();
     }
-    for (size_t i = 0; i < serdes_.size();) {
-        if (serdes_[i].deliverAt <= now) {
-            cubes_.at(serdes_[i].packet.dstChip)
-                ->deliverFromSerdes(serdes_[i].packet);
-            serdes_.erase(serdes_.begin() + i);
-        } else {
-            ++i;
-        }
+    while (!serdes_.empty() && serdes_.begin()->first.first <= now) {
+        const Packet &p = serdes_.begin()->second;
+        cubes_.at(p.dstChip)->deliverFromSerdes(p);
+        serdes_.erase(serdes_.begin());
     }
 }
 
@@ -93,16 +94,58 @@ Device::fullyIdle() const
 }
 
 Cycle
+Device::nextEventAt(Cycle now) const
+{
+    Cycle e = kNeverCycle;
+    if (!serdes_.empty())
+        e = std::min(e, std::max(now, serdes_.begin()->first.first));
+    for (const auto &cube : cubes_)
+        e = std::min(e, cube->nextEventAt(now));
+    return e;
+}
+
+Cycle
 Device::run(u64 maxCycles)
 {
     Cycle start = now_;
+    // First cycle at which the watchdog trips (saturating: the default
+    // budget must not wrap the 64-bit clock on long-lived devices).
+    Cycle limit =
+        maxCycles > kNeverCycle - start ? kNeverCycle : start + maxCycles;
     while (true) {
         tick(now_);
         ++now_;
         stats_.inc("sim.cycles");
         if (fullyIdle())
             break;
-        if (now_ - start > maxCycles)
+        if (now_ >= limit)
+            fatal("deadlock watchdog: device did not quiesce within ",
+                  maxCycles, " cycles");
+        if (!fastForward_)
+            continue;
+
+        Cycle e = nextEventAt(now_);
+        // Never jump past the watchdog limit (the device is known to be
+        // non-idle through the whole window, so dense ticking would
+        // reach the limit and trip), nor past a counter-sample boundary
+        // (samples must land on the same cycles as dense ticking).
+        e = std::min(e, limit);
+        if (Tracer::active(tracer_)) {
+            Cycle interval = tracer_->sampleInterval();
+            Cycle rem = now_ % interval;
+            e = std::min(e, rem == 0 ? now_ : now_ + (interval - rem));
+        }
+        if (e <= now_)
+            continue;
+
+        u64 skipped = e - now_;
+        for (auto &cube : cubes_)
+            cube->creditSkipped(now_, skipped);
+        stats_.inc("sim.cycles", f64(skipped));
+        now_ = e;
+        ffwdSkipped_ += skipped;
+        ++ffwdJumps_;
+        if (now_ >= limit)
             fatal("deadlock watchdog: device did not quiesce within ",
                   maxCycles, " cycles");
     }

@@ -9,7 +9,9 @@
 #ifndef IPIM_SIM_DEVICE_H_
 #define IPIM_SIM_DEVICE_H_
 
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/cube.h"
@@ -42,10 +44,36 @@ class Device
 
     /**
      * Run until every control core halts and all queues drain.
-     * @return total cycles executed.  Throws FatalError if @p maxCycles
-     * elapse first (deadlock watchdog).
+     * @return total cycles executed.  Throws FatalError once exactly
+     * @p maxCycles cycles elapse without quiescing (deadlock watchdog).
+     *
+     * With fast-forward enabled (the default) the loop jumps over
+     * quiescent intervals using the nextEventAt() tree (DESIGN.md
+     * Sec. 13); all stats, traces, and cycle counts are bit-exact with
+     * dense ticking.
      */
     Cycle run(u64 maxCycles = 500'000'000ull);
+
+    /**
+     * Enable/disable next-event fast-forward (on by default).  Off
+     * means every cycle is densely ticked; results are identical
+     * either way, so disabling is only useful for regression tests
+     * and benchmarking the skip machinery itself.
+     */
+    void setFastForward(bool on) { fastForward_ = on; }
+    bool fastForward() const { return fastForward_; }
+
+    /** Cycles elided by fast-forward since construction or reset(). */
+    u64 ffwdSkippedCycles() const { return ffwdSkipped_; }
+    /** Number of fast-forward jumps taken. */
+    u64 ffwdJumps() const { return ffwdJumps_; }
+
+    /**
+     * Earliest future cycle any component of the device can change
+     * state: min over the SERDES in-transit packets and the cubes.
+     * Exposed for tests; run() consumes it internally.
+     */
+    Cycle nextEventAt(Cycle now) const;
 
     /** Cycles executed by the last run(). */
     Cycle lastRunCycles() const { return lastRunCycles_; }
@@ -85,15 +113,19 @@ class Device
     std::string trackPrefix_;
     std::vector<std::unique_ptr<Cube>> cubes_;
 
-    struct InTransit
-    {
-        Cycle deliverAt;
-        Packet packet;
-    };
-    std::vector<InTransit> serdes_;
+    /**
+     * SERDES packets in flight between cubes, ordered by (deliverAt,
+     * injection sequence) so equal-arrival packets deliver in the same
+     * order the dense positional scan produced.
+     */
+    std::map<std::pair<Cycle, u64>, Packet> serdes_;
+    u64 serdesSeq_ = 0;
 
     Cycle now_ = 0;
     Cycle lastRunCycles_ = 0;
+    bool fastForward_ = true;
+    u64 ffwdSkipped_ = 0;
+    u64 ffwdJumps_ = 0;
 };
 
 } // namespace ipim

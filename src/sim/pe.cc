@@ -1,5 +1,6 @@
 #include "sim/pe.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.h"
@@ -241,6 +242,17 @@ ProcessEngine::tick(Cycle now)
         --head.fi->unstartedPes;
         queue_.pop_front();
     }
+}
+
+Cycle
+ProcessEngine::nextEventAt(Cycle now) const
+{
+    Cycle e = kNeverCycle;
+    for (const Done &d : pendingDone_)
+        e = std::min(e, std::max(now, d.at));
+    if (!queue_.empty())
+        e = std::min(e, std::max(now, queue_.front().arrivesAt));
+    return e;
 }
 
 } // namespace ipim

@@ -58,6 +58,15 @@ class ProcessEngine
 
     bool idle() const { return queue_.empty() && pendingDone_.empty(); }
 
+    /**
+     * Earliest future cycle this PE can change state (DESIGN.md
+     * Sec. 13): the nearest pending completion, or the broadcast
+     * queue head's arrival time (@p now when it already arrived —
+     * a start attempt, even one that fails on MC backpressure, must
+     * happen on a dense tick).  kNeverCycle when fully idle.
+     */
+    Cycle nextEventAt(Cycle now) const;
+
     // Architectural state access (runtime/tests).
     VecWord &drf(u16 idx) { return drf_.at(idx); }
     u32 &arf(u16 idx) { return arf_.at(idx); }

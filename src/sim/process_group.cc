@@ -1,5 +1,7 @@
 #include "sim/process_group.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "sim/vault.h"
 
@@ -147,6 +149,19 @@ ProcessGroup::tick(Cycle now)
 
     for (auto &pe : pes_)
         pe->tick(now);
+}
+
+Cycle
+ProcessGroup::nextEventAt(Cycle now) const
+{
+    if (!remoteDone_.empty())
+        return now;
+    Cycle e = mc_.nextEventAt(now);
+    for (const Deferred &d : deferred_)
+        e = std::min(e, std::max(now, d.at));
+    for (const auto &pe : pes_)
+        e = std::min(e, pe->nextEventAt(now));
+    return e;
 }
 
 bool

@@ -82,6 +82,14 @@ class ProcessGroup
 
     bool idle() const;
 
+    /**
+     * Earliest future cycle this PG can change state (DESIGN.md
+     * Sec. 13): min over the memory controller, PonB deferred
+     * completions, undrained remote-read results (the vault collects
+     * them next tick), and the PEs.
+     */
+    Cycle nextEventAt(Cycle now) const;
+
   private:
     struct MemAction
     {

@@ -128,6 +128,15 @@ class TsvBus
     /** True if no reservation extends beyond @p now. */
     bool quiescentAt(Cycle now) const { return nextFree_ <= now; }
 
+    /**
+     * Next-event contract (DESIGN.md Sec. 13): the TSV arbiter never
+     * originates events — every slot is handed out eagerly at
+     * acquire() time and is already baked into the requester's
+     * scheduled completion cycle — so it is never the earliest state
+     * change in the tree.
+     */
+    Cycle nextEventAt(Cycle /*now*/) const { return kNeverCycle; }
+
     /** Release all reservations and zero the beat counter. */
     void
     reset()

@@ -1,5 +1,6 @@
 #include "sim/vault.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.h"
@@ -41,6 +42,13 @@ Vault::reset()
     pendingReqs_.clear();
     stallReason_ = StallReason::kNone;
     traceActive_ = false;
+    // Sequence/tag counters restart with the core: a stale nextReqTag_
+    // would keep growing across loadProgram launches until its low 32
+    // bits wrapped into the tag's vault-id field, and a stale issued_
+    // would make issuedCount() accumulate across unrelated programs.
+    nextSeq_ = 1;
+    nextReqTag_ = 1;
+    issued_ = 0;
     for (auto &pg : pgs_)
         pg->reset(chipId_, vaultId_);
 }
@@ -56,9 +64,6 @@ Vault::hardReset()
     vsm_.clear();
     tsv_.reset();
     actLimiter_->reset();
-    nextSeq_ = 1;
-    nextReqTag_ = 1;
-    issued_ = 0;
 }
 
 void
@@ -124,8 +129,9 @@ Vault::deliver(const Packet &p)
         remoteInbox_.push_back(p);
         break;
       case PacketKind::kReqResponse: {
-        vsm_.writeVec(p.vsmAddr, p.data);
-        stats_->inc("vsm.access");
+        // Validate the tag before touching the VSM: an unknown-tag
+        // response must not corrupt scratchpad state on its way to the
+        // panic.
         auto it = pendingReqs_.find(p.tag);
         if (it == pendingReqs_.end()) {
 #ifdef IPIM_DEBUG_REQ
@@ -136,6 +142,8 @@ Vault::deliver(const Packet &p)
 #endif
             panic("req response with unknown tag");
         }
+        vsm_.writeVec(p.vsmAddr, p.data);
+        stats_->inc("vsm.access");
         it->second->coreDone = true;
         pendingReqs_.erase(it);
         break;
@@ -253,6 +261,47 @@ Vault::noteStall(Cycle now, StallReason reason)
     stallSince_ = now;
 }
 
+Vault::IssueOutcome
+Vault::classifyIssue(Cycle now) const
+{
+    if (halted_)
+        return IssueOutcome::kHalted;
+    if (now < stallUntil_)
+        return IssueOutcome::kBubble;
+    if (pc_ >= prog_.size())
+        panic("pc ran off the end of the program");
+
+    // A barrier in flight blocks all younger instructions.
+    for (const auto &e : iiq_)
+        if (e->isBarrier)
+            return IssueOutcome::kBarrier;
+
+    const Instruction &inst = prog_[pc_];
+    const AccessSet &acc = progAccess_[pc_];
+
+    if (inst.op == Opcode::kSync || inst.op == Opcode::kHalt) {
+        // Both act as fences: all earlier instructions must be done.
+        if (!iiq_.empty())
+            return IssueOutcome::kDrain;
+    } else {
+        if (iiq_.size() >= cfg_.instQueueDepth)
+            return IssueOutcome::kStruct;
+        for (const auto &e : iiq_) {
+            if (!issueHazard(e->access, acc))
+                continue;
+            // Anti/output dependences clear once the older instruction
+            // has captured its operands on every PE; true dependences
+            // (and load-destination writes) wait for completion.
+            bool blocks = hazardNeedsCompletion(e->inst, e->access, acc)
+                              ? !e->done()
+                              : !(e->started() && e->coreDone);
+            if (blocks)
+                return IssueOutcome::kHazard;
+        }
+    }
+    return IssueOutcome::kIssue;
+}
+
 void
 Vault::issueStep(Cycle now)
 {
@@ -263,57 +312,37 @@ Vault::issueStep(Cycle now)
         traceActive_ = true;
         activeSince_ = now;
     }
-    if (now < stallUntil_) {
+    switch (classifyIssue(now)) {
+      case IssueOutcome::kHalted:
+        return; // unreachable: checked above
+      case IssueOutcome::kBubble:
         stats_->inc("core.bubble");
         noteStall(now, StallReason::kBranch);
         return;
-    }
-    if (pc_ >= prog_.size())
-        panic("pc ran off the end of the program");
-
-    // A barrier in flight blocks all younger instructions.
-    for (const auto &e : iiq_) {
-        if (e->isBarrier) {
-            stats_->inc("core.barrierStall");
-            noteStall(now, StallReason::kBarrier);
-            return;
-        }
+      case IssueOutcome::kBarrier:
+        stats_->inc("core.barrierStall");
+        noteStall(now, StallReason::kBarrier);
+        return;
+      case IssueOutcome::kDrain:
+        stats_->inc("core.drainStall");
+        noteStall(now, StallReason::kDrain);
+        return;
+      case IssueOutcome::kStruct:
+        stats_->inc("core.structStall");
+        noteStall(now, StallReason::kStruct);
+        return;
+      case IssueOutcome::kHazard:
+        stats_->inc("core.hazardStall");
+        stats_->inc(std::string("stall.") +
+                    categoryName(prog_[pc_].category()));
+        noteStall(now, StallReason::kHazard);
+        return;
+      case IssueOutcome::kIssue:
+        break;
     }
 
     const Instruction &inst = prog_[pc_];
     const AccessSet &acc = progAccess_[pc_];
-
-    if (inst.op == Opcode::kSync || inst.op == Opcode::kHalt) {
-        // Both act as fences: all earlier instructions must be done.
-        if (!iiq_.empty()) {
-            stats_->inc("core.drainStall");
-            noteStall(now, StallReason::kDrain);
-            return;
-        }
-    } else {
-        if (iiq_.size() >= cfg_.instQueueDepth) {
-            stats_->inc("core.structStall");
-            noteStall(now, StallReason::kStruct);
-            return;
-        }
-        for (const auto &e : iiq_) {
-            if (!issueHazard(e->access, acc))
-                continue;
-            // Anti/output dependences clear once the older instruction
-            // has captured its operands on every PE; true dependences
-            // (and load-destination writes) wait for completion.
-            bool blocks = hazardNeedsCompletion(e->inst, e->access, acc)
-                              ? !e->done()
-                              : !(e->started() && e->coreDone);
-            if (blocks) {
-                stats_->inc("core.hazardStall");
-                stats_->inc(std::string("stall.") +
-                            categoryName(inst.category()));
-                noteStall(now, StallReason::kHazard);
-                return;
-            }
-        }
-    }
 
     stats_->inc("core.issued");
     stats_->inc(std::string("inst.") + categoryName(inst.category()));
@@ -370,8 +399,12 @@ Vault::issueStep(Cycle now)
         fi->access = acc;
         fi->seq = nextSeq_++;
         fi->coreDone = false;
+        // The tag packs chip[63:48] | vault[47:32] | counter[31:0];
+        // the counter must never bleed into the vault-id field.
+        if (nextReqTag_ > 0xFFFFFFFFull)
+            panic("REQ tag counter overflowed its 32-bit field");
         u64 tag = (u64(chipId_) << 48) | (u64(vaultId_) << 32) |
-                  nextReqTag_++;
+                  (nextReqTag_++ & 0xFFFFFFFFull);
         pendingReqs_[tag] = fi.get();
         Packet p;
         p.kind = PacketKind::kReqRead;
@@ -504,6 +537,75 @@ Vault::tick(Cycle now)
     retireStep();
     issueStep(now);
     masterSyncCheck();
+}
+
+Cycle
+Vault::nextEventAt(Cycle now) const
+{
+    // Undrained NIC traffic is consumed by the cube / this vault on the
+    // very next tick, and a done IIQ head retires on the next tick
+    // (including a completed sync whose masterSyncCheck ran after this
+    // cycle's retireStep).
+    if (!outbox_.empty() || !remoteInbox_.empty())
+        return now;
+    if (!iiq_.empty() && iiq_.front()->done())
+        return now;
+
+    Cycle e = kNeverCycle;
+    switch (classifyIssue(now)) {
+      case IssueOutcome::kIssue:
+        return now;
+      case IssueOutcome::kBubble:
+        // The only stall with a self-timed expiry; the others clear
+        // via some other component's event, counted in below.
+        e = stallUntil_;
+        break;
+      default:
+        break;
+    }
+    for (const auto &pg : pgs_)
+        e = std::min(e, pg->nextEventAt(now));
+    return e;
+}
+
+void
+Vault::creditSkipped(Cycle from, u64 skipped)
+{
+    stats_->inc("core.cycles", f64(skipped));
+    // Stall-span bookkeeping: in dense mode the first stalled tick of a
+    // window opens the trace span via noteStall; when that tick is
+    // skipped, perform the identical transition here at the window
+    // start so trace output stays bit-exact (DESIGN.md Sec. 13).
+    switch (classifyIssue(from)) {
+      case IssueOutcome::kHalted:
+        return;
+      case IssueOutcome::kBubble:
+        stats_->inc("core.bubble", f64(skipped));
+        noteStall(from, StallReason::kBranch);
+        return;
+      case IssueOutcome::kBarrier:
+        stats_->inc("core.barrierStall", f64(skipped));
+        noteStall(from, StallReason::kBarrier);
+        return;
+      case IssueOutcome::kDrain:
+        stats_->inc("core.drainStall", f64(skipped));
+        noteStall(from, StallReason::kDrain);
+        return;
+      case IssueOutcome::kStruct:
+        stats_->inc("core.structStall", f64(skipped));
+        noteStall(from, StallReason::kStruct);
+        return;
+      case IssueOutcome::kHazard:
+        stats_->inc("core.hazardStall", f64(skipped));
+        stats_->inc(std::string("stall.") +
+                        categoryName(prog_[pc_].category()),
+                    f64(skipped));
+        noteStall(from, StallReason::kHazard);
+        return;
+      case IssueOutcome::kIssue:
+        panic("fast-forward skipped cycle ", from, " on which vault ",
+              chipId_, ".", vaultId_, " could issue");
+    }
 }
 
 bool

@@ -56,6 +56,28 @@ class Vault
     /** Advance one cycle. */
     void tick(Cycle now);
 
+    /**
+     * Earliest future cycle this vault can change state (DESIGN.md
+     * Sec. 13): @p now when NIC traffic is undrained, the IIQ head is
+     * retirable, or the core can issue; the branch-bubble expiry
+     * `stallUntil_` while a taken branch is in flight; otherwise the
+     * min over the process groups.  Conservative (early) is allowed,
+     * late is not.
+     */
+    Cycle nextEventAt(Cycle now) const;
+
+    /**
+     * Account for @p skipped cycles elided by fast-forward starting at
+     * cycle @p from: dense ticking charges `core.cycles` and exactly
+     * one stall counter per non-halted cycle, so the same charges are
+     * applied in bulk here.  The issue classification cannot change
+     * inside a skip window (every state transition happens on a dense
+     * tick and bubble expiry bounds the window), which is what makes
+     * the bulk charge bit-exact; an issuable vault inside a window is
+     * therefore a fast-forward invariant violation and panics.
+     */
+    void creditSkipped(Cycle from, u64 skipped);
+
     /** Close any open trace span at end of run (Device::run). */
     void flushTrace(Cycle now);
 
@@ -77,7 +99,7 @@ class Vault
     /** Number of SIMB-addressable PEs in this vault. */
     u32 numPes() const { return cfg_.pesPerVault(); }
 
-    /** Instructions issued since the last power cycle (telemetry). */
+    /** Instructions issued since the last program (re)load. */
     u64 issuedCount() const { return issued_; }
 
   private:
@@ -91,6 +113,22 @@ class Vault
         kHazard,
     };
 
+    /**
+     * What issueStep would do this cycle, in its exact gate order.
+     * Shared by issueStep (which adds the per-reason side effects),
+     * nextEventAt, and creditSkipped so the three can never disagree.
+     */
+    enum class IssueOutcome : u8 {
+        kHalted,
+        kBubble,
+        kBarrier,
+        kDrain,
+        kStruct,
+        kHazard,
+        kIssue,
+    };
+
+    IssueOutcome classifyIssue(Cycle now) const;
     void validateProgram(const std::vector<Instruction> &prog) const;
     void noteStall(Cycle now, StallReason reason);
     void sampleTrace(Cycle now);

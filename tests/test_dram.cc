@@ -196,6 +196,58 @@ TEST_F(McTest, FcfsKeepsArrivalOrder)
     EXPECT_EQ(order, (std::vector<u64>{1, 2, 3}));
 }
 
+TEST_F(McTest, CompletionsRetireInDoneAtOrder)
+{
+    // Same open row: the read's CAS goes first (data back after tCL),
+    // the write's CAS follows tCCD later but its data is on the bus
+    // with the command, so the *write* finishes first.  Retirement
+    // must follow completion time, not issue order.
+    MemRequest r;
+    r.id = 1;
+    r.addr = 0;
+    mc.enqueue(r);
+    MemRequest w;
+    w.id = 2;
+    w.write = true;
+    w.addr = 16;
+    w.data = VecWord::splatI32(9);
+    mc.enqueue(w);
+    auto done = drain();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0].id, 2u);
+    EXPECT_EQ(done[1].id, 1u);
+}
+
+TEST_F(McTest, EqualDoneAtTieBreaksByIssueOrder)
+{
+    // With tCCD stretched to tCL - 1, a read CAS at t finishes at
+    // t + tCL and the row-hit write CAS at t + tCCD finishes the same
+    // cycle; equal completion times must drain in issue order.
+    cfg.timing.tCCD = cfg.timing.tCL - 1;
+    StatsRegistry s2;
+    MemoryController slow(cfg, 0, &limiter, &s2);
+    MemRequest r;
+    r.id = 1;
+    r.addr = 0;
+    slow.enqueue(r);
+    MemRequest w;
+    w.id = 2;
+    w.write = true;
+    w.addr = 16;
+    w.data = VecWord::splatI32(9);
+    slow.enqueue(w);
+    std::vector<u64> order;
+    Cycle now = 0;
+    while (!slow.idle()) {
+        slow.tick(now++);
+        for (auto &c : slow.completions())
+            order.push_back(c.id);
+        slow.completions().clear();
+        ASSERT_LT(now, 100000u);
+    }
+    EXPECT_EQ(order, (std::vector<u64>{1, 2}));
+}
+
 TEST_F(McTest, QueueDepthIsEnforced)
 {
     for (u32 i = 0; i < cfg.dramReqQueueDepth; ++i) {

@@ -1,0 +1,210 @@
+/**
+ * Dense-vs-fast-forward bit-exactness regressions (DESIGN.md Sec. 13).
+ *
+ * Fast-forward must be an invisible optimization: every stats counter,
+ * every trace byte, and every cycle count has to match a dense
+ * per-cycle run exactly.  These tests run identical workloads in both
+ * modes and byte-compare the observable outputs.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/benchmarks.h"
+#include "runtime/runtime.h"
+#include "service/server.h"
+#include "trace/trace.h"
+
+namespace ipim {
+namespace {
+
+/**
+ * One full launch in the given mode; stats/cycles land in the outs.
+ * The caller compiles once and passes the same program to both modes
+ * (compiling twice is not guaranteed to produce identical layouts, and
+ * the contract under test is dense == fast-forward for one program).
+ */
+Image
+launchMode(const BenchmarkApp &app, const CompiledPipeline &cp,
+           const HardwareConfig &cfg, bool fastForward, Cycle *cyclesOut,
+           std::string *statsOut, Tracer *tracer = nullptr)
+{
+    Device dev(cfg, tracer);
+    dev.setFastForward(fastForward);
+    LaunchResult res = launchOnDevice(dev, cp, app.inputs);
+    *cyclesOut = res.cycles;
+    *statsOut = dev.stats().toString();
+    return res.output;
+}
+
+TEST(FastForward, AllBenchmarksBitExact)
+{
+    HardwareConfig cfg = HardwareConfig::tiny();
+    for (const std::string &name : allBenchmarkNames()) {
+        SCOPED_TRACE(name);
+        BenchmarkApp app = makeBenchmark(name, 64, 32);
+        CompiledPipeline cp = compilePipeline(app.def, cfg);
+        Cycle cDense = 0, cFf = 0;
+        std::string sDense, sFf;
+        Image dense = launchMode(app, cp, cfg, false, &cDense, &sDense);
+        Image ff = launchMode(app, cp, cfg, true, &cFf, &sFf);
+        EXPECT_EQ(cDense, cFf);
+        EXPECT_EQ(sDense, sFf);
+        ASSERT_EQ(dense.width(), ff.width());
+        ASSERT_EQ(dense.height(), ff.height());
+        for (int y = 0; y < dense.height(); ++y)
+            for (int x = 0; x < dense.width(); ++x)
+                ASSERT_EQ(f32AsLane(dense.at(x, y)),
+                          f32AsLane(ff.at(x, y)))
+                    << "pixel (" << x << "," << y << ")";
+    }
+}
+
+TEST(FastForward, TraceBytesBitExact)
+{
+    HardwareConfig cfg = HardwareConfig::tiny();
+    BenchmarkApp app = makeBenchmark("Blur", 64, 32);
+    CompiledPipeline cp = compilePipeline(app.def, cfg);
+    std::string chrome[2];
+    for (int mode = 0; mode < 2; ++mode) {
+        Tracer tr;
+        tr.setEnabled(true);
+        Cycle c = 0;
+        std::string s;
+        launchMode(app, cp, cfg, mode == 1, &c, &s, &tr);
+        std::ostringstream os;
+        tr.exportChromeJson(os);
+        chrome[mode] = os.str();
+    }
+    EXPECT_FALSE(chrome[0].empty());
+    EXPECT_EQ(chrome[0], chrome[1]);
+}
+
+TEST(FastForward, SkipsCyclesAndReportsTelemetry)
+{
+    HardwareConfig cfg = HardwareConfig::tiny();
+    BenchmarkApp app = makeBenchmark("Blur", 64, 32);
+    CompiledPipeline cp = compilePipeline(app.def, cfg);
+
+    Device dense(cfg);
+    dense.setFastForward(false);
+    launchOnDevice(dense, cp, app.inputs);
+    EXPECT_EQ(dense.ffwdSkippedCycles(), 0u);
+    EXPECT_EQ(dense.ffwdJumps(), 0u);
+
+    Device ff(cfg);
+    launchOnDevice(ff, cp, app.inputs); // fast-forward is the default
+    EXPECT_GT(ff.ffwdSkippedCycles(), 0u);
+    EXPECT_GT(ff.ffwdJumps(), 0u);
+    EXPECT_GE(ff.ffwdSkippedCycles(), ff.ffwdJumps());
+}
+
+TEST(FastForward, ServeBitExact)
+{
+    std::string stats[2];
+    std::string chrome[2];
+    for (int mode = 0; mode < 2; ++mode) {
+        ServerConfig cfg;
+        cfg.hw = HardwareConfig::tiny();
+        cfg.hw.cubes = 2;
+        cfg.width = 64;
+        cfg.height = 32;
+        cfg.fastForward = mode == 1;
+        Tracer tr;
+        tr.setEnabled(true);
+        cfg.tracer = &tr;
+
+        WorkloadSpec spec;
+        spec.pipelines = {"Blur", "Brighten"};
+        spec.ratePerSec = 50000;
+        spec.requests = 6;
+        spec.seed = 7;
+
+        Server server(cfg);
+        ServeReport rep = server.run(generatePoissonWorkload(spec));
+        stats[mode] = rep.stats.toString();
+        std::ostringstream os;
+        tr.exportChromeJson(os);
+        chrome[mode] = os.str();
+    }
+    EXPECT_EQ(stats[0], stats[1]);
+    EXPECT_EQ(chrome[0], chrome[1]);
+}
+
+/**
+ * Refresh-dominated workload: dependent DRAM loads under a shrunken
+ * tREFI park the whole device inside tRFC windows where the only
+ * pending event is the refresh completing (MemoryController's
+ * nextRefreshAt_), so the skip logic must wake up for it.
+ */
+TEST(FastForward, RefreshOnlyWakeupBitExact)
+{
+    HardwareConfig cfg = HardwareConfig::tiny();
+    cfg.timing.tREFI = 400;
+    u32 mask = (1u << cfg.pesPerVault()) - 1;
+
+    std::vector<Instruction> prog;
+    prog.push_back(Instruction::setiCrf(0, 100));
+    prog.push_back(Instruction::setiCrf(1, 2)); // loop head
+    prog.push_back(
+        Instruction::memRf(false, MemOperand::direct(128), 1, mask));
+    prog.push_back(Instruction::comp(AluOp::kAdd, DType::kF32,
+                                     CompMode::kVecVec, 2, 1, 1,
+                                     kFullVecMask, mask));
+    prog.push_back(Instruction::calcCrfImm(AluOp::kAdd, 0, 0, -1));
+    prog.push_back(Instruction::cjump(0, 1));
+    prog.push_back(Instruction::halt());
+
+    Cycle cycles[2];
+    std::string stats[2];
+    for (int mode = 0; mode < 2; ++mode) {
+        Device dev(cfg);
+        dev.setFastForward(mode == 1);
+        dev.loadProgramAll(prog);
+        cycles[mode] = dev.run();
+        stats[mode] = dev.stats().toString();
+        if (mode == 1) {
+            EXPECT_GT(dev.ffwdSkippedCycles(), 0u);
+        }
+        EXPECT_GE(dev.stats().get("dram.ref"), 2.0);
+    }
+    EXPECT_EQ(cycles[0], cycles[1]);
+    EXPECT_EQ(stats[0], stats[1]);
+}
+
+/**
+ * The deadlock watchdog must trip at the same logical point in both
+ * modes: a budget one cycle short of the program's natural length
+ * throws, the exact length does not (fast-forward caps its jumps at
+ * the budget so it can never sail past the trip point).
+ */
+TEST(FastForward, WatchdogParityAtBoundary)
+{
+    HardwareConfig cfg = HardwareConfig::tiny();
+    BenchmarkApp app = makeBenchmark("Shift", 64, 32);
+    CompiledPipeline cp = compilePipeline(app.def, cfg);
+
+    // Natural length of the first kernel on an unscattered device
+    // (SIMB control flow never depends on bank contents, so the length
+    // is identical with or without input data).
+    Device probe(cfg);
+    probe.loadPrograms(cp.kernels[0].perVault);
+    Cycle natural = probe.run();
+    ASSERT_GT(natural, 1u);
+
+    for (int mode = 0; mode < 2; ++mode) {
+        SCOPED_TRACE(mode == 1 ? "fast-forward" : "dense");
+        Device dev(cfg);
+        dev.setFastForward(mode == 1);
+        dev.loadPrograms(cp.kernels[0].perVault);
+        EXPECT_THROW(dev.run(natural - 1), FatalError);
+
+        Device ok(cfg);
+        ok.setFastForward(mode == 1);
+        ok.loadPrograms(cp.kernels[0].perVault);
+        EXPECT_EQ(ok.run(natural), natural);
+    }
+}
+
+} // namespace
+} // namespace ipim

@@ -394,6 +394,106 @@ TEST_F(SimTest, TsvBusSerializesVsmTraffic)
     EXPECT_GE(dev.stats().get("tsv.beats"), 32.0);
 }
 
+TEST_F(SimTest, SoftResetClearsPerLaunchState)
+{
+    // Two identical launches on one device must be cycle-for-cycle
+    // identical: Vault::reset()/loadProgram must restore nextSeq_,
+    // nextReqTag_, and the issued counter, not just the architectural
+    // state (regression: these leaked across soft reset).
+    Prog p;
+    p << Instruction::req(0, 1, 1, 0, MemOperand::direct(512), 1024);
+    p << Instruction::vsmRf(true, MemOperand::direct(1024), 5,
+                            fullMask());
+    std::vector<Instruction> prog = p.done();
+
+    loadOnVault0(prog);
+    Cycle first = dev.run();
+    u64 issuedFirst = dev.vault(0, 0).issuedCount();
+    EXPECT_GT(issuedFirst, 0u);
+
+    dev.reset();
+    loadOnVault0(prog);
+    EXPECT_EQ(dev.vault(0, 0).issuedCount(), 0u);
+    EXPECT_EQ(dev.run(), first);
+    EXPECT_EQ(dev.vault(0, 0).issuedCount(), issuedFirst);
+}
+
+TEST_F(SimTest, UnknownReqResponseTagPanicsWithoutVsmWrite)
+{
+    Vault &v = dev.vault(0, 0);
+    v.vsmMem().write32(256, 0xabcd1234u);
+    Packet p;
+    p.kind = PacketKind::kReqResponse;
+    p.dstChip = 0;
+    p.dstVault = 0;
+    p.tag = 0xdeadbeefull; // never handed out
+    p.vsmAddr = 256;
+    p.data = VecWord::splatI32(-1);
+    EXPECT_THROW(v.deliver(p), PanicError);
+    // The bogus payload must not have reached the scratchpad.
+    EXPECT_EQ(v.vsmMem().read32(256), 0xabcd1234u);
+}
+
+TEST_F(SimTest, WatchdogTripsAtExactBoundary)
+{
+    // The budget is "this many cycles to quiesce": a program that
+    // needs C cycles survives run(C) and trips run(C - 1).
+    Prog p;
+    p << Instruction::comp(AluOp::kAdd, DType::kF32, CompMode::kVecVec,
+                           2, 1, 1, kFullVecMask, fullMask());
+    std::vector<Instruction> prog = p.done();
+    loadOnVault0(prog);
+    Cycle natural = dev.run();
+    ASSERT_GT(natural, 1u);
+
+    Device fresh(cfg);
+    std::vector<std::vector<Instruction>> all(
+        fresh.totalVaults(), {Instruction::halt()});
+    all[0] = prog;
+    fresh.loadPrograms(all);
+    EXPECT_EQ(fresh.run(natural), natural);
+
+    Device trip(cfg);
+    trip.loadPrograms(all);
+    EXPECT_THROW(trip.run(natural - 1), FatalError);
+}
+
+TEST_F(SimTest, SimultaneousSerdesDeliveriesAreDeterministic)
+{
+    // Two vaults of cube 0 fire identical REQs at cube 1 on the same
+    // cycle; both response packets cross SERDES with the same
+    // deliverAt.  Equal-timestamp deliveries drain in issue order, so
+    // back-to-back runs (and dense vs fast-forward) must agree on
+    // every counter.
+    HardwareConfig two = cfg;
+    two.cubes = 2;
+    std::string stats[2][2];
+    for (int mode = 0; mode < 2; ++mode) {
+        for (int rep = 0; rep < 2; ++rep) {
+            Device d(two);
+            d.setFastForward(mode == 1);
+            d.bank(1, 0, 1, 0).writeVec(512, VecWord::splatF32(2.5f));
+            Prog p;
+            p << Instruction::req(1, 0, 1, 0, MemOperand::direct(512),
+                                  1024);
+            p << Instruction::vsmRf(true, MemOperand::direct(1024), 5,
+                                    fullMask());
+            std::vector<std::vector<Instruction>> progs(
+                d.totalVaults(), {Instruction::halt()});
+            progs[0] = p.done();
+            progs[1] = p.done();
+            d.loadPrograms(progs);
+            d.run();
+            stats[mode][rep] = d.stats().toString();
+            EXPECT_FLOAT_EQ(
+                laneAsF32(d.vault(0, 1).pg(0).pe(0).drf(5).lanes[0]),
+                2.5f);
+        }
+        EXPECT_EQ(stats[mode][0], stats[mode][1]);
+    }
+    EXPECT_EQ(stats[0][0], stats[1][0]); // dense == fast-forward
+}
+
 TEST_F(SimTest, RefreshHappensDuringLongRuns)
 {
     // Spin a loop long enough to cross tREFI.

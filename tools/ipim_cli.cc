@@ -67,6 +67,7 @@ struct Options
     bool list = false;
     bool gpu = false;
     bool json = false;
+    bool fastForward = true; ///< --no-fast-forward densely ticks
     // verify-subcommand only:
     bool verifyCmd = false;
     bool allBenches = false;
@@ -97,6 +98,7 @@ usage()
         "            [--ponb] [--sched frfcfs|fcfs] [--page open|close]\n"
         "            [--opts opt|baseline1..baseline4] [--verify]\n"
         "            [--gpu] [--dump-asm] [--json] [--trace FILE]\n"
+        "            [--no-fast-forward]\n"
         "       ipim verify [--bench NAME | --all | --asm FILE]\n"
         "            [--werror] [device/compiler flags as above]\n"
         "       ipim serve [--bench NAME[,NAME...]] [--rate R]\n"
@@ -110,7 +112,10 @@ usage()
         "  geometry/size flags are given; --rate is requests per second\n"
         "  of virtual time (1 cycle == 1 ns).\n"
         "  --trace / `ipim trace` write Chrome trace_event JSON; open it\n"
-        "  in chrome://tracing or https://ui.perfetto.dev.\n");
+        "  in chrome://tracing or https://ui.perfetto.dev.\n"
+        "  --no-fast-forward ticks every cycle densely instead of\n"
+        "  skipping quiescent intervals; results are bit-exact either\n"
+        "  way (DESIGN.md Sec. 13), it is only slower.\n");
 }
 
 CompilerOptions
@@ -231,6 +236,7 @@ runTraceCommand(const Options &o)
     Tracer tracer;
     tracer.setEnabled(true);
     Device dev(cfg, &tracer);
+    dev.setFastForward(o.fastForward);
     Runtime rt(dev, cp);
     for (const auto &[name, img] : app.inputs)
         rt.bindInput(name, img);
@@ -297,6 +303,7 @@ runServeCommand(const Options &o)
     else
         fatal("unknown --share value '", o.share, "' (want cube|whole)");
     scfg.cubesPerRequest = o.cubesPerReq;
+    scfg.fastForward = o.fastForward;
 
     WorkloadSpec spec;
     spec.pipelines = splitList(o.bench);
@@ -374,6 +381,11 @@ runServeCommand(const Options &o)
                                      std::max(1.0,
                                               rep.stats.get("core.cycles")));
         j.field("device_busy_cycles", u64(devCycles));
+        j.endObject();
+        j.key("fast_forward").beginObject();
+        j.field("enabled", o.fastForward)
+            .field("skipped_cycles", rep.ffwdSkippedCycles)
+            .field("jumps", rep.ffwdJumps);
         j.endObject();
         j.key("requests").beginArray();
         for (const RequestRecord &r : rep.records) {
@@ -494,6 +506,8 @@ main(int argc, char **argv)
             o.share = next();
         else if (a == "--cubes-per-req")
             o.cubesPerReq = u32(std::stoul(next()));
+        else if (a == "--no-fast-forward")
+            o.fastForward = false;
         else if (a == "--trace")
             o.traceFile = next();
         else if (a == "--out")
@@ -557,6 +571,7 @@ main(int argc, char **argv)
             tracer->setEnabled(true);
         }
         Device dev(cfg, tracer.get());
+        dev.setFastForward(o.fastForward);
         Runtime rt(dev, cp);
         for (const auto &[name, img] : app.inputs)
             rt.bindInput(name, img);
@@ -612,17 +627,23 @@ main(int argc, char **argv)
                 j.field("noc_moves_per_cycle",
                         (st.get("noc.hops") + st.get("noc.delivered")) /
                             std::max(1.0, f64(res.cycles)));
-                j.field("total_issued", dev.totalIssued());
+                // Issue counts come from the LaunchResult: per-vault
+                // counters restart at each program load, and the
+                // runtime accumulates them across the kernels.
+                j.field("total_issued", res.totalIssued);
                 j.field("avg_vault_ipc",
-                        f64(dev.totalIssued()) /
+                        f64(res.totalIssued) /
                             std::max(1.0, f64(res.cycles) *
                                               dev.totalVaults()));
                 j.key("vault_ipc").beginArray();
-                for (u32 c = 0; c < cfg.cubes; ++c)
-                    for (u32 v = 0; v < cfg.vaultsPerCube; ++v)
-                        j.value(f64(dev.cube(c).vault(v).issuedCount()) /
-                                std::max(1.0, f64(res.cycles)));
+                for (u64 n : res.vaultIssued)
+                    j.value(f64(n) / std::max(1.0, f64(res.cycles)));
                 j.endArray();
+                j.endObject();
+                j.key("fast_forward").beginObject();
+                j.field("enabled", dev.fastForward())
+                    .field("skipped_cycles", dev.ffwdSkippedCycles())
+                    .field("jumps", dev.ffwdJumps());
                 j.endObject();
             }
             if (o.verify) {
