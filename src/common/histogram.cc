@@ -21,6 +21,7 @@ LatencyHistogram::sorted() const
         sorted_ = samples_;
         std::sort(sorted_.begin(), sorted_.end());
         dirty_ = false;
+        ++sorts_;
     }
     return sorted_;
 }
@@ -46,6 +47,15 @@ LatencyHistogram::mean() const
     for (f64 s : samples_)
         sum += s;
     return sum / f64(samples_.size());
+}
+
+f64
+LatencyHistogram::sum() const
+{
+    f64 sum = 0.0;
+    for (f64 s : samples_)
+        sum += s;
+    return sum;
 }
 
 f64

@@ -38,6 +38,7 @@ class LatencyHistogram
     f64 min() const;
     f64 max() const;
     f64 mean() const;
+    f64 sum() const;
 
     /** Nearest-rank percentile; @p p in [0, 100]. 0 when empty. */
     f64 percentile(f64 p) const;
@@ -51,12 +52,21 @@ class LatencyHistogram
      */
     void exportTo(StatsRegistry &reg, const std::string &prefix) const;
 
+    /**
+     * Times the sorted-order cache has actually been rebuilt.  The
+     * cache makes repeated percentile queries O(1) after one O(n log n)
+     * sort; this counter exists so tests can pin that behaviour
+     * (tests/test_common.cc).
+     */
+    u64 sorts() const { return sorts_; }
+
   private:
     const std::vector<f64> &sorted() const;
 
     std::vector<f64> samples_;
     mutable std::vector<f64> sorted_; ///< lazily rebuilt cache
     mutable bool dirty_ = false;
+    mutable u64 sorts_ = 0;
 };
 
 } // namespace ipim

@@ -1,0 +1,254 @@
+#include "metrics/metrics.h"
+
+#include "common/logging.h"
+
+namespace ipim {
+
+MetricsSampler::MetricsSampler() : MetricsSampler(Config()) {}
+
+MetricsSampler::MetricsSampler(Config cfg) : cfg_(cfg)
+{
+    if (cfg_.capacity == 0)
+        fatal("MetricsSampler capacity must be at least 1");
+}
+
+std::vector<std::string>
+MetricsSampler::defaultCounters()
+{
+    return {
+        "core.cycles",   "core.issued",       "core.bubble",
+        "core.barrierStall", "core.drainStall", "core.structStall",
+        "core.hazardStall", "core.retired",    "sim.cycles",
+        "dram.rd",       "dram.wr",           "dram.act",
+        "dram.ref",      "dram.rowHit",       "dram.rowMiss",
+        "noc.hops",      "noc.delivered",     "noc.injected",
+        "tsv.beats",     "tsv.broadcasts",    "pe.simdOp",
+        "pe.intAluOp",
+    };
+}
+
+Cycle
+MetricsSampler::nextSampleAt(Cycle now) const
+{
+    if (cfg_.interval == 0)
+        return kNeverCycle;
+    Cycle rem = now % cfg_.interval;
+    return rem == 0 ? now : now + (cfg_.interval - rem);
+}
+
+void
+MetricsSampler::initSchema(const Device &dev)
+{
+    counterNames_ =
+        cfg_.counters.empty() ? defaultCounters() : cfg_.counters;
+    for (u32 i = 0; i < counterNames_.size(); ++i) {
+        if (counterNames_[i] == "dram.rowHit")
+            rowHitIdx_ = i;
+        if (counterNames_[i] == "dram.rowMiss")
+            rowMissIdx_ = i;
+    }
+
+    const HardwareConfig &cfg = dev.cfg();
+    gaugeNames_.clear();
+    for (u32 c = 0; c < cfg.cubes; ++c) {
+        for (u32 v = 0; v < cfg.vaultsPerCube; ++v) {
+            std::string suffix =
+                ".c" + std::to_string(c) + ".v" + std::to_string(v);
+            gaugeNames_.push_back("iiq" + suffix);
+            gaugeNames_.push_back("peBusy" + suffix);
+            gaugeNames_.push_back("mcQueue" + suffix);
+        }
+        gaugeNames_.push_back("noc.c" + std::to_string(c));
+    }
+    if (rowHitIdx_ != ~0u && rowMissIdx_ != ~0u)
+        gaugeNames_.push_back("dram.rowHitRate");
+
+    prev_.assign(counterNames_.size(), 0.0);
+    schemaReady_ = true;
+}
+
+std::vector<f64>
+MetricsSampler::readCounters(const Device &dev) const
+{
+    std::vector<f64> abs(counterNames_.size());
+    const StatsRegistry &stats = dev.stats();
+    for (u32 i = 0; i < counterNames_.size(); ++i)
+        abs[i] = stats.get(counterNames_[i]);
+    return abs;
+}
+
+std::vector<f64>
+MetricsSampler::readGauges(const Device &dev) const
+{
+    // One slot per gauge name except the delta-derived row-hit rate,
+    // which pushRow appends.
+    std::vector<f64> g;
+    g.reserve(gaugeNames_.size());
+    const HardwareConfig &cfg = dev.cfg();
+    // Device only exposes non-const traversal; gauge reads are
+    // side-effect free (Vault doc: "cheap, side-effect free").
+    Device &d = const_cast<Device &>(dev);
+    for (u32 c = 0; c < cfg.cubes; ++c) {
+        for (u32 v = 0; v < cfg.vaultsPerCube; ++v) {
+            const Vault &vt = d.vault(c, v);
+            g.push_back(f64(vt.iiqDepth()));
+            g.push_back(f64(vt.busyPes()) / f64(cfg.pesPerVault()));
+            g.push_back(f64(vt.mcQueueDepth()));
+        }
+        g.push_back(f64(d.cube(c).nocQueuedPackets()));
+    }
+    return g;
+}
+
+void
+MetricsSampler::pushRow(Cycle t, const std::vector<f64> &absCounters,
+                        std::vector<f64> gauges)
+{
+    Row row;
+    row.t = t;
+    row.counters.resize(absCounters.size());
+    for (u32 i = 0; i < absCounters.size(); ++i)
+        row.counters[i] = absCounters[i] - prev_[i];
+    prev_ = absCounters;
+
+    if (rowHitIdx_ != ~0u && rowMissIdx_ != ~0u) {
+        f64 hits = row.counters[rowHitIdx_];
+        f64 total = hits + row.counters[rowMissIdx_];
+        gauges.push_back(total > 0.0 ? hits / total : 0.0);
+    }
+    row.gauges = std::move(gauges);
+
+    ++samplesTotal_;
+    if (rows_.size() < cfg_.capacity) {
+        rows_.push_back(std::move(row));
+    } else {
+        rows_[rowsHead_] = std::move(row);
+        rowsHead_ = (rowsHead_ + 1) % cfg_.capacity;
+    }
+}
+
+void
+MetricsSampler::sample(Device &dev, Cycle now)
+{
+    if (!schemaReady_)
+        initSchema(dev);
+    pushRow(now, readCounters(dev), readGauges(dev));
+}
+
+void
+MetricsSampler::beforeJump(Device &dev, Cycle from, Cycle to)
+{
+    (void)from;
+    (void)to;
+    if (!schemaReady_)
+        initSchema(dev);
+    // State here is "after cycles [0, from)" — exactly what a dense
+    // loop-top sample at cycle `from` would see.  Gauges cannot change
+    // inside the quiescent window, so one snapshot serves every
+    // back-filled boundary.
+    jumpPre_ = readCounters(dev);
+    jumpGauge_ = readGauges(dev);
+}
+
+void
+MetricsSampler::afterJump(Device &dev, Cycle from, Cycle to)
+{
+    std::vector<f64> post = readCounters(dev);
+    f64 skipped = f64(to - from);
+    std::vector<f64> abs(post.size());
+    for (Cycle b = nextSampleAt(from); b < to; b += cfg_.interval) {
+        // Bulk-credited counters grow at a constant integer per-cycle
+        // rate through the window, so rate and rate*(b-from) are exact
+        // in f64 (all quantities < 2^53) and the row equals the dense
+        // sample bit for bit.
+        for (u32 i = 0; i < post.size(); ++i) {
+            f64 rate = (post[i] - jumpPre_[i]) / skipped;
+            abs[i] = jumpPre_[i] + rate * f64(b - from);
+        }
+        pushRow(b, abs, jumpGauge_);
+    }
+}
+
+void
+MetricsSampler::onDeviceReset(Device &dev)
+{
+    (void)dev;
+    rows_.clear();
+    rowsHead_ = 0;
+    samplesTotal_ = 0;
+    prev_.assign(prev_.size(), 0.0);
+}
+
+std::vector<Cycle>
+MetricsSampler::timestamps() const
+{
+    std::vector<Cycle> ts;
+    ts.reserve(rows_.size());
+    for (u32 i = 0; i < rows_.size(); ++i)
+        ts.push_back(rows_[(rowsHead_ + i) % rows_.size()].t);
+    return ts;
+}
+
+std::vector<f64>
+MetricsSampler::counterSeries(const std::string &name) const
+{
+    std::vector<f64> s;
+    for (u32 col = 0; col < counterNames_.size(); ++col) {
+        if (counterNames_[col] != name)
+            continue;
+        s.reserve(rows_.size());
+        for (u32 i = 0; i < rows_.size(); ++i)
+            s.push_back(
+                rows_[(rowsHead_ + i) % rows_.size()].counters[col]);
+        return s;
+    }
+    return s;
+}
+
+std::vector<f64>
+MetricsSampler::gaugeSeries(const std::string &name) const
+{
+    std::vector<f64> s;
+    for (u32 col = 0; col < gaugeNames_.size(); ++col) {
+        if (gaugeNames_[col] != name)
+            continue;
+        s.reserve(rows_.size());
+        for (u32 i = 0; i < rows_.size(); ++i)
+            s.push_back(rows_[(rowsHead_ + i) % rows_.size()].gauges[col]);
+        return s;
+    }
+    return s;
+}
+
+void
+MetricsSampler::toJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.field("interval", u64(cfg_.interval));
+    w.field("capacity", u64(cfg_.capacity));
+    w.field("samples_total", samplesTotal_);
+    w.field("samples_retained", u64(rows_.size()));
+    w.key("timestamps").beginArray();
+    for (u32 i = 0; i < rows_.size(); ++i)
+        w.value(u64(rows_[(rowsHead_ + i) % rows_.size()].t));
+    w.endArray();
+    w.key("counters").beginObject();
+    for (u32 col = 0; col < counterNames_.size(); ++col) {
+        w.key(counterNames_[col]).beginArray();
+        for (u32 i = 0; i < rows_.size(); ++i)
+            w.value(rows_[(rowsHead_ + i) % rows_.size()].counters[col]);
+        w.endArray();
+    }
+    w.endObject();
+    w.key("gauges").beginObject();
+    for (u32 col = 0; col < gaugeNames_.size(); ++col) {
+        w.key(gaugeNames_[col]).beginArray();
+        for (u32 i = 0; i < rows_.size(); ++i)
+            w.value(rows_[(rowsHead_ + i) % rows_.size()].gauges[col]);
+        w.endArray();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace ipim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Time-series metrics sampling (DESIGN.md Sec. 14).
+ *
+ * MetricsSampler is a DeviceProbe that, every `interval` cycles, records
+ * one row into a fixed-capacity ring buffer: the *delta* of each tracked
+ * StatsRegistry counter over the window just ended, plus instantaneous
+ * gauges read from the live device (per-vault IIQ occupancy, PE busy
+ * fraction, memory-controller queue depth, per-cube mesh occupancy, and
+ * the windowed DRAM row-hit rate).
+ *
+ * The series are bit-identical between dense and fast-forward runs: the
+ * device drives sample() on exactly the interval boundaries in dense
+ * mode, and around a fast-forward jump over [from, to) the sampler
+ * snapshots the pre-credit counters (beforeJump) and back-fills every
+ * elided boundary by exact linear interpolation (afterJump).  Inside a
+ * skip window only bulk-credited counters change, at constant integer
+ * per-cycle rates, and gauges are frozen, so the interpolated rows equal
+ * the dense rows bit for bit (pinned by tests/test_metrics.cc).
+ */
+#ifndef IPIM_METRICS_METRICS_H_
+#define IPIM_METRICS_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "sim/device.h"
+
+namespace ipim {
+
+class MetricsSampler : public DeviceProbe
+{
+  public:
+    struct Config
+    {
+        /** Sampling period in cycles; 0 disables sampling entirely. */
+        Cycle interval = 1024;
+        /** Ring-buffer capacity; the oldest rows are evicted first. */
+        u32 capacity = 4096;
+        /**
+         * StatsRegistry counters to track (windowed deltas).  Empty
+         * selects the default set (core/dram/noc/tsv/pe counters).
+         */
+        std::vector<std::string> counters;
+    };
+
+    MetricsSampler(); ///< default Config (1024-cycle interval)
+    explicit MetricsSampler(Config cfg);
+
+    /** The default tracked-counter set (Config::counters empty). */
+    static std::vector<std::string> defaultCounters();
+
+    // --- DeviceProbe ---
+    Cycle nextSampleAt(Cycle now) const override;
+    void sample(Device &dev, Cycle now) override;
+    void beforeJump(Device &dev, Cycle from, Cycle to) override;
+    void afterJump(Device &dev, Cycle from, Cycle to) override;
+    void onDeviceReset(Device &dev) override;
+
+    Cycle interval() const { return cfg_.interval; }
+    u32 capacity() const { return cfg_.capacity; }
+
+    /** Samples taken since construction/reset (including evicted). */
+    u64 samplesTotal() const { return samplesTotal_; }
+    /** Samples currently retained in the ring. */
+    u32 samplesRetained() const { return u32(rows_.size()); }
+
+    /** Timestamps of the retained rows, oldest first. */
+    std::vector<Cycle> timestamps() const;
+    /** Tracked counter names, in column order. */
+    const std::vector<std::string> &counterNames() const
+    {
+        return counterNames_;
+    }
+    /** Gauge names (fixed at the first sample, from the geometry). */
+    const std::vector<std::string> &gaugeNames() const
+    {
+        return gaugeNames_;
+    }
+    /** Retained series (windowed deltas) for counter @p name. */
+    std::vector<f64> counterSeries(const std::string &name) const;
+    /** Retained series for gauge @p name. */
+    std::vector<f64> gaugeSeries(const std::string &name) const;
+
+    /**
+     * Emit the retained time series as one JSON object value (the
+     * caller supplies the key): interval, capacity, samples_total,
+     * samples_retained, timestamps, counters{name: [...]},
+     * gauges{name: [...]}.  tools/validate_trace.py checks this shape.
+     */
+    void toJson(JsonWriter &w) const;
+
+  private:
+    struct Row
+    {
+        Cycle t = 0;
+        std::vector<f64> counters; ///< windowed deltas, column order
+        std::vector<f64> gauges;
+    };
+
+    void initSchema(const Device &dev);
+    std::vector<f64> readCounters(const Device &dev) const;
+    std::vector<f64> readGauges(const Device &dev) const;
+    void pushRow(Cycle t, const std::vector<f64> &absCounters,
+                 std::vector<f64> gauges);
+
+    Config cfg_;
+    std::vector<std::string> counterNames_;
+    std::vector<std::string> gaugeNames_;
+    bool schemaReady_ = false;
+    u32 rowHitIdx_ = ~0u;  ///< column of dram.rowHit (row-hit-rate gauge)
+    u32 rowMissIdx_ = ~0u; ///< column of dram.rowMiss
+
+    std::vector<f64> prev_; ///< absolute counter values at the last row
+
+    // Fast-forward back-fill state (valid between before/afterJump).
+    std::vector<f64> jumpPre_;   ///< pre-credit absolute counters
+    std::vector<f64> jumpGauge_; ///< gauges (frozen through the window)
+
+    std::vector<Row> rows_; ///< ring buffer, oldest at rowsHead_
+    u32 rowsHead_ = 0;
+    u64 samplesTotal_ = 0;
+};
+
+} // namespace ipim
+
+#endif // IPIM_METRICS_METRICS_H_

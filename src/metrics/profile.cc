@@ -1,0 +1,198 @@
+#include "metrics/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace ipim {
+
+namespace {
+
+/** The issue-slot categories, in display order. */
+struct Category
+{
+    const char *name;
+    u64 IssueAccounting::*field;
+};
+
+constexpr Category kCategories[] = {
+    {"issued", &IssueAccounting::issued},
+    {"bubble", &IssueAccounting::bubble},
+    {"barrier", &IssueAccounting::barrier},
+    {"drain", &IssueAccounting::drain},
+    {"struct", &IssueAccounting::structStall},
+    {"hazard", &IssueAccounting::hazard},
+};
+
+f64
+pct(u64 part, u64 whole)
+{
+    return whole == 0 ? 0.0 : 100.0 * f64(part) / f64(whole);
+}
+
+} // namespace
+
+ProfileReport
+buildProfileReport(const HardwareConfig &cfg, const StatsRegistry &stats,
+                   const std::vector<IssueAccounting> &vaultAccounting,
+                   Cycle deviceCycles)
+{
+    ProfileReport rep;
+    rep.cubes = cfg.cubes;
+    rep.vaultsPerCube = cfg.vaultsPerCube;
+    rep.deviceCycles = deviceCycles;
+    rep.vaults = vaultAccounting;
+    for (const IssueAccounting &a : rep.vaults)
+        rep.total.accumulate(a);
+
+    f64 cycles = f64(deviceCycles);
+    u64 totalVaults = u64(cfg.cubes) * cfg.vaultsPerCube;
+    u64 totalPgs = totalVaults * cfg.pgsPerVault;
+    u64 totalPes = totalPgs * cfg.pesPerPg;
+
+    // Table III peaks, per device cycle (1 cycle == 1 ns at 1 GHz).
+    // TSV: each vault's shared bus moves one 128b beat per cycle.
+    RooflineEntry tsv;
+    tsv.name = "tsv-bandwidth";
+    tsv.unit = "bytes/cycle";
+    tsv.peak = f64(totalVaults) * kVectorBytes / f64(cfg.latency.tsv);
+    tsv.achieved =
+        cycles > 0 ? stats.get("tsv.beats") * kVectorBytes / cycles : 0.0;
+    rep.rooflines.push_back(tsv);
+
+    // DRAM: each process group's controller sustains one 128b CAS per
+    // tCCD cycles.
+    RooflineEntry dram;
+    dram.name = "dram-bandwidth";
+    dram.unit = "bytes/cycle";
+    dram.peak = f64(totalPgs) * kVectorBytes / f64(cfg.timing.tCCD);
+    dram.achieved =
+        cycles > 0
+            ? (stats.get("dram.rd") + stats.get("dram.wr")) *
+                  kVectorBytes / cycles
+            : 0.0;
+    rep.rooflines.push_back(dram);
+
+    // SIMD: every PE retires at most one SIMD operation per cycle.
+    RooflineEntry simd;
+    simd.name = "simd-throughput";
+    simd.unit = "ops/cycle";
+    simd.peak = f64(totalPes);
+    simd.achieved = cycles > 0 ? stats.get("pe.simdOp") / cycles : 0.0;
+    rep.rooflines.push_back(simd);
+
+    // Bottleneck: a roofline running at >= 50% of peak dominates;
+    // otherwise blame the largest issue-slot cycle share.
+    const RooflineEntry *top = &rep.rooflines[0];
+    for (const RooflineEntry &r : rep.rooflines)
+        if (r.utilization() > top->utilization())
+            top = &r;
+    if (top->utilization() >= 0.5) {
+        rep.bottleneck = top->name + "-bound";
+    } else {
+        const char *best = "halted";
+        u64 bestCycles = rep.total.halted();
+        for (const Category &c : kCategories) {
+            if (rep.total.*c.field > bestCycles) {
+                bestCycles = rep.total.*c.field;
+                best = c.name;
+            }
+        }
+        rep.bottleneck = std::string("core:") + best;
+    }
+    return rep;
+}
+
+std::string
+ProfileReport::toString() const
+{
+    std::string out;
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "cycle accounting (%u cube(s) x %u vault(s), %llu "
+                  "device cycles)\n",
+                  cubes, vaultsPerCube,
+                  (unsigned long long)deviceCycles);
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "%-8s %12s %8s %8s %8s %8s %8s %8s %8s\n", "vault",
+                  "cycles", "issued%", "bubble%", "barrier%", "drain%",
+                  "struct%", "hazard%", "halted%");
+    out += buf;
+
+    auto row = [&](const std::string &label, const IssueAccounting &a) {
+        std::snprintf(buf, sizeof buf,
+                      "%-8s %12llu %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f "
+                      "%8.2f\n",
+                      label.c_str(), (unsigned long long)a.cycles,
+                      pct(a.issued, a.cycles), pct(a.bubble, a.cycles),
+                      pct(a.barrier, a.cycles), pct(a.drain, a.cycles),
+                      pct(a.structStall, a.cycles),
+                      pct(a.hazard, a.cycles),
+                      pct(a.halted(), a.cycles));
+        out += buf;
+    };
+    for (u32 i = 0; i < vaults.size(); ++i) {
+        u32 chip = i / vaultsPerCube;
+        u32 v = i % vaultsPerCube;
+        row("c" + std::to_string(chip) + ".v" + std::to_string(v),
+            vaults[i]);
+    }
+    row("total", total);
+
+    out += "\nroofline (achieved / peak)\n";
+    for (const RooflineEntry &r : rooflines) {
+        std::snprintf(buf, sizeof buf,
+                      "%-16s %12.3f / %-12.3f %-12s %6.2f%%\n",
+                      r.name.c_str(), r.achieved, r.peak, r.unit.c_str(),
+                      100.0 * r.utilization());
+        out += buf;
+    }
+    out += "\nbottleneck: " + bottleneck + "\n";
+    return out;
+}
+
+void
+ProfileReport::toJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.field("cubes", u64(cubes));
+    w.field("vaults_per_cube", u64(vaultsPerCube));
+    w.field("device_cycles", u64(deviceCycles));
+    w.field("bottleneck", bottleneck);
+
+    auto acct = [&](const IssueAccounting &a) {
+        w.beginObject();
+        w.field("cycles", a.cycles);
+        w.field("issued", a.issued);
+        w.field("bubble", a.bubble);
+        w.field("barrier", a.barrier);
+        w.field("drain", a.drain);
+        w.field("struct", a.structStall);
+        w.field("hazard", a.hazard);
+        w.field("halted", a.halted());
+        w.endObject();
+    };
+    w.key("total");
+    acct(total);
+    w.key("vaults").beginArray();
+    for (const IssueAccounting &a : vaults)
+        acct(a);
+    w.endArray();
+
+    w.key("rooflines").beginArray();
+    for (const RooflineEntry &r : rooflines) {
+        w.beginObject();
+        w.field("name", r.name);
+        w.field("unit", r.unit);
+        w.field("achieved", r.achieved);
+        w.field("peak", r.peak);
+        w.field("utilization", r.utilization());
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace ipim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Bottleneck profiler (DESIGN.md Sec. 14): folds the per-vault
+ * issue-slot cycle accounting (Vault's IssueAccounting, accumulated
+ * across kernels by the runtime) into a cycle-accounting report, and
+ * checks the achieved TSV / DRAM / SIMD rates against the Table III
+ * peaks (roofline).  Surfaced by the `ipim profile` subcommand.
+ */
+#ifndef IPIM_METRICS_PROFILE_H_
+#define IPIM_METRICS_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "sim/vault.h"
+
+namespace ipim {
+
+/** One roofline line: achieved vs. peak rate, both per device cycle. */
+struct RooflineEntry
+{
+    std::string name; ///< "tsv-bandwidth" | "dram-bandwidth" | ...
+    std::string unit; ///< e.g. "bytes/cycle"
+    f64 achieved = 0.0;
+    f64 peak = 0.0;
+
+    f64 utilization() const { return peak > 0.0 ? achieved / peak : 0.0; }
+};
+
+struct ProfileReport
+{
+    u32 cubes = 0;
+    u32 vaultsPerCube = 0;
+    Cycle deviceCycles = 0; ///< total simulated cycles of the launch
+
+    std::vector<IssueAccounting> vaults; ///< chip-major, all kernels
+    IssueAccounting total;               ///< sum over vaults
+
+    std::vector<RooflineEntry> rooflines;
+
+    /**
+     * Dominant limiter: "<roofline>-bound" when some roofline runs at
+     * >= 50% of peak (highest utilization wins), otherwise
+     * "core:<category>" for the issue-slot category (issued, halted, or
+     * a stall reason) that consumes the largest cycle share.
+     */
+    std::string bottleneck;
+
+    /** Human-readable table + roofline summary. */
+    std::string toString() const;
+
+    /** Emit as one JSON object value (caller supplies the key). */
+    void toJson(JsonWriter &w) const;
+};
+
+/**
+ * Build the report for one finished launch.  @p vaultAccounting is
+ * LaunchResult::vaultAccounting (chip-major, accumulated over kernels);
+ * @p deviceCycles is LaunchResult::cycles; @p stats the device stats.
+ */
+ProfileReport buildProfileReport(const HardwareConfig &cfg,
+                                 const StatsRegistry &stats,
+                                 const std::vector<IssueAccounting>
+                                     &vaultAccounting,
+                                 Cycle deviceCycles);
+
+} // namespace ipim
+
+#endif // IPIM_METRICS_PROFILE_H_

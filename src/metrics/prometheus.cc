@@ -1,0 +1,103 @@
+#include "metrics/prometheus.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ipim {
+
+std::string
+PrometheusWriter::sanitizeName(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (u32 i = 0; i < s.size(); ++i) {
+        char c = s[i];
+        bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                     c == '_' || c == ':';
+        bool digit = c >= '0' && c <= '9';
+        out += alpha || (digit && i > 0) ? c : '_';
+    }
+    return out.empty() ? "_" : out;
+}
+
+std::string
+PrometheusWriter::formatValue(f64 v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+std::string
+PrometheusWriter::escapeLabel(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+void
+PrometheusWriter::help(const std::string &name, const std::string &text)
+{
+    out_ += "# HELP " + sanitizeName(name) + " " + text + "\n";
+}
+
+void
+PrometheusWriter::type(const std::string &name, const std::string &t)
+{
+    out_ += "# TYPE " + sanitizeName(name) + " " + t + "\n";
+}
+
+void
+PrometheusWriter::metric(const std::string &name, f64 value,
+                         const Labels &labels)
+{
+    out_ += sanitizeName(name);
+    if (!labels.empty()) {
+        out_ += "{";
+        for (u32 i = 0; i < labels.size(); ++i) {
+            if (i > 0)
+                out_ += ",";
+            out_ += sanitizeName(labels[i].first) + "=\"" +
+                    escapeLabel(labels[i].second) + "\"";
+        }
+        out_ += "}";
+    }
+    out_ += " " + formatValue(value) + "\n";
+}
+
+void
+PrometheusWriter::summary(const std::string &name,
+                          const LatencyHistogram &h,
+                          const std::string &helpText,
+                          const Labels &labels)
+{
+    help(name, helpText);
+    type(name, "summary");
+    if (h.count() > 0) {
+        const f64 qs[] = {50.0, 95.0, 99.0};
+        const char *qlabel[] = {"0.5", "0.95", "0.99"};
+        for (u32 i = 0; i < 3; ++i) {
+            Labels l = labels;
+            l.emplace_back("quantile", qlabel[i]);
+            metric(name, h.percentile(qs[i]), l);
+        }
+    }
+    metric(name + "_sum", h.sum(), labels);
+    metric(name + "_count", f64(h.count()), labels);
+}
+
+} // namespace ipim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Prometheus text-exposition (version 0.0.4) writer for the serving
+ * layer's SLO metrics (DESIGN.md Sec. 14).  Write-only, like the JSON
+ * emitter: the repo never parses the format, it only produces snapshots
+ * for scraping/diffing.
+ */
+#ifndef IPIM_METRICS_PROMETHEUS_H_
+#define IPIM_METRICS_PROMETHEUS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace ipim {
+
+/** Streaming writer for the Prometheus text exposition format. */
+class PrometheusWriter
+{
+  public:
+    using Labels = std::vector<std::pair<std::string, std::string>>;
+
+    /** Emit "# HELP <name> <text>". */
+    void help(const std::string &name, const std::string &text);
+    /** Emit "# TYPE <name> <type>" (counter | gauge | summary). */
+    void type(const std::string &name, const std::string &t);
+    /** Emit one sample line, with optional labels. */
+    void metric(const std::string &name, f64 value,
+                const Labels &labels = {});
+
+    /**
+     * Emit a full summary family from @p h: quantile-labelled lines for
+     * p50/p95/p99 plus <name>_sum and <name>_count.  Empty histograms
+     * emit only _sum/_count (matching LatencyHistogram::exportTo's
+     * "absent means no samples" convention).
+     */
+    void summary(const std::string &name, const LatencyHistogram &h,
+                 const std::string &helpText, const Labels &labels = {});
+
+    /** Map an arbitrary string to a legal metric name
+     *  ([a-zA-Z_:][a-zA-Z0-9_:]*; everything else becomes '_'). */
+    static std::string sanitizeName(const std::string &s);
+
+    const std::string &str() const { return out_; }
+
+  private:
+    static std::string formatValue(f64 v); ///< +Inf/-Inf/NaN aware
+    static std::string escapeLabel(const std::string &s);
+
+    std::string out_;
+};
+
+} // namespace ipim
+
+#endif // IPIM_METRICS_PROMETHEUS_H_

@@ -1,0 +1,147 @@
+#include "metrics/slo.h"
+
+#include "common/logging.h"
+
+namespace ipim {
+
+SloTracker::SloTracker(Cycle windowCycles) : windowCycles_(windowCycles)
+{
+    if (windowCycles_ == 0)
+        fatal("SloTracker window must be at least 1 cycle");
+}
+
+SloTracker::Window &
+SloTracker::windowFor(Cycle finish)
+{
+    u64 idx = finish / windowCycles_;
+    if (windows_.empty()) {
+        Window w;
+        w.index = idx;
+        windows_.push_back(std::move(w));
+        return windows_.back();
+    }
+    u64 first = windows_.front().index;
+    u64 last = windows_.back().index;
+    if (idx > last) {
+        for (u64 i = last + 1; i <= idx; ++i) {
+            Window w;
+            w.index = i;
+            windows_.push_back(std::move(w));
+        }
+        return windows_.back();
+    }
+    if (idx < first) {
+        // Out-of-order completion before the first window; keep the
+        // vector contiguous by prepending the gap.
+        std::vector<Window> pre(first - idx);
+        for (u64 i = 0; i < pre.size(); ++i)
+            pre[i].index = idx + i;
+        windows_.insert(windows_.begin(),
+                        std::make_move_iterator(pre.begin()),
+                        std::make_move_iterator(pre.end()));
+        return windows_.front();
+    }
+    return windows_[idx - first];
+}
+
+void
+SloTracker::record(Cycle finish, Cycle totalLatency, Cycle queueLatency,
+                   bool cacheHit)
+{
+    Window &w = windowFor(finish);
+    ++w.requests;
+    w.cacheHits += cacheHit ? 1 : 0;
+    w.totalLatency.add(f64(totalLatency));
+    w.queueLatency.add(f64(queueLatency));
+
+    ++requests_;
+    cacheHits_ += cacheHit ? 1 : 0;
+    total_.add(f64(totalLatency));
+    queue_.add(f64(queueLatency));
+}
+
+f64
+SloTracker::throughputRps(Cycle makespan) const
+{
+    if (makespan == 0)
+        return 0.0;
+    return f64(requests_) / (f64(makespan) * 1e-9);
+}
+
+void
+SloTracker::exportTo(StatsRegistry &reg) const
+{
+    reg.set("slo.requests", f64(requests_));
+    reg.set("slo.cacheHitRate", cacheHitRate());
+    reg.set("slo.windows", f64(windows_.size()));
+    total_.exportTo(reg, "slo.total");
+    queue_.exportTo(reg, "slo.queue");
+}
+
+void
+SloTracker::toJson(JsonWriter &w, Cycle makespan) const
+{
+    auto summary = [&](const LatencyHistogram &h) {
+        w.beginObject();
+        w.field("count", h.count());
+        if (h.count() > 0) {
+            w.field("mean", h.mean());
+            w.field("p50", h.percentile(50));
+            w.field("p95", h.percentile(95));
+            w.field("p99", h.percentile(99));
+        }
+        w.endObject();
+    };
+
+    w.beginObject();
+    w.field("window_cycles", u64(windowCycles_));
+    w.field("requests", requests_);
+    w.field("cache_hit_rate", cacheHitRate());
+    w.field("throughput_rps", throughputRps(makespan));
+    w.key("total_latency");
+    summary(total_);
+    w.key("queue_latency");
+    summary(queue_);
+    w.key("windows").beginArray();
+    for (const Window &win : windows_) {
+        w.beginObject();
+        w.field("index", win.index);
+        w.field("start_cycle", win.index * u64(windowCycles_));
+        w.field("requests", win.requests);
+        w.field("cache_hits", win.cacheHits);
+        w.key("total_latency");
+        summary(win.totalLatency);
+        w.key("queue_latency");
+        summary(win.queueLatency);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+std::string
+SloTracker::prometheusText(Cycle makespan) const
+{
+    PrometheusWriter pw;
+    pw.help("ipim_serve_requests_total", "Requests served");
+    pw.type("ipim_serve_requests_total", "counter");
+    pw.metric("ipim_serve_requests_total", f64(requests_));
+
+    pw.help("ipim_serve_cache_hit_rate",
+            "Program-cache hit rate over all requests");
+    pw.type("ipim_serve_cache_hit_rate", "gauge");
+    pw.metric("ipim_serve_cache_hit_rate", cacheHitRate());
+
+    pw.help("ipim_serve_throughput_rps",
+            "Requests per second of virtual time");
+    pw.type("ipim_serve_throughput_rps", "gauge");
+    pw.metric("ipim_serve_throughput_rps", throughputRps(makespan));
+
+    pw.summary("ipim_serve_latency_cycles", total_,
+               "End-to-end request latency in device cycles");
+    pw.summary("ipim_serve_queue_cycles", queue_,
+               "Queue wait in device cycles");
+    return pw.str();
+}
+
+} // namespace ipim

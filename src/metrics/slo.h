@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Serving SLO metrics (DESIGN.md Sec. 14): rolling-window latency
+ * percentiles, throughput, queue wait, and program-cache hit rate for
+ * the multi-tenant server.  Windows are tumbling (request with finish
+ * time t lands in window t / windowCycles) so the aggregation is
+ * deterministic and independent of record order.
+ */
+#ifndef IPIM_METRICS_SLO_H_
+#define IPIM_METRICS_SLO_H_
+
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/json.h"
+#include "metrics/prometheus.h"
+
+namespace ipim {
+
+class SloTracker
+{
+  public:
+    /** One tumbling window: [index*windowCycles, (index+1)*windowCycles). */
+    struct Window
+    {
+        u64 index = 0;
+        u64 requests = 0;
+        u64 cacheHits = 0;
+        LatencyHistogram totalLatency;
+        LatencyHistogram queueLatency;
+    };
+
+    explicit SloTracker(Cycle windowCycles = 1'000'000);
+
+    /** Record one completed request. */
+    void record(Cycle finish, Cycle totalLatency, Cycle queueLatency,
+                bool cacheHit);
+
+    Cycle windowCycles() const { return windowCycles_; }
+    u64 requests() const { return requests_; }
+    u64 cacheHits() const { return cacheHits_; }
+    f64 cacheHitRate() const
+    {
+        return requests_ == 0 ? 0.0 : f64(cacheHits_) / f64(requests_);
+    }
+
+    /** All windows between the first and last finish, gaps included
+     *  (empty windows are materialized so series are contiguous). */
+    const std::vector<Window> &windows() const { return windows_; }
+
+    const LatencyHistogram &totalLatency() const { return total_; }
+    const LatencyHistogram &queueLatency() const { return queue_; }
+
+    /** Requests per second of virtual time (1 cycle == 1 ns). */
+    f64 throughputRps(Cycle makespan) const;
+
+    /**
+     * Export slo.* keys into @p reg: slo.requests, slo.cacheHitRate,
+     * slo.windows, plus slo.total/slo.queue latency summaries
+     * (LatencyHistogram::exportTo semantics).
+     */
+    void exportTo(StatsRegistry &reg) const;
+
+    /** Emit as one JSON object value (caller supplies the key). */
+    void toJson(JsonWriter &w, Cycle makespan) const;
+
+    /** Prometheus text-exposition snapshot of the aggregate SLOs. */
+    std::string prometheusText(Cycle makespan) const;
+
+  private:
+    Window &windowFor(Cycle finish);
+
+    Cycle windowCycles_;
+    std::vector<Window> windows_; ///< sorted by index, contiguous
+    LatencyHistogram total_;
+    LatencyHistogram queue_;
+    u64 requests_ = 0;
+    u64 cacheHits_ = 0;
+};
+
+} // namespace ipim
+
+#endif // IPIM_METRICS_SLO_H_

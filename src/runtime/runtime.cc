@@ -88,6 +88,7 @@ Runtime::run()
 
     LaunchResult res;
     res.vaultIssued.assign(dev_.totalVaults(), 0);
+    res.vaultAccounting.assign(dev_.totalVaults(), IssueAccounting{});
     Cycle kernelBase = dev_.now();
     for (const CompiledKernel &k : pipe_.kernels) {
         // Launch-time gate (opt-in via CompilerOptions::verify): a
@@ -111,7 +112,9 @@ Runtime::run()
         size_t vi = 0;
         for (u32 chip = 0; chip < dev_.cfg().cubes; ++chip) {
             for (u32 v = 0; v < dev_.cfg().vaultsPerCube; ++v) {
-                u64 n = dev_.vault(chip, v).issuedCount();
+                const Vault &vt = dev_.vault(chip, v);
+                u64 n = vt.issuedCount();
+                res.vaultAccounting[vi].accumulate(vt.accounting());
                 res.vaultIssued[vi++] += n;
                 res.totalIssued += n;
             }

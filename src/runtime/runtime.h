@@ -26,6 +26,9 @@ struct LaunchResult
     /// restarts at every program load, so the runtime accumulates).
     u64 totalIssued = 0;
     std::vector<u64> vaultIssued; ///< per vault, chip-major, all kernels
+    /// Issue-slot cycle accounting per vault (chip-major), accumulated
+    /// across kernels like vaultIssued; feeds the bottleneck profiler.
+    std::vector<IssueAccounting> vaultAccounting;
 };
 
 class Runtime

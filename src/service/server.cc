@@ -91,10 +91,17 @@ Server::slotConfig() const
     return c;
 }
 
+std::string
+ServeReport::prometheusText() const
+{
+    return slo.prometheusText(makespan);
+}
+
 ServeReport
 Server::run(const std::vector<ServeRequest> &requests)
 {
     ServeReport rep;
+    rep.slo = SloTracker(cfg_.sloWindowCycles);
 
     // The cache lives for one serving run so its hit/miss counters land
     // in this report; each (pipeline, geometry, options) key compiles
@@ -259,7 +266,10 @@ Server::run(const std::vector<ServeRequest> &requests)
         rep.queueLatency.add(f64(r.queueCycles()));
         rep.execLatency.add(f64(r.compileCycles + r.execCycles));
         rep.totalLatency.add(f64(r.totalCycles()));
+        rep.slo.record(r.finish, r.totalCycles(), r.queueCycles(),
+                       r.cacheHit);
     }
+    rep.slo.exportTo(rep.stats);
     rep.queueLatency.exportTo(rep.stats, "serve.latency.queue");
     rep.execLatency.exportTo(rep.stats, "serve.latency.exec");
     rep.totalLatency.exportTo(rep.stats, "serve.latency.total");

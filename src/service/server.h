@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "metrics/slo.h"
 #include "service/load_gen.h"
 #include "service/program_cache.h"
 #include "service/scheduler.h"
@@ -66,6 +67,13 @@ struct ServerConfig
      * On by default; results are bit-exact either way.
      */
     bool fastForward = true;
+
+    /**
+     * SLO aggregation window in virtual-time cycles (1 ms at 1 GHz by
+     * default); requests land in the tumbling window of their finish
+     * time (DESIGN.md Sec. 14).
+     */
+    Cycle sloWindowCycles = 1'000'000;
 };
 
 /** Everything recorded about one served request. */
@@ -109,8 +117,15 @@ struct ServeReport
     u64 ffwdSkippedCycles = 0;
     u64 ffwdJumps = 0;
 
+    /** Rolling-window SLO metrics (latency percentiles, throughput,
+     *  queue wait, cache hit rate), fed from `records` at end of run. */
+    SloTracker slo;
+
     /** Served requests per second of virtual time. */
     f64 throughputRps() const;
+
+    /** Prometheus text-exposition snapshot of the serving SLOs. */
+    std::string prometheusText() const;
 
     /** Human-readable multi-line summary. */
     std::string summary() const;

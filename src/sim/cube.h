@@ -26,8 +26,12 @@ class Cube
          Tracer *trace = nullptr, const std::string &tracePrefix = "");
 
     Vault &vault(u32 v) { return *vaults_.at(v); }
+    const Vault &vault(u32 v) const { return *vaults_.at(v); }
     u32 numVaults() const { return u32(vaults_.size()); }
     u32 chipId() const { return chipId_; }
+
+    /** Packets buffered in the on-chip mesh right now (metrics gauge). */
+    u32 nocQueuedPackets() const { return mesh_.queuedPackets(); }
 
     /** Advance one cycle: deliver, tick vaults, drain NICs, tick mesh. */
     void tick(Cycle now);

@@ -6,6 +6,13 @@
 
 namespace ipim {
 
+DeviceProbe::~DeviceProbe() = default;
+
+void
+DeviceProbe::onDeviceReset(Device &)
+{
+}
+
 Device::Device(const HardwareConfig &cfg, Tracer *tracer,
                const std::string &trackPrefix)
     : cfg_(cfg), tracer_(tracer), trackPrefix_(trackPrefix)
@@ -29,6 +36,8 @@ Device::reset()
     ffwdSkipped_ = 0;
     ffwdJumps_ = 0;
     stats_.clear();
+    if (probe_ != nullptr)
+        probe_->onDeviceReset(*this);
 }
 
 BankStorage &
@@ -112,7 +121,15 @@ Device::run(u64 maxCycles)
     // budget must not wrap the 64-bit clock on long-lived devices).
     Cycle limit =
         maxCycles > kNeverCycle - start ? kNeverCycle : start + maxCycles;
+    probeNextAt_ = probe_ != nullptr ? probe_->nextSampleAt(now_)
+                                     : kNeverCycle;
     while (true) {
+        // A sample at cycle t sees the state after cycles [0, t); the
+        // probe cadence is cached so the disabled path is one compare.
+        if (now_ >= probeNextAt_) {
+            probe_->sample(*this, now_);
+            probeNextAt_ = probe_->nextSampleAt(now_ + 1);
+        }
         tick(now_);
         ++now_;
         stats_.inc("sim.cycles");
@@ -139,12 +156,23 @@ Device::run(u64 maxCycles)
             continue;
 
         u64 skipped = e - now_;
+        // Metrics probes are NOT a jump cap: the probe snapshots the
+        // pre-credit state here and back-fills the elided sample
+        // boundaries after the credit (DESIGN.md Sec. 14).
+        bool probeJump = probeNextAt_ < e;
+        if (probeJump)
+            probe_->beforeJump(*this, now_, e);
         for (auto &cube : cubes_)
             cube->creditSkipped(now_, skipped);
         stats_.inc("sim.cycles", f64(skipped));
+        Cycle from = now_;
         now_ = e;
         ffwdSkipped_ += skipped;
         ++ffwdJumps_;
+        if (probeJump) {
+            probe_->afterJump(*this, from, e);
+            probeNextAt_ = probe_->nextSampleAt(now_);
+        }
         if (now_ >= limit)
             fatal("deadlock watchdog: device did not quiesce within ",
                   maxCycles, " cycles");

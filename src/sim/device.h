@@ -18,6 +18,50 @@
 
 namespace ipim {
 
+class Device;
+
+/**
+ * Cycle-sampling hook for the metrics subsystem (DESIGN.md Sec. 14).
+ *
+ * Device::run() drives an attached probe so that its samples land on
+ * exactly the same cycles in dense and fast-forward mode:
+ *
+ *  - at the top of every dense iteration, sample() fires when the
+ *    probe's nextSampleAt() equals the current cycle (state "after
+ *    cycles [0, now)", i.e. before tick(now));
+ *  - around every fast-forward jump over [from, to), beforeJump() runs
+ *    with the pre-credit state and afterJump() with the post-credit
+ *    state, so the probe can back-fill the sample boundaries the jump
+ *    elided.  Inside a skip window only the bulk-credited counters
+ *    change, and they change at a constant per-cycle rate, so exact
+ *    linear interpolation between the two snapshots reproduces the
+ *    dense-mode samples bit for bit.
+ *
+ * The probe is not owned; it must outlive the device or be detached
+ * with setProbe(nullptr).
+ */
+class DeviceProbe
+{
+  public:
+    virtual ~DeviceProbe();
+
+    /** First cycle >= @p now at which sample() must run
+     *  (kNeverCycle = no more samples wanted). */
+    virtual Cycle nextSampleAt(Cycle now) const = 0;
+
+    /** Take one sample of @p dev's live state at cycle @p now. */
+    virtual void sample(Device &dev, Cycle now) = 0;
+
+    /** A fast-forward jump is about to credit cycles [@p from, @p to). */
+    virtual void beforeJump(Device &dev, Cycle from, Cycle to) = 0;
+
+    /** The jump over [@p from, @p to) has been credited; back-fill. */
+    virtual void afterJump(Device &dev, Cycle from, Cycle to) = 0;
+
+    /** The device was power-cycled (Device::reset()); drop snapshots. */
+    virtual void onDeviceReset(Device &dev);
+};
+
 class Device
 {
   public:
@@ -93,6 +137,14 @@ class Device
     StatsRegistry &stats() { return stats_; }
     const StatsRegistry &stats() const { return stats_; }
 
+    /**
+     * Attach (or detach, with nullptr) a metrics probe; not owned.
+     * Samples are bit-identical between dense and fast-forward runs
+     * (DESIGN.md Sec. 14); attach before run(), not during.
+     */
+    void setProbe(DeviceProbe *probe) { probe_ = probe; }
+    DeviceProbe *probe() { return probe_; }
+
     /** Tracer attached at construction (may be null). */
     Tracer *tracer() { return tracer_; }
     /** Track-name prefix this device registers its tracks under. */
@@ -110,6 +162,8 @@ class Device
     HardwareConfig cfg_;
     StatsRegistry stats_;
     Tracer *tracer_;
+    DeviceProbe *probe_ = nullptr;
+    Cycle probeNextAt_ = 0; ///< run()-local cache of probe_->nextSampleAt
     std::string trackPrefix_;
     std::vector<std::unique_ptr<Cube>> cubes_;
 

@@ -44,11 +44,11 @@ Vault::reset()
     traceActive_ = false;
     // Sequence/tag counters restart with the core: a stale nextReqTag_
     // would keep growing across loadProgram launches until its low 32
-    // bits wrapped into the tag's vault-id field, and a stale issued_
+    // bits wrapped into the tag's vault-id field, and stale accounting
     // would make issuedCount() accumulate across unrelated programs.
     nextSeq_ = 1;
     nextReqTag_ = 1;
-    issued_ = 0;
+    acct_ = IssueAccounting{};
     for (auto &pg : pgs_)
         pg->reset(chipId_, vaultId_);
 }
@@ -317,24 +317,29 @@ Vault::issueStep(Cycle now)
         return; // unreachable: checked above
       case IssueOutcome::kBubble:
         stats_->inc("core.bubble");
+        ++acct_.bubble;
         noteStall(now, StallReason::kBranch);
         return;
       case IssueOutcome::kBarrier:
         stats_->inc("core.barrierStall");
+        ++acct_.barrier;
         noteStall(now, StallReason::kBarrier);
         return;
       case IssueOutcome::kDrain:
         stats_->inc("core.drainStall");
+        ++acct_.drain;
         noteStall(now, StallReason::kDrain);
         return;
       case IssueOutcome::kStruct:
         stats_->inc("core.structStall");
+        ++acct_.structStall;
         noteStall(now, StallReason::kStruct);
         return;
       case IssueOutcome::kHazard:
         stats_->inc("core.hazardStall");
         stats_->inc(std::string("stall.") +
                     categoryName(prog_[pc_].category()));
+        ++acct_.hazard;
         noteStall(now, StallReason::kHazard);
         return;
       case IssueOutcome::kIssue:
@@ -346,7 +351,7 @@ Vault::issueStep(Cycle now)
 
     stats_->inc("core.issued");
     stats_->inc(std::string("inst.") + categoryName(inst.category()));
-    ++issued_;
+    ++acct_.issued;
     noteStall(now, StallReason::kNone);
 
     switch (inst.op) {
@@ -498,7 +503,8 @@ Vault::sampleTrace(Cycle now)
 {
     trace_->counter(trackCore_, TraceEv::kIiqOccupancy, now,
                     f64(iiq_.size()));
-    trace_->counter(trackCore_, TraceEv::kCoreIssued, now, f64(issued_));
+    trace_->counter(trackCore_, TraceEv::kCoreIssued, now,
+                    f64(acct_.issued));
     u32 busy = 0;
     u64 simdBusy = 0;
     for (auto &pg : pgs_) {
@@ -524,10 +530,30 @@ Vault::flushTrace(Cycle now)
     }
 }
 
+u32
+Vault::busyPes() const
+{
+    u32 busy = 0;
+    for (const auto &pg : pgs_)
+        for (u32 p = 0; p < cfg_.pesPerPg; ++p)
+            busy += pg->pe(p).idle() ? 0 : 1;
+    return busy;
+}
+
+u32
+Vault::mcQueueDepth() const
+{
+    u32 depth = 0;
+    for (const auto &pg : pgs_)
+        depth += pg->mc().queueDepth();
+    return depth;
+}
+
 void
 Vault::tick(Cycle now)
 {
     stats_->inc("core.cycles");
+    ++acct_.cycles;
     if (Tracer::sampleDue(trace_, now))
         sampleTrace(now);
     serviceRemoteInbox();
@@ -572,6 +598,7 @@ void
 Vault::creditSkipped(Cycle from, u64 skipped)
 {
     stats_->inc("core.cycles", f64(skipped));
+    acct_.cycles += skipped;
     // Stall-span bookkeeping: in dense mode the first stalled tick of a
     // window opens the trace span via noteStall; when that tick is
     // skipped, perform the identical transition here at the window
@@ -581,18 +608,22 @@ Vault::creditSkipped(Cycle from, u64 skipped)
         return;
       case IssueOutcome::kBubble:
         stats_->inc("core.bubble", f64(skipped));
+        acct_.bubble += skipped;
         noteStall(from, StallReason::kBranch);
         return;
       case IssueOutcome::kBarrier:
         stats_->inc("core.barrierStall", f64(skipped));
+        acct_.barrier += skipped;
         noteStall(from, StallReason::kBarrier);
         return;
       case IssueOutcome::kDrain:
         stats_->inc("core.drainStall", f64(skipped));
+        acct_.drain += skipped;
         noteStall(from, StallReason::kDrain);
         return;
       case IssueOutcome::kStruct:
         stats_->inc("core.structStall", f64(skipped));
+        acct_.structStall += skipped;
         noteStall(from, StallReason::kStruct);
         return;
       case IssueOutcome::kHazard:
@@ -600,6 +631,7 @@ Vault::creditSkipped(Cycle from, u64 skipped)
         stats_->inc(std::string("stall.") +
                         categoryName(prog_[pc_].category()),
                     f64(skipped));
+        acct_.hazard += skipped;
         noteStall(from, StallReason::kHazard);
         return;
       case IssueOutcome::kIssue:

@@ -23,6 +23,47 @@
 
 namespace ipim {
 
+/**
+ * Per-vault cycle accounting of the control core's issue slot: every
+ * ticked cycle lands in exactly one category — an issue, one of the five
+ * stall reasons, or (implicitly) halted — so the categories always sum
+ * to `cycles`.  Maintained identically by dense ticking and fast-forward
+ * crediting; restarts at every program (re)load like issuedCount(), and
+ * the runtime accumulates it across kernels (LaunchResult).
+ */
+struct IssueAccounting
+{
+    u64 cycles = 0; ///< core cycles ticked, including halted ones
+    u64 issued = 0;
+    u64 bubble = 0;      ///< taken-branch bubbles
+    u64 barrier = 0;     ///< in-flight barrier blocks younger issues
+    u64 drain = 0;       ///< sync/halt fence draining the IIQ
+    u64 structStall = 0; ///< Issued Inst Queue full
+    u64 hazard = 0;      ///< data-hazard scoreboard block
+
+    /** Cycles on which the core attempted to issue (not halted). */
+    u64
+    active() const
+    {
+        return issued + bubble + barrier + drain + structStall + hazard;
+    }
+
+    /** Cycles spent halted (before start or after the final halt). */
+    u64 halted() const { return cycles - active(); }
+
+    void
+    accumulate(const IssueAccounting &o)
+    {
+        cycles += o.cycles;
+        issued += o.issued;
+        bubble += o.bubble;
+        barrier += o.barrier;
+        drain += o.drain;
+        structStall += o.structStall;
+        hazard += o.hazard;
+    }
+};
+
 class Vault
 {
   public:
@@ -100,7 +141,20 @@ class Vault
     u32 numPes() const { return cfg_.pesPerVault(); }
 
     /** Instructions issued since the last program (re)load. */
-    u64 issuedCount() const { return issued_; }
+    u64 issuedCount() const { return acct_.issued; }
+
+    /** Issue-slot cycle accounting since the last program (re)load. */
+    const IssueAccounting &accounting() const { return acct_; }
+
+    /** @name Live gauges (metrics sampling; cheap, side-effect free). */
+    ///@{
+    /** Issued Inst Queue occupancy right now. */
+    u32 iiqDepth() const { return u32(iiq_.size()); }
+    /** PEs with work in flight right now. */
+    u32 busyPes() const;
+    /** Bank requests queued across this vault's memory controllers. */
+    u32 mcQueueDepth() const;
+    ///@}
 
   private:
     /** Why issueStep could not issue this cycle (trace taxonomy). */
@@ -156,7 +210,7 @@ class Vault
     Cycle stallSince_ = 0;
     Cycle activeSince_ = 0;
     bool traceActive_ = false; ///< inside a kVaultRun span
-    u64 issued_ = 0;           ///< per-vault issue count (telemetry)
+    IssueAccounting acct_;     ///< per-vault issue-slot accounting
 
     std::unique_ptr<ActivationLimiter> actLimiter_;
     std::vector<std::unique_ptr<ProcessGroup>> pgs_;

@@ -116,6 +116,34 @@ TEST(Stats, IncrementMergeAndPrefixSum)
     EXPECT_EQ(s.get("dram.rd"), 13.0);
 }
 
+TEST(Stats, SumPrefixMatchesNaiveScan)
+{
+    StatsRegistry s;
+    // Boundary-ordering traps around the prefix "dram.": '-' (0x2d)
+    // sorts before '.' (0x2e), '/' (0x2f) and letters after it.
+    s.inc("dram-x", 1);
+    s.inc("dram", 2);
+    s.inc("dram.", 4);
+    s.inc("dram.rd", 8);
+    s.inc("dram.wr", 16);
+    s.inc("dram/z", 32);
+    s.inc("drama.q", 64);
+    s.inc("aaa", 128);
+    s.inc("zzz", 256);
+
+    for (const std::string &prefix :
+         {"dram.", "dram", "drama", "", "zzzz", "a"}) {
+        SCOPED_TRACE(prefix);
+        f64 naive = 0.0;
+        for (const auto &[k, v] : s.all())
+            if (k.compare(0, prefix.size(), prefix) == 0)
+                naive += v;
+        EXPECT_EQ(s.sumPrefix(prefix), naive);
+    }
+    EXPECT_EQ(s.sumPrefix("dram."), 28.0);
+    EXPECT_EQ(s.sumPrefix(""), 511.0);
+}
+
 TEST(Config, PaperDefaultsAreValid)
 {
     HardwareConfig cfg = HardwareConfig::paper();
@@ -249,6 +277,37 @@ TEST(Histogram, EmptySummariesAreSentinelsAndExportSkipsThem)
     EXPECT_FALSE(reg.has("lat.p99"));
 }
 
+TEST(Histogram, SortedCacheIsReusedAcrossQueries)
+{
+    LatencyHistogram h;
+    for (int v = 100; v > 0; --v)
+        h.add(f64(v));
+    EXPECT_EQ(h.sorts(), 0u); // nothing sorted until a query needs it
+    EXPECT_EQ(h.percentile(50), 50.0);
+    EXPECT_EQ(h.sorts(), 1u);
+
+    // Repeated order-dependent queries reuse the cache: one sort total.
+    h.percentile(95);
+    h.percentile(99);
+    h.min();
+    h.max();
+    StatsRegistry reg;
+    h.exportTo(reg, "lat");
+    EXPECT_EQ(h.sorts(), 1u);
+
+    // sum()/mean() never need sorted order.
+    EXPECT_EQ(h.sum(), 5050.0);
+    EXPECT_EQ(h.mean(), 50.5);
+    EXPECT_EQ(h.sorts(), 1u);
+
+    // A new sample invalidates the cache exactly once.
+    h.add(0.5);
+    EXPECT_EQ(h.sorts(), 1u);
+    EXPECT_EQ(h.percentile(0), 0.5);
+    h.percentile(100);
+    EXPECT_EQ(h.sorts(), 2u);
+}
+
 TEST(Json, ObjectsArraysAndCommas)
 {
     JsonWriter j;
@@ -278,6 +337,59 @@ TEST(Json, EscapesAndNumberFormatting)
     EXPECT_NE(doc.find("-7"), std::string::npos);
     EXPECT_NE(doc.find("0.5"), std::string::npos);
     EXPECT_NE(doc.find("\"nan\":null"), std::string::npos);
+}
+
+TEST(Json, ControlCharactersEscapeAsUnicode)
+{
+    JsonWriter j;
+    std::string s;
+    s += '\x01';
+    s += '\x1f';
+    s += '\r';
+    s += '\b';
+    j.field("ctl", s);
+    std::string doc = j.finish();
+    EXPECT_NE(doc.find("\\u0001"), std::string::npos);
+    EXPECT_NE(doc.find("\\u001f"), std::string::npos);
+    EXPECT_NE(doc.find("\\r"), std::string::npos);
+    // Backspace has no short escape here; it must still be encoded, not
+    // emitted raw.
+    EXPECT_EQ(doc.find('\b'), std::string::npos);
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull)
+{
+    JsonWriter j;
+    j.field("pinf", std::numeric_limits<f64>::infinity());
+    j.field("ninf", -std::numeric_limits<f64>::infinity());
+    j.field("nan", std::numeric_limits<f64>::quiet_NaN());
+    EXPECT_EQ(j.finish(),
+              "{\"pinf\":null,\"ninf\":null,\"nan\":null}");
+}
+
+TEST(Json, EmptyObjectsAndArrays)
+{
+    JsonWriter j;
+    j.key("obj").beginObject();
+    j.endObject();
+    j.key("arr").beginArray();
+    j.endArray();
+    j.key("nested").beginArray();
+    j.beginObject();
+    j.endObject();
+    j.beginArray();
+    j.endArray();
+    j.endArray();
+    j.field("after", u64(1));
+    EXPECT_EQ(j.finish(),
+              "{\"obj\":{},\"arr\":[],\"nested\":[{},[]],\"after\":1}");
+}
+
+TEST(Json, EmptyStringKeyAndValue)
+{
+    JsonWriter j;
+    j.field("", "");
+    EXPECT_EQ(j.finish(), "{\"\":\"\"}");
 }
 
 TEST(Json, StatsObjectEmitsEveryCounter)

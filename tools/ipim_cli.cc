@@ -39,6 +39,8 @@
 #include "compiler/reference.h"
 #include "energy/energy_model.h"
 #include "isa/assembler.h"
+#include "metrics/metrics.h"
+#include "metrics/profile.h"
 #include "runtime/runtime.h"
 #include "service/server.h"
 #include "trace/report.h"
@@ -79,8 +81,12 @@ struct Options
     std::string traceOut = "trace.json";
     std::string traceCsv;
     u32 traceWindows = 16;
+    // profile-subcommand only:
+    bool profileCmd = false;
+    u64 metricsInterval = 1024; ///< --interval N (sampling period)
     // serve-subcommand only:
     bool serveCmd = false;
+    std::string promFile; ///< --prom FILE (Prometheus snapshot)
     f64 rate = 20000.0; ///< requests per second of virtual time
     u32 requests = 200;
     u64 seed = 1;
@@ -104,10 +110,12 @@ usage()
         "       ipim serve [--bench NAME[,NAME...]] [--rate R]\n"
         "            [--requests N] [--sched fifo|sjf]\n"
         "            [--share cube|whole] [--cubes-per-req K] [--seed S]\n"
-        "            [--json] [--trace FILE]\n"
+        "            [--json] [--trace FILE] [--prom FILE]\n"
         "            [device/compiler flags as above]\n"
         "       ipim trace [--bench NAME] [--out FILE] [--csv FILE]\n"
         "            [--windows N] [device/compiler flags as above]\n"
+        "       ipim profile [--bench NAME] [--interval N] [--json]\n"
+        "            [device/compiler flags as above]\n"
         "  serve defaults to a 2-cube 4x2x2 device at 128x64 unless\n"
         "  geometry/size flags are given; --rate is requests per second\n"
         "  of virtual time (1 cycle == 1 ns).\n"
@@ -115,7 +123,13 @@ usage()
         "  in chrome://tracing or https://ui.perfetto.dev.\n"
         "  --no-fast-forward ticks every cycle densely instead of\n"
         "  skipping quiescent intervals; results are bit-exact either\n"
-        "  way (DESIGN.md Sec. 13), it is only slower.\n");
+        "  way (DESIGN.md Sec. 13), it is only slower.\n"
+        "  `ipim profile` runs one benchmark with the metrics sampler\n"
+        "  attached and prints the per-vault cycle-accounting table,\n"
+        "  the roofline check, and the inferred bottleneck; --json adds\n"
+        "  the sampled time series (DESIGN.md Sec. 14).\n"
+        "  serve --prom FILE writes a Prometheus text-exposition\n"
+        "  snapshot of the serving SLOs.\n");
 }
 
 CompilerOptions
@@ -266,6 +280,69 @@ runTraceCommand(const Options &o)
     return 0;
 }
 
+/**
+ * The `ipim profile` subcommand: run one benchmark with the metrics
+ * sampler attached, then print the bottleneck profiler's report
+ * (DESIGN.md Sec. 14).
+ */
+int
+runProfileCommand(const Options &o)
+{
+    HardwareConfig cfg = buildConfig(o);
+    BenchmarkApp app = makeBenchmark(o.bench, o.width, o.height);
+    CompilerOptions copts = parseOpts(o.opts);
+    CompiledPipeline cp = compilePipeline(app.def, cfg, copts);
+
+    MetricsSampler::Config mcfg;
+    mcfg.interval = o.metricsInterval;
+    MetricsSampler sampler(mcfg);
+
+    Device dev(cfg);
+    dev.setFastForward(o.fastForward);
+    dev.setProbe(&sampler);
+    Runtime rt(dev, cp);
+    for (const auto &[name, img] : app.inputs)
+        rt.bindInput(name, img);
+    LaunchResult res = rt.run();
+
+    ProfileReport prep = buildProfileReport(cfg, dev.stats(),
+                                            res.vaultAccounting,
+                                            res.cycles);
+
+    if (o.json) {
+        JsonWriter j;
+        j.field("bench", o.bench)
+            .field("width", o.width)
+            .field("height", o.height);
+        j.key("device").beginObject();
+        j.field("cubes", cfg.cubes)
+            .field("vaults", cfg.vaultsPerCube)
+            .field("pgs", cfg.pgsPerVault)
+            .field("pes", cfg.pesPerPg);
+        j.endObject();
+        j.field("opts", o.opts).field("cycles", u64(res.cycles));
+        j.key("profile");
+        prep.toJson(j);
+        j.key("metrics");
+        sampler.toJson(j);
+        j.statsObject("stats", dev.stats());
+        std::printf("%s\n", j.finish().c_str());
+        return 0;
+    }
+
+    std::printf("profile %s %dx%d | device %ux%ux%ux%u | opts %s\n",
+                o.bench.c_str(), o.width, o.height, cfg.cubes,
+                cfg.vaultsPerCube, cfg.pgsPerVault, cfg.pesPerPg,
+                o.opts.c_str());
+    std::printf("%s", prep.toString().c_str());
+    std::printf("\nsampler: %llu samples (%u retained) at interval %llu "
+                "cycles\n",
+                (unsigned long long)sampler.samplesTotal(),
+                sampler.samplesRetained(),
+                (unsigned long long)sampler.interval());
+    return 0;
+}
+
 /** Split a comma-separated --bench list. */
 std::vector<std::string>
 splitList(const std::string &s)
@@ -327,6 +404,15 @@ runServeCommand(const Options &o)
     if (tracer)
         writeChromeTrace(*tracer, o.traceFile);
 
+    if (!o.promFile.empty()) {
+        std::ofstream prom(o.promFile, std::ios::binary);
+        if (!prom)
+            fatal("cannot open ", o.promFile);
+        prom << rep.prometheusText();
+        if (!prom)
+            fatal("failed writing Prometheus snapshot to ", o.promFile);
+    }
+
     if (o.json) {
         JsonWriter j;
         j.key("config").beginObject();
@@ -365,6 +451,9 @@ runServeCommand(const Options &o)
         j.field("compiles", u64(rep.stats.get("serve.cache.miss")))
             .field("hits", u64(rep.stats.get("serve.cache.hit")));
         j.endObject();
+        // Rolling-window SLO metrics (DESIGN.md Sec. 14).
+        j.key("slo");
+        rep.slo.toJson(j, rep.makespan);
         // Derived device telemetry over the merged per-request stats
         // (no trace parsing needed; see also `ipim trace`).
         j.key("telemetry").beginObject();
@@ -416,6 +505,8 @@ runServeCommand(const Options &o)
                 server.slots() == 1 ? "" : "s", spec.ratePerSec,
                 (unsigned long long)spec.seed);
     std::printf("%s", rep.summary().c_str());
+    if (!o.promFile.empty())
+        std::printf("Prometheus snapshot -> %s\n", o.promFile.c_str());
     return 0;
 }
 
@@ -431,6 +522,9 @@ main(int argc, char **argv)
         first = 2;
     } else if (argc > 1 && std::strcmp(argv[1], "trace") == 0) {
         o.traceCmd = true;
+        first = 2;
+    } else if (argc > 1 && std::strcmp(argv[1], "profile") == 0) {
+        o.profileCmd = true;
         first = 2;
     } else if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
         o.serveCmd = true;
@@ -508,6 +602,10 @@ main(int argc, char **argv)
             o.cubesPerReq = u32(std::stoul(next()));
         else if (a == "--no-fast-forward")
             o.fastForward = false;
+        else if (a == "--interval")
+            o.metricsInterval = std::stoull(next());
+        else if (a == "--prom")
+            o.promFile = next();
         else if (a == "--trace")
             o.traceFile = next();
         else if (a == "--out")
@@ -537,6 +635,8 @@ main(int argc, char **argv)
             return runServeCommand(o);
         if (o.traceCmd)
             return runTraceCommand(o);
+        if (o.profileCmd)
+            return runProfileCommand(o);
 
         HardwareConfig cfg = buildConfig(o);
 

@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
-"""Validate a Chrome trace_event JSON file produced by `ipim --trace`.
+"""Validate iPIM JSON artifacts: Chrome traces and metrics snapshots.
 
-Checks (stdlib only, no third-party deps):
+Two document kinds are auto-detected:
+
+Chrome trace_event files (`ipim --trace`, top-level `traceEvents`):
   * the file parses as JSON and has a `traceEvents` array;
   * every event carries the fields its phase requires;
   * phases are limited to the ones the exporter emits (M/X/i/C/b/e);
@@ -10,11 +12,20 @@ Checks (stdlib only, no third-party deps):
   * "X" durations are non-negative;
   * async begin/end events balance per (cat, id) with no end-before-begin.
 
-Usage: validate_trace.py TRACE.json [TRACE2.json ...]
+Metrics snapshots (`ipim profile --json`, top-level `metrics`):
+  * timestamps are strictly increasing and spaced by `interval`;
+  * every counter/gauge series has one value per timestamp;
+  * counter deltas and gauges are finite and non-negative;
+  * samples_retained matches the retained window count and capacity;
+  * a `profile` block, when present, has per-vault categories that sum
+    to that vault's cycles and rooflines with utilization in [0, 1].
+
+Usage: validate_trace.py FILE.json [FILE2.json ...]
 Exits 0 when every file passes, 1 otherwise.
 """
 
 import json
+import math
 import sys
 
 REQUIRED = {
@@ -27,6 +38,116 @@ REQUIRED = {
 }
 
 
+CATEGORIES = ("issued", "bubble", "barrier", "drain", "struct", "hazard")
+
+
+def check_series(errors, kind, name, series, n_ts, gauge):
+    """One counter/gauge series: right length, finite, non-negative."""
+    if not isinstance(series, list):
+        errors.append(f"{kind} {name!r}: not an array")
+        return
+    if len(series) != n_ts:
+        errors.append(
+            f"{kind} {name!r}: {len(series)} values for {n_ts} timestamps"
+        )
+    for i, v in enumerate(series):
+        if not isinstance(v, (int, float)) or v is True or v is False:
+            errors.append(f"{kind} {name!r}[{i}]: non-numeric {v!r}")
+            return
+        if not math.isfinite(v):
+            errors.append(f"{kind} {name!r}[{i}]: non-finite {v!r}")
+            return
+        if v < 0:
+            errors.append(f"{kind} {name!r}[{i}]: negative value {v}")
+            return
+        if gauge and name.startswith(("peBusy", "dram.rowHitRate")) and v > 1:
+            errors.append(f"{kind} {name!r}[{i}]: rate/fraction {v} > 1")
+            return
+
+
+def validate_metrics(doc):
+    """Checks for an `ipim profile --json` snapshot (see module doc)."""
+    errors = []
+    m = doc["metrics"]
+    if not isinstance(m, dict):
+        return ["metrics: not an object"]
+
+    interval = m.get("interval")
+    ts = m.get("timestamps")
+    if not isinstance(interval, int) or interval <= 0:
+        errors.append(f"metrics: bad interval {interval!r}")
+        interval = None
+    if not isinstance(ts, list):
+        return errors + ["metrics: missing timestamps array"]
+    for i, t in enumerate(ts):
+        if not isinstance(t, int) or t < 0:
+            errors.append(f"timestamps[{i}]: bad value {t!r}")
+            break
+        if i > 0 and t <= ts[i - 1]:
+            errors.append(
+                f"timestamps[{i}]: {t} not after {ts[i - 1]}"
+            )
+            break
+        if interval and t % interval != 0:
+            errors.append(
+                f"timestamps[{i}]: {t} not on a {interval}-cycle boundary"
+            )
+            break
+
+    retained = m.get("samples_retained")
+    total = m.get("samples_total")
+    capacity = m.get("capacity")
+    if retained != len(ts):
+        errors.append(
+            f"metrics: samples_retained {retained!r} != {len(ts)} timestamps"
+        )
+    if isinstance(total, int) and isinstance(retained, int):
+        if retained > total:
+            errors.append(
+                f"metrics: samples_retained {retained} > samples_total {total}"
+            )
+    if isinstance(capacity, int) and isinstance(retained, int):
+        if retained > capacity:
+            errors.append(
+                f"metrics: samples_retained {retained} > capacity {capacity}"
+            )
+
+    n_series = 0
+    for kind, gauge in (("counters", False), ("gauges", True)):
+        block = m.get(kind, {})
+        if not isinstance(block, dict):
+            errors.append(f"metrics: {kind} is not an object")
+            continue
+        for name, series in block.items():
+            check_series(errors, kind[:-1], name, series, len(ts), gauge)
+            n_series += 1
+
+    # A profile block rides along in `ipim profile --json` output: the
+    # per-vault issue-slot categories must tile each vault's cycles.
+    prof = doc.get("profile")
+    if isinstance(prof, dict):
+        vaults = prof.get("vaults", [])
+        for i, a in enumerate(vaults + [prof.get("total", {})]):
+            label = f"profile vault {i}" if i < len(vaults) else "profile total"
+            parts = sum(a.get(c, 0) for c in CATEGORIES) + a.get("halted", 0)
+            if parts != a.get("cycles"):
+                errors.append(
+                    f"{label}: categories sum {parts} != cycles "
+                    f"{a.get('cycles')!r}"
+                )
+        for r in prof.get("rooflines", []):
+            util = r.get("utilization", 0.0)
+            if not (0.0 <= util <= 1.0 + 1e-9):
+                errors.append(
+                    f"roofline {r.get('name')!r}: utilization {util} "
+                    "outside [0, 1]"
+                )
+        if not prof.get("bottleneck"):
+            errors.append("profile: empty bottleneck")
+
+    return errors, len(ts), n_series
+
+
 def validate(path):
     errors = []
     with open(path, "r", encoding="utf-8") as f:
@@ -35,9 +156,17 @@ def validate(path):
         except json.JSONDecodeError as e:
             return [f"not valid JSON: {e}"]
 
-    events = doc.get("traceEvents")
+    if isinstance(doc, dict) and "metrics" in doc:
+        result = validate_metrics(doc)
+        if isinstance(result, list):  # shape error before counting
+            return result
+        errors, n_ts, n_series = result
+        print(f"{path}: metrics snapshot ({n_ts} samples, {n_series} series)")
+        return errors
+
+    events = doc.get("traceEvents") if isinstance(doc, dict) else None
     if not isinstance(events, list):
-        return ["missing traceEvents array"]
+        return ["missing traceEvents array (and no metrics block)"]
 
     last_ts = {}  # (pid, tid) -> last seen ts
     async_open = {}  # (cat, id) -> open-begin depth
