@@ -1,0 +1,53 @@
+#include "analysis/analysis.h"
+
+#include <algorithm>
+
+namespace ipim {
+
+int
+ProgramAnalysis::segmentOf(u32 instIdx) const
+{
+    int seg = 0;
+    for (const auto &[idx, phase] : syncs) {
+        if (idx < instIdx)
+            ++seg;
+        else
+            break;
+    }
+    return seg;
+}
+
+ProgramAnalysis
+analyzeProgram(const HardwareConfig &hw,
+               const std::vector<Instruction> &prog, int chip,
+               int vaultInCube)
+{
+    ProgramAnalysis pa;
+    pa.cfg = std::make_unique<Cfg>(Cfg::build(prog));
+
+    CrfConstProp cp = runCrfConstProp(hw, *pa.cfg);
+    deriveTripCounts(hw, *pa.cfg, cp);
+
+    pa.ranges = ValueRanges::run(hw, *pa.cfg, chip, vaultInCube);
+    pa.extents = computeAccessExtents(hw, pa.ranges);
+
+    pa.segmentable = pa.cfg->targetsResolved();
+    for (int b = 0; b < pa.cfg->numBlocks(); ++b) {
+        const BasicBlock &bb = pa.cfg->block(b);
+        if (!bb.reachable)
+            continue;
+        for (u32 i = bb.first; i <= bb.last; ++i) {
+            const Instruction &inst = prog[i];
+            if (u8(inst.op) >= u8(Opcode::kNumOpcodes) ||
+                inst.op != Opcode::kSync)
+                continue;
+            pa.syncs.push_back({i, inst.phaseId});
+            if (pa.cfg->loopDepth(b) > 0)
+                pa.segmentable = false;
+        }
+    }
+    std::sort(pa.syncs.begin(), pa.syncs.end());
+    return pa;
+}
+
+} // namespace ipim

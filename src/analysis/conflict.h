@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Cross-vault / cross-cube memory conflict analysis.
+ *
+ * Vaults synchronize only at sync barriers (Sec. IV-D master/slave
+ * rendezvous); between two consecutive barriers every vault executes
+ * one "phase segment" concurrently with every other vault's
+ * same-numbered segment.  Two access paths escape the issue-time
+ * hazard scoreboard entirely:
+ *
+ *  - a req's remote bank read is serviced at the owner vault's memory
+ *    controller without consulting the owner core's scoreboard, so it
+ *    races any owner bank write in the same segment (V14 same cube,
+ *    V15 across the SERDES link);
+ *  - a req's response is written into the issuer's VSM directly on
+ *    arrival (Vault::deliver), and the scoreboard has no VSM
+ *    write-write rule, so overlapping staging writes with no ordering
+ *    VSM read in between are last-arrival-wins nondeterminism (V16).
+ *
+ * The analysis partitions each vault program into segments,
+ * symbolically intersects the access extents (ranges.h) across vaults
+ * per segment, and reports provable overlaps plus two structural
+ * preconditions: monotone sync phase ids (V17) and no self-targeted
+ * req (V18, which bypasses the issuer's own scoreboard).  Extents it
+ * cannot resolve are counted as unproved coverage, never reported —
+ * the output doubles as the static independence proof gating the
+ * parallel-PDES roadmap item.
+ */
+#ifndef IPIM_ANALYSIS_CONFLICT_H_
+#define IPIM_ANALYSIS_CONFLICT_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.h"
+
+namespace ipim {
+
+/** One conflict-analysis finding (mapped to rules V14-V18). */
+struct ConflictFinding
+{
+    enum class Kind : u8 {
+        kBankOverlap,    ///< V14 req remote read vs owner bank write
+        kSerdesOverlap,  ///< V15 same, across cubes
+        kStagingOverlap, ///< V16 unordered VSM staging write overlap
+        kSyncStructure,  ///< V17 non-monotone sync phase ids
+        kReqSelf,        ///< V18 req routed to the issuing vault
+    };
+
+    Kind kind;
+    int vault = -1;      ///< global vault of the anchoring instruction
+    int index = -1;      ///< instruction index in that vault program
+    int otherVault = -1; ///< peer vault for cross-vault findings
+    int otherIndex = -1; ///< peer instruction index
+    int segment = -1;    ///< sync-phase segment
+    std::string message;
+};
+
+/** Proof coverage counters for the independence summary. */
+struct IndependenceStats
+{
+    u64 pairsChecked = 0;   ///< access pairs examined
+    u64 provenDisjoint = 0; ///< pairs with disjoint known extents
+    u64 unproved = 0;       ///< pairs with an unknown extent
+    u64 segments = 0;       ///< sync-phase segments compared
+};
+
+/** Findings plus coverage for one device program. */
+struct ConflictReport
+{
+    std::vector<ConflictFinding> findings;
+    IndependenceStats stats;
+    /// False when segmentation failed somewhere (sync inside a loop or
+    /// unresolved branch targets); cross-vault checks were skipped.
+    bool complete = true;
+
+    bool
+    independent() const
+    {
+        return complete && findings.empty() && stats.unproved == 0;
+    }
+};
+
+/**
+ * Per-program structural check: V17 phase monotonicity over the
+ * reachable syncs.  @p vault only tags the findings.
+ */
+std::vector<ConflictFinding>
+checkSyncStructure(const ProgramAnalysis &pa, int vault = -1);
+
+/**
+ * All conflict checks that need no device context: V17 sync structure
+ * plus V16 staging-write overlap within the program.  Used by
+ * verifyProgram; verifyDevice uses analyzeDeviceConflicts instead
+ * (which subsumes these per vault).
+ */
+ConflictReport checkProgramConflicts(const ProgramAnalysis &pa,
+                                     int vault = -1);
+
+/**
+ * Full cross-vault analysis.  @p analyses is indexed by global vault
+ * (chip-major) and must come from analyzeProgram() with the matching
+ * chip/vault context; @p analyses[v] entries may be null for empty
+ * programs.  Assumes V10 (equal sync sequences) already holds — call
+ * only when it does.
+ */
+ConflictReport
+analyzeDeviceConflicts(const HardwareConfig &hw,
+                       const std::vector<const ProgramAnalysis *>
+                           &analyses);
+
+const char *conflictKindName(ConflictFinding::Kind k);
+
+} // namespace ipim
+
+#endif // IPIM_ANALYSIS_CONFLICT_H_

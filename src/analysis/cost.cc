@@ -1,0 +1,632 @@
+#include "analysis/cost.h"
+
+#include <algorithm>
+
+namespace ipim {
+
+namespace {
+
+// ---- Calibration constants ----
+//
+// Structural latencies come straight from UnitLatency/DramTiming; the
+// constants here cover effects the abstract replay cannot see.  They
+// were fitted against measured simulator cycles on the ten Table II
+// benchmarks (tests/test_analysis.cc holds the ±30% bound).
+
+/// Fraction of data-dependent (scatter/gather) bank accesses that miss
+/// the open row.  Sequential streams derive their miss rate from the
+/// geometry (one miss per row's worth of vectors); accesses whose
+/// address register is tainted by a mov_drf_arf are data-dependent and
+/// thrash the row buffer against the loop's other streams — measured
+/// row-hit rates drop from ~99% to ~74% on the histogram scatter.
+constexpr f64 kScatterMissRate = 1.0;
+
+/// Fixed rendezvous cost of a sync barrier beyond the mesh round trip
+/// (master bookkeeping, release broadcast fan-out).
+constexpr f64 kSyncBase = 14.0;
+
+/// Fixed per-request overhead of a req round trip beyond hop latency
+/// and the remote CAS (packet marshalling, MC queueing at the owner).
+constexpr f64 kReqBase = 8.0;
+
+bool
+validOp(const Instruction &inst)
+{
+    return u8(inst.op) < u8(Opcode::kNumOpcodes) &&
+           u8(inst.aluOp) < u8(AluOp::kNumAluOps);
+}
+
+/** SIMD-unit latency of a comp, mirroring Pe::compLatency. */
+f64
+compLatency(const UnitLatency &lat, AluOp op)
+{
+    switch (op) {
+      case AluOp::kAdd:
+      case AluOp::kSub:
+      case AluOp::kMin:
+      case AluOp::kMax:
+      case AluOp::kCvtF2I:
+      case AluOp::kCvtI2F: return f64(lat.addSub);
+      case AluOp::kMul: return f64(lat.mul);
+      case AluOp::kMac: return f64(lat.mac);
+      case AluOp::kDiv:
+      case AluOp::kMod: return f64(2 * lat.mul);
+      default: return f64(lat.logic);
+    }
+}
+
+/**
+ * Abstract pipeline timelines carried across basic blocks.  The hazard
+ * discipline mirrors sim/hazards.h: only true dependences wait for
+ * completion (RAW on registers, scratchpad read-after-write), WAR
+ * waits for operand capture, register RAR / scratchpad WAW do not
+ * conflict, and bank accesses never block issue — the per-PG memory
+ * controller preserves order and pipelines CAS commands, so the bank
+ * is a throughput resource (bankFree), not an issue scoreboard.
+ */
+struct PipeState
+{
+    f64 clock = 0; ///< earliest issue cycle of the next instruction
+    std::vector<f64> drf, arf, crf; ///< per-register write completions
+    std::vector<f64> drfCap, arfCap, crfCap; ///< per-register read
+                          ///< captures (WAR: a writer waits until the
+                          ///< in-flight reader has its operands)
+    f64 bankFree = 0;         ///< memory-controller occupancy horizon
+    f64 pgsmWrDone[2] = {0, 0}; ///< PGSM half A/B write completion
+    f64 pgsmRdDone[2] = {0, 0}; ///< PGSM half A/B read capture
+    f64 vsmWrDone = 0;   ///< VSM write completion (RAW for rd_vsm)
+    f64 vsmRdDone = 0;   ///< VSM read capture (WAR for wr_vsm)
+    f64 tsvFree = 0;     ///< next free TSV beat (instruction
+                         ///< broadcasts share it with VSM data)
+    f64 reqReady = 0;    ///< latest outstanding req response arrival
+    f64 lastDone = 0;    ///< drain horizon (max completion so far)
+    std::vector<f64> iiq; ///< in-order retirement ring of the last
+                          ///< instQueueDepth queue entries (structural
+                          ///< stall when the queue is full)
+    size_t iiqPos = 0;
+    f64 iiqPrefixDone = 0; ///< running max completion (in-order retire)
+    std::vector<f64> mcq;  ///< per-PG MC request-queue admission ring
+    size_t mcqPos = 0;
+
+    void
+    shift(f64 d)
+    {
+        clock += d;
+        for (std::vector<f64> *v :
+             {&drf, &arf, &crf, &drfCap, &arfCap, &crfCap, &iiq, &mcq})
+            for (f64 &t : *v)
+                t += d;
+        bankFree += d;
+        pgsmWrDone[0] += d;
+        pgsmWrDone[1] += d;
+        pgsmRdDone[0] += d;
+        pgsmRdDone[1] += d;
+        vsmWrDone += d;
+        vsmRdDone += d;
+        tsvFree += d;
+        reqReady += d;
+        lastDone += d;
+        iiqPrefixDone += d;
+    }
+};
+
+class CostSim
+{
+  public:
+    CostSim(const HardwareConfig &hw, const ProgramAnalysis &pa)
+        : hw_(hw), pa_(pa), cfg_(*pa.cfg)
+    {
+        st_.drf.assign(hw.dataRfEntries(), 0);
+        st_.arf.assign(hw.addrRfEntries(), 0);
+        st_.crf.assign(hw.ctrlRfEntries, 0);
+        st_.drfCap.assign(st_.drf.size(), 0);
+        st_.arfCap.assign(st_.arf.size(), 0);
+        st_.crfCap.assign(st_.crf.size(), 0);
+        st_.iiq.assign(std::max<u32>(1, hw.instQueueDepth), 0);
+        // Per-PG MC request queue, expressed in SIMB-instruction slots
+        // (each bank op contributes one request per PE of the PG).
+        st_.mcq.assign(
+            std::max<u32>(1, hw.dramReqQueueDepth /
+                                 std::max<u32>(1, hw.pesPerPg)),
+            0);
+        est_.blockCycles.assign(size_t(cfg_.numBlocks()), 0);
+        taintArf();
+    }
+
+    CostEstimate
+    run()
+    {
+        if (!cfg_.targetsResolved())
+            est_.complete = false;
+        std::vector<int> order;
+        for (int b = 0; b < cfg_.numBlocks(); ++b)
+            if (cfg_.block(b).reachable)
+                order.push_back(b);
+        simulateSeq(order, -1);
+        est_.cycles = std::max(st_.clock, st_.lastDone) *
+                      refreshFactor();
+        for (f64 &c : est_.blockCycles)
+            c *= refreshFactor();
+        for (f64 &c : est_.syncCycles)
+            c *= refreshFactor();
+        return est_;
+    }
+
+  private:
+    const HardwareConfig &hw_;
+    const ProgramAnalysis &pa_;
+    const Cfg &cfg_;
+    PipeState st_;
+    CostEstimate est_;
+
+    std::vector<bool> taintedArf_; ///< ARF regs holding data-derived
+                                   ///< (scatter/gather) addresses
+
+    /**
+     * Flow-insensitive taint: an ARF register written by mov_drf_arf
+     * holds a data-dependent value, and calc_arf propagates taint from
+     * its sources.  Bank accesses through a tainted register are
+     * scatter/gather traffic with data-dependent row behaviour.
+     */
+    void
+    taintArf()
+    {
+        taintedArf_.assign(std::max<size_t>(1, st_.arf.size()), false);
+        bool changed = true;
+        for (int pass = 0; changed && pass < 8; ++pass) {
+            changed = false;
+            for (const Instruction &inst : cfg_.prog()) {
+                u16 dst = inst.dst % u16(taintedArf_.size());
+                if (inst.op == Opcode::kMovDrfToArf &&
+                    !taintedArf_[dst]) {
+                    taintedArf_[dst] = true;
+                    changed = true;
+                } else if (inst.op == Opcode::kCalcArf) {
+                    bool src =
+                        taintedArf_[inst.src1 %
+                                    u16(taintedArf_.size())] ||
+                        (!inst.srcImm &&
+                         taintedArf_[inst.src2 %
+                                     u16(taintedArf_.size())]);
+                    if (src && !taintedArf_[dst]) {
+                        taintedArf_[dst] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /** Is this bank access's address data-dependent (scatter)? */
+    bool
+    scatterAccess(const Instruction &inst) const
+    {
+        return inst.dramAddr.indirect &&
+               taintedArf_[inst.dramAddr.value %
+                           u32(taintedArf_.size())];
+    }
+
+    f64
+    refreshFactor() const
+    {
+        // Per-bank refresh steals roughly tRFC out of every tREFI of
+        // bank availability.
+        return 1.0 + f64(hw_.timing.tRFC) / f64(hw_.timing.tREFI);
+    }
+
+    /** PEs executing a broadcast under @p mask. */
+    f64
+    activePes(u32 mask) const
+    {
+        u32 full = hw_.pesPerVault() >= 32
+                       ? ~0u
+                       : ((1u << hw_.pesPerVault()) - 1);
+        u32 m = mask & full;
+        f64 n = 0;
+        while (m != 0) {
+            m &= m - 1;
+            n += 1;
+        }
+        return n;
+    }
+
+    /**
+     * Simulate the blocks of one nesting context in program order,
+     * recursing into child loops at their headers.  @p loopIdx is the
+     * context (-1 = top level).  Returns per-block deltas.
+     */
+    void
+    simulateSeq(const std::vector<int> &blocks, int loopIdx)
+    {
+        for (size_t k = 0; k < blocks.size(); ++k) {
+            int b = blocks[k];
+            int inner = cfg_.innermostLoop(b);
+            if (inner != loopIdx) {
+                // Entering a child loop: find the outermost loop below
+                // this context whose header is b, simulate it whole,
+                // and skip its member blocks.
+                int child = inner;
+                while (child >= 0 &&
+                       cfg_.loops()[size_t(child)].parent != loopIdx)
+                    child = cfg_.loops()[size_t(child)].parent;
+                if (child < 0 ||
+                    cfg_.loops()[size_t(child)].header != b) {
+                    // Irregular structure (e.g. entering mid-loop):
+                    // fall back to straight-line accounting.
+                    simulateBlock(b, 1.0);
+                    continue;
+                }
+                simulateLoop(child);
+                const NaturalLoop &cl = cfg_.loops()[size_t(child)];
+                while (k + 1 < blocks.size() &&
+                       cl.contains(blocks[k + 1]))
+                    ++k;
+                continue;
+            }
+            simulateBlock(b, 1.0);
+        }
+    }
+
+    void
+    simulateLoop(int loopIdx)
+    {
+        const NaturalLoop &loop = cfg_.loops()[size_t(loopIdx)];
+        i64 trips = loop.tripCount;
+        if (trips < 1) {
+            trips = 1;
+            est_.complete = false;
+        }
+        std::vector<int> body;
+        for (int b : loop.blocks)
+            if (cfg_.block(b).reachable)
+                body.push_back(b);
+
+        // Cold iteration.
+        simulateSeq(body, loopIdx);
+        if (trips < 2)
+            return;
+
+        // Steady-state iteration, recorded per block so the remaining
+        // trips can be charged to the same blocks.
+        f64 before = st_.clock;
+        std::vector<f64> snap = est_.blockCycles;
+        u64 instsBefore = est_.dynamicInsts;
+        simulateSeq(body, loopIdx);
+        f64 iter = st_.clock - before;
+        f64 remaining = f64(trips - 2);
+        if (remaining <= 0)
+            return;
+        for (size_t i = 0; i < est_.blockCycles.size(); ++i)
+            est_.blockCycles[i] +=
+                (est_.blockCycles[i] - snap[i]) * remaining;
+        est_.dynamicInsts +=
+            u64(f64(est_.dynamicInsts - instsBefore) * remaining);
+        st_.shift(iter * remaining);
+    }
+
+    void
+    simulateBlock(int b, f64 scale)
+    {
+        const BasicBlock &bb = cfg_.block(b);
+        f64 before = st_.clock;
+        for (u32 i = bb.first; i <= bb.last; ++i)
+            issueInst(i);
+        est_.blockCycles[size_t(b)] += (st_.clock - before) * scale;
+        est_.dynamicInsts += u64(scale * f64(bb.last - bb.first + 1));
+    }
+
+    f64 &
+    regSlot(RegFile f, u16 idx)
+    {
+        static f64 scratch = 0;
+        switch (f) {
+          case RegFile::kDrf:
+            return idx < st_.drf.size() ? st_.drf[idx] : scratch;
+          case RegFile::kArf:
+            return idx < st_.arf.size() ? st_.arf[idx] : scratch;
+          default:
+            return idx < st_.crf.size() ? st_.crf[idx] : scratch;
+        }
+    }
+
+    f64 &
+    regCap(RegFile f, u16 idx)
+    {
+        static f64 scratch = 0;
+        switch (f) {
+          case RegFile::kDrf:
+            return idx < st_.drfCap.size() ? st_.drfCap[idx] : scratch;
+          case RegFile::kArf:
+            return idx < st_.arfCap.size() ? st_.arfCap[idx] : scratch;
+          default:
+            return idx < st_.crfCap.size() ? st_.crfCap[idx] : scratch;
+        }
+    }
+
+    /**
+     * Does @p op dispatch to the PEs as a SIMB broadcast?  Broadcast
+     * instructions enter the Issued Inst Queue and consume one TSV beat
+     * for instruction delivery (Vault::issueBroadcast); everything else
+     * executes instantly on the control core.
+     */
+    static bool
+    isBroadcast(Opcode op)
+    {
+        switch (op) {
+          case Opcode::kComp:
+          case Opcode::kCalcArf:
+          case Opcode::kMovDrfToArf:
+          case Opcode::kMovArfToDrf:
+          case Opcode::kReset:
+          case Opcode::kRdPgsm:
+          case Opcode::kWrPgsm:
+          case Opcode::kRdVsm:
+          case Opcode::kWrVsm:
+          case Opcode::kLdRf:
+          case Opcode::kStRf:
+          case Opcode::kLdPgsm:
+          case Opcode::kStPgsm: return true;
+          default: return false;
+        }
+    }
+
+    void
+    issueInst(u32 i)
+    {
+        const Instruction &inst = cfg_.prog()[i];
+        const UnitLatency &lat = hw_.latency;
+        const DramTiming &tim = hw_.timing;
+        if (!validOp(inst)) {
+            st_.clock += 1;
+            return;
+        }
+
+        AccessSet acc = inst.accessSet();
+        f64 issue = st_.clock;
+        // Register scoreboard, mirroring sim/hazards.h: a read waits
+        // for the last writer's completion (RAW), a write waits for the
+        // last in-flight reader's operand capture (WAR) — capture
+        // happens when the broadcast reaches the PEs, so a backed-up
+        // TSV turns anti-dependences into real stalls.  Register
+        // RAR / WAW never conflict.
+        for (int r = 0; r < acc.numReads; ++r)
+            issue = std::max(
+                issue, regSlot(acc.reads[r].file, acc.reads[r].idx));
+        for (int w = 0; w < acc.numWrites; ++w)
+            issue = std::max(
+                issue, regCap(acc.writes[w].file, acc.writes[w].idx));
+        // Scratchpad ordering: read-after-write waits for the write's
+        // completion, write-after-read for the read's capture;
+        // write-after-write is unordered, and bank accesses are
+        // excluded entirely (the MC preserves same-address order).
+        if ((acc.pgsmReadMask & 1) != 0)
+            issue = std::max(issue, st_.pgsmWrDone[0]);
+        if ((acc.pgsmReadMask & 2) != 0)
+            issue = std::max(issue, st_.pgsmWrDone[1]);
+        if ((acc.pgsmWriteMask & 1) != 0)
+            issue = std::max(issue, st_.pgsmRdDone[0]);
+        if ((acc.pgsmWriteMask & 2) != 0)
+            issue = std::max(issue, st_.pgsmRdDone[1]);
+        if (acc.readsVsm)
+            issue = std::max(issue,
+                             std::max(st_.vsmWrDone, st_.reqReady));
+        if (acc.writesVsm)
+            issue = std::max(issue, st_.vsmRdDone);
+        // Structural stall: the Issued Inst Queue holds at most
+        // instQueueDepth entries and retires strictly in order, so
+        // issue waits until the entry instQueueDepth back — and every
+        // older one — has completed.
+        issue = std::max(issue, st_.iiq[st_.iiqPos]);
+
+        // Broadcast instructions take one TSV beat to reach the PEs;
+        // the beat contends with VSM data transfers on the same TSV
+        // bundle, so heavy VSM traffic delays delivery (and therefore
+        // operand capture) of every instruction behind it.
+        bool bcast = isBroadcast(inst.op);
+        f64 peStart = issue;
+        if (bcast) {
+            f64 slot = std::max(issue, st_.tsvFree);
+            st_.tsvFree = slot + 1;
+            peStart = slot + f64(lat.tsv);
+        }
+        f64 capture = peStart; ///< when the PEs latch operands
+        f64 done = peStart + 1;
+        f64 pes = activePes(inst.simbMask);
+        switch (inst.op) {
+          case Opcode::kComp:
+            // The SIMD unit retires straight into the DRF
+            // (Pe::tryStart finishes at now + compLatency).
+            done = peStart + compLatency(lat, inst.aluOp);
+            break;
+          case Opcode::kCalcArf:
+            done = peStart + lat.intAlu + lat.addrRf;
+            break;
+          case Opcode::kRdPgsm:
+          case Opcode::kWrPgsm:
+            done = peStart + lat.peBus + lat.pgsm + lat.dataRf;
+            break;
+          case Opcode::kRdVsm:
+          case Opcode::kWrVsm: {
+            // One TSV data slot per executing PE, strictly serialized
+            // behind the instruction's own broadcast beat.
+            f64 beats = std::max(1.0, pes);
+            f64 slot = std::max(peStart, st_.tsvFree);
+            st_.tsvFree = slot + beats;
+            done = slot + beats - 1 + lat.tsv + lat.vsm + lat.dataRf;
+            break;
+          }
+          case Opcode::kMovDrfToArf:
+          case Opcode::kMovArfToDrf:
+            done = peStart + lat.dataRf + lat.addrRf;
+            break;
+          case Opcode::kReset:
+            done = peStart + lat.dataRf;
+            break;
+          case Opcode::kStRf:
+          case Opcode::kLdRf:
+          case Opcode::kStPgsm:
+          case Opcode::kLdPgsm: {
+            // Bank accesses queue at the per-PG MC, which issues one
+            // command per cycle on the PG bus to per-PE banks and
+            // preserves order.  A PE retries until the 16-entry queue
+            // admits its request (mcq ring), so operand capture — and
+            // with it WAR clearance — waits for admission.  Streaming
+            // occupancy is the larger of the bus slots (one per active
+            // PE of the PG) and the per-bank tCCD; a row miss closes
+            // the row and holds the bank through PRE, ACT and the CAS
+            // data return.  Sequential streams miss once per row's
+            // worth of vectors, data-dependent scatters on nearly
+            // every access.
+            bool isWrite = inst.op == Opcode::kStRf ||
+                           inst.op == Opcode::kStPgsm;
+            f64 perPg = std::max(
+                1.0, std::min(pes, f64(hw_.pesPerPg)));
+            f64 seqMiss = f64(kVectorBytes) / f64(hw_.dramRowBytes);
+            f64 miss = scatterAccess(inst) ? kScatterMissRate : seqMiss;
+            f64 occupancy =
+                std::max(perPg, f64(tim.tCCD)) +
+                miss * f64(tim.tRP + tim.tRCD + tim.tCL);
+            f64 admit = std::max(peStart, st_.mcq[st_.mcqPos]);
+            capture = admit;
+            f64 start = std::max(admit, st_.bankFree);
+            st_.bankFree = start + occupancy;
+            st_.mcq[st_.mcqPos] = start + occupancy;
+            st_.mcqPos = (st_.mcqPos + 1) % st_.mcq.size();
+            done = start + occupancy +
+                   (isWrite ? 1.0 : f64(tim.tCL)) +
+                   (inst.op == Opcode::kStPgsm ||
+                            inst.op == Opcode::kLdPgsm
+                        ? f64(lat.pgsm)
+                        : f64(lat.dataRf));
+            break;
+          }
+          case Opcode::kReq: {
+            // Round trip: mesh out, remote CAS, mesh back; SERDES hops
+            // are modelled as free next to NoC hops (UnitLatency).
+            f64 hops =
+                f64(hw_.meshRows() + hw_.meshCols) * f64(lat.nocHop);
+            f64 rt = 2 * hops + f64(tim.tRCD + tim.tCL) + kReqBase;
+            st_.reqReady = std::max(st_.reqReady, issue + 1 + rt);
+            done = issue + 1;
+            break;
+          }
+          case Opcode::kSetiVsm:
+            // Core-side immediate store into the VSM.
+            done = issue + 1;
+            break;
+          case Opcode::kJump:
+            done = issue;
+            st_.clock = issue + 1 + lat.branch;
+            break;
+          case Opcode::kCjump:
+            // Assume taken: right for every loop latch except the
+            // final iteration.
+            done = issue;
+            st_.clock = issue + 1 + lat.branch;
+            break;
+          case Opcode::kSync: {
+            // Drain fence plus the master/slave mesh rendezvous.
+            f64 hops =
+                f64(hw_.meshRows() + hw_.meshCols) * f64(lat.nocHop);
+            f64 start = std::max(issue, st_.lastDone);
+            start = std::max(start, st_.reqReady);
+            done = start + 2 * hops + kSyncBase;
+            st_.clock = done;
+            est_.syncCycles.push_back(done);
+            break;
+          }
+          case Opcode::kHalt:
+            done = std::max(issue, st_.lastDone) + 1;
+            done = std::max(done, st_.reqReady);
+            st_.clock = done;
+            break;
+          default: // seti_crf, calc_crf, nop: instant on the core
+            done = issue;
+            break;
+        }
+
+        if (inst.op != Opcode::kJump && inst.op != Opcode::kCjump &&
+            inst.op != Opcode::kSync && inst.op != Opcode::kHalt)
+            st_.clock = issue + 1;
+
+        for (int w = 0; w < acc.numWrites; ++w)
+            regSlot(acc.writes[w].file, acc.writes[w].idx) = std::max(
+                regSlot(acc.writes[w].file, acc.writes[w].idx), done);
+        for (int r = 0; r < acc.numReads; ++r)
+            regCap(acc.reads[r].file, acc.reads[r].idx) = std::max(
+                regCap(acc.reads[r].file, acc.reads[r].idx), capture);
+        if ((acc.pgsmWriteMask & 1) != 0)
+            st_.pgsmWrDone[0] = std::max(st_.pgsmWrDone[0], done);
+        if ((acc.pgsmWriteMask & 2) != 0)
+            st_.pgsmWrDone[1] = std::max(st_.pgsmWrDone[1], done);
+        if ((acc.pgsmReadMask & 1) != 0)
+            st_.pgsmRdDone[0] = std::max(st_.pgsmRdDone[0], capture);
+        if ((acc.pgsmReadMask & 2) != 0)
+            st_.pgsmRdDone[1] = std::max(st_.pgsmRdDone[1], capture);
+        if (acc.writesVsm)
+            st_.vsmWrDone = std::max(st_.vsmWrDone, done);
+        if (acc.readsVsm)
+            st_.vsmRdDone = std::max(st_.vsmRdDone, capture);
+        st_.lastDone = std::max(st_.lastDone, done);
+        // In-order retirement: an entry frees its queue slot only once
+        // everything older has also completed.
+        if (bcast || inst.op == Opcode::kReq) {
+            st_.iiqPrefixDone = std::max(st_.iiqPrefixDone, done);
+            st_.iiq[st_.iiqPos] = st_.iiqPrefixDone;
+            st_.iiqPos = (st_.iiqPos + 1) % st_.iiq.size();
+        }
+    }
+};
+
+} // namespace
+
+CostEstimate
+estimateProgramCost(const HardwareConfig &hw, const ProgramAnalysis &pa)
+{
+    return CostSim(hw, pa).run();
+}
+
+f64
+estimateKernelCycles(
+    const HardwareConfig &hw,
+    const std::vector<std::vector<Instruction>> &perVault)
+{
+    std::vector<CostEstimate> ests;
+    u32 vaultsPerCube = hw.vaultsPerCube;
+    for (size_t v = 0; v < perVault.size(); ++v) {
+        if (perVault[v].empty())
+            continue;
+        ProgramAnalysis pa =
+            analyzeProgram(hw, perVault[v], int(v / vaultsPerCube),
+                           int(v % vaultsPerCube));
+        ests.push_back(estimateProgramCost(hw, pa));
+    }
+    if (ests.empty())
+        return 0;
+    f64 worst = 0;
+    bool aligned = true;
+    for (const CostEstimate &e : ests) {
+        worst = std::max(worst, e.cycles);
+        aligned = aligned &&
+                  e.syncCycles.size() == ests[0].syncCycles.size();
+    }
+    if (!aligned || ests[0].syncCycles.empty())
+        return worst;
+    // Barrier skew: between consecutive syncs every vault waits for
+    // the slowest one, so the kernel cost is the sum of the per-phase
+    // maxima rather than the maximum of the per-vault totals.
+    f64 total = 0;
+    size_t phases = ests[0].syncCycles.size();
+    for (size_t p = 0; p <= phases; ++p) {
+        f64 phase = 0;
+        for (const CostEstimate &e : ests) {
+            f64 end = p < phases ? e.syncCycles[p] : e.cycles;
+            f64 begin = p > 0 ? e.syncCycles[p - 1] : 0;
+            phase = std::max(phase, end - begin);
+        }
+        total += phase;
+    }
+    return std::max(worst, total);
+}
+
+} // namespace ipim

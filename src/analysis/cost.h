@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Static per-basic-block cost model for SIMB vault programs.
+ *
+ * The model replays the control core's issue discipline abstractly: one
+ * instruction per cycle, a boolean scoreboard over registers and
+ * scratchpad spaces (an accessor waits for the previous conflicting
+ * in-flight instruction to complete), TSV-slot serialization for VSM
+ * traffic, memory-controller serialization for bank traffic, branch
+ * bubbles on taken transfers, and drain fences at sync/halt.  Loop
+ * bodies are simulated twice — a cold first iteration plus one
+ * steady-state iteration — and the steady iteration is scaled by the
+ * remaining trip count derived from CRF constant propagation
+ * (deriveTripCounts), so register/unit timelines stay consistent
+ * without unrolling.
+ *
+ * Cross-validated against measured simulator cycles in
+ * tests/test_analysis.cc (the ±30% acceptance bound) and consumed by
+ * the serving layer's shortest-job-first scheduler as the uncalibrated
+ * estimate (CachedProgram::estimate).
+ */
+#ifndef IPIM_ANALYSIS_COST_H_
+#define IPIM_ANALYSIS_COST_H_
+
+#include <vector>
+
+#include "analysis/analysis.h"
+
+namespace ipim {
+
+/** Static cost estimate for one vault program. */
+struct CostEstimate
+{
+    /// Estimated execution cycles of the whole program.
+    f64 cycles = 0;
+    /// Estimated dynamic instruction count (loop-scaled).
+    u64 dynamicInsts = 0;
+    /// False when an unknown loop trip count (or unresolved branch
+    /// target) forced a one-iteration assumption: the estimate is then
+    /// a lower bound, not a prediction.
+    bool complete = true;
+    /// Total cycle contribution per basic block (indexed by block id;
+    /// loop blocks already include their trip-count scaling).
+    std::vector<f64> blockCycles;
+    /// Cumulative cycle stamp at each simulated sync barrier, in issue
+    /// order.  Lets the kernel-level estimate align barrier phases
+    /// across vaults and sum the per-phase maxima (barrier skew: a
+    /// vault that finishes a phase early waits for the slowest one).
+    std::vector<f64> syncCycles;
+};
+
+/**
+ * Estimate execution cycles of the analyzed program @p pa on geometry
+ * @p hw.
+ */
+CostEstimate estimateProgramCost(const HardwareConfig &hw,
+                                 const ProgramAnalysis &pa);
+
+/**
+ * Kernel-level estimate: vaults run concurrently between barriers (V10
+ * guarantees aligned barrier sequences), so the kernel cost is the sum
+ * over barrier phases of the slowest vault's phase cost.  Falls back to
+ * the slowest whole-vault program when the per-vault sync counts do not
+ * line up.  Runs the per-program analysis pipeline internally.
+ */
+f64 estimateKernelCycles(
+    const HardwareConfig &hw,
+    const std::vector<std::vector<Instruction>> &perVault);
+
+} // namespace ipim
+
+#endif // IPIM_ANALYSIS_COST_H_

@@ -4,6 +4,8 @@
 #include <functional>
 #include <numeric>
 
+#include "analysis/analysis.h"
+#include "analysis/conflict.h"
 #include "common/logging.h"
 #include "compiler/codegen_internal.h"
 #include "verify/verifier.h"
@@ -1743,6 +1745,35 @@ compilePipeline(const PipelineDef &def, const HardwareConfig &cfg,
             if (!rep.pass())
                 fatal("kernel '", k.stage, "' failed verification (",
                       rep.errorCount(), " errors):\n", rep.toString());
+        }
+    }
+
+    // Opt-in conflict gate: prove the per-vault programs touch
+    // disjoint memory between barriers (V14-V18) before the simulator
+    // runs them concurrently.
+    if (opts.analyze) {
+        for (const CompiledKernel &k : out.kernels) {
+            std::vector<ProgramAnalysis> pas;
+            pas.reserve(k.perVault.size());
+            std::vector<const ProgramAnalysis *> ptrs;
+            for (size_t v = 0; v < k.perVault.size(); ++v) {
+                pas.push_back(analyzeProgram(
+                    cfg, k.perVault[v], int(v / cfg.vaultsPerCube),
+                    int(v % cfg.vaultsPerCube)));
+                ptrs.push_back(&pas.back());
+            }
+            ConflictReport rep = analyzeDeviceConflicts(cfg, ptrs);
+            if (!rep.findings.empty()) {
+                std::string msgs;
+                for (const ConflictFinding &f : rep.findings) {
+                    msgs += conflictKindName(f.kind);
+                    msgs += ": ";
+                    msgs += f.message;
+                    msgs += '\n';
+                }
+                fatal("kernel '", k.stage, "' failed conflict analysis "
+                      "(", rep.findings.size(), " findings):\n", msgs);
+            }
         }
     }
     return out;

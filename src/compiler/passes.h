@@ -33,11 +33,25 @@ struct CompilerOptions
     /// and reject programs with errors before they reach the simulator.
     bool verify = false;
 
+    /// Run the cross-vault conflict analysis (src/analysis) over every
+    /// compiled kernel and reject programs with provable memory
+    /// conflicts (V14-V18).  Strictly stronger than `verify` for the
+    /// conflict rules; independent of it otherwise.
+    bool analyze = false;
+
     CompilerOptions
     withVerify() const
     {
         CompilerOptions o = *this;
         o.verify = true;
+        return o;
+    }
+
+    CompilerOptions
+    withAnalyze() const
+    {
+        CompilerOptions o = *this;
+        o.analyze = true;
         return o;
     }
 
@@ -55,8 +69,8 @@ struct CompilerOptions
         k += reorder ? '1' : '0';
         k += ";memorder=";
         k += memOrder ? '1' : '0';
-        // `verify` is deliberately excluded: it gates compilation but
-        // does not change the emitted program.
+        // `verify` and `analyze` are deliberately excluded: they gate
+        // compilation but do not change the emitted program.
         return k;
     }
 

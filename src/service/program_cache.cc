@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "analysis/cost.h"
+
 namespace ipim {
 
 namespace {
@@ -39,6 +41,8 @@ CachedProgram::estimate() const
 {
     if (calibrated)
         return measuredCycles;
+    if (staticCycles > 0)
+        return staticCycles;
     u64 vaults = u64(compiled.cfg.cubes) * compiled.cfg.vaultsPerCube;
     u64 perVault = compiled.totalInstructions() / std::max<u64>(1, vaults);
     return std::max<Cycle>(1, perVault * kUncalibratedCpi);
@@ -80,6 +84,13 @@ ProgramCache::get(const std::string &pipeline, int width, int height,
     }
     CachedProgram entry;
     entry.compiled = compilePipeline(makeDef(), cfg, opts);
+    // Static cost-model prediction for SJF ordering before the first
+    // measurement; kernels run back-to-back, so the pipeline estimate
+    // is the sum of the per-kernel estimates.
+    f64 predicted = 0;
+    for (const CompiledKernel &k : entry.compiled.kernels)
+        predicted += estimateKernelCycles(cfg, k.perVault);
+    entry.staticCycles = Cycle(predicted);
     ++compiles_;
     if (stats_) {
         stats_->inc("serve.cache.miss");

@@ -32,11 +32,17 @@ struct CachedProgram
     Cycle measuredCycles = 0; ///< first measured execution
     bool calibrated = false;
     u64 hits = 0;
+    /// Static cost-model prediction (src/analysis/cost.h), summed over
+    /// the pipeline's kernels; 0 when the model could not be run.
+    /// Computed once at compile time by ProgramCache::get().
+    Cycle staticCycles = 0;
 
     /**
      * Execution-cycle estimate for scheduling.  Uncalibrated entries
-     * fall back to static-instructions-per-vault times a nominal CPI;
-     * only the relative order between pipelines matters there.
+     * use the static cost model's prediction (falling back to
+     * static-instructions-per-vault times a nominal CPI when the model
+     * produced nothing); after the first execution the measured cycle
+     * count replaces it.
      */
     Cycle estimate() const;
 

@@ -24,6 +24,11 @@ ruleName(Rule r)
       case Rule::kReadBeforeWrite: return "read-before-write";
       case Rule::kDeadWrite: return "dead-write";
       case Rule::kEncoding: return "encoding";
+      case Rule::kConflictBank: return "conflict-bank";
+      case Rule::kConflictSerdes: return "conflict-serdes";
+      case Rule::kConflictStaging: return "conflict-staging";
+      case Rule::kSyncStructure: return "sync-structure";
+      case Rule::kReqSelf: return "req-self";
       default: panic("ruleName: bad rule ", int(r));
     }
 }

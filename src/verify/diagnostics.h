@@ -2,7 +2,7 @@
  * @file
  * Structured diagnostics for the SIMB static verifier.
  *
- * Every finding carries a stable rule id (documented in DESIGN.md Sec. 14
+ * Every finding carries a stable rule id (documented in DESIGN.md Sec. 10
  * with its paper justification), a severity, and the instruction it
  * anchors to, so that callers — the `ipim verify` subcommand, the
  * compile-time hook, tests — can filter, count, and render findings
@@ -27,7 +27,7 @@ enum class Severity : u8 {
 
 /**
  * Stable verifier rule identifiers.  The numeric part of the printed id
- * ("V01".."V13") is the enum value + 1 and must never be reordered —
+ * ("V01".."V18") is the enum value + 1 and must never be reordered —
  * suppressions and docs reference it.
  */
 enum class Rule : u8 {
@@ -44,6 +44,11 @@ enum class Rule : u8 {
     kReadBeforeWrite, ///< V11 DRF/ARF/CRF read with no prior write
     kDeadWrite,       ///< V12 register write overwritten before any read
     kEncoding,        ///< V13 encode/decode round-trip mismatch
+    kConflictBank,    ///< V14 req remote read overlaps owner bank write
+    kConflictSerdes,  ///< V15 same overlap across the SERDES link
+    kConflictStaging, ///< V16 unordered VSM staging-write overlap
+    kSyncStructure,   ///< V17 adjacent syncs share a phase id
+    kReqSelf,         ///< V18 req routed to the issuing vault itself
 
     kNumRules,
 };

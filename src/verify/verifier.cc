@@ -2,21 +2,18 @@
 
 #include <algorithm>
 #include <bit>
-#include <map>
 #include <set>
 #include <sstream>
 
+#include "analysis/analysis.h"
+#include "analysis/conflict.h"
+#include "analysis/dataflow.h"
 #include "common/logging.h"
 #include "isa/encoding.h"
 
 namespace ipim {
 
 namespace {
-
-/// AddrRF entries 0..3 are the reserved identity registers (PE/PG/vault/
-/// chip id, see IdentityArf in sim/pe.h); the hardware initializes them
-/// at reset, so dataflow passes treat them as always-written.
-constexpr u16 kIdentityArfs = 4;
 
 /** Shared state of one program's verification run. */
 struct Ctx
@@ -33,8 +30,12 @@ struct Ctx
     std::vector<AccessSet> access; ///< access sets of valid instructions
 
     /// [begin, end] index ranges covered by a statically known backward
-    /// branch; dataflow lints are conservative inside them.
+    /// branch; the sync-placement check is conservative inside them.
     std::vector<std::pair<size_t, size_t>> loopSpans;
+
+    /// CFG over the program; built after checkOpcodes, shared by the
+    /// control-flow, dataflow, and conflict passes.
+    const Cfg *graph = nullptr;
 
     u32
     validSimbMask() const
@@ -108,6 +109,29 @@ checkOpcodes(Ctx &c)
             c.error(Rule::kEncoding, int(i),
                     cat("alu-op byte ", int(u8(inst.aluOp)),
                         " is outside the ISA: ", opcodeName(inst.op)));
+            c.valid[i] = false;
+            continue;
+        }
+        // ALU-op/unit validity, mirroring the dispatch in isa/alu.cc:
+        // the f32 SIMD path has no modulo, and the scalar index units
+        // (calc_arf/calc_crf) have neither mac nor the conversions.
+        // The simulator panics/faults on these, so acceptance must
+        // reject them statically.
+        if (inst.op == Opcode::kComp && inst.dtype == DType::kF32 &&
+            inst.aluOp == AluOp::kMod) {
+            c.error(Rule::kEncoding, int(i),
+                    "mod has no f32 SIMD implementation; use dtype i32");
+            c.valid[i] = false;
+            continue;
+        }
+        if ((inst.op == Opcode::kCalcArf ||
+             inst.op == Opcode::kCalcCrf) &&
+            (inst.aluOp == AluOp::kMac ||
+             inst.aluOp == AluOp::kCvtF2I ||
+             inst.aluOp == AluOp::kCvtI2F)) {
+            c.error(Rule::kEncoding, int(i),
+                    cat(aluOpName(inst.aluOp),
+                        " is only valid as a comp (SIMD) operation"));
             c.valid[i] = false;
             continue;
         }
@@ -419,71 +443,56 @@ checkControlFlow(Ctx &c)
     }
 
     // V08: every branch-target register must have a reaching definition,
-    // and a statically known one must land inside the program.  The
-    // known edges also feed loop-span detection (for the dataflow
-    // lints) and the halt-reachability walk below.
+    // and a statically known one must land inside the program.  The CFG
+    // (Cfg::build) resolves the same reaching definitions to construct
+    // its edges; this pass only attributes the error cases.
     bool dynamicJump = false;
-    std::vector<std::vector<size_t>> succs(c.prog.size());
     for (size_t i = 0; i < c.prog.size(); ++i) {
         if (!c.valid[i])
             continue;
         const Instruction &inst = c.prog[i];
-        bool fallsThrough = true;
-        if (inst.op == Opcode::kJump || inst.op == Opcode::kCjump) {
-            fallsThrough = inst.op == Opcode::kCjump;
-            ReachingDef def = reachingCrfDef(c, i, inst.dst);
-            if (def.index < 0) {
-                c.error(Rule::kBranchTarget, int(i),
-                        cat("branch target register c", inst.dst,
-                            " has no seti_crf/calc_crf before it (the "
-                            "core would jump to the reset value 0): ",
-                            inst.toString()));
-            } else if (def.dynamic) {
-                dynamicJump = true;
-            } else if (def.value < 0 ||
-                       u32(def.value) >= c.prog.size()) {
-                c.error(Rule::kBranchTarget, int(i),
-                        cat("branch target ", def.value, " (set at inst ",
-                            def.index, ") lands outside the ",
-                            c.prog.size(), "-instruction program: ",
-                            inst.toString()));
-            } else {
-                size_t tgt = size_t(def.value);
-                succs[i].push_back(tgt);
-                if (tgt <= i)
-                    c.loopSpans.push_back({tgt, i});
-            }
-        } else if (inst.op == Opcode::kHalt) {
-            fallsThrough = false;
+        if (inst.op != Opcode::kJump && inst.op != Opcode::kCjump)
+            continue;
+        ReachingDef def = reachingCrfDef(c, i, inst.dst);
+        if (def.index < 0) {
+            c.error(Rule::kBranchTarget, int(i),
+                    cat("branch target register c", inst.dst,
+                        " has no seti_crf/calc_crf before it (the "
+                        "core would jump to the reset value 0): ",
+                        inst.toString()));
+        } else if (def.dynamic) {
+            dynamicJump = true;
+        } else if (def.value < 0 || u32(def.value) >= c.prog.size()) {
+            c.error(Rule::kBranchTarget, int(i),
+                    cat("branch target ", def.value, " (set at inst ",
+                        def.index, ") lands outside the ",
+                        c.prog.size(), "-instruction program: ",
+                        inst.toString()));
+        } else if (u32(def.value) <= i) {
+            c.loopSpans.push_back({size_t(def.value), i});
         }
-        if (fallsThrough && i + 1 < c.prog.size())
-            succs[i].push_back(i + 1);
     }
 
     // V09: some halt must be reachable from entry; with a dynamic jump
     // target reachability is unknowable statically, so stay quiet.
-    if (dynamicJump)
+    // Block reachability comes straight from the CFG.
+    if (dynamicJump || c.graph == nullptr)
         return;
-    std::vector<bool> seen(c.prog.size(), false);
-    std::vector<size_t> stack{0};
+    const Cfg &g = *c.graph;
+    auto reachable = [&](size_t i) {
+        return g.block(g.blockOf(u32(i))).reachable;
+    };
     bool haltReachable = false;
-    while (!stack.empty()) {
-        size_t i = stack.back();
-        stack.pop_back();
-        if (seen[i])
-            continue;
-        seen[i] = true;
-        if (c.valid[i] && c.prog[i].op == Opcode::kHalt)
+    for (size_t i = 0; i < c.prog.size(); ++i)
+        if (c.valid[i] && c.prog[i].op == Opcode::kHalt &&
+            reachable(i))
             haltReachable = true;
-        for (size_t s : succs[i])
-            stack.push_back(s);
-    }
     if (!haltReachable)
         c.error(Rule::kHalt, -1,
                 str("no halt is reachable from the program entry"));
     int unreachable = 0;
     for (size_t i = 0; i < c.prog.size(); ++i) {
-        if (seen[i] || !c.valid[i])
+        if (reachable(i) || !c.valid[i])
             continue;
         if (++unreachable <= 3)
             c.warning(Rule::kHalt, int(i),
@@ -512,20 +521,24 @@ isZeroIdiom(const Instruction &inst)
            !inst.srcImm && inst.src1 == inst.src2;
 }
 
+/**
+ * V11 via the forward must-written dataflow (WrittenBeforeAnalysis):
+ * a read warns when some executing PE has no write of the register on
+ * *some* path from entry — which catches hazards that exist on only
+ * one branch arm, where the old linear scan saw the other arm's write.
+ * V12 via backward may-read liveness (MayReadAnalysis): a write is dead
+ * when no PE can read it before it is overwritten on every path; the
+ * all-live exit boundary keeps final writes unflagged, and the loop
+ * fixpoint makes loop-carried reads count (so no blanket loop
+ * exemption is needed any more).
+ */
 void
 checkDataflow(Ctx &c)
 {
-    struct RegState
-    {
-        u32 writtenPes = 0; ///< PEs that have written (CRF: bit 0)
-        int lastWrite = -1;
-        u32 lastWriteMask = 0;
-        bool readSinceWrite = false;
-    };
-    std::map<std::pair<u8, u16>, RegState> regs;
-    auto key = [](const RegRef &r) {
-        return std::pair<u8, u16>(u8(r.file), r.idx);
-    };
+    if (c.graph == nullptr)
+        return;
+    const Cfg &g = *c.graph;
+
     // The register allocator re-issues identical spill reloads before
     // every use cluster, so one redundant-reload pattern can repeat
     // thousands of times in a big kernel.  Report the first few sites
@@ -533,71 +546,94 @@ checkDataflow(Ctx &c)
     constexpr int kDeadWriteCap = 5;
     int deadWrites = 0;
 
-    // Identity AddrRF registers are hardware-initialized at reset.
-    for (u16 a = 0; a < kIdentityArfs; ++a) {
-        RegState &s = regs[{u8(RegFile::kArf), a}];
-        s.writtenPes = c.validSimbMask();
-        s.readSinceWrite = true; // never report them as dead
-    }
+    WrittenBeforeAnalysis wb(c.cfg, g);
+    std::vector<std::vector<u32>> wbIn = solveDataflow(g, wb);
+    MayReadAnalysis mr(c.cfg, g);
+    std::vector<std::vector<u32>> mrOut = solveDataflow(g, mr);
 
-    for (size_t i = 0; i < c.prog.size(); ++i) {
-        if (!c.valid[i])
+    // One V11 report per (register, PE) — a first-read is diagnosed
+    // once even when later blocks read the register again.
+    std::vector<u32> reported(wb.regs.size(), 0);
+
+    for (int b = 0; b < g.numBlocks(); ++b) {
+        const BasicBlock &bb = g.block(b);
+        if (!bb.reachable)
             continue;
-        const Instruction &inst = c.prog[i];
-        const AccessSet &acc = c.access[i];
-        u32 execMask = isBroadcast(inst.op)
-                           ? (inst.simbMask & c.validSimbMask())
-                           : 1u;
 
-        for (u8 r = 0; r < acc.numReads; ++r) {
-            const RegRef &ref = acc.reads[r];
-            // Branch-target reads are V08's job and the zero-idiom's
-            // sources carry no value, so neither should trip the
-            // read-before-write lint — but both are still *reads*, and
-            // must mark the defining write live or V12 misreports it.
-            bool lintable = true;
-            if (inst.op == Opcode::kJump)
-                lintable = false;
-            if (inst.op == Opcode::kCjump && ref.idx == inst.dst &&
-                inst.dst != inst.src1)
-                lintable = false;
-            if (isZeroIdiom(inst) && ref.idx == inst.src1)
-                lintable = false;
-            RegState &s = regs[key(ref)];
-            u32 readMask = ref.file == RegFile::kCrf ? 1u : execMask;
-            u32 missing = readMask & ~s.writtenPes;
-            if (lintable && missing != 0 &&
-                c.opts.isEnabled(Rule::kReadBeforeWrite))
-                c.warning(Rule::kReadBeforeWrite, int(i),
-                          cat("reads ", regFileName(ref.file), " ",
-                              ref.idx, " before any write",
-                              ref.file == RegFile::kCrf
-                                  ? std::string()
-                                  : cat(" on PE mask 0x", std::hex,
-                                        missing, std::dec),
-                              " (holds the reset value 0): ",
-                              inst.toString()));
-            s.writtenPes |= readMask; // report each first-read once
-            s.readSinceWrite = true;
+        // Per-instruction liveness-after, from the block's exit state.
+        std::vector<std::vector<u32>> liveAfter(bb.last - bb.first + 1);
+        {
+            std::vector<u32> st = mrOut[size_t(b)];
+            for (u32 i = bb.last + 1; i-- > bb.first;) {
+                liveAfter[i - bb.first] = st;
+                mr.transfer(st, i);
+            }
         }
 
-        for (u8 w = 0; w < acc.numWrites; ++w) {
-            const RegRef &ref = acc.writes[w];
-            RegState &s = regs[key(ref)];
-            u32 writeMask = ref.file == RegFile::kCrf ? 1u : execMask;
-            if (s.lastWrite >= 0 && !s.readSinceWrite &&
-                (s.lastWriteMask & ~writeMask) == 0 &&
-                !c.inLoop(size_t(s.lastWrite)) && !c.inLoop(i) &&
-                ++deadWrites <= kDeadWriteCap)
-                c.warning(Rule::kDeadWrite, s.lastWrite,
-                          cat("write to ", regFileName(ref.file), " ",
-                              ref.idx, " is overwritten at inst ", i,
-                              " with no read in between: ",
-                              c.prog[s.lastWrite].toString()));
-            s.lastWrite = int(i);
-            s.lastWriteMask = writeMask;
-            s.writtenPes |= writeMask;
-            s.readSinceWrite = false;
+        std::vector<u32> written = wbIn[size_t(b)];
+        for (u32 i = bb.first; i <= bb.last; ++i) {
+            if (!c.valid[i]) {
+                continue;
+            }
+            const Instruction &inst = c.prog[i];
+            const AccessSet &acc = c.access[i];
+            u32 execMask = isBroadcast(inst.op)
+                               ? (inst.simbMask & c.validSimbMask())
+                               : 1u;
+
+            for (u8 r = 0; r < acc.numReads; ++r) {
+                const RegRef &ref = acc.reads[r];
+                // Branch-target reads are V08's job and the
+                // zero-idiom's sources carry no value, so neither
+                // trips the read-before-write lint.
+                bool lintable = true;
+                if (inst.op == Opcode::kJump)
+                    lintable = false;
+                if (inst.op == Opcode::kCjump && ref.idx == inst.dst &&
+                    inst.dst != inst.src1)
+                    lintable = false;
+                if (isZeroIdiom(inst) && ref.idx == inst.src1)
+                    lintable = false;
+                size_t k = wb.regs.index(ref.file, ref.idx);
+                if (k >= wb.regs.size())
+                    continue; // out-of-bounds register: V01's problem
+                u32 readMask =
+                    ref.file == RegFile::kCrf ? 1u : execMask;
+                u32 missing = readMask & ~written[k] & ~reported[k];
+                if (lintable && missing != 0)
+                    c.warning(Rule::kReadBeforeWrite, int(i),
+                              cat("reads ", regFileName(ref.file), " ",
+                                  ref.idx, " before any write",
+                                  ref.file == RegFile::kCrf
+                                      ? std::string()
+                                      : cat(" on PE mask 0x", std::hex,
+                                            missing, std::dec),
+                                  " (holds the reset value 0): ",
+                                  inst.toString()));
+                reported[k] |= readMask;
+            }
+
+            for (u8 w = 0; w < acc.numWrites; ++w) {
+                const RegRef &ref = acc.writes[w];
+                size_t k = mr.regs.index(ref.file, ref.idx);
+                if (k >= mr.regs.size())
+                    continue;
+                u32 writeMask =
+                    ref.file == RegFile::kCrf ? 1u : execMask;
+                if (writeMask == 0)
+                    continue; // empty simb_mask: V05's problem
+                if ((liveAfter[i - bb.first][k] & writeMask) != 0)
+                    continue;
+                if (++deadWrites <= kDeadWriteCap)
+                    c.warning(Rule::kDeadWrite, int(i),
+                              cat("write to ", regFileName(ref.file),
+                                  " ", ref.idx,
+                                  " is overwritten on every path "
+                                  "before any read: ",
+                                  inst.toString()));
+            }
+
+            wb.transfer(written, i);
         }
     }
     if (deadWrites > kDeadWriteCap)
@@ -651,16 +687,63 @@ checkSyncPlacement(Ctx &c)
     }
 }
 
-} // namespace
+/** Map a conflict-analysis finding kind to its verifier rule. */
+Rule
+conflictRule(ConflictFinding::Kind k)
+{
+    switch (k) {
+      case ConflictFinding::Kind::kBankOverlap:
+        return Rule::kConflictBank;
+      case ConflictFinding::Kind::kSerdesOverlap:
+        return Rule::kConflictSerdes;
+      case ConflictFinding::Kind::kStagingOverlap:
+        return Rule::kConflictStaging;
+      case ConflictFinding::Kind::kSyncStructure:
+        return Rule::kSyncStructure;
+      case ConflictFinding::Kind::kReqSelf:
+      default: return Rule::kReqSelf;
+    }
+}
 
+bool
+anyConflictRuleEnabled(const VerifierOptions &opts)
+{
+    return opts.isEnabled(Rule::kConflictBank) ||
+           opts.isEnabled(Rule::kConflictSerdes) ||
+           opts.isEnabled(Rule::kConflictStaging) ||
+           opts.isEnabled(Rule::kSyncStructure) ||
+           opts.isEnabled(Rule::kReqSelf);
+}
+
+void
+addConflictFindings(VerifyReport &rep, const VerifierOptions &opts,
+                    const std::vector<ConflictFinding> &findings)
+{
+    for (const ConflictFinding &f : findings) {
+        Rule r = conflictRule(f.kind);
+        if (!opts.isEnabled(r))
+            continue;
+        rep.add({Severity::kError, r, f.vault, f.index, f.message});
+    }
+}
+
+/**
+ * The per-program pass pipeline.  @p programConflicts runs the
+ * device-context-free conflict checks (V16/V17); verifyDevice passes
+ * false and runs the full cross-vault analysis itself instead.
+ */
 VerifyReport
-verifyProgram(const HardwareConfig &cfg,
-              const std::vector<Instruction> &prog,
-              const VerifierOptions &opts, int vault)
+verifyProgramImpl(const HardwareConfig &cfg,
+                  const std::vector<Instruction> &prog,
+                  const VerifierOptions &opts, int vault,
+                  bool programConflicts)
 {
     VerifyReport rep;
-    Ctx c{cfg, prog, opts, vault, rep, {}, {}, {}};
+    Ctx c{cfg, prog, opts, vault, rep, {}, {}, {}, nullptr};
     checkOpcodes(c);
+    Cfg graph = Cfg::build(prog);
+    if (!prog.empty())
+        c.graph = &graph;
     checkRegisterBounds(c);
     checkMemoryBounds(c);
     checkPgsmStride(c);
@@ -670,7 +753,24 @@ verifyProgram(const HardwareConfig &cfg,
     checkSyncPlacement(c);
     checkDataflow(c);
     checkEncoding(c);
+    if (programConflicts && !prog.empty() &&
+        anyConflictRuleEnabled(opts)) {
+        ProgramAnalysis pa = analyzeProgram(cfg, prog);
+        addConflictFindings(rep, opts,
+                            checkProgramConflicts(pa, vault).findings);
+    }
     return rep;
+}
+
+} // namespace
+
+VerifyReport
+verifyProgram(const HardwareConfig &cfg,
+              const std::vector<Instruction> &prog,
+              const VerifierOptions &opts, int vault)
+{
+    return verifyProgramImpl(cfg, prog, opts, vault,
+                             /*programConflicts=*/true);
 }
 
 VerifyReport
@@ -687,7 +787,8 @@ verifyDevice(const HardwareConfig &cfg,
                      u64(cfg.cubes) * cfg.vaultsPerCube, " vaults")});
 
     for (size_t v = 0; v < perVault.size(); ++v)
-        rep.merge(verifyProgram(cfg, perVault[v], opts, int(v)));
+        rep.merge(verifyProgramImpl(cfg, perVault[v], opts, int(v),
+                                    /*programConflicts=*/false));
 
     if (!opts.isEnabled(Rule::kSyncPhase) || perVault.empty())
         return rep;
@@ -724,6 +825,24 @@ verifyDevice(const HardwareConfig &cfg,
                      cat("program has ", seq.size(),
                          " syncs but vault 0 has ", ref.size(),
                          "; the barrier would deadlock")});
+    }
+
+    // V14-V18: the cross-vault conflict analysis assumes well-formed
+    // programs with matching barrier sequences, so it only runs once
+    // everything above is clean.
+    if (rep.errorCount() == 0 && anyConflictRuleEnabled(opts)) {
+        std::vector<ProgramAnalysis> analyses;
+        analyses.reserve(perVault.size());
+        std::vector<const ProgramAnalysis *> ptrs;
+        ptrs.reserve(perVault.size());
+        for (size_t v = 0; v < perVault.size(); ++v) {
+            analyses.push_back(analyzeProgram(
+                cfg, perVault[v], int(v / cfg.vaultsPerCube),
+                int(v % cfg.vaultsPerCube)));
+            ptrs.push_back(&analyses.back());
+        }
+        ConflictReport cr = analyzeDeviceConflicts(cfg, ptrs);
+        addConflictFindings(rep, opts, cr.findings);
     }
     return rep;
 }

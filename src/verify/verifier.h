@@ -22,14 +22,21 @@
  *  - V05/V06 simb_mask / vec_mask validity
  *  - V07/V08/V09 control flow: labels resolved, branch-target CRF
  *    registers initialized and in range, halt present and reachable
- *  - V11/V12 dataflow lints: read-before-write (simb-mask aware),
- *    dead writes (overwritten with no intervening read)
+ *  - V11/V12 dataflow lints on the CFG (src/analysis/): path-sensitive
+ *    read-before-write (simb-mask aware; catches hazards that exist on
+ *    only one branch arm) and dead writes via backward liveness
  *  - V13 encode/decode round-trip on every instruction
+ *  - V16/V17 per-program conflict structure: unordered VSM
+ *    staging-write overlap, non-monotone sync phase ids
  *
- * Device-level pass:
+ * Device-level passes:
  *  - V10 the per-vault static sync sequences must agree in phase order
  *    and count (the master/slave barrier of Sec. IV-D deadlocks
  *    otherwise)
+ *  - V14/V15/V18 cross-vault conflict analysis (analysis/conflict.h):
+ *    req remote bank reads racing owner bank writes in the same sync
+ *    segment (same cube / across SERDES), and self-targeted reqs that
+ *    bypass the issuing core's scoreboard
  */
 #ifndef IPIM_VERIFY_VERIFIER_H_
 #define IPIM_VERIFY_VERIFIER_H_

@@ -1,0 +1,444 @@
+/**
+ * Unit tests for the SIMB program analysis framework (src/analysis/):
+ * CFG construction, the worklist dataflow engine and its concrete
+ * analyses, loop trip counts, value ranges and access extents, the
+ * cross-vault conflict checks (V14-V18), and the static cost model —
+ * including the cross-validation bound against measured simulator
+ * cycles on the ten Table II benchmarks.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "analysis/conflict.h"
+#include "analysis/cost.h"
+#include "apps/benchmarks.h"
+#include "compiler/codegen.h"
+#include "isa/assembler.h"
+#include "runtime/runtime.h"
+
+namespace ipim {
+namespace {
+
+HardwareConfig
+tinyCfg()
+{
+    return HardwareConfig::tiny(); // 4 vaults, 2 PGs x 2 PEs
+}
+
+/** Counted loop: 8 iterations of the builder's loop idiom. */
+std::vector<Instruction>
+countedLoop()
+{
+    return assemble(R"(
+        seti_crf c0, #8
+        seti_crf c1, #2
+        reset d0 sm=15
+        comp add.i32 vv d0, d0, d0 vm=15 sm=15
+        calc_crf sub c0, c0, #1
+        cjump c0, c1
+        halt
+    )");
+}
+
+// ========================= CFG structure ===========================
+
+TEST(Cfg, StraightLineIsOneBlock)
+{
+    std::vector<Instruction> prog = assemble(R"(
+        reset d0 sm=15
+        comp add.i32 vv d1, d0, d0 vm=15 sm=15
+        halt
+    )");
+    Cfg cfg = Cfg::build(prog);
+    ASSERT_EQ(cfg.numBlocks(), 1);
+    EXPECT_EQ(cfg.block(0).first, 0u);
+    EXPECT_EQ(cfg.block(0).last, 2u);
+    EXPECT_TRUE(cfg.block(0).reachable);
+    EXPECT_TRUE(cfg.targetsResolved());
+    EXPECT_TRUE(cfg.loops().empty());
+}
+
+TEST(Cfg, CountedLoopStructure)
+{
+    std::vector<Instruction> prog = countedLoop();
+    Cfg cfg = Cfg::build(prog);
+    // Preamble [0,1], body [2,5] (branch target 2), exit [6,6].
+    ASSERT_EQ(cfg.numBlocks(), 3);
+    EXPECT_EQ(cfg.block(1).first, 2u);
+    EXPECT_EQ(cfg.block(1).last, 5u);
+    EXPECT_TRUE(cfg.targetsResolved());
+    // Edges: 0->1, 1->1 (back edge), 1->2.
+    EXPECT_EQ(cfg.block(0).succs, std::vector<int>{1});
+    EXPECT_EQ(cfg.block(1).succs.size(), 2u);
+    // Dominators: the entry dominates everything, the body dominates
+    // the exit.
+    EXPECT_TRUE(cfg.dominates(0, 1));
+    EXPECT_TRUE(cfg.dominates(0, 2));
+    EXPECT_TRUE(cfg.dominates(1, 2));
+    EXPECT_FALSE(cfg.dominates(2, 1));
+    // One natural loop: header = latch = block 1.
+    ASSERT_EQ(cfg.loops().size(), 1u);
+    const NaturalLoop &loop = cfg.loops()[0];
+    EXPECT_EQ(loop.header, 1);
+    EXPECT_EQ(loop.latches, std::vector<int>{1});
+    EXPECT_EQ(loop.depth, 1);
+    EXPECT_EQ(loop.parent, -1);
+}
+
+TEST(Cfg, UnresolvedTargetIsFlagged)
+{
+    // The jump target is defined by calc_crf, which the linear
+    // reaching-def scan refuses to fold.
+    std::vector<Instruction> prog = assemble(R"(
+        seti_crf c0, #4
+        calc_crf add c0, c0, #1
+        jump c0
+        nop
+        halt
+    )");
+    Cfg cfg = Cfg::build(prog);
+    EXPECT_FALSE(cfg.targetsResolved());
+}
+
+TEST(Cfg, DotRenderingNamesBlocks)
+{
+    Cfg cfg = Cfg::build(countedLoop());
+    std::string dot = cfg.toDot("loop");
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("b0"), std::string::npos);
+    EXPECT_NE(dot.find("b1"), std::string::npos);
+}
+
+// ================ dataflow: const prop + trip counts ===============
+
+TEST(Dataflow, ConstPropFoldsStraightLine)
+{
+    std::vector<Instruction> prog = assemble(R"(
+        seti_crf c0, #5
+        calc_crf add c1, c0, #2
+        halt
+    )");
+    Cfg cfg = Cfg::build(prog);
+    CrfConstProp cp = runCrfConstProp(tinyCfg(), cfg);
+    std::vector<ConstVal> atHalt = cp.atInst(2);
+    ASSERT_TRUE(atHalt[1].isConst());
+    EXPECT_EQ(atHalt[1].value, 7);
+}
+
+TEST(Dataflow, BranchJoinLosesConstness)
+{
+    // c0 is 5 on the taken path and 9 on the fallthrough: the meet at
+    // the join must be NonConst, not either constant.
+    std::vector<Instruction> prog = assemble(R"(
+        seti_crf c0, #5
+        seti_crf c1, #4
+        cjump c0, c1
+        seti_crf c0, #9
+        halt
+    )");
+    Cfg cfg = Cfg::build(prog);
+    CrfConstProp cp = runCrfConstProp(tinyCfg(), cfg);
+    std::vector<ConstVal> atHalt = cp.atInst(4);
+    EXPECT_EQ(atHalt[0].kind, ConstVal::kNonConst);
+}
+
+TEST(Dataflow, CountedLoopTripCount)
+{
+    std::vector<Instruction> prog = countedLoop();
+    Cfg cfg = Cfg::build(prog);
+    CrfConstProp cp = runCrfConstProp(tinyCfg(), cfg);
+    deriveTripCounts(tinyCfg(), cfg, cp);
+    ASSERT_EQ(cfg.loops().size(), 1u);
+    EXPECT_EQ(cfg.loops()[0].tripCount, 8);
+    EXPECT_EQ(cfg.loops()[0].counterCrf, 0);
+    EXPECT_EQ(cfg.loops()[0].counterStep, -1);
+    // Block frequency reflects the trip count.
+    EXPECT_DOUBLE_EQ(cfg.frequency(1), 8.0);
+    EXPECT_DOUBLE_EQ(cfg.frequency(2), 1.0);
+}
+
+// =================== ranges and access extents =====================
+
+TEST(Ranges, LoopSteppedVsmExtent)
+{
+    // The per-PE VSM pointer (ARF a4, zeroed by masking an identity
+    // register) advances 16 bytes per iteration over 4 iterations: the
+    // union extent must cover all four writes.
+    std::vector<Instruction> prog = assemble(R"(
+        seti_crf c0, #4
+        seti_crf c1, #4
+        calc_arf and a4, a0, #0 sm=15
+        reset d0 sm=15
+        wr_vsm vsm[a4], d0 sm=15
+        calc_arf add a4, a4, #16 sm=15
+        calc_crf sub c0, c0, #1
+        cjump c0, c1
+        halt
+    )");
+    ProgramAnalysis pa = analyzeProgram(tinyCfg(), prog, 0, 0);
+    const Extent &wr = pa.extents[4].vsmWrite;
+    ASSERT_EQ(wr.kind, Extent::kKnown);
+    EXPECT_EQ(wr.lo, 0u);
+    EXPECT_GE(wr.hi, 64u); // 4 iterations x 16B stride
+    // The per-iteration address step is the induction step.
+    EXPECT_EQ(pa.extents[4].vsmWriteStep, 16);
+}
+
+TEST(Ranges, SegmentationAroundSyncs)
+{
+    std::vector<Instruction> prog = assemble(R"(
+        reset d0 sm=15
+        sync phase=1
+        reset d1 sm=15
+        sync phase=2
+        halt
+    )");
+    ProgramAnalysis pa = analyzeProgram(tinyCfg(), prog, 0, 0);
+    ASSERT_TRUE(pa.segmentable);
+    EXPECT_EQ(pa.numSegments(), 3);
+    EXPECT_EQ(pa.segmentOf(0), 0);
+    EXPECT_EQ(pa.segmentOf(2), 1);
+    EXPECT_EQ(pa.segmentOf(4), 2);
+}
+
+// ================= conflict analysis (V14-V18) =====================
+
+TEST(Conflict, AdjacentDuplicatePhaseIdIsV17)
+{
+    // Barrier arrival counting keys on the phase id, so two adjacent
+    // syncs reusing one id can merge into a single rendezvous.
+    std::vector<Instruction> prog = assemble(R"(
+        sync phase=1
+        sync phase=1
+        halt
+    )");
+    ProgramAnalysis pa = analyzeProgram(tinyCfg(), prog, 0, 0);
+    std::vector<ConflictFinding> f = checkSyncStructure(pa, 0);
+    ASSERT_EQ(f.size(), 1u);
+    EXPECT_EQ(f[0].kind, ConflictFinding::Kind::kSyncStructure);
+}
+
+TEST(Conflict, NonAdjacentPhaseReuseIsFine)
+{
+    std::vector<Instruction> prog = assemble(R"(
+        sync phase=1
+        sync phase=2
+        sync phase=1
+        halt
+    )");
+    ProgramAnalysis pa = analyzeProgram(tinyCfg(), prog, 0, 0);
+    EXPECT_TRUE(checkSyncStructure(pa, 0).empty());
+}
+
+TEST(Conflict, SelfTargetedReqIsV18)
+{
+    HardwareConfig cfg = tinyCfg();
+    // Vault 0 reqs its own bank: the remote-read path bypasses the
+    // local scoreboard.
+    std::vector<std::vector<Instruction>> progs(
+        cfg.cubes * cfg.vaultsPerCube, {Instruction::halt()});
+    progs[0] = {Instruction::req(0, 0, 0, 0, MemOperand::direct(0), 0),
+                Instruction::halt()};
+    std::vector<ProgramAnalysis> pas;
+    std::vector<const ProgramAnalysis *> ptrs;
+    for (size_t v = 0; v < progs.size(); ++v)
+        pas.push_back(analyzeProgram(cfg, progs[v],
+                                     int(v / cfg.vaultsPerCube),
+                                     int(v % cfg.vaultsPerCube)));
+    for (const ProgramAnalysis &pa : pas)
+        ptrs.push_back(&pa);
+    ConflictReport rep = analyzeDeviceConflicts(cfg, ptrs);
+    ASSERT_EQ(rep.findings.size(), 1u);
+    EXPECT_EQ(rep.findings[0].kind, ConflictFinding::Kind::kReqSelf);
+    EXPECT_EQ(rep.findings[0].vault, 0);
+}
+
+TEST(Conflict, RemoteReadOverlappingOwnerWriteIsV14)
+{
+    HardwareConfig cfg = tinyCfg();
+    std::vector<std::vector<Instruction>> progs(
+        cfg.cubes * cfg.vaultsPerCube, {Instruction::halt()});
+    // Vault 0 reads vault 1's bank bytes [0,16) remotely while vault 1
+    // writes the same bytes in the same (only) sync segment.
+    progs[0] = {Instruction::req(0, 1, 0, 0, MemOperand::direct(0), 0),
+                Instruction::halt()};
+    progs[1] = {Instruction::reset(0, 0x1),
+                Instruction::memRf(true, MemOperand::direct(0), 0, 0x1),
+                Instruction::halt()};
+    std::vector<ProgramAnalysis> pas;
+    std::vector<const ProgramAnalysis *> ptrs;
+    for (size_t v = 0; v < progs.size(); ++v)
+        pas.push_back(analyzeProgram(cfg, progs[v],
+                                     int(v / cfg.vaultsPerCube),
+                                     int(v % cfg.vaultsPerCube)));
+    for (const ProgramAnalysis &pa : pas)
+        ptrs.push_back(&pa);
+    ConflictReport rep = analyzeDeviceConflicts(cfg, ptrs);
+    bool sawV14 = false;
+    for (const ConflictFinding &f : rep.findings)
+        sawV14 |= f.kind == ConflictFinding::Kind::kBankOverlap;
+    EXPECT_TRUE(sawV14);
+    EXPECT_FALSE(rep.independent());
+}
+
+TEST(Conflict, DisjointRemoteReadIsProvenIndependent)
+{
+    HardwareConfig cfg = tinyCfg();
+    std::vector<std::vector<Instruction>> progs(
+        cfg.cubes * cfg.vaultsPerCube, {Instruction::halt()});
+    progs[0] = {Instruction::req(0, 1, 0, 0, MemOperand::direct(256), 0),
+                Instruction::halt()};
+    progs[1] = {Instruction::reset(0, 0x1),
+                Instruction::memRf(true, MemOperand::direct(0), 0, 0x1),
+                Instruction::halt()};
+    std::vector<ProgramAnalysis> pas;
+    std::vector<const ProgramAnalysis *> ptrs;
+    for (size_t v = 0; v < progs.size(); ++v)
+        pas.push_back(analyzeProgram(cfg, progs[v],
+                                     int(v / cfg.vaultsPerCube),
+                                     int(v % cfg.vaultsPerCube)));
+    for (const ProgramAnalysis &pa : pas)
+        ptrs.push_back(&pa);
+    ConflictReport rep = analyzeDeviceConflicts(cfg, ptrs);
+    EXPECT_TRUE(rep.findings.empty());
+    EXPECT_GT(rep.stats.provenDisjoint, 0u);
+    EXPECT_EQ(rep.stats.unproved, 0u);
+}
+
+TEST(Conflict, OverlappingStagingWritesAreV16)
+{
+    // Two reqs stage into the same VSM bytes with no ordering read in
+    // between: last-arrival-wins nondeterminism.
+    std::vector<Instruction> prog = {
+        Instruction::req(0, 1, 0, 0, MemOperand::direct(0), 0),
+        Instruction::req(0, 1, 0, 0, MemOperand::direct(64), 0),
+        Instruction::halt()};
+    ProgramAnalysis pa = analyzeProgram(tinyCfg(), prog, 0, 0);
+    ConflictReport rep = checkProgramConflicts(pa, 0);
+    bool sawV16 = false;
+    for (const ConflictFinding &f : rep.findings)
+        sawV16 |= f.kind == ConflictFinding::Kind::kStagingOverlap;
+    EXPECT_TRUE(sawV16);
+}
+
+TEST(Conflict, AllBenchmarksProgramsAreConflictFree)
+{
+    // The acceptance bar of the analysis PR: every Table II benchmark
+    // compiles to programs with zero V14-V18 findings.
+    HardwareConfig cfg = tinyCfg();
+    for (const std::string &name : allBenchmarkNames()) {
+        BenchmarkApp app = makeBenchmark(name, 64, 32);
+        CompiledPipeline cp = compilePipeline(app.def, cfg, {});
+        for (const CompiledKernel &k : cp.kernels) {
+            std::vector<ProgramAnalysis> pas;
+            std::vector<const ProgramAnalysis *> ptrs;
+            for (size_t v = 0; v < k.perVault.size(); ++v)
+                pas.push_back(
+                    analyzeProgram(cfg, k.perVault[v],
+                                   int(v / cfg.vaultsPerCube),
+                                   int(v % cfg.vaultsPerCube)));
+            for (const ProgramAnalysis &pa : pas)
+                ptrs.push_back(&pa);
+            ConflictReport rep = analyzeDeviceConflicts(cfg, ptrs);
+            EXPECT_TRUE(rep.findings.empty())
+                << name << ": " << rep.findings.size()
+                << " conflict findings, first: "
+                << (rep.findings.empty() ? ""
+                                         : rep.findings[0].message);
+        }
+    }
+}
+
+// ======================== static cost model ========================
+
+TEST(Cost, EstimateIsPositiveAndComplete)
+{
+    ProgramAnalysis pa = analyzeProgram(tinyCfg(), countedLoop(), 0, 0);
+    CostEstimate est = estimateProgramCost(tinyCfg(), pa);
+    EXPECT_GT(est.cycles, 0.0);
+    EXPECT_TRUE(est.complete);
+    // 7 static instructions, loop body of 4 executed 8 times.
+    EXPECT_GE(est.dynamicInsts, 7u + 7u * 4u);
+}
+
+TEST(Cost, UnknownTripCountMarksIncomplete)
+{
+    // The loop counter comes from a non-constant source, so the trip
+    // count is unknown and the estimate is a flagged lower bound.
+    std::vector<Instruction> prog = assemble(R"(
+        calc_crf add c0, c0, #0
+        seti_crf c1, #2
+        reset d0 sm=15
+        calc_crf sub c0, c0, #1
+        cjump c0, c1
+        halt
+    )");
+    ProgramAnalysis pa = analyzeProgram(tinyCfg(), prog, 0, 0);
+    CostEstimate est = estimateProgramCost(tinyCfg(), pa);
+    EXPECT_FALSE(est.complete);
+}
+
+TEST(Cost, LoopScalingGrowsWithTripCount)
+{
+    auto loopProg = [](int n) {
+        return assemble(
+            "seti_crf c0, #" + std::to_string(n) + R"(
+            seti_crf c1, #2
+            comp add.f32 vv d0, d0, d0 vm=15 sm=15
+            calc_crf sub c0, c0, #1
+            cjump c0, c1
+            halt
+        )");
+    };
+    HardwareConfig cfg = tinyCfg();
+    ProgramAnalysis paSmall = analyzeProgram(cfg, loopProg(4), 0, 0);
+    ProgramAnalysis paBig = analyzeProgram(cfg, loopProg(64), 0, 0);
+    f64 small = estimateProgramCost(cfg, paSmall).cycles;
+    f64 big = estimateProgramCost(cfg, paBig).cycles;
+    EXPECT_GT(big, small * 8); // 16x the iterations, at least 8x cost
+}
+
+TEST(Cost, KernelEstimateCoversSlowestVault)
+{
+    HardwareConfig cfg = tinyCfg();
+    std::vector<std::vector<Instruction>> perVault(
+        cfg.cubes * cfg.vaultsPerCube, {Instruction::halt()});
+    perVault[2] = countedLoop();
+    f64 kernel = estimateKernelCycles(cfg, perVault);
+    ProgramAnalysis pa = analyzeProgram(cfg, perVault[2], 0, 2);
+    EXPECT_GE(kernel, estimateProgramCost(cfg, pa).cycles);
+}
+
+TEST(Cost, WithinThirtyPercentOnMostBenchmarks)
+{
+    // Cross-validation of the static model against measured simulator
+    // cycles: at least 8 of the 10 Table II benchmarks must land
+    // within +-30% (ISSUE acceptance bound; currently 10/10).
+    HardwareConfig cfg = tinyCfg();
+    int inBand = 0;
+    std::string report;
+    for (const std::string &name : allBenchmarkNames()) {
+        BenchmarkApp app = makeBenchmark(name, 64, 32);
+        CompiledPipeline cp = compilePipeline(app.def, cfg, {});
+        Device dev(cfg);
+        Runtime rt(dev, cp);
+        for (const auto &[n, img] : app.inputs)
+            rt.bindInput(n, img);
+        LaunchResult res = rt.run();
+        f64 est = 0;
+        for (const CompiledKernel &k : cp.kernels)
+            est += estimateKernelCycles(cfg, k.perVault);
+        f64 ratio = est / f64(res.cycles);
+        bool ok = ratio >= 0.7 && ratio <= 1.3;
+        inBand += ok ? 1 : 0;
+        report += name + ": est/measured = " +
+                  std::to_string(ratio) + (ok ? "\n" : "  <-- OUT\n");
+    }
+    EXPECT_GE(inBand, 8) << report;
+}
+
+} // namespace
+} // namespace ipim

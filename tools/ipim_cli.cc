@@ -22,6 +22,10 @@
  *   ipim verify --all                  # statically check all benchmarks
  *   ipim verify --bench Blur --werror
  *   ipim verify --asm kernel.s         # check a hand-written program
+ *   ipim verify --all --json           # machine-readable findings
+ *   ipim analyze --bench Blur          # CFG/conflict/cost analysis
+ *   ipim analyze --all --json
+ *   ipim analyze --bench Blur --dot cfg-   # cfg-<stage>.dot per kernel
  *   ipim serve --bench Blur,Brighten --rate 40000 --requests 200 \
  *              --sched sjf             # space-shared serving run
  */
@@ -33,6 +37,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analysis.h"
+#include "analysis/conflict.h"
+#include "analysis/cost.h"
 #include "apps/benchmarks.h"
 #include "baseline/gpu_model.h"
 #include "common/json.h"
@@ -75,6 +82,9 @@ struct Options
     bool allBenches = false;
     bool werror = false;
     std::string asmFile;
+    // analyze-subcommand only:
+    bool analyzeCmd = false;
+    std::string dotPrefix; ///< --dot PREFIX writes PREFIX<stage>.dot
     // tracing:
     std::string traceFile; ///< --trace FILE on run/serve
     bool traceCmd = false;
@@ -106,7 +116,10 @@ usage()
         "            [--gpu] [--dump-asm] [--json] [--trace FILE]\n"
         "            [--no-fast-forward]\n"
         "       ipim verify [--bench NAME | --all | --asm FILE]\n"
-        "            [--werror] [device/compiler flags as above]\n"
+        "            [--werror] [--json] [device/compiler flags as above]\n"
+        "       ipim analyze [--bench NAME | --all | --asm FILE]\n"
+        "            [--json] [--dot PREFIX]\n"
+        "            [device/compiler flags as above]\n"
         "       ipim serve [--bench NAME[,NAME...]] [--rate R]\n"
         "            [--requests N] [--sched fifo|sjf]\n"
         "            [--share cube|whole] [--cubes-per-req K] [--seed S]\n"
@@ -129,7 +142,14 @@ usage()
         "  the roofline check, and the inferred bottleneck; --json adds\n"
         "  the sampled time series (DESIGN.md Sec. 14).\n"
         "  serve --prom FILE writes a Prometheus text-exposition\n"
-        "  snapshot of the serving SLOs.\n");
+        "  snapshot of the serving SLOs.\n"
+        "  `ipim analyze` builds the CFG/dataflow analyses\n"
+        "  (src/analysis), runs the cross-vault conflict proof, and\n"
+        "  prints the static cost estimate per kernel; exit 3 when any\n"
+        "  conflict is found.  --dot PREFIX writes the vault-0 CFG of\n"
+        "  each kernel to PREFIX<stage>.dot.  verify/analyze --json\n"
+        "  emit the stable schemas ipim-verify-v1 / ipim-analyze-v1\n"
+        "  (documented in README.md).\n");
 }
 
 CompilerOptions
@@ -175,6 +195,47 @@ reportResult(const VerifyReport &rep, bool werror)
     return rep.pass(werror);
 }
 
+void
+deviceJson(JsonWriter &j, const HardwareConfig &cfg)
+{
+    j.key("device").beginObject();
+    j.field("cubes", cfg.cubes)
+        .field("vaults", cfg.vaultsPerCube)
+        .field("pgs", cfg.pgsPerVault)
+        .field("pes", cfg.pesPerPg);
+    j.endObject();
+}
+
+/**
+ * One program entry of the ipim-verify-v1 schema: name, sizes, counts,
+ * and the findings array (stable fields: rule, severity, vault, index,
+ * message).
+ */
+void
+verifyProgramJson(JsonWriter &j, const std::string &name, u64 insts,
+                  size_t vaults, const VerifyReport &rep, bool werror)
+{
+    j.beginObject();
+    j.field("name", name)
+        .field("instructions", insts)
+        .field("vaults", u64(vaults))
+        .field("errors", u64(rep.errorCount()))
+        .field("warnings", u64(rep.warningCount()))
+        .field("pass", rep.pass(werror));
+    j.key("findings").beginArray();
+    for (const Diagnostic &d : rep.diagnostics()) {
+        j.beginObject();
+        j.field("rule", ruleId(d.rule))
+            .field("severity", severityName(d.severity))
+            .field("vault", d.vault)
+            .field("index", d.index)
+            .field("message", d.message);
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+}
+
 /** The `ipim verify` subcommand: static checks, no simulation. */
 int
 runVerifyCommand(const Options &o)
@@ -183,6 +244,14 @@ runVerifyCommand(const Options &o)
     VerifierOptions vopts;
     vopts.warningsAsErrors = o.werror;
 
+    JsonWriter j;
+    if (o.json) {
+        j.field("schema", "ipim-verify-v1").field("werror", o.werror);
+        deviceJson(j, cfg);
+        j.key("programs").beginArray();
+    }
+    bool allOk = true;
+
     if (!o.asmFile.empty()) {
         std::ifstream in(o.asmFile);
         if (!in)
@@ -190,36 +259,209 @@ runVerifyCommand(const Options &o)
         std::ostringstream text;
         text << in.rdbuf();
         std::vector<Instruction> prog = assemble(text.str());
-        bool ok = reportResult(verifyProgram(cfg, prog, vopts), o.werror);
-        std::printf("%s: %zu instructions -> %s\n", o.asmFile.c_str(),
-                    prog.size(), ok ? "OK" : "REJECTED");
-        return ok ? 0 : 3;
-    }
+        VerifyReport rep = verifyProgram(cfg, prog, vopts);
+        allOk = rep.pass(o.werror);
+        if (o.json) {
+            verifyProgramJson(j, o.asmFile, prog.size(), 1, rep,
+                              o.werror);
+        } else {
+            reportResult(rep, o.werror);
+            std::printf("%s: %zu instructions -> %s\n",
+                        o.asmFile.c_str(), prog.size(),
+                        allOk ? "OK" : "REJECTED");
+        }
+    } else {
+        std::vector<std::string> benches;
+        if (o.allBenches)
+            benches = allBenchmarkNames();
+        else
+            benches.push_back(o.bench);
 
-    std::vector<std::string> benches;
-    if (o.allBenches)
-        benches = allBenchmarkNames();
-    else
-        benches.push_back(o.bench);
-
-    CompilerOptions copts = parseOpts(o.opts);
-    bool allOk = true;
-    for (const std::string &name : benches) {
-        BenchmarkApp app = makeBenchmark(name, o.width, o.height);
-        CompiledPipeline cp = compilePipeline(app.def, cfg, copts);
-        for (const CompiledKernel &k : cp.kernels) {
-            VerifyReport rep = verifyDevice(cfg, k.perVault, vopts);
-            bool ok = reportResult(rep, o.werror);
-            allOk = allOk && ok;
-            std::printf("%s/%s: %llu insts over %zu vaults -> %s "
-                        "(%zu errors, %zu warnings)\n",
-                        name.c_str(), k.stage.c_str(),
-                        (unsigned long long)k.backend.instructions,
-                        k.perVault.size(), ok ? "OK" : "REJECTED",
-                        rep.errorCount(), rep.warningCount());
+        CompilerOptions copts = parseOpts(o.opts);
+        for (const std::string &name : benches) {
+            BenchmarkApp app = makeBenchmark(name, o.width, o.height);
+            CompiledPipeline cp = compilePipeline(app.def, cfg, copts);
+            for (const CompiledKernel &k : cp.kernels) {
+                VerifyReport rep = verifyDevice(cfg, k.perVault, vopts);
+                bool ok = rep.pass(o.werror);
+                allOk = allOk && ok;
+                if (o.json) {
+                    verifyProgramJson(j, name + "/" + k.stage,
+                                      k.backend.instructions,
+                                      k.perVault.size(), rep, o.werror);
+                    continue;
+                }
+                reportResult(rep, o.werror);
+                std::printf("%s/%s: %llu insts over %zu vaults -> %s "
+                            "(%zu errors, %zu warnings)\n",
+                            name.c_str(), k.stage.c_str(),
+                            (unsigned long long)k.backend.instructions,
+                            k.perVault.size(), ok ? "OK" : "REJECTED",
+                            rep.errorCount(), rep.warningCount());
+            }
         }
     }
+    if (o.json) {
+        j.endArray();
+        j.field("pass", allOk);
+        std::printf("%s\n", j.finish().c_str());
+    }
     return allOk ? 0 : 3;
+}
+
+/**
+ * The `ipim analyze` subcommand: CFG construction, cross-vault
+ * conflict proof, and the static cost model over compiled kernels (or
+ * one assembled program), without simulating.
+ */
+int
+runAnalyzeCommand(const Options &o)
+{
+    HardwareConfig cfg = buildConfig(o);
+
+    JsonWriter j;
+    if (o.json) {
+        j.field("schema", "ipim-analyze-v1");
+        deviceJson(j, cfg);
+        j.key("programs").beginArray();
+    }
+
+    size_t totalFindings = 0;
+    auto emitDot = [&](const std::string &stage, const Cfg &g) {
+        if (o.dotPrefix.empty())
+            return;
+        std::string path = o.dotPrefix + stage + ".dot";
+        std::ofstream out(path, std::ios::binary);
+        if (!out)
+            fatal("cannot open ", path);
+        out << g.toDot(stage);
+        if (!out)
+            fatal("failed writing CFG dot to ", path);
+        if (!o.json)
+            std::printf("  cfg -> %s\n", path.c_str());
+    };
+
+    // Shared per-program reporting over (name, analyses, report, cost).
+    auto report = [&](const std::string &name, u64 insts, size_t vaults,
+                      const ProgramAnalysis &pa0,
+                      const ConflictReport &rep, const CostEstimate &c) {
+        totalFindings += rep.findings.size();
+        const Cfg &g = *pa0.cfg;
+        size_t nLoops = g.loops().size();
+        if (o.json) {
+            j.beginObject();
+            j.field("name", name)
+                .field("instructions", insts)
+                .field("vaults", u64(vaults));
+            j.key("cfg").beginObject();
+            j.field("blocks", g.numBlocks())
+                .field("loops", u64(nLoops))
+                .field("segments", pa0.numSegments())
+                .field("segmentable", pa0.segmentable);
+            j.endObject();
+            j.key("conflicts").beginObject();
+            j.field("complete", rep.complete)
+                .field("independent", rep.independent())
+                .field("pairs_checked", rep.stats.pairsChecked)
+                .field("proven_disjoint", rep.stats.provenDisjoint)
+                .field("unproved", rep.stats.unproved)
+                .field("segments", rep.stats.segments);
+            j.key("findings").beginArray();
+            for (const ConflictFinding &f : rep.findings) {
+                j.beginObject();
+                j.field("kind", conflictKindName(f.kind))
+                    .field("vault", f.vault)
+                    .field("index", f.index)
+                    .field("other_vault", f.otherVault)
+                    .field("other_index", f.otherIndex)
+                    .field("segment", f.segment)
+                    .field("message", f.message);
+                j.endObject();
+            }
+            j.endArray();
+            j.endObject();
+            j.key("cost").beginObject();
+            j.field("cycles", c.cycles)
+                .field("dynamic_insts", c.dynamicInsts)
+                .field("complete", c.complete);
+            j.endObject();
+            j.endObject();
+            return;
+        }
+        std::printf("%s: %llu insts over %zu vaults | %d blocks, %zu "
+                    "loops, %d segments | est %.0f cycles%s\n",
+                    name.c_str(), (unsigned long long)insts, vaults,
+                    g.numBlocks(), nLoops, pa0.numSegments(), c.cycles,
+                    c.complete ? "" : " (lower bound)");
+        std::printf("  conflicts: %zu findings | %llu pairs, %llu "
+                    "disjoint, %llu unproved -> %s\n",
+                    rep.findings.size(),
+                    (unsigned long long)rep.stats.pairsChecked,
+                    (unsigned long long)rep.stats.provenDisjoint,
+                    (unsigned long long)rep.stats.unproved,
+                    rep.independent() ? "independent"
+                    : rep.complete    ? "NOT PROVEN"
+                                      : "INCOMPLETE");
+        for (const ConflictFinding &f : rep.findings)
+            std::printf("  [%s] vault %d inst %d: %s\n",
+                        conflictKindName(f.kind), f.vault, f.index,
+                        f.message.c_str());
+    };
+
+    if (!o.asmFile.empty()) {
+        std::ifstream in(o.asmFile);
+        if (!in)
+            fatal("cannot open ", o.asmFile);
+        std::ostringstream text;
+        text << in.rdbuf();
+        std::vector<Instruction> prog = assemble(text.str());
+        ProgramAnalysis pa = analyzeProgram(cfg, prog);
+        ConflictReport rep = checkProgramConflicts(pa);
+        CostEstimate c = estimateProgramCost(cfg, pa);
+        report(o.asmFile, prog.size(), 1, pa, rep, c);
+        emitDot("program", *pa.cfg);
+    } else {
+        std::vector<std::string> benches;
+        if (o.allBenches)
+            benches = allBenchmarkNames();
+        else
+            benches.push_back(o.bench);
+
+        CompilerOptions copts = parseOpts(o.opts);
+        for (const std::string &name : benches) {
+            BenchmarkApp app = makeBenchmark(name, o.width, o.height);
+            CompiledPipeline cp = compilePipeline(app.def, cfg, copts);
+            for (const CompiledKernel &k : cp.kernels) {
+                std::vector<ProgramAnalysis> pas;
+                pas.reserve(k.perVault.size());
+                std::vector<const ProgramAnalysis *> ptrs;
+                for (size_t v = 0; v < k.perVault.size(); ++v) {
+                    pas.push_back(analyzeProgram(
+                        cfg, k.perVault[v],
+                        int(v / cfg.vaultsPerCube),
+                        int(v % cfg.vaultsPerCube)));
+                    ptrs.push_back(&pas.back());
+                }
+                ConflictReport rep = analyzeDeviceConflicts(cfg, ptrs);
+                CostEstimate worst;
+                for (const ProgramAnalysis &pa : pas) {
+                    CostEstimate c = estimateProgramCost(cfg, pa);
+                    if (c.cycles > worst.cycles)
+                        worst = c;
+                }
+                report(name + "/" + k.stage, k.backend.instructions,
+                       k.perVault.size(), pas[0], rep, worst);
+                emitDot(k.stage, *pas[0].cfg);
+            }
+        }
+    }
+
+    if (o.json) {
+        j.endArray();
+        j.field("pass", totalFindings == 0);
+        std::printf("%s\n", j.finish().c_str());
+    }
+    return totalFindings == 0 ? 0 : 3;
 }
 
 /** Write @p tracer's Chrome trace_event JSON to @p path. */
@@ -520,6 +762,9 @@ main(int argc, char **argv)
     if (argc > 1 && std::strcmp(argv[1], "verify") == 0) {
         o.verifyCmd = true;
         first = 2;
+    } else if (argc > 1 && std::strcmp(argv[1], "analyze") == 0) {
+        o.analyzeCmd = true;
+        first = 2;
     } else if (argc > 1 && std::strcmp(argv[1], "trace") == 0) {
         o.traceCmd = true;
         first = 2;
@@ -584,6 +829,8 @@ main(int argc, char **argv)
             o.werror = true;
         else if (a == "--asm")
             o.asmFile = next();
+        else if (a == "--dot")
+            o.dotPrefix = next();
         else if (a == "--gpu")
             o.gpu = true;
         else if (a == "--dump-asm")
@@ -631,6 +878,8 @@ main(int argc, char **argv)
         }
         if (o.verifyCmd)
             return runVerifyCommand(o);
+        if (o.analyzeCmd)
+            return runAnalyzeCommand(o);
         if (o.serveCmd)
             return runServeCommand(o);
         if (o.traceCmd)
