@@ -447,10 +447,20 @@ StageEmitter::buildPlans()
     if (stage_.func->isInput())
         panic("emitting a kernel for an input func");
 
-    // Group call sites by callee.
+    // Group call sites by callee.  Callees are planned in first-
+    // appearance order (not map order, which would iterate by heap
+    // address and make pgsmBase assignment — and therefore the emitted
+    // bytes — vary across compile() calls; DESIGN.md Sec. 13).
     std::map<const Func *, std::vector<CallSite>> byCallee;
+    std::vector<const Func *> calleeOrder;
+    auto addCall = [&](const Func *g, const CallSite &cs) {
+        auto [it, fresh] = byCallee.try_emplace(g);
+        if (fresh)
+            calleeOrder.push_back(g);
+        it->second.push_back(cs);
+    };
     for (const CallSite &cs : stage_.calls)
-        byCallee[cs.callee.get()].push_back(cs);
+        addCall(cs.callee.get(), cs);
     for (const UpdateDef &u : stage_.updates) {
         std::vector<CallSite> calls;
         auto collect = [&](const Expr &e) {
@@ -466,7 +476,7 @@ StageEmitter::buildPlans()
                                                 : Expr::constI(0);
                     cs.ax = toAffine(cs.rawX, u.dom.x.name, u.dom.y.name);
                     cs.ay = toAffine(cs.rawY, u.dom.x.name, u.dom.y.name);
-                    byCallee[n.callee.get()].push_back(cs);
+                    addCall(n.callee.get(), cs);
                 }
                 for (const Expr &k : n.kids)
                     walk(k);
@@ -487,8 +497,8 @@ StageEmitter::buildPlans()
     if (stage_.isReduction)
         return; // the reduction emitter does its own simpler planning
 
-    for (auto &[g, calls] : byCallee)
-        planCallee(g, calls);
+    for (const Func *g : calleeOrder)
+        planCallee(g, byCallee.at(g));
 
     // PGSM budget.
     u64 pgsmNeed = 0;

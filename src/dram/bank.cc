@@ -20,6 +20,8 @@ BankStorage::rowData(u32 row)
     auto it = rows_.find(row);
     if (it == rows_.end())
         it = rows_.emplace(row, std::vector<u8>(rowBytes_, 0)).first;
+    cachedRow_ = row;
+    cachedData_ = it->second.data();
     return it->second;
 }
 
@@ -27,11 +29,15 @@ const std::vector<u8> *
 BankStorage::rowDataIfPresent(u32 row) const
 {
     auto it = rows_.find(row);
-    return it == rows_.end() ? nullptr : &it->second;
+    if (it == rows_.end())
+        return nullptr;
+    cachedRow_ = row;
+    cachedData_ = it->second.data();
+    return &it->second;
 }
 
 void
-BankStorage::read(u64 addr, u8 *out, u32 len) const
+BankStorage::readSlow(u64 addr, u8 *out, u32 len) const
 {
     if (addr + len > bankBytes_)
         fatal("bank read out of range: addr=", addr, " len=", len,
@@ -51,7 +57,7 @@ BankStorage::read(u64 addr, u8 *out, u32 len) const
 }
 
 void
-BankStorage::write(u64 addr, const u8 *in, u32 len)
+BankStorage::writeSlow(u64 addr, const u8 *in, u32 len)
 {
     if (addr + len > bankBytes_)
         fatal("bank write out of range: addr=", addr, " len=", len,
@@ -65,20 +71,6 @@ BankStorage::write(u64 addr, const u8 *in, u32 len)
         in += chunk;
         len -= chunk;
     }
-}
-
-VecWord
-BankStorage::readVec(u64 addr) const
-{
-    VecWord v;
-    read(addr, reinterpret_cast<u8 *>(v.lanes.data()), kVectorBytes);
-    return v;
-}
-
-void
-BankStorage::writeVec(u64 addr, const VecWord &v)
-{
-    write(addr, reinterpret_cast<const u8 *>(v.lanes.data()), kVectorBytes);
 }
 
 Cycle

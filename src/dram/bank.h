@@ -10,6 +10,7 @@
 #ifndef IPIM_DRAM_BANK_H_
 #define IPIM_DRAM_BANK_H_
 
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -32,13 +33,45 @@ class BankStorage
     BankStorage(u64 bankBytes, u32 rowBytes);
 
     /** Read @p len bytes at @p addr; unwritten bytes read as zero. */
-    void read(u64 addr, u8 *out, u32 len) const;
+    void
+    read(u64 addr, u8 *out, u32 len) const
+    {
+        u32 off = u32(addr % rowBytes_);
+        if (cachedData_ && off + len <= rowBytes_ &&
+            rowOf(addr) == cachedRow_) {
+            std::memcpy(out, cachedData_ + off, len);
+            return;
+        }
+        readSlow(addr, out, len);
+    }
 
     /** Write @p len bytes at @p addr. */
-    void write(u64 addr, const u8 *in, u32 len);
+    void
+    write(u64 addr, const u8 *in, u32 len)
+    {
+        u32 off = u32(addr % rowBytes_);
+        if (cachedData_ && off + len <= rowBytes_ &&
+            rowOf(addr) == cachedRow_) {
+            std::memcpy(cachedData_ + off, in, len);
+            return;
+        }
+        writeSlow(addr, in, len);
+    }
 
-    VecWord readVec(u64 addr) const;
-    void writeVec(u64 addr, const VecWord &v);
+    VecWord
+    readVec(u64 addr) const
+    {
+        VecWord v;
+        read(addr, reinterpret_cast<u8 *>(v.lanes.data()), kVectorBytes);
+        return v;
+    }
+
+    void
+    writeVec(u64 addr, const VecWord &v)
+    {
+        write(addr, reinterpret_cast<const u8 *>(v.lanes.data()),
+              kVectorBytes);
+    }
 
     u64 bankBytes() const { return bankBytes_; }
     u32 rowBytes() const { return rowBytes_; }
@@ -48,15 +81,35 @@ class BankStorage
     size_t allocatedRows() const { return rows_.size(); }
 
     /** Drop all contents; unwritten bytes read as zero again. */
-    void clear() { rows_.clear(); }
+    void
+    clear()
+    {
+        rows_.clear();
+        cachedData_ = nullptr;
+    }
 
   private:
     std::vector<u8> &rowData(u32 row);
     const std::vector<u8> *rowDataIfPresent(u32 row) const;
 
+    /** Out-of-line paths: row-spanning, unmaterialized, or uncached. */
+    void readSlow(u64 addr, u8 *out, u32 len) const;
+    void writeSlow(u64 addr, const u8 *in, u32 len);
+
     u64 bankBytes_;
     u32 rowBytes_;
     mutable std::unordered_map<u32, std::vector<u8>> rows_;
+    /**
+     * One-entry row cache backing the inline fast path above: kernels
+     * have high row locality by construction (the paper's premise), so
+     * most accesses hit the row touched last and skip the hash-map
+     * lookup.  The pointer stays valid across rehashes because
+     * unordered_map never moves mapped values; clear() invalidates it.
+     * A cached row is always materialized and in range, so a fast-path
+     * hit needs no further bounds check.
+     */
+    mutable u32 cachedRow_ = 0;
+    mutable u8 *cachedData_ = nullptr;
 };
 
 /**

@@ -1,0 +1,66 @@
+#include "func/estimator.h"
+
+#include <sstream>
+
+#include "analysis/cost.h"
+
+namespace ipim {
+
+std::string
+estimatorKey(const CompiledPipeline &pipe)
+{
+    std::ostringstream k;
+    k << pipe.def.name << '|' << pipe.def.width << 'x' << pipe.def.height
+      << '|' << pipe.cfg.cubes << '.' << pipe.cfg.vaultsPerCube << '.'
+      << pipe.cfg.pgsPerVault << '.' << pipe.cfg.pesPerPg << '|'
+      << pipe.options.cacheKey();
+    return k.str();
+}
+
+std::vector<f64>
+staticKernelEstimates(const CompiledPipeline &pipe)
+{
+    std::vector<f64> est;
+    est.reserve(pipe.kernels.size());
+    for (const CompiledKernel &k : pipe.kernels)
+        est.push_back(estimateKernelCycles(pipe.cfg, k.perVault));
+    return est;
+}
+
+const std::vector<f64> &
+LatencyEstimator::staticEstimates(const CompiledPipeline &pipe)
+{
+    std::string key = estimatorKey(pipe);
+    auto it = static_.find(key);
+    if (it == static_.end())
+        it = static_.emplace(key, staticKernelEstimates(pipe)).first;
+    return it->second;
+}
+
+void
+LatencyEstimator::recordMeasurement(const CompiledPipeline &pipe,
+                                    f64 measured)
+{
+    std::string key = estimatorKey(pipe);
+    if (scale_.count(key))
+        return; // first measurement calibrates, like CachedProgram
+    f64 stat = 0;
+    for (f64 c : staticEstimates(pipe))
+        stat += c;
+    scale_[key] = stat > 0 ? measured / stat : 1.0;
+}
+
+f64
+LatencyEstimator::scaleFor(const CompiledPipeline &pipe) const
+{
+    auto it = scale_.find(estimatorKey(pipe));
+    return it == scale_.end() ? 1.0 : it->second;
+}
+
+bool
+LatencyEstimator::calibrated(const CompiledPipeline &pipe) const
+{
+    return scale_.count(estimatorKey(pipe)) != 0;
+}
+
+} // namespace ipim

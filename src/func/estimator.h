@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Latency estimation for the functional backend (DESIGN.md Sec. 16).
+ *
+ * The functional interpreter produces pixels but no cycle count, so the
+ * serving layer needs an estimate it can trust for SJF scheduling and
+ * SLO accounting.  The base estimate is the PR 6 static cost model
+ * (src/analysis/cost.cc, within ±30% of measured cycles on all ten
+ * benchmarks), summed over the pipeline's kernels.  A LatencyEstimator
+ * optionally refines it: record one measured cycle-mode run per
+ * pipeline x geometry key and later estimates for that key are the
+ * static prediction scaled by measured/static — calibration transfers
+ * the cycle simulator's fidelity to functional-only runs of the same
+ * program.
+ */
+#ifndef IPIM_FUNC_ESTIMATOR_H_
+#define IPIM_FUNC_ESTIMATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/codegen.h"
+
+namespace ipim {
+
+/** Calibration key: pipeline x image size x geometry x options. */
+std::string estimatorKey(const CompiledPipeline &pipe);
+
+/** Static per-kernel cycle estimates (analysis/cost.h), in stage
+ *  order.  A kernel the model cannot cost contributes 0. */
+std::vector<f64> staticKernelEstimates(const CompiledPipeline &pipe);
+
+class LatencyEstimator
+{
+  public:
+    /**
+     * Static per-kernel estimates for @p pipe, memoized by key.  The
+     * cost model re-walks every kernel's program (CFG + dataflow), so
+     * recomputing it per launch would dominate functional-mode wall
+     * time; repeated launches of one pipeline pay it once.
+     */
+    const std::vector<f64> &staticEstimates(const CompiledPipeline &pipe);
+
+    /** Record a measured cycle-mode run of @p pipe (first wins). */
+    void recordMeasurement(const CompiledPipeline &pipe, f64 measured);
+
+    /** measured/static for @p pipe's key; 1.0 when uncalibrated or the
+     *  static model produced nothing to scale. */
+    f64 scaleFor(const CompiledPipeline &pipe) const;
+
+    bool calibrated(const CompiledPipeline &pipe) const;
+
+    size_t size() const { return scale_.size(); }
+
+  private:
+    std::map<std::string, f64> scale_;
+    std::map<std::string, std::vector<f64>> static_;
+};
+
+} // namespace ipim
+
+#endif // IPIM_FUNC_ESTIMATOR_H_

@@ -1,0 +1,657 @@
+#include "func/func_device.h"
+
+#include <bit>
+
+#include "common/logging.h"
+#include "isa/alu.h"
+#include "sim/program_validate.h"
+
+namespace ipim {
+
+FuncDevice::FuncDevice(const HardwareConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+    for (u32 c = 0; c < cfg_.cubes; ++c)
+        for (u32 v = 0; v < cfg_.vaultsPerCube; ++v) {
+            vaults_.emplace_back(cfg_);
+            resetVaultRegs(vaults_.back(), c, v);
+        }
+    for (VaultState &vs : vaults_)
+        for (PgState &pg : vs.pgs)
+            for (PeState &pe : pg.pes)
+                vs.peTable.emplace_back(&pg, &pe);
+}
+
+FuncDevice::VaultState &
+FuncDevice::vaultAt(u32 chip, u32 v)
+{
+    return vaults_.at(u64(chip) * cfg_.vaultsPerCube + v);
+}
+
+const FuncDevice::VaultState &
+FuncDevice::vaultAt(u32 chip, u32 v) const
+{
+    return vaults_.at(u64(chip) * cfg_.vaultsPerCube + v);
+}
+
+BankStorage &
+FuncDevice::bank(u32 chip, u32 v, u32 pg, u32 pe)
+{
+    return vaultAt(chip, v).pgs.at(pg).pes.at(pe).bank;
+}
+
+Scratchpad &
+FuncDevice::vsm(u32 chip, u32 v)
+{
+    return vaultAt(chip, v).vsm;
+}
+
+Scratchpad &
+FuncDevice::pgsm(u32 chip, u32 v, u32 pg)
+{
+    return vaultAt(chip, v).pgs.at(pg).pgsm;
+}
+
+u32
+FuncDevice::crf(u32 chip, u32 v, u16 idx) const
+{
+    return vaultAt(chip, v).crf.at(idx);
+}
+
+const VecWord &
+FuncDevice::drf(u32 chip, u32 v, u32 pg, u32 pe, u16 idx) const
+{
+    return vaultAt(chip, v).pgs.at(pg).pes.at(pe).drf.at(idx);
+}
+
+u32
+FuncDevice::arf(u32 chip, u32 v, u32 pg, u32 pe, u16 idx) const
+{
+    return vaultAt(chip, v).pgs.at(pg).pes.at(pe).arf.at(idx);
+}
+
+void
+FuncDevice::resetVaultRegs(VaultState &vs, u32 chip, u32 vaultInCube)
+{
+    std::fill(vs.crf.begin(), vs.crf.end(), 0u);
+    for (u32 g = 0; g < cfg_.pgsPerVault; ++g) {
+        PgState &pg = vs.pgs[g];
+        for (u32 p = 0; p < cfg_.pesPerPg; ++p) {
+            PeState &pe = pg.pes[p];
+            std::fill(pe.drf.begin(), pe.drf.end(), VecWord{});
+            std::fill(pe.arf.begin(), pe.arf.end(), 0u);
+            // Identity registers A0-A3 (Sec. IV-E; sim/pe.h ReservedArf).
+            pe.arf[0] = p;
+            pe.arf[1] = g;
+            pe.arf[2] = vaultInCube;
+            pe.arf[3] = chip;
+        }
+    }
+}
+
+void
+FuncDevice::loadProgramAll(const std::vector<Instruction> &prog)
+{
+    // Overwriting ownedProg_ can reuse its allocation, so its previous
+    // validation entry must not vouch for the new content.
+    validated_.erase(ownedProg_.data());
+    ownedProg_ = prog;
+    loadProgramPtrs(std::vector<const std::vector<Instruction> *>(
+        totalVaults(), &ownedProg_));
+}
+
+void
+FuncDevice::loadPrograms(
+    const std::vector<std::vector<Instruction>> &progs)
+{
+    if (progs.size() != totalVaults())
+        fatal("loadPrograms: got ", progs.size(), " programs for ",
+              totalVaults(), " vaults");
+    std::vector<const std::vector<Instruction> *> ptrs;
+    ptrs.reserve(progs.size());
+    for (const auto &p : progs)
+        ptrs.push_back(&p);
+    loadProgramPtrs(ptrs);
+}
+
+void
+FuncDevice::loadProgramPtrs(
+    const std::vector<const std::vector<Instruction> *> &ptrs)
+{
+    for (const auto *p : ptrs) {
+        auto it = validated_.find(p->data());
+        if (it == validated_.end() || it->second != p->size()) {
+            validateVaultProgram(cfg_, *p);
+            validated_[p->data()] = p->size();
+        }
+    }
+    for (u32 c = 0; c < cfg_.cubes; ++c) {
+        for (u32 v = 0; v < cfg_.vaultsPerCube; ++v) {
+            VaultState &vs = vaultAt(c, v);
+            vs.prog = ptrs[u64(c) * cfg_.vaultsPerCube + v];
+            vs.pc = 0;
+            vs.halted = vs.prog->empty();
+            vs.atSync = false;
+            vs.syncPhase = 0;
+            resetVaultRegs(vs, c, v);
+        }
+    }
+}
+
+void
+FuncDevice::reset()
+{
+    executed_ = 0;
+    for (u32 c = 0; c < cfg_.cubes; ++c) {
+        for (u32 v = 0; v < cfg_.vaultsPerCube; ++v) {
+            VaultState &vs = vaultAt(c, v);
+            vs.prog = nullptr;
+            vs.pc = 0;
+            vs.halted = true;
+            vs.atSync = false;
+            vs.syncPhase = 0;
+            vs.vsm.clear();
+            for (PgState &pg : vs.pgs) {
+                pg.pgsm.clear();
+                for (PeState &pe : pg.pes)
+                    pe.bank.clear();
+            }
+            resetVaultRegs(vs, c, v);
+        }
+    }
+}
+
+u64
+FuncDevice::resolveMem(const PeState &pe, const MemOperand &m)
+{
+    if (!m.indirect)
+        return u64(m.value);
+    return u64(i64(i32(pe.arf.at(m.value))) + m.offset);
+}
+
+void
+FuncDevice::execPe(VaultState &vs, PgState &pg, PeState &pe,
+                   const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::kComp: {
+        const VecWord &s1 = pe.drf.at(inst.src1);
+        const VecWord &s2 = pe.drf.at(inst.src2);
+        VecWord &d = pe.drf.at(inst.dst);
+        for (int l = 0; l < kSimdLanes; ++l) {
+            if (!(inst.vecMask & (1u << l)))
+                continue;
+            u32 a = inst.mode == CompMode::kScalarVec ? s1.lanes[0]
+                                                      : s1.lanes[l];
+            u32 b = s2.lanes[l];
+            u32 acc = d.lanes[l];
+            d.lanes[l] = inst.dtype == DType::kF32
+                             ? aluEvalLaneF32(inst.aluOp, a, b, acc)
+                             : aluEvalLaneI32(inst.aluOp, a, b, acc);
+        }
+        return;
+      }
+      case Opcode::kCalcArf: {
+        i32 a = i32(pe.arf.at(inst.src1));
+        i32 b = inst.srcImm ? inst.imm : i32(pe.arf.at(inst.src2));
+        pe.arf.at(inst.dst) = u32(aluEvalI32(inst.aluOp, a, b));
+        return;
+      }
+      case Opcode::kLdRf:
+        pe.drf.at(inst.dst) =
+            pe.bank.readVec(resolveMem(pe, inst.dramAddr));
+        return;
+      case Opcode::kStRf:
+        pe.bank.writeVec(resolveMem(pe, inst.dramAddr),
+                         pe.drf.at(inst.dst));
+        return;
+      case Opcode::kLdPgsm:
+        pg.pgsm.writeVec(u32(resolveMem(pe, inst.pgsmAddr)),
+                         pe.bank.readVec(resolveMem(pe, inst.dramAddr)));
+        return;
+      case Opcode::kStPgsm:
+        pe.bank.writeVec(resolveMem(pe, inst.dramAddr),
+                         pg.pgsm.readVec(u32(resolveMem(pe,
+                                                        inst.pgsmAddr))));
+        return;
+      case Opcode::kRdPgsm: {
+        VecWord loaded = pg.pgsm.readVec(
+            u32(resolveMem(pe, inst.pgsmAddr)), inst.pgsmStride);
+        VecWord &dst = pe.drf.at(inst.dst);
+        for (int l = 0; l < kSimdLanes; ++l)
+            if (inst.vecMask & (1u << l))
+                dst.lanes[l] = loaded.lanes[l];
+        return;
+      }
+      case Opcode::kWrPgsm:
+        pg.pgsm.writeVec(u32(resolveMem(pe, inst.pgsmAddr)),
+                         pe.drf.at(inst.dst), inst.pgsmStride,
+                         inst.vecMask);
+        return;
+      case Opcode::kRdVsm: {
+        VecWord loaded =
+            vs.vsm.readVec(u32(resolveMem(pe, inst.vsmAddr)));
+        VecWord &dst = pe.drf.at(inst.dst);
+        for (int l = 0; l < kSimdLanes; ++l)
+            if (inst.vecMask & (1u << l))
+                dst.lanes[l] = loaded.lanes[l];
+        return;
+      }
+      case Opcode::kWrVsm:
+        vs.vsm.writeVec(u32(resolveMem(pe, inst.vsmAddr)),
+                        pe.drf.at(inst.dst));
+        return;
+      case Opcode::kMovDrfToArf: {
+        int lane =
+            std::countr_zero(u32(inst.vecMask ? inst.vecMask : 1));
+        pe.arf.at(inst.dst) = pe.drf.at(inst.src1).lanes[lane];
+        return;
+      }
+      case Opcode::kMovArfToDrf: {
+        int lane =
+            std::countr_zero(u32(inst.vecMask ? inst.vecMask : 1));
+        pe.drf.at(inst.dst).lanes[lane] = pe.arf.at(inst.src1);
+        return;
+      }
+      case Opcode::kReset:
+        pe.drf.at(inst.dst) = VecWord{};
+        return;
+      default:
+        panic("PE asked to execute non-broadcast opcode ",
+              opcodeName(inst.op));
+    }
+}
+
+void
+FuncDevice::execBroadcast(VaultState &vs, const Instruction &inst)
+{
+    // Ascending PE order matches the cycle simulator's same-cycle start
+    // order (PGs and PEs tick in ascending index order): set-bit
+    // iteration visits mask bits lowest-first, skipping inactive PEs
+    // (compiled masks are often sparse).  The dispatch switch runs once
+    // per broadcast, not once per PE, so each case's body is a tight
+    // loop over the active PEs with the instruction fields already
+    // decoded.  simbMask was validated against the PE count at load.
+    auto forEachPe = [&](auto &&body) {
+        for (u32 m = inst.simbMask; m != 0; m &= m - 1) {
+            auto &ent = vs.peTable[u32(std::countr_zero(m))];
+            body(*ent.first, *ent.second);
+        }
+    };
+    switch (inst.op) {
+      case Opcode::kComp: {
+        const u8 vecMask = inst.vecMask;
+        const bool scalarVec = inst.mode == CompMode::kScalarVec;
+        const bool isF32 = inst.dtype == DType::kF32;
+        const AluOp aluOp = inst.aluOp;
+        // Specialized all-lane loops for the common ops: with the ALU
+        // op, dtype, and mode fixed per broadcast (compilers emit
+        // full-mask comps almost exclusively), the 4-lane body has no
+        // per-lane dispatch and vectorizes.  Each lambda's semantics
+        // are copied verbatim from aluEvalLaneF32/I32.
+        auto compAll = [&](auto evalLane) {
+            forEachPe([&](PgState &, PeState &pe) {
+                const VecWord &s1 = pe.drf.at(inst.src1);
+                const VecWord &s2 = pe.drf.at(inst.src2);
+                VecWord &d = pe.drf.at(inst.dst);
+                if (scalarVec) {
+                    u32 a = s1.lanes[0];
+                    for (int l = 0; l < kSimdLanes; ++l)
+                        d.lanes[l] =
+                            evalLane(a, s2.lanes[l], d.lanes[l]);
+                } else {
+                    for (int l = 0; l < kSimdLanes; ++l)
+                        d.lanes[l] = evalLane(s1.lanes[l], s2.lanes[l],
+                                              d.lanes[l]);
+                }
+            });
+        };
+        if (vecMask == 0xF && isF32) {
+            switch (aluOp) {
+              case AluOp::kAdd:
+                compAll([](u32 a, u32 b, u32) {
+                    return f32AsLane(laneAsF32(a) + laneAsF32(b));
+                });
+                return;
+              case AluOp::kSub:
+                compAll([](u32 a, u32 b, u32) {
+                    return f32AsLane(laneAsF32(a) - laneAsF32(b));
+                });
+                return;
+              case AluOp::kMul:
+                compAll([](u32 a, u32 b, u32) {
+                    return f32AsLane(laneAsF32(a) * laneAsF32(b));
+                });
+                return;
+              case AluOp::kDiv:
+                compAll([](u32 a, u32 b, u32) {
+                    return f32AsLane(laneAsF32(a) / laneAsF32(b));
+                });
+                return;
+              case AluOp::kMac:
+                compAll([](u32 a, u32 b, u32 acc) {
+                    return f32AsLane(laneAsF32(acc) +
+                                     laneAsF32(a) * laneAsF32(b));
+                });
+                return;
+              case AluOp::kMin:
+                compAll([](u32 a, u32 b, u32) {
+                    return f32AsLane(
+                        std::min(laneAsF32(a), laneAsF32(b)));
+                });
+                return;
+              case AluOp::kMax:
+                compAll([](u32 a, u32 b, u32) {
+                    return f32AsLane(
+                        std::max(laneAsF32(a), laneAsF32(b)));
+                });
+                return;
+              case AluOp::kCvtI2F:
+                compAll([](u32 a, u32, u32) {
+                    return f32AsLane(f32(laneAsI32(a)));
+                });
+                return;
+              case AluOp::kCvtF2I:
+                compAll([](u32 a, u32, u32) {
+                    return u32(i32(std::floor(laneAsF32(a))));
+                });
+                return;
+              default:
+                break; // uncommon op: generic loop below
+            }
+        } else if (vecMask == 0xF) {
+            switch (aluOp) {
+              case AluOp::kAdd:
+                compAll([](u32 a, u32 b, u32) { return a + b; });
+                return;
+              case AluOp::kSub:
+                compAll([](u32 a, u32 b, u32) { return a - b; });
+                return;
+              case AluOp::kMul:
+                compAll([](u32 a, u32 b, u32) { return a * b; });
+                return;
+              case AluOp::kDiv:
+                compAll([](u32 a, u32 b, u32) {
+                    if (i32(b) == 0)
+                        fatal("integer division by zero in index "
+                              "calculation");
+                    return u32(floorDiv(i32(a), i32(b)));
+                });
+                return;
+              case AluOp::kMac:
+                compAll([](u32 a, u32 b, u32 acc) {
+                    return u32(laneAsI32(acc) +
+                               laneAsI32(a) * laneAsI32(b));
+                });
+                return;
+              case AluOp::kMin:
+                compAll([](u32 a, u32 b, u32) {
+                    return u32(std::min(i32(a), i32(b)));
+                });
+                return;
+              case AluOp::kMax:
+                compAll([](u32 a, u32 b, u32) {
+                    return u32(std::max(i32(a), i32(b)));
+                });
+                return;
+              default:
+                break; // uncommon op: generic loop below
+            }
+        }
+        forEachPe([&](PgState &, PeState &pe) {
+            const VecWord &s1 = pe.drf.at(inst.src1);
+            const VecWord &s2 = pe.drf.at(inst.src2);
+            VecWord &d = pe.drf.at(inst.dst);
+            for (int l = 0; l < kSimdLanes; ++l) {
+                if (!(vecMask & (1u << l)))
+                    continue;
+                u32 a = scalarVec ? s1.lanes[0] : s1.lanes[l];
+                u32 b = s2.lanes[l];
+                u32 acc = d.lanes[l];
+                d.lanes[l] = isF32 ? aluEvalLaneF32(aluOp, a, b, acc)
+                                   : aluEvalLaneI32(aluOp, a, b, acc);
+            }
+        });
+        return;
+      }
+      case Opcode::kCalcArf:
+        forEachPe([&](PgState &, PeState &pe) {
+            i32 a = i32(pe.arf.at(inst.src1));
+            i32 b = inst.srcImm ? inst.imm : i32(pe.arf.at(inst.src2));
+            pe.arf.at(inst.dst) = u32(aluEvalI32(inst.aluOp, a, b));
+        });
+        return;
+      case Opcode::kLdRf:
+        forEachPe([&](PgState &, PeState &pe) {
+            pe.drf.at(inst.dst) =
+                pe.bank.readVec(resolveMem(pe, inst.dramAddr));
+        });
+        return;
+      case Opcode::kStRf:
+        forEachPe([&](PgState &, PeState &pe) {
+            pe.bank.writeVec(resolveMem(pe, inst.dramAddr),
+                             pe.drf.at(inst.dst));
+        });
+        return;
+      case Opcode::kLdPgsm:
+        forEachPe([&](PgState &pg, PeState &pe) {
+            pg.pgsm.writeVec(
+                u32(resolveMem(pe, inst.pgsmAddr)),
+                pe.bank.readVec(resolveMem(pe, inst.dramAddr)));
+        });
+        return;
+      case Opcode::kStPgsm:
+        forEachPe([&](PgState &pg, PeState &pe) {
+            pe.bank.writeVec(
+                resolveMem(pe, inst.dramAddr),
+                pg.pgsm.readVec(u32(resolveMem(pe, inst.pgsmAddr))));
+        });
+        return;
+      case Opcode::kRdPgsm:
+        forEachPe([&](PgState &pg, PeState &pe) {
+            VecWord loaded = pg.pgsm.readVec(
+                u32(resolveMem(pe, inst.pgsmAddr)), inst.pgsmStride);
+            VecWord &dst = pe.drf.at(inst.dst);
+            for (int l = 0; l < kSimdLanes; ++l)
+                if (inst.vecMask & (1u << l))
+                    dst.lanes[l] = loaded.lanes[l];
+        });
+        return;
+      case Opcode::kWrPgsm:
+        forEachPe([&](PgState &pg, PeState &pe) {
+            pg.pgsm.writeVec(u32(resolveMem(pe, inst.pgsmAddr)),
+                             pe.drf.at(inst.dst), inst.pgsmStride,
+                             inst.vecMask);
+        });
+        return;
+      case Opcode::kRdVsm:
+        forEachPe([&](PgState &, PeState &pe) {
+            VecWord loaded =
+                vs.vsm.readVec(u32(resolveMem(pe, inst.vsmAddr)));
+            VecWord &dst = pe.drf.at(inst.dst);
+            for (int l = 0; l < kSimdLanes; ++l)
+                if (inst.vecMask & (1u << l))
+                    dst.lanes[l] = loaded.lanes[l];
+        });
+        return;
+      case Opcode::kWrVsm:
+        forEachPe([&](PgState &, PeState &pe) {
+            vs.vsm.writeVec(u32(resolveMem(pe, inst.vsmAddr)),
+                            pe.drf.at(inst.dst));
+        });
+        return;
+      case Opcode::kMovDrfToArf: {
+        const int lane =
+            std::countr_zero(u32(inst.vecMask ? inst.vecMask : 1));
+        forEachPe([&](PgState &, PeState &pe) {
+            pe.arf.at(inst.dst) = pe.drf.at(inst.src1).lanes[lane];
+        });
+        return;
+      }
+      case Opcode::kMovArfToDrf: {
+        const int lane =
+            std::countr_zero(u32(inst.vecMask ? inst.vecMask : 1));
+        forEachPe([&](PgState &, PeState &pe) {
+            pe.drf.at(inst.dst).lanes[lane] = pe.arf.at(inst.src1);
+        });
+        return;
+      }
+      case Opcode::kReset:
+        forEachPe([&](PgState &, PeState &pe) {
+            pe.drf.at(inst.dst) = VecWord{};
+        });
+        return;
+      default:
+        forEachPe(
+            [&](PgState &pg, PeState &pe) { execPe(vs, pg, pe, inst); });
+    }
+}
+
+void
+FuncDevice::execReq(VaultState &vs, const Instruction &inst)
+{
+    if (inst.dstChip >= cfg_.cubes || inst.dstVault >= cfg_.vaultsPerCube)
+        panic("req addresses a nonexistent vault");
+    if (inst.dstPg >= cfg_.pgsPerVault || inst.dstPe >= cfg_.pesPerPg)
+        panic("remote request addresses a nonexistent PE");
+    // Core-side indirection resolves through the CtrlRF (sim/vault.cc).
+    u64 dramAddr =
+        inst.dramAddr.indirect
+            ? u64(i64(i32(vs.crf.at(u16(inst.dramAddr.value)))) +
+                  inst.dramAddr.offset)
+            : u64(inst.dramAddr.value);
+    u32 vsmAddr = inst.vsmAddr.indirect
+                      ? u32(i64(i32(vs.crf.at(u16(inst.vsmAddr.value)))) +
+                            inst.vsmAddr.offset)
+                      : inst.vsmAddr.value;
+    // Immediate resolution is sound under barrier-phase lockstep: the
+    // conflict analysis (V14-V18) proves accepted programs never race a
+    // req against a same-segment write of the remote bank.
+    VecWord data = bank(inst.dstChip, inst.dstVault, inst.dstPg,
+                        inst.dstPe)
+                       .readVec(dramAddr);
+    vs.vsm.writeVec(vsmAddr, data);
+}
+
+void
+FuncDevice::runVault(VaultState &vs, u64 &budget, u64 maxInsts)
+{
+    const std::vector<Instruction> &prog = *vs.prog;
+    while (!vs.halted) {
+        if (vs.pc >= prog.size())
+            panic("pc ran off the end of the program");
+        if (budget == 0)
+            fatal("functional execution exceeded ", maxInsts,
+                  " instructions without halting (deadlock or runaway "
+                  "loop)");
+        --budget;
+        ++executed_;
+        const Instruction &inst = prog[vs.pc];
+        switch (inst.op) {
+          case Opcode::kNop:
+            ++vs.pc;
+            break;
+          case Opcode::kJump:
+          case Opcode::kCjump: {
+            bool taken = inst.op == Opcode::kJump ||
+                         vs.crf.at(inst.src1) != 0;
+            if (taken) {
+                u32 target = vs.crf.at(inst.dst);
+                if (target >= prog.size())
+                    fatal("jump to pc ", target, " outside program");
+                vs.pc = target;
+            } else {
+                ++vs.pc;
+            }
+            break;
+          }
+          case Opcode::kCalcCrf: {
+            i32 a = i32(vs.crf.at(inst.src1));
+            i32 b = inst.srcImm ? inst.imm : i32(vs.crf.at(inst.src2));
+            vs.crf.at(inst.dst) = u32(aluEvalI32(inst.aluOp, a, b));
+            ++vs.pc;
+            break;
+          }
+          case Opcode::kSetiCrf:
+            vs.crf.at(inst.dst) = u32(inst.imm);
+            ++vs.pc;
+            break;
+          case Opcode::kSetiVsm:
+            vs.vsm.write32(inst.vsmAddr.value, u32(inst.imm));
+            ++vs.pc;
+            break;
+          case Opcode::kReq:
+            execReq(vs, inst);
+            ++vs.pc;
+            break;
+          case Opcode::kSync:
+            vs.atSync = true;
+            vs.syncPhase = inst.phaseId;
+            ++vs.pc;
+            return;
+          case Opcode::kHalt:
+            vs.halted = true;
+            ++vs.pc;
+            return;
+          default:
+            execBroadcast(vs, inst);
+            ++vs.pc;
+            break;
+        }
+    }
+}
+
+u64
+FuncDevice::run(u64 maxInsts)
+{
+    u64 budget = maxInsts;
+    while (true) {
+        bool anyRunning = false;
+        for (const VaultState &vs : vaults_)
+            if (!vs.halted) {
+                anyRunning = true;
+                break;
+            }
+        if (!anyRunning)
+            break;
+
+        // Run every live vault to its next barrier (or halt).  Vault
+        // order within a phase is unobservable for accepted programs:
+        // cross-vault communication happens only via req, and V14-V18
+        // prove reqs never race same-segment remote writes.
+        for (VaultState &vs : vaults_)
+            if (!vs.halted)
+                runVault(vs, budget, maxInsts);
+
+        // Barrier release: every non-halted vault must be parked at the
+        // same phase.  The cycle simulator would deadlock into its
+        // watchdog on any mismatch; mirror that as a fatal.
+        bool first = true;
+        bool anySync = false;
+        bool anyHalt = false;
+        u32 phase = 0;
+        for (const VaultState &vs : vaults_) {
+            if (vs.halted) {
+                anyHalt = true;
+                continue;
+            }
+            anySync = true;
+            if (first) {
+                phase = vs.syncPhase;
+                first = false;
+            } else if (vs.syncPhase != phase) {
+                fatal("sync barrier deadlock: vaults wait at phases ",
+                      phase, " and ", vs.syncPhase);
+            }
+        }
+        if (anySync && anyHalt)
+            fatal("sync barrier deadlock: a vault halted while others "
+                  "wait at phase ",
+                  phase);
+        for (VaultState &vs : vaults_)
+            vs.atSync = false;
+    }
+    return maxInsts - budget;
+}
+
+} // namespace ipim

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Functional execution backend: an un-clocked interpreter for compiled
+ * SIMB vault programs over the same DRAM-bank backing store the cycle
+ * simulator uses (ROADMAP item 2; DESIGN.md Sec. 16).
+ *
+ * Architectural state per vault mirrors the hardware exactly — CtrlRF +
+ * VSM at the vault, PGSM per process group, DataRF/AddrRF/bank per PE —
+ * but there is no pipeline, queue, memory controller, or NoC: every
+ * instruction's effects apply immediately, in program order per vault,
+ * ascending PE order per broadcast.
+ *
+ * Why that is pixel-exact with the cycle simulator (DESIGN.md Sec. 16):
+ * the control core issues strictly in order and the issue-time
+ * scoreboard orders every register RAW/WAR/WAW and every scratchpad
+ * RAW/WAR; per-PE bank accesses flow through a same-address-order-
+ * preserving MC; so the only reorderings the hardware permits are ones
+ * no dependence (as the hardware defines it) observes.  The known gap
+ * is scratchpad write-after-write, which the hardware leaves unordered
+ * and the compiler never emits overlapping (sim/hazards.h).
+ *
+ * Inter-vault interaction uses the sync-barrier structure: vaults run
+ * sequentially to their next sync, the barrier releases only when every
+ * non-halted vault arrived at the same phase, and req transfers resolve
+ * immediately against the remote bank — sound because the V14-V18
+ * conflict analysis proves accepted programs have no same-segment
+ * cross-vault races (src/analysis/conflict.cc).
+ */
+#ifndef IPIM_FUNC_FUNC_DEVICE_H_
+#define IPIM_FUNC_FUNC_DEVICE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.h"
+#include "dram/bank.h"
+#include "isa/instruction.h"
+#include "sim/scratchpad.h"
+
+namespace ipim {
+
+class FuncDevice
+{
+  public:
+    /** Instruction budget mirroring the cycle watchdog's role. */
+    static constexpr u64 kDefaultInstBudget = 500'000'000ull;
+
+    explicit FuncDevice(const HardwareConfig &cfg);
+
+    const HardwareConfig &cfg() const { return cfg_; }
+    u32 totalVaults() const { return cfg_.cubes * cfg_.vaultsPerCube; }
+
+    /** Functional access to one PE's bank (runtime scatter/gather);
+     *  same signature as Device::bank so runtime/transfer.h templates
+     *  over both. */
+    BankStorage &bank(u32 chip, u32 v, u32 pg, u32 pe);
+
+    /** Upload the same program to every vault (copied into the
+     *  device, so the argument may be a temporary). */
+    void loadProgramAll(const std::vector<Instruction> &prog);
+
+    /** Upload a per-vault program (chip-major order).  Like the cycle
+     *  device, this soft-resets register files (re-seeding the AddrRF
+     *  identity registers) but preserves scratchpad and bank contents
+     *  across kernels.  The programs are borrowed, not copied: @p progs
+     *  must outlive the subsequent run() (a CompiledPipeline's kernels
+     *  naturally do). */
+    void loadPrograms(const std::vector<std::vector<Instruction>> &progs);
+
+    /**
+     * Interpret every loaded program to completion.  @return dynamic
+     * instructions executed.  Throws FatalError on the same conditions
+     * the cycle simulator would (out-of-range accesses, division by
+     * zero, barrier deadlock) or once @p maxInsts execute without all
+     * vaults halting (runaway-loop watchdog).
+     */
+    u64 run(u64 maxInsts = kDefaultInstBudget);
+
+    /** Power-cycle: erase programs, registers, scratchpads, banks. */
+    void reset();
+
+    /** Dynamic instructions executed since construction or reset(). */
+    u64 totalExecuted() const { return executed_; }
+
+    // Architectural state access (tests / differential fuzzing).
+    Scratchpad &vsm(u32 chip, u32 v);
+    Scratchpad &pgsm(u32 chip, u32 v, u32 pg);
+    u32 crf(u32 chip, u32 v, u16 idx) const;
+    const VecWord &drf(u32 chip, u32 v, u32 pg, u32 pe, u16 idx) const;
+    u32 arf(u32 chip, u32 v, u32 pg, u32 pe, u16 idx) const;
+
+  private:
+    struct PeState
+    {
+        std::vector<VecWord> drf;
+        std::vector<u32> arf;
+        BankStorage bank;
+
+        PeState(const HardwareConfig &cfg)
+            : drf(cfg.dataRfEntries()), arf(cfg.addrRfEntries(), 0),
+              bank(cfg.bankBytes, cfg.dramRowBytes)
+        {
+        }
+    };
+
+    struct PgState
+    {
+        Scratchpad pgsm;
+        std::vector<PeState> pes;
+
+        PgState(const HardwareConfig &cfg) : pgsm(cfg.pgsmBytes)
+        {
+            for (u32 p = 0; p < cfg.pesPerPg; ++p)
+                pes.emplace_back(cfg);
+        }
+    };
+
+    struct VaultState
+    {
+        std::vector<u32> crf;
+        Scratchpad vsm;
+        std::vector<PgState> pgs;
+        /// peTable[i] = (owning PG, PE) of vault-wide PE index i, so a
+        /// broadcast iterates set mask bits directly instead of
+        /// scanning every PE slot (masks are often sparse).  Built
+        /// once at construction; the pointees live on pgs' and pes'
+        /// heap buffers, which never reallocate after that.
+        std::vector<std::pair<PgState *, PeState *>> peTable;
+
+        const std::vector<Instruction> *prog = nullptr; ///< borrowed
+        u32 pc = 0;
+        bool halted = true;
+        bool atSync = false;
+        u32 syncPhase = 0;
+
+        VaultState(const HardwareConfig &cfg)
+            : crf(cfg.ctrlRfEntries, 0), vsm(cfg.vsmBytes)
+        {
+            for (u32 g = 0; g < cfg.pgsPerVault; ++g)
+                pgs.emplace_back(cfg);
+        }
+    };
+
+    VaultState &vaultAt(u32 chip, u32 v);
+    const VaultState &vaultAt(u32 chip, u32 v) const;
+
+    /** Shared tail of loadPrograms/loadProgramAll: validate (memoized)
+     *  and point every vault at its borrowed program. */
+    void
+    loadProgramPtrs(const std::vector<const std::vector<Instruction> *> &);
+
+    /** Zero register files and re-seed AddrRF identities (soft reset). */
+    void resetVaultRegs(VaultState &vs, u32 chip, u32 vaultInCube);
+
+    /** Execute @p vs up to its next sync (sets atSync) or halt. */
+    void runVault(VaultState &vs, u64 &budget, u64 maxInsts);
+
+    void execBroadcast(VaultState &vs, const Instruction &inst);
+    void execPe(VaultState &vs, PgState &pg, PeState &pe,
+                const Instruction &inst);
+    void execReq(VaultState &vs, const Instruction &inst);
+
+    static u64 resolveMem(const PeState &pe, const MemOperand &m);
+
+    HardwareConfig cfg_;
+    std::vector<VaultState> vaults_; ///< chip-major
+    u64 executed_ = 0;
+
+    /** Backing store for loadProgramAll's broadcast program. */
+    std::vector<Instruction> ownedProg_;
+
+    /**
+     * Programs already validated on this device, keyed by storage
+     * identity (data pointer -> length).  Validity is a property of the
+     * program text and the fixed config, not of device state, so the
+     * memo survives reset() and repeated launches of a cached pipeline
+     * skip the linear re-validation pass.  Caveat: if a program vector
+     * is freed and a different program lands at the same address with
+     * the same length, its validation is skipped — the interpreter's
+     * own range checks still bound every access, so the failure mode is
+     * a later (or missing) diagnostic, never an unchecked access.
+     */
+    std::unordered_map<const Instruction *, size_t> validated_;
+};
+
+} // namespace ipim
+
+#endif // IPIM_FUNC_FUNC_DEVICE_H_

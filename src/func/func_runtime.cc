@@ -1,0 +1,70 @@
+#include "func/func_runtime.h"
+
+#include "common/logging.h"
+#include "runtime/transfer.h"
+#include "verify/verifier.h"
+
+namespace ipim {
+
+FuncLaunchResult
+funcLaunchOnDevice(FuncDevice &dev, const CompiledPipeline &pipeline,
+                   const std::map<std::string, Image> &inputs,
+                   LatencyEstimator *estimator)
+{
+    dev.reset();
+
+    // Scatter every input over its inferred (grown) region, exactly as
+    // Runtime::run does — same transfer templates, same layouts, so the
+    // initial bank state is bit-identical to the cycle backend's.
+    for (const StageInfo &s : pipeline.analysis->stages) {
+        if (!s.func->isInput())
+            continue;
+        auto it = inputs.find(s.func->name());
+        if (it == inputs.end())
+            fatal("input '", s.func->name(), "' not bound");
+        scatterImageTo(dev, pipeline.layouts->of(s.func), it->second);
+    }
+
+    FuncLaunchResult res;
+    for (const CompiledKernel &k : pipeline.kernels) {
+        // Same launch-time gate as the cycle runtime: a CompiledPipeline
+        // can be assembled or patched by hand.
+        if (pipeline.options.verify) {
+            VerifyReport rep = verifyDevice(dev.cfg(), k.perVault);
+            if (!rep.pass())
+                fatal("kernel '", k.stage,
+                      "' rejected before execution (", rep.errorCount(),
+                      " errors):\n", rep.toString());
+        }
+        dev.loadPrograms(k.perVault);
+        res.executedInsts += dev.run();
+    }
+
+    res.kernelEstimates = estimator ? estimator->staticEstimates(pipeline)
+                                    : staticKernelEstimates(pipeline);
+    f64 stat = 0;
+    for (f64 c : res.kernelEstimates)
+        stat += c;
+    if (estimator) {
+        res.scale = estimator->scaleFor(pipeline);
+        res.calibrated = estimator->calibrated(pipeline);
+    }
+    res.estimatedCycles = stat * res.scale;
+
+    const Layout &outL = pipeline.layouts->of(pipeline.def.output);
+    int h = pipeline.def.output->dims() == 2 ? pipeline.def.height : 1;
+    res.output = gatherImageFrom(dev, outL, pipeline.def.width, h);
+    return res;
+}
+
+FuncLaunchResult
+runPipelineFunc(const PipelineDef &def, const HardwareConfig &cfg,
+                const std::map<std::string, Image> &inputs,
+                const CompilerOptions &opts)
+{
+    CompiledPipeline cp = compilePipeline(def, cfg, opts);
+    FuncDevice dev(cfg);
+    return funcLaunchOnDevice(dev, cp, inputs);
+}
+
+} // namespace ipim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Host-side launch path for the functional backend: scatter inputs,
+ * interpret every kernel, gather the output — the FuncDevice analogue
+ * of runtime/runtime.h, sharing its scatter/gather implementation
+ * (runtime/transfer.h) so output placement is identical by
+ * construction.
+ */
+#ifndef IPIM_FUNC_FUNC_RUNTIME_H_
+#define IPIM_FUNC_FUNC_RUNTIME_H_
+
+#include <map>
+#include <string>
+
+#include "common/image.h"
+#include "compiler/codegen.h"
+#include "func/estimator.h"
+#include "func/func_device.h"
+
+namespace ipim {
+
+/** Result of functionally executing a compiled pipeline. */
+struct FuncLaunchResult
+{
+    Image output;
+    /// Estimated execution cycles: static cost model summed over
+    /// kernels, scaled by the estimator's calibration factor when one
+    /// was recorded for this pipeline x geometry.
+    f64 estimatedCycles = 0;
+    /// Per-kernel static estimates (unscaled), in stage order.
+    std::vector<f64> kernelEstimates;
+    /// Dynamic instructions interpreted across all kernels and vaults.
+    u64 executedInsts = 0;
+    /// True when estimatedCycles was refined from a measured run.
+    bool calibrated = false;
+    /// measured/static scale applied (1.0 when uncalibrated).
+    f64 scale = 1.0;
+};
+
+/**
+ * Execute @p pipeline functionally on a (possibly reused) FuncDevice.
+ * The device is power-cycled first, mirroring launchOnDevice.
+ * @p estimator, when given, supplies the calibration scale and memoizes
+ * the static cost-model walk, so repeated launches of one pipeline pay
+ * for estimation once — without one, every launch re-runs the model.
+ */
+FuncLaunchResult
+funcLaunchOnDevice(FuncDevice &dev, const CompiledPipeline &pipeline,
+                   const std::map<std::string, Image> &inputs,
+                   LatencyEstimator *estimator = nullptr);
+
+/** Compile + interpret in one call on a fresh FuncDevice. */
+FuncLaunchResult
+runPipelineFunc(const PipelineDef &def, const HardwareConfig &cfg,
+                const std::map<std::string, Image> &inputs,
+                const CompilerOptions &opts = {});
+
+} // namespace ipim
+
+#endif // IPIM_FUNC_FUNC_RUNTIME_H_

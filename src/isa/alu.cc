@@ -1,12 +1,5 @@
 #include "isa/alu.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "common/interval.h"
-#include "common/logging.h"
-#include "common/types.h"
-
 namespace ipim {
 
 bool
@@ -26,84 +19,6 @@ isLogicOp(AluOp op)
       default:
         return false;
     }
-}
-
-i32
-aluEvalI32(AluOp op, i32 a, i32 b)
-{
-    switch (op) {
-      case AluOp::kAdd: return i32(u32(a) + u32(b));
-      case AluOp::kSub: return i32(u32(a) - u32(b));
-      case AluOp::kMul: return i32(u32(a) * u32(b));
-      case AluOp::kDiv:
-        if (b == 0)
-            fatal("integer division by zero in index calculation");
-        return i32(floorDiv(a, b));
-      case AluOp::kMod:
-        if (b == 0)
-            fatal("integer modulo by zero in index calculation");
-        return i32(floorMod(a, b));
-      case AluOp::kShl: return i32(u32(a) << (u32(b) & 31));
-      case AluOp::kShr: return i32(u32(a) >> (u32(b) & 31));
-      case AluOp::kAnd: return a & b;
-      case AluOp::kOr: return a | b;
-      case AluOp::kXor: return a ^ b;
-      case AluOp::kCropLsb:
-        return i32(u32(a) & ~((1u << (u32(b) & 31)) - 1u));
-      case AluOp::kCropMsb:
-        return i32(u32(a) & ((1u << (u32(b) & 31)) - 1u));
-      case AluOp::kMin: return std::min(a, b);
-      case AluOp::kMax: return std::max(a, b);
-      case AluOp::kMac:
-        fatal("mac is only valid as a comp (SIMD) operation");
-      case AluOp::kCvtF2I:
-      case AluOp::kCvtI2F:
-        fatal("conversions are only valid as comp (SIMD) operations");
-      default:
-        panic("aluEvalI32: bad op ", int(op));
-    }
-}
-
-u32
-aluEvalLaneF32(AluOp op, u32 a, u32 b, u32 acc)
-{
-    switch (op) {
-      case AluOp::kAdd: return f32AsLane(laneAsF32(a) + laneAsF32(b));
-      case AluOp::kSub: return f32AsLane(laneAsF32(a) - laneAsF32(b));
-      case AluOp::kMul: return f32AsLane(laneAsF32(a) * laneAsF32(b));
-      case AluOp::kDiv: return f32AsLane(laneAsF32(a) / laneAsF32(b));
-      case AluOp::kMac:
-        return f32AsLane(laneAsF32(acc) + laneAsF32(a) * laneAsF32(b));
-      case AluOp::kMin:
-        return f32AsLane(std::min(laneAsF32(a), laneAsF32(b)));
-      case AluOp::kMax:
-        return f32AsLane(std::max(laneAsF32(a), laneAsF32(b)));
-      case AluOp::kCvtF2I:
-        return u32(i32(std::floor(laneAsF32(a))));
-      case AluOp::kCvtI2F:
-        return f32AsLane(f32(laneAsI32(a)));
-      // Bitwise ops apply to the raw lane regardless of dtype.
-      case AluOp::kShl:
-      case AluOp::kShr:
-      case AluOp::kAnd:
-      case AluOp::kOr:
-      case AluOp::kXor:
-      case AluOp::kCropLsb:
-      case AluOp::kCropMsb:
-        return u32(aluEvalI32(op, i32(a), i32(b)));
-      default:
-        panic("aluEvalLaneF32: bad op ", int(op));
-    }
-}
-
-u32
-aluEvalLaneI32(AluOp op, u32 a, u32 b, u32 acc)
-{
-    if (op == AluOp::kMac)
-        return u32(laneAsI32(acc) + laneAsI32(a) * laneAsI32(b));
-    if (op == AluOp::kCvtF2I || op == AluOp::kCvtI2F)
-        return aluEvalLaneF32(op, a, b, acc);
-    return u32(aluEvalI32(op, i32(a), i32(b)));
 }
 
 } // namespace ipim

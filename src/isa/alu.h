@@ -9,6 +9,12 @@
 #ifndef IPIM_ISA_ALU_H_
 #define IPIM_ISA_ALU_H_
 
+#include <algorithm>
+#include <cmath>
+
+#include "common/interval.h"
+#include "common/logging.h"
+#include "common/types.h"
 #include "isa/opcodes.h"
 
 namespace ipim {
@@ -18,8 +24,45 @@ namespace ipim {
  *
  * Division and modulo use floor semantics to match the index arithmetic
  * of the compiler's bounds inference.  mac is not valid here.
+ *
+ * Inline: these evaluators sit on the per-lane hot path of both the
+ * cycle simulator and the functional interpreter.
  */
-i32 aluEvalI32(AluOp op, i32 a, i32 b);
+inline i32
+aluEvalI32(AluOp op, i32 a, i32 b)
+{
+    switch (op) {
+      case AluOp::kAdd: return i32(u32(a) + u32(b));
+      case AluOp::kSub: return i32(u32(a) - u32(b));
+      case AluOp::kMul: return i32(u32(a) * u32(b));
+      case AluOp::kDiv:
+        if (b == 0)
+            fatal("integer division by zero in index calculation");
+        return i32(floorDiv(a, b));
+      case AluOp::kMod:
+        if (b == 0)
+            fatal("integer modulo by zero in index calculation");
+        return i32(floorMod(a, b));
+      case AluOp::kShl: return i32(u32(a) << (u32(b) & 31));
+      case AluOp::kShr: return i32(u32(a) >> (u32(b) & 31));
+      case AluOp::kAnd: return a & b;
+      case AluOp::kOr: return a | b;
+      case AluOp::kXor: return a ^ b;
+      case AluOp::kCropLsb:
+        return i32(u32(a) & ~((1u << (u32(b) & 31)) - 1u));
+      case AluOp::kCropMsb:
+        return i32(u32(a) & ((1u << (u32(b) & 31)) - 1u));
+      case AluOp::kMin: return std::min(a, b);
+      case AluOp::kMax: return std::max(a, b);
+      case AluOp::kMac:
+        fatal("mac is only valid as a comp (SIMD) operation");
+      case AluOp::kCvtF2I:
+      case AluOp::kCvtI2F:
+        fatal("conversions are only valid as comp (SIMD) operations");
+      default:
+        panic("aluEvalI32: bad op ", int(op));
+    }
+}
 
 /**
  * Evaluate one FP32 SIMD lane operation.
@@ -27,10 +70,48 @@ i32 aluEvalI32(AluOp op, i32 a, i32 b);
  * @param acc The previous destination lane value (used only by mac).
  * Bitwise ops (shift/and/or/xor/crop) operate on the raw lane bits.
  */
-u32 aluEvalLaneF32(AluOp op, u32 a, u32 b, u32 acc);
+inline u32
+aluEvalLaneF32(AluOp op, u32 a, u32 b, u32 acc)
+{
+    switch (op) {
+      case AluOp::kAdd: return f32AsLane(laneAsF32(a) + laneAsF32(b));
+      case AluOp::kSub: return f32AsLane(laneAsF32(a) - laneAsF32(b));
+      case AluOp::kMul: return f32AsLane(laneAsF32(a) * laneAsF32(b));
+      case AluOp::kDiv: return f32AsLane(laneAsF32(a) / laneAsF32(b));
+      case AluOp::kMac:
+        return f32AsLane(laneAsF32(acc) + laneAsF32(a) * laneAsF32(b));
+      case AluOp::kMin:
+        return f32AsLane(std::min(laneAsF32(a), laneAsF32(b)));
+      case AluOp::kMax:
+        return f32AsLane(std::max(laneAsF32(a), laneAsF32(b)));
+      case AluOp::kCvtF2I:
+        return u32(i32(std::floor(laneAsF32(a))));
+      case AluOp::kCvtI2F:
+        return f32AsLane(f32(laneAsI32(a)));
+      // Bitwise ops apply to the raw lane regardless of dtype.
+      case AluOp::kShl:
+      case AluOp::kShr:
+      case AluOp::kAnd:
+      case AluOp::kOr:
+      case AluOp::kXor:
+      case AluOp::kCropLsb:
+      case AluOp::kCropMsb:
+        return u32(aluEvalI32(op, i32(a), i32(b)));
+      default:
+        panic("aluEvalLaneF32: bad op ", int(op));
+    }
+}
 
 /** Evaluate one INT32 SIMD lane operation (comp.i32, incl. mac). */
-u32 aluEvalLaneI32(AluOp op, u32 a, u32 b, u32 acc);
+inline u32
+aluEvalLaneI32(AluOp op, u32 a, u32 b, u32 acc)
+{
+    if (op == AluOp::kMac)
+        return u32(laneAsI32(acc) + laneAsI32(a) * laneAsI32(b));
+    if (op == AluOp::kCvtF2I || op == AluOp::kCvtI2F)
+        return aluEvalLaneF32(op, a, b, acc);
+    return u32(aluEvalI32(op, i32(a), i32(b)));
+}
 
 /** Latency class: true if @p op runs at the logic-unit latency. */
 bool isLogicOp(AluOp op);

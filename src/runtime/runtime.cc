@@ -1,6 +1,7 @@
 #include "runtime/runtime.h"
 
 #include "common/logging.h"
+#include "runtime/transfer.h"
 #include "verify/verifier.h"
 
 namespace ipim {
@@ -19,50 +20,13 @@ Runtime::bindInput(const std::string &name, const Image &img)
 void
 Runtime::scatterImage(const Layout &layout, const Image &img)
 {
-    const Rect &r = layout.region();
-    for (i64 y = r.y.lo; y <= r.y.hi; ++y) {
-        for (i64 x = r.x.lo; x <= r.x.hi; ++x) {
-            f32 v = img.clampedAt(int(std::clamp<i64>(x, 0,
-                                                      img.width() - 1)),
-                                  int(std::clamp<i64>(y, 0,
-                                                      img.height() - 1)));
-            u32 bits = f32AsLane(v);
-            if (layout.kind() == LayoutKind::kTiled) {
-                PixelHome h = layout.homeOf(x, y);
-                dev_.bank(h.chip, h.vault, h.pg, h.pe)
-                    .write(h.addr, reinterpret_cast<u8 *>(&bits), 4);
-            } else {
-                // Replicated: every PE gets a copy.
-                u64 addr = layout.baseAddr() + layout.linearAddr(x, y);
-                for (u32 c = 0; c < dev_.cfg().cubes; ++c)
-                    for (u32 v2 = 0; v2 < dev_.cfg().vaultsPerCube; ++v2)
-                        for (u32 pg = 0; pg < dev_.cfg().pgsPerVault;
-                             ++pg)
-                            for (u32 pe = 0; pe < dev_.cfg().pesPerPg;
-                                 ++pe)
-                                dev_.bank(c, v2, pg, pe)
-                                    .write(addr,
-                                           reinterpret_cast<u8 *>(&bits),
-                                           4);
-            }
-        }
-    }
+    scatterImageTo(dev_, layout, img);
 }
 
 Image
 Runtime::gather(const Layout &layout, int width, int height)
 {
-    Image out(width, height);
-    for (i64 y = 0; y < height; ++y) {
-        for (i64 x = 0; x < width; ++x) {
-            PixelHome h = layout.homeOf(x, y);
-            u32 bits = 0;
-            dev_.bank(h.chip, h.vault, h.pg, h.pe)
-                .read(h.addr, reinterpret_cast<u8 *>(&bits), 4);
-            out.at(int(x), int(y)) = laneAsF32(bits);
-        }
-    }
-    return out;
+    return gatherImageFrom(dev_, layout, width, height);
 }
 
 LaunchResult

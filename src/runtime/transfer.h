@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Host-side image scatter/gather over a device's bank backing store.
+ *
+ * Templated on the device type so the cycle-accurate Device (sim/) and
+ * the functional FuncDevice (func/) share one implementation — both
+ * expose `cfg()` and `bank(chip, vault, pg, pe)`.  Keeping the layout
+ * walk in one place is what makes "functional output == cycle output"
+ * a statement about the interpreters alone, not about two scatter
+ * routines agreeing.
+ */
+#ifndef IPIM_RUNTIME_TRANSFER_H_
+#define IPIM_RUNTIME_TRANSFER_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/image.h"
+#include "compiler/layout.h"
+
+namespace ipim {
+
+/**
+ * Scatter @p img into the banks per @p layout (border-clamped).
+ *
+ * For tiled layouts, pixels of one image row inside one tile live at
+ * contiguous bank addresses in one PE (homeOf advances by 4 bytes per
+ * x until the tile boundary), so the walk resolves homeOf once per
+ * such run and issues a single bulk write — the placement is pixel-
+ * for-pixel identical to resolving every pixel individually.
+ */
+template <typename DeviceT>
+void
+scatterImageTo(DeviceT &dev, const Layout &layout, const Image &img)
+{
+    const Rect &r = layout.region();
+    auto clampedBits = [&](i64 x, i64 y) {
+        f32 v =
+            img.clampedAt(int(std::clamp<i64>(x, 0, img.width() - 1)),
+                          int(std::clamp<i64>(y, 0, img.height() - 1)));
+        return f32AsLane(v);
+    };
+    if (layout.kind() == LayoutKind::kTiled) {
+        const i64 tx = layout.tx();
+        std::vector<u32> run;
+        for (i64 y = r.y.lo; y <= r.y.hi; ++y) {
+            for (i64 x = r.x.lo; x <= r.x.hi;) {
+                i64 runLen = std::min(tx - (x - r.x.lo) % tx,
+                                      r.x.hi - x + 1);
+                run.resize(size_t(runLen));
+                for (i64 i = 0; i < runLen; ++i)
+                    run[size_t(i)] = clampedBits(x + i, y);
+                PixelHome h = layout.homeOf(x, y);
+                dev.bank(h.chip, h.vault, h.pg, h.pe)
+                    .write(h.addr,
+                           reinterpret_cast<const u8 *>(run.data()),
+                           u32(runLen) * 4);
+                x += runLen;
+            }
+        }
+        return;
+    }
+    // Replicated: every PE gets a copy.
+    for (i64 y = r.y.lo; y <= r.y.hi; ++y) {
+        for (i64 x = r.x.lo; x <= r.x.hi; ++x) {
+            u32 bits = clampedBits(x, y);
+            u64 addr = layout.baseAddr() + layout.linearAddr(x, y);
+            for (u32 c = 0; c < dev.cfg().cubes; ++c)
+                for (u32 v2 = 0; v2 < dev.cfg().vaultsPerCube; ++v2)
+                    for (u32 pg = 0; pg < dev.cfg().pgsPerVault; ++pg)
+                        for (u32 pe = 0; pe < dev.cfg().pesPerPg; ++pe)
+                            dev.bank(c, v2, pg, pe)
+                                .write(addr,
+                                       reinterpret_cast<u8 *>(&bits),
+                                       4);
+        }
+    }
+}
+
+/** Gather a func's realized values over a width x height window. */
+template <typename DeviceT>
+Image
+gatherImageFrom(DeviceT &dev, const Layout &layout, int width, int height)
+{
+    Image out(width, height);
+    if (layout.kind() == LayoutKind::kTiled) {
+        const Rect &r = layout.region();
+        const i64 tx = layout.tx();
+        std::vector<u32> run;
+        for (i64 y = 0; y < height; ++y) {
+            for (i64 x = 0; x < width;) {
+                i64 runLen = std::min(tx - (x - r.x.lo) % tx,
+                                      i64(width) - x);
+                run.resize(size_t(runLen));
+                PixelHome h = layout.homeOf(x, y);
+                dev.bank(h.chip, h.vault, h.pg, h.pe)
+                    .read(h.addr, reinterpret_cast<u8 *>(run.data()),
+                          u32(runLen) * 4);
+                for (i64 i = 0; i < runLen; ++i)
+                    out.at(int(x + i), int(y)) =
+                        laneAsF32(run[size_t(i)]);
+                x += runLen;
+            }
+        }
+        return out;
+    }
+    for (i64 y = 0; y < height; ++y) {
+        for (i64 x = 0; x < width; ++x) {
+            PixelHome h = layout.homeOf(x, y);
+            u32 bits = 0;
+            dev.bank(h.chip, h.vault, h.pg, h.pe)
+                .read(h.addr, reinterpret_cast<u8 *>(&bits), 4);
+            out.at(int(x), int(y)) = laneAsF32(bits);
+        }
+    }
+    return out;
+}
+
+} // namespace ipim
+
+#endif // IPIM_RUNTIME_TRANSFER_H_

@@ -4,8 +4,11 @@
 #include <limits>
 #include <sstream>
 
+#include <cmath>
+
 #include "apps/benchmarks.h"
 #include "common/logging.h"
+#include "func/func_runtime.h"
 #include "runtime/runtime.h"
 
 namespace ipim {
@@ -51,6 +54,13 @@ ServeReport::summary() const
     line("exec ", execLatency);
     out << "  program cache: " << u64(stats.get("serve.cache.miss"))
         << " compiles, " << u64(stats.get("serve.cache.hit")) << " hits\n";
+    if (estimatorSamples > 0) {
+        out.precision(1);
+        out << std::fixed << "  estimator error vs measured: mean "
+            << estimatorMeanAbsRelErr * 100 << "% | max "
+            << estimatorMaxAbsRelErr * 100 << "% over "
+            << estimatorSamples << " requests\n";
+    }
     return out.str();
 }
 
@@ -67,15 +77,22 @@ Server::Server(const ServerConfig &cfg) : cfg_(cfg)
               cfg_.hw.cubes);
     cfg_.cubesPerRequest = per;
 
+    if (cfg_.backend != "cycle" && cfg_.backend != "func")
+        fatal("unknown backend '", cfg_.backend, "' (cycle | func)");
+
     HardwareConfig slotCfg = slotConfig();
     for (u32 first = 0; first < cfg_.hw.cubes; first += per) {
         Slot s;
         s.firstCube = first;
         s.numCubes = per;
-        s.dev = std::make_unique<Device>(
-            slotCfg, cfg_.tracer,
-            "slot" + std::to_string(slots_.size()) + "/");
-        s.dev->setFastForward(cfg_.fastForward);
+        if (cfg_.backend == "func") {
+            s.fdev = std::make_unique<FuncDevice>(slotCfg);
+        } else {
+            s.dev = std::make_unique<Device>(
+                slotCfg, cfg_.tracer,
+                "slot" + std::to_string(slots_.size()) + "/");
+            s.dev->setFastForward(cfg_.fastForward);
+        }
         slots_.push_back(std::move(s));
     }
 }
@@ -193,28 +210,58 @@ Server::run(const std::vector<ServeRequest> &requests)
             }
             tr->asyncBegin(reqTrack, TraceEv::kReqExecute,
                            now + compileCycles, q.req.id);
-            // Device-local cycle 0 corresponds to this virtual instant.
-            tr->setTimeOffset(now + compileCycles);
+            // Device-local cycle 0 corresponds to this virtual instant
+            // (cycle backend only; the functional backend emits no
+            // device events).
+            if (cfg_.backend == "cycle")
+                tr->setTimeOffset(now + compileCycles);
         }
 
-        // Real cycle-level execution on the partition's reused device.
         BenchmarkApp app = makeBenchmark(q.req.pipeline, cfg_.width,
                                          cfg_.height, q.req.inputSeed);
-        LaunchResult res =
-            launchOnDevice(*slot.dev, q.program->compiled, app.inputs);
-        if (Tracer::active(tr))
-            tr->setTimeOffset(0);
-        q.program->recordMeasurement(res.cycles);
-        rep.stats.merge(slot.dev->stats());
-        rep.ffwdSkippedCycles += slot.dev->ffwdSkippedCycles();
-        rep.ffwdJumps += slot.dev->ffwdJumps();
+        Cycle execCycles = 0;
+        if (cfg_.backend == "func") {
+            // Functional execution: real pixels, estimated latency.
+            // The estimate is the static cost model's prediction (the
+            // same number CachedProgram::estimate() schedules by), so
+            // scheduling, SLO windows, and latency percentiles stay
+            // internally consistent; no measurement exists, so the
+            // cache entry stays uncalibrated and no device stats merge.
+            funcLaunchOnDevice(*slot.fdev, q.program->compiled,
+                               app.inputs, &estimator_);
+            execCycles = q.program->estimate();
+        } else {
+            // Real cycle-level execution on the partition's reused
+            // device.
+            LaunchResult res = launchOnDevice(
+                *slot.dev, q.program->compiled, app.inputs);
+            if (Tracer::active(tr))
+                tr->setTimeOffset(0);
+            execCycles = res.cycles;
+            // Estimator-error telemetry: how far the static cost model
+            // was from this request's measured cycles (DESIGN.md
+            // Sec. 16 calibration data).
+            if (q.program->staticCycles > 0 && res.cycles > 0) {
+                f64 err = std::abs(f64(q.program->staticCycles) -
+                                   f64(res.cycles)) /
+                          f64(res.cycles);
+                ++rep.estimatorSamples;
+                rep.estimatorMeanAbsRelErr += err; // sum; mean at end
+                rep.estimatorMaxAbsRelErr =
+                    std::max(rep.estimatorMaxAbsRelErr, err);
+            }
+            q.program->recordMeasurement(res.cycles);
+            rep.stats.merge(slot.dev->stats());
+            rep.ffwdSkippedCycles += slot.dev->ffwdSkippedCycles();
+            rep.ffwdJumps += slot.dev->ffwdJumps();
+        }
 
         RequestRecord rec;
         rec.id = q.req.id;
         rec.pipeline = q.req.pipeline;
         rec.arrival = q.req.arrival;
         rec.start = now;
-        rec.execCycles = res.cycles;
+        rec.execCycles = execCycles;
         rec.compileCycles = compileCycles;
         rec.finish = now + rec.compileCycles + rec.execCycles;
         rec.firstCube = slot.firstCube;
@@ -277,6 +324,13 @@ Server::run(const std::vector<ServeRequest> &requests)
     rep.stats.set("serve.makespanCycles", f64(rep.makespan));
     rep.stats.set("serve.throughputRps", rep.throughputRps());
     rep.stats.set("serve.slots", f64(slots_.size()));
+    if (rep.estimatorSamples > 0)
+        rep.estimatorMeanAbsRelErr /= f64(rep.estimatorSamples);
+    rep.stats.set("serve.estimator.samples", f64(rep.estimatorSamples));
+    rep.stats.set("serve.estimator.meanAbsRelErr",
+                  rep.estimatorMeanAbsRelErr);
+    rep.stats.set("serve.estimator.maxAbsRelErr",
+                  rep.estimatorMaxAbsRelErr);
     return rep;
 }
 

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "func/estimator.h"
+#include "func/func_device.h"
 #include "metrics/slo.h"
 #include "service/load_gen.h"
 #include "service/program_cache.h"
@@ -43,6 +45,16 @@ struct ServerConfig
     int height = 128;
     CompilerOptions copts;
     std::string policy = "fifo"; ///< scheduler name (fifo | sjf)
+
+    /**
+     * Execution backend (DESIGN.md Sec. 16).  "cycle" runs every
+     * request on the cycle-accurate simulator; "func" runs the
+     * functional interpreter (pixel-exact, orders of magnitude faster)
+     * and drives scheduling, SLO accounting, and latency metrics off
+     * the static cost model's cycle estimate instead of measured
+     * cycles.
+     */
+    std::string backend = "cycle";
     ShareMode share = ShareMode::kPerCube;
     u32 cubesPerRequest = 1; ///< partition width in kPerCube mode
 
@@ -121,6 +133,16 @@ struct ServeReport
      *  queue wait, cache hit rate), fed from `records` at end of run. */
     SloTracker slo;
 
+    /**
+     * Static-estimator error against measured cycles, sampled once per
+     * executed request on the cycle backend (serve.estimator.* stats;
+     * zero samples on the functional backend, where no measurement
+     * exists to compare against).
+     */
+    u64 estimatorSamples = 0;
+    f64 estimatorMeanAbsRelErr = 0;
+    f64 estimatorMaxAbsRelErr = 0;
+
     /** Served requests per second of virtual time. */
     f64 throughputRps() const;
 
@@ -150,7 +172,8 @@ class Server
     {
         u32 firstCube = 0;
         u32 numCubes = 0;
-        std::unique_ptr<Device> dev;
+        std::unique_ptr<Device> dev;      ///< cycle backend
+        std::unique_ptr<FuncDevice> fdev; ///< functional backend
         bool busy = false;
     };
 
@@ -166,6 +189,10 @@ class Server
 
     ServerConfig cfg_;
     std::vector<Slot> slots_;
+    /// Functional-backend estimator: memoizes the static cost-model
+    /// walk across requests so repeated launches of a cached pipeline
+    /// skip it (it would otherwise dominate functional dispatch time).
+    LatencyEstimator estimator_;
 };
 
 } // namespace ipim

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Load-time validation of one vault's SIMB program, shared by the
+ * cycle-accurate Vault (sim/vault.cc) and the functional backend
+ * (src/func): register indices within file sizes, non-empty in-range
+ * simb masks, direct seti_vsm addresses, resolvable branch labels, and
+ * a terminating halt.  Both backends must reject exactly the same
+ * programs with the same messages, or the functional/cycle equivalence
+ * tests could not compare failure behaviour.
+ */
+#ifndef IPIM_SIM_PROGRAM_VALIDATE_H_
+#define IPIM_SIM_PROGRAM_VALIDATE_H_
+
+#include <vector>
+
+#include "common/config.h"
+#include "isa/instruction.h"
+
+namespace ipim {
+
+/** Fatal on the first malformed instruction; returns otherwise. */
+void validateVaultProgram(const HardwareConfig &cfg,
+                          const std::vector<Instruction> &prog);
+
+} // namespace ipim
+
+#endif // IPIM_SIM_PROGRAM_VALIDATE_H_

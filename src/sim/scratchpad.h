@@ -51,6 +51,7 @@ class Scratchpad
             u32 a = addr + u32(l) * strideBytes;
             checkLane(a);
             std::memcpy(data_.data() + a, &v.lanes[l], 4);
+            hwm_ = std::max(hwm_, a + 4);
         }
     }
 
@@ -68,6 +69,7 @@ class Scratchpad
     {
         checkLane(addr);
         std::memcpy(data_.data() + addr, &v, 4);
+        hwm_ = std::max(hwm_, addr + 4);
     }
 
     /** Bulk access for the runtime (program upload, result gather). */
@@ -77,6 +79,7 @@ class Scratchpad
         if (u64(addr) + len > data_.size())
             fatal("scratchpad bulk write out of range");
         std::memcpy(data_.data() + addr, src, len);
+        hwm_ = std::max(hwm_, addr + len);
     }
 
     void
@@ -87,8 +90,16 @@ class Scratchpad
         std::memcpy(dst, data_.data() + addr, len);
     }
 
-    /** Zero the whole scratchpad (device power-cycle). */
-    void clear() { std::fill(data_.begin(), data_.end(), u8(0)); }
+    /** Zero the scratchpad (device power-cycle).  Only the written
+     *  prefix [0, high-water mark) can be nonzero, so only it is
+     *  wiped — kernels touch a small fraction of the scratchpad and
+     *  clearing runs once per launch. */
+    void
+    clear()
+    {
+        std::fill(data_.begin(), data_.begin() + hwm_, u8(0));
+        hwm_ = 0;
+    }
 
   private:
     void
@@ -100,6 +111,7 @@ class Scratchpad
     }
 
     std::vector<u8> data_;
+    u32 hwm_ = 0; ///< one past the highest byte ever written
 };
 
 /**

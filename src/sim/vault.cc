@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "isa/alu.h"
 #include "sim/hazards.h"
+#include "sim/program_validate.h"
 
 namespace ipim {
 
@@ -69,44 +70,7 @@ Vault::hardReset()
 void
 Vault::validateProgram(const std::vector<Instruction> &prog) const
 {
-    u32 validMask = numPes() >= 32 ? 0xFFFFFFFFu : ((1u << numPes()) - 1);
-    for (size_t i = 0; i < prog.size(); ++i) {
-        const Instruction &inst = prog[i];
-        AccessSet acc = inst.accessSet();
-        for (u8 r = 0; r < acc.numReads; ++r) {
-            const RegRef &ref = acc.reads[r];
-            u32 limit = ref.file == RegFile::kDrf ? cfg_.dataRfEntries()
-                        : ref.file == RegFile::kArf ? cfg_.addrRfEntries()
-                                                    : cfg_.ctrlRfEntries;
-            if (ref.idx >= limit)
-                fatal("program[", i, "] reads register ", ref.idx,
-                      " beyond file size ", limit, ": ", inst.toString());
-        }
-        for (u8 w = 0; w < acc.numWrites; ++w) {
-            const RegRef &ref = acc.writes[w];
-            u32 limit = ref.file == RegFile::kDrf ? cfg_.dataRfEntries()
-                        : ref.file == RegFile::kArf ? cfg_.addrRfEntries()
-                                                    : cfg_.ctrlRfEntries;
-            if (ref.idx >= limit)
-                fatal("program[", i, "] writes register ", ref.idx,
-                      " beyond file size ", limit, ": ", inst.toString());
-        }
-        if (isBroadcast(inst.op)) {
-            if (inst.simbMask == 0)
-                fatal("program[", i, "] broadcasts to an empty simb_mask: ",
-                      inst.toString());
-            if (inst.simbMask & ~validMask)
-                fatal("program[", i, "] simb_mask names PEs beyond ",
-                      numPes(), ": ", inst.toString());
-        }
-        if (inst.op == Opcode::kSetiVsm && inst.vsmAddr.indirect)
-            fatal("seti_vsm requires a direct VSM address");
-        if (inst.op == Opcode::kSetiCrf && inst.label >= 0 &&
-            u32(inst.imm) >= prog.size())
-            fatal("program[", i, "] branch label resolves outside program");
-    }
-    if (prog.empty() || prog.back().op != Opcode::kHalt)
-        fatal("program must end with halt");
+    validateVaultProgram(cfg_, prog);
 }
 
 void

@@ -1,0 +1,340 @@
+/**
+ * Functional-backend regressions (DESIGN.md Sec. 16).
+ *
+ * The functional interpreter must be pixel-exact with the cycle
+ * simulator — bit-identical outputs on every benchmark and every
+ * examples pipeline — and the latency estimator must reproduce the
+ * static cost model uncalibrated and the measured cycle count once
+ * calibrated.  Also home to the compile-determinism regression
+ * (DESIGN.md Sec. 13): compile() twice must emit byte-identical
+ * programs.
+ */
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "func/func_runtime.h"
+#include "isa/encoding.h"
+#include "runtime/runtime.h"
+
+namespace ipim {
+namespace {
+
+void
+expectBitExact(const Image &cycle, const Image &func)
+{
+    ASSERT_EQ(cycle.width(), func.width());
+    ASSERT_EQ(cycle.height(), func.height());
+    for (int y = 0; y < cycle.height(); ++y)
+        for (int x = 0; x < cycle.width(); ++x)
+            ASSERT_EQ(f32AsLane(cycle.at(x, y)), f32AsLane(func.at(x, y)))
+                << "pixel (" << x << "," << y << ")";
+}
+
+/** Permanent pixel-exactness gate: functional vs cycle on all ten
+ *  paper benchmarks. */
+TEST(FuncBackend, AllBenchmarksPixelExact)
+{
+    HardwareConfig cfg = HardwareConfig::tiny();
+    for (const std::string &name : allBenchmarkNames()) {
+        SCOPED_TRACE(name);
+        BenchmarkApp app = makeBenchmark(name, 64, 32);
+        CompiledPipeline cp = compilePipeline(app.def, cfg);
+
+        Device dev(cfg);
+        LaunchResult cyc = launchOnDevice(dev, cp, app.inputs);
+
+        FuncDevice fdev(cfg);
+        FuncLaunchResult fun = funcLaunchOnDevice(fdev, cp, app.inputs);
+
+        expectBitExact(cyc.output, fun.output);
+        EXPECT_GT(fun.executedInsts, 0u);
+        EXPECT_GT(fun.estimatedCycles, 0.0);
+        EXPECT_FALSE(fun.calibrated);
+        EXPECT_EQ(fun.scale, 1.0);
+        EXPECT_EQ(fun.kernelEstimates.size(), cp.kernels.size());
+    }
+}
+
+/** The functional path must re-run cleanly on a reused device (the
+ *  serving layer keeps one FuncDevice per slot). */
+TEST(FuncBackend, ReusedDeviceBitExact)
+{
+    HardwareConfig cfg = HardwareConfig::tiny();
+    BenchmarkApp blur = makeBenchmark("Blur", 64, 32);
+    BenchmarkApp hist = makeBenchmark("Histogram", 64, 32);
+    CompiledPipeline cpBlur = compilePipeline(blur.def, cfg);
+    CompiledPipeline cpHist = compilePipeline(hist.def, cfg);
+
+    FuncDevice dev(cfg);
+    Image first = funcLaunchOnDevice(dev, cpBlur, blur.inputs).output;
+    funcLaunchOnDevice(dev, cpHist, hist.inputs);
+    Image again = funcLaunchOnDevice(dev, cpBlur, blur.inputs).output;
+    expectBitExact(first, again);
+}
+
+// --- Examples pipelines (mirrors examples/*.cpp at test sizes) ---
+
+FuncPtr
+quickstartOut()
+{
+    Var x("x"), y("y");
+    FuncPtr in = Func::input("in");
+    FuncPtr blurx = Func::make("blurx");
+    blurx->define(x, y,
+                  ((*in)(x - 1, y) + (*in)(x, y) + (*in)(x + 1, y)) /
+                      3.0f);
+    FuncPtr out = Func::make("out");
+    out->define(x, y,
+                ((*blurx)(x, y - 1) + (*blurx)(x, y) +
+                 (*blurx)(x, y + 1)) /
+                    3.0f);
+    out->computeRoot().ipimTile(8, 8).loadPgsm().vectorize(4);
+    return out;
+}
+
+FuncPtr
+denoiseOut()
+{
+    Var x("x"), y("y");
+    FuncPtr in = Func::input("in");
+    FuncPtr sx = Func::make("smooth_x");
+    sx->define(x, y,
+               ((*in)(x - 1, y) + (*in)(x, y) * 2.0f + (*in)(x + 1, y)) /
+                   4.0f);
+    FuncPtr smooth = Func::make("smooth");
+    smooth->define(x, y,
+                   ((*sx)(x, y - 1) + (*sx)(x, y) * 2.0f +
+                    (*sx)(x, y + 1)) /
+                       4.0f);
+    smooth->computeRoot().ipimTile(8, 8).loadPgsm().vectorize(4);
+    FuncPtr edge = Func::make("edge");
+    Expr dx = (*smooth)(x + 1, y) - (*smooth)(x - 1, y);
+    Expr dy = (*smooth)(x, y + 1) - (*smooth)(x, y - 1);
+    Expr adx = max(dx, Expr(0.0f) - dx);
+    Expr ady = max(dy, Expr(0.0f) - dy);
+    edge->define(x, y, min(Expr(1.0f), (adx + ady) * 4.0f));
+    edge->computeRoot().ipimTile(8, 8).loadPgsm().vectorize(4);
+    FuncPtr blend = Func::make("blend");
+    blend->define(x, y,
+                  (*edge)(x, y) * (*in)(x, y) +
+                      (Expr(1.0f) - (*edge)(x, y)) * (*smooth)(x, y));
+    blend->computeRoot().ipimTile(8, 8).loadPgsm().vectorize(4);
+    FuncPtr wide = Func::make("wide");
+    Expr s = Expr(0.0f);
+    for (int d = -2; d <= 2; ++d)
+        s = s + (*blend)(x + d, y);
+    wide->define(x, y, s / 5.0f);
+    wide->computeRoot().ipimTile(8, 8).loadPgsm().vectorize(4);
+    FuncPtr out = Func::make("denoise_out");
+    out->define(x, y,
+                (*blend)(x, y) +
+                    ((*blend)(x, y) - (*wide)(x, y)) * 0.7f);
+    out->computeRoot().ipimTile(8, 8).loadPgsm().vectorize(4);
+    return out;
+}
+
+FuncPtr
+resample(FuncPtr src, const char *name, bool down, bool alongX)
+{
+    Var x("x"), y("y");
+    FuncPtr f = Func::make(name);
+    if (down && alongX)
+        f->define(x, y,
+                  ((*src)(x * 2 - 1, y) + (*src)(x * 2, y) * 2.0f +
+                   (*src)(x * 2 + 1, y)) /
+                      4.0f);
+    else if (down)
+        f->define(x, y,
+                  ((*src)(x, y * 2 - 1) + (*src)(x, y * 2) * 2.0f +
+                   (*src)(x, y * 2 + 1)) /
+                      4.0f);
+    else if (alongX)
+        f->define(x, y,
+                  ((*src)(x / 2, y) + (*src)((x + 1) / 2, y)) / 2.0f);
+    else
+        f->define(x, y,
+                  ((*src)(x, y / 2) + (*src)(x, (y + 1) / 2)) / 2.0f);
+    f->computeRoot()
+        .ipimTile(down ? 8 : 16, 8)
+        .loadPgsm()
+        .vectorize(4);
+    return f;
+}
+
+FuncPtr
+tonemapOut()
+{
+    Var x("x"), y("y");
+    FuncPtr in = Func::input("in");
+    FuncPtr g1x = resample(in, "g1x", true, true);
+    FuncPtr g1 = resample(g1x, "g1", true, false);
+    FuncPtr toned = Func::make("toned");
+    toned->define(x, y,
+                  (*g1)(x, y) / ((*g1)(x, y) + Expr(0.6f)) * 1.4f);
+    toned->computeRoot().ipimTile(8, 8).loadPgsm().vectorize(4);
+    FuncPtr upx = resample(toned, "upx", false, true);
+    FuncPtr base = resample(upx, "base", false, false);
+    FuncPtr out = Func::make("tonemap_out");
+    Expr up =
+        ((*g1)(x / 2, y / 2) + (*g1)((x + 1) / 2, (y + 1) / 2)) / 2.0f;
+    out->define(x, y, (*base)(x, y) + ((*in)(x, y) - up) * 0.8f);
+    out->computeRoot().ipimTile(16, 8).loadPgsm().vectorize(4);
+    return out;
+}
+
+TEST(FuncBackend, ExamplesPipelinesPixelExact)
+{
+    struct Example
+    {
+        const char *name;
+        FuncPtr out;
+        u64 seed;
+    };
+    const Example examples[] = {
+        {"quickstart_blur", quickstartOut(), 1},
+        {"denoise", denoiseOut(), 11},
+        {"tonemap", tonemapOut(), 21},
+    };
+    HardwareConfig cfg = HardwareConfig::benchCube();
+    for (const Example &ex : examples) {
+        SCOPED_TRACE(ex.name);
+        int w = 64, h = 32;
+        PipelineDef def{ex.name, ex.out, w, h, {}};
+        Image input = Image::synthetic(w, h, ex.seed);
+        CompiledPipeline cp = compilePipeline(def, cfg);
+
+        Device dev(cfg);
+        LaunchResult cyc = launchOnDevice(dev, cp, {{"in", input}});
+        FuncDevice fdev(cfg);
+        FuncLaunchResult fun =
+            funcLaunchOnDevice(fdev, cp, {{"in", input}});
+        expectBitExact(cyc.output, fun.output);
+    }
+}
+
+// --- Latency estimator ---
+
+TEST(FuncBackend, EstimatorCalibration)
+{
+    HardwareConfig cfg = HardwareConfig::tiny();
+    BenchmarkApp app = makeBenchmark("Blur", 64, 32);
+    CompiledPipeline cp = compilePipeline(app.def, cfg);
+
+    LatencyEstimator est;
+    EXPECT_FALSE(est.calibrated(cp));
+    EXPECT_EQ(est.scaleFor(cp), 1.0);
+
+    f64 stat = 0;
+    for (f64 c : staticKernelEstimates(cp))
+        stat += c;
+    ASSERT_GT(stat, 0.0);
+
+    Device dev(cfg);
+    LaunchResult cyc = launchOnDevice(dev, cp, app.inputs);
+    est.recordMeasurement(cp, f64(cyc.cycles));
+    EXPECT_TRUE(est.calibrated(cp));
+    EXPECT_DOUBLE_EQ(est.scaleFor(cp), f64(cyc.cycles) / stat);
+
+    // First measurement wins, like CachedProgram.
+    est.recordMeasurement(cp, 1.0);
+    EXPECT_DOUBLE_EQ(est.scaleFor(cp), f64(cyc.cycles) / stat);
+
+    // A calibrated functional launch reproduces the measured cycles.
+    FuncDevice fdev(cfg);
+    FuncLaunchResult fun =
+        funcLaunchOnDevice(fdev, cp, app.inputs, &est);
+    EXPECT_TRUE(fun.calibrated);
+    EXPECT_NEAR(fun.estimatedCycles, f64(cyc.cycles),
+                1e-6 * f64(cyc.cycles));
+}
+
+TEST(FuncBackend, EstimatorKeySeparatesGeometryAndSize)
+{
+    HardwareConfig tiny = HardwareConfig::tiny();
+    BenchmarkApp a = makeBenchmark("Blur", 64, 32);
+    BenchmarkApp b = makeBenchmark("Blur", 32, 32);
+    CompiledPipeline cpA = compilePipeline(a.def, tiny);
+    CompiledPipeline cpB = compilePipeline(b.def, tiny);
+    EXPECT_NE(estimatorKey(cpA), estimatorKey(cpB));
+
+    LatencyEstimator est;
+    est.recordMeasurement(cpA, 1000.0);
+    EXPECT_TRUE(est.calibrated(cpA));
+    EXPECT_FALSE(est.calibrated(cpB));
+}
+
+// --- FuncDevice failure modes ---
+
+TEST(FuncDevice, WatchdogTripsOnRunawayLoop)
+{
+    HardwareConfig cfg = HardwareConfig::tiny();
+    std::vector<Instruction> prog;
+    prog.push_back(Instruction::setiCrf(0, 1)); // condition: always
+    prog.push_back(Instruction::setiCrf(1, 1)); // target: pc 1
+    prog.push_back(Instruction::cjump(0, 1));
+    prog.push_back(Instruction::halt());
+
+    FuncDevice dev(cfg);
+    dev.loadProgramAll(prog);
+    EXPECT_THROW(dev.run(10'000), FatalError);
+}
+
+TEST(FuncDevice, BarrierDeadlockOnHaltedPeer)
+{
+    HardwareConfig cfg = HardwareConfig::tiny();
+    std::vector<std::vector<Instruction>> progs(cfg.cubes *
+                                                cfg.vaultsPerCube);
+    progs[0] = {Instruction::sync(1), Instruction::halt()};
+    for (size_t v = 1; v < progs.size(); ++v)
+        progs[v] = {Instruction::halt()};
+
+    FuncDevice dev(cfg);
+    dev.loadPrograms(progs);
+    EXPECT_THROW(dev.run(), FatalError);
+}
+
+TEST(FuncDevice, ScratchpadsSurviveSoftResetAcrossKernels)
+{
+    HardwareConfig cfg = HardwareConfig::tiny();
+    FuncDevice dev(cfg);
+    dev.loadProgramAll({Instruction::setiVsm(0, 0x1234), //
+                        Instruction::halt()});
+    dev.run();
+    // Loading the next kernel must preserve VSM (pipelines hand data
+    // between stages through scratchpads and banks).
+    dev.loadProgramAll({Instruction::halt()});
+    dev.run();
+    EXPECT_EQ(dev.vsm(0, 0).read32(0), 0x1234u);
+    // A power-cycle clears it.
+    dev.reset();
+    EXPECT_EQ(dev.vsm(0, 0).read32(0), 0u);
+}
+
+// --- Compile determinism (DESIGN.md Sec. 13) ---
+
+/** compile() must be a pure function of (def, cfg, options): two
+ *  compiles of the same pipeline emit byte-identical programs.  Guards
+ *  the pointer-ordering fix in StageEmitter::buildPlans. */
+TEST(CompileDeterminism, CompileTwiceByteEqual)
+{
+    HardwareConfig cfg = HardwareConfig::tiny();
+    for (const std::string &name : allBenchmarkNames()) {
+        SCOPED_TRACE(name);
+        BenchmarkApp app1 = makeBenchmark(name, 64, 32);
+        BenchmarkApp app2 = makeBenchmark(name, 64, 32);
+        CompiledPipeline a = compilePipeline(app1.def, cfg);
+        CompiledPipeline b = compilePipeline(app2.def, cfg);
+        ASSERT_EQ(a.kernels.size(), b.kernels.size());
+        for (size_t k = 0; k < a.kernels.size(); ++k) {
+            ASSERT_EQ(a.kernels[k].perVault.size(),
+                      b.kernels[k].perVault.size());
+            for (size_t v = 0; v < a.kernels[k].perVault.size(); ++v)
+                EXPECT_EQ(encodeProgram(a.kernels[k].perVault[v]),
+                          encodeProgram(b.kernels[k].perVault[v]))
+                    << "kernel " << k << " vault " << v;
+        }
+    }
+}
+
+} // namespace
+} // namespace ipim

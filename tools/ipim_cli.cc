@@ -45,6 +45,7 @@
 #include "common/json.h"
 #include "compiler/reference.h"
 #include "energy/energy_model.h"
+#include "func/func_runtime.h"
 #include "isa/assembler.h"
 #include "metrics/metrics.h"
 #include "metrics/profile.h"
@@ -77,6 +78,9 @@ struct Options
     bool gpu = false;
     bool json = false;
     bool fastForward = true; ///< --no-fast-forward densely ticks
+    /// Execution backend: "cycle" (cycle-accurate simulation) or
+    /// "func" (functional interpreter + latency estimate).
+    std::string backend = "cycle";
     // verify-subcommand only:
     bool verifyCmd = false;
     bool allBenches = false;
@@ -114,7 +118,7 @@ usage()
         "            [--ponb] [--sched frfcfs|fcfs] [--page open|close]\n"
         "            [--opts opt|baseline1..baseline4] [--verify]\n"
         "            [--gpu] [--dump-asm] [--json] [--trace FILE]\n"
-        "            [--no-fast-forward]\n"
+        "            [--no-fast-forward] [--backend cycle|func]\n"
         "       ipim verify [--bench NAME | --all | --asm FILE]\n"
         "            [--werror] [--json] [device/compiler flags as above]\n"
         "       ipim analyze [--bench NAME | --all | --asm FILE]\n"
@@ -124,6 +128,7 @@ usage()
         "            [--requests N] [--sched fifo|sjf]\n"
         "            [--share cube|whole] [--cubes-per-req K] [--seed S]\n"
         "            [--json] [--trace FILE] [--prom FILE]\n"
+        "            [--backend cycle|func]\n"
         "            [device/compiler flags as above]\n"
         "       ipim trace [--bench NAME] [--out FILE] [--csv FILE]\n"
         "            [--windows N] [device/compiler flags as above]\n"
@@ -137,6 +142,11 @@ usage()
         "  --no-fast-forward ticks every cycle densely instead of\n"
         "  skipping quiescent intervals; results are bit-exact either\n"
         "  way (DESIGN.md Sec. 13), it is only slower.\n"
+        "  --backend func runs the functional interpreter instead of\n"
+        "  the cycle simulator: pixels are bit-exact with cycle mode,\n"
+        "  cycle counts come from the static cost model's estimate\n"
+        "  (DESIGN.md Sec. 16), and serving-scale runs go orders of\n"
+        "  magnitude faster.\n"
         "  `ipim profile` runs one benchmark with the metrics sampler\n"
         "  attached and prints the per-vault cycle-accounting table,\n"
         "  the roofline check, and the inferred bottleneck; --json adds\n"
@@ -623,6 +633,7 @@ runServeCommand(const Options &o)
         fatal("unknown --share value '", o.share, "' (want cube|whole)");
     scfg.cubesPerRequest = o.cubesPerReq;
     scfg.fastForward = o.fastForward;
+    scfg.backend = o.backend;
 
     WorkloadSpec spec;
     spec.pipelines = splitList(o.bench);
@@ -659,6 +670,7 @@ runServeCommand(const Options &o)
         JsonWriter j;
         j.key("config").beginObject();
         j.field("policy", scfg.policy)
+            .field("backend", scfg.backend)
             .field("share", o.share)
             .field("cubes", scfg.hw.cubes)
             .field("cubes_per_request", scfg.cubesPerRequest)
@@ -696,6 +708,13 @@ runServeCommand(const Options &o)
         // Rolling-window SLO metrics (DESIGN.md Sec. 14).
         j.key("slo");
         rep.slo.toJson(j, rep.makespan);
+        // Static-estimator accuracy vs measured cycles (cycle backend
+        // only; the functional backend has no measurement to compare).
+        j.key("estimator").beginObject();
+        j.field("samples", rep.estimatorSamples)
+            .field("mean_abs_rel_err", rep.estimatorMeanAbsRelErr)
+            .field("max_abs_rel_err", rep.estimatorMaxAbsRelErr);
+        j.endObject();
         // Derived device telemetry over the merged per-request stats
         // (no trace parsing needed; see also `ipim trace`).
         j.key("telemetry").beginObject();
@@ -739,11 +758,12 @@ runServeCommand(const Options &o)
         return 0;
     }
 
-    std::printf("serve %s | device %ux%ux%ux%u | policy %s | share %s "
-                "(%u slot%s) | rate %.0f req/s | seed %llu\n",
+    std::printf("serve %s | device %ux%ux%ux%u | backend %s | policy %s "
+                "| share %s (%u slot%s) | rate %.0f req/s | seed %llu\n",
                 o.bench.c_str(), scfg.hw.cubes, scfg.hw.vaultsPerCube,
                 scfg.hw.pgsPerVault, scfg.hw.pesPerPg,
-                scfg.policy.c_str(), o.share.c_str(), server.slots(),
+                scfg.backend.c_str(), scfg.policy.c_str(),
+                o.share.c_str(), server.slots(),
                 server.slots() == 1 ? "" : "s", spec.ratePerSec,
                 (unsigned long long)spec.seed);
     std::printf("%s", rep.summary().c_str());
@@ -849,6 +869,8 @@ main(int argc, char **argv)
             o.cubesPerReq = u32(std::stoul(next()));
         else if (a == "--no-fast-forward")
             o.fastForward = false;
+        else if (a == "--backend")
+            o.backend = next();
         else if (a == "--interval")
             o.metricsInterval = std::stoull(next());
         else if (a == "--prom")
@@ -914,6 +936,76 @@ main(int argc, char **argv)
             return 0;
         }
 
+        if (o.backend != "cycle" && o.backend != "func")
+            fatal("unknown backend '", o.backend, "' (cycle | func)");
+
+        if (o.backend == "func") {
+            FuncDevice fdev(cfg);
+            FuncLaunchResult fres =
+                funcLaunchOnDevice(fdev, cp, app.inputs);
+            f64 px = f64(o.width) * o.height;
+            if (o.json) {
+                JsonWriter j;
+                j.field("bench", o.bench)
+                    .field("width", o.width)
+                    .field("height", o.height)
+                    .field("backend", "func");
+                j.key("device").beginObject();
+                j.field("cubes", cfg.cubes)
+                    .field("vaults", cfg.vaultsPerCube)
+                    .field("pgs", cfg.pgsPerVault)
+                    .field("pes", cfg.pesPerPg)
+                    .field("ponb", cfg.processOnBaseDie);
+                j.endObject();
+                j.field("opts", o.opts)
+                    .field("static_instructions", cp.totalInstructions())
+                    .field("estimated_cycles", fres.estimatedCycles)
+                    .field("estimate_calibrated", fres.calibrated)
+                    .field("executed_instructions", fres.executedInsts)
+                    .field("mpix_per_s",
+                           px / (fres.estimatedCycles * 1e-9) / 1e6);
+                j.key("kernels").beginArray();
+                for (size_t k = 0; k < fres.kernelEstimates.size(); ++k) {
+                    j.beginObject();
+                    j.field("stage", cp.kernels[k].stage)
+                        .field("estimated_cycles",
+                               fres.kernelEstimates[k]);
+                    j.endObject();
+                }
+                j.endArray();
+                if (o.verify) {
+                    Image ref = referenceRun(app.def, app.inputs);
+                    f32 diff = ref.maxAbsDiff(fres.output);
+                    j.field("verify_max_abs_diff", f64(diff));
+                    j.field("verify_pass", diff == 0.0f);
+                    std::printf("%s\n", j.finish().c_str());
+                    return diff == 0.0f ? 0 : 2;
+                }
+                std::printf("%s\n", j.finish().c_str());
+                return 0;
+            }
+            std::printf("backend: functional (estimated cycles from the "
+                        "static cost model)\n");
+            std::printf("estimated cycles: %.0f (%.3f ms) | %.1f Mpx/s | "
+                        "%llu instructions interpreted\n",
+                        fres.estimatedCycles,
+                        fres.estimatedCycles * 1e-6,
+                        px / (fres.estimatedCycles * 1e-9) / 1e6,
+                        (unsigned long long)fres.executedInsts);
+            for (size_t k = 0; k < fres.kernelEstimates.size(); ++k)
+                std::printf("  kernel %-18s %10.0f cycles (est)\n",
+                            cp.kernels[k].stage.c_str(),
+                            fres.kernelEstimates[k]);
+            if (o.verify) {
+                Image ref = referenceRun(app.def, app.inputs);
+                f32 diff = ref.maxAbsDiff(fres.output);
+                std::printf("verify: max|diff| = %g -> %s\n", diff,
+                            diff == 0.0f ? "BIT-EXACT" : "MISMATCH");
+                return diff == 0.0f ? 0 : 2;
+            }
+            return 0;
+        }
+
         std::unique_ptr<Tracer> tracer;
         if (!o.traceFile.empty()) {
             tracer = std::make_unique<Tracer>();
@@ -935,7 +1027,8 @@ main(int argc, char **argv)
             JsonWriter j;
             j.field("bench", o.bench)
                 .field("width", o.width)
-                .field("height", o.height);
+                .field("height", o.height)
+                .field("backend", "cycle");
             j.key("device").beginObject();
             j.field("cubes", cfg.cubes)
                 .field("vaults", cfg.vaultsPerCube)
