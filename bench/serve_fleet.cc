@@ -1,0 +1,236 @@
+/**
+ * Fleet serving study (DESIGN.md Sec. 17): sweeps the multi-device
+ * router/scheduler stack over open-loop multi-tenant workloads and
+ * emits BENCH_fleet.json for the CI perf-smoke artifact.
+ *
+ * Three experiments, each with a hard gate (non-zero exit on failure):
+ *
+ *  1. Device scaling: the same saturating trace over 1/2/4 devices.
+ *     Gate: >= 3x completed-request throughput at 4 devices vs 1.
+ *  2. Router frontier: {rr, least, hash, affinity} x arrival rates over
+ *     an 8-pipeline mix with capacity-bounded per-device program
+ *     caches.  Gate: cache-affinity routing dominates round-robin on
+ *     the throughput-vs-p99 frontier (no worse on both axes at every
+ *     rate, strictly better p99 somewhere).
+ *  3. Load shedding: a flood far over fleet capacity with a p99
+ *     target.  Gate: the shedder keeps admitted p99 within the target
+ *     while every shed request is accounted per tenant.
+ *
+ * The functional backend keeps this fast enough for CI; the fleet is
+ * deterministic, so every number here replays byte-identically.
+ */
+#include <fstream>
+
+#include "bench_common.h"
+#include "fleet/fleet.h"
+
+using namespace ipim;
+using namespace ipim::bench;
+
+namespace {
+
+/** Each fleet device: 2 cubes of 4x2x2 (two 1-cube slots). */
+HardwareConfig
+fleetDevice()
+{
+    HardwareConfig cfg;
+    cfg.cubes = 2;
+    cfg.vaultsPerCube = 4;
+    cfg.pgsPerVault = 2;
+    cfg.pesPerPg = 2;
+    cfg.meshCols = 4;
+    cfg.validate();
+    return cfg;
+}
+
+FleetConfig
+baseConfig(u32 devices)
+{
+    FleetConfig cfg;
+    cfg.hw = fleetDevice();
+    cfg.devices = devices;
+    cfg.width = 128;
+    cfg.height = 64;
+    cfg.backend = "func";
+    cfg.policy = "sjf";
+    return cfg;
+}
+
+f64
+p99Ms(const FleetReport &rep)
+{
+    return rep.totalLatency.percentile(99) * 1e-6;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Fleet", "devices x router x load shedding");
+    JsonWriter jw;
+    jw.field("schema", "ipim-bench-fleet-v1");
+    bool pass = true;
+
+    // ---- 1. Device scaling on one saturating trace ------------------
+    WorkloadSpec scalingSpec;
+    scalingSpec.pipelines = {"Blur", "Brighten", "Shift", "Downsample"};
+    scalingSpec.ratePerSec = 4e6; // far over 1-device capacity
+    scalingSpec.requests = 480;
+    scalingSpec.seed = 7;
+    std::vector<ServeRequest> scalingReqs = generateWorkload(scalingSpec);
+
+    std::printf("\n-- device scaling (saturating %u-request mix) --\n",
+                scalingSpec.requests);
+    std::printf("%-8s %12s %12s %12s\n", "devices", "makespan(ms)",
+                "req/s", "p99(ms)");
+    jw.key("scaling").beginArray();
+    f64 tput1 = 0, tput4 = 0;
+    for (u32 devices : {1u, 2u, 4u}) {
+        FleetConfig cfg = baseConfig(devices);
+        cfg.router = "least";
+        FleetReport rep = FleetServer(cfg).run(scalingReqs);
+        f64 tput = rep.throughputRps();
+        if (devices == 1)
+            tput1 = tput;
+        if (devices == 4)
+            tput4 = tput;
+        std::printf("%-8u %12.3f %12.0f %12.3f\n", devices,
+                    f64(rep.makespan) * 1e-6, tput, p99Ms(rep));
+        jw.beginObject();
+        jw.field("devices", u64(devices));
+        jw.field("completed", rep.completed);
+        jw.field("makespan_cycles", u64(rep.makespan));
+        jw.field("throughput_rps", tput);
+        jw.field("p99_ms", p99Ms(rep));
+        jw.endObject();
+    }
+    jw.endArray();
+    f64 scalingX = tput4 / tput1;
+    bool scalingPass = scalingX >= 3.0;
+    pass = pass && scalingPass;
+    std::printf("  -> 4-device speedup %.2fx (target >= 3x): %s\n",
+                scalingX, scalingPass ? "PASS" : "FAIL");
+    jw.field("scaling_4x_over_1", scalingX);
+
+    // ---- 2. Router frontier: throughput vs p99 ----------------------
+    // 8 pipelines through 2-entry per-device caches: a router that
+    // ignores residency recompiles constantly; affinity pins each
+    // pipeline where it is already hot.
+    WorkloadSpec mixSpec;
+    mixSpec.pipelines = {"Blur",     "Brighten",  "Shift",
+                         "Downsample", "Upsample", "Histogram",
+                         "Interpolate", "StencilChain"};
+    mixSpec.requests = 160;
+    mixSpec.seed = 21;
+
+    std::printf("\n-- router frontier (4 devices, 8 pipelines, "
+                "2-entry caches) --\n");
+    std::printf("%-9s %-9s %12s %12s %10s\n", "rate", "router", "req/s",
+                "p99(ms)", "compiles");
+    jw.key("frontier").beginArray();
+    bool affinityNoWorse = true;
+    bool affinityStrictlyBetter = false;
+    for (f64 rate : {100000.0, 200000.0, 400000.0}) {
+        mixSpec.ratePerSec = rate;
+        std::vector<ServeRequest> reqs = generateWorkload(mixSpec);
+        f64 rrTput = 0, rrP99 = 0, affTput = 0, affP99 = 0;
+        for (const char *router : {"rr", "least", "hash", "affinity"}) {
+            FleetConfig cfg = baseConfig(4);
+            cfg.router = router;
+            cfg.cacheCapacity = 2;
+            cfg.compileCyclesPerInst = 100; // compiles hurt the tail
+            FleetReport rep = FleetServer(cfg).run(reqs);
+            u64 compiles = 0;
+            for (const FleetReport::DeviceReport &d : rep.devices)
+                compiles += d.cacheCompiles;
+            f64 tput = rep.throughputRps();
+            if (std::string(router) == "rr") {
+                rrTput = tput;
+                rrP99 = p99Ms(rep);
+            }
+            if (std::string(router) == "affinity") {
+                affTput = tput;
+                affP99 = p99Ms(rep);
+            }
+            std::printf("%-9.0f %-9s %12.0f %12.3f %10llu\n", rate,
+                        router, tput, p99Ms(rep),
+                        (unsigned long long)compiles);
+            jw.beginObject();
+            jw.field("rate_rps", rate);
+            jw.field("router", router);
+            jw.field("throughput_rps", tput);
+            jw.field("p99_ms", p99Ms(rep));
+            jw.field("cache_compiles", compiles);
+            jw.endObject();
+        }
+        affinityNoWorse = affinityNoWorse && affP99 <= rrP99 * 1.001 &&
+                          affTput >= rrTput * 0.999;
+        affinityStrictlyBetter =
+            affinityStrictlyBetter || affP99 < rrP99 * 0.99;
+    }
+    jw.endArray();
+    bool frontierPass = affinityNoWorse && affinityStrictlyBetter;
+    pass = pass && frontierPass;
+    std::printf("  -> affinity dominates rr on the frontier: %s\n",
+                frontierPass ? "PASS" : "FAIL");
+    jw.field("affinity_dominates_rr", frontierPass);
+
+    // ---- 3. Load shedding under overload ----------------------------
+    FleetConfig shedCfg = baseConfig(4);
+    shedCfg.router = "least";
+    shedCfg.shedP99Cycles = 200'000; // 0.2 ms admitted-p99 target
+    shedCfg.sloWindowCycles = 100'000;
+    shedCfg.tenants = {{"batch", 1.0, 0, 2.0}, {"inter", 2.0, 1, 1.0}};
+    WorkloadSpec floodSpec;
+    floodSpec.pipelines = {"Blur", "Brighten", "Shift", "Downsample"};
+    floodSpec.ratePerSec = 8e6; // far over 4-device capacity
+    floodSpec.requests = 400;
+    floodSpec.seed = 33;
+    floodSpec.tenants = shedCfg.tenants;
+    std::vector<ServeRequest> flood = generateWorkload(floodSpec);
+    FleetReport shedRep = FleetServer(shedCfg).run(flood);
+
+    f64 targetMs = f64(shedCfg.shedP99Cycles) * 1e-6;
+    f64 admittedP99 = p99Ms(shedRep);
+    u64 tenantShed = 0;
+    for (const FleetReport::TenantReport &t : shedRep.tenants)
+        tenantShed += t.shed;
+    bool shedPass = shedRep.shedTotal > 0 &&
+                    shedRep.admitted + shedRep.shedTotal ==
+                        shedRep.records.size() &&
+                    tenantShed == shedRep.shedTotal &&
+                    admittedP99 <= targetMs;
+    pass = pass && shedPass;
+    std::printf("\n-- load shedding (8 Mrps flood, %.2f ms target) --\n",
+                targetMs);
+    std::printf("offered %zu  admitted %llu  shed %llu  admitted-p99 "
+                "%.3f ms: %s\n",
+                shedRep.records.size(),
+                (unsigned long long)shedRep.admitted,
+                (unsigned long long)shedRep.shedTotal, admittedP99,
+                shedPass ? "PASS" : "FAIL");
+    jw.key("shed").beginObject();
+    jw.field("offered", u64(shedRep.records.size()));
+    jw.field("admitted", shedRep.admitted);
+    jw.field("shed", shedRep.shedTotal);
+    jw.field("target_p99_ms", targetMs);
+    jw.field("admitted_p99_ms", admittedP99);
+    jw.key("per_tenant").beginArray();
+    for (const FleetReport::TenantReport &t : shedRep.tenants) {
+        jw.beginObject();
+        jw.field("name", t.name);
+        jw.field("admitted", t.admitted);
+        jw.field("shed", t.shed);
+        jw.field("shed_breach", t.shedBreach);
+        jw.field("shed_backlog", t.shedBacklog);
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.endObject();
+
+    jw.field("pass", pass);
+    std::ofstream("BENCH_fleet.json") << jw.finish() << "\n";
+    std::printf("\n%s\n", pass ? "PASS" : "FAIL");
+    return pass ? 0 : 4;
+}

@@ -14,6 +14,16 @@ LatencyHistogram::add(f64 sample)
     dirty_ = true;
 }
 
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    if (other.samples_.empty())
+        return;
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    dirty_ = true;
+}
+
 const std::vector<f64> &
 LatencyHistogram::sorted() const
 {

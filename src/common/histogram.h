@@ -45,6 +45,15 @@ class LatencyHistogram
     ///@}
 
     /**
+     * Append every sample of @p other (fleet aggregation, DESIGN.md
+     * Sec. 17).  Percentiles of the merged histogram are computed over
+     * the pooled samples, which is exact — averaging per-shard
+     * percentiles is not (a shard with 1 slow request and a shard with
+     * 999 fast ones average to a p99 neither population has).
+     */
+    void merge(const LatencyHistogram &other);
+
+    /**
      * Export "<prefix>.count" plus mean/min/max and p50/p95/p99 summary
      * keys into @p reg.  When the histogram is empty only the count key
      * is written: an absent "<prefix>.p99" means "no samples", which

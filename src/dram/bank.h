@@ -88,6 +88,24 @@ class BankStorage
         cachedData_ = nullptr;
     }
 
+    /** Deep copy of every materialized row — the bank half of a
+     *  preemption checkpoint (src/fleet/checkpoint.h, DESIGN.md
+     *  Sec. 17).  Rows absent from the snapshot read as zero. */
+    std::unordered_map<u32, std::vector<u8>> snapshotRows() const
+    {
+        return rows_;
+    }
+
+    /** Replace the backing contents with @p rows (checkpoint restore).
+     *  The row cache is invalidated: its pointee may not exist in the
+     *  restored map. */
+    void
+    restoreRows(std::unordered_map<u32, std::vector<u8>> rows)
+    {
+        rows_ = std::move(rows);
+        cachedData_ = nullptr;
+    }
+
   private:
     std::vector<u8> &rowData(u32 row);
     const std::vector<u8> *rowDataIfPresent(u32 row) const;

@@ -1,0 +1,123 @@
+#include "fleet/checkpoint.h"
+
+#include "func/func_device.h"
+#include "sim/device.h"
+#include "sim/process_group.h"
+#include "sim/vault.h"
+
+namespace ipim {
+
+namespace {
+
+// Accessor shims so one template serves both simulators: the cycle
+// Device reaches scratchpads through the vault/process-group tree, the
+// functional device exposes them directly.
+Scratchpad &
+vsmOf(Device &d, u32 chip, u32 v)
+{
+    return d.vault(chip, v).vsmMem();
+}
+
+Scratchpad &
+pgsmOf(Device &d, u32 chip, u32 v, u32 g)
+{
+    return d.vault(chip, v).pg(g).pgsm();
+}
+
+Scratchpad &
+vsmOf(FuncDevice &d, u32 chip, u32 v)
+{
+    return d.vsm(chip, v);
+}
+
+Scratchpad &
+pgsmOf(FuncDevice &d, u32 chip, u32 v, u32 g)
+{
+    return d.pgsm(chip, v, g);
+}
+
+std::vector<u8>
+readAll(const Scratchpad &sp)
+{
+    std::vector<u8> buf(sp.bytes());
+    if (!buf.empty())
+        sp.readBytes(0, buf.data(), u32(buf.size()));
+    return buf;
+}
+
+template <typename Dev>
+DeviceCheckpoint
+captureImpl(Dev &dev)
+{
+    const HardwareConfig &cfg = dev.cfg();
+    DeviceCheckpoint cp;
+    cp.banks.reserve(size_t(cfg.cubes) * cfg.vaultsPerCube *
+                     cfg.pgsPerVault * cfg.pesPerPg);
+    for (u32 chip = 0; chip < cfg.cubes; ++chip) {
+        for (u32 v = 0; v < cfg.vaultsPerCube; ++v) {
+            cp.vsm.push_back(readAll(vsmOf(dev, chip, v)));
+            for (u32 g = 0; g < cfg.pgsPerVault; ++g) {
+                cp.pgsm.push_back(readAll(pgsmOf(dev, chip, v, g)));
+                for (u32 p = 0; p < cfg.pesPerPg; ++p)
+                    cp.banks.push_back(
+                        dev.bank(chip, v, g, p).snapshotRows());
+            }
+        }
+    }
+    return cp;
+}
+
+template <typename Dev>
+void
+restoreImpl(Dev &dev, const DeviceCheckpoint &cp)
+{
+    const HardwareConfig &cfg = dev.cfg();
+    size_t bi = 0;
+    size_t vi = 0;
+    size_t gi = 0;
+    for (u32 chip = 0; chip < cfg.cubes; ++chip) {
+        for (u32 v = 0; v < cfg.vaultsPerCube; ++v) {
+            const std::vector<u8> &vbuf = cp.vsm.at(vi++);
+            if (!vbuf.empty())
+                vsmOf(dev, chip, v)
+                    .writeBytes(0, vbuf.data(), u32(vbuf.size()));
+            for (u32 g = 0; g < cfg.pgsPerVault; ++g) {
+                const std::vector<u8> &gbuf = cp.pgsm.at(gi++);
+                if (!gbuf.empty())
+                    pgsmOf(dev, chip, v, g)
+                        .writeBytes(0, gbuf.data(), u32(gbuf.size()));
+                for (u32 p = 0; p < cfg.pesPerPg; ++p)
+                    dev.bank(chip, v, g, p)
+                        .restoreRows(cp.banks.at(bi++));
+            }
+        }
+    }
+}
+
+} // namespace
+
+DeviceCheckpoint
+captureCheckpoint(Device &dev)
+{
+    return captureImpl(dev);
+}
+
+DeviceCheckpoint
+captureCheckpoint(FuncDevice &dev)
+{
+    return captureImpl(dev);
+}
+
+void
+restoreCheckpoint(Device &dev, const DeviceCheckpoint &cp)
+{
+    restoreImpl(dev, cp);
+}
+
+void
+restoreCheckpoint(FuncDevice &dev, const DeviceCheckpoint &cp)
+{
+    restoreImpl(dev, cp);
+}
+
+} // namespace ipim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Kernel-boundary device checkpoints for fleet preemption (DESIGN.md
+ * Sec. 17).
+ *
+ * Between kernels, the only architectural state a pipeline carries
+ * forward is DRAM bank contents plus the VSM/PGSM scratchpads: both
+ * simulators soft-reset every register file at program load (re-seeding
+ * the AddrRF identities), so registers never cross a kernel boundary.
+ * A checkpoint therefore captures exactly banks + scratchpads, and
+ * restoring it onto any power-cycled device of the same geometry
+ * resumes the pipeline bit-exactly from the next kernel — the basis of
+ * the fleet's preemption-at-kernel-boundary policy.
+ *
+ * Timing state (row buffers, activation history, queues) is *not*
+ * captured: a resumed kernel starts from power-on timing, exactly like
+ * the per-request Device::reset() the serving layer already performs.
+ * Pixels are bit-exact either way; cycle counts of a preempted run are
+ * deterministic but may differ from an unpreempted run of the same
+ * request (the determinism contract, DESIGN.md Sec. 17).
+ */
+#ifndef IPIM_FLEET_CHECKPOINT_H_
+#define IPIM_FLEET_CHECKPOINT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ipim {
+
+class Device;
+class FuncDevice;
+
+/** Banks + scratchpads of one device at a kernel boundary. */
+struct DeviceCheckpoint
+{
+    /// Sparse row images per bank, in (chip, vault, pg, pe) order.
+    std::vector<std::unordered_map<u32, std::vector<u8>>> banks;
+    /// Full VSM images per vault, chip-major.
+    std::vector<std::vector<u8>> vsm;
+    /// Full PGSM images per (chip, vault, pg).
+    std::vector<std::vector<u8>> pgsm;
+};
+
+/** Capture the architectural state of a quiesced device (all kernels
+ *  issued so far have completed). */
+DeviceCheckpoint captureCheckpoint(Device &dev);
+DeviceCheckpoint captureCheckpoint(FuncDevice &dev);
+
+/** Restore @p cp onto a freshly reset() device of the same geometry
+ *  the checkpoint was captured on. */
+void restoreCheckpoint(Device &dev, const DeviceCheckpoint &cp);
+void restoreCheckpoint(FuncDevice &dev, const DeviceCheckpoint &cp);
+
+} // namespace ipim
+
+#endif // IPIM_FLEET_CHECKPOINT_H_

@@ -1,0 +1,162 @@
+#include "fleet/router.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace ipim {
+
+namespace {
+
+/** Deterministic string hash: fold each byte through SplitMix64's
+ *  finalizer.  Quality matters only for spreading ring positions, not
+ *  for security. */
+u64
+stableHash(const std::string &s)
+{
+    u64 h = 0x9e3779b97f4a7c15ull;
+    for (char c : s)
+        h = splitMix64(h ^ u8(c));
+    return h;
+}
+
+/** Least-backlog choice shared by "least" and "affinity": smallest
+ *  estimated backlog, then shallowest queue, then lowest device id. */
+u32
+leastLoaded(const std::vector<const DeviceLoadView *> &candidates)
+{
+    const DeviceLoadView *best = nullptr;
+    for (const DeviceLoadView *d : candidates) {
+        if (!best ||
+            std::make_tuple(d->backlogCycles, d->queueDepth, d->device) <
+                std::make_tuple(best->backlogCycles, best->queueDepth,
+                                best->device))
+            best = d;
+    }
+    if (!best)
+        fatal("router: empty device list");
+    return best->device;
+}
+
+std::vector<const DeviceLoadView *>
+allOf(const std::vector<DeviceLoadView> &devices)
+{
+    std::vector<const DeviceLoadView *> ptrs;
+    ptrs.reserve(devices.size());
+    for (const DeviceLoadView &d : devices)
+        ptrs.push_back(&d);
+    return ptrs;
+}
+
+class RoundRobinRouter final : public Router
+{
+  public:
+    const char *name() const override { return "rr"; }
+
+    u32
+    route(const std::string & /*programKey*/,
+          const std::vector<DeviceLoadView> &devices) override
+    {
+        return u32(next_++ % devices.size());
+    }
+
+  private:
+    u64 next_ = 0;
+};
+
+class LeastLoadedRouter final : public Router
+{
+  public:
+    const char *name() const override { return "least"; }
+
+    u32
+    route(const std::string & /*programKey*/,
+          const std::vector<DeviceLoadView> &devices) override
+    {
+        return leastLoaded(allOf(devices));
+    }
+};
+
+/**
+ * Consistent hash over a virtual-node ring: each device owns
+ * kVirtualNodes points, a key routes to the first point clockwise from
+ * its hash.  Stable under key-set growth, and a given pipeline always
+ * lands on the same device — cache locality without tracking state.
+ */
+class ConsistentHashRouter final : public Router
+{
+  public:
+    static constexpr u32 kVirtualNodes = 16;
+
+    explicit ConsistentHashRouter(u32 devices)
+    {
+        ring_.reserve(size_t(devices) * kVirtualNodes);
+        for (u32 d = 0; d < devices; ++d)
+            for (u32 r = 0; r < kVirtualNodes; ++r)
+                ring_.emplace_back(
+                    splitMix64((u64(d) << 32) | (u64(r) + 1)), d);
+        std::sort(ring_.begin(), ring_.end());
+    }
+
+    const char *name() const override { return "hash"; }
+
+    u32
+    route(const std::string &programKey,
+          const std::vector<DeviceLoadView> & /*devices*/) override
+    {
+        u64 h = stableHash(programKey);
+        auto it = std::lower_bound(
+            ring_.begin(), ring_.end(), std::make_pair(h, u32(0)));
+        if (it == ring_.end())
+            it = ring_.begin(); // wrap around the ring
+        return it->second;
+    }
+
+  private:
+    std::vector<std::pair<u64, u32>> ring_; ///< (point, device), sorted
+};
+
+/** Prefer devices whose ProgramCache already holds the program (no
+ *  compile on the critical path, no cold cache entry evicting a hot
+ *  one); among them, least-loaded.  Falls back to least-loaded overall
+ *  when no device is hot, which is how a pipeline's home is chosen the
+ *  first time it appears. */
+class CacheAffinityRouter final : public Router
+{
+  public:
+    const char *name() const override { return "affinity"; }
+
+    u32
+    route(const std::string & /*programKey*/,
+          const std::vector<DeviceLoadView> &devices) override
+    {
+        std::vector<const DeviceLoadView *> hot;
+        for (const DeviceLoadView &d : devices)
+            if (d.cacheHot)
+                hot.push_back(&d);
+        return leastLoaded(hot.empty() ? allOf(devices) : hot);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Router>
+makeRouter(const std::string &policy, u32 devices)
+{
+    if (devices == 0)
+        fatal("router needs at least one device");
+    if (policy == "rr")
+        return std::make_unique<RoundRobinRouter>();
+    if (policy == "least")
+        return std::make_unique<LeastLoadedRouter>();
+    if (policy == "hash")
+        return std::make_unique<ConsistentHashRouter>(devices);
+    if (policy == "affinity")
+        return std::make_unique<CacheAffinityRouter>();
+    fatal("unknown router policy '", policy,
+          "' (rr | least | hash | affinity)");
+}
+
+} // namespace ipim

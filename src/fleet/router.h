@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Request routing across the devices of a fleet (DESIGN.md Sec. 17).
+ *
+ * The router runs once per admitted request, before the request enters
+ * a device's queue: it sees a load snapshot of every device plus the
+ * request's compiled-program cache key, and picks the device.  All
+ * policies are deterministic functions of their inputs, so fleet runs
+ * replay byte-identically.
+ */
+#ifndef IPIM_FLEET_ROUTER_H_
+#define IPIM_FLEET_ROUTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ipim {
+
+/** Router-visible load snapshot of one fleet device. */
+struct DeviceLoadView
+{
+    u32 device = 0;
+    u32 freeSlots = 0;       ///< idle partition slots right now
+    u32 slots = 0;           ///< total partition slots
+    u64 queueDepth = 0;      ///< requests queued on this device
+    Cycle backlogCycles = 0; ///< estimated queued + in-flight work
+    bool cacheHot = false;   ///< ProgramCache holds this request's key
+};
+
+class Router
+{
+  public:
+    virtual ~Router() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Pick the device for a request whose program cache key is
+     *  @p programKey; @p devices is non-empty, indexed by device id. */
+    virtual u32 route(const std::string &programKey,
+                      const std::vector<DeviceLoadView> &devices) = 0;
+};
+
+/**
+ * Factory by policy name: "rr" (round-robin), "least" (least estimated
+ * backlog), "hash" (consistent hash of the program key over a
+ * virtual-node ring), "affinity" (least-loaded among cache-hot
+ * devices, falling back to least-loaded overall).  Fatal on unknown
+ * names.  @p devices sizes the hash ring.
+ */
+std::unique_ptr<Router> makeRouter(const std::string &policy,
+                                   u32 devices);
+
+} // namespace ipim
+
+#endif // IPIM_FLEET_ROUTER_H_

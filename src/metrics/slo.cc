@@ -60,6 +60,27 @@ SloTracker::record(Cycle finish, Cycle totalLatency, Cycle queueLatency,
     queue_.add(f64(queueLatency));
 }
 
+void
+SloTracker::merge(const SloTracker &other)
+{
+    if (other.windowCycles_ != windowCycles_)
+        fatal("SloTracker merge window mismatch: ", windowCycles_,
+              " vs ", other.windowCycles_);
+    for (const Window &ow : other.windows_) {
+        // windowFor materializes any gap; the representative finish
+        // time of window i is i * windowCycles.
+        Window &w = windowFor(Cycle(ow.index) * windowCycles_);
+        w.requests += ow.requests;
+        w.cacheHits += ow.cacheHits;
+        w.totalLatency.merge(ow.totalLatency);
+        w.queueLatency.merge(ow.queueLatency);
+    }
+    requests_ += other.requests_;
+    cacheHits_ += other.cacheHits_;
+    total_.merge(other.total_);
+    queue_.merge(other.queue_);
+}
+
 f64
 SloTracker::throughputRps(Cycle makespan) const
 {

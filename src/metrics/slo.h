@@ -36,6 +36,16 @@ class SloTracker
     void record(Cycle finish, Cycle totalLatency, Cycle queueLatency,
                 bool cacheHit);
 
+    /**
+     * Fold @p other into this tracker (fleet aggregation, DESIGN.md
+     * Sec. 17): windows with the same index combine sample-exactly
+     * (LatencyHistogram::merge), gaps are materialized so the merged
+     * series stays contiguous, and the aggregate percentiles come from
+     * the pooled samples — never from averaged per-shard percentiles.
+     * Both trackers must use the same window size (fatal otherwise).
+     */
+    void merge(const SloTracker &other);
+
     Cycle windowCycles() const { return windowCycles_; }
     u64 requests() const { return requests_; }
     u64 cacheHits() const { return cacheHits_; }

@@ -1,5 +1,6 @@
 #include "service/load_gen.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
@@ -7,31 +8,188 @@
 
 namespace ipim {
 
-std::vector<ServeRequest>
-generatePoissonWorkload(const WorkloadSpec &spec)
+namespace {
+
+constexpr f64 kPi = 3.14159265358979323846;
+
+/** Draw the next arrival time after @p t for one tenant's process.
+ *  All randomness comes from @p rng in a fixed draw order, so the
+ *  sequence is a pure function of the substream seed. */
+struct ArrivalProcess
+{
+    const WorkloadSpec &spec;
+    f64 meanGapCycles; ///< mean gap at this tenant's rate
+    SplitMix64 &rng;
+    /// Bursty state: cycles of "on" time left in the current burst.
+    f64 onRemaining = 0.0;
+
+    f64
+    next(f64 t)
+    {
+        switch (spec.shape) {
+          case TraceShape::kPoisson:
+            return t + rng.nextExponential(meanGapCycles);
+          case TraceShape::kBursty: {
+            // On/off MMPP: arrivals at rate/duty while "on"; the mean
+            // off gap is sized so the duty cycle (and long-run rate)
+            // comes out right.
+            f64 onGapMean = meanGapCycles * spec.burstDuty;
+            f64 onMean = spec.burstOnSec * 1e9;
+            f64 offMean = onMean * (1.0 - spec.burstDuty) /
+                          spec.burstDuty;
+            while (true) {
+                f64 gap = rng.nextExponential(onGapMean);
+                if (gap <= onRemaining) {
+                    onRemaining -= gap;
+                    return t + gap;
+                }
+                t += onRemaining;
+                t += rng.nextExponential(offMean);
+                onRemaining = rng.nextExponential(onMean);
+            }
+          }
+          case TraceShape::kDiurnal: {
+            // Lewis-Shedler thinning against the peak rate: candidate
+            // gaps at rate*(1+A), each kept with probability
+            // rate(t)/peak.
+            f64 peakGapMean =
+                meanGapCycles / (1.0 + spec.diurnalAmplitude);
+            f64 period = spec.diurnalPeriodSec * 1e9;
+            while (true) {
+                t += rng.nextExponential(peakGapMean);
+                f64 lambda = 1.0 + spec.diurnalAmplitude *
+                                       std::sin(2.0 * kPi * t / period);
+                if (rng.nextUnit() * (1.0 + spec.diurnalAmplitude) <=
+                    lambda)
+                    return t;
+            }
+          }
+        }
+        fatal("unreachable trace shape");
+    }
+};
+
+void
+validate(const WorkloadSpec &spec)
 {
     if (spec.pipelines.empty())
         fatal("workload needs at least one pipeline");
     if (!(spec.ratePerSec > 0.0))
         fatal("arrival rate must be positive, got ", spec.ratePerSec);
+    if (spec.shape == TraceShape::kBursty &&
+        (!(spec.burstDuty > 0.0) || spec.burstDuty > 1.0))
+        fatal("burst duty must be in (0, 1], got ", spec.burstDuty);
+    if (spec.shape == TraceShape::kBursty && !(spec.burstOnSec > 0.0))
+        fatal("burst on-duration must be positive");
+    if (spec.shape == TraceShape::kDiurnal &&
+        (spec.diurnalAmplitude < 0.0 || spec.diurnalAmplitude >= 1.0))
+        fatal("diurnal amplitude must be in [0, 1), got ",
+              spec.diurnalAmplitude);
+    if (spec.shape == TraceShape::kDiurnal &&
+        !(spec.diurnalPeriodSec > 0.0))
+        fatal("diurnal period must be positive");
+    for (const TenantSpec &t : spec.tenants) {
+        if (!(t.weight > 0.0))
+            fatal("tenant '", t.name, "' weight must be positive");
+        if (!(t.rateShare > 0.0))
+            fatal("tenant '", t.name, "' rate share must be positive");
+    }
+}
 
-    // 1 cycle == 1 ns, so rate r req/s => mean gap of 1e9/r cycles.
-    f64 meanGapCycles = 1e9 / spec.ratePerSec;
+/** Apportion @p total requests by rateShare (largest remainder, ties
+ *  to the lowest tenant index), so the counts sum to @p total. */
+std::vector<u32>
+apportion(const std::vector<TenantSpec> &tenants, u32 total)
+{
+    f64 shareSum = 0.0;
+    for (const TenantSpec &t : tenants)
+        shareSum += t.rateShare;
+    std::vector<u32> counts(tenants.size(), 0);
+    std::vector<std::pair<f64, size_t>> rem; // (-remainder, index)
+    u32 assigned = 0;
+    for (size_t i = 0; i < tenants.size(); ++i) {
+        f64 exact = f64(total) * tenants[i].rateShare / shareSum;
+        counts[i] = u32(exact);
+        assigned += counts[i];
+        rem.emplace_back(-(exact - f64(counts[i])), i);
+    }
+    std::sort(rem.begin(), rem.end());
+    for (size_t i = 0; assigned < total; ++i, ++assigned)
+        ++counts[rem[i % rem.size()].second];
+    return counts;
+}
 
-    SplitMix64 rng(spec.seed);
+} // namespace
+
+TraceShape
+parseTraceShape(const std::string &name)
+{
+    if (name == "poisson")
+        return TraceShape::kPoisson;
+    if (name == "bursty")
+        return TraceShape::kBursty;
+    if (name == "diurnal")
+        return TraceShape::kDiurnal;
+    fatal("unknown trace shape '", name,
+          "' (poisson | bursty | diurnal)");
+}
+
+std::vector<ServeRequest>
+generateWorkload(const WorkloadSpec &spec)
+{
+    validate(spec);
+
+    std::vector<TenantSpec> tenants = spec.tenants;
+    if (tenants.empty())
+        tenants.push_back(TenantSpec{});
+
+    f64 shareSum = 0.0;
+    for (const TenantSpec &t : tenants)
+        shareSum += t.rateShare;
+    std::vector<u32> counts = apportion(tenants, spec.requests);
+
     std::vector<ServeRequest> reqs;
     reqs.reserve(spec.requests);
-    f64 t = 0.0;
-    for (u32 i = 0; i < spec.requests; ++i) {
-        t += rng.nextExponential(meanGapCycles);
-        ServeRequest r;
-        r.id = i;
-        r.pipeline = spec.pipelines[rng.next() % spec.pipelines.size()];
-        r.arrival = Cycle(std::llround(t));
-        r.inputSeed = rng.next() | 1; // never zero
-        reqs.push_back(std::move(r));
+    for (size_t ti = 0; ti < tenants.size(); ++ti) {
+        // Independent substream per tenant: tenant ti's arrivals are a
+        // pure function of (seed, ti), so reconfiguring one tenant
+        // never perturbs another's trace (pinned by test_service).
+        SplitMix64 rng(splitMix64(spec.seed ^ splitMix64(u64(ti))));
+        f64 rate = spec.ratePerSec * tenants[ti].rateShare / shareSum;
+        // 1 cycle == 1 ns, so rate r req/s => mean gap of 1e9/r cycles.
+        ArrivalProcess proc{spec, 1e9 / rate, rng};
+        f64 t = 0.0;
+        for (u32 i = 0; i < counts[ti]; ++i) {
+            t = proc.next(t);
+            ServeRequest r;
+            r.pipeline =
+                spec.pipelines[rng.next() % spec.pipelines.size()];
+            r.arrival = Cycle(std::llround(t));
+            r.inputSeed = rng.next() | 1; // never zero
+            r.tenant = u32(ti);
+            r.priority = tenants[ti].priority;
+            reqs.push_back(std::move(r));
+        }
     }
+
+    // Deterministic merge: by arrival, then tenant; ids in merged order.
+    std::stable_sort(reqs.begin(), reqs.end(),
+                     [](const ServeRequest &a, const ServeRequest &b) {
+                         return a.arrival != b.arrival
+                                    ? a.arrival < b.arrival
+                                    : a.tenant < b.tenant;
+                     });
+    for (size_t i = 0; i < reqs.size(); ++i)
+        reqs[i].id = i;
     return reqs;
+}
+
+std::vector<ServeRequest>
+generatePoissonWorkload(const WorkloadSpec &spec)
+{
+    WorkloadSpec s = spec;
+    s.shape = TraceShape::kPoisson;
+    return generateWorkload(s);
 }
 
 } // namespace ipim

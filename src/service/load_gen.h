@@ -1,13 +1,25 @@
 /**
  * @file
- * Open-loop Poisson load generator for the serving layer.
+ * Open-loop load generator for the serving layer.
  *
- * Requests arrive at exponentially distributed interarrival times (a
- * Poisson process) regardless of how fast the device drains them —
- * open-loop, as production front-ends see traffic.  Everything is
- * derived from one seed through the repo's SplitMix64 stream, so a
- * (workload, seed) pair fully determines the arrival trace: no
- * wall-clock anywhere.
+ * Requests arrive regardless of how fast the device drains them —
+ * open-loop, as production front-ends see traffic.  Three arrival
+ * shapes are supported (DESIGN.md Sec. 17):
+ *
+ *  - poisson: exponentially distributed interarrival gaps;
+ *  - bursty:  an on/off MMPP — Poisson arrivals at rate/duty during
+ *    exponentially distributed "on" bursts, silence during the
+ *    exponentially distributed "off" gaps, so the long-run mean rate is
+ *    still ratePerSec;
+ *  - diurnal: a sinusoidally rate-modulated Poisson process (thinning),
+ *    one "day" per diurnalPeriodSec of virtual time.
+ *
+ * Everything is derived from one seed through the repo's SplitMix64
+ * stream, partitioned into one independent substream per tenant
+ * (seeded splitMix64(seed ^ splitMix64(tenantIndex))), so a
+ * (workload, seed) pair fully determines the trace — no wall-clock
+ * anywhere — and adding or removing a tenant never perturbs another
+ * tenant's arrivals.
  */
 #ifndef IPIM_SERVICE_LOAD_GEN_H_
 #define IPIM_SERVICE_LOAD_GEN_H_
@@ -26,7 +38,26 @@ struct ServeRequest
     std::string pipeline;  ///< benchmark/pipeline name
     Cycle arrival = 0;     ///< virtual arrival time (1 cycle == 1 ns)
     u64 inputSeed = 1;     ///< per-request synthetic input seed
+    u32 tenant = 0;        ///< index into the workload's tenant table
+    u32 priority = 0;      ///< scheduling class; larger preempts smaller
 };
+
+/** One tenant of a multi-tenant workload (fleet layer, DESIGN.md
+ *  Sec. 17).  A workload with no tenants behaves as one default
+ *  tenant at priority 0 with the full rate. */
+struct TenantSpec
+{
+    std::string name = "default";
+    f64 weight = 1.0;    ///< weighted fair-share weight (> 0)
+    u32 priority = 0;    ///< scheduling class of this tenant's requests
+    f64 rateShare = 1.0; ///< relative share of requests and rate (> 0)
+};
+
+/** Arrival-process shape. */
+enum class TraceShape { kPoisson, kBursty, kDiurnal };
+
+/** Parse "poisson" | "bursty" | "diurnal" (fatal otherwise). */
+TraceShape parseTraceShape(const std::string &name);
 
 /** Workload description for the generator. */
 struct WorkloadSpec
@@ -35,13 +66,31 @@ struct WorkloadSpec
     f64 ratePerSec = 1e5; ///< mean arrival rate (1 cycle == 1 ns)
     u32 requests = 100;
     u64 seed = 1;
+
+    /// Tenants; empty means one default tenant.  Request counts are
+    /// apportioned by rateShare (largest remainder, so they sum to
+    /// `requests` exactly).
+    std::vector<TenantSpec> tenants;
+
+    TraceShape shape = TraceShape::kPoisson;
+    /// Bursty: fraction of time spent in the "on" state (0 < duty <= 1)
+    /// and mean "on"-burst duration in seconds of virtual time.
+    f64 burstDuty = 0.25;
+    f64 burstOnSec = 500e-6;
+    /// Diurnal: period of one rate cycle and the relative swing
+    /// (rate(t) = mean * (1 + amplitude * sin(2*pi*t/period))).
+    f64 diurnalPeriodSec = 10e-3;
+    f64 diurnalAmplitude = 0.8;
 };
 
 /**
- * Generate @p spec.requests arrivals sorted by time.  Pipeline choice,
- * interarrival gaps, and per-request input seeds all come from the same
- * seeded stream.
+ * Generate @p spec.requests arrivals sorted by time (ids in sorted
+ * order).  Pipeline choice, interarrival gaps, and per-request input
+ * seeds all come from the tenant's substream.
  */
+std::vector<ServeRequest> generateWorkload(const WorkloadSpec &spec);
+
+/** Back-compat alias: generateWorkload with the Poisson shape. */
 std::vector<ServeRequest> generatePoissonWorkload(const WorkloadSpec &spec);
 
 } // namespace ipim

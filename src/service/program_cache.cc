@@ -68,36 +68,85 @@ ProgramCache::makeKey(const std::string &pipeline, int width, int height,
     return k.str();
 }
 
-CachedProgram &
-ProgramCache::get(const std::string &pipeline, int width, int height,
-                  const HardwareConfig &cfg, const CompilerOptions &opts,
-                  const DefFactory &makeDef)
+std::shared_ptr<CachedProgram>
+ProgramCache::lookup(const std::string &pipeline, int width, int height,
+                     const HardwareConfig &cfg,
+                     const CompilerOptions &opts,
+                     const DefFactory &makeDef)
 {
     std::string key = makeKey(pipeline, width, height, cfg, opts);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
         ++hits_;
-        ++it->second.hits;
+        ++it->second.prog->hits;
+        it->second.lastUse = ++clock_;
         if (stats_)
             stats_->inc("serve.cache.hit");
-        return it->second;
+        return it->second.prog;
     }
-    CachedProgram entry;
-    entry.compiled = compilePipeline(makeDef(), cfg, opts);
+    auto entry = std::make_shared<CachedProgram>();
+    entry->compiled = compilePipeline(makeDef(), cfg, opts);
     // Static cost-model prediction for SJF ordering before the first
     // measurement; kernels run back-to-back, so the pipeline estimate
     // is the sum of the per-kernel estimates.
     f64 predicted = 0;
-    for (const CompiledKernel &k : entry.compiled.kernels)
+    for (const CompiledKernel &k : entry->compiled.kernels)
         predicted += estimateKernelCycles(cfg, k.perVault);
-    entry.staticCycles = Cycle(predicted);
+    entry->staticCycles = Cycle(predicted);
     ++compiles_;
     if (stats_) {
         stats_->inc("serve.cache.miss");
         stats_->inc("serve.cache.compiledInstructions",
-                    f64(entry.compiled.totalInstructions()));
+                    f64(entry->compiled.totalInstructions()));
     }
-    return entries_.emplace(key, std::move(entry)).first->second;
+    entries_.emplace(key, Entry{entry, ++clock_});
+    enforceCapacity();
+    return entry;
+}
+
+CachedProgram &
+ProgramCache::get(const std::string &pipeline, int width, int height,
+                  const HardwareConfig &cfg, const CompilerOptions &opts,
+                  const DefFactory &makeDef)
+{
+    return *lookup(pipeline, width, height, cfg, opts, makeDef);
+}
+
+std::shared_ptr<CachedProgram>
+ProgramCache::getShared(const std::string &pipeline, int width,
+                        int height, const HardwareConfig &cfg,
+                        const CompilerOptions &opts,
+                        const DefFactory &makeDef)
+{
+    return lookup(pipeline, width, height, cfg, opts, makeDef);
+}
+
+void
+ProgramCache::setCapacity(size_t entries)
+{
+    capacity_ = entries;
+    enforceCapacity();
+}
+
+void
+ProgramCache::enforceCapacity()
+{
+    if (capacity_ == 0)
+        return;
+    while (entries_.size() > capacity_) {
+        // Caches hold a handful of pipelines, so a linear minimum scan
+        // beats maintaining an intrusive LRU list; lastUse stamps are
+        // unique (one clock tick per touch), so the victim is
+        // deterministic.
+        auto victim = entries_.begin();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it)
+            if (it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        entries_.erase(victim);
+        ++evictions_;
+        if (stats_)
+            stats_->inc("serve.cache.evict");
+    }
 }
 
 } // namespace ipim

@@ -6,19 +6,27 @@
  * a production deployment sees the same few pipelines at the same few
  * geometries over and over.  The cache compiles each
  * (pipeline, image size, device geometry, CompilerOptions) key once and
- * reuses the CompiledPipeline for every later request, counting hits and
- * misses into a StatsRegistry ("serve.cache.*").
+ * reuses the CompiledPipeline for every later request, counting hits,
+ * misses, and evictions into a StatsRegistry ("serve.cache.*").
  *
  * Each entry also carries the *calibrated* cycle estimate the
  * shortest-job-first scheduler consumes: before a program has ever
  * executed, the estimate is a static instruction-count proxy; after the
  * first execution it is the measured cycle count of that run.
+ *
+ * Capacity is optionally bounded (per-device caches in the fleet layer,
+ * DESIGN.md Sec. 17): when an insert would exceed the capacity, the
+ * least-recently-used entry is evicted.  Entries are shared_ptr-owned,
+ * so a holder obtained via getShared() outlives eviction; the plain
+ * get() reference is only guaranteed while the entry stays resident,
+ * which is always the case for the default unbounded cache.
  */
 #ifndef IPIM_SERVICE_PROGRAM_CACHE_H_
 #define IPIM_SERVICE_PROGRAM_CACHE_H_
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "compiler/codegen.h"
@@ -62,27 +70,70 @@ class ProgramCache
     /**
      * Look up (compiling on miss) the program for @p pipeline at
      * @p width x @p height on geometry @p cfg with options @p opts.
-     * The returned reference stays valid for the cache's lifetime.
+     * With the default unbounded capacity the returned reference stays
+     * valid for the cache's lifetime; with a capacity set it is only
+     * valid until the entry is evicted — holders that span evictions
+     * use getShared().
      */
     CachedProgram &get(const std::string &pipeline, int width, int height,
                        const HardwareConfig &cfg,
                        const CompilerOptions &opts,
                        const DefFactory &makeDef);
 
+    /** Like get(), but the returned owner keeps the entry alive past
+     *  eviction (the fleet holds programs across its event loop). */
+    std::shared_ptr<CachedProgram>
+    getShared(const std::string &pipeline, int width, int height,
+              const HardwareConfig &cfg, const CompilerOptions &opts,
+              const DefFactory &makeDef);
+
     /** Cache key for the given coordinates (exposed for tests). */
     static std::string makeKey(const std::string &pipeline, int width,
                                int height, const HardwareConfig &cfg,
                                const CompilerOptions &opts);
 
+    /** Residency probe for cache-affinity routing: true when @p key is
+     *  cached here right now.  Does not touch recency. */
+    bool contains(const std::string &key) const
+    {
+        return entries_.find(key) != entries_.end();
+    }
+
+    /**
+     * Bound the cache to @p entries resident programs (0 = unbounded,
+     * the default).  Shrinking below the current size evicts in LRU
+     * order immediately.
+     */
+    void setCapacity(size_t entries);
+    size_t capacity() const { return capacity_; }
+
     size_t size() const { return entries_.size(); }
     u64 compiles() const { return compiles_; }
     u64 hits() const { return hits_; }
+    u64 evictions() const { return evictions_; }
 
   private:
-    std::map<std::string, CachedProgram> entries_;
+    struct Entry
+    {
+        std::shared_ptr<CachedProgram> prog;
+        u64 lastUse = 0; ///< logical clock stamp, unique per touch
+    };
+
+    std::shared_ptr<CachedProgram>
+    lookup(const std::string &pipeline, int width, int height,
+           const HardwareConfig &cfg, const CompilerOptions &opts,
+           const DefFactory &makeDef);
+
+    /** Evict LRU entries until size() <= capacity (capacity > 0). */
+    void enforceCapacity();
+
+    std::map<std::string, Entry> entries_;
     StatsRegistry *stats_;
+    size_t capacity_ = 0; ///< 0 = unbounded
+    u64 clock_ = 0;       ///< monotone use counter (LRU recency)
     u64 compiles_ = 0;
     u64 hits_ = 0;
+    u64 evictions_ = 0;
 };
 
 } // namespace ipim

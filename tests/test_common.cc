@@ -308,6 +308,63 @@ TEST(Histogram, SortedCacheIsReusedAcrossQueries)
     EXPECT_EQ(h.sorts(), 2u);
 }
 
+TEST(Histogram, MergeMatchesPooledSampleOracle)
+{
+    // Shard samples unevenly, merge, and check every summary against a
+    // histogram fed the pooled samples directly.  Percentiles of the
+    // merge must come from the pooled distribution — averaging per-shard
+    // percentiles would get every one of these wrong.
+    LatencyHistogram a;
+    LatencyHistogram b;
+    LatencyHistogram pooled;
+    SplitMix64 rng(77);
+    for (int i = 0; i < 400; ++i) {
+        f64 v = 10.0 + 990.0 * rng.nextUnit();
+        (i % 3 == 0 ? a : b).add(v);
+        pooled.add(v);
+    }
+    b.add(1e6); // one extreme outlier lives in shard b only
+    pooled.add(1e6);
+
+    LatencyHistogram merged = a;
+    merged.merge(b);
+    EXPECT_EQ(merged.count(), pooled.count());
+    EXPECT_EQ(merged.sum(), pooled.sum());
+    EXPECT_EQ(merged.min(), pooled.min());
+    EXPECT_EQ(merged.max(), pooled.max());
+    EXPECT_EQ(merged.mean(), pooled.mean());
+    for (f64 p : {0.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0})
+        EXPECT_EQ(merged.percentile(p), pooled.percentile(p)) << p;
+
+    // The averaged-percentile shortcut really is wrong here.
+    f64 averaged = (a.percentile(99) + b.percentile(99)) / 2.0;
+    EXPECT_NE(averaged, pooled.percentile(99));
+}
+
+TEST(Histogram, MergeEmptyAndSelfCases)
+{
+    LatencyHistogram h;
+    h.add(5.0);
+    h.add(7.0);
+
+    LatencyHistogram empty;
+    h.merge(empty); // no-op
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.percentile(100), 7.0);
+
+    empty.merge(h); // into an empty histogram == copy
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_EQ(empty.mean(), 6.0);
+
+    // Merging invalidates any cached sort order.
+    EXPECT_EQ(h.percentile(100), 7.0);
+    LatencyHistogram top;
+    top.add(9.0);
+    h.merge(top);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.percentile(100), 9.0);
+}
+
 TEST(Json, ObjectsArraysAndCommas)
 {
     JsonWriter j;

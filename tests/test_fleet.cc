@@ -1,0 +1,437 @@
+/** Tests for the fleet serving layer (src/fleet). */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.h"
+
+namespace ipim {
+namespace {
+
+/** The smallest geometry that still space-shares: 2 cubes of 4x2x2. */
+HardwareConfig
+twoCubes()
+{
+    HardwareConfig cfg = HardwareConfig::tiny();
+    cfg.cubes = 2;
+    return cfg;
+}
+
+FleetConfig
+smallFleet(u32 devices, const std::string &backend = "func")
+{
+    FleetConfig cfg;
+    cfg.hw = twoCubes();
+    cfg.devices = devices;
+    cfg.width = 64;
+    cfg.height = 32;
+    cfg.backend = backend;
+    return cfg;
+}
+
+std::vector<ServeRequest>
+trace(std::vector<std::string> pipelines, u32 requests, f64 rate,
+      u64 seed, std::vector<TenantSpec> tenants = {})
+{
+    WorkloadSpec spec;
+    spec.pipelines = std::move(pipelines);
+    spec.ratePerSec = rate;
+    spec.requests = requests;
+    spec.seed = seed;
+    spec.tenants = std::move(tenants);
+    return generateWorkload(spec);
+}
+
+DeviceLoadView
+view(u32 device, Cycle backlog, u64 depth = 0, bool hot = false)
+{
+    DeviceLoadView v;
+    v.device = device;
+    v.freeSlots = 1;
+    v.slots = 2;
+    v.queueDepth = depth;
+    v.backlogCycles = backlog;
+    v.cacheHot = hot;
+    return v;
+}
+
+TEST(Router, RoundRobinCyclesThroughDevices)
+{
+    std::unique_ptr<Router> rr = makeRouter("rr", 3);
+    std::vector<DeviceLoadView> views = {view(0, 0), view(1, 0),
+                                         view(2, 0)};
+    EXPECT_EQ(rr->route("a", views), 0u);
+    EXPECT_EQ(rr->route("b", views), 1u);
+    EXPECT_EQ(rr->route("a", views), 2u);
+    EXPECT_EQ(rr->route("a", views), 0u);
+}
+
+TEST(Router, LeastPicksSmallestBacklogThenDepthThenId)
+{
+    std::unique_ptr<Router> least = makeRouter("least", 3);
+    std::vector<DeviceLoadView> views = {view(0, 500, 1), view(1, 100, 9),
+                                         view(2, 300, 0)};
+    EXPECT_EQ(least->route("k", views), 1u);
+    views[1].backlogCycles = 500; // backlog all tied at 500 now
+    views[2].backlogCycles = 500;
+    EXPECT_EQ(least->route("k", views), 2u); // shallowest queue (0)
+    views[2].queueDepth = 1; // dev 0 and dev 2 tie fully ->
+    EXPECT_EQ(least->route("k", views), 0u); // lowest id wins
+}
+
+TEST(Router, HashIsKeyStableAndSpreadsKeys)
+{
+    std::unique_ptr<Router> hash = makeRouter("hash", 4);
+    std::vector<DeviceLoadView> views = {view(0, 0), view(1, 0),
+                                         view(2, 0), view(3, 0)};
+    std::vector<std::string> keys = {"Blur/64x32",   "Brighten/64x32",
+                                     "Shift/64x32",  "Histogram/64x32",
+                                     "Upsample/512", "Downsample/512",
+                                     "Interpolate",  "StencilChain"};
+    std::vector<bool> used(4, false);
+    for (const std::string &k : keys) {
+        u32 first = hash->route(k, views);
+        // Same key always lands on the same device, regardless of load.
+        views[first].backlogCycles += 100000;
+        EXPECT_EQ(hash->route(k, views), first);
+        used[first] = true;
+    }
+    size_t devicesUsed = 0;
+    for (bool u : used)
+        devicesUsed += u;
+    EXPECT_GT(devicesUsed, 1u);
+}
+
+TEST(Router, AffinityPrefersCacheHotElseLeastLoaded)
+{
+    std::unique_ptr<Router> aff = makeRouter("affinity", 3);
+    // Device 2 is hot but busier than the idle cold device 0: residency
+    // wins (recompiling costs more than waiting).
+    std::vector<DeviceLoadView> views = {view(0, 0), view(1, 50),
+                                         view(2, 900, 2, true)};
+    EXPECT_EQ(aff->route("k", views), 2u);
+    // Two hot devices: least-loaded among the hot ones.
+    views[1].cacheHot = true;
+    EXPECT_EQ(aff->route("k", views), 1u);
+    // Nothing hot: plain least-loaded fallback.
+    views[1].cacheHot = false;
+    views[2].cacheHot = false;
+    EXPECT_EQ(aff->route("k", views), 0u);
+}
+
+TEST(Router, FactoryNamesPoliciesAndRejectsUnknown)
+{
+    EXPECT_STREQ(makeRouter("rr", 2)->name(), "rr");
+    EXPECT_STREQ(makeRouter("least", 2)->name(), "least");
+    EXPECT_STREQ(makeRouter("hash", 2)->name(), "hash");
+    EXPECT_STREQ(makeRouter("affinity", 2)->name(), "affinity");
+    EXPECT_THROW(makeRouter("random", 2), FatalError);
+}
+
+TEST(Fleet, CompletesEverythingAndAccountsExactly)
+{
+    FleetConfig cfg = smallFleet(2);
+    std::vector<ServeRequest> reqs =
+        trace({"Blur", "Brighten"}, 24, 100000, 7);
+    FleetReport rep = FleetServer(cfg).run(reqs);
+
+    EXPECT_EQ(rep.records.size(), 24u);
+    EXPECT_EQ(rep.admitted, 24u);
+    EXPECT_EQ(rep.completed, 24u);
+    EXPECT_EQ(rep.shedTotal, 0u);
+    EXPECT_GT(rep.throughputRps(), 0.0);
+    EXPECT_EQ(rep.slo.requests(), 24u);
+    EXPECT_EQ(rep.totalLatency.count(), 24u);
+
+    u64 perDevice = 0;
+    for (const FleetReport::DeviceReport &d : rep.devices)
+        perDevice += d.requests;
+    EXPECT_EQ(perDevice, 24u);
+
+    for (size_t i = 0; i < rep.records.size(); ++i) {
+        const FleetRequestRecord &r = rep.records[i];
+        EXPECT_EQ(r.id, i); // sorted by id, shed included
+        EXPECT_FALSE(r.shed);
+        EXPECT_GE(r.start, r.arrival);
+        EXPECT_GT(r.finish, r.start);
+        EXPECT_GT(r.execCycles, 0u);
+        EXPECT_LT(r.device, cfg.devices);
+    }
+}
+
+TEST(Fleet, MoreDevicesDrainABacklogSooner)
+{
+    std::vector<ServeRequest> reqs =
+        trace({"Blur", "Brighten", "Shift"}, 24, 2e6, 11);
+    FleetReport one = FleetServer(smallFleet(1)).run(reqs);
+    FleetReport two = FleetServer(smallFleet(2)).run(reqs);
+    EXPECT_EQ(one.completed, 24u);
+    EXPECT_EQ(two.completed, 24u);
+    EXPECT_LT(two.makespan, one.makespan);
+}
+
+TEST(Fleet, FixedSeedRunsAreByteIdentical)
+{
+    FleetConfig cfg = smallFleet(2);
+    cfg.batching = true;
+    cfg.router = "affinity";
+    cfg.tenants = {{"a", 2.0, 1, 1.0}, {"b", 1.0, 0, 1.0}};
+    std::vector<ServeRequest> reqs = trace(
+        {"Blur", "Brighten"}, 20, 400000, 13, cfg.tenants);
+
+    FleetReport a = FleetServer(cfg).run(reqs);
+    FleetReport b = FleetServer(cfg).run(reqs);
+
+    JsonWriter ja;
+    a.toJson(ja, cfg);
+    JsonWriter jb;
+    b.toJson(jb, cfg);
+    EXPECT_EQ(ja.finish(), jb.finish());
+    EXPECT_EQ(a.prometheusText(), b.prometheusText());
+}
+
+/** Batching must be a pure scheduling change: every output image is
+ *  bit-identical to the sequential (batching-off) run's. */
+void
+expectBatchingPixelExact(const std::string &backend, u32 requests)
+{
+    FleetConfig cfg = smallFleet(1, backend);
+    cfg.keepOutputs = true;
+    // A launch overhead comparable to kernel time, so sequential
+    // launches visibly contend on the dispatcher link.
+    cfg.launchOverheadCycles = 20000;
+    // A synchronized burst: every request present from cycle 0, so
+    // both slots fill from the same queue and same-program groups
+    // coalesce.
+    std::vector<ServeRequest> reqs(requests);
+    for (u32 i = 0; i < requests; ++i)
+        reqs[i] = {i, "Blur", 0, u64(i) + 1, 0, 0};
+
+    FleetReport seq = FleetServer(cfg).run(reqs);
+    cfg.batching = true;
+    FleetReport bat = FleetServer(cfg).run(reqs);
+
+    EXPECT_GT(bat.batches, 0u);
+    EXPECT_GT(bat.batchedRequests, bat.batches);
+    EXPECT_EQ(seq.batches, 0u);
+    ASSERT_EQ(seq.records.size(), bat.records.size());
+    for (size_t i = 0; i < seq.records.size(); ++i) {
+        ASSERT_GT(seq.records[i].output.pixels(), 0u);
+        EXPECT_EQ(seq.records[i].output, bat.records[i].output)
+            << "request " << i << " diverged under batching";
+    }
+    // A batch pays the launch overhead once for all members.
+    Cycle seqOverhead = 0;
+    Cycle batOverhead = 0;
+    for (size_t i = 0; i < seq.records.size(); ++i) {
+        seqOverhead += seq.records[i].overheadCycles;
+        batOverhead += bat.records[i].overheadCycles;
+    }
+    EXPECT_LT(batOverhead, seqOverhead);
+}
+
+TEST(Fleet, BatchingMatchesSequentialPixelExactFunc)
+{
+    expectBatchingPixelExact("func", 12);
+}
+
+TEST(Fleet, BatchingMatchesSequentialPixelExactCycle)
+{
+    expectBatchingPixelExact("cycle", 8);
+}
+
+/** Preemption must checkpoint/restore bit-exactly: the victim's output
+ *  matches the run where it was never preempted. */
+void
+expectPreemptionPixelExact(const std::string &backend)
+{
+    FleetConfig cfg = smallFleet(1, backend);
+    cfg.cubesPerRequest = 2; // one slot -> guaranteed contention
+    cfg.keepOutputs = true;
+    cfg.tenants = {{"lo", 1.0, 0, 1.0}, {"hi", 1.0, 2, 1.0}};
+
+    // A multi-kernel victim running when a high-priority request lands.
+    std::vector<ServeRequest> reqs(2);
+    reqs[0] = {0, "StencilChain", 0, 21, 0, 0};
+    reqs[1] = {1, "Brighten", 1, 22, 1, 2};
+
+    FleetReport pre = FleetServer(cfg).run(reqs);
+    cfg.preempt = false;
+    FleetReport seq = FleetServer(cfg).run(reqs);
+
+    EXPECT_GE(pre.preemptions, 1u);
+    EXPECT_GE(pre.records[0].preemptions, 1u);
+    EXPECT_EQ(seq.preemptions, 0u);
+    ASSERT_EQ(pre.records.size(), 2u);
+    for (size_t i = 0; i < 2; ++i) {
+        ASSERT_GT(pre.records[i].output.pixels(), 0u);
+        EXPECT_EQ(pre.records[i].output, seq.records[i].output)
+            << "request " << i << " diverged under preemption";
+    }
+    // Preemption exists to cut the high-priority request's queueing.
+    EXPECT_LT(pre.records[1].finish, seq.records[1].finish);
+}
+
+TEST(Fleet, PreemptionRestoresBitExactPixelsFunc)
+{
+    expectPreemptionPixelExact("func");
+}
+
+TEST(Fleet, PreemptionRestoresBitExactPixelsCycle)
+{
+    expectPreemptionPixelExact("cycle");
+}
+
+TEST(Fleet, ShedRequestsAreAccountedAndNeverExecuted)
+{
+    FleetConfig cfg = smallFleet(1);
+    cfg.cubesPerRequest = 2; // one slot, easy to overload
+    cfg.keepOutputs = true;
+    cfg.shedP99Cycles = 50000; // 50 us target under a 20 Mrps flood
+    cfg.sloWindowCycles = 25000;
+    cfg.tenants = {{"lo", 1.0, 0, 1.0}, {"hi", 1.0, 1, 1.0}};
+    std::vector<ServeRequest> reqs =
+        trace({"Blur", "Brighten"}, 40, 2e7, 23, cfg.tenants);
+
+    FleetReport rep = FleetServer(cfg).run(reqs);
+
+    EXPECT_GT(rep.shedTotal, 0u);
+    EXPECT_LT(rep.shedTotal, 40u); // some work was still admitted
+    EXPECT_EQ(rep.admitted + rep.shedTotal, 40u);
+    EXPECT_EQ(rep.completed, rep.admitted);
+
+    u64 tenantShed = 0;
+    for (const FleetReport::TenantReport &t : rep.tenants) {
+        EXPECT_EQ(t.shed, t.shedBreach + t.shedBacklog);
+        EXPECT_EQ(t.admitted + t.shed, 20u); // rateShare split 20/20
+        tenantShed += t.shed;
+    }
+    EXPECT_EQ(tenantShed, rep.shedTotal);
+
+    for (const FleetRequestRecord &r : rep.records) {
+        if (!r.shed)
+            continue;
+        // Shed at admission: never dispatched, never partially run.
+        EXPECT_EQ(r.start, 0u);
+        EXPECT_EQ(r.finish, 0u);
+        EXPECT_EQ(r.execCycles, 0u);
+        EXPECT_EQ(r.compileCycles, 0u);
+        EXPECT_EQ(r.preemptions, 0u);
+        EXPECT_EQ(r.batch, -1);
+        EXPECT_EQ(r.output.pixels(), 0u);
+        EXPECT_TRUE(r.shedReason == "p99_breach" ||
+                    r.shedReason == "backlog")
+            << r.shedReason;
+    }
+}
+
+TEST(Fleet, FairShareFavoursTheHeavierTenant)
+{
+    FleetConfig cfg = smallFleet(1);
+    cfg.tenants = {{"heavy", 4.0, 0, 1.0}, {"light", 1.0, 0, 1.0}};
+    // Saturating backlog: everyone queues, so the weighted fair share
+    // decides who waits.
+    std::vector<ServeRequest> reqs =
+        trace({"Blur"}, 32, 4e6, 29, cfg.tenants);
+    FleetReport rep = FleetServer(cfg).run(reqs);
+    EXPECT_EQ(rep.completed, 32u);
+
+    f64 queue[2] = {0, 0};
+    u64 count[2] = {0, 0};
+    for (const FleetRequestRecord &r : rep.records) {
+        queue[r.tenant] += f64(r.queueCycles());
+        ++count[r.tenant];
+    }
+    ASSERT_GT(count[0], 0u);
+    ASSERT_GT(count[1], 0u);
+    EXPECT_LT(queue[0] / f64(count[0]), queue[1] / f64(count[1]));
+}
+
+TEST(Fleet, AffinityRoutingCompilesLessThanRoundRobin)
+{
+    FleetConfig cfg = smallFleet(4);
+    cfg.cubesPerRequest = 2;
+    cfg.cacheCapacity = 1; // one resident program per device
+    std::vector<ServeRequest> reqs = trace(
+        {"Blur", "Brighten", "Shift", "Downsample"}, 32, 4e6, 31);
+
+    cfg.router = "rr";
+    FleetReport rr = FleetServer(cfg).run(reqs);
+    cfg.router = "affinity";
+    FleetReport aff = FleetServer(cfg).run(reqs);
+
+    u64 rrCompiles = 0;
+    u64 affCompiles = 0;
+    u64 affHits = 0;
+    for (u32 d = 0; d < 4; ++d) {
+        rrCompiles += rr.devices[d].cacheCompiles;
+        affCompiles += aff.devices[d].cacheCompiles;
+        affHits += aff.devices[d].cacheHits;
+    }
+    // Round-robin scatters 4 pipelines over 4 single-entry caches and
+    // thrashes; affinity pins each pipeline where it is already hot.
+    EXPECT_LT(affCompiles, rrCompiles);
+    EXPECT_GT(affHits, 0u);
+    EXPECT_EQ(aff.completed, 32u);
+    EXPECT_EQ(rr.completed, 32u);
+}
+
+TEST(Fleet, ReportExposesCacheCountersInJsonAndPrometheus)
+{
+    FleetConfig cfg = smallFleet(2);
+    cfg.cacheCapacity = 1;
+    std::vector<ServeRequest> reqs =
+        trace({"Blur", "Brighten", "Shift"}, 16, 1e6, 37);
+    FleetReport rep = FleetServer(cfg).run(reqs);
+
+    u64 hits = 0;
+    u64 compiles = 0;
+    u64 evictions = 0;
+    for (const FleetReport::DeviceReport &d : rep.devices) {
+        hits += d.cacheHits;
+        compiles += d.cacheCompiles;
+        evictions += d.cacheEvictions;
+        EXPECT_LE(d.cacheEntries, cfg.cacheCapacity);
+    }
+    EXPECT_GT(compiles, 0u);
+    EXPECT_GT(evictions, 0u); // 3 pipelines through 1-entry caches
+    EXPECT_EQ(hits + compiles, rep.admitted);
+
+    JsonWriter j;
+    rep.toJson(j, cfg);
+    std::string json = j.finish();
+    EXPECT_NE(json.find("\"schema\":\"ipim-serve-fleet-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"cache\":{\"hits\":"), std::string::npos);
+    EXPECT_NE(json.find("\"evictions\":"), std::string::npos);
+
+    std::string prom = rep.prometheusText();
+    EXPECT_NE(prom.find("ipim_fleet_cache_hits_total"),
+              std::string::npos);
+    EXPECT_NE(prom.find("ipim_fleet_cache_evictions_total"),
+              std::string::npos);
+    EXPECT_NE(prom.find("ipim_fleet_completed_total"),
+              std::string::npos);
+}
+
+TEST(Fleet, RejectsBadConfigurations)
+{
+    FleetConfig none = smallFleet(0);
+    EXPECT_THROW(FleetServer{none}, FatalError);
+
+    FleetConfig badPartition = smallFleet(1);
+    badPartition.cubesPerRequest = 3; // does not divide 2 cubes
+    EXPECT_THROW(FleetServer{badPartition}, FatalError);
+
+    FleetConfig badBackend = smallFleet(1, "simd");
+    EXPECT_THROW(FleetServer{badBackend}, FatalError);
+
+    FleetConfig ok = smallFleet(1);
+    std::vector<ServeRequest> outOfRange = {
+        {0, "Blur", 0, 1, 5, 0}}; // tenant 5 of a 1-entry table
+    EXPECT_THROW(FleetServer(ok).run(outOfRange), FatalError);
+}
+
+} // namespace
+} // namespace ipim

@@ -288,6 +288,68 @@ TEST(Slo, TumblingWindowsAreContiguousAndDeterministic)
     EXPECT_EQ(reg.get("slo.cacheHitRate"), 2.0 / 3.0);
 }
 
+TEST(Slo, MergeCombinesWindowsSampleExactly)
+{
+    // Two per-device trackers covering different (overlapping) window
+    // ranges merge into the series a single fleet-wide tracker would
+    // have produced from the interleaved stream.
+    SloTracker a(100);
+    SloTracker b(100);
+    SloTracker oracle(100);
+    struct Sample
+    {
+        Cycle finish;
+        Cycle total;
+        Cycle queue;
+        bool hit;
+        int shard;
+    };
+    std::vector<Sample> samples = {
+        {50, 10, 2, true, 0},  {80, 14, 3, false, 1},
+        {120, 20, 4, true, 1}, {360, 30, 6, false, 0},
+        {520, 44, 9, true, 1}, {540, 12, 1, true, 0},
+    };
+    for (const Sample &s : samples) {
+        (s.shard == 0 ? a : b).record(s.finish, s.total, s.queue, s.hit);
+        oracle.record(s.finish, s.total, s.queue, s.hit);
+    }
+
+    SloTracker merged = a;
+    merged.merge(b);
+    EXPECT_EQ(merged.requests(), oracle.requests());
+    EXPECT_EQ(merged.cacheHits(), oracle.cacheHits());
+    const std::vector<SloTracker::Window> &mw = merged.windows();
+    const std::vector<SloTracker::Window> &ow = oracle.windows();
+    ASSERT_EQ(mw.size(), ow.size());
+    for (size_t i = 0; i < mw.size(); ++i) {
+        EXPECT_EQ(mw[i].index, ow[i].index);
+        EXPECT_EQ(mw[i].requests, ow[i].requests);
+        EXPECT_EQ(mw[i].cacheHits, ow[i].cacheHits);
+        EXPECT_EQ(mw[i].totalLatency.count(), ow[i].totalLatency.count());
+        for (f64 p : {50.0, 99.0}) {
+            EXPECT_EQ(mw[i].totalLatency.percentile(p),
+                      ow[i].totalLatency.percentile(p));
+            EXPECT_EQ(mw[i].queueLatency.percentile(p),
+                      ow[i].queueLatency.percentile(p));
+        }
+    }
+    // The pooled aggregate percentiles match too (never averaged).
+    EXPECT_EQ(merged.totalLatency().percentile(99),
+              oracle.totalLatency().percentile(99));
+    EXPECT_EQ(merged.queueLatency().percentile(50),
+              oracle.queueLatency().percentile(50));
+
+    // Merging an empty tracker is a no-op; merging into an empty one
+    // copies; mismatched window sizes are a hard error.
+    SloTracker none(100);
+    merged.merge(none);
+    EXPECT_EQ(merged.requests(), oracle.requests());
+    none.merge(merged);
+    EXPECT_EQ(none.requests(), oracle.requests());
+    SloTracker other(200);
+    EXPECT_THROW(merged.merge(other), FatalError);
+}
+
 TEST(Slo, JsonAndPrometheusSnapshots)
 {
     SloTracker slo(1000);

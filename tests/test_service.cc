@@ -1,6 +1,8 @@
 /** Tests for the multi-tenant serving layer (src/service). */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "apps/benchmarks.h"
 #include "service/server.h"
 
@@ -164,6 +166,174 @@ TEST(ProgramCache, EstimateCalibratesOnFirstMeasurement)
     // Later measurements do not re-calibrate (stable SJF ordering).
     p.recordMeasurement(99);
     EXPECT_EQ(p.estimate(), 1234u);
+}
+
+TEST(ProgramCache, CapacityEvictsLeastRecentlyUsed)
+{
+    StatsRegistry stats;
+    ProgramCache cache(&stats);
+    cache.setCapacity(2);
+    HardwareConfig cfg = HardwareConfig::tiny();
+    CompilerOptions opts = CompilerOptions::opt();
+    auto def = [](const char *name) {
+        return [name]() { return makeBenchmark(name, 64, 32).def; };
+    };
+
+    cache.get("Blur", 64, 32, cfg, opts, def("Blur"));
+    cache.get("Brighten", 64, 32, cfg, opts, def("Brighten"));
+    // Touch Blur so Brighten becomes the LRU victim.
+    cache.get("Blur", 64, 32, cfg, opts, def("Blur"));
+    cache.get("Shift", 64, 32, cfg, opts, def("Shift"));
+
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_TRUE(cache.contains(
+        ProgramCache::makeKey("Blur", 64, 32, cfg, opts)));
+    EXPECT_TRUE(cache.contains(
+        ProgramCache::makeKey("Shift", 64, 32, cfg, opts)));
+    EXPECT_FALSE(cache.contains(
+        ProgramCache::makeKey("Brighten", 64, 32, cfg, opts)));
+    EXPECT_EQ(stats.get("serve.cache.evict"), 1.0);
+
+    // A re-request of the victim recompiles (miss, not a stale hit).
+    u64 before = cache.compiles();
+    cache.get("Brighten", 64, 32, cfg, opts, def("Brighten"));
+    EXPECT_EQ(cache.compiles(), before + 1);
+
+    // Shrinking below the resident count evicts immediately.
+    cache.setCapacity(1);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.evictions(), 3u);
+}
+
+TEST(ProgramCache, SharedHolderSurvivesEviction)
+{
+    ProgramCache cache(nullptr);
+    cache.setCapacity(1);
+    HardwareConfig cfg = HardwareConfig::tiny();
+    CompilerOptions opts = CompilerOptions::opt();
+
+    std::shared_ptr<CachedProgram> blur = cache.getShared(
+        "Blur", 64, 32, cfg, opts,
+        []() { return makeBenchmark("Blur", 64, 32).def; });
+    ASSERT_NE(blur, nullptr);
+    Cycle estimate = blur->estimate();
+    EXPECT_GT(estimate, 0u);
+
+    // Displace Blur; the holder keeps the compilation alive and usable.
+    cache.getShared("Shift", 64, 32, cfg, opts, []() {
+        return makeBenchmark("Shift", 64, 32).def;
+    });
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_FALSE(cache.contains(
+        ProgramCache::makeKey("Blur", 64, 32, cfg, opts)));
+    EXPECT_EQ(blur->estimate(), estimate);
+    EXPECT_FALSE(blur->compiled.kernels.empty());
+    blur->recordMeasurement(777); // still calibratable after eviction
+    EXPECT_EQ(blur->estimate(), 777u);
+}
+
+TEST(LoadGen, TenantSubstreamsAreIndependent)
+{
+    // Tenant 0's trace must not change when another tenant is added:
+    // each tenant draws from its own SplitMix64 substream.
+    WorkloadSpec solo;
+    solo.pipelines = {"Blur", "Brighten"};
+    solo.ratePerSec = 200000;
+    solo.requests = 16;
+    solo.seed = 99;
+    solo.tenants = {{"t0", 1.0, 0, 1.0}};
+    std::vector<ServeRequest> a = generateWorkload(solo);
+
+    WorkloadSpec both = solo;
+    both.requests = 32;      // equal shares -> 16 apiece
+    both.ratePerSec = 400000; // split over 2 tenants -> 200000 each
+    both.tenants = {{"t0", 1.0, 0, 1.0}, {"t1", 1.0, 1, 1.0}};
+    std::vector<ServeRequest> b = generateWorkload(both);
+
+    std::vector<ServeRequest> t0;
+    u64 t1Count = 0;
+    for (const ServeRequest &r : b) {
+        if (r.tenant == 0)
+            t0.push_back(r);
+        else
+            ++t1Count;
+    }
+    ASSERT_EQ(t0.size(), a.size());
+    EXPECT_EQ(t1Count, 16u);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(t0[i].arrival, a[i].arrival);
+        EXPECT_EQ(t0[i].pipeline, a[i].pipeline);
+        EXPECT_EQ(t0[i].inputSeed, a[i].inputSeed);
+        EXPECT_EQ(t0[i].priority, 0u);
+    }
+    for (const ServeRequest &r : b)
+        if (r.tenant == 1)
+            EXPECT_EQ(r.priority, 1u);
+}
+
+TEST(LoadGen, RateShareApportionsRequestsExactly)
+{
+    WorkloadSpec spec;
+    spec.pipelines = {"Shift"};
+    spec.ratePerSec = 100000;
+    spec.requests = 10;
+    spec.seed = 4;
+    // Shares 2:1:1 of 10 -> 5, 2.5, 2.5; largest remainder resolves the
+    // halves in tenant order and the counts still sum to 10.
+    spec.tenants = {{"a", 1.0, 0, 2.0}, {"b", 1.0, 0, 1.0},
+                    {"c", 1.0, 0, 1.0}};
+    std::vector<ServeRequest> reqs = generateWorkload(spec);
+    ASSERT_EQ(reqs.size(), 10u);
+    u64 counts[3] = {0, 0, 0};
+    for (const ServeRequest &r : reqs)
+        ++counts[r.tenant];
+    EXPECT_EQ(counts[0], 5u);
+    EXPECT_EQ(counts[0] + counts[1] + counts[2], 10u);
+    EXPECT_GE(counts[1], 2u);
+    EXPECT_GE(counts[2], 2u);
+}
+
+TEST(LoadGen, BurstyAndDiurnalShapesAreDeterministicAndSorted)
+{
+    WorkloadSpec spec;
+    spec.pipelines = {"Blur"};
+    spec.ratePerSec = 500000;
+    spec.requests = 200;
+    spec.seed = 6;
+    // Short bursts so a 200-request trace spans several on/off periods.
+    spec.burstOnSec = 20e-6;
+
+    for (TraceShape shape : {TraceShape::kBursty, TraceShape::kDiurnal}) {
+        spec.shape = shape;
+        std::vector<ServeRequest> a = generateWorkload(spec);
+        std::vector<ServeRequest> b = generateWorkload(spec);
+        ASSERT_EQ(a.size(), 200u);
+        for (size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].arrival, b[i].arrival);
+            EXPECT_EQ(a[i].id, i);
+            if (i > 0)
+                EXPECT_GE(a[i].arrival, a[i - 1].arrival);
+        }
+    }
+
+    // Bursty traffic at 25% duty clumps: the largest gap dwarfs the
+    // mean gap by far more than a Poisson stream's would.
+    spec.shape = TraceShape::kBursty;
+    spec.burstDuty = 0.25;
+    std::vector<ServeRequest> bursty = generateWorkload(spec);
+    Cycle maxGap = 0;
+    for (size_t i = 1; i < bursty.size(); ++i)
+        maxGap = std::max(maxGap, bursty[i].arrival -
+                                      bursty[i - 1].arrival);
+    f64 meanGap =
+        f64(bursty.back().arrival) / f64(bursty.size() - 1);
+    EXPECT_GT(f64(maxGap), 8.0 * meanGap);
+
+    EXPECT_EQ(parseTraceShape("poisson"), TraceShape::kPoisson);
+    EXPECT_EQ(parseTraceShape("bursty"), TraceShape::kBursty);
+    EXPECT_EQ(parseTraceShape("diurnal"), TraceShape::kDiurnal);
+    EXPECT_THROW(parseTraceShape("fractal"), FatalError);
 }
 
 TEST(Server, RunsAreDeterministicForOneSeed)

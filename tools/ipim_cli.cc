@@ -50,6 +50,7 @@
 #include "metrics/metrics.h"
 #include "metrics/profile.h"
 #include "runtime/runtime.h"
+#include "fleet/fleet.h"
 #include "service/server.h"
 #include "trace/report.h"
 #include "trace/trace.h"
@@ -107,6 +108,22 @@ struct Options
     std::string servePolicy = "fifo";
     std::string share = "cube";
     u32 cubesPerReq = 1;
+    // fleet serving (serve --devices N routes to the fleet layer):
+    u32 fleetDevices = 0; ///< 0 = single-device Server path
+    std::string routerPolicy = "rr";
+    bool batch = false;
+    u32 maxBatch = 0;
+    u64 batchWindow = 2000; ///< --batch-window CYCLES
+    bool preempt = true;  ///< --no-preempt disables
+    f64 shedP99Ms = 0.0;  ///< --shed-p99-ms X (0 = no shedding)
+    std::string tenants;  ///< --tenants name:weight:prio[:share],...
+    std::string traceShape = "poisson";
+    f64 burstDuty = 0.25;
+    f64 burstOnMs = 0.5;
+    f64 diurnalPeriodMs = 10.0;
+    f64 diurnalAmplitude = 0.8;
+    u32 cacheCap = 0;          ///< per-device program-cache entries
+    u64 launchOverhead = 1000; ///< dispatcher cycles per launch
 };
 
 void
@@ -129,6 +146,15 @@ usage()
         "            [--share cube|whole] [--cubes-per-req K] [--seed S]\n"
         "            [--json] [--trace FILE] [--prom FILE]\n"
         "            [--backend cycle|func]\n"
+        "            [--devices N] [--router rr|least|hash|affinity]\n"
+        "            [--batch] [--max-batch N] [--batch-window CYCLES]\n"
+        "            [--no-preempt]\n"
+        "            [--shed-p99-ms X] [--cache-cap N]\n"
+        "            [--launch-overhead CYCLES]\n"
+        "            [--tenants NAME:WEIGHT:PRIO[:SHARE],...]\n"
+        "            [--trace-shape poisson|bursty|diurnal]\n"
+        "            [--burst-duty F] [--burst-on-ms X]\n"
+        "            [--diurnal-period-ms X] [--diurnal-amplitude F]\n"
         "            [device/compiler flags as above]\n"
         "       ipim trace [--bench NAME] [--out FILE] [--csv FILE]\n"
         "            [--windows N] [device/compiler flags as above]\n"
@@ -153,6 +179,12 @@ usage()
         "  the sampled time series (DESIGN.md Sec. 14).\n"
         "  serve --prom FILE writes a Prometheus text-exposition\n"
         "  snapshot of the serving SLOs.\n"
+        "  serve --devices N runs the fleet layer (DESIGN.md Sec. 17):\n"
+        "  N independent devices behind a router, with per-tenant\n"
+        "  weighted fair share, priority preemption at kernel\n"
+        "  boundaries, optional cross-request batching (--batch), and\n"
+        "  p99-driven load shedding (--shed-p99-ms); --json emits the\n"
+        "  ipim-serve-fleet-v1 schema.\n"
         "  `ipim analyze` builds the CFG/dataflow analyses\n"
         "  (src/analysis), runs the cross-vault conflict proof, and\n"
         "  prints the static cost estimate per kernel; exit 3 when any\n"
@@ -615,10 +647,144 @@ splitList(const std::string &s)
     return parts;
 }
 
+/** Parse --tenants NAME:WEIGHT:PRIO[:SHARE],... (empty input -> {}). */
+std::vector<TenantSpec>
+parseTenants(const std::string &arg)
+{
+    std::vector<TenantSpec> tenants;
+    for (const std::string &tok : splitList(arg)) {
+        std::vector<std::string> parts;
+        size_t pos = 0;
+        while (pos <= tok.size()) {
+            size_t colon = tok.find(':', pos);
+            if (colon == std::string::npos) {
+                parts.push_back(tok.substr(pos));
+                break;
+            }
+            parts.push_back(tok.substr(pos, colon - pos));
+            pos = colon + 1;
+        }
+        if (parts.size() < 3 || parts.size() > 4 || parts[0].empty())
+            fatal("--tenants entry '", tok,
+                  "' wants NAME:WEIGHT:PRIO[:SHARE]");
+        TenantSpec t;
+        t.name = parts[0];
+        t.weight = std::stod(parts[1]);
+        t.priority = u32(std::stoul(parts[2]));
+        t.rateShare = parts.size() == 4 ? std::stod(parts[3]) : 1.0;
+        tenants.push_back(std::move(t));
+    }
+    return tenants;
+}
+
+/** Build the load-generator spec shared by both serve paths. */
+WorkloadSpec
+buildWorkload(const Options &o)
+{
+    WorkloadSpec spec;
+    spec.pipelines = splitList(o.bench);
+    if (spec.pipelines.empty())
+        fatal("--bench needs at least one pipeline name");
+    spec.ratePerSec = o.rate;
+    spec.requests = o.requests;
+    spec.seed = o.seed;
+    spec.tenants = parseTenants(o.tenants);
+    spec.shape = parseTraceShape(o.traceShape);
+    spec.burstDuty = o.burstDuty;
+    spec.burstOnSec = o.burstOnMs * 1e-3;
+    spec.diurnalPeriodSec = o.diurnalPeriodMs * 1e-3;
+    spec.diurnalAmplitude = o.diurnalAmplitude;
+    return spec;
+}
+
+/** The `ipim serve --devices N` path: the src/fleet layer. */
+int
+runServeFleetCommand(const Options &o)
+{
+    if (!o.traceFile.empty())
+        fatal("--trace is not supported with --devices (fleet runs "
+              "emit JSON/Prometheus telemetry instead)");
+
+    FleetConfig fc;
+    fc.hw = buildConfig(o);
+    fc.devices = o.fleetDevices;
+    fc.width = o.width;
+    fc.height = o.height;
+    fc.copts = parseOpts(o.opts);
+    fc.backend = o.backend;
+    fc.policy = o.servePolicy;
+    fc.router = o.routerPolicy;
+    fc.cubesPerRequest = o.cubesPerReq;
+    fc.batching = o.batch;
+    fc.maxBatch = o.maxBatch;
+    fc.batchWindowCycles = o.batchWindow;
+    fc.preempt = o.preempt;
+    // 1 cycle == 1 ns, so ms -> cycles is a factor of 1e6.
+    fc.shedP99Cycles = Cycle(o.shedP99Ms * 1e6);
+    fc.fastForward = o.fastForward;
+    fc.cacheCapacity = o.cacheCap;
+    fc.launchOverheadCycles = o.launchOverhead;
+
+    WorkloadSpec spec = buildWorkload(o);
+    fc.tenants = spec.tenants;
+    std::vector<ServeRequest> reqs = generateWorkload(spec);
+
+    FleetServer fleet(fc);
+    FleetReport rep = fleet.run(reqs);
+
+    if (!o.promFile.empty()) {
+        std::ofstream prom(o.promFile, std::ios::binary);
+        if (!prom)
+            fatal("cannot open ", o.promFile);
+        prom << rep.prometheusText();
+        if (!prom)
+            fatal("failed writing Prometheus snapshot to ", o.promFile);
+    }
+
+    if (o.json) {
+        JsonWriter j;
+        j.key("config").beginObject();
+        j.field("width", fc.width)
+            .field("height", fc.height)
+            .field("cubes", fc.hw.cubes)
+            .field("vaults", fc.hw.vaultsPerCube)
+            .field("pgs", fc.hw.pgsPerVault)
+            .field("pes", fc.hw.pesPerPg)
+            .field("cubes_per_request", fc.cubesPerRequest)
+            .field("rate_rps", spec.ratePerSec)
+            .field("requests", u64(spec.requests))
+            .field("seed", spec.seed)
+            .field("opts", o.opts)
+            .field("trace_shape", o.traceShape)
+            .field("tenants", o.tenants);
+        j.endObject();
+        rep.toJson(j, fleet.config());
+        std::printf("%s\n", j.finish().c_str());
+        return 0;
+    }
+
+    std::printf("serve %s | fleet %ux (%ux%ux%ux%u, %u slot%s each) | "
+                "backend %s | router %s | policy %s | rate %.0f req/s | "
+                "shape %s | seed %llu\n",
+                o.bench.c_str(), fleet.devices(), fc.hw.cubes,
+                fc.hw.vaultsPerCube, fc.hw.pgsPerVault, fc.hw.pesPerPg,
+                fleet.slotsPerDevice(),
+                fleet.slotsPerDevice() == 1 ? "" : "s",
+                fc.backend.c_str(), fc.router.c_str(), fc.policy.c_str(),
+                spec.ratePerSec, o.traceShape.c_str(),
+                (unsigned long long)spec.seed);
+    std::printf("%s", rep.summary().c_str());
+    if (!o.promFile.empty())
+        std::printf("Prometheus snapshot -> %s\n", o.promFile.c_str());
+    return 0;
+}
+
 /** The `ipim serve` subcommand: the src/service event loop. */
 int
 runServeCommand(const Options &o)
 {
+    if (o.fleetDevices > 0)
+        return runServeFleetCommand(o);
     ServerConfig scfg;
     scfg.hw = buildConfig(o);
     scfg.width = o.width;
@@ -635,14 +801,8 @@ runServeCommand(const Options &o)
     scfg.fastForward = o.fastForward;
     scfg.backend = o.backend;
 
-    WorkloadSpec spec;
-    spec.pipelines = splitList(o.bench);
-    if (spec.pipelines.empty())
-        fatal("--bench needs at least one pipeline name");
-    spec.ratePerSec = o.rate;
-    spec.requests = o.requests;
-    spec.seed = o.seed;
-    std::vector<ServeRequest> reqs = generatePoissonWorkload(spec);
+    WorkloadSpec spec = buildWorkload(o);
+    std::vector<ServeRequest> reqs = generateWorkload(spec);
 
     std::unique_ptr<Tracer> tracer;
     if (!o.traceFile.empty()) {
@@ -867,6 +1027,36 @@ main(int argc, char **argv)
             o.share = next();
         else if (a == "--cubes-per-req")
             o.cubesPerReq = u32(std::stoul(next()));
+        else if (a == "--devices")
+            o.fleetDevices = u32(std::stoul(next()));
+        else if (a == "--router")
+            o.routerPolicy = next();
+        else if (a == "--batch")
+            o.batch = true;
+        else if (a == "--max-batch")
+            o.maxBatch = u32(std::stoul(next()));
+        else if (a == "--batch-window")
+            o.batchWindow = std::stoull(next());
+        else if (a == "--no-preempt")
+            o.preempt = false;
+        else if (a == "--shed-p99-ms")
+            o.shedP99Ms = std::stod(next());
+        else if (a == "--tenants")
+            o.tenants = next();
+        else if (a == "--trace-shape")
+            o.traceShape = next();
+        else if (a == "--burst-duty")
+            o.burstDuty = std::stod(next());
+        else if (a == "--burst-on-ms")
+            o.burstOnMs = std::stod(next());
+        else if (a == "--diurnal-period-ms")
+            o.diurnalPeriodMs = std::stod(next());
+        else if (a == "--diurnal-amplitude")
+            o.diurnalAmplitude = std::stod(next());
+        else if (a == "--cache-cap")
+            o.cacheCap = u32(std::stoul(next()));
+        else if (a == "--launch-overhead")
+            o.launchOverhead = std::stoull(next());
         else if (a == "--no-fast-forward")
             o.fastForward = false;
         else if (a == "--backend")

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Validate fleet serving JSON snapshots (schema ipim-serve-fleet-v1).
+
+Checks the invariants the fleet layer promises (DESIGN.md Sec. 17):
+
+  * the document parses, carries the right schema tag, and has the
+    fleet/summary/per_device/per_tenant/requests sections;
+  * request accounting is exact: admitted + shed == requests_total,
+    completed == admitted, per-tenant and per-device sums match the
+    fleet totals, shed == sum of per-tenant shed_breach + shed_backlog;
+  * shed requests were never executed: no start/finish/exec fields, a
+    shed_reason from the known set;
+  * completed requests have finish >= start >= arrival, a device inside
+    the fleet, and batch ids that group >= 2 members;
+  * batched_requests counts exactly the records with a batch id, and
+    batches counts the distinct ids;
+  * latency histogram counts equal the number of completed requests and
+    p50 <= p95 <= p99 <= max.
+
+Usage: validate_fleet.py FILE.json [FILE2.json ...]
+Exits 0 when every file passes, 1 otherwise.
+"""
+
+import json
+import sys
+
+SHED_REASONS = ("p99_breach", "backlog")
+EXEC_FIELDS = ("start", "finish", "exec_cycles", "compile_cycles",
+               "overhead_cycles", "device", "slot", "batch")
+
+
+def check_latency(errors, name, block, expect_count):
+    if not isinstance(block, dict):
+        errors.append(f"{name}: missing latency block")
+        return
+    count = block.get("count")
+    if count != expect_count:
+        errors.append(f"{name}: count {count} != {expect_count}")
+    if expect_count == 0:
+        return
+    p50, p95, p99 = (block.get(k) for k in ("p50", "p95", "p99"))
+    mx = block.get("max")
+    if not (p50 <= p95 <= p99 <= mx):
+        errors.append(
+            f"{name}: percentiles not ordered ({p50}, {p95}, {p99}, {mx})"
+        )
+
+
+def check_fleet(doc):
+    errors = []
+    if doc.get("schema") != "ipim-serve-fleet-v1":
+        return [f"schema {doc.get('schema')!r} != ipim-serve-fleet-v1"]
+    for section in ("fleet", "per_device", "per_tenant", "requests",
+                    "slo", "total_latency"):
+        if section not in doc:
+            errors.append(f"missing section {section!r}")
+    if errors:
+        return errors
+
+    total = doc["requests_total"]
+    admitted = doc["admitted"]
+    completed = doc["completed"]
+    shed = doc["shed"]
+    if admitted + shed != total:
+        errors.append(
+            f"admitted {admitted} + shed {shed} != total {total}"
+        )
+    if completed != admitted:
+        errors.append(f"completed {completed} != admitted {admitted}")
+
+    records = doc["requests"]
+    if len(records) != total:
+        errors.append(f"{len(records)} records for total {total}")
+    n_devices = doc["fleet"]["devices"]
+    batch_members = {}
+    shed_records = 0
+    for r in records:
+        rid = r["id"]
+        if r["shed"]:
+            shed_records += 1
+            if r.get("shed_reason") not in SHED_REASONS:
+                errors.append(
+                    f"request {rid}: bad shed_reason "
+                    f"{r.get('shed_reason')!r}"
+                )
+            leaked = [f for f in EXEC_FIELDS if f in r]
+            if leaked:
+                errors.append(
+                    f"request {rid}: shed but has execution fields "
+                    f"{leaked} (partial execution?)"
+                )
+            continue
+        if not (r["finish"] > r["start"] >= r["arrival"]):
+            errors.append(
+                f"request {rid}: finish {r['finish']} / start "
+                f"{r['start']} / arrival {r['arrival']} out of order"
+            )
+        if r["exec_cycles"] <= 0:
+            errors.append(f"request {rid}: no execution cycles")
+        if not 0 <= r["device"] < n_devices:
+            errors.append(f"request {rid}: device {r['device']} "
+                          f"outside fleet of {n_devices}")
+        if r["batch"] >= 0:
+            batch_members.setdefault(r["batch"], []).append(rid)
+    if shed_records != shed:
+        errors.append(
+            f"{shed_records} shed records but shed counter {shed}"
+        )
+
+    for bid, members in batch_members.items():
+        if len(members) < 2:
+            errors.append(f"batch {bid}: only {members} (need >= 2)")
+    if doc["batches"] != len(batch_members):
+        errors.append(
+            f"batches {doc['batches']} != {len(batch_members)} "
+            f"distinct batch ids"
+        )
+    batched = sum(len(m) for m in batch_members.values())
+    if doc["batched_requests"] != batched:
+        errors.append(
+            f"batched_requests {doc['batched_requests']} != {batched}"
+        )
+
+    dev_requests = sum(d["requests"] for d in doc["per_device"])
+    if dev_requests != completed:
+        errors.append(
+            f"per-device requests {dev_requests} != completed "
+            f"{completed}"
+        )
+    for d in doc["per_device"]:
+        cache = d["cache"]
+        for key in ("hits", "compiles", "evictions", "entries"):
+            if cache[key] < 0:
+                errors.append(f"device {d['device']}: cache {key} < 0")
+
+    t_admitted = sum(t["admitted"] for t in doc["per_tenant"])
+    t_completed = sum(t["completed"] for t in doc["per_tenant"])
+    t_shed = sum(t["shed"] for t in doc["per_tenant"])
+    if (t_admitted, t_completed, t_shed) != (admitted, completed, shed):
+        errors.append(
+            f"per-tenant sums ({t_admitted}, {t_completed}, {t_shed}) "
+            f"!= fleet ({admitted}, {completed}, {shed})"
+        )
+    for t in doc["per_tenant"]:
+        if t["shed"] != t["shed_breach"] + t["shed_backlog"]:
+            errors.append(
+                f"tenant {t['name']!r}: shed {t['shed']} != breach "
+                f"{t['shed_breach']} + backlog {t['shed_backlog']}"
+            )
+
+    check_latency(errors, "total_latency", doc["total_latency"],
+                  completed)
+    check_latency(errors, "queue_latency", doc["queue_latency"],
+                  completed)
+    return errors
+
+
+def main(paths):
+    if not paths:
+        print(__doc__, file=sys.stderr)
+        return 1
+    failed = False
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"{path}: unreadable: {e}")
+            failed = True
+            continue
+        errors = check_fleet(doc)
+        if errors:
+            failed = True
+            print(f"{path}: FAIL")
+            for e in errors:
+                print(f"  - {e}")
+        else:
+            print(f"{path}: OK "
+                  f"({doc['requests_total']} requests, "
+                  f"{doc['completed']} completed, {doc['shed']} shed)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
