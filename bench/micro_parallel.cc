@@ -1,0 +1,166 @@
+/**
+ * Wall-clock scaling of thread-per-cube parallel simulation
+ * (DESIGN.md Sec. 18).
+ *
+ * Runs Table II pipelines on the full 8-cube device geometry at
+ * 1/2/4/8 simulation threads and reports the wall time and speedup
+ * over the single-threaded run.
+ *
+ * Bit-exactness is checked first, in both dense and fast-forward
+ * mode: every thread count must reproduce the single-threaded cycle
+ * count, the full stats registry, and the output image; a divergence
+ * exits non-zero so CI can gate on it.  The speedup itself is
+ * reported, not gated — it depends on the physical cores available
+ * (a single-core host can only show the engine's overhead, not its
+ * scaling) — but the emitted BENCH_parallel.json records it along
+ * with the host core count for the README table.
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "apps/benchmarks.h"
+#include "bench_common.h"
+#include "common/json.h"
+#include "runtime/runtime.h"
+
+using namespace ipim;
+using namespace ipim::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct RunResult
+{
+    Cycle cycles = 0;
+    f64 seconds = 0;
+    std::string stats;
+    Image output;
+};
+
+RunResult
+runOnce(const BenchmarkApp &app, const CompiledPipeline &cp,
+        const HardwareConfig &cfg, u32 threads, bool fastForward)
+{
+    Device dev(cfg);
+    dev.setThreads(threads);
+    dev.setFastForward(fastForward);
+    Clock::time_point t0 = Clock::now();
+    LaunchResult res = launchOnDevice(dev, cp, app.inputs);
+    RunResult r;
+    r.seconds = std::chrono::duration<f64>(Clock::now() - t0).count();
+    r.cycles = res.cycles;
+    r.stats = dev.stats().toString();
+    r.output = res.output;
+    return r;
+}
+
+bool
+sameImage(const Image &a, const Image &b)
+{
+    if (a.width() != b.width() || a.height() != b.height())
+        return false;
+    for (int y = 0; y < a.height(); ++y)
+        for (int x = 0; x < a.width(); ++x)
+            if (f32AsLane(a.at(x, y)) != f32AsLane(b.at(x, y)))
+                return false;
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    HardwareConfig cfg; // full-size device: 8 cubes x 16 vaults
+    const int w = benchWidth(), h = benchHeight();
+    const u32 cores = std::max(1u, std::thread::hardware_concurrency());
+    const std::vector<std::string> pipelines = {"Blur", "Downsample"};
+    const u32 threadCounts[] = {1, 2, 4, 8};
+    constexpr int kReps = 2;
+
+    std::printf("Micro: thread-per-cube parallel simulation scaling\n"
+                "(image %dx%d, full %u-cube device, %u host cores)\n",
+                w, h, cfg.cubes, cores);
+
+    bool allExact = true;
+    JsonWriter jw;
+    jw.field("bench", "micro_parallel");
+    jw.field("cubes", cfg.cubes);
+    jw.field("width", w);
+    jw.field("height", h);
+    jw.field("host_cores", cores);
+    jw.key("runs");
+    jw.beginArray();
+
+    for (const std::string &name : pipelines) {
+        BenchmarkApp app = makeBenchmark(name, w, h);
+        CompiledPipeline cp = compilePipeline(app.def, cfg);
+
+        // Correctness first: every thread count must byte-match the
+        // single-threaded reference, densely ticked and fast-forwarded.
+        RunResult ffRef = runOnce(app, cp, cfg, 1, true);
+        for (bool ffwd : {true, false}) {
+            RunResult ref =
+                ffwd ? ffRef : runOnce(app, cp, cfg, 1, false);
+            if (!ffwd && (ref.cycles != ffRef.cycles ||
+                          ref.stats != ffRef.stats)) {
+                std::printf("DIVERGED: %s dense vs fast-forward\n",
+                            name.c_str());
+                allExact = false;
+            }
+            for (u32 threads : {2u, 4u, 8u}) {
+                RunResult r = runOnce(app, cp, cfg, threads, ffwd);
+                if (r.cycles != ref.cycles || r.stats != ref.stats ||
+                    !sameImage(r.output, ref.output)) {
+                    std::printf("DIVERGED: %s ffwd=%d threads=%u\n",
+                                name.c_str(), int(ffwd), threads);
+                    allExact = false;
+                }
+            }
+        }
+
+        // Then timing (fast-forward, the default mode): interleave the
+        // thread counts and keep the minimum of several reps (external
+        // load only ever inflates a sample).
+        f64 wall[4] = {ffRef.seconds, 1e300, 1e300, 1e300};
+        for (int rep = 0; rep < kReps; ++rep)
+            for (int i = 0; i < 4; ++i)
+                wall[i] = std::min(
+                    wall[i],
+                    runOnce(app, cp, cfg, threadCounts[i], true)
+                        .seconds);
+
+        std::printf("%-12s %9llu cycles |", name.c_str(),
+                    (unsigned long long)ffRef.cycles);
+        for (int i = 0; i < 4; ++i)
+            std::printf(" %ut %7.1f ms (%4.2fx)", threadCounts[i],
+                        wall[i] * 1e3, wall[0] / wall[i]);
+        std::printf("\n");
+
+        jw.beginObject();
+        jw.field("name", name);
+        jw.field("cycles", u64(ffRef.cycles));
+        for (int i = 0; i < 4; ++i) {
+            std::string t = std::to_string(threadCounts[i]);
+            jw.field("wall_ms_t" + t, wall[i] * 1e3);
+            jw.field("speedup_t" + t, wall[0] / wall[i]);
+        }
+        jw.endObject();
+    }
+
+    jw.endArray();
+    jw.field("bit_exact", allExact);
+    std::ofstream("BENCH_parallel.json") << jw.finish() << "\n";
+
+    if (!allExact) {
+        std::printf(
+            "FAIL: threaded run diverged from single-threaded\n");
+        return 5;
+    }
+    std::printf("PASS\n");
+    return 0;
+}

@@ -62,6 +62,25 @@ class StatsRegistry
             values_[k] += v;
     }
 
+    /**
+     * Fold every non-zero counter into @p dst and zero this registry
+     * (per-cube stat-shard reconciliation at the parallel engine's
+     * quantum barrier; DESIGN.md Sec. 18).  Counter sums are integral
+     * and exact in f64 below 2^53, so the fold order cannot change the
+     * result.  Keys are kept (zeroed, not erased) to avoid re-allocating
+     * map nodes every quantum, and zero deltas are skipped so @p dst
+     * never grows a key this shard did not actually increment.
+     */
+    void
+    drainInto(StatsRegistry &dst)
+    {
+        for (auto &[k, v] : values_) {
+            if (v != 0.0)
+                dst.values_[k] += v;
+            v = 0.0;
+        }
+    }
+
     /** Sum of all counters whose name starts with @p prefix. */
     f64 sumPrefix(const std::string &prefix) const;
 

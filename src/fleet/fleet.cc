@@ -390,6 +390,7 @@ FleetServer::FleetServer(const FleetConfig &cfg) : cfg_(cfg)
                     "fleet" + std::to_string(d) + "s" +
                         std::to_string(s) + "/");
                 slot.dev->setFastForward(cfg_.fastForward);
+                slot.dev->setThreads(cfg_.threads);
             }
             ds.slots.push_back(std::move(slot));
         }

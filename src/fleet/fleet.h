@@ -99,6 +99,9 @@ struct FleetConfig
     Cycle launchOverheadCycles = 1000;
 
     bool fastForward = true;
+    /** Simulation worker threads per slot device (DESIGN.md Sec. 18);
+     *  bit-exact for every value, wall-clock only. */
+    u32 threads = 1;
     /** Per-device ProgramCache capacity in entries (0 = unbounded). */
     size_t cacheCapacity = 0;
 

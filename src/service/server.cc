@@ -92,6 +92,7 @@ Server::Server(const ServerConfig &cfg) : cfg_(cfg)
                 slotCfg, cfg_.tracer,
                 "slot" + std::to_string(slots_.size()) + "/");
             s.dev->setFastForward(cfg_.fastForward);
+            s.dev->setThreads(cfg_.threads);
         }
         slots_.push_back(std::move(s));
     }

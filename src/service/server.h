@@ -81,6 +81,13 @@ struct ServerConfig
     bool fastForward = true;
 
     /**
+     * Simulation worker threads per slot device (Device::setThreads,
+     * DESIGN.md Sec. 18).  Purely a wall-clock knob: serve reports and
+     * traces are bit-identical for every value.
+     */
+    u32 threads = 1;
+
+    /**
      * SLO aggregation window in virtual-time cycles (1 ms at 1 GHz by
      * default); requests land in the tumbling window of their finish
      * time (DESIGN.md Sec. 14).

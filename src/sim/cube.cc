@@ -27,20 +27,24 @@ Cube::deliverFromSerdes(const Packet &p)
         panic("serdes delivery to the wrong cube");
     // Arriving off-chip traffic enters through the mesh at the gateway
     // router (vault 0); srcVault stays intact — it is the reply address.
-    if (!mesh_.injectAt(0, p))
+    // A packet may only overtake into the mesh when no earlier arrival
+    // is still waiting, otherwise per-link delivery order would invert.
+    if (!serdesIngressRetry_.empty() || !mesh_.injectAt(0, p)) {
         serdesIngressRetry_.push_back(p);
+        stats_->inc("serdes.ingressRetryQueued");
+    }
 }
 
 void
 Cube::tick(Cycle now)
 {
-    // Retry any off-chip arrivals that found the gateway full.
-    for (size_t i = 0; i < serdesIngressRetry_.size();) {
-        if (mesh_.injectAt(0, serdesIngressRetry_[i]))
-            serdesIngressRetry_.erase(serdesIngressRetry_.begin() + i);
-        else
-            ++i;
-    }
+    // Retry off-chip arrivals that found the gateway full, strictly in
+    // arrival order.  All retries target the same gateway input queue,
+    // so the first refusal means every later one would be refused too —
+    // stop there instead of rescanning the whole backlog each cycle.
+    while (!serdesIngressRetry_.empty() &&
+           mesh_.injectAt(0, serdesIngressRetry_.front()))
+        serdesIngressRetry_.pop_front();
 
     // 1. Deliver packets that reached their destination router.
     for (u32 v = 0; v < numVaults(); ++v) {
@@ -85,8 +89,12 @@ Cube::tick(Cycle now)
 Cycle
 Cube::nextEventAt(Cycle now) const
 {
-    if (!serdesEgress_.empty() || !serdesIngressRetry_.empty())
+    if (!serdesEgress_.empty())
         return now;
+    // Gateway backpressure (non-empty serdesIngressRetry_) does not get
+    // a blanket `return now`: the next injection opportunity is the next
+    // mesh event, and a full gateway queue implies the mesh holds
+    // packets, so mesh_.nextEventAt already reports it.
     Cycle e = mesh_.nextEventAt(now);
     for (const auto &vault : vaults_)
         e = std::min(e, vault->nextEventAt(now));

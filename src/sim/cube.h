@@ -6,6 +6,7 @@
 #ifndef IPIM_SIM_CUBE_H_
 #define IPIM_SIM_CUBE_H_
 
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -36,18 +37,32 @@ class Cube
     /** Advance one cycle: deliver, tick vaults, drain NICs, tick mesh. */
     void tick(Cycle now);
 
-    /** Deliver a packet arriving from another cube (via SERDES). */
+    /**
+     * Deliver a packet arriving from another cube (via SERDES).
+     *
+     * Off-chip arrivals enter the mesh at the gateway router in strict
+     * arrival order: while earlier arrivals are still waiting in the
+     * ingress-retry queue a new packet lines up behind them instead of
+     * overtaking into the mesh (per-link FIFO; DESIGN.md Sec. 18).
+     */
     void deliverFromSerdes(const Packet &p);
 
     /** Packets leaving this cube; the device drains them. */
     std::vector<Packet> &serdesEgress() { return serdesEgress_; }
 
+    /** Off-chip arrivals still waiting for gateway-router space. */
+    size_t serdesIngressBacklog() const { return serdesIngressRetry_.size(); }
+
     bool fullyIdle() const;
 
     /**
      * Earliest future cycle this cube can change state (DESIGN.md
-     * Sec. 13): @p now while SERDES egress/ingress-retry buffers hold
-     * packets, else the min over the mesh and the vaults.
+     * Sec. 13): @p now while the SERDES egress buffer holds packets
+     * (the device must drain it), else the min over the mesh and the
+     * vaults.  A non-empty ingress-retry queue needs no clause of its
+     * own: retries wait on gateway-router space, and a full gateway
+     * queue means the mesh holds packets, so the mesh already reports
+     * the real next-injection opportunity.
      */
     Cycle nextEventAt(Cycle now) const;
 
@@ -71,7 +86,13 @@ class Cube
     std::vector<std::unique_ptr<Vault>> vaults_;
     Mesh mesh_;
     std::vector<Packet> serdesEgress_;
-    std::vector<Packet> serdesIngressRetry_;
+    /**
+     * Off-chip arrivals that found the gateway router full, in arrival
+     * order.  Drained strictly from the front (new arrivals append), so
+     * cross-cube delivery order is preserved and the drain is O(moved)
+     * instead of the old O(n^2) vector::erase scan.
+     */
+    std::deque<Packet> serdesIngressRetry_;
 };
 
 } // namespace ipim

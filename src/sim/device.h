@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/cube.h"
+#include "sim/parallel.h"
 
 namespace ipim {
 
@@ -72,6 +73,7 @@ class Device
      */
     explicit Device(const HardwareConfig &cfg, Tracer *tracer = nullptr,
                     const std::string &trackPrefix = "");
+    ~Device();
 
     const HardwareConfig &cfg() const { return cfg_; }
     Cube &cube(u32 c) { return *cubes_.at(c); }
@@ -91,12 +93,31 @@ class Device
      * @return total cycles executed.  Throws FatalError once exactly
      * @p maxCycles cycles elapse without quiescing (deadlock watchdog).
      *
-     * With fast-forward enabled (the default) the loop jumps over
-     * quiescent intervals using the nextEventAt() tree (DESIGN.md
-     * Sec. 13); all stats, traces, and cycle counts are bit-exact with
-     * dense ticking.
+     * Execution proceeds in conservative-lookahead quanta (DESIGN.md
+     * Sec. 18): cubes only interact through SERDES links with a
+     * >= 4 + serdesHop cycle minimum latency, so each cube is simulated
+     * independently up to the next cross-cube event horizon, egress is
+     * exchanged at a barrier with a deterministic (deliverAt, srcChip,
+     * per-source sequence) merge order, and the next quantum begins.
+     * With setThreads(N > 1) the cubes of a quantum run on a worker
+     * pool; results are bit-exact regardless of thread count.
+     *
+     * With fast-forward enabled (the default) each cube additionally
+     * jumps over its quiescent intervals inside a quantum, and whole-
+     * device quiescent stretches are jumped at the barrier using the
+     * nextEventAt() tree (DESIGN.md Sec. 13); all stats, traces, and
+     * cycle counts are bit-exact with dense ticking.
      */
     Cycle run(u64 maxCycles = 500'000'000ull);
+
+    /**
+     * Simulation threads for run() (default 1).  Values above the cube
+     * count are clamped; 0 behaves like 1.  Purely a wall-clock knob:
+     * cycles, stats, pixels, and trace bytes are bit-identical for
+     * every thread count (DESIGN.md Sec. 18).
+     */
+    void setThreads(u32 n);
+    u32 threads() const { return threads_; }
 
     /**
      * Enable/disable next-event fast-forward (on by default).  Off
@@ -156,8 +177,44 @@ class Device
     u64 totalIssued() const;
 
   private:
-    void tick(Cycle now);
+    /**
+     * Per-cube working state for one quantum, written only by the worker
+     * that owns the cube and reconciled at the barrier (DESIGN.md
+     * Sec. 18).
+     */
+    struct CubeCtx
+    {
+        /** SERDES egress drained during the quantum: (egress cycle,
+         *  packet), in the exact order the dense device-level drain
+         *  would have seen them. */
+        std::vector<std::pair<Cycle, Packet>> egress;
+        /** Packets the barrier scheduled for delivery at the quantum's
+         *  start cycle, already in deterministic merge order. */
+        std::vector<Packet> deliveries;
+        /** Cycle at which the cube went fully idle inside the quantum
+         *  (== quantum end if it never did). */
+        Cycle idleFrom = 0;
+        /** Fast-forward telemetry accumulated by the worker. */
+        u64 jumpCycles = 0;
+        u64 jumps = 0;
+    };
+
     bool fullyIdle() const;
+
+    /** Simulate cube @p c over [@p from, @p to) into cubeCtx_[c]
+     *  (worker body; see run()).  @p mustTick forces a tick at @p from
+     *  even when the cube looks idle (first quantum of a run, or
+     *  deliveries pending), matching the sequential loop. */
+    void runCubeQuantum(u32 c, Cycle from, Cycle to, bool mustTick);
+
+    /** Catch cube @p c (idle since cubeCtx_[c].idleFrom) up to @p to at
+     *  the barrier: refresh, arbiter rotation, and trace samples still
+     *  advance while a cube idles.  Must produce no SERDES egress. */
+    void catchUpIdleCube(u32 c, Cycle to);
+
+    /** Drain the per-cube trace shards into the parent tracer, merged
+     *  by (record cycle, cube index, intra-shard order). */
+    void mergeTraceShards();
 
     HardwareConfig cfg_;
     StatsRegistry stats_;
@@ -166,6 +223,16 @@ class Device
     Cycle probeNextAt_ = 0; ///< run()-local cache of probe_->nextSampleAt
     std::string trackPrefix_;
     std::vector<std::unique_ptr<Cube>> cubes_;
+
+    u32 threads_ = 1;
+    std::unique_ptr<ParallelPool> pool_;
+    /** Per-cube stat shards; cubes increment these during a quantum and
+     *  the barrier folds them into stats_ in cube order. */
+    std::vector<std::unique_ptr<StatsRegistry>> statShards_;
+    /** Per-cube trace shards (null when tracing is off); see Tracer's
+     *  shard constructor. */
+    std::vector<std::unique_ptr<Tracer>> traceShards_;
+    std::vector<CubeCtx> cubeCtx_;
 
     /**
      * SERDES packets in flight between cubes, ordered by (deliverAt,

@@ -1,0 +1,108 @@
+#include "sim/parallel.h"
+
+namespace ipim {
+
+namespace {
+/** Spin budget before a worker parks on the condition variable.  The
+ *  quantum cadence is microsecond-scale, so a short spin usually
+ *  catches the next generation without a futex round trip. */
+constexpr int kSpinIters = 2048;
+} // namespace
+
+ParallelPool::ParallelPool(u32 workers)
+{
+    threads_.reserve(workers);
+    for (u32 i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerMain(); });
+}
+
+ParallelPool::~ParallelPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ParallelPool::drainJobs()
+{
+    const std::function<void(u32)> &fn = *fn_;
+    u32 jobs = jobs_;
+    while (true) {
+        u32 i = nextJob_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobs)
+            break;
+        try {
+            fn(i);
+        } catch (...) {
+            errs_[i] = std::current_exception();
+        }
+    }
+}
+
+void
+ParallelPool::workerMain()
+{
+    u64 seen = 0;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            // Short unlock-spin first: quanta arrive back to back.
+            for (int s = 0; s < kSpinIters && generation_ == seen && !stop_;
+                 ++s) {
+                lk.unlock();
+                std::this_thread::yield();
+                lk.lock();
+            }
+            wake_.wait(lk, [&] { return generation_ != seen || stop_; });
+            if (stop_)
+                return;
+            seen = generation_;
+        }
+        drainJobs();
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            if (--running_ == 0)
+                done_.notify_one();
+        }
+    }
+}
+
+void
+ParallelPool::run(u32 jobs, const std::function<void(u32)> &fn)
+{
+    if (jobs == 0)
+        return;
+    errs_.assign(jobs, nullptr);
+    if (threads_.empty()) {
+        // Inline fallback (threads == 1): same claim loop, no handoff.
+        fn_ = &fn;
+        jobs_ = jobs;
+        nextJob_.store(0, std::memory_order_relaxed);
+        drainJobs();
+    } else {
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            fn_ = &fn;
+            jobs_ = jobs;
+            nextJob_.store(0, std::memory_order_relaxed);
+            running_ = u32(threads_.size());
+            ++generation_;
+        }
+        wake_.notify_all();
+        drainJobs();
+        std::unique_lock<std::mutex> lk(m_);
+        done_.wait(lk, [&] { return running_ == 0; });
+    }
+    fn_ = nullptr;
+    // Deterministic error propagation: lowest job index wins.
+    for (u32 i = 0; i < jobs; ++i)
+        if (errs_[i])
+            std::rethrow_exception(errs_[i]);
+}
+
+} // namespace ipim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A small persistent fork-join worker pool for the parallel simulation
+ * engine (DESIGN.md Sec. 18).
+ *
+ * Device::run() dispatches one job per cube at every quantum and joins
+ * them at the barrier, thousands of times per run, so the pool keeps its
+ * threads alive across run() calls and uses a short spin before parking
+ * on a condition variable to keep the per-quantum overhead small.
+ */
+#ifndef IPIM_SIM_PARALLEL_H_
+#define IPIM_SIM_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ipim {
+
+class ParallelPool
+{
+  public:
+    /** @p workers extra threads; the caller participates too, so the
+     *  effective parallelism of run() is workers + 1. */
+    explicit ParallelPool(u32 workers);
+    ~ParallelPool();
+
+    ParallelPool(const ParallelPool &) = delete;
+    ParallelPool &operator=(const ParallelPool &) = delete;
+
+    /**
+     * Run @p fn(i) for every i in [0, @p jobs), distributing jobs over
+     * the workers and the calling thread; returns once all jobs have
+     * finished.  If jobs threw, the exception of the lowest job index
+     * is rethrown (deterministic regardless of scheduling).
+     */
+    void run(u32 jobs, const std::function<void(u32)> &fn);
+
+    u32 workers() const { return u32(threads_.size()); }
+
+  private:
+    void workerMain();
+    /** Claim-and-run loop shared by workers and the caller. */
+    void drainJobs();
+
+    std::vector<std::thread> threads_;
+
+    std::mutex m_;
+    std::condition_variable wake_;  ///< workers wait for a new generation
+    std::condition_variable done_;  ///< caller waits for running_ == 0
+    u64 generation_ = 0;
+    u32 jobs_ = 0;
+    u32 running_ = 0; ///< workers still active in the current generation
+    bool stop_ = false;
+    const std::function<void(u32)> *fn_ = nullptr;
+
+    std::atomic<u32> nextJob_{0};
+    /** Per-job exception slot; each written by exactly one job owner
+     *  before the pool's join, read by the caller after it. */
+    std::vector<std::exception_ptr> errs_;
+};
+
+} // namespace ipim
+
+#endif // IPIM_SIM_PARALLEL_H_

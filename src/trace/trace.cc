@@ -51,6 +51,22 @@ Tracer::Tracer(size_t capacity) : buf_(capacity == 0 ? 1 : capacity)
     labels_.push_back("");
 }
 
+Tracer::Tracer(Tracer &parent) : parent_(&parent), buf_(1)
+{
+    labels_.push_back("");
+    syncShardSettings();
+}
+
+void
+Tracer::syncShardSettings()
+{
+    if (parent_ == nullptr)
+        return;
+    enabled_ = parent_->enabled_;
+    sampleInterval_ = parent_->sampleInterval_;
+    offset_ = parent_->offset_;
+}
+
 void
 Tracer::setSampleInterval(Cycle interval)
 {
@@ -62,6 +78,11 @@ Tracer::setSampleInterval(Cycle interval)
 u32
 Tracer::track(const std::string &name)
 {
+    // Shards share the parent's track table.  Interning only happens
+    // while components are constructed (sequentially, before any worker
+    // thread exists), so the delegation needs no locking.
+    if (parent_ != nullptr)
+        return parent_->track(name);
     auto it = trackIds_.find(name);
     if (it != trackIds_.end())
         return it->second;
@@ -74,6 +95,8 @@ Tracer::track(const std::string &name)
 u16
 Tracer::label(const std::string &name)
 {
+    if (parent_ != nullptr)
+        return parent_->label(name);
     auto it = labelIds_.find(name);
     if (it != labelIds_.end())
         return it->second;
@@ -86,6 +109,10 @@ Tracer::label(const std::string &name)
 void
 Tracer::push(const TraceEvent &ev)
 {
+    if (parent_ != nullptr) {
+        shardBuf_.emplace_back(recordCycle_, ev);
+        return;
+    }
     buf_[total_ % buf_.size()] = ev;
     ++total_;
 }
@@ -186,6 +213,7 @@ void
 Tracer::clear()
 {
     total_ = 0;
+    shardBuf_.clear();
 }
 
 std::vector<TraceEvent>

@@ -111,6 +111,23 @@ class Tracer
     /** @p capacity is the ring size in events (oldest dropped first). */
     explicit Tracer(size_t capacity = 1u << 20);
 
+    /**
+     * Shard constructor (parallel engine, DESIGN.md Sec. 18).
+     *
+     * A shard is the tracer handed to one cube's components so a worker
+     * thread can record events without touching the shared ring.  It
+     * forwards track()/label() interning to @p parent (interning only
+     * happens during sequential construction, never from workers) and
+     * buffers its events locally, each stamped with the cycle the
+     * owning cube was executing when the event was recorded
+     * (setRecordCycle).  Device::run() drains all shards at every
+     * quantum barrier, merging by (record cycle, cube index, per-shard
+     * order) — exactly the insertion order a sequential per-cycle loop
+     * produces, so ring eviction and stable-sort tie-breaking in the
+     * parent are bit-identical regardless of thread count.
+     */
+    explicit Tracer(Tracer &parent);
+
     /** @name Gating
      * The recording hot path is a branch on `enabled_`; call sites hold
      * a possibly-null pointer and use active() so a traced-but-disabled
@@ -180,6 +197,31 @@ class Tracer
     /** Drop all recorded events (tracks and labels survive). */
     void clear();
 
+    /** @name Shard plumbing (Device::run; DESIGN.md Sec. 18). */
+    ///@{
+    bool isShard() const { return parent_ != nullptr; }
+
+    /** Cycle stamped onto subsequently recorded shard events. */
+    void setRecordCycle(Cycle c) { recordCycle_ = c; }
+
+    /** Mirror the parent's gating/cadence/offset into this shard so
+     *  component-held shard pointers behave like the parent would. */
+    void syncShardSettings();
+
+    /** Shard-local (record cycle, event) buffer, record order. */
+    const std::vector<std::pair<Cycle, TraceEvent>> &
+    shardEvents() const
+    {
+        return shardBuf_;
+    }
+
+    /** Drop drained shard events (the merge consumed them). */
+    void clearShard() { shardBuf_.clear(); }
+
+    /** Parent side: append one already-offset event to the ring. */
+    void ingest(const TraceEvent &ev) { push(ev); }
+    ///@}
+
     /**
      * Buffered events, oldest first, sorted by (ts, longer-span-first,
      * record order).  The sort keeps per-track timestamps monotonic and
@@ -205,6 +247,9 @@ class Tracer
     Cycle sampleInterval_ = 64;
     Cycle offset_ = 0;
     u64 total_ = 0; ///< events ever recorded (ring position = total_ % N)
+    Tracer *parent_ = nullptr;     ///< non-null = shard mode
+    Cycle recordCycle_ = 0;        ///< shard: cycle stamp for new events
+    std::vector<std::pair<Cycle, TraceEvent>> shardBuf_;
     std::vector<TraceEvent> buf_;
     std::vector<std::string> tracks_;
     std::map<std::string, u32> trackIds_;

@@ -79,6 +79,7 @@ struct Options
     bool gpu = false;
     bool json = false;
     bool fastForward = true; ///< --no-fast-forward densely ticks
+    u32 threads = 1;         ///< --threads N simulation worker threads
     /// Execution backend: "cycle" (cycle-accurate simulation) or
     /// "func" (functional interpreter + latency estimate).
     std::string backend = "cycle";
@@ -136,6 +137,7 @@ usage()
         "            [--opts opt|baseline1..baseline4] [--verify]\n"
         "            [--gpu] [--dump-asm] [--json] [--trace FILE]\n"
         "            [--no-fast-forward] [--backend cycle|func]\n"
+        "            [--threads N]\n"
         "       ipim verify [--bench NAME | --all | --asm FILE]\n"
         "            [--werror] [--json] [device/compiler flags as above]\n"
         "       ipim analyze [--bench NAME | --all | --asm FILE]\n"
@@ -168,6 +170,10 @@ usage()
         "  --no-fast-forward ticks every cycle densely instead of\n"
         "  skipping quiescent intervals; results are bit-exact either\n"
         "  way (DESIGN.md Sec. 13), it is only slower.\n"
+        "  --threads N simulates cubes on N worker threads (clamped to\n"
+        "  the cube count); cycles, stats, pixels, and traces are\n"
+        "  bit-identical for every N (DESIGN.md Sec. 18) -- it is\n"
+        "  purely a wall-clock knob.\n"
         "  --backend func runs the functional interpreter instead of\n"
         "  the cycle simulator: pixels are bit-exact with cycle mode,\n"
         "  cycle counts come from the static cost model's estimate\n"
@@ -535,6 +541,7 @@ runTraceCommand(const Options &o)
     tracer.setEnabled(true);
     Device dev(cfg, &tracer);
     dev.setFastForward(o.fastForward);
+    dev.setThreads(o.threads);
     Runtime rt(dev, cp);
     for (const auto &[name, img] : app.inputs)
         rt.bindInput(name, img);
@@ -583,6 +590,7 @@ runProfileCommand(const Options &o)
 
     Device dev(cfg);
     dev.setFastForward(o.fastForward);
+    dev.setThreads(o.threads);
     dev.setProbe(&sampler);
     Runtime rt(dev, cp);
     for (const auto &[name, img] : app.inputs)
@@ -722,6 +730,7 @@ runServeFleetCommand(const Options &o)
     // 1 cycle == 1 ns, so ms -> cycles is a factor of 1e6.
     fc.shedP99Cycles = Cycle(o.shedP99Ms * 1e6);
     fc.fastForward = o.fastForward;
+    fc.threads = o.threads;
     fc.cacheCapacity = o.cacheCap;
     fc.launchOverheadCycles = o.launchOverhead;
 
@@ -799,6 +808,7 @@ runServeCommand(const Options &o)
         fatal("unknown --share value '", o.share, "' (want cube|whole)");
     scfg.cubesPerRequest = o.cubesPerReq;
     scfg.fastForward = o.fastForward;
+    scfg.threads = o.threads;
     scfg.backend = o.backend;
 
     WorkloadSpec spec = buildWorkload(o);
@@ -897,6 +907,7 @@ runServeCommand(const Options &o)
             .field("skipped_cycles", rep.ffwdSkippedCycles)
             .field("jumps", rep.ffwdJumps);
         j.endObject();
+        j.field("threads", o.threads);
         j.key("requests").beginArray();
         for (const RequestRecord &r : rep.records) {
             j.beginObject();
@@ -1059,6 +1070,8 @@ main(int argc, char **argv)
             o.launchOverhead = std::stoull(next());
         else if (a == "--no-fast-forward")
             o.fastForward = false;
+        else if (a == "--threads")
+            o.threads = u32(std::stoul(next()));
         else if (a == "--backend")
             o.backend = next();
         else if (a == "--interval")
@@ -1203,6 +1216,7 @@ main(int argc, char **argv)
         }
         Device dev(cfg, tracer.get());
         dev.setFastForward(o.fastForward);
+        dev.setThreads(o.threads);
         Runtime rt(dev, cp);
         for (const auto &[name, img] : app.inputs)
             rt.bindInput(name, img);
@@ -1277,6 +1291,7 @@ main(int argc, char **argv)
                     .field("skipped_cycles", dev.ffwdSkippedCycles())
                     .field("jumps", dev.ffwdJumps());
                 j.endObject();
+                j.field("threads", dev.threads());
             }
             if (o.verify) {
                 Image ref = referenceRun(app.def, app.inputs);
