@@ -120,4 +120,18 @@ restoreCheckpoint(FuncDevice &dev, const DeviceCheckpoint &cp)
     restoreImpl(dev, cp);
 }
 
+u64
+checkpointBytes(const DeviceCheckpoint &cp)
+{
+    u64 n = 0;
+    for (const auto &bank : cp.banks)
+        for (const auto &row : bank)
+            n += row.second.size();
+    for (const auto &img : cp.vsm)
+        n += img.size();
+    for (const auto &img : cp.pgsm)
+        n += img.size();
+    return n;
+}
+
 } // namespace ipim

@@ -53,6 +53,10 @@ DeviceCheckpoint captureCheckpoint(FuncDevice &dev);
 void restoreCheckpoint(Device &dev, const DeviceCheckpoint &cp);
 void restoreCheckpoint(FuncDevice &dev, const DeviceCheckpoint &cp);
 
+/** Payload size of @p cp in bytes (sparse bank rows + scratchpads) —
+ *  the cost figure the fleet event log attaches to a preemption. */
+u64 checkpointBytes(const DeviceCheckpoint &cp);
+
 } // namespace ipim
 
 #endif // IPIM_FLEET_CHECKPOINT_H_

@@ -1,0 +1,276 @@
+#include "fleet/events.h"
+
+#include <cstdlib>
+#include <istream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ipim {
+
+namespace {
+
+/** Skip spaces (the writer emits none, but be tolerant). */
+void
+skipWs(const std::string &s, size_t &i)
+{
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t'))
+        ++i;
+}
+
+/** Parse a JSON string at s[i] == '"'; returns false on malformed. */
+bool
+parseString(const std::string &s, size_t &i, std::string &out)
+{
+    if (i >= s.size() || s[i] != '"')
+        return false;
+    ++i;
+    out.clear();
+    while (i < s.size() && s[i] != '"') {
+        if (s[i] == '\\' && i + 1 < s.size()) {
+            char c = s[i + 1];
+            if (c == 'n')
+                out += '\n';
+            else if (c == 't')
+                out += '\t';
+            else
+                out += c; // \" \\ \/ — keep the escaped char
+            i += 2;
+        } else {
+            out += s[i++];
+        }
+    }
+    if (i >= s.size())
+        return false;
+    ++i; // closing quote
+    return true;
+}
+
+/** Capture a bracketed value ([...] or {...}) as raw text. */
+bool
+captureNested(const std::string &s, size_t &i, std::string &out)
+{
+    char open = s[i];
+    char close = open == '[' ? ']' : '}';
+    int depth = 0;
+    size_t start = i;
+    bool inStr = false;
+    for (; i < s.size(); ++i) {
+        char c = s[i];
+        if (inStr) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                inStr = false;
+            continue;
+        }
+        if (c == '"')
+            inStr = true;
+        else if (c == open)
+            ++depth;
+        else if (c == close && --depth == 0) {
+            ++i;
+            out = s.substr(start, i - start);
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Capture a bare token (number, true/false/null) as raw text. */
+bool
+captureToken(const std::string &s, size_t &i, std::string &out)
+{
+    size_t start = i;
+    while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != ' ')
+        ++i;
+    out = s.substr(start, i - start);
+    return !out.empty();
+}
+
+} // namespace
+
+std::string
+FleetEvent::str(const std::string &k) const
+{
+    auto it = fields.find(k);
+    return it == fields.end() ? std::string() : it->second;
+}
+
+u64
+FleetEvent::num(const std::string &k) const
+{
+    auto it = fields.find(k);
+    if (it == fields.end())
+        return 0;
+    return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+std::vector<u64>
+FleetEvent::members() const
+{
+    std::vector<u64> ids;
+    std::string raw = str("members");
+    size_t i = 0;
+    while (i < raw.size()) {
+        if (raw[i] >= '0' && raw[i] <= '9') {
+            char *end = nullptr;
+            ids.push_back(std::strtoull(raw.c_str() + i, &end, 10));
+            i = size_t(end - raw.c_str());
+        } else {
+            ++i;
+        }
+    }
+    return ids;
+}
+
+bool
+parseFleetEvent(const std::string &line, FleetEvent &out)
+{
+    out = FleetEvent();
+    size_t i = 0;
+    skipWs(line, i);
+    if (i >= line.size() || line[i] != '{')
+        return false;
+    ++i;
+    while (true) {
+        skipWs(line, i);
+        if (i < line.size() && line[i] == '}')
+            break;
+        std::string key;
+        if (!parseString(line, i, key))
+            return false;
+        skipWs(line, i);
+        if (i >= line.size() || line[i] != ':')
+            return false;
+        ++i;
+        skipWs(line, i);
+        if (i >= line.size())
+            return false;
+        std::string val;
+        char c = line[i];
+        bool ok = c == '"' ? parseString(line, i, val)
+                  : (c == '[' || c == '{')
+                      ? captureNested(line, i, val)
+                      : captureToken(line, i, val);
+        if (!ok)
+            return false;
+        out.fields[key] = val;
+        skipWs(line, i);
+        if (i < line.size() && line[i] == ',') {
+            ++i;
+            continue;
+        }
+        if (i < line.size() && line[i] == '}')
+            break;
+        return false;
+    }
+    out.type = out.str("type");
+    out.ts = out.num("ts");
+    out.hasReq = out.has("req");
+    out.req = out.num("req");
+    return !out.type.empty();
+}
+
+std::vector<FleetEvent>
+loadFleetEvents(std::istream &is)
+{
+    std::vector<FleetEvent> evs;
+    std::string line;
+    size_t n = 0;
+    while (std::getline(is, line)) {
+        ++n;
+        if (line.empty())
+            continue;
+        FleetEvent ev;
+        if (!parseFleetEvent(line, ev))
+            fatal("events log: malformed record on line ", n);
+        evs.push_back(std::move(ev));
+    }
+    if (evs.empty())
+        fatal("events log: empty");
+    if (evs.front().type != "log" ||
+        evs.front().str("schema") != kFleetEventsSchema)
+        fatal("events log: missing '", kFleetEventsSchema,
+              "' header line");
+    return evs;
+}
+
+std::string
+explainRequest(const std::vector<FleetEvent> &events, u64 id)
+{
+    std::ostringstream out;
+    bool seen = false;
+    for (const FleetEvent &ev : events) {
+        bool mine = ev.hasReq && ev.req == id;
+        if (ev.type == "batch") {
+            for (u64 m : ev.members())
+                if (m == id)
+                    mine = true;
+        }
+        if (!mine)
+            continue;
+        if (!seen) {
+            out << "request " << id << ":\n";
+            seen = true;
+        }
+        out << "  [" << ev.ts << "] ";
+        if (ev.type == "route") {
+            out << "admitted: tenant " << ev.str("tenant") << " priority "
+                << ev.num("priority") << " pipeline "
+                << ev.str("pipeline") << " (arrived " << ev.num("arrival")
+                << "); routed to device " << ev.num("device") << " by "
+                << ev.str("policy") << " (cache "
+                << (ev.str("cache_hit") == "true" ? "hit" : "miss")
+                << ")";
+        } else if (ev.type == "shed") {
+            out << "shed at admission: reason " << ev.str("reason")
+                << ", shed level " << ev.num("shed_level") << ", tenant "
+                << ev.str("tenant");
+            if (ev.has("device"))
+                out << " (device " << ev.num("device") << ", wait est "
+                    << ev.num("wait_est_cycles") << " + own est "
+                    << ev.num("own_est_cycles") << " cycles vs target "
+                    << ev.num("target_cycles") << ")";
+        } else if (ev.type == "batch") {
+            out << "joined batch " << ev.num("batch") << " on device "
+                << ev.num("device") << ": members " << ev.str("members")
+                << ", window " << ev.num("window_cycles")
+                << " cycles, launched because " << ev.str("fill");
+        } else if (ev.type == "dispatch") {
+            out << (ev.str("resume") == "true" ? "resumed" : "dispatched")
+                << " on device " << ev.num("device") << " slot "
+                << ev.num("slot") << ": kernel " << ev.num("kernel")
+                << ", launch at " << ev.num("launch_start")
+                << ", exec at " << ev.num("exec_start");
+            if (ev.num("compile_cycles") > 0)
+                out << ", compile " << ev.num("compile_cycles")
+                    << " cycles";
+            if (ev.num("held_cycles") > 0)
+                out << ", held " << ev.num("held_cycles") << " cycles";
+        } else if (ev.type == "preempt") {
+            out << "preempted on device " << ev.num("device") << " slot "
+                << ev.num("slot") << " before kernel "
+                << ev.num("kernel") << ": " << ev.num("done_exec_cycles")
+                << " exec cycles done, checkpoint "
+                << ev.num("ckpt_bytes") << " bytes, "
+                << ev.num("higher_pending")
+                << " higher-priority pending";
+        } else if (ev.type == "complete") {
+            out << "completed on device " << ev.num("device") << " slot "
+                << ev.num("slot") << ": exec "
+                << ev.num("exec_cycles") << ", queue "
+                << ev.num("queue_cycles") << ", total "
+                << ev.num("total_cycles") << " cycles, "
+                << ev.num("preemptions") << " preemption(s)";
+        } else {
+            out << ev.type;
+        }
+        out << "\n";
+    }
+    if (!seen)
+        fatal("events log has no record of request ", id);
+    return out.str();
+}
+
+} // namespace ipim

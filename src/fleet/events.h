@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fleet decision event log (DESIGN.md Sec. 19).
+ *
+ * The fleet records WHY it did what it did: one JSONL record per
+ * routing choice, shed decision, batch formation, dispatch, preemption,
+ * and completion, in decision order on the virtual timeline (schema
+ * "ipim-fleet-events-v1", one JSON object per line, first line a
+ * header).  FleetObserver writes the log; this module owns the line
+ * parser and the `ipim explain --req ID` reconstruction, which replays
+ * a request's full story — admission, routing, batching or shedding,
+ * preemption, execution — from the log alone.
+ *
+ * The parser is deliberately minimal: it understands exactly the flat
+ * objects this repo emits (string/number/bool scalars; one nesting
+ * level of arrays/objects captured as raw text), keeping the CLI free
+ * of a JSON dependency.
+ */
+#ifndef IPIM_FLEET_EVENTS_H_
+#define IPIM_FLEET_EVENTS_H_
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ipim {
+
+/** Schema tag carried by the header line of every event log. */
+inline const char *const kFleetEventsSchema = "ipim-fleet-events-v1";
+
+/**
+ * One parsed event-log record.  Scalar fields are kept as raw text in
+ * @p fields (strings unquoted/unescaped, numbers and bools verbatim);
+ * nested arrays/objects are captured as raw JSON text.
+ */
+struct FleetEvent
+{
+    std::string type; ///< "log" | "route" | "shed" | "batch" |
+                      ///< "dispatch" | "preempt" | "complete"
+    Cycle ts = 0;     ///< decision time on the fleet virtual timeline
+    bool hasReq = false;
+    u64 req = 0;      ///< request id (absent on "log"/"batch")
+
+    std::map<std::string, std::string> fields;
+
+    bool has(const std::string &k) const { return fields.count(k) != 0; }
+    /** Raw text of field @p k ("" when absent). */
+    std::string str(const std::string &k) const;
+    /** Field @p k as an unsigned number (0 when absent/non-numeric). */
+    u64 num(const std::string &k) const;
+    /** Member request ids of a "batch" record (parsed from members). */
+    std::vector<u64> members() const;
+};
+
+/** Parse one JSONL line; returns false on malformed input. */
+bool parseFleetEvent(const std::string &line, FleetEvent &out);
+
+/**
+ * Load a whole event log, oldest first.  The first line must be the
+ * "log" header carrying kFleetEventsSchema; malformed lines or a
+ * wrong schema are fatal (the log is machine-written).
+ */
+std::vector<FleetEvent> loadFleetEvents(std::istream &is);
+
+/**
+ * Reconstruct the story of request @p id from @p events as
+ * human-readable text (one step per line): routing -> (batch | shed)
+ * -> dispatch/preemption/resume -> completion.  Fatal when the log
+ * contains no record of @p id.
+ */
+std::string explainRequest(const std::vector<FleetEvent> &events, u64 id);
+
+} // namespace ipim
+
+#endif // IPIM_FLEET_EVENTS_H_

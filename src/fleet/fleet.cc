@@ -10,6 +10,7 @@
 
 #include "apps/benchmarks.h"
 #include "common/logging.h"
+#include "fleet/observer.h"
 #include "metrics/prometheus.h"
 #include "runtime/transfer.h"
 
@@ -144,6 +145,8 @@ FleetReport::toJson(JsonWriter &w, const FleetConfig &cfg) const
     w.field("launch_overhead_cycles", u64(cfg.launchOverheadCycles));
     w.field("compile_cycles_per_inst", u64(cfg.compileCyclesPerInst));
     w.field("cache_capacity", u64(cfg.cacheCapacity));
+    w.field("threads", u64(cfg.threads));
+    w.field("fast_forward", cfg.fastForward);
     w.endObject();
 
     w.field("requests_total", u64(records.size()));
@@ -155,6 +158,20 @@ FleetReport::toJson(JsonWriter &w, const FleetConfig &cfg) const
     w.field("preemptions", preemptions);
     w.field("makespan_cycles", u64(makespan));
     w.field("throughput_rps", throughputRps());
+
+    // Fast-forward telemetry summed over the fleet (satellite of the
+    // single-device fast_forward block; all zero on the func backend).
+    u64 ffwdJumps = 0;
+    u64 ffwdSkipped = 0;
+    for (const DeviceReport &d : devices) {
+        ffwdJumps += d.ffwdJumps;
+        ffwdSkipped += d.ffwdSkippedCycles;
+    }
+    w.key("fast_forward").beginObject();
+    w.field("enabled", cfg.fastForward);
+    w.field("jumps", ffwdJumps);
+    w.field("skipped_cycles", ffwdSkipped);
+    w.endObject();
 
     latencyJson(w, "total_latency", totalLatency);
     latencyJson(w, "queue_latency", queueLatency);
@@ -172,6 +189,8 @@ FleetReport::toJson(JsonWriter &w, const FleetConfig &cfg) const
         w.field("batches", dr.batches);
         w.field("preemptions", dr.preemptions);
         w.field("busy_cycles", u64(dr.busyCycles));
+        w.field("ffwd_jumps", dr.ffwdJumps);
+        w.field("ffwd_skipped_cycles", dr.ffwdSkippedCycles);
         w.key("cache").beginObject();
         w.field("hits", dr.cacheHits);
         w.field("compiles", dr.cacheCompiles);
@@ -315,6 +334,18 @@ FleetReport::prometheusText() const
     for (size_t d = 0; d < devices.size(); ++d)
         pw.metric("ipim_fleet_cache_entries", f64(devices[d].cacheEntries),
                   {{"device", std::to_string(d)}});
+    family("ipim_fleet_device_ffwd_jumps_total",
+           "Fast-forward jumps per device", "counter");
+    for (size_t d = 0; d < devices.size(); ++d)
+        pw.metric("ipim_fleet_device_ffwd_jumps_total",
+                  f64(devices[d].ffwdJumps),
+                  {{"device", std::to_string(d)}});
+    family("ipim_fleet_device_ffwd_skipped_cycles_total",
+           "Fast-forwarded (skipped) cycles per device", "counter");
+    for (size_t d = 0; d < devices.size(); ++d)
+        pw.metric("ipim_fleet_device_ffwd_skipped_cycles_total",
+                  f64(devices[d].ffwdSkippedCycles),
+                  {{"device", std::to_string(d)}});
 
     family("ipim_fleet_tenant_admitted_total",
            "Admitted requests per tenant", "counter");
@@ -374,6 +405,9 @@ FleetServer::FleetServer(const FleetConfig &cfg) : cfg_(cfg)
 
     HardwareConfig sc = slotConfig();
     u32 slotsPer = cfg_.hw.cubes / per;
+    if (cfg_.observer)
+        cfg_.observer->attach(cfg_.devices, slotsPer, cfg_.backend,
+                              cfg_.router, cfg_.policy);
     // Size the vector once up front: DeviceState holds a StatsRegistry
     // that per-device ProgramCaches point into, so elements must never
     // relocate after the caches are wired up in run().
@@ -385,12 +419,20 @@ FleetServer::FleetServer(const FleetConfig &cfg) : cfg_(cfg)
             if (cfg_.backend == "func") {
                 slot.fdev = std::make_unique<FuncDevice>(sc);
             } else {
+                // All slots of one device share that device's tracer
+                // (its own trace pid), each under a "slot<s>/" track
+                // prefix — same-named tracks on other devices live in
+                // other pids, so nothing aliases.
+                Tracer *tracer = cfg_.observer
+                                     ? cfg_.observer->deviceTracer(d)
+                                     : nullptr;
                 slot.dev = std::make_unique<Device>(
-                    sc, nullptr,
-                    "fleet" + std::to_string(d) + "s" +
-                        std::to_string(s) + "/");
+                    sc, tracer, "slot" + std::to_string(s) + "/");
                 slot.dev->setFastForward(cfg_.fastForward);
                 slot.dev->setThreads(cfg_.threads);
+                if (cfg_.observer)
+                    slot.dev->setProbe(
+                        cfg_.observer->slotSampler(d, s));
             }
             ds.slots.push_back(std::move(slot));
         }
@@ -417,6 +459,10 @@ FleetServer::slotConfig() const
 FleetReport
 FleetServer::run(const std::vector<ServeRequest> &requests)
 {
+    FleetObserver *obs = cfg_.observer;
+    if (obs)
+        obs->beginRun();
+
     FleetReport rep;
     rep.slo = SloTracker(cfg_.sloWindowCycles);
     rep.devices.reserve(devs_.size());
@@ -477,6 +523,7 @@ FleetServer::run(const std::vector<ServeRequest> &requests)
     // traffic is always the first to go and the last to come back.
     u32 shedLevel = 0;
     u64 shedEval = 0; // next tumbling-window index to evaluate
+    f64 lastWindowP99 = 0.0; // of the last evaluated non-empty window
     std::map<u64, LatencyHistogram> windowLat;
 
     auto estRemaining = [&](const Pending &p) -> Cycle {
@@ -537,8 +584,8 @@ FleetServer::run(const std::vector<ServeRequest> &requests)
             auto it = windowLat.find(shedEval);
             bool breach = false;
             if (it != windowLat.end() && it->second.count() > 0) {
-                breach =
-                    it->second.percentile(99) > f64(cfg_.shedP99Cycles);
+                lastWindowP99 = it->second.percentile(99);
+                breach = lastWindowP99 > f64(cfg_.shedP99Cycles);
                 windowLat.erase(it);
             } else {
                 // A window in which nothing completed while work was in
@@ -565,6 +612,8 @@ FleetServer::run(const std::vector<ServeRequest> &requests)
         rep.records.push_back(std::move(rec));
         FleetRequestRecord &r = rep.records.back();
         FleetReport::TenantReport &tr = rep.tenants[req.tenant];
+        if (obs)
+            obs->onOffered(req, tr.name);
 
         auto shed = [&](const char *reason) {
             r.shed = true;
@@ -580,12 +629,17 @@ FleetServer::run(const std::vector<ServeRequest> &requests)
         updateShedLevel();
         if (cfg_.shedP99Cycles != 0 && req.priority < shedLevel) {
             shed("p99_breach");
+            if (obs)
+                obs->onShed(now, req, tr.name, "p99_breach", shedLevel,
+                            lastWindowP99, false, 0, 0, 0,
+                            cfg_.shedP99Cycles);
             return;
         }
 
         std::string key = ProgramCache::makeKey(
             req.pipeline, cfg_.width, cfg_.height, slotCfg, cfg_.copts);
-        u32 d = router_->route(key, loadViews(key));
+        std::vector<DeviceLoadView> views = loadViews(key);
+        u32 d = router_->route(key, views);
         DeviceState &ds = devs_[d];
 
         Pending p;
@@ -628,12 +682,19 @@ FleetServer::run(const std::vector<ServeRequest> &requests)
             // instead of exactly on (and in practice beyond) it.
             if (waitEst + ownEst > cfg_.shedP99Cycles / 2) {
                 shed("backlog");
+                if (obs)
+                    obs->onShed(now, req, tr.name, "backlog", shedLevel,
+                                lastWindowP99, true, d, waitEst, ownEst,
+                                cfg_.shedP99Cycles);
                 return;
             }
         }
 
         ++rep.admitted;
         ++tr.admitted;
+        if (obs)
+            obs->onRoute(now, req, tr.name, cfg_.router, d, p.cacheHit,
+                         views);
         ds.pend.push_back(std::move(p));
     };
 
@@ -702,8 +763,12 @@ FleetServer::run(const std::vector<ServeRequest> &requests)
     // Simulate one kernel of the running request and return its cycle
     // cost: measured on the cycle backend, the static cost model's
     // per-kernel estimate (scaled by any calibration) on the
-    // functional one.
-    auto runKernel = [&](DeviceState &ds, u32 s, Running &r) -> Cycle {
+    // functional one.  @p vstart is the kernel's start on the fleet
+    // virtual timeline: observer tracers/samplers are offset by
+    // (vstart - device-local clock) so everything recorded during the
+    // run lands at fleet time.
+    auto runKernel = [&](u32 d, u32 s, Running &r, Cycle vstart) -> Cycle {
+        DeviceState &ds = devs_[d];
         Slot &slot = ds.slots[s];
         const CompiledPipeline &pipe = r.p.program->compiled;
         const CompiledKernel &k = pipe.kernels[r.p.nextKernel];
@@ -716,8 +781,26 @@ FleetServer::run(const std::vector<ServeRequest> &requests)
                 stat.at(r.p.nextKernel) * estimator_.scaleFor(pipe);
             return std::max<Cycle>(1, Cycle(std::llround(scaled)));
         }
-        slot.dev->loadPrograms(k.perVault);
-        return std::max<Cycle>(1, slot.dev->run());
+        Device &dev = *slot.dev;
+        Tracer *dt = obs ? obs->deviceTracer(d) : nullptr;
+        MetricsSampler *ms = obs ? obs->slotSampler(d, s) : nullptr;
+        Cycle off = vstart >= dev.now() ? vstart - dev.now() : 0;
+        if (dt)
+            dt->setTimeOffset(off);
+        if (ms)
+            ms->setTimeOffset(off);
+        u64 sk0 = dev.ffwdSkippedCycles();
+        u64 jp0 = dev.ffwdJumps();
+        dev.loadPrograms(k.perVault);
+        Cycle c = std::max<Cycle>(1, dev.run());
+        rep.devices[d].ffwdSkippedCycles +=
+            dev.ffwdSkippedCycles() - sk0;
+        rep.devices[d].ffwdJumps += dev.ffwdJumps() - jp0;
+        // Fleet-level spans are emitted at explicit virtual times;
+        // leave the shared device tracer back at zero offset.
+        if (dt)
+            dt->setTimeOffset(0);
+        return c;
     };
 
     auto dispatchDevice = [&](u32 d) {
@@ -817,12 +900,37 @@ FleetServer::run(const std::vector<ServeRequest> &requests)
                 ++rep.batches;
                 ++rep.devices[d].batches;
                 rep.batchedRequests += group.size();
+                if (obs) {
+                    // Why did the batch stop growing?  Mirrors the
+                    // hold-or-launch conditions above, in check order.
+                    const char *fill = "window";
+                    if (group.size() >= hardCap)
+                        fill = "full";
+                    else if (compile != 0)
+                        fill = "compile";
+                    else if (group.front().nextKernel != 0 ||
+                             group.front().ckpt)
+                        fill = "resume";
+                    else if (!companions && group.size() >= cap)
+                        fill = "slots";
+                    Cycle since = now;
+                    for (const Pending &p : group)
+                        if (p.held)
+                            since = std::min(since, p.heldSince);
+                    std::vector<u64> members;
+                    for (const Pending &p : group)
+                        members.push_back(p.req.id);
+                    obs->onBatch(now, d, batchId,
+                                 group.front().req.pipeline, members,
+                                 now - since, execStart, fill);
+                }
             }
 
             for (size_t m = 0; m < group.size(); ++m) {
                 u32 s = free[m];
                 Pending p = std::move(group[m]);
                 FleetRequestRecord &rec = rep.records[p.recIdx];
+                bool resume = p.started;
                 if (!p.started) {
                     p.started = true;
                     rec.start = now;
@@ -835,12 +943,17 @@ FleetServer::run(const std::vector<ServeRequest> &requests)
                 p.compileCycles = 0;
                 rec.compileCycles += charged;
                 rec.overheadCycles += execStart - now - charged;
+                if (obs)
+                    obs->onDispatch(now, p.req.id, p.req.pipeline, d, s,
+                                    p.nextKernel, resume, batchId,
+                                    launchStart, execStart, charged,
+                                    p.held ? now - p.heldSince : 0);
 
                 prepareSlot(ds, s, p);
                 auto r = std::make_unique<Running>();
                 r->p = std::move(p);
                 r->batchId = batchId;
-                Cycle c = runKernel(ds, s, *r);
+                Cycle c = runKernel(d, s, *r, execStart);
                 r->curKernelCycles = c;
                 r->boundaryAt = execStart + c;
                 ds.running[s] = std::move(r);
@@ -888,6 +1001,10 @@ FleetServer::run(const std::vector<ServeRequest> &requests)
                 windowLat[finish / cfg_.sloWindowCycles].add(
                     f64(rec.totalCycles()));
             rep.makespan = std::max(rep.makespan, finish);
+            if (obs)
+                obs->onComplete(finish, rec.id, d, s, r.batchId,
+                                rec.execCycles, rec.queueCycles(),
+                                rec.totalCycles(), rec.preemptions);
             ds.running[s].reset();
             return;
         }
@@ -918,13 +1035,18 @@ FleetServer::run(const std::vector<ServeRequest> &requests)
                 ++rep.preemptions;
                 ++rep.devices[d].preemptions;
                 rec.preemptions = r.p.preemptCount;
+                if (obs)
+                    obs->onPreempt(now, rec.id, d, s, r.p.nextKernel,
+                                   r.p.doneExec,
+                                   checkpointBytes(*r.p.ckpt), higher);
                 ds.pend.push_back(std::move(r.p));
                 ds.running[s].reset();
                 return;
             }
         }
 
-        Cycle c = runKernel(ds, s, r);
+        // The next kernel starts right at this boundary.
+        Cycle c = runKernel(d, s, r, r.boundaryAt);
         r.curKernelCycles = c;
         r.boundaryAt += c;
     };

@@ -42,6 +42,8 @@
 
 namespace ipim {
 
+class FleetObserver;
+
 struct FleetConfig
 {
     /** Geometry of EACH fleet device; hw.cubes is per-device. */
@@ -113,6 +115,14 @@ struct FleetConfig
     /** Gather and retain each completed request's output image
      *  (pixel-exactness tests; large, so off by default). */
     bool keepOutputs = false;
+
+    /**
+     * Observability sink (DESIGN.md Sec. 19): distributed tracing,
+     * decision event log, per-slot metrics sampling.  Null (the
+     * default) costs one pointer test per decision site; the observer
+     * must outlive the FleetServer and is attached at construction.
+     */
+    FleetObserver *observer = nullptr;
 };
 
 /** Everything recorded about one request entering the fleet. */
@@ -159,6 +169,10 @@ struct FleetReport
         u64 cacheEvictions = 0;
         u64 cacheEntries = 0;
         Cycle busyCycles = 0; ///< exec cycles simulated here
+        /// Fast-forward telemetry summed over this device's slots
+        /// (cycle backend; satellite of the single-device fields).
+        u64 ffwdSkippedCycles = 0;
+        u64 ffwdJumps = 0;
         SloTracker slo;
         LatencyHistogram totalLatency;
     };

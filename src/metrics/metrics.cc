@@ -105,7 +105,7 @@ MetricsSampler::pushRow(Cycle t, const std::vector<f64> &absCounters,
                         std::vector<f64> gauges)
 {
     Row row;
-    row.t = t;
+    row.t = t + offset_;
     row.counters.resize(absCounters.size());
     for (u32 i = 0; i < absCounters.size(); ++i)
         row.counters[i] = absCounters[i] - prev_[i];
@@ -173,6 +173,20 @@ void
 MetricsSampler::onDeviceReset(Device &dev)
 {
     (void)dev;
+    // Device counters restart at zero after a reset, so the delta
+    // baseline always rezeroes; in retain mode the recorded series
+    // survives (the fleet resets a slot device once per occupancy).
+    prev_.assign(prev_.size(), 0.0);
+    if (retainOnReset_)
+        return;
+    rows_.clear();
+    rowsHead_ = 0;
+    samplesTotal_ = 0;
+}
+
+void
+MetricsSampler::clear()
+{
     rows_.clear();
     rowsHead_ = 0;
     samplesTotal_ = 0;

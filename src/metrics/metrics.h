@@ -61,6 +61,28 @@ class MetricsSampler : public DeviceProbe
     Cycle interval() const { return cfg_.interval; }
     u32 capacity() const { return cfg_.capacity; }
 
+    /**
+     * Added to every recorded row timestamp.  The fleet layer maps each
+     * occupancy's device-local clock (restarting at 0 after
+     * Device::reset()) onto the fleet virtual timeline by setting this
+     * to the occupancy's exec-start cycle before launching — the same
+     * contract as Tracer::setTimeOffset.
+     */
+    void setTimeOffset(Cycle offset) { offset_ = offset; }
+    Cycle timeOffset() const { return offset_; }
+
+    /**
+     * Keep the recorded rows across Device::reset() (fleet mode: one
+     * reset per occupancy, but the series spans the whole run).  Only
+     * the delta baseline is rezeroed — device counters restart at 0
+     * after a reset, so the first post-reset row deltas from zero.
+     */
+    void setRetainOnReset(bool on) { retainOnReset_ = on; }
+
+    /** Drop all recorded rows and rezero the delta baseline (a fresh
+     *  run on the same schema; works in either reset mode). */
+    void clear();
+
     /** Samples taken since construction/reset (including evicted). */
     u64 samplesTotal() const { return samplesTotal_; }
     /** Samples currently retained in the ring. */
@@ -106,6 +128,8 @@ class MetricsSampler : public DeviceProbe
                  std::vector<f64> gauges);
 
     Config cfg_;
+    Cycle offset_ = 0;
+    bool retainOnReset_ = false;
     std::vector<std::string> counterNames_;
     std::vector<std::string> gaugeNames_;
     bool schemaReady_ = false;

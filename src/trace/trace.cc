@@ -40,6 +40,11 @@ traceEvName(TraceEv ev)
       case TraceEv::kReqExecute: return "execute";
       case TraceEv::kCacheHit: return "cache_hit";
       case TraceEv::kCacheMiss: return "cache_miss";
+      case TraceEv::kFleetRoute: return "route";
+      case TraceEv::kReqShed: return "shed";
+      case TraceEv::kReqPreempt: return "preempt";
+      case TraceEv::kReqResume: return "resume";
+      case TraceEv::kReqBatch: return "batch";
       case TraceEv::kNumEvents: break;
     }
     return "unknown";
@@ -270,11 +275,80 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+/**
+ * Render one event for process @p pid using its tracer's string
+ * tables.  Shared between the single- and multi-process exporters so
+ * the single-tracer output stays byte-identical to what it was before
+ * exportChromeJsonMulti existed.
+ */
+void
+emitEvent(std::ostream &os, const TraceEvent &ev, u32 pid,
+          const std::vector<std::string> &tracks,
+          const std::vector<std::string> &labels)
+{
+    const char *name = ev.label != 0 && ev.label < labels.size()
+                           ? labels[ev.label].c_str()
+                           : traceEvName(ev.name);
+    switch (ev.kind) {
+      case TraceKind::kSpan:
+        os << "{\"name\":\"" << jsonEscape(name)
+           << R"(","ph":"X","ts":)" << fmtTsUs(ev.ts)
+           << ",\"dur\":" << fmtTsUs(ev.dur)
+           << ",\"pid\":" << pid << ",\"tid\":" << ev.track << "}";
+        break;
+      case TraceKind::kInstant:
+        os << "{\"name\":\"" << jsonEscape(name)
+           << R"(","ph":"i","s":"t","ts":)" << fmtTsUs(ev.ts)
+           << ",\"pid\":" << pid << ",\"tid\":" << ev.track;
+        if (ev.hasArg)
+            os << ",\"args\":{\"id\":" << ev.id << "}";
+        os << "}";
+        break;
+      case TraceKind::kCounter:
+        // Chrome counters are keyed per process by name, so the
+        // track name is folded into the counter name.
+        os << "{\"name\":\"" << jsonEscape(tracks[ev.track]) << "/"
+           << traceEvName(ev.name) << R"(","ph":"C","ts":)"
+           << fmtTsUs(ev.ts) << ",\"pid\":" << pid
+           << ",\"tid\":" << ev.track
+           << ",\"args\":{\"value\":" << fmtValue(ev.value) << "}}";
+        break;
+      case TraceKind::kAsyncBegin:
+      case TraceKind::kAsyncEnd:
+        os << "{\"name\":\"" << jsonEscape(name)
+           << "\",\"cat\":\"service\",\"ph\":\""
+           << (ev.kind == TraceKind::kAsyncBegin ? 'b' : 'e')
+           << "\",\"id\":\"0x" << std::hex << ev.id << std::dec
+           << "\",\"ts\":" << fmtTsUs(ev.ts)
+           << ",\"pid\":" << pid << ",\"tid\":" << ev.track << "}";
+        break;
+    }
+}
+
 } // namespace
 
 void
 Tracer::exportChromeJson(std::ostream &os) const
 {
+    exportChromeJsonMulti(os, {{this, 0, "ipim"}});
+}
+
+void
+exportChromeJsonMulti(std::ostream &os,
+                      const std::vector<TraceProcess> &procs)
+{
+    for (size_t i = 0; i < procs.size(); ++i) {
+        if (procs[i].tracer == nullptr)
+            fatal("exportChromeJsonMulti: null tracer for pid ",
+                  procs[i].pid);
+        for (size_t j = i + 1; j < procs.size(); ++j)
+            if (procs[i].pid == procs[j].pid)
+                fatal("exportChromeJsonMulti: duplicate pid ",
+                      procs[i].pid,
+                      " — each process needs its own Tracer "
+                      "(track ids would alias)");
+    }
+
     os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
     bool first = true;
     auto sep = [&]() {
@@ -283,57 +357,52 @@ Tracer::exportChromeJson(std::ostream &os) const
         first = false;
     };
 
-    // Process/thread metadata: one named thread per track.
-    sep();
-    os << R"({"name":"process_name","ph":"M","pid":0,"tid":0,)"
-       << R"("args":{"name":"ipim"}})";
-    for (u32 t = 0; t < tracks_.size(); ++t) {
+    // Process/thread metadata: every process names its own tracks, so
+    // identical track names under different pids stay distinct.
+    for (const TraceProcess &p : procs) {
         sep();
-        os << R"({"name":"thread_name","ph":"M","pid":0,"tid":)" << t
-           << R"(,"args":{"name":")" << jsonEscape(tracks_[t]) << "\"}}";
-        sep();
-        os << R"({"name":"thread_sort_index","ph":"M","pid":0,"tid":)" << t
-           << R"(,"args":{"sort_index":)" << t << "}}";
+        os << R"({"name":"process_name","ph":"M","pid":)" << p.pid
+           << R"(,"tid":0,"args":{"name":")" << jsonEscape(p.name)
+           << "\"}}";
+        const auto &tracks = p.tracer->trackNames();
+        for (u32 t = 0; t < tracks.size(); ++t) {
+            sep();
+            os << R"({"name":"thread_name","ph":"M","pid":)" << p.pid
+               << R"(,"tid":)" << t << R"(,"args":{"name":")"
+               << jsonEscape(tracks[t]) << "\"}}";
+            sep();
+            os << R"({"name":"thread_sort_index","ph":"M","pid":)"
+               << p.pid << R"(,"tid":)" << t
+               << R"(,"args":{"sort_index":)" << t << "}}";
+        }
     }
 
-    for (const TraceEvent &ev : sortedEvents()) {
-        const char *name = ev.label != 0 && ev.label < labels_.size()
-                               ? labels_[ev.label].c_str()
-                               : traceEvName(ev.name);
+    // Merge: concatenate each process's (ts, dur desc, record order)
+    // stream in process order, then stable-sort on (ts, dur desc).
+    // Full ties keep (process order, record order) — the same
+    // (cycle, shard index, order) template as the Sec. 18 shard merge,
+    // so the byte stream is independent of how events were produced.
+    struct PidEvent
+    {
+        TraceEvent ev;
+        u32 pid;
+        u32 proc;
+    };
+    std::vector<PidEvent> merged;
+    for (u32 pi = 0; pi < procs.size(); ++pi)
+        for (const TraceEvent &ev : procs[pi].tracer->sortedEvents())
+            merged.push_back({ev, procs[pi].pid, pi});
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const PidEvent &a, const PidEvent &b) {
+                         if (a.ev.ts != b.ev.ts)
+                             return a.ev.ts < b.ev.ts;
+                         return a.ev.dur > b.ev.dur;
+                     });
+
+    for (const PidEvent &pe : merged) {
         sep();
-        switch (ev.kind) {
-          case TraceKind::kSpan:
-            os << "{\"name\":\"" << jsonEscape(name)
-               << R"(","ph":"X","ts":)" << fmtTsUs(ev.ts)
-               << ",\"dur\":" << fmtTsUs(ev.dur)
-               << ",\"pid\":0,\"tid\":" << ev.track << "}";
-            break;
-          case TraceKind::kInstant:
-            os << "{\"name\":\"" << jsonEscape(name)
-               << R"(","ph":"i","s":"t","ts":)" << fmtTsUs(ev.ts)
-               << ",\"pid\":0,\"tid\":" << ev.track;
-            if (ev.hasArg)
-                os << ",\"args\":{\"id\":" << ev.id << "}";
-            os << "}";
-            break;
-          case TraceKind::kCounter:
-            // Chrome counters are keyed per process by name, so the
-            // track name is folded into the counter name.
-            os << "{\"name\":\"" << jsonEscape(tracks_[ev.track]) << "/"
-               << traceEvName(ev.name) << R"(","ph":"C","ts":)"
-               << fmtTsUs(ev.ts) << ",\"pid\":0,\"tid\":" << ev.track
-               << ",\"args\":{\"value\":" << fmtValue(ev.value) << "}}";
-            break;
-          case TraceKind::kAsyncBegin:
-          case TraceKind::kAsyncEnd:
-            os << "{\"name\":\"" << jsonEscape(name)
-               << "\",\"cat\":\"service\",\"ph\":\""
-               << (ev.kind == TraceKind::kAsyncBegin ? 'b' : 'e')
-               << "\",\"id\":\"0x" << std::hex << ev.id << std::dec
-               << "\",\"ts\":" << fmtTsUs(ev.ts)
-               << ",\"pid\":0,\"tid\":" << ev.track << "}";
-            break;
-        }
+        emitEvent(os, pe.ev, pe.pid, procs[pe.proc].tracer->trackNames(),
+                  procs[pe.proc].tracer->labelNames());
     }
     os << "\n]}\n";
 }

@@ -76,6 +76,13 @@ enum class TraceEv : u16 {
     kCacheHit,    ///< instant: program cache hit at admission
     kCacheMiss,   ///< instant: program cache miss (compile)
 
+    // Fleet layer (DESIGN.md Sec. 19).
+    kFleetRoute,  ///< instant: router picked a device (args.id = device)
+    kReqShed,     ///< instant: request shed at admission
+    kReqPreempt,  ///< instant: victim checkpointed at a kernel boundary
+    kReqResume,   ///< instant: checkpointed request re-dispatched
+    kReqBatch,    ///< async span: batch-forming window -> launch
+
     kNumEvents
 };
 
@@ -240,6 +247,9 @@ class Tracer
     /** Counter-sample timeline: "cycle,track,counter,value" rows. */
     void exportCsv(std::ostream &os) const;
 
+    friend void exportChromeJsonMulti(
+        std::ostream &os, const std::vector<struct TraceProcess> &procs);
+
   private:
     void push(const TraceEvent &ev);
 
@@ -256,6 +266,36 @@ class Tracer
     std::vector<std::string> labels_;
     std::map<std::string, u16> labelIds_;
 };
+
+/**
+ * One tracer rendered as one Chrome trace process (fleet export).
+ *
+ * Track ids are interned per Tracer, so two devices may both register
+ * "slot0/core": as long as each device owns its own Tracer (and thus
+ * its own pid), the merged trace names every (pid, tid) pair from that
+ * device's table and nothing collides.  Sharing one Tracer between
+ * devices would silently alias same-named tracks (track() interning is
+ * first-writer-wins per name) — exportChromeJsonMulti therefore
+ * rejects duplicate pids outright.
+ */
+struct TraceProcess
+{
+    const Tracer *tracer = nullptr;
+    u32 pid = 0;
+    std::string name;
+};
+
+/**
+ * Merged multi-process Chrome trace: each TraceProcess becomes one pid
+ * with its own thread-name table; events from all tracers are merged
+ * by (ts, longer-span-first, process order, record order) — the same
+ * template as the Sec. 18 shard merge, so the output is
+ * byte-deterministic for a fixed set of event sequences.  A single
+ * {tracer, pid 0, "ipim"} entry reproduces Tracer::exportChromeJson
+ * byte-for-byte.
+ */
+void exportChromeJsonMulti(std::ostream &os,
+                           const std::vector<TraceProcess> &procs);
 
 } // namespace ipim
 

@@ -1,10 +1,13 @@
 /** Tests for the fleet serving layer (src/fleet). */
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "fleet/events.h"
 #include "fleet/fleet.h"
+#include "fleet/observer.h"
 
 namespace ipim {
 namespace {
@@ -413,6 +416,319 @@ TEST(Fleet, ReportExposesCacheCountersInJsonAndPrometheus)
               std::string::npos);
     EXPECT_NE(prom.find("ipim_fleet_completed_total"),
               std::string::npos);
+}
+
+// ---- Fleet observability (DESIGN.md Sec. 19) ----
+
+/** One observed fleet run; returns every observer feed as a string. */
+struct ObservedRun
+{
+    FleetReport report;
+    std::string trace;
+    std::string events;
+    std::string metrics;
+    std::string prom;
+};
+
+ObservedRun
+runObserved(FleetConfig cfg, const std::vector<ServeRequest> &reqs,
+            FleetObserverConfig oc)
+{
+    FleetObserver obs(oc);
+    cfg.observer = &obs;
+    FleetServer fleet(cfg);
+    ObservedRun out;
+    out.report = fleet.run(reqs);
+    if (oc.tracing) {
+        std::ostringstream t;
+        obs.exportChromeJson(t);
+        out.trace = t.str();
+    }
+    if (oc.events) {
+        std::ostringstream e;
+        obs.writeEvents(e);
+        out.events = e.str();
+    }
+    if (oc.sampling) {
+        JsonWriter m;
+        m.key("metrics");
+        obs.metricsJson(m);
+        out.metrics = m.finish();
+    }
+    out.prom = obs.prometheusText();
+    return out;
+}
+
+FleetObserverConfig
+allFeeds()
+{
+    FleetObserverConfig oc;
+    oc.tracing = true;
+    oc.events = true;
+    oc.sampling = true;
+    return oc;
+}
+
+TEST(FleetObs, FeedsAreByteIdenticalAcrossRuns)
+{
+    FleetConfig cfg = smallFleet(2, "cycle");
+    cfg.batching = true;
+    std::vector<ServeRequest> reqs =
+        trace({"Blur", "Brighten"}, 10, 1e6, 41);
+
+    ObservedRun a = runObserved(cfg, reqs, allFeeds());
+    ObservedRun b = runObserved(cfg, reqs, allFeeds());
+
+    EXPECT_FALSE(a.trace.empty());
+    EXPECT_FALSE(a.events.empty());
+    EXPECT_FALSE(a.metrics.empty());
+    EXPECT_EQ(a.trace, b.trace);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.metrics, b.metrics);
+    EXPECT_EQ(a.prom, b.prom);
+}
+
+TEST(FleetObs, FeedsAreBitExactAcrossThreadCounts)
+{
+    FleetConfig cfg = smallFleet(2, "cycle");
+    cfg.cubesPerRequest = 2; // 2-cube slots, so --threads can split
+    std::vector<ServeRequest> reqs = trace({"Blur"}, 6, 1e6, 43);
+
+    cfg.threads = 1;
+    ObservedRun one = runObserved(cfg, reqs, allFeeds());
+    cfg.threads = 2;
+    ObservedRun two = runObserved(cfg, reqs, allFeeds());
+    cfg.threads = 4;
+    ObservedRun four = runObserved(cfg, reqs, allFeeds());
+
+    EXPECT_EQ(one.trace, two.trace);
+    EXPECT_EQ(one.trace, four.trace);
+    EXPECT_EQ(one.events, two.events);
+    EXPECT_EQ(one.events, four.events);
+    EXPECT_EQ(one.metrics, two.metrics);
+    EXPECT_EQ(one.metrics, four.metrics);
+}
+
+TEST(FleetObs, MetricsAndTraceAreBitExactDenseVsFastForward)
+{
+    FleetConfig cfg = smallFleet(1, "cycle");
+    std::vector<ServeRequest> reqs = trace({"Brighten"}, 4, 1e6, 47);
+
+    cfg.fastForward = true;
+    ObservedRun ff = runObserved(cfg, reqs, allFeeds());
+    cfg.fastForward = false;
+    ObservedRun dense = runObserved(cfg, reqs, allFeeds());
+
+    EXPECT_EQ(ff.metrics, dense.metrics);
+    EXPECT_EQ(ff.events, dense.events);
+    EXPECT_EQ(ff.trace, dense.trace);
+}
+
+TEST(FleetObs, FuncBackendEventsAndTraceAreDeterministic)
+{
+    FleetConfig cfg = smallFleet(2, "func");
+    FleetObserverConfig oc;
+    oc.tracing = true;
+    oc.events = true;
+    std::vector<ServeRequest> reqs =
+        trace({"Blur", "Shift"}, 12, 2e6, 53);
+
+    ObservedRun a = runObserved(cfg, reqs, oc);
+    ObservedRun b = runObserved(cfg, reqs, oc);
+    EXPECT_EQ(a.trace, b.trace);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_FALSE(a.events.empty());
+}
+
+TEST(FleetObs, EventLogAccountingMatchesTheReport)
+{
+    FleetConfig cfg = smallFleet(1);
+    cfg.cubesPerRequest = 2; // one slot -> contention
+    cfg.tenants = {{"lo", 1.0, 0, 1.0}, {"hi", 1.0, 2, 1.0}};
+    // The preemption scenario: a multi-kernel victim running when a
+    // high-priority request lands, plus a third request to queue.
+    std::vector<ServeRequest> reqs(3);
+    reqs[0] = {0, "StencilChain", 0, 21, 0, 0};
+    reqs[1] = {1, "Brighten", 1, 22, 1, 2};
+    reqs[2] = {2, "Brighten", 2, 23, 0, 0};
+
+    FleetObserverConfig oc;
+    oc.events = true;
+    ObservedRun run = runObserved(cfg, reqs, oc);
+    ASSERT_GE(run.report.preemptions, 1u);
+
+    std::istringstream in(run.events);
+    std::vector<FleetEvent> events = loadFleetEvents(in);
+    ASSERT_FALSE(events.empty());
+    EXPECT_EQ(events.front().type, "log");
+    EXPECT_EQ(events.front().str("schema"), kFleetEventsSchema);
+
+    u64 routes = 0;
+    u64 sheds = 0;
+    u64 completes = 0;
+    u64 preempts = 0;
+    Cycle lastTs = 0;
+    for (const FleetEvent &ev : events) {
+        EXPECT_GE(ev.ts, lastTs) << "event log out of decision order";
+        lastTs = ev.ts;
+        routes += ev.type == "route";
+        sheds += ev.type == "shed";
+        completes += ev.type == "complete";
+        preempts += ev.type == "preempt";
+    }
+    EXPECT_EQ(routes, run.report.admitted);
+    EXPECT_EQ(sheds, run.report.shedTotal);
+    EXPECT_EQ(completes, run.report.completed);
+    EXPECT_EQ(preempts, run.report.preemptions);
+}
+
+TEST(FleetObs, ShedRequestsAppearAsShedEventsNotRoutes)
+{
+    FleetConfig cfg = smallFleet(1);
+    cfg.cubesPerRequest = 2;
+    cfg.shedP99Cycles = 60000;
+    std::vector<ServeRequest> reqs = trace({"Blur"}, 24, 4e6, 59);
+
+    FleetObserverConfig oc;
+    oc.events = true;
+    ObservedRun run = runObserved(cfg, reqs, oc);
+    ASSERT_GT(run.report.shedTotal, 0u);
+
+    std::istringstream in(run.events);
+    std::vector<FleetEvent> events = loadFleetEvents(in);
+    std::vector<u64> routed;
+    std::vector<u64> shed;
+    for (const FleetEvent &ev : events) {
+        if (ev.type == "route")
+            routed.push_back(ev.req);
+        if (ev.type == "shed") {
+            shed.push_back(ev.req);
+            EXPECT_TRUE(ev.str("reason") == "p99_breach" ||
+                        ev.str("reason") == "backlog")
+                << ev.str("reason");
+        }
+    }
+    EXPECT_EQ(routed.size(), run.report.admitted);
+    EXPECT_EQ(shed.size(), run.report.shedTotal);
+    for (u64 s : shed)
+        for (u64 r : routed)
+            EXPECT_NE(s, r) << "request both routed and shed";
+}
+
+TEST(FleetObs, ExplainReconstructsARequestStory)
+{
+    FleetConfig cfg = smallFleet(2, "cycle");
+    cfg.batching = true;
+    std::vector<ServeRequest> reqs =
+        trace({"Blur", "Brighten"}, 10, 1e6, 61);
+
+    FleetObserverConfig oc;
+    oc.events = true;
+    ObservedRun run = runObserved(cfg, reqs, oc);
+
+    std::istringstream in(run.events);
+    std::vector<FleetEvent> events = loadFleetEvents(in);
+    std::string story = explainRequest(events, 0);
+    EXPECT_NE(story.find("request 0:"), std::string::npos);
+    EXPECT_NE(story.find("admitted"), std::string::npos);
+    EXPECT_NE(story.find("routed to device"), std::string::npos);
+    EXPECT_NE(story.find("dispatched"), std::string::npos);
+    EXPECT_NE(story.find("completed"), std::string::npos);
+
+    // An id the log never saw is fatal, not silently empty.
+    EXPECT_THROW(explainRequest(events, 999), FatalError);
+}
+
+/** Satellite regression: with several devices, each device's tracer
+ *  owns its own track table, so the same "slot<i>/" component track
+ *  names appear under DISTINCT pids in the merged trace instead of
+ *  first-writer-wins mislabeling across devices. */
+TEST(FleetObs, MergedTraceKeepsSlotTracksDistinctPerDevice)
+{
+    FleetConfig cfg = smallFleet(2, "cycle");
+    std::vector<ServeRequest> reqs = trace({"Blur"}, 6, 1e6, 67);
+
+    FleetObserverConfig oc;
+    oc.tracing = true;
+    ObservedRun run = runObserved(cfg, reqs, oc);
+
+    // Both device processes announce their own copy of a slot-0 track.
+    auto threadNameCount = [&](const std::string &pid) {
+        std::string needle = "{\"name\":\"thread_name\",\"ph\":\"M\","
+                             "\"pid\":" + pid;
+        size_t n = 0;
+        for (size_t at = run.trace.find(needle); at != std::string::npos;
+             at = run.trace.find(needle, at + 1)) {
+            size_t line = run.trace.find('\n', at);
+            if (run.trace.substr(at, line - at).find("slot0/") !=
+                std::string::npos)
+                ++n;
+        }
+        return n;
+    };
+    EXPECT_GT(threadNameCount("1"), 0u) << "dev0 lost its slot tracks";
+    EXPECT_GT(threadNameCount("2"), 0u) << "dev1 lost its slot tracks";
+    EXPECT_EQ(threadNameCount("1"), threadNameCount("2"))
+        << "asymmetric slot track registration across devices";
+    // And the fleet process exists alongside them.
+    EXPECT_NE(run.trace.find("\"args\":{\"name\":\"fleet\"}"),
+              std::string::npos);
+}
+
+TEST(FleetObs, ReportExposesFastForwardTelemetryPerDevice)
+{
+    FleetConfig cfg = smallFleet(2, "cycle");
+    std::vector<ServeRequest> reqs =
+        trace({"Blur", "Brighten"}, 8, 1e6, 71);
+    FleetReport rep = FleetServer(cfg).run(reqs);
+
+    u64 jumps = 0;
+    for (const FleetReport::DeviceReport &d : rep.devices)
+        jumps += d.ffwdJumps;
+    EXPECT_GT(jumps, 0u);
+
+    JsonWriter j;
+    rep.toJson(j, cfg);
+    std::string json = j.finish();
+    EXPECT_NE(json.find("\"fast_forward\":{\"enabled\":true"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ffwd_jumps\":"), std::string::npos);
+    EXPECT_NE(json.find("\"ffwd_skipped_cycles\":"), std::string::npos);
+    EXPECT_NE(json.find("\"threads\":"), std::string::npos);
+
+    std::string prom = rep.prometheusText();
+    EXPECT_NE(prom.find("ipim_fleet_device_ffwd_jumps_total"),
+              std::string::npos);
+    EXPECT_NE(prom.find("ipim_fleet_device_ffwd_skipped_cycles_total"),
+              std::string::npos);
+}
+
+TEST(FleetObs, ObserverPrometheusCarriesPerDeviceAndRollupFamilies)
+{
+    FleetConfig cfg = smallFleet(2, "cycle");
+    std::vector<ServeRequest> reqs = trace({"Blur"}, 6, 1e6, 73);
+    ObservedRun run = runObserved(cfg, reqs, allFeeds());
+
+    EXPECT_NE(run.prom.find("ipim_fleet_obs_events"),
+              std::string::npos);
+    EXPECT_NE(run.prom.find("ipim_fleet_trace_events{process=\"fleet\"}"),
+              std::string::npos);
+    EXPECT_NE(run.prom.find("ipim_fleet_trace_events{process=\"dev1\"}"),
+              std::string::npos);
+    EXPECT_NE(run.prom.find(
+                  "ipim_fleet_device_sampled{device=\"0\","),
+              std::string::npos);
+    EXPECT_NE(run.prom.find("ipim_fleet_sampled{counter=\"sim.cycles\"}"),
+              std::string::npos);
+}
+
+TEST(FleetObs, ObserverCannotBeSharedByTwoFleets)
+{
+    FleetObserver obs;
+    FleetConfig cfg = smallFleet(1);
+    cfg.observer = &obs;
+    FleetServer first(cfg);
+    EXPECT_THROW(FleetServer{cfg}, FatalError);
 }
 
 TEST(Fleet, RejectsBadConfigurations)

@@ -50,7 +50,9 @@
 #include "metrics/metrics.h"
 #include "metrics/profile.h"
 #include "runtime/runtime.h"
+#include "fleet/events.h"
 #include "fleet/fleet.h"
+#include "fleet/observer.h"
 #include "service/server.h"
 #include "trace/report.h"
 #include "trace/trace.h"
@@ -125,6 +127,12 @@ struct Options
     f64 diurnalAmplitude = 0.8;
     u32 cacheCap = 0;          ///< per-device program-cache entries
     u64 launchOverhead = 1000; ///< dispatcher cycles per launch
+    // fleet observability (DESIGN.md Sec. 19):
+    std::string eventsFile;  ///< --events FILE (decision log JSONL)
+    std::string metricsFile; ///< --metrics FILE (sampled series JSON)
+    // explain-subcommand only:
+    bool explainCmd = false;
+    u64 explainReq = ~u64(0); ///< --req ID (required)
 };
 
 void
@@ -153,11 +161,13 @@ usage()
         "            [--no-preempt]\n"
         "            [--shed-p99-ms X] [--cache-cap N]\n"
         "            [--launch-overhead CYCLES]\n"
+        "            [--events FILE] [--metrics FILE]\n"
         "            [--tenants NAME:WEIGHT:PRIO[:SHARE],...]\n"
         "            [--trace-shape poisson|bursty|diurnal]\n"
         "            [--burst-duty F] [--burst-on-ms X]\n"
         "            [--diurnal-period-ms X] [--diurnal-amplitude F]\n"
         "            [device/compiler flags as above]\n"
+        "       ipim explain --req ID --events FILE\n"
         "       ipim trace [--bench NAME] [--out FILE] [--csv FILE]\n"
         "            [--windows N] [device/compiler flags as above]\n"
         "       ipim profile [--bench NAME] [--interval N] [--json]\n"
@@ -191,6 +201,18 @@ usage()
         "  boundaries, optional cross-request batching (--batch), and\n"
         "  p99-driven load shedding (--shed-p99-ms); --json emits the\n"
         "  ipim-serve-fleet-v1 schema.\n"
+        "  Fleet observability (DESIGN.md Sec. 19): with --devices,\n"
+        "  --trace FILE writes one merged multi-process Chrome trace\n"
+        "  (pid 0 = fleet, pid 1+d = device d), --events FILE writes\n"
+        "  the ipim-fleet-events-v1 decision log (JSONL: routing, shed,\n"
+        "  batch, dispatch, preempt, complete records), and\n"
+        "  --metrics FILE writes the per-slot sampled time series on\n"
+        "  the fleet virtual timeline (cycle backend).  All three are\n"
+        "  byte-deterministic for a fixed (config, seed) -- across\n"
+        "  processes and every --threads value.\n"
+        "  `ipim explain --req ID --events FILE` replays one request's\n"
+        "  story from the decision log: admission, routing, batching or\n"
+        "  shedding, preemptions, completion.\n"
         "  `ipim analyze` builds the CFG/dataflow analyses\n"
         "  (src/analysis), runs the cross-vault conflict proof, and\n"
         "  prints the static cost estimate per kernel; exit 3 when any\n"
@@ -709,10 +731,6 @@ buildWorkload(const Options &o)
 int
 runServeFleetCommand(const Options &o)
 {
-    if (!o.traceFile.empty())
-        fatal("--trace is not supported with --devices (fleet runs "
-              "emit JSON/Prometheus telemetry instead)");
-
     FleetConfig fc;
     fc.hw = buildConfig(o);
     fc.devices = o.fleetDevices;
@@ -738,14 +756,62 @@ runServeFleetCommand(const Options &o)
     fc.tenants = spec.tenants;
     std::vector<ServeRequest> reqs = generateWorkload(spec);
 
+    // Observability (DESIGN.md Sec. 19): each feed switches on only
+    // when its output file is requested; the observer must outlive the
+    // FleetServer it is attached to.
+    FleetObserverConfig oc;
+    oc.tracing = !o.traceFile.empty();
+    oc.events = !o.eventsFile.empty();
+    oc.sampling = !o.metricsFile.empty();
+    oc.sampleInterval = o.metricsInterval;
+    std::unique_ptr<FleetObserver> obs;
+    if (oc.tracing || oc.events || oc.sampling) {
+        if (oc.sampling && o.backend != "cycle")
+            fatal("--metrics needs the cycle backend (the functional "
+                  "backend has no device counters to sample)");
+        obs = std::make_unique<FleetObserver>(oc);
+        fc.observer = obs.get();
+    }
+
     FleetServer fleet(fc);
     FleetReport rep = fleet.run(reqs);
+
+    if (!o.traceFile.empty()) {
+        std::ofstream out(o.traceFile, std::ios::binary);
+        if (!out)
+            fatal("cannot open trace output file ", o.traceFile);
+        obs->exportChromeJson(out);
+        if (!out)
+            fatal("failed writing trace to ", o.traceFile);
+    }
+    if (!o.eventsFile.empty()) {
+        std::ofstream out(o.eventsFile, std::ios::binary);
+        if (!out)
+            fatal("cannot open events output file ", o.eventsFile);
+        obs->writeEvents(out);
+        if (!out)
+            fatal("failed writing events to ", o.eventsFile);
+    }
+    if (!o.metricsFile.empty()) {
+        std::ofstream out(o.metricsFile, std::ios::binary);
+        if (!out)
+            fatal("cannot open metrics output file ", o.metricsFile);
+        JsonWriter mj;
+        mj.field("schema", "ipim-fleet-metrics-v1");
+        mj.key("metrics");
+        obs->metricsJson(mj);
+        out << mj.finish() << '\n';
+        if (!out)
+            fatal("failed writing metrics to ", o.metricsFile);
+    }
 
     if (!o.promFile.empty()) {
         std::ofstream prom(o.promFile, std::ios::binary);
         if (!prom)
             fatal("cannot open ", o.promFile);
         prom << rep.prometheusText();
+        if (obs)
+            prom << obs->prometheusText();
         if (!prom)
             fatal("failed writing Prometheus snapshot to ", o.promFile);
     }
@@ -783,8 +849,34 @@ runServeFleetCommand(const Options &o)
                 spec.ratePerSec, o.traceShape.c_str(),
                 (unsigned long long)spec.seed);
     std::printf("%s", rep.summary().c_str());
+    if (!o.traceFile.empty())
+        std::printf("fleet trace -> %s\n", o.traceFile.c_str());
+    if (!o.eventsFile.empty())
+        std::printf("%llu decision events -> %s\n",
+                    (unsigned long long)obs->eventCount(),
+                    o.eventsFile.c_str());
+    if (!o.metricsFile.empty())
+        std::printf("sampled metrics -> %s\n", o.metricsFile.c_str());
     if (!o.promFile.empty())
         std::printf("Prometheus snapshot -> %s\n", o.promFile.c_str());
+    return 0;
+}
+
+/** The `ipim explain` subcommand: replay one request's story from a
+ *  fleet decision event log (src/fleet/events). */
+int
+runExplainCommand(const Options &o)
+{
+    if (o.explainReq == ~u64(0))
+        fatal("explain needs --req ID");
+    if (o.eventsFile.empty())
+        fatal("explain needs --events FILE (written by "
+              "`ipim serve --devices N --events FILE`)");
+    std::ifstream in(o.eventsFile, std::ios::binary);
+    if (!in)
+        fatal("cannot open events file ", o.eventsFile);
+    std::vector<FleetEvent> events = loadFleetEvents(in);
+    std::printf("%s", explainRequest(events, o.explainReq).c_str());
     return 0;
 }
 
@@ -959,6 +1051,9 @@ main(int argc, char **argv)
     } else if (argc > 1 && std::strcmp(argv[1], "trace") == 0) {
         o.traceCmd = true;
         first = 2;
+    } else if (argc > 1 && std::strcmp(argv[1], "explain") == 0) {
+        o.explainCmd = true;
+        first = 2;
     } else if (argc > 1 && std::strcmp(argv[1], "profile") == 0) {
         o.profileCmd = true;
         first = 2;
@@ -1080,6 +1175,12 @@ main(int argc, char **argv)
             o.promFile = next();
         else if (a == "--trace")
             o.traceFile = next();
+        else if (a == "--events")
+            o.eventsFile = next();
+        else if (a == "--metrics")
+            o.metricsFile = next();
+        else if (a == "--req")
+            o.explainReq = std::stoull(next());
         else if (a == "--out")
             o.traceOut = next();
         else if (a == "--csv")
@@ -1107,6 +1208,8 @@ main(int argc, char **argv)
             return runAnalyzeCommand(o);
         if (o.serveCmd)
             return runServeCommand(o);
+        if (o.explainCmd)
+            return runExplainCommand(o);
         if (o.traceCmd)
             return runTraceCommand(o);
         if (o.profileCmd)

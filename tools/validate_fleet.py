@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
-"""Validate fleet serving JSON snapshots (schema ipim-serve-fleet-v1).
+"""Validate fleet serving JSON snapshots (schema ipim-serve-fleet-v1)
+and fleet decision event logs (schema ipim-fleet-events-v1, JSONL).
 
-Checks the invariants the fleet layer promises (DESIGN.md Sec. 17):
+Report checks — the invariants the fleet layer promises (DESIGN.md
+Sec. 17):
 
   * the document parses, carries the right schema tag, and has the
     fleet/summary/per_device/per_tenant/requests sections;
@@ -17,8 +19,30 @@ Checks the invariants the fleet layer promises (DESIGN.md Sec. 17):
   * latency histogram counts equal the number of completed requests and
     p50 <= p95 <= p99 <= max.
 
-Usage: validate_fleet.py FILE.json [FILE2.json ...]
-Exits 0 when every file passes, 1 otherwise.
+Event-log checks (DESIGN.md Sec. 19, `serve --devices N --events`):
+
+  * the first line is the "log" header carrying the right schema tag
+    and the fleet shape (devices, slots_per_device, backend, router,
+    policy);
+  * every line parses as one JSON object with the per-type required
+    fields, and timestamps never decrease (the log is written in
+    decision order on the virtual timeline);
+  * referential integrity: routed and shed request-id sets are
+    disjoint, every dispatch/preempt/complete and every batch member
+    references a routed (admitted) request, and every routed request
+    completes;
+  * per-request consistency: preempt events == resume dispatches ==
+    the preemptions count on the request's complete record.
+
+When both a report and an event log are given, their accounting is
+cross-checked: route events == admitted, shed events == shed, complete
+events == completed, batch events == batches, preempt events ==
+preemptions, and the header's fleet shape matches the report.
+
+Usage: validate_fleet.py [REPORT.json ...] [EVENTS.jsonl ...]
+Files ending in .jsonl are validated as event logs, everything else as
+report snapshots.  Exits 0 when every file (and the cross-check, when
+one of each is present) passes, 1 otherwise.
 """
 
 import json
@@ -27,6 +51,26 @@ import sys
 SHED_REASONS = ("p99_breach", "backlog")
 EXEC_FIELDS = ("start", "finish", "exec_cycles", "compile_cycles",
                "overhead_cycles", "device", "slot", "batch")
+
+EVENTS_SCHEMA = "ipim-fleet-events-v1"
+HEADER_FIELDS = ("schema", "devices", "slots_per_device", "backend",
+                 "router", "policy")
+EVENT_FIELDS = {
+    "route": ("req", "tenant", "priority", "pipeline", "arrival",
+              "policy", "device", "cache_hit", "candidates"),
+    "shed": ("req", "tenant", "priority", "pipeline", "arrival",
+             "reason", "shed_level", "window_p99"),
+    "batch": ("device", "batch", "pipeline", "members", "window_cycles",
+              "exec_start", "fill"),
+    "dispatch": ("req", "device", "slot", "kernel", "resume", "batch",
+                 "launch_start", "exec_start", "compile_cycles",
+                 "held_cycles"),
+    "preempt": ("req", "device", "slot", "kernel", "done_exec_cycles",
+                "ckpt_bytes", "higher_pending"),
+    "complete": ("req", "device", "slot", "batch", "exec_cycles",
+                 "queue_cycles", "total_cycles", "preemptions"),
+}
+BATCH_FILLS = ("full", "compile", "resume", "slots", "window")
 
 
 def check_latency(errors, name, block, expect_count):
@@ -155,29 +199,234 @@ def check_fleet(doc):
     return errors
 
 
+def check_events(lines):
+    """Validate one decision event log; returns (errors, stats).
+
+    stats carries the per-type counts and the header for the optional
+    cross-check against a report snapshot.
+    """
+    errors = []
+    events = []
+    for n, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            errors.append(f"line {n}: empty line")
+            continue
+        try:
+            ev = json.loads(line)
+        except ValueError as e:
+            errors.append(f"line {n}: unparseable: {e}")
+            continue
+        if not isinstance(ev, dict) or "type" not in ev or "ts" not in ev:
+            errors.append(f"line {n}: not an event object")
+            continue
+        events.append((n, ev))
+    if not events:
+        return ["no events (empty log?)"], {}
+
+    n, header = events[0]
+    if header["type"] != "log":
+        errors.append(f"line {n}: first record must be the log header")
+    for k in HEADER_FIELDS:
+        if k not in header:
+            errors.append(f"header: missing field {k!r}")
+    if header.get("schema") != EVENTS_SCHEMA:
+        errors.append(
+            f"header: schema {header.get('schema')!r} != {EVENTS_SCHEMA}"
+        )
+    n_devices = header.get("devices", 0)
+
+    counts = {t: 0 for t in EVENT_FIELDS}
+    routed = set()
+    shed_ids = set()
+    completes = {}  # req -> preemptions on the complete record
+    preempts = {}   # req -> preempt event count
+    resumes = {}    # req -> resume-dispatch count
+    batch_ids = set()
+    last_ts = events[0][1]["ts"]
+    for n, ev in events[1:]:
+        t = ev["type"]
+        if t not in EVENT_FIELDS:
+            errors.append(f"line {n}: unknown event type {t!r}")
+            continue
+        counts[t] += 1
+        missing = [k for k in EVENT_FIELDS[t] if k not in ev]
+        if missing:
+            errors.append(f"line {n}: {t}: missing fields {missing}")
+            continue
+        if ev["ts"] < last_ts:
+            errors.append(
+                f"line {n}: ts {ev['ts']} < previous {last_ts} "
+                f"(log must be in decision order)"
+            )
+        last_ts = ev["ts"]
+        if "device" in ev and not 0 <= ev["device"] < n_devices:
+            errors.append(
+                f"line {n}: device {ev['device']} outside fleet "
+                f"of {n_devices}"
+            )
+        if t == "route":
+            if ev["req"] in routed:
+                errors.append(f"line {n}: request {ev['req']} routed twice")
+            routed.add(ev["req"])
+        elif t == "shed":
+            if ev["reason"] not in SHED_REASONS:
+                errors.append(
+                    f"line {n}: bad shed reason {ev['reason']!r}"
+                )
+            if ev["reason"] == "backlog":
+                for k in ("device", "wait_est_cycles", "own_est_cycles",
+                          "target_cycles"):
+                    if k not in ev:
+                        errors.append(
+                            f"line {n}: backlog shed missing {k!r}"
+                        )
+            shed_ids.add(ev["req"])
+        elif t == "batch":
+            members = ev["members"]
+            if not isinstance(members, list) or len(members) < 2:
+                errors.append(
+                    f"line {n}: batch {ev['batch']} has members "
+                    f"{members!r} (need >= 2)"
+                )
+                members = []
+            if ev["batch"] in batch_ids:
+                errors.append(f"line {n}: batch id {ev['batch']} reused")
+            batch_ids.add(ev["batch"])
+            if ev["fill"] not in BATCH_FILLS:
+                errors.append(f"line {n}: bad fill {ev['fill']!r}")
+            for m in members:
+                if m not in routed:
+                    errors.append(
+                        f"line {n}: batch member {m} was never routed"
+                    )
+        elif t == "dispatch":
+            if ev["req"] not in routed:
+                errors.append(
+                    f"line {n}: dispatch of unrouted request {ev['req']}"
+                )
+            if ev["exec_start"] < ev["launch_start"]:
+                errors.append(
+                    f"line {n}: exec_start {ev['exec_start']} < "
+                    f"launch_start {ev['launch_start']}"
+                )
+            if ev["resume"]:
+                resumes[ev["req"]] = resumes.get(ev["req"], 0) + 1
+        elif t == "preempt":
+            if ev["req"] not in routed:
+                errors.append(
+                    f"line {n}: preempt of unrouted request {ev['req']}"
+                )
+            preempts[ev["req"]] = preempts.get(ev["req"], 0) + 1
+        elif t == "complete":
+            if ev["req"] not in routed:
+                errors.append(
+                    f"line {n}: completion of unrouted request "
+                    f"{ev['req']}"
+                )
+            if ev["req"] in completes:
+                errors.append(
+                    f"line {n}: request {ev['req']} completed twice"
+                )
+            completes[ev["req"]] = ev["preemptions"]
+
+    overlap = routed & shed_ids
+    if overlap:
+        errors.append(f"requests both routed and shed: {sorted(overlap)}")
+    unfinished = routed - set(completes)
+    if unfinished:
+        errors.append(
+            f"routed requests never completed: {sorted(unfinished)}"
+        )
+    for req, count in completes.items():
+        if preempts.get(req, 0) != count:
+            errors.append(
+                f"request {req}: {preempts.get(req, 0)} preempt events "
+                f"but complete says {count}"
+            )
+        if resumes.get(req, 0) != preempts.get(req, 0):
+            errors.append(
+                f"request {req}: {resumes.get(req, 0)} resume dispatches "
+                f"but {preempts.get(req, 0)} preempt events"
+            )
+
+    stats = dict(counts)
+    stats["header"] = header
+    stats["batch_ids"] = len(batch_ids)
+    return errors, stats
+
+
+def cross_check(doc, stats):
+    """Events-vs-report accounting; both inputs already validated."""
+    errors = []
+    header = stats["header"]
+    fleet = doc["fleet"]
+    for k in ("devices", "slots_per_device", "backend", "router",
+              "policy"):
+        if header.get(k) != fleet[k]:
+            errors.append(
+                f"header {k} {header.get(k)!r} != report {fleet[k]!r}"
+            )
+    for ev_count, rep_key in (
+        (stats["route"], "admitted"),
+        (stats["shed"], "shed"),
+        (stats["complete"], "completed"),
+        (stats["batch_ids"], "batches"),
+        (stats["preempt"], "preemptions"),
+    ):
+        if ev_count != doc[rep_key]:
+            errors.append(
+                f"{ev_count} events vs report {rep_key} {doc[rep_key]}"
+            )
+    return errors
+
+
 def main(paths):
     if not paths:
         print(__doc__, file=sys.stderr)
         return 1
     failed = False
+    report = None
+    event_stats = None
     for path in paths:
+        is_events = path.endswith(".jsonl")
         try:
             with open(path, encoding="utf-8") as f:
-                doc = json.load(f)
+                if is_events:
+                    errors, stats = check_events(f.readlines())
+                else:
+                    doc = json.load(f)
+                    errors = check_fleet(doc)
         except (OSError, ValueError) as e:
             print(f"{path}: unreadable: {e}")
             failed = True
             continue
-        errors = check_fleet(doc)
         if errors:
             failed = True
             print(f"{path}: FAIL")
             for e in errors:
                 print(f"  - {e}")
+        elif is_events:
+            event_stats = stats
+            print(f"{path}: OK "
+                  f"({stats['route']} routed, {stats['shed']} shed, "
+                  f"{stats['batch_ids']} batches, "
+                  f"{stats['preempt']} preemptions, "
+                  f"{stats['complete']} completed)")
         else:
+            report = doc
             print(f"{path}: OK "
                   f"({doc['requests_total']} requests, "
                   f"{doc['completed']} completed, {doc['shed']} shed)")
+    if report is not None and event_stats is not None:
+        errors = cross_check(report, event_stats)
+        if errors:
+            failed = True
+            print("cross-check: FAIL")
+            for e in errors:
+                print(f"  - {e}")
+        else:
+            print("cross-check: OK (events match report accounting)")
     return 1 if failed else 0
 
 
